@@ -1,0 +1,33 @@
+// Extension experiment: the HLRT variant of the WIEN family (Sec. 5 notes
+// that the LR analysis "extends to HLRT and its other variants") run
+// through the same noise-tolerant pipeline as Fig. 2(d,e). HLRT's head/
+// tail delimiters confine extraction to the listing region, so it sits
+// between LR and XPATH in accuracy. HLRT is blackbox-only, so this is
+// also the showcase for BottomUp enumeration on a non-feature-based
+// inductor.
+
+#include "bench_util.h"
+#include "core/hlrt_inductor.h"
+
+int main() {
+  using namespace ntw;
+  bench::PrintHeader(
+      "Extension: accuracy of HLRT on DEALERS (BottomUp enumeration)",
+      "Dalvi et al., PVLDB 4(4) 2011, Sec. 5 (HLRT variant; no figure)",
+      "NTW with HLRT >= NTW with LR (head/tail context suppresses "
+      "sidebar/footer matches); NAIVE still collapses");
+  datasets::Dataset dealers = bench::StandardDealers();
+  core::HlrtInductor inductor;
+  datasets::RunConfig config;
+  config.type = "name";
+  config.algorithm = core::EnumAlgorithm::kBottomUp;  // Blackbox only.
+  Result<datasets::RunSummary> summary =
+      datasets::RunSingleType(dealers, inductor, config);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 summary.status().ToString().c_str());
+    return 1;
+  }
+  bench::PrintAccuracyBlock(*summary);
+  return 0;
+}

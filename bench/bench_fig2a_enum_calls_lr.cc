@@ -1,0 +1,21 @@
+// Figure 2(a): number of wrapper-inductor calls for LR wrappers —
+// TopDown vs BottomUp vs Naive across the DEALERS websites.
+
+#include "bench_util.h"
+#include "core/lr_inductor.h"
+#include "enum_experiment.h"
+
+int main() {
+  using namespace ntw;
+  bench::PrintHeader(
+      "Figure 2(a): # of wrapper calls for LR (DEALERS)",
+      "Dalvi et al., PVLDB 4(4) 2011, Fig. 2(a)",
+      "TopDown = k calls; BottomUp ~ an order of magnitude more but "
+      "<= k*|L|; Naive = 2^|L|-1 explodes");
+  datasets::Dataset dealers = bench::StandardDealers();
+  core::LrInductor inductor;
+  std::vector<bench::EnumRow> rows = bench::RunEnumExperiment(
+      dealers, "name", inductor, /*naive_label_cap=*/14);
+  bench::PrintCallCounts(rows);
+  return 0;
+}

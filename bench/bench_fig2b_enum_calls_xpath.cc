@@ -1,0 +1,20 @@
+// Figure 2(b): number of wrapper-inductor calls for XPATH wrappers —
+// TopDown vs BottomUp vs Naive across the DEALERS websites.
+
+#include "bench_util.h"
+#include "core/xpath_inductor.h"
+#include "enum_experiment.h"
+
+int main() {
+  using namespace ntw;
+  bench::PrintHeader(
+      "Figure 2(b): # of wrapper calls for XPATH (DEALERS)",
+      "Dalvi et al., PVLDB 4(4) 2011, Fig. 2(b)",
+      "TopDown = k calls; BottomUp <= k*|L|; Naive = 2^|L|-1 explodes");
+  datasets::Dataset dealers = bench::StandardDealers();
+  core::XPathInductor inductor;
+  std::vector<bench::EnumRow> rows = bench::RunEnumExperiment(
+      dealers, "name", inductor, /*naive_label_cap=*/14);
+  bench::PrintCallCounts(rows);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 2(f): precision/recall/F1 of NAIVE vs NTW with XPATH wrappers on
+// the DISC dataset (track extraction from discography sites).
+
+#include "bench_util.h"
+#include "core/xpath_inductor.h"
+
+int main() {
+  using namespace ntw;
+  bench::PrintHeader(
+      "Figure 2(f): accuracy of XPATH on DISC",
+      "Dalvi et al., PVLDB 4(4) 2011, Fig. 2(f)",
+      "NTW perfect precision and recall; NAIVE recall 1 / low precision");
+  datasets::Dataset disc = bench::StandardDisc();
+  core::XPathInductor inductor;
+  datasets::RunConfig config;
+  config.type = "track";
+  Result<datasets::RunSummary> summary =
+      datasets::RunSingleType(disc, inductor, config);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 summary.status().ToString().c_str());
+    return 1;
+  }
+  core::Prf restricted =
+      datasets::AnnotatorQualityOnAnnotatedPages(disc, "track");
+  std::printf("annotator recall on annotated pages only (the paper's 0.9 "
+              "convention): %.3f\n", restricted.recall);
+  bench::PrintAccuracyBlock(*summary);
+  return 0;
+}

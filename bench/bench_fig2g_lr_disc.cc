@@ -1,0 +1,26 @@
+// Figure 2(g): precision/recall/F1 of NAIVE vs NTW with LR wrappers on
+// the DISC dataset.
+
+#include "bench_util.h"
+#include "core/lr_inductor.h"
+
+int main() {
+  using namespace ntw;
+  bench::PrintHeader(
+      "Figure 2(g): accuracy of LR on DISC",
+      "Dalvi et al., PVLDB 4(4) 2011, Fig. 2(g)",
+      "NTW perfect precision and recall on DISC for LR as well");
+  datasets::Dataset disc = bench::StandardDisc();
+  core::LrInductor inductor;
+  datasets::RunConfig config;
+  config.type = "track";
+  Result<datasets::RunSummary> summary =
+      datasets::RunSingleType(disc, inductor, config);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 summary.status().ToString().c_str());
+    return 1;
+  }
+  bench::PrintAccuracyBlock(*summary);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 2(i): ranking-model ablation for LR on DEALERS — full NTW vs
+// NTW-L vs NTW-X.
+
+#include "bench_util.h"
+#include "core/lr_inductor.h"
+
+int main() {
+  using namespace ntw;
+  bench::PrintHeader(
+      "Figure 2(i): LR ranking variants on DEALERS",
+      "Dalvi et al., PVLDB 4(4) 2011, Fig. 2(i)",
+      "For LR the labeling term alone does not help much; the list term "
+      "carries more weight, and only the combination reaches full NTW");
+  datasets::Dataset dealers = bench::StandardDealers();
+  core::LrInductor inductor;
+
+  std::printf("%-8s %10s %10s %10s\n", "variant", "Precision", "Recall",
+              "F1");
+  for (core::RankerVariant variant :
+       {core::RankerVariant::kFull, core::RankerVariant::kAnnotationOnly,
+        core::RankerVariant::kListOnly}) {
+    datasets::RunConfig config;
+    config.type = "name";
+    config.variant = variant;
+    Result<datasets::RunSummary> summary =
+        datasets::RunSingleType(dealers, inductor, config);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   summary.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-8s %10.3f %10.3f %10.3f\n",
+                core::RankerVariantName(variant),
+                summary->ntw_avg.precision, summary->ntw_avg.recall,
+                summary->ntw_avg.f1);
+  }
+  return 0;
+}

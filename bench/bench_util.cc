@@ -1,0 +1,56 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+
+namespace ntw::bench {
+namespace {
+
+size_t DealerSiteCount() {
+  const char* env = std::getenv("NTW_BENCH_SITES");
+  if (env != nullptr) {
+    long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return 330;  // The paper's DEALERS size.
+}
+
+}  // namespace
+
+datasets::Dataset StandardDealers() {
+  datasets::DealersConfig config;
+  config.num_sites = DealerSiteCount();
+  return datasets::MakeDealers(config);
+}
+
+datasets::Dataset StandardDisc() {
+  return datasets::MakeDisc(datasets::DiscConfig{});
+}
+
+datasets::Dataset StandardProducts() {
+  return datasets::MakeProducts(datasets::ProductsConfig{});
+}
+
+void PrintHeader(const std::string& experiment, const std::string& paper_ref,
+                 const std::string& expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("reproduces : %s\n", paper_ref.c_str());
+  std::printf("expected   : %s\n", expectation.c_str());
+  std::printf("==============================================================\n");
+}
+
+void PrintAccuracyBlock(const datasets::RunSummary& summary) {
+  std::printf("annotator quality : precision=%.3f recall=%.3f\n",
+              summary.annotator.precision, summary.annotator.recall);
+  std::printf("sites evaluated   : %zu (skipped %zu with no annotations)\n",
+              summary.sites.size(), summary.skipped_sites);
+  std::printf("%-8s %10s %10s %10s\n", "", "Precision", "Recall", "F1");
+  std::printf("%-8s %10.3f %10.3f %10.3f\n", "NTW",
+              summary.ntw_avg.precision, summary.ntw_avg.recall,
+              summary.ntw_avg.f1);
+  std::printf("%-8s %10.3f %10.3f %10.3f\n", "NAIVE",
+              summary.naive_avg.precision, summary.naive_avg.recall,
+              summary.naive_avg.f1);
+}
+
+}  // namespace ntw::bench

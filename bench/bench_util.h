@@ -1,0 +1,31 @@
+#ifndef NTW_BENCH_BENCH_UTIL_H_
+#define NTW_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "datasets/dealers.h"
+#include "datasets/disc.h"
+#include "datasets/products.h"
+#include "datasets/runner.h"
+
+namespace ntw::bench {
+
+/// Standard dataset instances for the reproduction benches. Sizes follow
+/// the paper (330 dealer sites, 15 discography sites, 10 shopping sites);
+/// NTW_BENCH_SITES overrides the dealer-site count for quick runs.
+datasets::Dataset StandardDealers();
+datasets::Dataset StandardDisc();
+datasets::Dataset StandardProducts();
+
+/// Prints the experiment header used by every bench binary.
+void PrintHeader(const std::string& experiment, const std::string& paper_ref,
+                 const std::string& expectation);
+
+/// Prints a paper-style NTW/NAIVE comparison block (the bar triplets of
+/// Fig. 2(d-g) / Fig. 3(c)).
+void PrintAccuracyBlock(const datasets::RunSummary& summary);
+
+}  // namespace ntw::bench
+
+#endif  // NTW_BENCH_BENCH_UTIL_H_

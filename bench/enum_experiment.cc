@@ -1,0 +1,94 @@
+#include "enum_experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/stopwatch.h"
+
+namespace ntw::bench {
+
+std::vector<EnumRow> RunEnumExperiment(
+    const datasets::Dataset& dataset, const std::string& type,
+    const core::FeatureBasedInductor& inductor, size_t naive_label_cap) {
+  std::vector<EnumRow> rows;
+  for (const datasets::SiteData& data : dataset.sites) {
+    auto labels_it = data.annotations.find(type);
+    if (labels_it == data.annotations.end() || labels_it->second.empty()) {
+      continue;
+    }
+    const core::NodeSet& labels = labels_it->second;
+
+    EnumRow row;
+    row.site = data.site.name;
+    row.labels = labels.size();
+
+    Stopwatch top_down_watch;
+    core::WrapperSpace top_down =
+        core::EnumerateTopDown(inductor, data.site.pages, labels);
+    row.top_down_seconds = top_down_watch.ElapsedSeconds();
+    row.top_down_calls = top_down.inductor_calls;
+    row.space = top_down.size();
+
+    Stopwatch bottom_up_watch;
+    core::WrapperSpace bottom_up =
+        core::EnumerateBottomUp(inductor, data.site.pages, labels);
+    row.bottom_up_seconds = bottom_up_watch.ElapsedSeconds();
+    row.bottom_up_calls = bottom_up.inductor_calls;
+
+    row.naive_calls = std::pow(2.0, static_cast<double>(labels.size())) - 1;
+    if (labels.size() <= naive_label_cap) {
+      Result<core::WrapperSpace> naive = core::EnumerateNaive(
+          inductor, data.site.pages, labels, naive_label_cap);
+      row.naive_ran = naive.ok();
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const EnumRow& a, const EnumRow& b) {
+    return a.top_down_calls < b.top_down_calls;
+  });
+  return rows;
+}
+
+void PrintCallCounts(const std::vector<EnumRow>& rows) {
+  std::printf("%-34s %4s %6s %9s %9s %14s\n", "website (sorted by TopDown)",
+              "|L|", "|W|", "TopDown", "BottomUp", "Naive(=2^|L|-1)");
+  int64_t td_total = 0, bu_total = 0;
+  double naive_total = 0;
+  for (const EnumRow& row : rows) {
+    std::printf("%-34.34s %4zu %6zu %9lld %9lld %14.3g%s\n",
+                row.site.c_str(), row.labels, row.space,
+                static_cast<long long>(row.top_down_calls),
+                static_cast<long long>(row.bottom_up_calls),
+                row.naive_calls, row.naive_ran ? "" : " (not run)");
+    td_total += row.top_down_calls;
+    bu_total += row.bottom_up_calls;
+    naive_total += row.naive_calls;
+  }
+  std::printf("%-34s %4s %6s %9lld %9lld %14.3g\n", "TOTAL", "", "",
+              static_cast<long long>(td_total),
+              static_cast<long long>(bu_total), naive_total);
+  if (td_total > 0) {
+    std::printf("BottomUp/TopDown call ratio: %.1fx; "
+                "Naive/TopDown: %.3gx\n",
+                static_cast<double>(bu_total) / static_cast<double>(td_total),
+                naive_total / static_cast<double>(td_total));
+  }
+}
+
+void PrintTimes(const std::vector<EnumRow>& rows) {
+  std::printf("%-34s %4s %12s %12s\n", "website (sorted by TopDown)", "|L|",
+              "TopDown(s)", "BottomUp(s)");
+  double td_total = 0, bu_total = 0;
+  for (const EnumRow& row : rows) {
+    std::printf("%-34.34s %4zu %12.6f %12.6f\n", row.site.c_str(),
+                row.labels, row.top_down_seconds, row.bottom_up_seconds);
+    td_total += row.top_down_seconds;
+    bu_total += row.bottom_up_seconds;
+  }
+  std::printf("%-34s %4s %12.6f %12.6f  (BottomUp/TopDown = %.1fx)\n",
+              "TOTAL", "", td_total, bu_total,
+              td_total > 0 ? bu_total / td_total : 0.0);
+}
+
+}  // namespace ntw::bench

@@ -1,0 +1,38 @@
+#ifndef NTW_BENCH_ENUM_EXPERIMENT_H_
+#define NTW_BENCH_ENUM_EXPERIMENT_H_
+
+#include "core/enumerate.h"
+#include "datasets/dataset.h"
+
+namespace ntw::bench {
+
+/// Per-site measurements for the enumeration experiments (Fig. 2(a-c)).
+struct EnumRow {
+  std::string site;
+  size_t labels = 0;
+  size_t space = 0;
+  int64_t top_down_calls = 0;
+  int64_t bottom_up_calls = 0;
+  double naive_calls = 0;  // 2^|L| − 1, analytic (the paper stops plotting
+                           // it when it explodes); run for small |L|.
+  bool naive_ran = false;
+  double top_down_seconds = 0;
+  double bottom_up_seconds = 0;
+};
+
+/// Runs TopDown, BottomUp and (for small label sets) Naive enumeration on
+/// every annotated site; rows are sorted by TopDown call count like the
+/// paper's x-axis ("websites arranged in increasing order of TopDown").
+std::vector<EnumRow> RunEnumExperiment(
+    const datasets::Dataset& dataset, const std::string& type,
+    const core::FeatureBasedInductor& inductor, size_t naive_label_cap);
+
+/// Prints the call-count table (Fig. 2(a,b)).
+void PrintCallCounts(const std::vector<EnumRow>& rows);
+
+/// Prints the wall-clock table (Fig. 2(c)).
+void PrintTimes(const std::vector<EnumRow>& rows);
+
+}  // namespace ntw::bench
+
+#endif  // NTW_BENCH_ENUM_EXPERIMENT_H_

@@ -1,0 +1,79 @@
+#include "multitype_experiment.h"
+
+#include "core/multi_type.h"
+#include "core/ntw.h"
+#include "core/xpath_inductor.h"
+
+namespace ntw::bench {
+
+Result<MultiTypeResults> RunMultiTypeExperiment(
+    const datasets::Dataset& dealers) {
+  datasets::Split split = datasets::MakeSplit(dealers);
+  NTW_ASSIGN_OR_RETURN(datasets::TrainedModels name_models,
+                       datasets::LearnModels(dealers, "name", split.train));
+  NTW_ASSIGN_OR_RETURN(datasets::TrainedModels zip_models,
+                       datasets::LearnModels(dealers, "zip", split.train));
+
+  core::XPathInductor inductor;
+  core::Ranker name_ranker(name_models.annotation, name_models.publication);
+  core::Ranker zip_ranker(zip_models.annotation, zip_models.publication);
+
+  std::vector<core::Prf> ntw_name, ntw_zip, naive_name, naive_zip,
+      single_name, single_zip;
+
+  for (size_t index : split.test) {
+    const datasets::SiteData& data = dealers.sites[index];
+    const core::NodeSet& name_labels = data.annotations.at("name");
+    const core::NodeSet& zip_labels = data.annotations.at("zip");
+    if (name_labels.empty() || zip_labels.empty()) continue;
+    const core::NodeSet& name_truth = data.site.truth.at("name");
+    const core::NodeSet& zip_truth = data.site.truth.at("zip");
+
+    core::MultiTypeLabels labels;
+    labels.type_names = {"name", "zip"};
+    labels.labels = {name_labels, zip_labels};
+    std::vector<core::AnnotationModel> annotators = {
+        name_models.annotation, zip_models.annotation};
+
+    Result<core::MultiTypeOutcome> ntw = core::LearnMultiTypeNtw(
+        inductor, data.site.pages, labels, annotators,
+        name_models.publication);
+    ntw_name.push_back(core::Evaluate(
+        ntw.ok() ? ntw->records.TypeNodes(0) : core::NodeSet(), name_truth));
+    ntw_zip.push_back(core::Evaluate(
+        ntw.ok() ? ntw->records.TypeNodes(1) : core::NodeSet(), zip_truth));
+
+    Result<core::MultiTypeOutcome> naive =
+        core::LearnMultiTypeNaive(inductor, data.site.pages, labels);
+    naive_name.push_back(core::Evaluate(
+        naive.ok() ? naive->records.TypeNodes(0) : core::NodeSet(),
+        name_truth));
+    naive_zip.push_back(core::Evaluate(
+        naive.ok() ? naive->records.TypeNodes(1) : core::NodeSet(),
+        zip_truth));
+
+    // Single-type baselines (Fig. 3(b)).
+    Result<core::NtwOutcome> single_n = core::LearnNoiseTolerant(
+        inductor, data.site.pages, name_labels, name_ranker);
+    single_name.push_back(core::Evaluate(
+        single_n.ok() ? single_n->best.extraction : core::NodeSet(),
+        name_truth));
+    Result<core::NtwOutcome> single_z = core::LearnNoiseTolerant(
+        inductor, data.site.pages, zip_labels, zip_ranker);
+    single_zip.push_back(core::Evaluate(
+        single_z.ok() ? single_z->best.extraction : core::NodeSet(),
+        zip_truth));
+  }
+
+  MultiTypeResults results;
+  results.ntw_name = core::MacroAverage(ntw_name);
+  results.ntw_zip = core::MacroAverage(ntw_zip);
+  results.naive_name = core::MacroAverage(naive_name);
+  results.naive_zip = core::MacroAverage(naive_zip);
+  results.single_name = core::MacroAverage(single_name);
+  results.single_zip = core::MacroAverage(single_zip);
+  results.sites = ntw_name.size();
+  return results;
+}
+
+}  // namespace ntw::bench

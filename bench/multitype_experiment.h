@@ -1,0 +1,26 @@
+#ifndef NTW_BENCH_MULTITYPE_EXPERIMENT_H_
+#define NTW_BENCH_MULTITYPE_EXPERIMENT_H_
+
+#include "core/metrics.h"
+#include "datasets/dataset.h"
+
+namespace ntw::bench {
+
+/// Aggregated results of the Appendix A experiment on DEALERS.
+struct MultiTypeResults {
+  // Joint multi-type extraction, per type.
+  core::Prf ntw_name, ntw_zip;
+  core::Prf naive_name, naive_zip;
+  // Single-type extraction of the same types (for Fig. 3(b)).
+  core::Prf single_name, single_zip;
+  size_t sites = 0;
+};
+
+/// Runs multi-type NTW + NAIVE and single-type NTW for "name" and "zip"
+/// over the held-out half of the DEALERS dataset.
+Result<MultiTypeResults> RunMultiTypeExperiment(
+    const datasets::Dataset& dealers);
+
+}  // namespace ntw::bench
+
+#endif  // NTW_BENCH_MULTITYPE_EXPERIMENT_H_

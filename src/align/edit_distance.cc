@@ -1,0 +1,98 @@
+#include "align/edit_distance.h"
+
+namespace ntw::align {
+
+int EditDistance(const std::vector<int>& a, const std::vector<int>& b) {
+  const std::vector<int>& shorter = a.size() <= b.size() ? a : b;
+  const std::vector<int>& longer = a.size() <= b.size() ? b : a;
+  const size_t n = shorter.size();
+
+  std::vector<int> row(n + 1);
+  for (size_t j = 0; j <= n; ++j) row[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= longer.size(); ++i) {
+    int diag = row[0];
+    row[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= n; ++j) {
+      int next_diag = row[j];
+      int sub = diag + (longer[i - 1] == shorter[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      diag = next_diag;
+    }
+  }
+  return row[n];
+}
+
+int EditDistanceBounded(const std::vector<int>& a, const std::vector<int>& b,
+                        int bound) {
+  // Size difference alone is a lower bound on the distance.
+  int size_gap = static_cast<int>(
+      a.size() > b.size() ? a.size() - b.size() : b.size() - a.size());
+  if (size_gap >= bound) return bound;
+
+  const std::vector<int>& shorter = a.size() <= b.size() ? a : b;
+  const std::vector<int>& longer = a.size() <= b.size() ? b : a;
+  const size_t n = shorter.size();
+
+  std::vector<int> row(n + 1);
+  for (size_t j = 0; j <= n; ++j) row[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= longer.size(); ++i) {
+    int diag = row[0];
+    row[0] = static_cast<int>(i);
+    int row_min = row[0];
+    for (size_t j = 1; j <= n; ++j) {
+      int next_diag = row[j];
+      int sub = diag + (longer[i - 1] == shorter[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      row_min = std::min(row_min, row[j]);
+      diag = next_diag;
+    }
+    if (row_min >= bound) return bound;
+  }
+  return std::min(row[n], bound);
+}
+
+CommonSubstring LongestCommonSubstring(const std::vector<int>& a,
+                                       const std::vector<int>& b) {
+  CommonSubstring best;
+  if (a.empty() || b.empty()) return best;
+  // prev[j] = length of common suffix of a[..i) and b[..j).
+  std::vector<int> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  size_t best_end_a = 0;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+        if (cur[j] > best.length) {
+          best.length = cur[j];
+          best_end_a = i;
+        }
+      } else {
+        cur[j] = 0;
+      }
+    }
+    std::swap(prev, cur);
+  }
+  best.tokens.assign(
+      a.begin() + static_cast<long>(best_end_a) - best.length,
+      a.begin() + static_cast<long>(best_end_a));
+  return best;
+}
+
+int LongestCommonSubsequence(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  if (a.empty() || b.empty()) return 0;
+  std::vector<int> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace ntw::align

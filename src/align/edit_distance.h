@@ -1,0 +1,36 @@
+#ifndef NTW_ALIGN_EDIT_DISTANCE_H_
+#define NTW_ALIGN_EDIT_DISTANCE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ntw::align {
+
+/// Levenshtein distance (unit insert/delete/substitute costs) between two
+/// integer token sequences. O(|a|·|b|) time, O(min) space.
+int EditDistance(const std::vector<int>& a, const std::vector<int>& b);
+
+/// Levenshtein distance with early exit: returns `bound` when the true
+/// distance is >= bound. Used by the alignment feature where distances are
+/// capped before entering the KDE.
+int EditDistanceBounded(const std::vector<int>& a, const std::vector<int>& b,
+                        int bound);
+
+/// Length of the longest common (contiguous) substring of two token
+/// sequences, and a copy of one such substring.
+struct CommonSubstring {
+  int length = 0;
+  std::vector<int> tokens;
+};
+CommonSubstring LongestCommonSubstring(const std::vector<int>& a,
+                                       const std::vector<int>& b);
+
+/// Length of the longest common subsequence (non-contiguous); used by
+/// tests as an independent alignment oracle.
+int LongestCommonSubsequence(const std::vector<int>& a,
+                             const std::vector<int>& b);
+
+}  // namespace ntw::align
+
+#endif  // NTW_ALIGN_EDIT_DISTANCE_H_

@@ -1,0 +1,27 @@
+#ifndef NTW_ANNOTATE_ANNOTATOR_H_
+#define NTW_ANNOTATE_ANNOTATOR_H_
+
+#include <string>
+
+#include "core/label.h"
+
+namespace ntw::annotate {
+
+/// An automatic annotator (Sec. 2.1): inspects every text node of a page
+/// set and labels a subset as (probably) being of its type. Annotators are
+/// deterministic functions of page content; the stochastic annotator of
+/// Sec. 7.4 has its own interface (synthetic_annotator.h) because it needs
+/// the ground truth and a random stream.
+class Annotator {
+ public:
+  virtual ~Annotator() = default;
+
+  /// Labels text nodes of `pages`.
+  virtual core::NodeSet Annotate(const core::PageSet& pages) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace ntw::annotate
+
+#endif  // NTW_ANNOTATE_ANNOTATOR_H_

@@ -1,0 +1,52 @@
+#include "annotate/dictionary_annotator.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace ntw::annotate {
+
+DictionaryAnnotator::DictionaryAnnotator(std::vector<std::string> entries,
+                                         Options options)
+    : options_(options) {
+  entries_.reserve(entries.size());
+  for (std::string& entry : entries) {
+    if (entry.size() >= options_.min_entry_length) {
+      entries_.push_back(std::move(entry));
+    }
+  }
+  // Longest first: cheap way to prefer the most specific mention; also
+  // makes Matches() deterministic in its scan order.
+  std::sort(entries_.begin(), entries_.end(),
+            [](const std::string& a, const std::string& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+}
+
+bool DictionaryAnnotator::Matches(const std::string& text) const {
+  for (const std::string& entry : entries_) {
+    if (entry.size() > text.size()) continue;
+    if (ContainsWordIgnoreCase(text, entry)) return true;
+  }
+  return false;
+}
+
+core::NodeSet DictionaryAnnotator::Annotate(
+    const core::PageSet& pages) const {
+  std::vector<core::NodeRef> refs;
+  size_t page_limit = options_.max_pages == 0
+                          ? pages.size()
+                          : std::min(options_.max_pages, pages.size());
+  for (size_t p = 0; p < page_limit; ++p) {
+    for (const html::Node* node : pages.page(p).text_nodes()) {
+      if (Matches(node->text())) {
+        refs.push_back(
+            core::NodeRef{static_cast<int>(p), node->preorder_index()});
+      }
+    }
+  }
+  return core::NodeSet(std::move(refs));
+}
+
+}  // namespace ntw::annotate

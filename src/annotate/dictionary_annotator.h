@@ -1,0 +1,49 @@
+#ifndef NTW_ANNOTATE_DICTIONARY_ANNOTATOR_H_
+#define NTW_ANNOTATE_DICTIONARY_ANNOTATOR_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "annotate/annotator.h"
+
+namespace ntw::annotate {
+
+/// Dictionary-based annotator (Sec. 1/7): labels a text node when it
+/// contains an exact mention of a dictionary entry. Matching is
+/// case-insensitive with word boundaries ("Office Depot" matches inside
+/// "An Office Depot store" but not inside "OfficeDepotify"), mirroring the
+/// Yahoo! Local business-name annotator whose errors "stem from business
+/// names matching street addresses and product descriptions".
+struct DictionaryAnnotatorOptions {
+  /// When non-zero, only the first `max_pages` pages are annotated (the
+  /// paper annotates a bounded sample per site); 0 = all pages.
+  size_t max_pages = 0;
+  /// Minimum entry length considered; guards against one-word entries
+  /// matching everything.
+  size_t min_entry_length = 3;
+};
+
+class DictionaryAnnotator : public Annotator {
+ public:
+  using Options = DictionaryAnnotatorOptions;
+
+  DictionaryAnnotator(std::vector<std::string> entries,
+                      Options options = Options());
+
+  core::NodeSet Annotate(const core::PageSet& pages) const override;
+  std::string Name() const override { return "dictionary"; }
+
+  size_t size() const { return entries_.size(); }
+
+  /// True when `text` contains an exact mention of some entry.
+  bool Matches(const std::string& text) const;
+
+ private:
+  std::vector<std::string> entries_;
+  Options options_;
+};
+
+}  // namespace ntw::annotate
+
+#endif  // NTW_ANNOTATE_DICTIONARY_ANNOTATOR_H_

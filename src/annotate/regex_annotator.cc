@@ -1,0 +1,32 @@
+#include "annotate/regex_annotator.h"
+
+#include <cassert>
+
+namespace ntw::annotate {
+
+Result<RegexAnnotator> RegexAnnotator::Create(std::string name,
+                                              std::string_view pattern) {
+  NTW_ASSIGN_OR_RETURN(regex::Regex re, regex::Regex::Compile(pattern));
+  return RegexAnnotator(std::move(name), std::move(re));
+}
+
+RegexAnnotator RegexAnnotator::Zipcode() {
+  Result<RegexAnnotator> annotator = Create("zipcode", R"(\b\d{5}\b)");
+  assert(annotator.ok());
+  return std::move(annotator).value();
+}
+
+core::NodeSet RegexAnnotator::Annotate(const core::PageSet& pages) const {
+  std::vector<core::NodeRef> refs;
+  for (size_t p = 0; p < pages.size(); ++p) {
+    for (const html::Node* node : pages.page(p).text_nodes()) {
+      if (regex_.PartialMatch(node->text())) {
+        refs.push_back(
+            core::NodeRef{static_cast<int>(p), node->preorder_index()});
+      }
+    }
+  }
+  return core::NodeSet(std::move(refs));
+}
+
+}  // namespace ntw::annotate

@@ -1,0 +1,38 @@
+#ifndef NTW_ANNOTATE_REGEX_ANNOTATOR_H_
+#define NTW_ANNOTATE_REGEX_ANNOTATOR_H_
+
+#include <string>
+
+#include "annotate/annotator.h"
+#include "common/result.h"
+#include "regex/regex.h"
+
+namespace ntw::annotate {
+
+/// Regex-based annotator: labels a text node when the pattern matches
+/// somewhere inside it. The canonical instance is the five-digit US
+/// zipcode annotator of Appendix A, whose noise comes from "five-digit
+/// street addresses, as well as text from page headers/footers".
+class RegexAnnotator : public Annotator {
+ public:
+  /// Compiles the pattern; fails on malformed syntax.
+  static Result<RegexAnnotator> Create(std::string name,
+                                       std::string_view pattern);
+
+  /// The Appendix A zipcode annotator: \b\d{5}\b.
+  static RegexAnnotator Zipcode();
+
+  core::NodeSet Annotate(const core::PageSet& pages) const override;
+  std::string Name() const override { return name_; }
+
+ private:
+  RegexAnnotator(std::string name, regex::Regex re)
+      : name_(std::move(name)), regex_(std::move(re)) {}
+
+  std::string name_;
+  regex::Regex regex_;
+};
+
+}  // namespace ntw::annotate
+
+#endif  // NTW_ANNOTATE_REGEX_ANNOTATOR_H_

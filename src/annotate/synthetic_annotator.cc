@@ -1,0 +1,29 @@
+#include "annotate/synthetic_annotator.h"
+
+#include <algorithm>
+
+namespace ntw::annotate {
+
+core::NodeSet SyntheticAnnotator::Annotate(const core::PageSet& pages,
+                                           const core::NodeSet& truth,
+                                           Rng* rng) const {
+  std::vector<core::NodeRef> refs;
+  for (size_t p = 0; p < pages.size(); ++p) {
+    for (const html::Node* node : pages.page(p).text_nodes()) {
+      core::NodeRef ref{static_cast<int>(p), node->preorder_index()};
+      double probability = truth.Contains(ref) ? p1_ : p2_;
+      if (rng->NextBernoulli(probability)) refs.push_back(ref);
+    }
+  }
+  return core::NodeSet(std::move(refs));
+}
+
+double SyntheticAnnotator::SolveP2(double p1, double target_precision,
+                                   size_t n1, size_t n2) {
+  if (n2 == 0 || target_precision >= 1.0) return 0.0;
+  double p2 = static_cast<double>(n1) * p1 * (1.0 - target_precision) /
+              (target_precision * static_cast<double>(n2));
+  return std::clamp(p2, 0.0, 1.0);
+}
+
+}  // namespace ntw::annotate

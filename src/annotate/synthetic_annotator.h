@@ -1,0 +1,38 @@
+#ifndef NTW_ANNOTATE_SYNTHETIC_ANNOTATOR_H_
+#define NTW_ANNOTATE_SYNTHETIC_ANNOTATOR_H_
+
+#include "common/rng.h"
+#include "core/label.h"
+
+namespace ntw::annotate {
+
+/// The controlled annotator of Sec. 7.4: given the set of correct nodes,
+/// it labels each correct node with probability p1 and each incorrect
+/// (non-target text) node with probability p2. Expected recall is p1;
+/// expected precision is n1·p1 / (n1·p1 + n2·p2) where n1/n2 are the
+/// correct/incorrect node counts — so any (precision, recall) operating
+/// point is reachable by choosing (p1, p2).
+class SyntheticAnnotator {
+ public:
+  SyntheticAnnotator(double p1, double p2) : p1_(p1), p2_(p2) {}
+
+  /// Draws one noisy label set. `truth` must index text nodes of `pages`.
+  core::NodeSet Annotate(const core::PageSet& pages,
+                         const core::NodeSet& truth, Rng* rng) const;
+
+  /// Solves for p2 from a desired expected precision given the counts:
+  /// precision = n1·p1/(n1·p1 + n2·p2)  ⇒  p2 = n1·p1·(1−prec)/(prec·n2).
+  static double SolveP2(double p1, double target_precision, size_t n1,
+                        size_t n2);
+
+  double p1() const { return p1_; }
+  double p2() const { return p2_; }
+
+ private:
+  double p1_;
+  double p2_;
+};
+
+}  // namespace ntw::annotate
+
+#endif  // NTW_ANNOTATE_SYNTHETIC_ANNOTATOR_H_

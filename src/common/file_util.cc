@@ -1,0 +1,88 @@
+#include "common/file_util.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace ntw {
+
+namespace fs = std::filesystem;
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, got);
+  }
+  bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    return Status::Internal("read error on " + path);
+  }
+  return contents;
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot create " + path + ": " +
+                            std::strerror(errno));
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  bool failed = written != contents.size() || std::fclose(file) != 0;
+  if (failed) {
+    return Status::Internal("write error on " + path);
+  }
+  return Status::OK();
+}
+
+Status MakeDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec && !fs::is_directory(path)) {
+    return Status::Internal("cannot create directory " + path + ": " +
+                            ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListFiles(const std::string& directory,
+                                           const std::string& suffix) {
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    return Status::NotFound(directory + " is not a directory");
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (!suffix.empty()) {
+      if (name.size() < suffix.size() ||
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+              0) {
+        continue;
+      }
+    }
+    files.push_back(entry.path().string());
+  }
+  if (ec) {
+    return Status::Internal("cannot list " + directory + ": " + ec.message());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::is_regular_file(path, ec);
+}
+
+}  // namespace ntw

@@ -1,0 +1,31 @@
+#ifndef NTW_COMMON_FILE_UTIL_H_
+#define NTW_COMMON_FILE_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ntw {
+
+/// Reads a whole file into memory; NotFound/Internal on failure.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes (truncating) a whole file; Internal on failure.
+Status WriteFile(const std::string& path, const std::string& contents);
+
+/// Creates a directory (and parents); ok when it already exists.
+Status MakeDirs(const std::string& path);
+
+/// Lists regular files in a directory whose names end with `suffix`
+/// (empty = all), sorted lexicographically. NotFound when the directory
+/// does not exist.
+Result<std::vector<std::string>> ListFiles(const std::string& directory,
+                                           const std::string& suffix = "");
+
+/// True when the path names an existing regular file.
+bool FileExists(const std::string& path);
+
+}  // namespace ntw
+
+#endif  // NTW_COMMON_FILE_UTIL_H_

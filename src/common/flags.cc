@@ -1,0 +1,92 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace ntw {
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (flags_done || arg.size() < 2 || arg.compare(0, 2, "--") != 0) {
+      flags.positional_.push_back(std::move(arg));
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      std::string name = body.substr(0, eq);
+      if (name.empty()) {
+        return Status::ParseError("malformed flag '" + arg + "'");
+      }
+      flags.values_[name] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not a flag; else boolean.
+    if (i + 1 < argc) {
+      std::string next = argv[i + 1];
+      if (next.size() < 2 || next.compare(0, 2, "--") != 0) {
+        flags.values_[body] = next;
+        ++i;
+        continue;
+      }
+    }
+    flags.values_[body] = "";
+  }
+  return flags;
+}
+
+std::string Flags::Get(const std::string& name,
+                       const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Result<int64_t> Flags::GetInt(const std::string& name,
+                              int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || it->second.empty()) {
+    return Status::OutOfRange("--" + name + " expects an integer, got '" +
+                              it->second + "'");
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+Result<double> Flags::GetDouble(const std::string& name,
+                                double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0' || it->second.empty()) {
+    return Status::OutOfRange("--" + name + " expects a number, got '" +
+                              it->second + "'");
+  }
+  return parsed;
+}
+
+std::vector<std::string> Flags::UnknownFlags(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    bool found = false;
+    for (const std::string& candidate : known) {
+      if (name == candidate) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace ntw

@@ -1,0 +1,45 @@
+#ifndef NTW_COMMON_FLAGS_H_
+#define NTW_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ntw {
+
+/// Minimal command-line parser for the tools: `--name=value`,
+/// `--name value` and boolean `--name` forms, everything else positional.
+/// `--` ends flag parsing. Unknown flags are kept (callers validate).
+class Flags {
+ public:
+  /// Parses argv; ParseError on malformed input (e.g. "--=x").
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// Flag value, or `fallback` when absent. Boolean flags have value "".
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const;
+
+  /// Integer-valued flag; `fallback` when absent, OutOfRange on garbage.
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+
+  /// Double-valued flag; `fallback` when absent, OutOfRange on garbage.
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of flags not in `known` (for strict validation).
+  std::vector<std::string> UnknownFlags(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ntw
+
+#endif  // NTW_COMMON_FLAGS_H_

@@ -1,0 +1,74 @@
+#ifndef NTW_COMMON_RESULT_H_
+#define NTW_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace ntw {
+
+/// Result<T> holds either a value of type T or a non-OK Status — the
+/// StatusOr/arrow::Result idiom. Construction from a value or a Status is
+/// implicit so `return MakeThing();` and `return Status::ParseError(...);`
+/// both work inside a function returning Result<T>.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional, see above.
+  Result(T value) : repr_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result<T> must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure status; OK() when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Value accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating failure; on success binds the
+/// value to `lhs`. Use inside functions returning Status or Result<U>.
+#define NTW_ASSIGN_OR_RETURN(lhs, expr)            \
+  NTW_ASSIGN_OR_RETURN_IMPL_(                      \
+      NTW_RESULT_CONCAT_(_ntw_result, __LINE__), lhs, expr)
+
+#define NTW_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define NTW_RESULT_CONCAT_INNER_(a, b) a##b
+#define NTW_RESULT_CONCAT_(a, b) NTW_RESULT_CONCAT_INNER_(a, b)
+
+}  // namespace ntw
+
+#endif  // NTW_COMMON_RESULT_H_

@@ -1,0 +1,78 @@
+#ifndef NTW_COMMON_STATUS_H_
+#define NTW_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace ntw {
+
+/// Error category for a failed operation. Mirrors the small set of failure
+/// modes the library can actually produce; extend conservatively.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kParseError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns the canonical spelling of a status code, e.g. "ParseError".
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight Status object in the RocksDB/Arrow idiom. Fallible library
+/// operations return a `Status` (or a `Result<T>`, see result.h) instead of
+/// throwing: the public API boundary is exception-free.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller. Use inside functions that
+/// themselves return Status.
+#define NTW_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::ntw::Status _ntw_status = (expr);            \
+    if (!_ntw_status.ok()) return _ntw_status;     \
+  } while (false)
+
+}  // namespace ntw
+
+#endif  // NTW_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef NTW_COMMON_STOPWATCH_H_
+#define NTW_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ntw {
+
+/// Monotonic wall-clock stopwatch used by the enumeration-time experiments
+/// (Fig. 2(c)).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ntw
+
+#endif  // NTW_COMMON_STOPWATCH_H_

@@ -1,0 +1,65 @@
+#ifndef NTW_COMMON_STRINGS_H_
+#define NTW_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ntw {
+
+/// ASCII-only helpers; the generated corpora are ASCII so full Unicode
+/// casefolding is unnecessary.
+char AsciiToLower(char c);
+char AsciiToUpper(char c);
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+bool IsAsciiSpace(char c);
+bool IsAsciiDigit(char c);
+bool IsAsciiAlpha(char c);
+bool IsAsciiAlnum(char c);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Collapses runs of whitespace to a single space and trims the ends.
+/// Used to normalise DOM text for annotation matching.
+std::string CollapseWhitespace(std::string_view s);
+
+/// Splits on a single character; no empty-segment suppression.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace; empty segments are suppressed.
+std::vector<std::string> SplitWords(std::string_view s);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// True when `needle` appears in `haystack` delimited by non-alphanumeric
+/// characters (or string boundaries) on both sides, case-insensitively.
+/// This is the "exact mention" test the dictionary annotators use.
+bool ContainsWordIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Escapes the five standard HTML metacharacters.
+std::string HtmlEscape(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// C-style escaping: backslash, tab, newline, CR and non-printable bytes
+/// become \\, \t, \n, \r, \xHH. The result is single-line and
+/// tab-separable — used by the wrapper/corpus serialization formats.
+std::string CEscape(std::string_view s);
+
+/// Inverse of CEscape; fails on malformed escapes.
+Result<std::string> CUnescape(std::string_view s);
+
+}  // namespace ntw
+
+#endif  // NTW_COMMON_STRINGS_H_

@@ -1,0 +1,57 @@
+#include "core/annotation_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ntw::core {
+namespace {
+
+constexpr double kEps = 1e-4;
+
+}  // namespace
+
+AnnotationModel::AnnotationModel(double p, double r)
+    : p_(std::clamp(p, kEps, 1.0 - kEps)),
+      r_(std::clamp(r, kEps, 1.0 - kEps)) {}
+
+double AnnotationModel::LogProb(const NodeSet& labels,
+                                const NodeSet& extraction) const {
+  double hit_weight = std::log(r_ / (1.0 - p_));
+  double miss_weight = std::log((1.0 - r_) / p_);
+  size_t hits = labels.IntersectSize(extraction);
+  size_t misses = extraction.size() - hits;  // |X \ L|.
+  return static_cast<double>(hits) * hit_weight +
+         static_cast<double>(misses) * miss_weight;
+}
+
+void AnnotationModel::Accumulator::Observe(const NodeSet& labels,
+                                           const NodeSet& truth,
+                                           size_t universe_size) {
+  size_t hits = labels.IntersectSize(truth);
+  label_hits += hits;
+  truth_total += truth.size();
+  label_misses += labels.size() - hits;
+  non_truth_total += universe_size - truth.size();
+}
+
+Result<AnnotationModel> AnnotationModel::Accumulator::Finish() const {
+  if (truth_total == 0 || non_truth_total == 0) {
+    return Status::FailedPrecondition(
+        "annotation model estimation needs non-degenerate ground truth");
+  }
+  double r = static_cast<double>(label_hits) /
+             static_cast<double>(truth_total);
+  double p = 1.0 - static_cast<double>(label_misses) /
+                       static_cast<double>(non_truth_total);
+  return AnnotationModel(p, r);
+}
+
+Result<AnnotationModel> AnnotationModel::Estimate(const NodeSet& labels,
+                                                  const NodeSet& truth,
+                                                  size_t universe_size) {
+  Accumulator acc;
+  acc.Observe(labels, truth, universe_size);
+  return acc.Finish();
+}
+
+}  // namespace ntw::core

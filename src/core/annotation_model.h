@@ -1,0 +1,54 @@
+#ifndef NTW_CORE_ANNOTATION_MODEL_H_
+#define NTW_CORE_ANNOTATION_MODEL_H_
+
+#include "common/result.h"
+#include "core/label.h"
+
+namespace ntw::core {
+
+/// The annotation process model of Sec. 6: an annotator with parameters
+/// (p, r) labels each node of the correct list X independently with
+/// probability r, and each node outside X with probability 1 − p.
+/// Up to wrapper-independent factors (Eq. 4):
+///   P(L | X) ∝ (r/(1−p))^{|L∩X|} · ((1−r)/p)^{|X\L|}.
+class AnnotationModel {
+ public:
+  /// Parameters are clamped to (ε, 1−ε) so log terms stay finite.
+  AnnotationModel(double p, double r);
+
+  double p() const { return p_; }
+  double r() const { return r_; }
+
+  /// log P(L | X) up to an additive constant independent of X.
+  double LogProb(const NodeSet& labels, const NodeSet& extraction) const;
+
+  /// Estimates (p, r) from annotations against ground truth over a sample
+  /// of sites (Sec. 7: "the p and r of the annotators are learned from a
+  /// sample of half the websites"):
+  ///   r = |L ∩ X| / |X|          (hit rate on true nodes)
+  ///   p = 1 − |L \ X| / |A|      (A = nodes outside X)
+  /// `universe_size` is the total number of candidate nodes.
+  static Result<AnnotationModel> Estimate(const NodeSet& labels,
+                                          const NodeSet& truth,
+                                          size_t universe_size);
+
+  /// Pools estimates over several sites (sums the counts, then divides).
+  struct Accumulator {
+    size_t label_hits = 0;    // |L ∩ X| summed.
+    size_t truth_total = 0;   // |X| summed.
+    size_t label_misses = 0;  // |L \ X| summed.
+    size_t non_truth_total = 0;  // |A| summed.
+
+    void Observe(const NodeSet& labels, const NodeSet& truth,
+                 size_t universe_size);
+    Result<AnnotationModel> Finish() const;
+  };
+
+ private:
+  double p_;
+  double r_;
+};
+
+}  // namespace ntw::core
+
+#endif  // NTW_CORE_ANNOTATION_MODEL_H_

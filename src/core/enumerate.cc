@@ -1,0 +1,185 @@
+#include "core/enumerate.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ntw::core {
+namespace {
+
+/// Deduplicates candidates by extraction output. Two wrappers are the same
+/// element of W(L) iff they extract the same node set (Sec. 6: a wrapper's
+/// identity is its output).
+class CandidateCollector {
+ public:
+  void Add(Induction induction, const NodeSet& trained_on) {
+    if (induction.extraction.empty()) return;  // φ(∅)-like results.
+    uint64_t fp = induction.extraction.Fingerprint();
+    auto [it, inserted] = by_fingerprint_.emplace(fp, candidates_.size());
+    if (!inserted) {
+      // Fingerprint collision check: compare actual sets.
+      if (candidates_[it->second].extraction == induction.extraction) return;
+      // Genuine collision (vanishingly rare): fall through and keep both.
+    }
+    Candidate c;
+    c.wrapper = std::move(induction.wrapper);
+    c.extraction = std::move(induction.extraction);
+    c.trained_on = trained_on;
+    candidates_.push_back(std::move(c));
+  }
+
+  std::vector<Candidate> Take() { return std::move(candidates_); }
+
+ private:
+  std::unordered_map<uint64_t, size_t> by_fingerprint_;
+  std::vector<Candidate> candidates_;
+};
+
+}  // namespace
+
+Result<WrapperSpace> EnumerateNaive(const WrapperInductor& inductor,
+                                    const PageSet& pages,
+                                    const NodeSet& labels, size_t max_labels) {
+  if (labels.size() > max_labels) {
+    return Status::InvalidArgument(
+        "naive enumeration over " + std::to_string(labels.size()) +
+        " labels would need 2^" + std::to_string(labels.size()) + " calls");
+  }
+  WrapperSpace space;
+  CandidateCollector collector;
+  const auto& refs = labels.refs();
+  uint64_t subset_count = 1ULL << labels.size();
+  for (uint64_t mask = 1; mask < subset_count; ++mask) {
+    std::vector<NodeRef> subset;
+    for (size_t i = 0; i < refs.size(); ++i) {
+      if (mask & (1ULL << i)) subset.push_back(refs[i]);
+    }
+    NodeSet subset_set(std::move(subset));
+    collector.Add(inductor.Induce(pages, subset_set), subset_set);
+    ++space.inductor_calls;
+  }
+  space.candidates = collector.Take();
+  return space;
+}
+
+WrapperSpace EnumerateBottomUp(const WrapperInductor& inductor,
+                               const PageSet& pages, const NodeSet& labels) {
+  WrapperSpace space;
+  CandidateCollector collector;
+
+  // Z holds closed subsets of L pending expansion, smallest first
+  // (Algorithm 1 step 4). Sets are identified by their sorted ref vector.
+  struct SizeOrder {
+    bool operator()(const NodeSet& a, const NodeSet& b) const {
+      if (a.size() != b.size()) return a.size() < b.size();
+      return std::lexicographical_compare(
+          a.refs().begin(), a.refs().end(), b.refs().begin(), b.refs().end(),
+          [](const NodeRef& x, const NodeRef& y) { return x < y; });
+    }
+  };
+  std::set<NodeSet, SizeOrder> z;
+  std::set<NodeSet, SizeOrder> ever_queued;  // Never expand a set twice.
+
+  z.insert(NodeSet());
+  ever_queued.insert(NodeSet());
+
+  while (!z.empty()) {
+    NodeSet s = *z.begin();  // Smallest set (step 4).
+    z.erase(z.begin());
+
+    for (const NodeRef& label : labels) {
+      if (s.Contains(label)) continue;
+      NodeSet expanded = s;
+      expanded.Insert(label);
+
+      Induction induction = inductor.Induce(pages, expanded);  // Step 7.
+      ++space.inductor_calls;
+      NodeSet closure = induction.extraction.Intersect(labels);  // Step 8.
+      collector.Add(std::move(induction), expanded);             // Step 9.
+
+      if (!(closure == labels) && !ever_queued.count(closure)) {  // Step 10.
+        z.insert(closure);
+        ever_queued.insert(closure);
+      }
+    }
+  }
+
+  space.candidates = collector.Take();
+  return space;
+}
+
+WrapperSpace EnumerateTopDown(const FeatureBasedInductor& inductor,
+                              const PageSet& pages, const NodeSet& labels) {
+  WrapperSpace space;
+  if (labels.empty()) return space;
+
+  // Z starts as {L}; each attribute subdivides every set currently in Z
+  // (Algorithm 2). Sets created while processing attribute a are constant
+  // on a, so the per-attribute snapshot loop is sufficient.
+  std::vector<NodeSet> z = {labels};
+  std::unordered_set<uint64_t> seen = {labels.Fingerprint()};
+
+  std::vector<AttrHandle> attrs = inductor.Attributes(pages, labels);
+  for (AttrHandle attr : attrs) {
+    size_t snapshot_size = z.size();
+    for (size_t i = 0; i < snapshot_size; ++i) {
+      // Note: Subdivide may not be called on z[i] by reference while z
+      // grows; copy the set first.
+      NodeSet s = z[i];
+      for (NodeSet& group : inductor.Subdivide(pages, s, attr)) {
+        if (group.empty()) continue;
+        uint64_t fp = group.Fingerprint();
+        if (seen.insert(fp).second) {
+          z.push_back(std::move(group));
+        }
+      }
+    }
+  }
+
+  CandidateCollector collector;
+  for (const NodeSet& s : z) {
+    collector.Add(inductor.Induce(pages, s), s);
+    ++space.inductor_calls;
+  }
+  space.candidates = collector.Take();
+  return space;
+}
+
+const char* EnumAlgorithmName(EnumAlgorithm algo) {
+  switch (algo) {
+    case EnumAlgorithm::kBottomUp:
+      return "BottomUp";
+    case EnumAlgorithm::kTopDown:
+      return "TopDown";
+    case EnumAlgorithm::kNaive:
+      return "Naive";
+  }
+  return "Unknown";
+}
+
+Result<WrapperSpace> Enumerate(EnumAlgorithm algo,
+                               const WrapperInductor& inductor,
+                               const PageSet& pages, const NodeSet& labels) {
+  switch (algo) {
+    case EnumAlgorithm::kBottomUp:
+      return EnumerateBottomUp(inductor, pages, labels);
+    case EnumAlgorithm::kTopDown: {
+      const auto* feature_based =
+          dynamic_cast<const FeatureBasedInductor*>(&inductor);
+      if (feature_based == nullptr) {
+        return Status::FailedPrecondition(
+            "TopDown requires a feature-based inductor; " + inductor.Name() +
+            " is not one");
+      }
+      return EnumerateTopDown(*feature_based, pages, labels);
+    }
+    case EnumAlgorithm::kNaive:
+      return EnumerateNaive(inductor, pages, labels);
+  }
+  return Status::Internal("unknown enumeration algorithm");
+}
+
+}  // namespace ntw::core

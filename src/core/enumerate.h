@@ -1,0 +1,65 @@
+#ifndef NTW_CORE_ENUMERATE_H_
+#define NTW_CORE_ENUMERATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/wrapper.h"
+
+namespace ntw::core {
+
+/// One enumerated candidate: the wrapper, its extraction X on the training
+/// pages, and the label subset that produced it (for diagnostics).
+struct Candidate {
+  WrapperPtr wrapper;
+  NodeSet extraction;
+  NodeSet trained_on;
+};
+
+/// The wrapper space W(L) = {φ(L') : ∅ ≠ L' ⊆ L}, deduplicated by
+/// extraction output, plus instrumentation.
+struct WrapperSpace {
+  std::vector<Candidate> candidates;
+  int64_t inductor_calls = 0;
+
+  size_t size() const { return candidates.size(); }
+};
+
+/// Exhaustive baseline: calls φ on every non-empty subset of L (2^|L|−1
+/// calls). `max_labels` guards against blow-up; enumeration fails with
+/// InvalidArgument when |L| exceeds it.
+Result<WrapperSpace> EnumerateNaive(const WrapperInductor& inductor,
+                                    const PageSet& pages, const NodeSet& labels,
+                                    size_t max_labels = 20);
+
+/// Algorithm 1 (BottomUp): blackbox enumeration for well-behaved inductors.
+/// Expands closed label subsets φ̆(s) = φ(s) ∩ L smallest-first; makes at
+/// most k·|L| inductor calls where k = |W(L)| (Theorem 2).
+WrapperSpace EnumerateBottomUp(const WrapperInductor& inductor,
+                               const PageSet& pages, const NodeSet& labels);
+
+/// Algorithm 2 (TopDown): enumeration for feature-based inductors via
+/// repeated subdivision; makes exactly k inductor calls (Theorem 3).
+WrapperSpace EnumerateTopDown(const FeatureBasedInductor& inductor,
+                              const PageSet& pages, const NodeSet& labels);
+
+/// Which enumeration algorithm an end-to-end run should use.
+enum class EnumAlgorithm {
+  kBottomUp,
+  kTopDown,
+  kNaive,
+};
+
+const char* EnumAlgorithmName(EnumAlgorithm algo);
+
+/// Dispatches on `algo`. TopDown requires a FeatureBasedInductor and
+/// reports FailedPrecondition otherwise.
+Result<WrapperSpace> Enumerate(EnumAlgorithm algo,
+                               const WrapperInductor& inductor,
+                               const PageSet& pages, const NodeSet& labels);
+
+}  // namespace ntw::core
+
+#endif  // NTW_CORE_ENUMERATE_H_

@@ -1,0 +1,158 @@
+#include "core/hlrt_inductor.h"
+
+#include <algorithm>
+
+#include "text/char_view.h"
+
+namespace ntw::core {
+namespace {
+
+/// φ(∅): extracts nothing.
+class EmptyHlrtWrapper : public Wrapper {
+ public:
+  NodeSet Extract(const PageSet&) const override { return NodeSet(); }
+  std::string ToString() const override { return "HLRT(empty)"; }
+};
+
+std::string Abbrev(const std::string& s) {
+  constexpr size_t kMax = 28;
+  if (s.size() <= kMax) return s;
+  return s.substr(0, kMax / 2) + "..." + s.substr(s.size() - kMax / 2);
+}
+
+/// The extraction region [begin, end) of a page: after the first
+/// occurrence of head, before the first occurrence of tail after that.
+std::pair<size_t, size_t> Region(const std::string& stream,
+                                 const std::string& head,
+                                 const std::string& tail) {
+  size_t begin = 0;
+  if (!head.empty()) {
+    size_t pos = stream.find(head);
+    if (pos == std::string::npos) return {0, 0};  // No region at all.
+    begin = pos + head.size();
+  }
+  size_t end = stream.size();
+  if (!tail.empty()) {
+    size_t pos = stream.find(tail, begin);
+    if (pos != std::string::npos) end = pos;
+  }
+  return {begin, end};
+}
+
+NodeSet ExtractHlrt(const PageSet& pages, const std::string& head,
+                    const std::string& tail, const std::string& left,
+                    const std::string& right) {
+  std::vector<NodeRef> out;
+  for (size_t p = 0; p < pages.size(); ++p) {
+    text::CharView view(pages.page(p));
+    auto [begin, end] = Region(view.stream(), head, tail);
+    for (const text::TextSpan& span : view.spans()) {
+      if (span.begin < begin || span.end > end) continue;
+      std::string_view before = view.Before(span, left.size());
+      std::string_view after = view.After(span, right.size());
+      if (before.size() == left.size() && before == left &&
+          after.size() == right.size() && after == right) {
+        out.push_back(
+            NodeRef{static_cast<int>(p), span.node->preorder_index()});
+      }
+    }
+  }
+  return NodeSet(std::move(out));
+}
+
+}  // namespace
+
+NodeSet HlrtWrapper::Extract(const PageSet& pages) const {
+  return ExtractHlrt(pages, head_, tail_, left_, right_);
+}
+
+std::string HlrtWrapper::ToString() const {
+  return "HLRT(h='" + Abbrev(head_) + "', t='" + Abbrev(tail_) + "', l='" +
+         Abbrev(left_) + "', r='" + Abbrev(right_) + "')";
+}
+
+Induction HlrtInductor::Induce(const PageSet& pages,
+                               const NodeSet& labels) const {
+  Induction result;
+  if (labels.empty()) {
+    result.wrapper = std::make_shared<EmptyHlrtWrapper>();
+    return result;
+  }
+
+  // Per-page views and label spans.
+  std::vector<text::CharView> views;
+  views.reserve(pages.size());
+  for (size_t p = 0; p < pages.size(); ++p) {
+    views.emplace_back(pages.page(p));
+  }
+
+  std::vector<std::string_view> befores, afters;
+  // First/last label span per labeled page.
+  std::vector<std::pair<size_t, size_t>> page_extent(
+      pages.size(), {std::string::npos, 0});
+  for (const NodeRef& ref : labels) {
+    const text::CharView& view = views[static_cast<size_t>(ref.page)];
+    const text::TextSpan* span = view.SpanForNode(ref.node);
+    if (span == nullptr) continue;
+    befores.push_back(view.Before(*span, max_context_));
+    afters.push_back(view.After(*span, max_context_));
+    auto& extent = page_extent[static_cast<size_t>(ref.page)];
+    extent.first = std::min(extent.first, span->begin);
+    extent.second = std::max(extent.second, span->end);
+  }
+  if (befores.empty()) {
+    result.wrapper = std::make_shared<EmptyHlrtWrapper>();
+    result.extraction = labels;
+    return result;
+  }
+
+  std::string left = text::LongestCommonSuffix(befores);
+  std::string right = text::LongestCommonPrefix(afters);
+
+  // Head: common suffix of the page prefixes ending just before the first
+  // label's l-context; tail: common prefix of the suffixes after the last
+  // label's r-context.
+  std::vector<std::string_view> heads, tails;
+  for (size_t p = 0; p < pages.size(); ++p) {
+    const auto& extent = page_extent[p];
+    if (extent.first == std::string::npos) continue;  // Unlabeled page.
+    const std::string& stream = views[p].stream();
+    size_t head_end =
+        extent.first >= left.size() ? extent.first - left.size() : 0;
+    size_t head_begin =
+        head_end >= max_head_tail_ ? head_end - max_head_tail_ : 0;
+    heads.push_back(std::string_view(stream).substr(head_begin,
+                                                    head_end - head_begin));
+    size_t tail_begin = std::min(extent.second + right.size(), stream.size());
+    tails.push_back(std::string_view(stream).substr(
+        tail_begin, std::min(max_head_tail_, stream.size() - tail_begin)));
+  }
+  std::string head = text::LongestCommonSuffix(heads);
+  std::string tail = text::LongestCommonPrefix(tails);
+
+  // Fidelity guard: the delimiters are only valid when the region they
+  // induce still covers every training label (the tail string can recur
+  // between records when no label marks the true end of the list, and the
+  // head's first occurrence can postdate an early label). Drop the tail,
+  // then the head, if they would exclude a label.
+  auto covers_labels = [&]() {
+    for (size_t p = 0; p < pages.size(); ++p) {
+      const auto& extent = page_extent[p];
+      if (extent.first == std::string::npos) continue;
+      auto [begin, end] = Region(views[p].stream(), head, tail);
+      if (extent.first < begin || extent.second > end) return false;
+    }
+    return true;
+  };
+  if (!covers_labels()) tail.clear();
+  if (!covers_labels()) head.clear();
+
+  auto wrapper =
+      std::make_shared<HlrtWrapper>(head, tail, std::move(left),
+                                    std::move(right));
+  result.extraction = wrapper->Extract(pages).Union(labels);
+  result.wrapper = std::move(wrapper);
+  return result;
+}
+
+}  // namespace ntw::core

@@ -1,0 +1,72 @@
+#ifndef NTW_CORE_HLRT_INDUCTOR_H_
+#define NTW_CORE_HLRT_INDUCTOR_H_
+
+#include <string>
+
+#include "core/wrapper.h"
+
+namespace ntw::core {
+
+/// The HLRT extension of the WIEN family (Sec. 5: "various extensions of
+/// this basic language, e.g., HLRT wrappers, which, in addition, have
+/// strings H and T that limit the context under which LR can be applied").
+///
+/// A rule is a quadruple (h, t, l, r): on each page, extraction starts
+/// after the first occurrence of the head delimiter h, stops at the first
+/// occurrence of the tail delimiter t after that, and within the region
+/// extracts the text nodes whose left/right contexts match l and r — so a
+/// "Popular Brands" sidebar above the listing or a footer below it cannot
+/// pollute the extraction even when l/r are weak.
+///
+/// Learning: l and r as in LR; h is the longest common suffix of the page
+/// prefixes ending just before the first label's l-context, and t the
+/// longest common prefix of the page suffixes starting after the last
+/// label's r-context (computed over pages that carry labels).
+///
+/// Unlike LR, HLRT is not feature-based (the head/tail constraints couple
+/// all labels on a page), so only the blackbox BottomUp enumeration
+/// applies; requesting TopDown yields FailedPrecondition. HLRT is
+/// well-behaved on script-generated page sets — the h/t delimiters are
+/// template chunks that bracket the listing region — which the test suite
+/// verifies empirically over the generated corpora.
+class HlrtInductor : public WrapperInductor {
+ public:
+  explicit HlrtInductor(size_t max_context = 256, size_t max_head_tail = 128)
+      : max_context_(max_context), max_head_tail_(max_head_tail) {}
+
+  Induction Induce(const PageSet& pages, const NodeSet& labels) const override;
+  std::string Name() const override { return "HLRT"; }
+
+ private:
+  size_t max_context_;
+  size_t max_head_tail_;
+};
+
+/// The learned (h, t, l, r) rule.
+class HlrtWrapper : public Wrapper {
+ public:
+  HlrtWrapper(std::string head, std::string tail, std::string left,
+              std::string right)
+      : head_(std::move(head)),
+        tail_(std::move(tail)),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  NodeSet Extract(const PageSet& pages) const override;
+  std::string ToString() const override;
+
+  const std::string& head() const { return head_; }
+  const std::string& tail() const { return tail_; }
+  const std::string& left() const { return left_; }
+  const std::string& right() const { return right_; }
+
+ private:
+  std::string head_;
+  std::string tail_;
+  std::string left_;
+  std::string right_;
+};
+
+}  // namespace ntw::core
+
+#endif  // NTW_CORE_HLRT_INDUCTOR_H_

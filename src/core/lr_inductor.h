@@ -1,0 +1,75 @@
+#ifndef NTW_CORE_LR_INDUCTOR_H_
+#define NTW_CORE_LR_INDUCTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/wrapper.h"
+#include "text/char_view.h"
+
+namespace ntw::core {
+
+/// The WIEN LR wrapper inductor (Kushmerick et al., Sec. 5): the document
+/// is a character sequence; the learned rule is a pair (l, r) where l is
+/// the longest common string preceding every labeled item and r the
+/// longest common string following it. A node is extracted when its left
+/// context ends with l and its right context starts with r.
+///
+/// Feature-based form (Theorem 4 discussion): attributes L1..Lk / R1..Rk
+/// where Lk's value is the k characters immediately preceding the node.
+/// The feature space is never materialized; Subdivide() groups nodes by
+/// their k-character context directly.
+///
+/// Contexts are capped at `max_context` characters. The cap only matters
+/// for near-singleton label sets (where the true LR delimiter is the whole
+/// page prefix); with ≥2 labels the common context is naturally short.
+class LrInductor : public FeatureBasedInductor {
+ public:
+  explicit LrInductor(size_t max_context = 256)
+      : max_context_(max_context) {}
+
+  Induction Induce(const PageSet& pages, const NodeSet& labels) const override;
+  std::string Name() const override { return "LR"; }
+
+  std::vector<AttrHandle> Attributes(const PageSet& pages,
+                                     const NodeSet& labels) const override;
+  std::vector<NodeSet> Subdivide(const PageSet& pages, const NodeSet& s,
+                                 AttrHandle attr) const override;
+
+  size_t max_context() const { return max_context_; }
+
+ private:
+  /// Per-PageSet flattened views, built lazily and cached by identity.
+  /// The cache is validated by address *and* shape (page / text-node
+  /// counts), so a different PageSet reusing a freed address cannot serve
+  /// stale views. Not thread-safe (as with the rest of the inductor).
+  const std::vector<text::CharView>& Views(const PageSet& pages) const;
+
+  size_t max_context_;
+  mutable const PageSet* cached_pages_ = nullptr;
+  mutable size_t cached_page_count_ = 0;
+  mutable size_t cached_text_nodes_ = 0;
+  mutable std::vector<text::CharView> cached_views_;
+};
+
+/// The learned (l, r) rule. Exposed so examples/benches can inspect it.
+class LrWrapper : public Wrapper {
+ public:
+  LrWrapper(std::string left, std::string right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  NodeSet Extract(const PageSet& pages) const override;
+  std::string ToString() const override;
+
+  const std::string& left() const { return left_; }
+  const std::string& right() const { return right_; }
+
+ private:
+  std::string left_;
+  std::string right_;
+};
+
+}  // namespace ntw::core
+
+#endif  // NTW_CORE_LR_INDUCTOR_H_

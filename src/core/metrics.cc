@@ -1,0 +1,49 @@
+#include "core/metrics.h"
+
+#include "common/strings.h"
+
+namespace ntw::core {
+
+Prf Evaluate(const NodeSet& extraction, const NodeSet& truth) {
+  Prf prf;
+  prf.true_positives = extraction.IntersectSize(truth);
+  prf.extracted = extraction.size();
+  prf.expected = truth.size();
+  prf.precision = extraction.empty()
+                      ? 1.0
+                      : static_cast<double>(prf.true_positives) /
+                            static_cast<double>(extraction.size());
+  prf.recall = truth.empty() ? 1.0
+                             : static_cast<double>(prf.true_positives) /
+                                   static_cast<double>(truth.size());
+  prf.f1 = (prf.precision + prf.recall) > 0.0
+               ? 2.0 * prf.precision * prf.recall /
+                     (prf.precision + prf.recall)
+               : 0.0;
+  return prf;
+}
+
+Prf MacroAverage(const std::vector<Prf>& results) {
+  Prf avg;
+  if (results.empty()) return avg;
+  for (const Prf& prf : results) {
+    avg.precision += prf.precision;
+    avg.recall += prf.recall;
+    avg.f1 += prf.f1;
+    avg.true_positives += prf.true_positives;
+    avg.extracted += prf.extracted;
+    avg.expected += prf.expected;
+  }
+  double n = static_cast<double>(results.size());
+  avg.precision /= n;
+  avg.recall /= n;
+  avg.f1 /= n;
+  return avg;
+}
+
+std::string ToString(const Prf& prf) {
+  return StrFormat("precision=%.3f recall=%.3f f1=%.3f", prf.precision,
+                   prf.recall, prf.f1);
+}
+
+}  // namespace ntw::core

@@ -1,0 +1,36 @@
+#ifndef NTW_CORE_METRICS_H_
+#define NTW_CORE_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/label.h"
+
+namespace ntw::core {
+
+/// Precision / recall / F1 of an extraction against ground truth.
+struct Prf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t true_positives = 0;
+  size_t extracted = 0;
+  size_t expected = 0;
+};
+
+/// Computes node-level P/R/F1. Conventions: precision of an empty
+/// extraction is 1 when the truth is also empty, else 0 is avoided by
+/// defining precision = 1 for empty extraction (nothing wrongly
+/// extracted) and recall = 0; F1 follows from the pair.
+Prf Evaluate(const NodeSet& extraction, const NodeSet& truth);
+
+/// Macro-average over per-site results (the paper reports averages over
+/// websites).
+Prf MacroAverage(const std::vector<Prf>& results);
+
+/// "precision=0.97 recall=0.99 f1=0.98"
+std::string ToString(const Prf& prf);
+
+}  // namespace ntw::core
+
+#endif  // NTW_CORE_METRICS_H_

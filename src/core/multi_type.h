@@ -1,0 +1,87 @@
+#ifndef NTW_CORE_MULTI_TYPE_H_
+#define NTW_CORE_MULTI_TYPE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/annotation_model.h"
+#include "core/metrics.h"
+#include "core/enumerate.h"
+#include "core/publication_model.h"
+
+namespace ntw::core {
+
+/// Labels for the multi-type extraction problem (Appendix A): one label
+/// set per type (e.g. name and zipcode), each produced by its own
+/// annotator.
+struct MultiTypeLabels {
+  std::vector<std::string> type_names;
+  std::vector<NodeSet> labels;
+};
+
+/// Assembled records: one extracted node per type per record, in document
+/// order. A page where the typed extractions cannot be interleaved into
+/// records contributes no records ("the wrapper produces empty results on
+/// a page if it cannot assemble records successfully").
+struct RecordSet {
+  /// records[i][t] is the node of type t in record i.
+  std::vector<std::vector<NodeRef>> records;
+  /// Pages whose extractions failed to assemble.
+  std::vector<int> failed_pages;
+
+  /// All nodes of one type across records.
+  NodeSet TypeNodes(size_t type_index) const;
+};
+
+/// Assembles records from per-type extractions: on each page the typed
+/// nodes, read in document order, must form k repetitions of one fixed
+/// type permutation (name, zip, name, zip, ...). Pages violating the
+/// pattern are recorded in failed_pages and yield nothing.
+RecordSet AssembleRecords(const PageSet& pages,
+                          const std::vector<NodeSet>& typed_extractions);
+
+/// Record-level precision/recall/F1: a record counts as correct only when
+/// *every* typed node matches the aligned ground truth tuple (the
+/// strictest reading of Fig. 3(a)). Ground truth records are assembled
+/// from the per-type truth sets.
+Prf EvaluateRecords(const PageSet& pages, const RecordSet& extracted,
+                    const std::vector<NodeSet>& typed_truth);
+
+/// Outcome of multi-type learning.
+struct MultiTypeOutcome {
+  /// Winning wrapper per type, aligned with MultiTypeLabels::type_names.
+  std::vector<Candidate> per_type;
+  RecordSet records;
+  double score = 0.0;
+  int64_t inductor_calls = 0;
+};
+
+/// Options for multi-type learning.
+struct MultiTypeOptions {
+  EnumAlgorithm algorithm = EnumAlgorithm::kTopDown;
+  /// Per-type candidate shortlist size before the joint ranking; bounds
+  /// the cross-product at shortlist^types combinations.
+  size_t shortlist = 24;
+};
+
+/// Noise-tolerant multi-type learning (Appendix A): enumerate each type's
+/// wrapper space, shortlist per type by annotation likelihood, then rank
+/// the joint combinations by Π_τ P(L_τ|X_τ) · P(X) where P(X) segments by
+/// the first type and requires typed nodes to align across records.
+/// Combinations that fail to assemble on every page are discarded.
+Result<MultiTypeOutcome> LearnMultiTypeNtw(
+    const WrapperInductor& inductor, const PageSet& pages,
+    const MultiTypeLabels& labels,
+    const std::vector<AnnotationModel>& annotation_models,
+    const PublicationModel& publication_model,
+    const MultiTypeOptions& options = {});
+
+/// The NAIVE multi-type baseline: per-type supervised induction on all
+/// noisy labels, then record assembly.
+Result<MultiTypeOutcome> LearnMultiTypeNaive(const WrapperInductor& inductor,
+                                             const PageSet& pages,
+                                             const MultiTypeLabels& labels);
+
+}  // namespace ntw::core
+
+#endif  // NTW_CORE_MULTI_TYPE_H_

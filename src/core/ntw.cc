@@ -1,0 +1,34 @@
+#include "core/ntw.h"
+
+namespace ntw::core {
+
+Result<NtwOutcome> LearnNoiseTolerant(const WrapperInductor& inductor,
+                                      const PageSet& pages,
+                                      const NodeSet& labels,
+                                      const Ranker& ranker,
+                                      const NtwOptions& options) {
+  if (labels.empty()) {
+    return Status::InvalidArgument("no labels to learn from");
+  }
+  NTW_ASSIGN_OR_RETURN(
+      WrapperSpace space,
+      Enumerate(options.algorithm, inductor, pages, labels));
+  if (space.candidates.empty()) {
+    return Status::FailedPrecondition("enumeration produced no wrappers");
+  }
+  std::vector<ScoredCandidate> ranking = ranker.Rank(space, pages, labels);
+
+  NtwOutcome outcome;
+  outcome.best_score = ranking.front();
+  outcome.best = space.candidates[outcome.best_score.candidate_index];
+  outcome.space_size = space.size();
+  outcome.inductor_calls = space.inductor_calls;
+  return outcome;
+}
+
+Induction LearnNaive(const WrapperInductor& inductor, const PageSet& pages,
+                     const NodeSet& labels) {
+  return inductor.Induce(pages, labels);
+}
+
+}  // namespace ntw::core

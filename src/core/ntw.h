@@ -1,0 +1,44 @@
+#ifndef NTW_CORE_NTW_H_
+#define NTW_CORE_NTW_H_
+
+#include <string>
+
+#include "core/enumerate.h"
+#include "core/ranker.h"
+
+namespace ntw::core {
+
+/// Options for one noise-tolerant learning run.
+struct NtwOptions {
+  EnumAlgorithm algorithm = EnumAlgorithm::kTopDown;
+};
+
+/// Outcome of noise-tolerant wrapper learning on one website.
+struct NtwOutcome {
+  /// The winning wrapper and its extraction on the training pages.
+  Candidate best;
+  /// Score decomposition of the winner.
+  ScoredCandidate best_score;
+  /// Instrumentation.
+  size_t space_size = 0;
+  int64_t inductor_calls = 0;
+};
+
+/// The end-to-end noise-tolerant wrapper framework (Sec. 3):
+/// enumerate the wrapper space of the noisy labels, rank every candidate
+/// by P(L|X)·P(X), return the argmax. Fails when the labels are empty or
+/// enumeration yields no candidates.
+Result<NtwOutcome> LearnNoiseTolerant(const WrapperInductor& inductor,
+                                      const PageSet& pages,
+                                      const NodeSet& labels,
+                                      const Ranker& ranker,
+                                      const NtwOptions& options = {});
+
+/// The NAIVE baseline (Sec. 7.2): run the inductor directly on all noisy
+/// labels, exactly as a classic supervised system would.
+Induction LearnNaive(const WrapperInductor& inductor, const PageSet& pages,
+                     const NodeSet& labels);
+
+}  // namespace ntw::core
+
+#endif  // NTW_CORE_NTW_H_

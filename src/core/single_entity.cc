@@ -1,0 +1,64 @@
+#include "core/single_entity.h"
+
+#include <unordered_map>
+
+namespace ntw::core {
+namespace {
+
+/// True when the extraction has at most one node on every page.
+bool AtMostOnePerPage(const NodeSet& extraction) {
+  int last_page = -1;
+  for (const NodeRef& ref : extraction) {
+    if (ref.page == last_page) return false;
+    last_page = ref.page;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<SingleEntityOutcome> LearnSingleEntity(const WrapperInductor& inductor,
+                                              const PageSet& pages,
+                                              const NodeSet& labels,
+                                              EnumAlgorithm algorithm) {
+  if (labels.empty()) {
+    return Status::InvalidArgument("no labels to learn from");
+  }
+  NTW_ASSIGN_OR_RETURN(WrapperSpace space,
+                       Enumerate(algorithm, inductor, pages, labels));
+
+  SingleEntityOutcome outcome;
+  outcome.space_size = space.size();
+  outcome.inductor_calls = space.inductor_calls;
+
+  size_t best_coverage = 0;
+  for (Candidate& candidate : space.candidates) {
+    if (!AtMostOnePerPage(candidate.extraction)) continue;
+    size_t coverage = candidate.extraction.IntersectSize(labels);
+    if (coverage > best_coverage) {
+      best_coverage = coverage;
+      outcome.tied.clear();
+      outcome.tied.push_back(candidate);
+    } else if (coverage == best_coverage && best_coverage > 0) {
+      outcome.tied.push_back(candidate);
+    }
+  }
+  if (outcome.tied.empty()) {
+    return Status::NotFound(
+        "no wrapper extracts at most one item per page and covers a label");
+  }
+  // Deterministic winner among ties: the one extracting from the most
+  // pages, then the first enumerated.
+  size_t best_index = 0;
+  for (size_t i = 1; i < outcome.tied.size(); ++i) {
+    if (outcome.tied[i].extraction.size() >
+        outcome.tied[best_index].extraction.size()) {
+      best_index = i;
+    }
+  }
+  outcome.best = outcome.tied[best_index];
+  outcome.covered_labels = best_coverage;
+  return outcome;
+}
+
+}  // namespace ntw::core

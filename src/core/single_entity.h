@@ -1,0 +1,36 @@
+#ifndef NTW_CORE_SINGLE_ENTITY_H_
+#define NTW_CORE_SINGLE_ENTITY_H_
+
+#include <vector>
+
+#include "core/enumerate.h"
+
+namespace ntw::core {
+
+/// Outcome of single-entity learning (Appendix B.2).
+struct SingleEntityOutcome {
+  /// The winning wrapper (extracts at most one node per page).
+  Candidate best;
+  /// Labels covered by the winner.
+  size_t covered_labels = 0;
+  /// All candidates tied at the winning coverage — the paper observed
+  /// several sites with multiple equally-correct wrappers (title in
+  /// <head>, in <meta>, in the details tab ...).
+  std::vector<Candidate> tied;
+  size_t space_size = 0;
+  int64_t inductor_calls = 0;
+};
+
+/// Single-entity extraction with noisy labels (Appendix B.2): enumerate
+/// the wrapper space, discard every wrapper extracting more than one item
+/// from any single page, then pick the wrapper covering the most labels
+/// (equivalently maximizing P(L|X) under the constraint). A wrapper
+/// trained on noisy labels over-generalizes, matches several nodes per
+/// page, and is discarded — noise tolerance for free.
+Result<SingleEntityOutcome> LearnSingleEntity(
+    const WrapperInductor& inductor, const PageSet& pages,
+    const NodeSet& labels, EnumAlgorithm algorithm = EnumAlgorithm::kTopDown);
+
+}  // namespace ntw::core
+
+#endif  // NTW_CORE_SINGLE_ENTITY_H_

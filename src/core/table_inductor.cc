@@ -1,0 +1,154 @@
+#include "core/table_inductor.h"
+
+#include <map>
+
+namespace ntw::core {
+namespace {
+
+constexpr AttrHandle kAttrRow = 0;
+constexpr AttrHandle kAttrCol = 1;
+
+/// Wrapper over the grid: optional row constraint, optional column
+/// constraint; both empty means the entire table.
+class TableWrapper : public Wrapper {
+ public:
+  TableWrapper(std::optional<int64_t> row, std::optional<int> col)
+      : row_(row), col_(col) {}
+
+  NodeSet Extract(const PageSet& pages) const override {
+    std::vector<NodeRef> out;
+    for (const NodeRef& ref : TableInductor::CellTextNodes(pages)) {
+      auto cell = TableInductor::CellOf(pages, ref);
+      if (!cell.has_value()) continue;
+      if (row_.has_value() && cell->row != *row_) continue;
+      if (col_.has_value() && cell->col != *col_) continue;
+      out.push_back(ref);
+    }
+    return NodeSet(std::move(out));
+  }
+
+  std::string ToString() const override {
+    std::string out = "TABLE[";
+    out += row_.has_value() ? "row=" + std::to_string(*row_) : "row=*";
+    out += ",";
+    out += col_.has_value() ? "col=" + std::to_string(*col_) : "col=*";
+    out += "]";
+    return out;
+  }
+
+ private:
+  std::optional<int64_t> row_;
+  std::optional<int> col_;
+};
+
+/// The φ(∅) wrapper: extracts nothing.
+class EmptyTableWrapper : public Wrapper {
+ public:
+  NodeSet Extract(const PageSet&) const override { return NodeSet(); }
+  std::string ToString() const override { return "TABLE[empty]"; }
+};
+
+}  // namespace
+
+std::optional<TableInductor::Cell> TableInductor::CellOf(const PageSet& pages,
+                                                         const NodeRef& ref) {
+  const html::Node* node = pages.Resolve(ref);
+  if (node == nullptr || !node->is_text()) return std::nullopt;
+  const html::Node* cell = nullptr;
+  const html::Node* row = nullptr;
+  for (const html::Node* cur = node->parent(); cur != nullptr;
+       cur = cur->parent()) {
+    if (!cur->is_element()) break;
+    if (cell == nullptr && (cur->tag() == "td" || cur->tag() == "th")) {
+      cell = cur;
+    } else if (cell != nullptr && cur->tag() == "tr") {
+      row = cur;
+      break;
+    }
+  }
+  if (cell == nullptr || row == nullptr) return std::nullopt;
+  int64_t row_id = (static_cast<int64_t>(ref.page) << 32) |
+                   static_cast<uint32_t>(row->preorder_index());
+  return Cell{row_id, cell->same_tag_child_number()};
+}
+
+NodeSet TableInductor::CellTextNodes(const PageSet& pages) {
+  std::vector<NodeRef> refs;
+  for (size_t p = 0; p < pages.size(); ++p) {
+    for (const html::Node* node : pages.page(p).text_nodes()) {
+      NodeRef ref{static_cast<int>(p), node->preorder_index()};
+      if (CellOf(pages, ref).has_value()) refs.push_back(ref);
+    }
+  }
+  return NodeSet(std::move(refs));
+}
+
+Induction TableInductor::Induce(const PageSet& pages,
+                                const NodeSet& labels) const {
+  if (labels.empty()) {
+    Induction result;
+    result.wrapper = std::make_shared<EmptyTableWrapper>();
+    return result;
+  }
+
+  bool first = true;
+  std::optional<int64_t> common_row;
+  std::optional<int> common_col;
+  for (const NodeRef& ref : labels) {
+    auto cell = CellOf(pages, ref);
+    // Labels outside any table have no features; they force the empty
+    // intersection (whole-table generalization).
+    if (!cell.has_value()) {
+      common_row.reset();
+      common_col.reset();
+      first = false;
+      continue;
+    }
+    if (first) {
+      common_row = cell->row;
+      common_col = cell->col;
+      first = false;
+    } else {
+      if (common_row.has_value() && *common_row != cell->row) {
+        common_row.reset();
+      }
+      if (common_col.has_value() && *common_col != cell->col) {
+        common_col.reset();
+      }
+    }
+  }
+
+  Induction result;
+  result.wrapper = std::make_shared<TableWrapper>(common_row, common_col);
+  result.extraction = result.wrapper->Extract(pages);
+  // Labels outside tables are not re-extractable by the grid wrapper;
+  // keep fidelity by unioning them in explicitly.
+  result.extraction = result.extraction.Union(labels);
+  return result;
+}
+
+std::vector<AttrHandle> TableInductor::Attributes(const PageSet&,
+                                                  const NodeSet& labels) const {
+  if (labels.empty()) return {};
+  return {kAttrRow, kAttrCol};
+}
+
+std::vector<NodeSet> TableInductor::Subdivide(const PageSet& pages,
+                                              const NodeSet& s,
+                                              AttrHandle attr) const {
+  std::map<int64_t, std::vector<NodeRef>> groups;
+  for (const NodeRef& ref : s) {
+    auto cell = CellOf(pages, ref);
+    if (!cell.has_value()) continue;  // Lacks the attribute entirely.
+    int64_t key = attr == kAttrRow ? cell->row : cell->col;
+    groups[key].push_back(ref);
+  }
+  std::vector<NodeSet> out;
+  out.reserve(groups.size());
+  for (auto& [key, refs] : groups) {
+    out.push_back(NodeSet(std::move(refs)));
+  }
+  return out;
+}
+
+}  // namespace ntw::core

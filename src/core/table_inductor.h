@@ -1,0 +1,49 @@
+#ifndef NTW_CORE_TABLE_INDUCTOR_H_
+#define NTW_CORE_TABLE_INDUCTOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/wrapper.h"
+
+namespace ntw::core {
+
+/// The TABLE wrapper inductor of Example 1 — the paper's pedagogical
+/// running example, implemented in its feature-based form (Example 3):
+/// every text node inside a table cell carries two attributes,
+///   row — identifies the <tr> the cell belongs to (page-qualified), and
+///   col — the <td>/<th> child number within the row.
+/// φ(L) intersects the labels' features: a singleton stays itself, labels
+/// in one row generalize to the row, one column to the column, and labels
+/// spanning ≥2 rows and columns to the entire table (all cell text nodes).
+///
+/// Besides reproducing the example, TABLE is the reference inductor for
+/// the enumeration tests: its wrapper space on an n×m fully-labeled table
+/// is exactly nm + n + m + 1.
+class TableInductor : public FeatureBasedInductor {
+ public:
+  Induction Induce(const PageSet& pages, const NodeSet& labels) const override;
+  std::string Name() const override { return "TABLE"; }
+
+  std::vector<AttrHandle> Attributes(const PageSet& pages,
+                                     const NodeSet& labels) const override;
+  std::vector<NodeSet> Subdivide(const PageSet& pages, const NodeSet& s,
+                                 AttrHandle attr) const override;
+
+  /// Cell coordinates of a node: row is the page-qualified pre-order index
+  /// of the enclosing <tr>, col the cell's child number. nullopt when the
+  /// node is not inside a table cell.
+  struct Cell {
+    int64_t row;
+    int col;
+  };
+  static std::optional<Cell> CellOf(const PageSet& pages, const NodeRef& ref);
+
+  /// All candidate nodes: text nodes inside table cells.
+  static NodeSet CellTextNodes(const PageSet& pages);
+};
+
+}  // namespace ntw::core
+
+#endif  // NTW_CORE_TABLE_INDUCTOR_H_

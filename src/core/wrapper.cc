@@ -1,0 +1,24 @@
+#include "core/wrapper.h"
+
+#include <cassert>
+
+namespace ntw::core {
+
+std::vector<AttrHandle> CountingInductor::Attributes(
+    const PageSet& pages, const NodeSet& labels) const {
+  auto* feature_based = dynamic_cast<const FeatureBasedInductor*>(base_);
+  assert(feature_based != nullptr &&
+         "underlying inductor is not feature-based");
+  return feature_based->Attributes(pages, labels);
+}
+
+std::vector<NodeSet> CountingInductor::Subdivide(const PageSet& pages,
+                                                 const NodeSet& s,
+                                                 AttrHandle attr) const {
+  auto* feature_based = dynamic_cast<const FeatureBasedInductor*>(base_);
+  assert(feature_based != nullptr &&
+         "underlying inductor is not feature-based");
+  return feature_based->Subdivide(pages, s, attr);
+}
+
+}  // namespace ntw::core

@@ -1,0 +1,80 @@
+#include "core/wrapper_store.h"
+
+#include "common/file_util.h"
+#include "common/strings.h"
+#include "core/hlrt_inductor.h"
+#include "core/lr_inductor.h"
+#include "core/xpath_inductor.h"
+#include "xpath/parser.h"
+
+namespace ntw::core {
+
+Result<std::string> SerializeWrapper(const Wrapper& wrapper) {
+  if (const auto* xp = dynamic_cast<const XPathWrapper*>(&wrapper)) {
+    return "XPATH\t" + xp->expr().ToString();
+  }
+  if (const auto* lr = dynamic_cast<const LrWrapper*>(&wrapper)) {
+    return "LR\t" + CEscape(lr->left()) + "\t" + CEscape(lr->right());
+  }
+  if (const auto* hlrt = dynamic_cast<const HlrtWrapper*>(&wrapper)) {
+    return "HLRT\t" + CEscape(hlrt->head()) + "\t" + CEscape(hlrt->tail()) +
+           "\t" + CEscape(hlrt->left()) + "\t" + CEscape(hlrt->right());
+  }
+  return Status::InvalidArgument("wrapper kind is not serializable: " +
+                                 wrapper.ToString());
+}
+
+Result<WrapperPtr> DeserializeWrapper(const std::string& record) {
+  // Trim only the trailing newline: empty delimiter fields (legal for LR)
+  // must survive, so a whitespace strip would corrupt the record.
+  std::string_view line = record;
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  std::vector<std::string> fields = Split(line, '\t');
+  if (fields.empty() || fields[0].empty()) {
+    return Status::ParseError("empty wrapper record");
+  }
+  const std::string& kind = fields[0];
+  if (kind == "XPATH") {
+    if (fields.size() != 2) {
+      return Status::ParseError("XPATH record needs 1 field");
+    }
+    NTW_ASSIGN_OR_RETURN(xpath::Expr expr, xpath::ParseXPath(fields[1]));
+    return WrapperPtr(std::make_shared<XPathWrapper>(std::move(expr)));
+  }
+  if (kind == "LR") {
+    if (fields.size() != 3) {
+      return Status::ParseError("LR record needs 2 fields");
+    }
+    NTW_ASSIGN_OR_RETURN(std::string left, CUnescape(fields[1]));
+    NTW_ASSIGN_OR_RETURN(std::string right, CUnescape(fields[2]));
+    return WrapperPtr(
+        std::make_shared<LrWrapper>(std::move(left), std::move(right)));
+  }
+  if (kind == "HLRT") {
+    if (fields.size() != 5) {
+      return Status::ParseError("HLRT record needs 4 fields");
+    }
+    NTW_ASSIGN_OR_RETURN(std::string head, CUnescape(fields[1]));
+    NTW_ASSIGN_OR_RETURN(std::string tail, CUnescape(fields[2]));
+    NTW_ASSIGN_OR_RETURN(std::string left, CUnescape(fields[3]));
+    NTW_ASSIGN_OR_RETURN(std::string right, CUnescape(fields[4]));
+    return WrapperPtr(std::make_shared<HlrtWrapper>(
+        std::move(head), std::move(tail), std::move(left),
+        std::move(right)));
+  }
+  return Status::InvalidArgument("unknown wrapper kind '" + kind + "'");
+}
+
+Status SaveWrapper(const Wrapper& wrapper, const std::string& path) {
+  NTW_ASSIGN_OR_RETURN(std::string record, SerializeWrapper(wrapper));
+  return WriteFile(path, record + "\n");
+}
+
+Result<WrapperPtr> LoadWrapper(const std::string& path) {
+  NTW_ASSIGN_OR_RETURN(std::string contents, ReadFile(path));
+  return DeserializeWrapper(contents);
+}
+
+}  // namespace ntw::core

@@ -1,0 +1,34 @@
+#ifndef NTW_CORE_WRAPPER_STORE_H_
+#define NTW_CORE_WRAPPER_STORE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/wrapper.h"
+
+namespace ntw::core {
+
+/// Serialization of learned wrappers so that a production pipeline can
+/// learn once and re-apply wrappers to freshly crawled pages (the paper's
+/// deployment mode: wrappers power live applications long after
+/// induction). One single-line, tab-separated record per wrapper:
+///
+///   XPATH\t<xpath>
+///   LR\t<l escaped>\t<r escaped>
+///   HLRT\t<h>\t<t>\t<l>\t<r>      (all fields CEscape'd)
+///
+/// TABLE wrappers are intentionally not serializable (they are a
+/// pedagogical device bound to one page set).
+Result<std::string> SerializeWrapper(const Wrapper& wrapper);
+
+/// Reconstructs a wrapper from a record; ParseError on malformed input
+/// and InvalidArgument on unknown kinds.
+Result<WrapperPtr> DeserializeWrapper(const std::string& record);
+
+/// Convenience: serialize to / load from a file.
+Status SaveWrapper(const Wrapper& wrapper, const std::string& path);
+Result<WrapperPtr> LoadWrapper(const std::string& path);
+
+}  // namespace ntw::core
+
+#endif  // NTW_CORE_WRAPPER_STORE_H_

@@ -1,0 +1,272 @@
+#include "core/xpath_inductor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace ntw::core {
+namespace {
+
+/// φ(∅): extracts nothing.
+class EmptyXPathWrapper : public Wrapper {
+ public:
+  NodeSet Extract(const PageSet&) const override { return NodeSet(); }
+  std::string ToString() const override { return "XPATH(empty)"; }
+};
+
+/// Ancestors of a node from distance 1 upward, excluding the synthetic
+/// document root.
+std::vector<const html::Node*> AncestorChain(const html::Node* node) {
+  std::vector<const html::Node*> chain;
+  for (const html::Node* cur = node->parent();
+       cur != nullptr && cur->is_element(); cur = cur->parent()) {
+    chain.push_back(cur);
+  }
+  return chain;
+}
+
+// Attribute-handle layout: pos (12 bits) | kind (2 bits) | name id (18
+// bits). Attribute names are interned in a process-wide append-only table
+// so handles stay decodable across calls.
+constexpr int kKindTag = 0;
+constexpr int kKindTagChildNumber = 1;
+constexpr int kKindAttr = 2;
+
+AttrHandle MakeHandle(int pos, int kind, int name_id) {
+  return (pos << 20) | (kind << 18) | name_id;
+}
+int HandlePos(AttrHandle h) { return h >> 20; }
+int HandleKind(AttrHandle h) { return (h >> 18) & 0x3; }
+int HandleNameId(AttrHandle h) { return h & 0x3ffff; }
+
+class AttrNameTable {
+ public:
+  int Intern(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = ids_.emplace(name, static_cast<int>(names_.size()));
+    if (inserted) names_.push_back(name);
+    return it->second;
+  }
+  std::string Lookup(int id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return names_[static_cast<size_t>(id)];
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, int> ids_;
+  std::vector<std::string> names_;
+};
+
+AttrNameTable& NameTable() {
+  static AttrNameTable* table = new AttrNameTable();
+  return *table;
+}
+
+}  // namespace
+
+NodeSet XPathWrapper::Extract(const PageSet& pages) const {
+  std::vector<NodeRef> out;
+  for (size_t p = 0; p < pages.size(); ++p) {
+    for (const html::Node* node : xpath::Evaluate(expr_, pages.page(p))) {
+      out.push_back(NodeRef{static_cast<int>(p), node->preorder_index()});
+    }
+  }
+  return NodeSet(std::move(out));
+}
+
+xpath::Expr XPathInductor::LearnExpr(const PageSet& pages,
+                                     const NodeSet& labels) const {
+  assert(!labels.empty());
+
+  // Resolve labels to text nodes and their ancestor chains.
+  std::vector<const html::Node*> nodes;
+  std::vector<std::vector<const html::Node*>> chains;
+  for (const NodeRef& ref : labels) {
+    const html::Node* node = pages.Resolve(ref);
+    if (node == nullptr || !node->is_text()) continue;
+    nodes.push_back(node);
+    chains.push_back(AncestorChain(node));
+  }
+  assert(!nodes.empty());
+
+  size_t min_depth = chains[0].size();
+  for (const auto& chain : chains) min_depth = std::min(min_depth, chain.size());
+
+  // Position-0 child number of the text node itself.
+  std::optional<int> text_child_number = nodes[0]->sibling_index() + 1;
+  for (const html::Node* node : nodes) {
+    if (node->sibling_index() + 1 != *text_child_number) {
+      text_child_number.reset();
+      break;
+    }
+  }
+
+  xpath::Expr expr;
+  // Steps from the highest shared position down to position 1.
+  for (size_t pos = min_depth; pos >= 1; --pos) {
+    xpath::Step step;
+    step.axis = (pos == min_depth) ? xpath::Axis::kDescendant
+                                   : xpath::Axis::kChild;
+
+    const html::Node* first = chains[0][pos - 1];
+    bool tag_common = true;
+    bool child_number_common = true;
+    for (const auto& chain : chains) {
+      const html::Node* anc = chain[pos - 1];
+      if (anc->tag() != first->tag()) tag_common = false;
+      if (anc->same_tag_child_number() != first->same_tag_child_number()) {
+        child_number_common = false;
+      }
+    }
+    if (tag_common) {
+      step.test = xpath::NodeTest::kTag;
+      step.tag = first->tag();
+      if (child_number_common) {
+        step.child_number = first->same_tag_child_number();
+      }
+    } else {
+      step.test = xpath::NodeTest::kAnyElement;
+    }
+
+    // Attribute filters: attributes present with identical values on the
+    // position-pos ancestor of every label.
+    for (const auto& [name, value] : first->attrs()) {
+      bool common = true;
+      for (const auto& chain : chains) {
+        const std::string* other = chain[pos - 1]->GetAttr(name);
+        if (other == nullptr || *other != value) {
+          common = false;
+          break;
+        }
+      }
+      if (common) step.attr_filters.emplace_back(name, value);
+    }
+    std::sort(step.attr_filters.begin(), step.attr_filters.end());
+    expr.steps.push_back(std::move(step));
+  }
+
+  // Strip the maximal prefix of unconstrained `*` steps: a bare `*` at
+  // the top encodes only "some ancestor exists at that distance", which is
+  // not a feature of the representation — keeping it would make φ deviate
+  // from the feature-based semantics {n | F(n) ⊇ ∩F(ℓ)} and break the
+  // TopDown/BottomUp equivalence (Theorems 1-3). Interior `*` steps stay:
+  // they pin the exact distance between constrained positions, which the
+  // position-indexed features do express.
+  auto is_unconstrained = [](const xpath::Step& step) {
+    return step.test == xpath::NodeTest::kAnyElement &&
+           !step.child_number.has_value() && step.attr_filters.empty();
+  };
+  size_t first_constrained = 0;
+  while (first_constrained < expr.steps.size() &&
+         is_unconstrained(expr.steps[first_constrained])) {
+    ++first_constrained;
+  }
+  expr.steps.erase(expr.steps.begin(),
+                   expr.steps.begin() +
+                       static_cast<long>(first_constrained));
+  if (!expr.steps.empty()) {
+    expr.steps.front().axis = xpath::Axis::kDescendant;
+  }
+
+  xpath::Step text_step;
+  text_step.axis = expr.steps.empty() ? xpath::Axis::kDescendant
+                                      : xpath::Axis::kChild;
+  text_step.test = xpath::NodeTest::kText;
+  text_step.child_number = text_child_number;
+  expr.steps.push_back(std::move(text_step));
+  return expr;
+}
+
+Induction XPathInductor::Induce(const PageSet& pages,
+                                const NodeSet& labels) const {
+  Induction result;
+  if (labels.empty()) {
+    result.wrapper = std::make_shared<EmptyXPathWrapper>();
+    return result;
+  }
+  auto wrapper = std::make_shared<XPathWrapper>(LearnExpr(pages, labels));
+  result.extraction = wrapper->Extract(pages).Union(labels);
+  result.wrapper = std::move(wrapper);
+  return result;
+}
+
+std::vector<AttrHandle> XPathInductor::Attributes(
+    const PageSet& pages, const NodeSet& labels) const {
+  std::vector<AttrHandle> attrs;
+  if (labels.empty()) return attrs;
+
+  std::map<AttrHandle, bool> seen;
+  seen[MakeHandle(0, kKindTagChildNumber, 0)] = true;
+
+  for (const NodeRef& ref : labels) {
+    const html::Node* node = pages.Resolve(ref);
+    if (node == nullptr || !node->is_text()) continue;
+    auto chain = AncestorChain(node);
+    for (size_t pos = 1; pos <= chain.size(); ++pos) {
+      const html::Node* anc = chain[pos - 1];
+      seen[MakeHandle(static_cast<int>(pos), kKindTag, 0)] = true;
+      seen[MakeHandle(static_cast<int>(pos), kKindTagChildNumber, 0)] = true;
+      for (const auto& [name, value] : anc->attrs()) {
+        int name_id = NameTable().Intern(name);
+        seen[MakeHandle(static_cast<int>(pos), kKindAttr, name_id)] = true;
+      }
+    }
+  }
+  attrs.reserve(seen.size());
+  for (const auto& [handle, _] : seen) attrs.push_back(handle);
+  return attrs;
+}
+
+std::vector<NodeSet> XPathInductor::Subdivide(const PageSet& pages,
+                                              const NodeSet& s,
+                                              AttrHandle attr) const {
+  int pos = HandlePos(attr);
+  int kind = HandleKind(attr);
+  std::string attr_name =
+      kind == kKindAttr ? NameTable().Lookup(HandleNameId(attr)) : "";
+
+  std::map<std::string, std::vector<NodeRef>> groups;
+  for (const NodeRef& ref : s) {
+    const html::Node* node = pages.Resolve(ref);
+    if (node == nullptr || !node->is_text()) continue;
+
+    std::string value;
+    if (pos == 0) {
+      value = std::to_string(node->sibling_index() + 1);
+    } else {
+      auto chain = AncestorChain(node);
+      if (static_cast<size_t>(pos) > chain.size()) continue;  // No attribute.
+      const html::Node* anc = chain[static_cast<size_t>(pos) - 1];
+      switch (kind) {
+        case kKindTag:
+          value = anc->tag();
+          break;
+        case kKindTagChildNumber:
+          value = anc->tag() + "#" +
+                  std::to_string(anc->same_tag_child_number());
+          break;
+        case kKindAttr: {
+          const std::string* attr_value = anc->GetAttr(attr_name);
+          if (attr_value == nullptr) continue;  // Lacks the attribute.
+          value = *attr_value;
+          break;
+        }
+        default:
+          continue;
+      }
+    }
+    groups[value].push_back(ref);
+  }
+  std::vector<NodeSet> out;
+  out.reserve(groups.size());
+  for (auto& [value, refs] : groups) {
+    out.push_back(NodeSet(std::move(refs)));
+  }
+  return out;
+}
+
+}  // namespace ntw::core

@@ -1,0 +1,155 @@
+#include "datasets/corpus_io.h"
+
+#include <map>
+
+#include "common/file_util.h"
+#include "common/strings.h"
+#include "html/parser.h"
+#include "html/serializer.h"
+
+namespace ntw::datasets {
+namespace {
+
+std::string RefTable(const std::map<std::string, core::NodeSet>& by_type) {
+  std::string out;
+  for (const auto& [type, refs] : by_type) {
+    for (const core::NodeRef& ref : refs) {
+      out += type + "\t" + std::to_string(ref.page) + "\t" +
+             std::to_string(ref.node) + "\n";
+    }
+  }
+  return out;
+}
+
+Result<std::map<std::string, core::NodeSet>> ParseRefTable(
+    const std::string& contents, const std::string& what) {
+  std::map<std::string, core::NodeSet> by_type;
+  size_t line_number = 0;
+  for (const std::string& line : ::ntw::Split(contents, '\n')) {
+    ++line_number;
+    if (StripWhitespace(line).empty()) continue;
+    std::vector<std::string> fields = ::ntw::Split(line, '\t');
+    if (fields.size() != 3) {
+      return Status::ParseError(what + " line " +
+                                std::to_string(line_number) +
+                                ": expected 3 tab-separated fields");
+    }
+    char* end = nullptr;
+    long page = std::strtol(fields[1].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Status::ParseError(what + ": bad page index " + fields[1]);
+    }
+    long node = std::strtol(fields[2].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Status::ParseError(what + ": bad node index " + fields[2]);
+    }
+    by_type[fields[0]].Insert(
+        core::NodeRef{static_cast<int>(page), static_cast<int>(node)});
+  }
+  return by_type;
+}
+
+std::string PageFileName(size_t index) {
+  return StrFormat("page_%04zu.html", index);
+}
+
+}  // namespace
+
+Status ExportSite(const SiteData& site, const std::string& directory) {
+  NTW_RETURN_IF_ERROR(MakeDirs(directory));
+  NTW_RETURN_IF_ERROR(
+      WriteFile(directory + "/site.txt", site.site.name + "\n"));
+  for (size_t p = 0; p < site.site.pages.size(); ++p) {
+    NTW_RETURN_IF_ERROR(
+        WriteFile(directory + "/" + PageFileName(p),
+                  html::Serialize(site.site.pages.page(p).root())));
+  }
+  NTW_RETURN_IF_ERROR(
+      WriteFile(directory + "/truth.tsv", RefTable(site.site.truth)));
+  NTW_RETURN_IF_ERROR(
+      WriteFile(directory + "/annotations.tsv", RefTable(site.annotations)));
+  return Status::OK();
+}
+
+Result<core::PageSet> LoadPagesFromDirectory(const std::string& directory) {
+  NTW_ASSIGN_OR_RETURN(std::vector<std::string> files,
+                       ListFiles(directory, ".html"));
+  if (files.empty()) {
+    return Status::NotFound("no .html files in " + directory);
+  }
+  core::PageSet pages;
+  for (const std::string& path : files) {
+    NTW_ASSIGN_OR_RETURN(std::string contents, ReadFile(path));
+    NTW_ASSIGN_OR_RETURN(html::Document doc, html::Parse(contents));
+    pages.AddPage(std::move(doc));
+  }
+  return pages;
+}
+
+Result<SiteData> ImportSite(const std::string& directory) {
+  SiteData site;
+  NTW_ASSIGN_OR_RETURN(std::string name, ReadFile(directory + "/site.txt"));
+  site.site.name = std::string(StripWhitespace(name));
+  NTW_ASSIGN_OR_RETURN(site.site.pages, LoadPagesFromDirectory(directory));
+
+  NTW_ASSIGN_OR_RETURN(std::string truth_tsv,
+                       ReadFile(directory + "/truth.tsv"));
+  NTW_ASSIGN_OR_RETURN(site.site.truth, ParseRefTable(truth_tsv, "truth.tsv"));
+  NTW_ASSIGN_OR_RETURN(std::string annotations_tsv,
+                       ReadFile(directory + "/annotations.tsv"));
+  NTW_ASSIGN_OR_RETURN(
+      site.annotations, ParseRefTable(annotations_tsv, "annotations.tsv"));
+
+  // Validate references against the parsed pages.
+  for (const auto* table : {&site.site.truth, &site.annotations}) {
+    for (const auto& [type, refs] : *table) {
+      for (const core::NodeRef& ref : refs) {
+        if (site.site.pages.Resolve(ref) == nullptr) {
+          return Status::OutOfRange(
+              "reference (" + std::to_string(ref.page) + "," +
+              std::to_string(ref.node) + ") of type " + type +
+              " does not resolve in " + directory);
+        }
+      }
+    }
+  }
+  return site;
+}
+
+Status ExportDataset(const Dataset& dataset, const std::string& directory) {
+  NTW_RETURN_IF_ERROR(MakeDirs(directory));
+  std::string meta = dataset.name + "\n";
+  for (const std::string& type : dataset.types) meta += type + "\n";
+  NTW_RETURN_IF_ERROR(WriteFile(directory + "/dataset.txt", meta));
+  for (size_t s = 0; s < dataset.sites.size(); ++s) {
+    NTW_RETURN_IF_ERROR(ExportSite(
+        dataset.sites[s], directory + "/" + StrFormat("site_%04zu", s)));
+  }
+  return Status::OK();
+}
+
+Result<Dataset> ImportDataset(const std::string& directory) {
+  Dataset dataset;
+  NTW_ASSIGN_OR_RETURN(std::string meta,
+                       ReadFile(directory + "/dataset.txt"));
+  std::vector<std::string> lines = ::ntw::Split(meta, '\n');
+  if (lines.empty() || lines[0].empty()) {
+    return Status::ParseError("dataset.txt: missing dataset name");
+  }
+  dataset.name = lines[0];
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (!lines[i].empty()) dataset.types.push_back(lines[i]);
+  }
+  for (size_t s = 0;; ++s) {
+    std::string site_dir = directory + "/" + StrFormat("site_%04zu", s);
+    if (!FileExists(site_dir + "/site.txt")) break;
+    NTW_ASSIGN_OR_RETURN(SiteData site, ImportSite(site_dir));
+    dataset.sites.push_back(std::move(site));
+  }
+  if (dataset.sites.empty()) {
+    return Status::NotFound("no site_NNNN directories under " + directory);
+  }
+  return dataset;
+}
+
+}  // namespace ntw::datasets

@@ -1,0 +1,115 @@
+#include "datasets/dataset.h"
+
+#include <set>
+
+namespace ntw::datasets {
+
+Split MakeSplit(const Dataset& dataset) {
+  Split split;
+  for (size_t i = 0; i < dataset.sites.size(); ++i) {
+    (i % 2 == 0 ? split.train : split.test).push_back(i);
+  }
+  return split;
+}
+
+Result<TrainedModels> LearnModels(const Dataset& dataset,
+                                  const std::string& type,
+                                  const std::vector<size_t>& train_sites) {
+  core::AnnotationModel::Accumulator annotation_acc;
+  std::vector<core::ListFeatures> features;
+
+  for (size_t index : train_sites) {
+    const SiteData& data = dataset.sites[index];
+    auto truth_it = data.site.truth.find(type);
+    auto labels_it = data.annotations.find(type);
+    if (truth_it == data.site.truth.end() ||
+        labels_it == data.annotations.end()) {
+      continue;
+    }
+    annotation_acc.Observe(labels_it->second, truth_it->second,
+                           data.site.pages.TextNodeCount());
+    features.push_back(core::ComputeListFeatures(
+        core::SegmentRecords(data.site.pages, truth_it->second)));
+  }
+
+  NTW_ASSIGN_OR_RETURN(core::AnnotationModel annotation,
+                       annotation_acc.Finish());
+  NTW_ASSIGN_OR_RETURN(core::PublicationModel publication,
+                       core::PublicationModel::Fit(features));
+  return TrainedModels{std::move(annotation), std::move(publication)};
+}
+
+core::Prf AnnotatorQualityOnAnnotatedPages(const Dataset& dataset,
+                                           const std::string& type) {
+  size_t true_positives = 0;
+  size_t labeled = 0;
+  size_t expected = 0;
+  for (const SiteData& data : dataset.sites) {
+    auto truth_it = data.site.truth.find(type);
+    auto labels_it = data.annotations.find(type);
+    if (truth_it == data.site.truth.end() ||
+        labels_it == data.annotations.end()) {
+      continue;
+    }
+    // Pages with at least one annotation of this type.
+    std::set<int> annotated_pages;
+    for (const core::NodeRef& ref : labels_it->second) {
+      annotated_pages.insert(ref.page);
+    }
+    true_positives +=
+        labels_it->second.IntersectSize(truth_it->second);
+    labeled += labels_it->second.size();
+    for (const core::NodeRef& ref : truth_it->second) {
+      if (annotated_pages.count(ref.page) > 0) ++expected;
+    }
+  }
+  core::Prf prf;
+  prf.true_positives = true_positives;
+  prf.extracted = labeled;
+  prf.expected = expected;
+  prf.precision = labeled == 0 ? 1.0
+                               : static_cast<double>(true_positives) /
+                                     static_cast<double>(labeled);
+  prf.recall = expected == 0 ? 1.0
+                             : static_cast<double>(true_positives) /
+                                   static_cast<double>(expected);
+  prf.f1 = (prf.precision + prf.recall) > 0
+               ? 2 * prf.precision * prf.recall /
+                     (prf.precision + prf.recall)
+               : 0.0;
+  return prf;
+}
+
+core::Prf AnnotatorQuality(const Dataset& dataset, const std::string& type) {
+  size_t true_positives = 0;
+  size_t labeled = 0;
+  size_t expected = 0;
+  for (const SiteData& data : dataset.sites) {
+    auto truth_it = data.site.truth.find(type);
+    auto labels_it = data.annotations.find(type);
+    if (truth_it == data.site.truth.end() ||
+        labels_it == data.annotations.end()) {
+      continue;
+    }
+    true_positives += labels_it->second.IntersectSize(truth_it->second);
+    labeled += labels_it->second.size();
+    expected += truth_it->second.size();
+  }
+  core::Prf prf;
+  prf.true_positives = true_positives;
+  prf.extracted = labeled;
+  prf.expected = expected;
+  prf.precision = labeled == 0 ? 1.0
+                               : static_cast<double>(true_positives) /
+                                     static_cast<double>(labeled);
+  prf.recall = expected == 0 ? 1.0
+                             : static_cast<double>(true_positives) /
+                                   static_cast<double>(expected);
+  prf.f1 = (prf.precision + prf.recall) > 0
+               ? 2 * prf.precision * prf.recall /
+                     (prf.precision + prf.recall)
+               : 0.0;
+  return prf;
+}
+
+}  // namespace ntw::datasets

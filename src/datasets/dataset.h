@@ -1,0 +1,64 @@
+#ifndef NTW_DATASETS_DATASET_H_
+#define NTW_DATASETS_DATASET_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/annotation_model.h"
+#include "core/metrics.h"
+#include "core/publication_model.h"
+#include "sitegen/site.h"
+
+namespace ntw::datasets {
+
+/// One website plus the (noisy) annotations its automatic annotators
+/// produced, per type.
+struct SiteData {
+  sitegen::GeneratedSite site;
+  std::map<std::string, core::NodeSet> annotations;
+};
+
+/// A full dataset in the paper's sense: many script-generated websites in
+/// one domain, the types to extract, and the annotations.
+struct Dataset {
+  std::string name;
+  std::vector<std::string> types;
+  std::vector<SiteData> sites;
+};
+
+/// Models learned from the training half of a dataset (Sec. 7: "the
+/// probability distribution of the two features ... and the p and r of the
+/// annotators are learned from a sample of half the websites").
+struct TrainedModels {
+  core::AnnotationModel annotation;
+  core::PublicationModel publication;
+};
+
+/// Indices of the train/test split: even sites train, odd sites test.
+struct Split {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+Split MakeSplit(const Dataset& dataset);
+
+/// Learns the annotation (p, r) and publication (schema/alignment KDE)
+/// models for `type` from the training sites' ground truth.
+Result<TrainedModels> LearnModels(const Dataset& dataset,
+                                  const std::string& type,
+                                  const std::vector<size_t>& train_sites);
+
+/// Measured annotator quality over the whole dataset (reported next to
+/// each experiment, mirroring the paper's "0.95 precision / 0.24 recall").
+core::Prf AnnotatorQuality(const Dataset& dataset, const std::string& type);
+
+/// Annotator quality with recall restricted to pages that carry at least
+/// one annotation — the paper's DISC convention ("the recall is only
+/// measured w.r.t. pages with at least one annotation").
+core::Prf AnnotatorQualityOnAnnotatedPages(const Dataset& dataset,
+                                           const std::string& type);
+
+}  // namespace ntw::datasets
+
+#endif  // NTW_DATASETS_DATASET_H_

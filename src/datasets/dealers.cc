@@ -1,0 +1,260 @@
+#include "datasets/dealers.h"
+
+#include <unordered_set>
+
+#include "annotate/dictionary_annotator.h"
+#include "annotate/regex_annotator.h"
+#include "common/strings.h"
+#include "sitegen/chrome.h"
+#include "sitegen/list_template.h"
+#include "sitegen/vocab.h"
+
+namespace ntw::datasets {
+namespace {
+
+using sitegen::ListRecord;
+
+struct DealerUniverse {
+  std::vector<std::string> names;       // All business names.
+  std::vector<std::string> dictionary;  // The annotator's subset.
+  std::unordered_set<std::string> dictionary_lookup;  // Lowercased.
+
+  bool InDictionary(const std::string& name) const {
+    return dictionary_lookup.count(ToLower(name)) > 0;
+  }
+};
+
+DealerUniverse MakeUniverse(const DealersConfig& config) {
+  DealerUniverse universe;
+  universe.names =
+      sitegen::BusinessNameUniverse(config.universe_size, config.seed * 977);
+  size_t dict_size = static_cast<size_t>(
+      config.dictionary_fraction * static_cast<double>(universe.names.size()));
+  Rng rng(config.seed * 31 + 7);
+  std::vector<size_t> order(universe.names.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+  for (size_t i = 0; i < dict_size; ++i) {
+    universe.dictionary.push_back(universe.names[order[i]]);
+    universe.dictionary_lookup.insert(ToLower(universe.names[order[i]]));
+  }
+  return universe;
+}
+
+/// Which auxiliary fields a site's rendering script displays, and in what
+/// order. Real dealer locators vary widely (name+city only, full records
+/// with phone and distance, ...): per-site field plans give the corpus the
+/// cross-site schema diversity the publication model has to cope with.
+struct FieldPlan {
+  bool street = true;
+  bool phone = true;
+  bool miles = false;
+  std::vector<int> aux_order;  // Permutation of the included aux fields.
+
+  static FieldPlan Random(Rng* rng) {
+    FieldPlan plan;
+    plan.street = rng->NextBernoulli(0.75);
+    plan.phone = rng->NextBernoulli(0.6);
+    plan.miles = rng->NextBernoulli(0.4);
+    // Aux field ids: 0 = street, 1 = citystatezip, 2 = phone, 3 = miles.
+    // Always-present fields (street, city/state/zip) render before the
+    // per-record optional ones (phone, miles): scripts emit the stable
+    // columns first, which keeps required fields at stable positions —
+    // without this no exact rule exists for the zip line in flat layouts.
+    std::vector<int> required = {1};
+    if (plan.street) required.push_back(0);
+    rng->Shuffle(&required);
+    plan.aux_order = std::move(required);
+    if (plan.phone) plan.aux_order.push_back(2);
+    if (plan.miles) plan.aux_order.push_back(3);
+    return plan;
+  }
+
+  size_t field_count() const { return 1 + aux_order.size(); }
+};
+
+/// Builds one record of the dealer listing according to the site's field
+/// plan. Field 0 is always the store name; the city/state/zip line is
+/// always present (it is the second type of the Appendix A experiment).
+ListRecord MakeDealerRecord(Rng* rng, const DealerUniverse& universe,
+                            const DealersConfig& config,
+                            const FieldPlan& plan,
+                            bool force_dictionary_name,
+                            double street_noise_prob) {
+  ListRecord record;
+
+  std::string name;
+  if (force_dictionary_name && !universe.dictionary.empty()) {
+    name = universe.dictionary[rng->NextBounded(universe.dictionary.size())];
+  } else {
+    name = universe.names[rng->NextBounded(universe.names.size())];
+  }
+
+  std::string street = sitegen::StreetAddress(rng);
+  if (rng->NextBernoulli(street_noise_prob) &&
+      !universe.dictionary.empty()) {
+    // The paper's street-address noise: an address line containing a
+    // dictionary business name.
+    street = std::to_string(rng->NextInRange(100, 999)) + " " +
+             ToUpper(universe.dictionary[rng->NextBounded(
+                 universe.dictionary.size())]) +
+             " PLAZA";
+  } else if (rng->NextBernoulli(config.five_digit_street_prob)) {
+    // Five-digit street number: zipcode-annotator noise.
+    street = std::to_string(rng->NextInRange(10000, 99999)) + " " + street;
+  }
+
+  sitegen::CityStateZip csz = sitegen::RandomCityStateZip(rng);
+
+  // Candidate aux fields, indexed as in FieldPlan::aux_order.
+  const std::string aux_fields[4] = {
+      street, csz.ToString(), "Phone: " + sitegen::PhoneNumber(rng),
+      "Miles: " + std::to_string(rng->NextInRange(1, 60)) + "." +
+          std::to_string(rng->NextBounded(10))};
+  const std::string aux_types[4] = {"", "zip", "phone", ""};
+
+  record.fields = {name};
+  record.field_types = {"name"};
+  record.present = {true};
+  for (int aux : plan.aux_order) {
+    record.fields.push_back(aux_fields[aux]);
+    record.field_types.push_back(aux_types[aux]);
+    bool present = true;
+    if (aux == 2) present = rng->NextBernoulli(config.phone_present_prob);
+    if (aux == 3) present = rng->NextBernoulli(0.7);
+    record.present.push_back(present);
+  }
+  return record;
+}
+
+sitegen::GeneratedSite MakeDealerSite(Rng* rng,
+                                      const DealerUniverse& universe,
+                                      const DealersConfig& config,
+                                      size_t site_index) {
+  // The brand (site owner) appears in the chrome of every page; draw it
+  // from outside the dictionary — the paper's dictionary holds retail
+  // store names, not the manufacturers whose locator sites were crawled.
+  std::string brand;
+  do {
+    brand = universe.names[rng->NextBounded(universe.names.size())];
+  } while (universe.InDictionary(brand));
+  sitegen::SiteAccumulator accumulator(
+      "dealers-" + std::to_string(site_index) + " (" + brand + ")");
+
+  sitegen::ChromeTemplate chrome =
+      sitegen::ChromeTemplate::Random(rng, brand + " Dealer Locator");
+  FieldPlan plan = FieldPlan::Random(rng);
+  sitegen::ListTemplate list_template =
+      sitegen::ListTemplate::Random(rng, plan.field_count());
+
+  // The sidebar brand list is fixed per site (it is part of the chrome).
+  // Entries are manufacturer product lines; occasionally one is a
+  // dictionary business name — a persistent per-site false positive.
+  std::vector<std::string> sidebar_items;
+  size_t sidebar_count = 3 + rng->NextBounded(5);
+  for (size_t i = 0; i < sidebar_count; ++i) {
+    if (rng->NextBernoulli(config.sidebar_dictionary_fraction) &&
+        !universe.dictionary.empty()) {
+      sidebar_items.push_back(
+          universe.dictionary[rng->NextBounded(universe.dictionary.size())]);
+    } else {
+      sidebar_items.push_back(sitegen::ManufacturerBrand(rng));
+    }
+  }
+
+  // Plan dictionary hits: spread `min_dictionary_hits` forced hits over
+  // the site's pages so that every site is learnable.
+  size_t forced_remaining = config.min_dictionary_hits;
+
+  // Mall-style sites put store names into street lines for many records
+  // (correlated annotator noise — see DealersConfig::mall_site_prob).
+  double street_noise_prob = rng->NextBernoulli(config.mall_site_prob)
+                                 ? config.mall_street_noise_prob
+                                 : config.street_noise_prob;
+
+  for (size_t page = 0; page < config.pages_per_site; ++page) {
+    sitegen::PageBuilder builder;
+    sitegen::CityStateZip query = sitegen::RandomCityStateZip(rng);
+    html::Node* body = sitegen::BeginPage(
+        &builder, brand + " - Dealers near " + query.zip);
+    html::Node* content =
+        sitegen::RenderChromeTop(&builder, chrome, sidebar_items);
+
+    size_t records =
+        config.min_records +
+        rng->NextBounded(config.max_records - config.min_records + 1);
+
+    builder.Text(
+        builder.El(content, "h2"),
+        "There are " + std::to_string(records) + " stores within 50 miles " +
+            "of " + query.city + ", " + query.state);
+
+    // Intro sentence; sometimes embeds a dictionary name (promo noise).
+    std::string intro_embed;
+    if (rng->NextBernoulli(config.promo_noise_prob) &&
+        !universe.dictionary.empty()) {
+      intro_embed =
+          universe.dictionary[rng->NextBounded(universe.dictionary.size())];
+    }
+    builder.Text(builder.El(content, "p", {{"class", "intro"}}),
+                 sitegen::FillerSentence(rng, 14, intro_embed));
+
+    std::vector<ListRecord> page_records;
+    for (size_t i = 0; i < records; ++i) {
+      bool force = forced_remaining > 0 &&
+                   rng->NextBernoulli(0.5 / config.pages_per_site +
+                                      (page + 1 == config.pages_per_site
+                                           ? 1.0
+                                           : 0.25));
+      if (force) --forced_remaining;
+      page_records.push_back(MakeDealerRecord(rng, universe, config, plan,
+                                              force, street_noise_prob));
+    }
+    list_template.Render(&builder, content, page_records);
+
+    // Footer promos; sometimes embed a dictionary name.
+    std::vector<std::string> promos;
+    if (rng->NextBernoulli(config.promo_noise_prob) &&
+        !universe.dictionary.empty()) {
+      promos.push_back(sitegen::FillerSentence(
+          rng, 12,
+          universe.dictionary[rng->NextBounded(universe.dictionary.size())]));
+    } else {
+      promos.push_back(sitegen::FillerSentence(rng, 10));
+    }
+    sitegen::RenderChromeBottom(&builder, body, chrome, rng, promos);
+
+    accumulator.Add(builder.Finish());
+  }
+  return accumulator.Take();
+}
+
+}  // namespace
+
+Dataset MakeDealers(const DealersConfig& config) {
+  Dataset dataset;
+  dataset.name = "DEALERS";
+  dataset.types = {"name", "zip", "phone"};
+
+  DealerUniverse universe = MakeUniverse(config);
+  annotate::DictionaryAnnotator name_annotator(universe.dictionary);
+  annotate::RegexAnnotator zip_annotator = annotate::RegexAnnotator::Zipcode();
+  Result<annotate::RegexAnnotator> phone_annotator =
+      annotate::RegexAnnotator::Create("phone", R"(\b\d{3}-\d{3}-\d{4}\b)");
+
+  Rng master(config.seed);
+  for (size_t s = 0; s < config.num_sites; ++s) {
+    Rng site_rng = master.Fork();
+    SiteData data;
+    data.site = MakeDealerSite(&site_rng, universe, config, s);
+    data.annotations["name"] = name_annotator.Annotate(data.site.pages);
+    data.annotations["zip"] = zip_annotator.Annotate(data.site.pages);
+    if (phone_annotator.ok()) {
+      data.annotations["phone"] = phone_annotator->Annotate(data.site.pages);
+    }
+    dataset.sites.push_back(std::move(data));
+  }
+  return dataset;
+}
+
+}  // namespace ntw::datasets

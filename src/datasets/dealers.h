@@ -1,0 +1,54 @@
+#ifndef NTW_DATASETS_DEALERS_H_
+#define NTW_DATASETS_DEALERS_H_
+
+#include <cstdint>
+
+#include "datasets/dataset.h"
+
+namespace ntw::datasets {
+
+/// Configuration of the DEALERS dataset (Sec. 7): dealer-locator pages of
+/// many businesses, produced by automatic zipcode form fills. Types:
+/// "name" (the store name, the paper's single-type target) and "zip" (the
+/// city/state/zip line, the second type of the Appendix A experiment).
+struct DealersConfig {
+  size_t num_sites = 330;
+  size_t pages_per_site = 12;    // Simulated zipcode form fills per site.
+  size_t min_records = 2;        // Dealers listed per page.
+  size_t max_records = 10;
+  size_t universe_size = 2400;   // Business-name universe (Yahoo! Local).
+  double dictionary_fraction = 0.17;  // Fraction of the universe the
+                                      // annotator's dictionary covers —
+                                      // drives its ~0.24 recall.
+  /// Probability a record's street line embeds a dictionary name ("201
+  /// BESTVALUE ELECTRONICS PLAZA") — the paper's street-address noise.
+  double street_noise_prob = 0.002;
+  /// Some sites are "mall-style": their dealers are anchor stores inside
+  /// named shopping plazas, so street lines embed business names often.
+  /// This correlated noise puts a competing, equally-well-structured list
+  /// (the address column) into the wrapper space — the failure mode that
+  /// separates NTW-X from full NTW in Fig. 2(h).
+  double mall_site_prob = 0.12;
+  double mall_street_noise_prob = 0.10;
+  /// Probability a page's intro/footer sentence embeds a dictionary name
+  /// ("authorized dealer of X products") — description noise.
+  double promo_noise_prob = 0.012;
+  /// Fraction of sidebar brand entries drawn from the dictionary.
+  double sidebar_dictionary_fraction = 0.005;
+  /// Probability that the phone field is present on a record.
+  double phone_present_prob = 0.85;
+  /// Probability a street number has five digits (zipcode-annotator noise).
+  double five_digit_street_prob = 0.06;
+  /// Minimum dictionary hits planted per site so every site is learnable
+  /// (the paper's sites were chosen to overlap the Yahoo! Local database).
+  size_t min_dictionary_hits = 3;
+  uint64_t seed = 11;
+};
+
+/// Generates the DEALERS dataset, including the dictionary annotations for
+/// "name" and the regex (\b\d{5}\b) annotations for "zip".
+Dataset MakeDealers(const DealersConfig& config);
+
+}  // namespace ntw::datasets
+
+#endif  // NTW_DATASETS_DEALERS_H_

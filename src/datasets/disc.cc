@@ -1,0 +1,218 @@
+#include "datasets/disc.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "sitegen/chrome.h"
+#include "sitegen/list_template.h"
+#include "sitegen/vocab.h"
+
+namespace ntw::datasets {
+namespace {
+
+using sitegen::ListRecord;
+using sitegen::SeedAlbum;
+
+/// The 15 site names follow the paper's Figure 8.
+constexpr const char* kDiscSiteNames[] = {
+    "cduniverse.com",      "music.barnesandnoble.com",
+    "tower.com",           "cdbaby.com",
+    "musicishere.com",     "home.napster.com",
+    "mog.com",             "mp3.rhapsody.com",
+    "shockhound.com",      "rollingstone.com",
+    "play.com",            "wayango.com",
+    "audiolunchbox.com",   "amazon.com",
+    "allmusic.com"};
+
+/// Exact whole-node matching against a set of strings (the DISC annotators
+/// "look for exact track names on the webpages").
+class ExactSetAnnotator {
+ public:
+  explicit ExactSetAnnotator(const std::vector<std::string>& entries) {
+    for (const std::string& entry : entries) {
+      entries_.insert(ToLower(CollapseWhitespace(entry)));
+    }
+  }
+
+  core::NodeSet Annotate(const core::PageSet& pages) const {
+    std::vector<core::NodeRef> refs;
+    for (size_t p = 0; p < pages.size(); ++p) {
+      for (const html::Node* node : pages.page(p).text_nodes()) {
+        if (entries_.count(ToLower(CollapseWhitespace(node->text())))) {
+          refs.push_back(
+              core::NodeRef{static_cast<int>(p), node->preorder_index()});
+        }
+      }
+    }
+    return core::NodeSet(std::move(refs));
+  }
+
+ private:
+  std::unordered_set<std::string> entries_;
+};
+
+struct Album {
+  std::string title;
+  std::string artist;
+  std::vector<std::string> tracks;
+  bool is_seed = false;
+};
+
+std::vector<Album> PlanSiteAlbums(Rng* rng, const DiscConfig& config) {
+  const std::vector<SeedAlbum>& seeds = sitegen::SeedAlbums();
+  std::vector<size_t> order(seeds.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  size_t seed_count =
+      config.min_seed_albums +
+      rng->NextBounded(config.max_seed_albums - config.min_seed_albums + 1);
+  seed_count = std::min(seed_count, seeds.size());
+
+  std::vector<Album> albums;
+  for (size_t i = 0; i < seed_count; ++i) {
+    const SeedAlbum& seed = seeds[order[i]];
+    albums.push_back(Album{seed.title, seed.artist, seed.tracks, true});
+  }
+  size_t extra_count =
+      config.min_extra_albums +
+      rng->NextBounded(config.max_extra_albums - config.min_extra_albums + 1);
+  for (size_t i = 0; i < extra_count; ++i) {
+    Album album;
+    album.title = sitegen::AlbumTitle(rng);
+    album.artist = sitegen::ArtistName(rng);
+    int tracks = static_cast<int>(rng->NextInRange(8, 13));
+    std::unordered_set<std::string> seen;
+    while (static_cast<int>(album.tracks.size()) < tracks) {
+      std::string t = sitegen::TrackTitle(rng);
+      if (seen.insert(t).second) album.tracks.push_back(std::move(t));
+    }
+    albums.push_back(std::move(album));
+  }
+  rng->Shuffle(&albums);
+  return albums;
+}
+
+sitegen::GeneratedSite MakeDiscSite(Rng* rng, const DiscConfig& config,
+                                    size_t site_index) {
+  std::string site_name = kDiscSiteNames[site_index % 15];
+  sitegen::SiteAccumulator accumulator(site_name);
+
+  sitegen::ChromeTemplate chrome =
+      sitegen::ChromeTemplate::Random(rng, site_name);
+  // Fields: track title, duration, bitrate/format note.
+  sitegen::ListTemplate list_template = sitegen::ListTemplate::Random(rng, 3);
+  bool head_title_exact = rng->NextBernoulli(0.4);
+  bool has_details_tab = rng->NextBernoulli(0.4);
+  std::string title_class = sitegen::RandomCssClass(rng);
+
+  std::vector<std::string> sidebar_items;
+  size_t sidebar_count = 3 + rng->NextBounded(4);
+  for (size_t i = 0; i < sidebar_count; ++i) {
+    sidebar_items.push_back("Genre: " + sitegen::TrackTitle(rng));
+  }
+
+  for (const Album& album : PlanSiteAlbums(rng, config)) {
+    sitegen::PageBuilder builder;
+    html::Node* body = sitegen::BeginPage(
+        &builder,
+        head_title_exact ? album.title : site_name + " : " + album.title);
+    html::Node* content =
+        sitegen::RenderChromeTop(&builder, chrome, sidebar_items);
+
+    // Album header: the title node is the "album" single-entity target.
+    html::Node* header =
+        builder.El(content, "div", {{"class", title_class}});
+    builder.TargetText(builder.El(header, "h2"), album.title, "album");
+    builder.Text(builder.El(header, "p", {{"class", "artist"}}),
+                 "by " + album.artist);
+    builder.Text(builder.El(header, "p", {{"class", "blurb"}}),
+                 sitegen::FillerSentence(rng, 16));
+    if (has_details_tab) {
+      html::Node* tab = builder.El(content, "div", {{"class", "details"}});
+      builder.Text(builder.El(tab, "span", {{"class", "lbl"}}), "Album:");
+      builder.Text(builder.El(tab, "span", {{"class", "val"}}), album.title);
+    }
+
+    // Track listing.
+    std::vector<ListRecord> records;
+    for (const std::string& track : album.tracks) {
+      std::string rendered = track;
+      if (rng->NextBernoulli(config.suffix_prob)) {
+        rendered += rng->NextBernoulli(0.5) ? " (Remastered)" : " [Live]";
+      }
+      ListRecord record;
+      record.fields = {rendered, sitegen::TrackDuration(rng),
+                       rng->NextBernoulli(0.5) ? "MP3 320k" : "FLAC"};
+      record.field_types = {"track", "", ""};
+      record.present = {true, true, rng->NextBernoulli(0.6)};
+      records.push_back(std::move(record));
+    }
+    list_template.Render(&builder, content, records);
+
+    // Reviews: quoted track titles become their own text nodes — the
+    // precision noise of the DISC annotator ("track titles ... present
+    // inside album descriptions/user comments").
+    html::Node* reviews = builder.El(content, "div", {{"class", "reviews"}});
+    builder.Text(builder.El(reviews, "h4"), "User Reviews");
+    if (rng->NextBernoulli(config.review_quote_prob) &&
+        !album.tracks.empty()) {
+      size_t quotes = 1 + rng->NextBounded(3);
+      for (size_t q = 0; q < quotes; ++q) {
+        html::Node* p = builder.El(reviews, "p", {{"class", "review"}});
+        builder.Text(p, sitegen::FillerSentence(rng, 6) + " ");
+        builder.Text(
+            builder.El(p, "i"),
+            album.tracks[rng->NextBounded(album.tracks.size())]);
+        builder.Text(p, " " + sitegen::FillerSentence(rng, 5));
+      }
+      // Some reviews also name the album itself (album-annotator noise).
+      if (rng->NextBernoulli(0.5)) {
+        html::Node* p = builder.El(reviews, "p", {{"class", "review"}});
+        builder.Text(p, sitegen::FillerSentence(rng, 4) + " ");
+        builder.Text(builder.El(p, "b"), album.title);
+        builder.Text(p, " " + sitegen::FillerSentence(rng, 4));
+      }
+    } else {
+      builder.Text(builder.El(reviews, "p"),
+                   sitegen::FillerSentence(rng, 12));
+    }
+
+    sitegen::RenderChromeBottom(&builder, body, chrome, rng,
+                                {sitegen::FillerSentence(rng, 8)});
+    accumulator.Add(builder.Finish());
+  }
+  return accumulator.Take();
+}
+
+}  // namespace
+
+Dataset MakeDisc(const DiscConfig& config) {
+  Dataset dataset;
+  dataset.name = "DISC";
+  dataset.types = {"track", "album"};
+
+  // The annotator's seed database: the 11 albums of Figure 9.
+  std::vector<std::string> seed_tracks;
+  std::vector<std::string> seed_titles;
+  for (const SeedAlbum& album : sitegen::SeedAlbums()) {
+    seed_titles.push_back(album.title);
+    for (const std::string& track : album.tracks) {
+      seed_tracks.push_back(track);
+    }
+  }
+  ExactSetAnnotator track_annotator(seed_tracks);
+  ExactSetAnnotator album_annotator(seed_titles);
+
+  Rng master(config.seed);
+  for (size_t s = 0; s < config.num_sites; ++s) {
+    Rng site_rng = master.Fork();
+    SiteData data;
+    data.site = MakeDiscSite(&site_rng, config, s);
+    data.annotations["track"] = track_annotator.Annotate(data.site.pages);
+    data.annotations["album"] = album_annotator.Annotate(data.site.pages);
+    dataset.sites.push_back(std::move(data));
+  }
+  return dataset;
+}
+
+}  // namespace ntw::datasets

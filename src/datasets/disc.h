@@ -1,0 +1,39 @@
+#ifndef NTW_DATASETS_DISC_H_
+#define NTW_DATASETS_DISC_H_
+
+#include <cstdint>
+
+#include "datasets/dataset.h"
+
+namespace ntw::datasets {
+
+/// Configuration of the DISC dataset (Sec. 7): 15 discography websites,
+/// each with structurally similar per-album pages listing the album's
+/// tracks. Types: "track" (the list target) and "album" (single entity per
+/// page, used by the Appendix B.2 experiment).
+struct DiscConfig {
+  size_t num_sites = 15;
+  /// Seed albums present per site (the annotator's database has 11; any
+  /// site carries at least a few of them).
+  size_t min_seed_albums = 6;
+  size_t max_seed_albums = 11;
+  /// Additional non-seed albums per site.
+  size_t min_extra_albums = 3;
+  size_t max_extra_albums = 8;
+  /// Probability a track title is rendered with a "(Remastered)"-style
+  /// suffix, defeating the exact-match annotator (recall noise).
+  double suffix_prob = 0.08;
+  /// Probability a page's review section quotes a track title as its own
+  /// text node (precision noise).
+  double review_quote_prob = 0.35;
+  uint64_t seed = 17;
+};
+
+/// Generates the DISC dataset with track annotations (exact track-name
+/// matching against the seed database) and album annotations (exact album
+/// title matching, very noisy — titles recur in reviews and title tracks).
+Dataset MakeDisc(const DiscConfig& config);
+
+}  // namespace ntw::datasets
+
+#endif  // NTW_DATASETS_DISC_H_

@@ -1,0 +1,124 @@
+#include "datasets/products.h"
+
+#include "annotate/dictionary_annotator.h"
+#include "common/strings.h"
+#include "sitegen/chrome.h"
+#include "sitegen/list_template.h"
+#include "sitegen/vocab.h"
+
+namespace ntw::datasets {
+namespace {
+
+using sitegen::ListRecord;
+
+/// Site names follow the paper's Figure 4.
+constexpr const char* kProductSiteNames[] = {
+    "bizrate.com",         "shopping.yahoo.com", "pricegrabber.com",
+    "google.com/products", "shopper.cnet.com",   "puremobile.com",
+    "letstalk.com",        "mysimon.com",        "tigerdirect.com",
+    "shopping.com"};
+
+constexpr const char* kOffCatalogueBrands[] = {"HTC", "Palm", "BlackBerry",
+                                               "Sanyo", "Kyocera"};
+
+ListRecord MakeProductRecord(Rng* rng, const std::vector<std::string>& catalogue,
+                             const ProductsConfig& config) {
+  ListRecord record;
+  std::string model;
+  if (rng->NextBernoulli(config.catalogue_fraction)) {
+    model = catalogue[rng->NextBounded(catalogue.size())];
+    if (rng->NextBernoulli(0.25)) {
+      model += rng->NextBernoulli(0.5) ? " - Black" : " - Unlocked";
+    }
+  } else {
+    std::string brand =
+        kOffCatalogueBrands[rng->NextBounded(std::size(kOffCatalogueBrands))];
+    model = sitegen::PhoneModel(rng, brand);
+  }
+
+  std::string description = sitegen::FillerSentence(rng, 10);
+  if (rng->NextBernoulli(config.description_mention_prob)) {
+    // "Compare with <catalogue model>" — the precision noise: a catalogue
+    // mention outside the true list position.
+    description = "Compare with " +
+                  catalogue[rng->NextBounded(catalogue.size())] + ". " +
+                  description;
+  }
+
+  record.fields = {model, sitegen::Price(rng), description,
+                   "In stock - ships in " +
+                       std::to_string(rng->NextInRange(1, 5)) + " days"};
+  record.field_types = {"model", "", "", ""};
+  record.present = {true, true, rng->NextBernoulli(0.8),
+                    rng->NextBernoulli(0.6)};
+  return record;
+}
+
+sitegen::GeneratedSite MakeProductSite(
+    Rng* rng, const std::vector<std::string>& catalogue,
+    const ProductsConfig& config, size_t site_index) {
+  std::string site_name = kProductSiteNames[site_index % 10];
+  sitegen::SiteAccumulator accumulator(site_name);
+
+  sitegen::ChromeTemplate chrome =
+      sitegen::ChromeTemplate::Random(rng, site_name);
+  sitegen::ListTemplate list_template = sitegen::ListTemplate::Random(rng, 4);
+
+  std::vector<std::string> sidebar_items;
+  for (const std::string& brand : sitegen::PhoneBrands()) {
+    sidebar_items.push_back(brand + " phones");
+  }
+
+  for (size_t page = 0; page < config.pages_per_site; ++page) {
+    sitegen::PageBuilder builder;
+    html::Node* body = sitegen::BeginPage(
+        &builder, site_name + " - Cell Phones page " +
+                      std::to_string(page + 1));
+    html::Node* content =
+        sitegen::RenderChromeTop(&builder, chrome, sidebar_items);
+
+    size_t records =
+        config.min_records +
+        rng->NextBounded(config.max_records - config.min_records + 1);
+    builder.Text(builder.El(content, "h2"),
+                 "Cell Phones (" + std::to_string(records) + " results)");
+
+    std::vector<ListRecord> page_records;
+    for (size_t i = 0; i < records; ++i) {
+      page_records.push_back(MakeProductRecord(rng, catalogue, config));
+    }
+    list_template.Render(&builder, content, page_records);
+
+    sitegen::RenderChromeBottom(&builder, body, chrome, rng,
+                                {sitegen::FillerSentence(rng, 9)});
+    accumulator.Add(builder.Finish());
+  }
+  return accumulator.Take();
+}
+
+}  // namespace
+
+Dataset MakeProducts(const ProductsConfig& config) {
+  Dataset dataset;
+  dataset.name = "PRODUCTS";
+  dataset.types = {"model"};
+
+  std::vector<std::string> catalogue = sitegen::PhoneModelCatalogue(
+      config.catalogue_per_brand, config.seed * 131);
+  while (catalogue.size() > 463 && catalogue.size() > 1) {
+    catalogue.pop_back();  // The paper's dictionary had exactly 463 models.
+  }
+  annotate::DictionaryAnnotator annotator(catalogue);
+
+  Rng master(config.seed);
+  for (size_t s = 0; s < config.num_sites; ++s) {
+    Rng site_rng = master.Fork();
+    SiteData data;
+    data.site = MakeProductSite(&site_rng, catalogue, config, s);
+    data.annotations["model"] = annotator.Annotate(data.site.pages);
+    dataset.sites.push_back(std::move(data));
+  }
+  return dataset;
+}
+
+}  // namespace ntw::datasets

@@ -1,0 +1,36 @@
+#ifndef NTW_DATASETS_PRODUCTS_H_
+#define NTW_DATASETS_PRODUCTS_H_
+
+#include <cstdint>
+
+#include "datasets/dataset.h"
+
+namespace ntw::datasets {
+
+/// Configuration of the PRODUCTS dataset (Appendix B.1): 10 shopping
+/// websites selling cellphones; the task is to extract all phones sold.
+/// The dictionary is the Wikipedia-derived model catalogue (463 entries
+/// over five brands in the paper).
+struct ProductsConfig {
+  size_t num_sites = 10;
+  size_t pages_per_site = 5;
+  size_t min_records = 4;
+  size_t max_records = 14;
+  /// Catalogue entries per brand; 5 brands. The paper's dictionary had
+  /// 463 entries; 93×5 = 465 with two trimmed gives exactly 463.
+  size_t catalogue_per_brand = 93;
+  /// Fraction of listed phones that come from the dictionary's brands
+  /// (others are off-catalogue brands: recall noise).
+  double catalogue_fraction = 0.65;
+  /// Probability a product description mentions a catalogue model
+  /// (precision noise).
+  double description_mention_prob = 0.18;
+  uint64_t seed = 23;
+};
+
+/// Generates the PRODUCTS dataset with "model" annotations.
+Dataset MakeProducts(const ProductsConfig& config);
+
+}  // namespace ntw::datasets
+
+#endif  // NTW_DATASETS_PRODUCTS_H_

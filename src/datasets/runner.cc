@@ -1,0 +1,90 @@
+#include "datasets/runner.h"
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace ntw::datasets {
+
+Result<RunSummary> RunSingleType(const Dataset& dataset,
+                                 const core::WrapperInductor& inductor,
+                                 const RunConfig& config) {
+  Split split = MakeSplit(dataset);
+  NTW_ASSIGN_OR_RETURN(TrainedModels models,
+                       LearnModels(dataset, config.type, split.train));
+  core::Ranker ranker(models.annotation, models.publication, config.variant);
+
+  RunSummary summary;
+  summary.annotator = AnnotatorQuality(dataset, config.type);
+
+  std::vector<size_t> eval_sites =
+      config.test_half_only ? split.test : [&] {
+        std::vector<size_t> all(dataset.sites.size());
+        for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+        return all;
+      }();
+
+  std::vector<core::Prf> ntw_results;
+  std::vector<core::Prf> naive_results;
+  for (size_t index : eval_sites) {
+    const SiteData& data = dataset.sites[index];
+    auto labels_it = data.annotations.find(config.type);
+    auto truth_it = data.site.truth.find(config.type);
+    if (truth_it == data.site.truth.end()) continue;
+    if (labels_it == data.annotations.end() || labels_it->second.empty()) {
+      ++summary.skipped_sites;
+      continue;
+    }
+    const core::NodeSet& labels = labels_it->second;
+    const core::NodeSet& truth = truth_it->second;
+
+    SiteOutcome outcome;
+    outcome.site_name = data.site.name;
+    outcome.labels = labels.size();
+
+    Stopwatch watch;
+    core::NtwOptions options;
+    options.algorithm = config.algorithm;
+    Result<core::NtwOutcome> ntw_outcome = core::LearnNoiseTolerant(
+        inductor, data.site.pages, labels, ranker, options);
+    outcome.seconds = watch.ElapsedSeconds();
+    if (ntw_outcome.ok()) {
+      outcome.ntw = core::Evaluate(ntw_outcome->best.extraction, truth);
+      outcome.space_size = ntw_outcome->space_size;
+      outcome.inductor_calls = ntw_outcome->inductor_calls;
+      outcome.ntw_wrapper = ntw_outcome->best.wrapper->ToString();
+    } else {
+      outcome.ntw = core::Evaluate(core::NodeSet(), truth);
+    }
+
+    core::Induction naive =
+        core::LearnNaive(inductor, data.site.pages, labels);
+    outcome.naive = core::Evaluate(naive.extraction, truth);
+    outcome.naive_wrapper = naive.wrapper->ToString();
+
+    ntw_results.push_back(outcome.ntw);
+    naive_results.push_back(outcome.naive);
+    summary.sites.push_back(std::move(outcome));
+  }
+
+  summary.ntw_avg = core::MacroAverage(ntw_results);
+  summary.naive_avg = core::MacroAverage(naive_results);
+  return summary;
+}
+
+std::string FormatSummary(const std::string& title,
+                          const RunSummary& summary) {
+  std::string out = title + "\n";
+  out += StrFormat("  annotator: precision=%.3f recall=%.3f (%zu sites"
+                   " evaluated, %zu skipped)\n",
+                   summary.annotator.precision, summary.annotator.recall,
+                   summary.sites.size(), summary.skipped_sites);
+  out += StrFormat("  %-6s precision=%.3f recall=%.3f f1=%.3f\n", "NTW",
+                   summary.ntw_avg.precision, summary.ntw_avg.recall,
+                   summary.ntw_avg.f1);
+  out += StrFormat("  %-6s precision=%.3f recall=%.3f f1=%.3f\n", "NAIVE",
+                   summary.naive_avg.precision, summary.naive_avg.recall,
+                   summary.naive_avg.f1);
+  return out;
+}
+
+}  // namespace ntw::datasets

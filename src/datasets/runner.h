@@ -1,0 +1,55 @@
+#ifndef NTW_DATASETS_RUNNER_H_
+#define NTW_DATASETS_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/ntw.h"
+#include "datasets/dataset.h"
+
+namespace ntw::datasets {
+
+/// Configuration of one dataset × inductor experiment.
+struct RunConfig {
+  std::string type;  // Which type to extract (e.g. "name").
+  core::EnumAlgorithm algorithm = core::EnumAlgorithm::kTopDown;
+  core::RankerVariant variant = core::RankerVariant::kFull;
+  /// Evaluate on the held-out half only (models are always learned on the
+  /// training half); false evaluates on every site.
+  bool test_half_only = true;
+};
+
+/// Per-site outcome.
+struct SiteOutcome {
+  std::string site_name;
+  size_t labels = 0;
+  core::Prf ntw;
+  core::Prf naive;
+  size_t space_size = 0;
+  int64_t inductor_calls = 0;
+  double seconds = 0.0;
+  std::string ntw_wrapper;
+  std::string naive_wrapper;
+};
+
+/// Aggregate outcome of a run.
+struct RunSummary {
+  core::Prf ntw_avg;
+  core::Prf naive_avg;
+  std::vector<SiteOutcome> sites;
+  size_t skipped_sites = 0;  // Sites with no annotations.
+  core::Prf annotator;       // Measured annotator quality on the dataset.
+};
+
+/// Runs NTW and NAIVE for every evaluated site of the dataset and macro-
+/// averages the results (the Fig. 2(d–i) / Fig. 3(c) harness).
+Result<RunSummary> RunSingleType(const Dataset& dataset,
+                                 const core::WrapperInductor& inductor,
+                                 const RunConfig& config);
+
+/// Formats a summary as the two rows the paper's bar charts encode.
+std::string FormatSummary(const std::string& title, const RunSummary& summary);
+
+}  // namespace ntw::datasets
+
+#endif  // NTW_DATASETS_RUNNER_H_

@@ -1,0 +1,116 @@
+#include "html/entities.h"
+
+#include <cstdint>
+
+#include "common/strings.h"
+
+namespace ntw::html {
+namespace {
+
+// Small fixed table; linear scan is faster than a map at this size.
+struct NamedEntity {
+  const char* name;
+  const char* utf8;
+};
+
+constexpr NamedEntity kNamedEntities[] = {
+    {"amp", "&"},       {"lt", "<"},        {"gt", ">"},
+    {"quot", "\""},     {"apos", "'"},      {"nbsp", "\xc2\xa0"},
+    {"copy", "\xc2\xa9"}, {"reg", "\xc2\xae"}, {"trade", "\xe2\x84\xa2"},
+    {"middot", "\xc2\xb7"}, {"bull", "\xe2\x80\xa2"},
+    {"ndash", "\xe2\x80\x93"}, {"mdash", "\xe2\x80\x94"},
+    {"hellip", "\xe2\x80\xa6"}, {"laquo", "\xc2\xab"},
+    {"raquo", "\xc2\xbb"},
+};
+
+// Appends the UTF-8 encoding of `cp` to `out`.
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp <= 0x7f) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp <= 0x7ff) {
+    out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp <= 0xffff) {
+    out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp <= 0x10ffff) {
+    out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else {
+    out->append("\xef\xbf\xbd");  // U+FFFD replacement character.
+  }
+}
+
+// Attempts to decode a character reference starting at s[pos] (which is
+// '&'). On success writes the decoded text and returns the index one past
+// the reference; on failure returns pos.
+size_t TryDecodeReference(std::string_view s, size_t pos, std::string* out) {
+  size_t i = pos + 1;
+  if (i >= s.size()) return pos;
+
+  if (s[i] == '#') {
+    ++i;
+    bool hex = i < s.size() && (s[i] == 'x' || s[i] == 'X');
+    if (hex) ++i;
+    uint32_t cp = 0;
+    size_t digits_start = i;
+    while (i < s.size()) {
+      char c = s[i];
+      int digit;
+      if (IsAsciiDigit(c)) {
+        digit = c - '0';
+      } else if (hex && c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else if (hex && c >= 'A' && c <= 'F') {
+        digit = c - 'A' + 10;
+      } else {
+        break;
+      }
+      cp = cp * (hex ? 16u : 10u) + static_cast<uint32_t>(digit);
+      if (cp > 0x10ffff) cp = 0x110000;  // Saturate; emitted as U+FFFD.
+      ++i;
+    }
+    if (i == digits_start) return pos;
+    AppendUtf8(cp, out);
+    if (i < s.size() && s[i] == ';') ++i;
+    return i;
+  }
+
+  size_t name_start = i;
+  while (i < s.size() && IsAsciiAlnum(s[i])) ++i;
+  std::string_view name = s.substr(name_start, i - name_start);
+  if (name.empty()) return pos;
+  for (const auto& entity : kNamedEntities) {
+    if (name == entity.name) {
+      out->append(entity.utf8);
+      if (i < s.size() && s[i] == ';') ++i;
+      return i;
+    }
+  }
+  return pos;
+}
+
+}  // namespace
+
+std::string DecodeEntities(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] == '&') {
+      size_t next = TryDecodeReference(s, i, &out);
+      if (next != i) {
+        i = next;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace ntw::html

@@ -1,0 +1,19 @@
+#ifndef NTW_HTML_ENTITIES_H_
+#define NTW_HTML_ENTITIES_H_
+
+#include <string>
+#include <string_view>
+
+namespace ntw::html {
+
+/// Decodes HTML character references: the named entities that appear in
+/// script-generated listing pages (&amp; &lt; &gt; &quot; &apos; &nbsp;
+/// &copy; &reg; &trade; &middot; &bull; &ndash; &mdash;) plus decimal and
+/// hexadecimal numeric references. Code points above 0x7f are decoded to
+/// UTF-8. Unknown references are passed through verbatim, matching
+/// tag-soup browser behaviour.
+std::string DecodeEntities(std::string_view s);
+
+}  // namespace ntw::html
+
+#endif  // NTW_HTML_ENTITIES_H_

@@ -1,0 +1,122 @@
+#include "html/serializer.h"
+
+#include "common/strings.h"
+
+namespace ntw::html {
+namespace {
+
+void SerializeTo(const Node* node, std::string* out) {
+  switch (node->kind()) {
+    case NodeKind::kDocument:
+      for (const auto& child : node->children()) {
+        SerializeTo(child.get(), out);
+      }
+      return;
+    case NodeKind::kText:
+      out->append(HtmlEscape(node->text()));
+      return;
+    case NodeKind::kElement:
+      break;
+  }
+  out->push_back('<');
+  out->append(node->tag());
+  for (const auto& [name, value] : node->attrs()) {
+    out->push_back(' ');
+    out->append(name);
+    out->append("=\"");
+    out->append(HtmlEscape(value));
+    out->push_back('"');
+  }
+  out->push_back('>');
+  if (IsVoidElementTag(node->tag())) return;
+  // Raw-text elements: the tokenizer consumes their contents without
+  // entity decoding, so they must be emitted verbatim — escaping would
+  // double-encode on every parse/serialize cycle. Their text cannot
+  // contain "</tag" (it would have terminated the element at parse time).
+  bool raw_text = node->tag() == "script" || node->tag() == "style" ||
+                  node->tag() == "textarea";
+  for (const auto& child : node->children()) {
+    if (raw_text && child->is_text()) {
+      out->append(child->text());
+    } else {
+      SerializeTo(child.get(), out);
+    }
+  }
+  out->append("</");
+  out->append(node->tag());
+  out->push_back('>');
+}
+
+void DumpTo(const Node* node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  switch (node->kind()) {
+    case NodeKind::kDocument:
+      out->append("#document\n");
+      break;
+    case NodeKind::kText:
+      out->append("#text \"");
+      out->append(node->text());
+      out->append("\"\n");
+      return;
+    case NodeKind::kElement:
+      out->append(node->tag());
+      for (const auto& [name, value] : node->attrs()) {
+        out->push_back(' ');
+        out->append(name);
+        out->append("=\"");
+        out->append(value);
+        out->push_back('"');
+      }
+      out->push_back('\n');
+      break;
+  }
+  for (const auto& child : node->children()) {
+    DumpTo(child.get(), depth + 1, out);
+  }
+}
+
+void SignatureTo(const Node* node, std::string* out) {
+  switch (node->kind()) {
+    case NodeKind::kDocument:
+      for (const auto& child : node->children()) {
+        SignatureTo(child.get(), out);
+      }
+      return;
+    case NodeKind::kText:
+      out->append("#text ");
+      return;
+    case NodeKind::kElement:
+      break;
+  }
+  out->push_back('<');
+  out->append(node->tag());
+  out->push_back('>');
+  for (const auto& child : node->children()) {
+    SignatureTo(child.get(), out);
+  }
+  out->append("</");
+  out->append(node->tag());
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string Serialize(const Node* node) {
+  std::string out;
+  SerializeTo(node, &out);
+  return out;
+}
+
+std::string DumpTree(const Node* node) {
+  std::string out;
+  DumpTo(node, 0, &out);
+  return out;
+}
+
+std::string StructuralSignature(const Node* node) {
+  std::string out;
+  SignatureTo(node, &out);
+  return out;
+}
+
+}  // namespace ntw::html

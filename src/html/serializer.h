@@ -1,0 +1,29 @@
+#ifndef NTW_HTML_SERIALIZER_H_
+#define NTW_HTML_SERIALIZER_H_
+
+#include <string>
+
+#include "html/dom.h"
+
+namespace ntw::html {
+
+/// Serializes a subtree back to HTML markup. Text is entity-escaped;
+/// void elements are emitted without end tags. Primarily used by the site
+/// generator (DOM template -> page source) and round-trip tests.
+std::string Serialize(const Node* node);
+
+/// Indented one-node-per-line debug rendering of a subtree, e.g.
+///   div class="listing"
+///     u
+///       #text "PORTER FURNITURE"
+std::string DumpTree(const Node* node);
+
+/// Structural signature of a subtree with every text node replaced by the
+/// token "#text" — the representation the publication model (Sec. 6)
+/// operates on ("we replace each piece of text with a special node called
+/// <#text>, since we are only concerned with the structure").
+std::string StructuralSignature(const Node* node);
+
+}  // namespace ntw::html
+
+#endif  // NTW_HTML_SERIALIZER_H_

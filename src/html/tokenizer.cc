@@ -1,0 +1,209 @@
+#include "html/tokenizer.h"
+
+#include "common/strings.h"
+#include "html/entities.h"
+
+namespace ntw::html {
+namespace {
+
+bool IsTagNameStart(char c) { return IsAsciiAlpha(c); }
+
+bool IsTagNameChar(char c) {
+  return IsAsciiAlnum(c) || c == '-' || c == '_' || c == ':';
+}
+
+}  // namespace
+
+std::vector<Token> Tokenizer::TokenizeAll() {
+  std::vector<Token> tokens;
+  Token token;
+  while (Next(&token)) {
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+bool Tokenizer::Next(Token* token) {
+  if (!raw_text_tag_.empty()) {
+    std::string closing = raw_text_tag_;
+    raw_text_tag_.clear();
+    if (ConsumeRawText(closing, token)) return true;
+    // Fall through: raw element had no content before its end tag; keep
+    // tokenizing normally (the end tag is handled below).
+  }
+
+  if (pos_ >= input_.size()) return false;
+
+  if (input_[pos_] != '<') {
+    size_t start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != '<') ++pos_;
+    token->kind = TokenKind::kText;
+    token->data = DecodeEntities(input_.substr(start, pos_ - start));
+    token->attrs.clear();
+    token->self_closing = false;
+    return true;
+  }
+
+  // Comment?
+  if (input_.substr(pos_).size() >= 4 && input_.substr(pos_, 4) == "<!--") {
+    size_t end = input_.find("-->", pos_ + 4);
+    token->kind = TokenKind::kComment;
+    token->attrs.clear();
+    token->self_closing = false;
+    if (end == std::string_view::npos) {
+      token->data = std::string(input_.substr(pos_ + 4));
+      pos_ = input_.size();
+    } else {
+      token->data = std::string(input_.substr(pos_ + 4, end - pos_ - 4));
+      pos_ = end + 3;
+    }
+    return true;
+  }
+
+  // Doctype or other <! ...> declaration.
+  if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '!') {
+    size_t end = input_.find('>', pos_);
+    token->kind = TokenKind::kDoctype;
+    token->attrs.clear();
+    token->self_closing = false;
+    if (end == std::string_view::npos) {
+      token->data = std::string(input_.substr(pos_ + 2));
+      pos_ = input_.size();
+    } else {
+      token->data = std::string(input_.substr(pos_ + 2, end - pos_ - 2));
+      pos_ = end + 1;
+    }
+    return true;
+  }
+
+  if (LexTag(token)) return true;
+
+  // Stray '<': emit it as text together with the following run.
+  size_t start = pos_;
+  ++pos_;
+  while (pos_ < input_.size() && input_[pos_] != '<') ++pos_;
+  token->kind = TokenKind::kText;
+  token->data = DecodeEntities(input_.substr(start, pos_ - start));
+  token->attrs.clear();
+  token->self_closing = false;
+  return true;
+}
+
+bool Tokenizer::LexTag(Token* token) {
+  size_t save = pos_;
+  ++pos_;  // Consume '<'.
+  bool closing = false;
+  if (pos_ < input_.size() && input_[pos_] == '/') {
+    closing = true;
+    ++pos_;
+  }
+  if (pos_ >= input_.size() || !IsTagNameStart(input_[pos_])) {
+    pos_ = save;
+    return false;
+  }
+  size_t name_start = pos_;
+  while (pos_ < input_.size() && IsTagNameChar(input_[pos_])) ++pos_;
+  std::string name = ToLower(input_.substr(name_start, pos_ - name_start));
+
+  token->kind = closing ? TokenKind::kEndTag : TokenKind::kStartTag;
+  token->data = name;
+  token->attrs.clear();
+  token->self_closing = false;
+
+  if (!closing) {
+    LexAttributes(token);
+  } else {
+    // Skip anything up to '>' on an end tag (attributes there are invalid
+    // but must not derail the tokenizer).
+    while (pos_ < input_.size() && input_[pos_] != '>') ++pos_;
+  }
+  if (pos_ < input_.size() && input_[pos_] == '>') ++pos_;
+
+  if (!closing && !token->self_closing &&
+      (name == "script" || name == "style" || name == "textarea")) {
+    raw_text_tag_ = name;
+  }
+  return true;
+}
+
+void Tokenizer::LexAttributes(Token* token) {
+  for (;;) {
+    SkipWhitespace();
+    if (pos_ >= input_.size()) return;
+    char c = input_[pos_];
+    if (c == '>') return;
+    if (c == '/') {
+      ++pos_;
+      SkipWhitespace();
+      if (pos_ < input_.size() && input_[pos_] == '>') {
+        token->self_closing = true;
+      }
+      return;
+    }
+    // Attribute name.
+    size_t name_start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != '=' &&
+           input_[pos_] != '>' && input_[pos_] != '/' &&
+           !IsAsciiSpace(input_[pos_])) {
+      ++pos_;
+    }
+    std::string name = ToLower(input_.substr(name_start, pos_ - name_start));
+    if (name.empty()) {
+      ++pos_;  // Defensive: skip a malformed character.
+      continue;
+    }
+    SkipWhitespace();
+    std::string value;
+    if (pos_ < input_.size() && input_[pos_] == '=') {
+      ++pos_;
+      SkipWhitespace();
+      if (pos_ < input_.size() &&
+          (input_[pos_] == '"' || input_[pos_] == '\'')) {
+        char quote = input_[pos_++];
+        size_t value_start = pos_;
+        while (pos_ < input_.size() && input_[pos_] != quote) ++pos_;
+        value = DecodeEntities(input_.substr(value_start, pos_ - value_start));
+        if (pos_ < input_.size()) ++pos_;  // Closing quote.
+      } else {
+        size_t value_start = pos_;
+        while (pos_ < input_.size() && !IsAsciiSpace(input_[pos_]) &&
+               input_[pos_] != '>') {
+          ++pos_;
+        }
+        value = DecodeEntities(input_.substr(value_start, pos_ - value_start));
+      }
+    }
+    token->attrs.emplace_back(std::move(name), std::move(value));
+  }
+}
+
+void Tokenizer::SkipWhitespace() {
+  while (pos_ < input_.size() && IsAsciiSpace(input_[pos_])) ++pos_;
+}
+
+bool Tokenizer::ConsumeRawText(const std::string& closing_tag, Token* token) {
+  std::string needle = "</" + closing_tag;
+  size_t end = pos_;
+  for (;;) {
+    end = input_.find(needle, end);
+    if (end == std::string_view::npos) {
+      end = input_.size();
+      break;
+    }
+    size_t after = end + needle.size();
+    if (after >= input_.size() || input_[after] == '>' ||
+        IsAsciiSpace(input_[after])) {
+      break;
+    }
+    ++end;  // "</scriptfoo" is not a real end tag; keep scanning.
+  }
+  if (end == pos_) return false;
+  token->kind = TokenKind::kText;
+  token->data = std::string(input_.substr(pos_, end - pos_));
+  token->attrs.clear();
+  token->self_closing = false;
+  pos_ = end;
+  return true;
+}
+
+}  // namespace ntw::html

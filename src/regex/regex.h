@@ -1,0 +1,67 @@
+#ifndef NTW_REGEX_REGEX_H_
+#define NTW_REGEX_REGEX_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ntw::regex {
+
+/// A compact backtracking regular-expression engine — the substrate for
+/// the paper's regex-based annotators (e.g. the five-digit US zipcode
+/// annotator of Appendix A). Supported syntax:
+///
+///   literals        a b c ...            escapes   \d \D \w \W \s \S \. …
+///   any             .                    classes   [a-z0-9_] [^…]
+///   quantifiers     * + ? {m} {m,} {m,n} (greedy)
+///   anchors         ^ $ and word boundary \b
+///   groups          ( … ) (non-capturing semantics)
+///   alternation     a|b
+///
+/// The engine is a classic recursive backtracker over a parsed AST; it is
+/// deliberately small and has no capture groups — annotators only need
+/// match detection and match spans.
+class Regex {
+ public:
+  /// Compiles a pattern; ParseError on malformed syntax.
+  static Result<Regex> Compile(std::string_view pattern);
+
+  Regex(Regex&&) noexcept;
+  Regex& operator=(Regex&&) noexcept;
+  Regex(const Regex&) = delete;
+  Regex& operator=(const Regex&) = delete;
+  ~Regex();
+
+  /// True when the whole input matches.
+  bool FullMatch(std::string_view text) const;
+
+  /// True when any substring matches.
+  bool PartialMatch(std::string_view text) const;
+
+  /// Spans [begin, end) of non-overlapping left-to-right matches.
+  struct Span {
+    size_t begin;
+    size_t end;
+  };
+  std::vector<Span> FindAll(std::string_view text) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+  /// AST node; opaque to clients (defined in regex.cc).
+  struct Node;
+
+ private:
+  Regex(std::string pattern, std::unique_ptr<Node> root,
+        std::unique_ptr<Node> anchored_root);
+
+  std::string pattern_;
+  std::unique_ptr<Node> root_;
+  std::unique_ptr<Node> anchored_root_;
+};
+
+}  // namespace ntw::regex
+
+#endif  // NTW_REGEX_REGEX_H_

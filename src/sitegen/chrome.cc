@@ -1,0 +1,100 @@
+#include "sitegen/chrome.h"
+
+#include <array>
+
+#include "sitegen/list_template.h"
+#include "sitegen/vocab.h"
+
+namespace ntw::sitegen {
+namespace {
+
+constexpr std::array<const char*, 10> kNavWords = {
+    "About Us",   "Our Products", "Dealer Locator", "Contact Us",
+    "Events",     "Employment",   "Home",           "FAQ",
+    "Specials",   "Support"};
+
+// The body node is the second child of <html> (head, body).
+html::Node* BodyOf(PageBuilder* builder) {
+  html::Node* root = builder->root();
+  html::Node* html_el = root->child(root->child_count() - 1);
+  return html_el->child(html_el->child_count() - 1);
+}
+
+}  // namespace
+
+ChromeTemplate ChromeTemplate::Random(Rng* rng, std::string site_title) {
+  ChromeTemplate chrome;
+  chrome.site_title = std::move(site_title);
+  size_t nav_count = 3 + rng->NextBounded(5);
+  std::vector<size_t> picks;
+  for (size_t i = 0; i < kNavWords.size(); ++i) picks.push_back(i);
+  rng->Shuffle(&picks);
+  for (size_t i = 0; i < nav_count; ++i) {
+    chrome.nav_items.emplace_back(kNavWords[picks[i]]);
+  }
+  chrome.has_sidebar = rng->NextBernoulli(0.5);
+  chrome.sidebar_heading =
+      rng->NextBernoulli(0.5) ? "Popular Brands" : "Featured Partners";
+  chrome.footer_has_address = rng->NextBernoulli(0.7);
+  chrome.header_class = "hdr-" + RandomCssClass(rng);
+  chrome.sidebar_class = "side-" + RandomCssClass(rng);
+  chrome.footer_class = "ftr-" + RandomCssClass(rng);
+  return chrome;
+}
+
+html::Node* BeginPage(PageBuilder* builder, const std::string& title) {
+  html::Node* html_el = builder->El(builder->root(), "html");
+  html::Node* head = builder->El(html_el, "head");
+  builder->Text(builder->El(head, "title"), title);
+  return builder->El(html_el, "body");
+}
+
+html::Node* RenderChromeTop(PageBuilder* builder,
+                            const ChromeTemplate& chrome,
+                            const std::vector<std::string>& sidebar_items) {
+  html::Node* body = BodyOf(builder);
+
+  html::Node* header =
+      builder->El(body, "div", {{"class", chrome.header_class}});
+  builder->Text(builder->El(header, "h1"), chrome.site_title);
+  html::Node* nav = builder->El(header, "ul", {{"class", "nav"}});
+  for (const std::string& item : chrome.nav_items) {
+    html::Node* li = builder->El(nav, "li");
+    builder->Text(builder->El(li, "a", {{"href", "#nav"}}), item);
+  }
+
+  if (chrome.has_sidebar) {
+    html::Node* sidebar =
+        builder->El(body, "div", {{"class", chrome.sidebar_class}});
+    builder->Text(builder->El(sidebar, "h4"), chrome.sidebar_heading);
+    html::Node* ul = builder->El(sidebar, "ul");
+    for (const std::string& item : sidebar_items) {
+      html::Node* li = builder->El(ul, "li");
+      builder->Text(builder->El(li, "a", {{"href", "#brand"}}), item);
+    }
+  }
+
+  return builder->El(body, "div", {{"class", "main"}});
+}
+
+void RenderChromeBottom(PageBuilder* builder, html::Node* body,
+                        const ChromeTemplate& chrome, Rng* rng,
+                        const std::vector<std::string>& footer_promos) {
+  html::Node* footer =
+      builder->El(body, "div", {{"class", chrome.footer_class}});
+  for (const std::string& promo : footer_promos) {
+    builder->Text(builder->El(footer, "p"), promo);
+  }
+  if (chrome.footer_has_address) {
+    CityStateZip csz = RandomCityStateZip(rng);
+    builder->Text(builder->El(footer, "p", {{"class", "addr"}}),
+                  "Corporate Offices: " + StreetAddress(rng) + ", " +
+                      csz.ToString());
+  }
+  builder->Text(builder->El(footer, "p", {{"class", "copy"}}),
+                "(c) 2010 " + chrome.site_title +
+                    " | All rights reserved | Web design by " +
+                    "Computing Technologies");
+}
+
+}  // namespace ntw::sitegen

@@ -1,0 +1,49 @@
+#ifndef NTW_SITEGEN_CHROME_H_
+#define NTW_SITEGEN_CHROME_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sitegen/page_builder.h"
+
+namespace ntw::sitegen {
+
+/// Page chrome shared by every page of a site: header + navigation,
+/// optional sidebar, footer. The chrome is where most annotation noise
+/// lives — sidebars listing "popular brands", footers with street
+/// addresses and promo sentences that mention dictionary entries — so its
+/// shape matters for reproducing the paper's noise mechanisms.
+struct ChromeTemplate {
+  std::string site_title;
+  std::vector<std::string> nav_items;
+  bool has_sidebar = false;
+  std::string sidebar_heading;
+  bool footer_has_address = false;
+  std::string header_class;
+  std::string sidebar_class;
+  std::string footer_class;
+
+  /// Draws a random chrome for a site.
+  static ChromeTemplate Random(Rng* rng, std::string site_title);
+};
+
+/// Renders the header/nav (and opens the sidebar if any); returns the
+/// content container the listing should be rendered into.
+/// `sidebar_items` and `footer_promos` are free text the caller can use to
+/// plant noise mentions; `footer_promos` lines are emitted as footer
+/// paragraphs.
+html::Node* RenderChromeTop(PageBuilder* builder, const ChromeTemplate& chrome,
+                            const std::vector<std::string>& sidebar_items);
+
+/// Renders the footer; call after the listing has been rendered.
+void RenderChromeBottom(PageBuilder* builder, html::Node* body,
+                        const ChromeTemplate& chrome, Rng* rng,
+                        const std::vector<std::string>& footer_promos);
+
+/// Builds <html><head><title>…</title></head><body> and returns body.
+html::Node* BeginPage(PageBuilder* builder, const std::string& title);
+
+}  // namespace ntw::sitegen
+
+#endif  // NTW_SITEGEN_CHROME_H_

@@ -1,0 +1,87 @@
+#ifndef NTW_SITEGEN_LIST_TEMPLATE_H_
+#define NTW_SITEGEN_LIST_TEMPLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sitegen/page_builder.h"
+
+namespace ntw::sitegen {
+
+/// A record to render: parallel arrays of field strings, target-type tags
+/// ("" = not a target) and presence flags (optional fields may be absent
+/// from individual records — the missing-field complication of Appendix A).
+struct ListRecord {
+  std::vector<std::string> fields;
+  std::vector<std::string> field_types;
+  std::vector<bool> present;
+
+  /// Convenience: all fields present, no target types.
+  static ListRecord Of(std::vector<std::string> fields);
+};
+
+/// Structural layout family of a listing region. Each family corresponds
+/// to one of the real-world markup idioms the paper's datasets exhibit
+/// (Figures 1, 5, 6).
+enum class ListLayout {
+  kTableRowPerRecord,   // <tr><td>f0</td><td>f1</td>…</tr>
+  kTableCellPerRecord,  // <tr><td><u>f0</u><br>f1<br>…</td></tr> (Fig. 1)
+  kDivBlocks,           // <div class=rec><span>f0</span><div>f1</div>…</div>
+  kListItems,           // <ul><li><b>f0</b> f1 — f2</li>…</ul>
+  kHeadingBlocks,       // <h3>f0</h3><p>f1</p><p>f2</p>…
+};
+
+/// A randomized "rendering script" for a list of records. Constructed once
+/// per website (so all pages of the site share structure) and applied to
+/// each page's records. Randomized aspects: layout family, container tag
+/// and class, the inline tag wrapping the primary field, optional extra
+/// markup (anchors around names, separator <br>/<hr>, a header row, a
+/// per-record trailing link), and class-name vocabulary.
+class ListTemplate {
+ public:
+  /// Draws a random template. `num_fields` is the per-record field count
+  /// the site renders (fields beyond a record's size are skipped).
+  static ListTemplate Random(Rng* rng, size_t num_fields);
+
+  /// Renders the records under `parent`, registering target text nodes.
+  void Render(PageBuilder* builder, html::Node* parent,
+              const std::vector<ListRecord>& records) const;
+
+  ListLayout layout() const { return layout_; }
+  const std::string& container_class() const { return container_class_; }
+
+ private:
+  ListLayout layout_ = ListLayout::kTableRowPerRecord;
+  size_t num_fields_ = 0;
+  std::string container_class_;
+  std::string record_class_;
+  std::string primary_tag_;       // Tag wrapping field 0 (u/b/strong/...).
+  bool primary_in_anchor_ = false;  // Extra <a> around the primary field.
+  bool header_row_ = false;         // Table layouts: leading header row.
+  bool trailing_link_ = false;      // Per-record "» details" link.
+  bool field_label_spans_ = false;  // Div layout: "Phone: " label texts.
+  std::string bullet_;              // List layout: separator text.
+
+  void RenderTableRows(PageBuilder* b, html::Node* parent,
+                       const std::vector<ListRecord>& records) const;
+  void RenderTableCells(PageBuilder* b, html::Node* parent,
+                        const std::vector<ListRecord>& records) const;
+  void RenderDivBlocks(PageBuilder* b, html::Node* parent,
+                       const std::vector<ListRecord>& records) const;
+  void RenderListItems(PageBuilder* b, html::Node* parent,
+                       const std::vector<ListRecord>& records) const;
+  void RenderHeadingBlocks(PageBuilder* b, html::Node* parent,
+                           const std::vector<ListRecord>& records) const;
+
+  /// Emits field 0 with its wrapping markup under `parent`.
+  void EmitPrimary(PageBuilder* b, html::Node* parent,
+                   const ListRecord& record) const;
+};
+
+/// A plausible class attribute value like "dealerlinks" or "results2".
+std::string RandomCssClass(Rng* rng);
+
+}  // namespace ntw::sitegen
+
+#endif  // NTW_SITEGEN_LIST_TEMPLATE_H_

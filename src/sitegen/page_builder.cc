@@ -1,0 +1,42 @@
+#include "sitegen/page_builder.h"
+
+namespace ntw::sitegen {
+
+html::Node* PageBuilder::El(
+    html::Node* parent, const std::string& tag,
+    std::initializer_list<std::pair<const char*, std::string>> attrs) {
+  auto element = std::make_unique<html::Node>(tag);
+  for (const auto& [name, value] : attrs) {
+    element->SetAttr(name, value);
+  }
+  return parent->AppendChild(std::move(element));
+}
+
+html::Node* PageBuilder::Text(html::Node* parent, const std::string& text) {
+  return parent->AppendChild(html::Node::MakeText(text));
+}
+
+html::Node* PageBuilder::TargetText(html::Node* parent,
+                                    const std::string& text,
+                                    const std::string& type) {
+  html::Node* node = Text(parent, text);
+  MarkTarget(type, node);
+  return node;
+}
+
+void PageBuilder::MarkTarget(const std::string& type,
+                             html::Node* text_node) {
+  marks_.emplace_back(type, text_node);
+}
+
+PageBuilder::Built PageBuilder::Finish() {
+  doc_.Finalize();
+  Built built;
+  for (const auto& [type, node] : marks_) {
+    built.targets[type].push_back(node->preorder_index());
+  }
+  built.doc = std::move(doc_);
+  return built;
+}
+
+}  // namespace ntw::sitegen

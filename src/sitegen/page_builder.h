@@ -1,0 +1,55 @@
+#ifndef NTW_SITEGEN_PAGE_BUILDER_H_
+#define NTW_SITEGEN_PAGE_BUILDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "html/dom.h"
+
+namespace ntw::sitegen {
+
+/// Fluent DOM construction for page templates, with ground-truth target
+/// registration: while a rendering script emits nodes it marks which text
+/// nodes carry the entities of interest; Finish() finalizes the document
+/// and resolves the marks to pre-order indices.
+class PageBuilder {
+ public:
+  PageBuilder() = default;
+
+  /// The document root.
+  html::Node* root() { return doc_.root(); }
+
+  /// Appends an element child. `attrs` as {{"class","listing"},...}.
+  html::Node* El(html::Node* parent, const std::string& tag,
+                 std::initializer_list<std::pair<const char*, std::string>>
+                     attrs = {});
+
+  /// Appends a text child.
+  html::Node* Text(html::Node* parent, const std::string& text);
+
+  /// Appends a text child and marks it as a target of `type`.
+  html::Node* TargetText(html::Node* parent, const std::string& text,
+                         const std::string& type);
+
+  /// Marks an existing text node as a target of `type`.
+  void MarkTarget(const std::string& type, html::Node* text_node);
+
+  /// The completed page: a finalized document plus, per type, the
+  /// pre-order indices of its target text nodes.
+  struct Built {
+    html::Document doc;
+    std::map<std::string, std::vector<int>> targets;
+  };
+
+  /// Finalizes and returns the page. The builder must not be reused.
+  Built Finish();
+
+ private:
+  html::Document doc_;
+  std::vector<std::pair<std::string, html::Node*>> marks_;
+};
+
+}  // namespace ntw::sitegen
+
+#endif  // NTW_SITEGEN_PAGE_BUILDER_H_

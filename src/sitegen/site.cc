@@ -1,0 +1,16 @@
+#include "sitegen/site.h"
+
+namespace ntw::sitegen {
+
+void SiteAccumulator::Add(PageBuilder::Built built) {
+  int page_index = static_cast<int>(site_.pages.size());
+  for (const auto& [type, indices] : built.targets) {
+    core::NodeSet& truth = site_.truth[type];
+    for (int node_index : indices) {
+      truth.Insert(core::NodeRef{page_index, node_index});
+    }
+  }
+  site_.pages.AddPage(std::move(built.doc));
+}
+
+}  // namespace ntw::sitegen

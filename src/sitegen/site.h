@@ -1,0 +1,41 @@
+#ifndef NTW_SITEGEN_SITE_H_
+#define NTW_SITEGEN_SITE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/label.h"
+#include "sitegen/page_builder.h"
+
+namespace ntw::sitegen {
+
+/// One generated website: the unit a wrapper is learned for. Pages share a
+/// rendering script (same template, different data), mirroring the web
+/// publication model of Sec. 2.1; different sites have unrelated
+/// templates.
+struct GeneratedSite {
+  std::string name;
+  core::PageSet pages;
+  /// Ground truth per type, e.g. truth["name"] = the dealer-name nodes.
+  std::map<std::string, core::NodeSet> truth;
+};
+
+/// Accumulates built pages into a GeneratedSite, rebasing each page's
+/// target indices onto (page, node) references.
+class SiteAccumulator {
+ public:
+  explicit SiteAccumulator(std::string name) { site_.name = std::move(name); }
+
+  void Add(PageBuilder::Built built);
+
+  /// Returns the finished site; the accumulator must not be reused.
+  GeneratedSite Take() { return std::move(site_); }
+
+ private:
+  GeneratedSite site_;
+};
+
+}  // namespace ntw::sitegen
+
+#endif  // NTW_SITEGEN_SITE_H_

@@ -1,0 +1,84 @@
+#ifndef NTW_SITEGEN_VOCAB_H_
+#define NTW_SITEGEN_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ntw::sitegen {
+
+/// Deterministic generators for the entity vocabularies the three datasets
+/// draw from. Everything is a pure function of the Rng stream, so the
+/// corpora are exactly reproducible from a seed.
+
+/// A random business name like "PORTER FURNITURE", "Lakeside Appliance
+/// Outlet" or "BestValue Electronics Inc".
+std::string BusinessName(Rng* rng);
+
+/// A universe of `n` distinct business names — the stand-in for the
+/// Yahoo! Local database the paper's DEALERS annotator uses.
+std::vector<std::string> BusinessNameUniverse(size_t n, uint64_t seed);
+
+/// Street address line like "201 HWY. 30 WEST" or "2565 El Camino Real".
+std::string StreetAddress(Rng* rng);
+
+/// "NEW ALBANY, MS 38652" (city, two-letter state, 5-digit zip).
+struct CityStateZip {
+  std::string city;
+  std::string state;
+  std::string zip;
+  std::string ToString() const { return city + ", " + state + " " + zip; }
+};
+CityStateZip RandomCityStateZip(Rng* rng);
+
+/// "662-534-3672".
+std::string PhoneNumber(Rng* rng);
+
+/// Sentence-ish filler text of roughly `words` words. When `embed` is
+/// non-empty it is spliced into the middle — the mechanism that plants
+/// dictionary mentions inside descriptions/footers (annotation noise).
+std::string FillerSentence(Rng* rng, int words, const std::string& embed = "");
+
+/// A random album title like "Midnight on the Water".
+std::string AlbumTitle(Rng* rng);
+
+/// A random track title.
+std::string TrackTitle(Rng* rng);
+
+/// A random artist name.
+std::string ArtistName(Rng* rng);
+
+/// Track duration like "3:47".
+std::string TrackDuration(Rng* rng);
+
+/// A cellphone brand (five fixed brands, mirroring Appendix B.1).
+const std::vector<std::string>& PhoneBrands();
+
+/// A model name for the given brand, like "Nokia Astra 3310".
+std::string PhoneModel(Rng* rng, const std::string& brand);
+
+/// The catalogue of `per_brand` distinct models per brand (the PRODUCTS
+/// dictionary; the paper's totalled 463 entries over five brands).
+std::vector<std::string> PhoneModelCatalogue(size_t per_brand, uint64_t seed);
+
+/// Price like "$129.99".
+std::string Price(Rng* rng);
+
+/// A manufacturer/product-line name for sidebars ("DuraRest Collection") —
+/// deliberately disjoint from the business-name universe so sidebar noise
+/// stays at its configured rate.
+std::string ManufacturerBrand(Rng* rng);
+
+/// The 11 seed albums of the DISC dataset (titles and artists follow the
+/// paper's Figure 9) with deterministic synthetic track lists.
+struct SeedAlbum {
+  std::string title;
+  std::string artist;
+  std::vector<std::string> tracks;
+};
+const std::vector<SeedAlbum>& SeedAlbums();
+
+}  // namespace ntw::sitegen
+
+#endif  // NTW_SITEGEN_VOCAB_H_

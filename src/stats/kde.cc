@@ -1,0 +1,80 @@
+#include "stats/kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ntw::stats {
+namespace {
+
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+
+}  // namespace
+
+Result<KernelDensity> KernelDensity::Fit(const std::vector<double>& sample,
+                                         const Options& options) {
+  if (sample.empty()) {
+    return Status::InvalidArgument("KernelDensity: empty sample");
+  }
+  double bandwidth;
+  if (options.fixed_bandwidth > 0.0) {
+    bandwidth = options.fixed_bandwidth;
+  } else {
+    double sigma = StdDev(sample);
+    double iqr = Quantile(sample, 0.75) - Quantile(sample, 0.25);
+    double spread = sigma;
+    if (iqr > 0.0) spread = std::min(sigma, iqr / 1.34);
+    double n = static_cast<double>(sample.size());
+    bandwidth = 0.9 * spread * std::pow(n, -0.2);
+    bandwidth = std::max(bandwidth, options.min_bandwidth);
+  }
+  return KernelDensity(sample, bandwidth);
+}
+
+double KernelDensity::Density(double x) const {
+  double sum = 0.0;
+  for (double xi : sample_) {
+    double z = (x - xi) / bandwidth_;
+    sum += std::exp(-0.5 * z * z);
+  }
+  double density = sum * kInvSqrt2Pi /
+                   (bandwidth_ * static_cast<double>(sample_.size()));
+  // Gaussian tails underflow to 0 for |z| ≳ 39; floor so LogDensity stays
+  // finite and ranking remains a total order.
+  return std::max(density, 1e-300);
+}
+
+double KernelDensity::LogDensity(double x) const {
+  return std::log(Density(x));
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double mu = Mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - mu) * (x - mu);
+  return std::sqrt(ss / static_cast<double>(v.size() - 1));
+}
+
+double Quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(v.begin(), v.end());
+  double pos = q * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double Median(const std::vector<double>& v) {
+  return Quantile(v, 0.5);
+}
+
+}  // namespace ntw::stats

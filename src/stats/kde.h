@@ -1,0 +1,61 @@
+#ifndef NTW_STATS_KDE_H_
+#define NTW_STATS_KDE_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace ntw::stats {
+
+/// Discrete kernel density estimator over non-negative real feature values
+/// (the paper's schema-size and alignment features are discrete-valued;
+/// Sec. 6.1 learns a "smooth distribution from finite data samples" with
+/// kernel density methods).
+///
+/// Density: f(x) = (1/n·h) Σ_i K((x - x_i)/h) with a Gaussian kernel.
+/// The bandwidth defaults to Silverman's rule-of-thumb
+///   h = 0.9 · min(σ, IQR/1.34) · n^(-1/5)
+/// floored at `min_bandwidth` so degenerate samples (all-equal values)
+/// still yield a proper, smooth density.
+class KernelDensity {
+ public:
+  struct Options {
+    double min_bandwidth = 0.75;
+    /// Overrides Silverman's rule when > 0.
+    double fixed_bandwidth = 0.0;
+  };
+
+  /// Fits the estimator; fails on an empty sample.
+  static Result<KernelDensity> Fit(const std::vector<double>& sample,
+                                   const Options& options);
+  static Result<KernelDensity> Fit(const std::vector<double>& sample) {
+    return Fit(sample, Options{});
+  }
+
+  /// Density at x (always > 0 thanks to Gaussian tails).
+  double Density(double x) const;
+
+  /// Natural log of Density(x); never -inf but may be very negative.
+  double LogDensity(double x) const;
+
+  double bandwidth() const { return bandwidth_; }
+  size_t sample_size() const { return sample_.size(); }
+
+ private:
+  KernelDensity(std::vector<double> sample, double bandwidth)
+      : sample_(std::move(sample)), bandwidth_(bandwidth) {}
+
+  std::vector<double> sample_;
+  double bandwidth_;
+};
+
+/// Descriptive statistics used for bandwidth selection and reporting.
+double Mean(const std::vector<double>& v);
+double StdDev(const std::vector<double>& v);
+/// q in [0,1]; linear interpolation between order statistics.
+double Quantile(std::vector<double> v, double q);
+double Median(const std::vector<double>& v);
+
+}  // namespace ntw::stats
+
+#endif  // NTW_STATS_KDE_H_

@@ -1,0 +1,53 @@
+#ifndef NTW_XPATH_AST_H_
+#define NTW_XPATH_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ntw::xpath {
+
+/// Axis connecting a step to its predecessor: `/` (child) or `//`
+/// (descendant-or-self, as in the paper's fragment).
+enum class Axis {
+  kChild,
+  kDescendant,
+};
+
+/// Node test of a step.
+enum class NodeTest {
+  kTag,         // A specific element tag name.
+  kAnyElement,  // `*`
+  kText,        // `text()`
+};
+
+/// One location step of the paper's xpath fragment (Sec. 5): an axis, a node
+/// test, an optional child-number filter (`td[2]`), and zero or more
+/// attribute filters (`[@class='listing']`).
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTest test = NodeTest::kTag;
+  std::string tag;  // Valid when test == kTag.
+  std::optional<int> child_number;
+  // Attribute equality filters, sorted by name for canonical comparison.
+  std::vector<std::pair<std::string, std::string>> attr_filters;
+
+  bool operator==(const Step& other) const;
+  std::string ToString() const;
+};
+
+/// A complete xpath expression: an absolute path (evaluated from the
+/// document root) made of steps.
+struct Expr {
+  std::vector<Step> steps;
+
+  bool operator==(const Expr& other) const { return steps == other.steps; }
+
+  /// Canonical textual rendering, e.g.
+  /// "//div[@class='content']/table[1]/tr/td[2]/text()".
+  std::string ToString() const;
+};
+
+}  // namespace ntw::xpath
+
+#endif  // NTW_XPATH_AST_H_

@@ -1,0 +1,30 @@
+#ifndef NTW_XPATH_EVALUATOR_H_
+#define NTW_XPATH_EVALUATOR_H_
+
+#include <vector>
+
+#include "html/dom.h"
+#include "xpath/ast.h"
+
+namespace ntw::xpath {
+
+/// Evaluates an expression against a finalized document, returning the
+/// matched nodes in document (pre-order) order without duplicates.
+///
+/// Semantics follow the paper's fragment:
+///  - steps are evaluated left to right from the document root;
+///  - `/` selects children, `//` selects descendants (any depth);
+///  - a child-number filter `tag[k]` selects nodes whose 1-based position
+///    among same-tag element siblings is k;
+///  - `[@name='value']` tests attribute equality (names lowercased);
+///  - `text()` selects text nodes.
+std::vector<const html::Node*> Evaluate(const Expr& expr,
+                                        const html::Document& doc);
+
+/// True when `node` satisfies the node test and predicates of `step`
+/// (ignoring the axis).
+bool StepMatches(const Step& step, const html::Node* node);
+
+}  // namespace ntw::xpath
+
+#endif  // NTW_XPATH_EVALUATOR_H_

@@ -1,0 +1,143 @@
+#include "xpath/parser.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace ntw::xpath {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<Expr> Parse() {
+    Expr expr;
+    if (input_.empty()) {
+      return Status::ParseError("empty xpath");
+    }
+    bool first = true;
+    while (pos_ < input_.size()) {
+      Step step;
+      if (Peek() == '/') {
+        ++pos_;
+        if (pos_ < input_.size() && Peek() == '/') {
+          ++pos_;
+          step.axis = Axis::kDescendant;
+        } else {
+          step.axis = Axis::kChild;
+        }
+      } else if (first) {
+        // Relative shorthand: treat as descendant from root.
+        step.axis = Axis::kDescendant;
+      } else {
+        return Error("expected '/'");
+      }
+      first = false;
+      NTW_RETURN_IF_ERROR(ParseNodeTest(&step));
+      NTW_RETURN_IF_ERROR(ParsePredicates(&step));
+      expr.steps.push_back(std::move(step));
+    }
+    if (expr.steps.empty()) {
+      return Status::ParseError("xpath has no steps");
+    }
+    return expr;
+  }
+
+ private:
+  char Peek() const { return input_[pos_]; }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_) +
+                              " in '" + std::string(input_) + "'");
+  }
+
+  Status ParseNodeTest(Step* step) {
+    if (pos_ >= input_.size()) return Error("expected node test");
+    if (Peek() == '*') {
+      ++pos_;
+      step->test = NodeTest::kAnyElement;
+      return Status::OK();
+    }
+    if (!IsAsciiAlpha(Peek())) return Error("expected node test");
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (IsAsciiAlnum(Peek()) || Peek() == '-' || Peek() == '_')) {
+      ++pos_;
+    }
+    std::string name = ToLower(input_.substr(start, pos_ - start));
+    if (name == "text" && pos_ + 1 < input_.size() && Peek() == '(' &&
+        input_[pos_ + 1] == ')') {
+      pos_ += 2;
+      step->test = NodeTest::kText;
+      return Status::OK();
+    }
+    step->test = NodeTest::kTag;
+    step->tag = std::move(name);
+    return Status::OK();
+  }
+
+  Status ParsePredicates(Step* step) {
+    while (pos_ < input_.size() && Peek() == '[') {
+      ++pos_;
+      if (pos_ >= input_.size()) return Error("unterminated predicate");
+      if (Peek() == '@') {
+        ++pos_;
+        size_t name_start = pos_;
+        while (pos_ < input_.size() && Peek() != '=') ++pos_;
+        if (pos_ >= input_.size()) return Error("expected '=' in predicate");
+        std::string name =
+            ToLower(StripWhitespace(input_.substr(name_start,
+                                                  pos_ - name_start)));
+        ++pos_;  // '='
+        if (pos_ >= input_.size() || (Peek() != '\'' && Peek() != '"')) {
+          return Error("expected quoted value");
+        }
+        char quote = Peek();
+        ++pos_;
+        size_t value_start = pos_;
+        while (pos_ < input_.size() && Peek() != quote) ++pos_;
+        if (pos_ >= input_.size()) return Error("unterminated value");
+        std::string value(input_.substr(value_start, pos_ - value_start));
+        ++pos_;  // Closing quote.
+        if (pos_ >= input_.size() || Peek() != ']') {
+          return Error("expected ']'");
+        }
+        ++pos_;
+        step->attr_filters.emplace_back(std::move(name), std::move(value));
+      } else if (IsAsciiDigit(Peek())) {
+        int number = 0;
+        while (pos_ < input_.size() && IsAsciiDigit(Peek())) {
+          number = number * 10 + (Peek() - '0');
+          ++pos_;
+        }
+        if (pos_ >= input_.size() || Peek() != ']') {
+          return Error("expected ']'");
+        }
+        ++pos_;
+        if (number < 1) return Error("child number must be >= 1");
+        if (step->child_number.has_value()) {
+          return Error("duplicate child-number predicate");
+        }
+        step->child_number = number;
+      } else {
+        return Error("unsupported predicate");
+      }
+    }
+    // Canonicalize attribute filter order so parsed and constructed
+    // expressions compare equal.
+    std::sort(step->attr_filters.begin(), step->attr_filters.end());
+    return Status::OK();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Expr> ParseXPath(std::string_view input) {
+  return Parser(StripWhitespace(input)).Parse();
+}
+
+}  // namespace ntw::xpath

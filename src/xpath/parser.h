@@ -1,0 +1,25 @@
+#ifndef NTW_XPATH_PARSER_H_
+#define NTW_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xpath/ast.h"
+
+namespace ntw::xpath {
+
+/// Parses the paper's xpath fragment:
+///
+///   path       := step+
+///   step       := ("/" | "//") nodetest predicate*
+///   nodetest   := NAME | "*" | "text()"
+///   predicate  := "[" NUMBER "]" | "[@" NAME "='" VALUE "']"
+///
+/// A path without a leading slash is accepted and treated as "//" + path
+/// (the common shorthand in the paper's prose). Returns ParseError with a
+/// character offset on malformed input.
+Result<Expr> ParseXPath(std::string_view input);
+
+}  // namespace ntw::xpath
+
+#endif  // NTW_XPATH_PARSER_H_

@@ -1,0 +1,183 @@
+#include "align/edit_distance.h"
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace ntw::align {
+namespace {
+
+std::vector<int> V(std::initializer_list<int> v) { return v; }
+
+TEST(EditDistanceTest, Basics) {
+  EXPECT_EQ(EditDistance(V({}), V({})), 0);
+  EXPECT_EQ(EditDistance(V({1, 2, 3}), V({1, 2, 3})), 0);
+  EXPECT_EQ(EditDistance(V({1, 2, 3}), V({})), 3);
+  EXPECT_EQ(EditDistance(V({}), V({1, 2})), 2);
+  EXPECT_EQ(EditDistance(V({1, 2, 3}), V({1, 9, 3})), 1);   // Substitute.
+  EXPECT_EQ(EditDistance(V({1, 2, 3}), V({1, 3})), 1);      // Delete.
+  EXPECT_EQ(EditDistance(V({1, 3}), V({1, 2, 3})), 1);      // Insert.
+  EXPECT_EQ(EditDistance(V({1, 2, 3, 4}), V({4, 3, 2, 1})), 4);
+}
+
+TEST(EditDistanceTest, Symmetry) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> a, b;
+    for (size_t i = 0; i < rng.NextBounded(12); ++i) {
+      a.push_back(static_cast<int>(rng.NextBounded(4)));
+    }
+    for (size_t i = 0; i < rng.NextBounded(12); ++i) {
+      b.push_back(static_cast<int>(rng.NextBounded(4)));
+    }
+    EXPECT_EQ(EditDistance(a, b), EditDistance(b, a));
+  }
+}
+
+TEST(EditDistanceTest, TriangleInequality) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> a, b, c;
+    for (size_t i = 0; i < rng.NextBounded(10); ++i) {
+      a.push_back(static_cast<int>(rng.NextBounded(3)));
+    }
+    for (size_t i = 0; i < rng.NextBounded(10); ++i) {
+      b.push_back(static_cast<int>(rng.NextBounded(3)));
+    }
+    for (size_t i = 0; i < rng.NextBounded(10); ++i) {
+      c.push_back(static_cast<int>(rng.NextBounded(3)));
+    }
+    EXPECT_LE(EditDistance(a, c), EditDistance(a, b) + EditDistance(b, c));
+  }
+}
+
+TEST(EditDistanceTest, BoundedByLengthDifference) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<int> a, b;
+    for (size_t i = 0; i < rng.NextBounded(15); ++i) {
+      a.push_back(static_cast<int>(rng.NextBounded(5)));
+    }
+    for (size_t i = 0; i < rng.NextBounded(15); ++i) {
+      b.push_back(static_cast<int>(rng.NextBounded(5)));
+    }
+    int d = EditDistance(a, b);
+    int gap = static_cast<int>(a.size() > b.size() ? a.size() - b.size()
+                                                   : b.size() - a.size());
+    EXPECT_GE(d, gap);
+    EXPECT_LE(d, static_cast<int>(std::max(a.size(), b.size())));
+  }
+}
+
+TEST(EditDistanceBoundedTest, AgreesBelowBound) {
+  Rng rng(4);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<int> a, b;
+    for (size_t i = 0; i < rng.NextBounded(14); ++i) {
+      a.push_back(static_cast<int>(rng.NextBounded(4)));
+    }
+    for (size_t i = 0; i < rng.NextBounded(14); ++i) {
+      b.push_back(static_cast<int>(rng.NextBounded(4)));
+    }
+    int exact = EditDistance(a, b);
+    int bounded = EditDistanceBounded(a, b, 100);
+    EXPECT_EQ(exact, bounded);
+  }
+}
+
+TEST(EditDistanceBoundedTest, CapsAtBound) {
+  std::vector<int> a(20, 1);
+  std::vector<int> b(20, 2);
+  EXPECT_EQ(EditDistanceBounded(a, b, 5), 5);
+  EXPECT_EQ(EditDistanceBounded(a, std::vector<int>{}, 5), 5);
+}
+
+TEST(EditDistanceBoundedTest, ExactWhenEqualToBoundMinusOne) {
+  std::vector<int> a = {1, 2, 3, 4};
+  std::vector<int> b = {1, 9, 3, 8};
+  EXPECT_EQ(EditDistanceBounded(a, b, 3), 2);
+}
+
+TEST(LongestCommonSubstringTest, Basics) {
+  CommonSubstring cs = LongestCommonSubstring(V({1, 2, 3, 4}), V({9, 2, 3, 8}));
+  EXPECT_EQ(cs.length, 2);
+  EXPECT_EQ(cs.tokens, V({2, 3}));
+}
+
+TEST(LongestCommonSubstringTest, EmptyInputs) {
+  EXPECT_EQ(LongestCommonSubstring(V({}), V({1})).length, 0);
+  EXPECT_EQ(LongestCommonSubstring(V({1}), V({})).length, 0);
+}
+
+TEST(LongestCommonSubstringTest, NoCommon) {
+  CommonSubstring cs = LongestCommonSubstring(V({1, 2}), V({3, 4}));
+  EXPECT_EQ(cs.length, 0);
+  EXPECT_TRUE(cs.tokens.empty());
+}
+
+TEST(LongestCommonSubstringTest, WholeSequence) {
+  CommonSubstring cs =
+      LongestCommonSubstring(V({5, 6, 7}), V({5, 6, 7}));
+  EXPECT_EQ(cs.length, 3);
+  EXPECT_EQ(cs.tokens, V({5, 6, 7}));
+}
+
+TEST(LongestCommonSubstringTest, Contiguity) {
+  // LCS (subsequence) would be {1,2,3}; common substring is only {1,2}.
+  CommonSubstring cs =
+      LongestCommonSubstring(V({1, 2, 9, 3}), V({1, 2, 3}));
+  EXPECT_EQ(cs.length, 2);
+}
+
+TEST(LongestCommonSubstringTest, SubstringIsInBoth) {
+  Rng rng(5);
+  auto contains = [](const std::vector<int>& hay,
+                     const std::vector<int>& needle) {
+    if (needle.empty()) return true;
+    for (size_t i = 0; i + needle.size() <= hay.size(); ++i) {
+      if (std::equal(needle.begin(), needle.end(), hay.begin() + i)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<int> a, b;
+    for (size_t i = 0; i < 3 + rng.NextBounded(10); ++i) {
+      a.push_back(static_cast<int>(rng.NextBounded(3)));
+    }
+    for (size_t i = 0; i < 3 + rng.NextBounded(10); ++i) {
+      b.push_back(static_cast<int>(rng.NextBounded(3)));
+    }
+    CommonSubstring cs = LongestCommonSubstring(a, b);
+    EXPECT_EQ(static_cast<size_t>(cs.length), cs.tokens.size());
+    EXPECT_TRUE(contains(a, cs.tokens));
+    EXPECT_TRUE(contains(b, cs.tokens));
+  }
+}
+
+TEST(LongestCommonSubsequenceTest, Basics) {
+  EXPECT_EQ(LongestCommonSubsequence(V({1, 2, 9, 3}), V({1, 2, 3})), 3);
+  EXPECT_EQ(LongestCommonSubsequence(V({}), V({1})), 0);
+  EXPECT_EQ(LongestCommonSubsequence(V({1, 2}), V({2, 1})), 1);
+}
+
+TEST(LongestCommonSubsequenceTest, RelatesToEditDistanceForBinaryOps) {
+  // For unit-cost insert/delete only (no substitution), dist = |a|+|b|-2·LCS.
+  // With substitution allowed, EditDistance <= that quantity.
+  Rng rng(6);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<int> a, b;
+    for (size_t i = 0; i < rng.NextBounded(12); ++i) {
+      a.push_back(static_cast<int>(rng.NextBounded(3)));
+    }
+    for (size_t i = 0; i < rng.NextBounded(12); ++i) {
+      b.push_back(static_cast<int>(rng.NextBounded(3)));
+    }
+    int lcs = LongestCommonSubsequence(a, b);
+    EXPECT_LE(EditDistance(a, b),
+              static_cast<int>(a.size() + b.size()) - 2 * lcs);
+  }
+}
+
+}  // namespace
+}  // namespace ntw::align

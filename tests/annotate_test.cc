@@ -1,0 +1,160 @@
+#include "annotate/dictionary_annotator.h"
+#include "annotate/regex_annotator.h"
+#include "annotate/synthetic_annotator.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ntw::annotate {
+namespace {
+
+using ::ntw::testing::FigureOnePages;
+using ::ntw::testing::FindText;
+using ::ntw::testing::MustParse;
+
+TEST(DictionaryAnnotatorTest, LabelsExactMentions) {
+  core::PageSet pages = FigureOnePages();
+  DictionaryAnnotator annotator({"PORTER FURNITURE", "LULLABY LANE"});
+  core::NodeSet labels = annotator.Annotate(pages);
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(testing::TextOf(pages, labels[0]), "PORTER FURNITURE");
+  EXPECT_EQ(testing::TextOf(pages, labels[1]), "LULLABY LANE");
+}
+
+TEST(DictionaryAnnotatorTest, MatchesInsideLongerText) {
+  core::PageSet pages;
+  pages.AddPage(MustParse(
+      "<p>An authorized BestBuy retailer since 1999</p>"
+      "<p>BestBuyify is different</p>"));
+  DictionaryAnnotator annotator({"BestBuy"});
+  core::NodeSet labels = annotator.Annotate(pages);
+  ASSERT_EQ(labels.size(), 1u);  // Word boundaries: no BestBuyify hit.
+}
+
+TEST(DictionaryAnnotatorTest, CaseInsensitive) {
+  core::PageSet pages;
+  pages.AddPage(MustParse("<p>office depot</p>"));
+  DictionaryAnnotator annotator({"Office Depot"});
+  EXPECT_EQ(annotator.Annotate(pages).size(), 1u);
+}
+
+TEST(DictionaryAnnotatorTest, ShortEntriesDropped) {
+  DictionaryAnnotator::Options options;
+  options.min_entry_length = 4;
+  DictionaryAnnotator annotator({"abc", "abcd"}, options);
+  EXPECT_EQ(annotator.size(), 1u);
+}
+
+TEST(DictionaryAnnotatorTest, MaxPagesLimitsScope) {
+  core::PageSet pages = FigureOnePages();
+  DictionaryAnnotator::Options options;
+  options.max_pages = 1;
+  DictionaryAnnotator annotator(
+      {"PORTER FURNITURE", "KIDDIE WORLD CENTER"}, options);
+  core::NodeSet labels = annotator.Annotate(pages);
+  ASSERT_EQ(labels.size(), 1u);  // KIDDIE is on page 2 — out of scope.
+  EXPECT_EQ(labels[0].page, 0);
+}
+
+TEST(DictionaryAnnotatorTest, EmptyDictionary) {
+  core::PageSet pages = FigureOnePages();
+  DictionaryAnnotator annotator({});
+  EXPECT_TRUE(annotator.Annotate(pages).empty());
+}
+
+TEST(RegexAnnotatorTest, ZipcodeAnnotator) {
+  core::PageSet pages = FigureOnePages();
+  RegexAnnotator annotator = RegexAnnotator::Zipcode();
+  core::NodeSet labels = annotator.Annotate(pages);
+  // The five city/state/zip lines (street numbers here are < 5 digits).
+  ASSERT_EQ(labels.size(), 5u);
+  for (const core::NodeRef& ref : labels) {
+    EXPECT_NE(testing::TextOf(pages, ref).find(","), std::string::npos);
+  }
+}
+
+TEST(RegexAnnotatorTest, FiveDigitStreetIsFalsePositive) {
+  core::PageSet pages;
+  pages.AddPage(MustParse("<p>10245 MAIN ST.</p><p>38652</p><p>1234</p>"));
+  RegexAnnotator annotator = RegexAnnotator::Zipcode();
+  EXPECT_EQ(annotator.Annotate(pages).size(), 2u);
+}
+
+TEST(RegexAnnotatorTest, CustomPattern) {
+  Result<RegexAnnotator> annotator =
+      RegexAnnotator::Create("phone", R"(\d{3}-\d{3}-\d{4})");
+  ASSERT_TRUE(annotator.ok());
+  core::PageSet pages;
+  pages.AddPage(MustParse("<p>Phone: 662-534-3672</p><p>no digits</p>"));
+  EXPECT_EQ(annotator->Annotate(pages).size(), 1u);
+  EXPECT_EQ(annotator->Name(), "phone");
+}
+
+TEST(RegexAnnotatorTest, BadPatternFails) {
+  EXPECT_FALSE(RegexAnnotator::Create("broken", "(a").ok());
+}
+
+TEST(SyntheticAnnotatorTest, ExtremesAreExact) {
+  core::PageSet pages = FigureOnePages();
+  core::NodeSet truth(FindText(pages, "PORTER FURNITURE"));
+  for (const core::NodeRef& ref : FindText(pages, "LULLABY LANE")) {
+    truth.Insert(ref);
+  }
+  Rng rng(1);
+  SyntheticAnnotator perfect(1.0, 0.0);
+  EXPECT_EQ(perfect.Annotate(pages, truth, &rng), truth);
+  SyntheticAnnotator silent(0.0, 0.0);
+  EXPECT_TRUE(silent.Annotate(pages, truth, &rng).empty());
+}
+
+TEST(SyntheticAnnotatorTest, RatesApproximateP1P2) {
+  // A larger page set for stable statistics.
+  core::PageSet pages;
+  std::string html = "<ul>";
+  for (int i = 0; i < 200; ++i) {
+    html += "<li><b>t" + std::to_string(i) + "</b><span>o" +
+            std::to_string(i) + "</span></li>";
+  }
+  html += "</ul>";
+  pages.AddPage(MustParse(html));
+  core::NodeSet truth;
+  for (int i = 0; i < 200; ++i) {
+    for (const core::NodeRef& ref :
+         FindText(pages, "t" + std::to_string(i))) {
+      truth.Insert(ref);
+    }
+  }
+  ASSERT_EQ(truth.size(), 200u);
+
+  SyntheticAnnotator annotator(0.3, 0.05);
+  Rng rng(42);
+  size_t hits = 0, false_hits = 0;
+  constexpr int kTrials = 20;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    core::NodeSet labels = annotator.Annotate(pages, truth, &rng);
+    hits += labels.IntersectSize(truth);
+    false_hits += labels.size() - labels.IntersectSize(truth);
+  }
+  double recall = static_cast<double>(hits) / (200.0 * kTrials);
+  double fp_rate = static_cast<double>(false_hits) / (200.0 * kTrials);
+  EXPECT_NEAR(recall, 0.3, 0.04);
+  EXPECT_NEAR(fp_rate, 0.05, 0.02);
+}
+
+TEST(SyntheticAnnotatorTest, SolveP2MatchesPrecisionTarget) {
+  // n1 = 100 true, n2 = 900 false, p1 = 0.5, want precision 0.8:
+  // p2 = 100·0.5·0.2 / (0.8·900).
+  double p2 = SyntheticAnnotator::SolveP2(0.5, 0.8, 100, 900);
+  EXPECT_NEAR(p2, 100 * 0.5 * 0.2 / (0.8 * 900), 1e-12);
+  double expected_precision = 100 * 0.5 / (100 * 0.5 + 900 * p2);
+  EXPECT_NEAR(expected_precision, 0.8, 1e-9);
+}
+
+TEST(SyntheticAnnotatorTest, SolveP2Extremes) {
+  EXPECT_EQ(SyntheticAnnotator::SolveP2(0.5, 1.0, 10, 10), 0.0);
+  EXPECT_EQ(SyntheticAnnotator::SolveP2(0.5, 0.8, 10, 0), 0.0);
+  EXPECT_LE(SyntheticAnnotator::SolveP2(1.0, 0.01, 1000, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace ntw::annotate

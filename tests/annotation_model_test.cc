@@ -1,0 +1,94 @@
+#include "core/annotation_model.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace ntw::core {
+namespace {
+
+NodeRef R(int node) { return NodeRef{0, node}; }
+
+TEST(AnnotationModelTest, ParametersClamped) {
+  AnnotationModel extreme(1.0, 0.0);
+  EXPECT_LT(extreme.p(), 1.0);
+  EXPECT_GT(extreme.r(), 0.0);
+}
+
+TEST(AnnotationModelTest, PerfectCoverScoresHighest) {
+  AnnotationModel model(0.95, 0.5);
+  NodeSet labels({R(1), R(2), R(3)});
+  // X = L maximizes Eq. 4 when r > 1 − p.
+  double exact = model.LogProb(labels, labels);
+  double with_extra = model.LogProb(labels, NodeSet({R(1), R(2), R(3), R(4)}));
+  double partial = model.LogProb(labels, NodeSet({R(1), R(2)}));
+  EXPECT_GT(exact, with_extra);
+  EXPECT_GT(exact, partial);
+}
+
+TEST(AnnotationModelTest, HitWeightIsLogOdds) {
+  AnnotationModel model(0.9, 0.4);
+  NodeSet labels({R(1)});
+  double one_hit = model.LogProb(labels, NodeSet({R(1)}));
+  EXPECT_NEAR(one_hit, std::log(0.4 / 0.1), 1e-12);
+  double one_miss = model.LogProb(labels, NodeSet({R(2)}));
+  EXPECT_NEAR(one_miss, std::log(0.6 / 0.9), 1e-12);
+}
+
+TEST(AnnotationModelTest, ScoreIsAdditiveInHitsAndMisses) {
+  AnnotationModel model(0.9, 0.3);
+  NodeSet labels({R(1), R(2), R(3), R(4)});
+  // 2 hits + 3 misses.
+  NodeSet x({R(1), R(2), R(10), R(11), R(12)});
+  double expected = 2 * std::log(0.3 / 0.1) + 3 * std::log(0.7 / 0.9);
+  EXPECT_NEAR(model.LogProb(labels, x), expected, 1e-12);
+}
+
+TEST(AnnotationModelTest, EmptyExtractionScoresZero) {
+  // Eq. 4 is relative to constants; X = ∅ contributes nothing.
+  AnnotationModel model(0.9, 0.3);
+  EXPECT_DOUBLE_EQ(model.LogProb(NodeSet({R(1)}), NodeSet()), 0.0);
+}
+
+TEST(AnnotationModelTest, LowRecallAnnotatorToleratesMisses) {
+  // With r = 0.24 the model must still prefer a full list X over the bare
+  // label set when the list properties demand it — i.e. per-miss penalty
+  // is small: log((1−r)/p) ≈ log(0.76/0.95) ≈ −0.22.
+  AnnotationModel model(0.95, 0.24);
+  NodeSet labels({R(1), R(2)});
+  NodeSet list({R(1), R(2), R(3), R(4), R(5), R(6), R(7), R(8)});
+  double full = model.LogProb(labels, list);
+  double bare = model.LogProb(labels, labels);
+  EXPECT_LT(bare - full, 2.0);  // Six extra nodes cost ≈ 1.3 nats.
+}
+
+TEST(AnnotationModelTest, EstimateRecoversRates) {
+  // Universe of 100 nodes, truth = 20, labels hit 5 of them plus 2 FPs.
+  std::vector<NodeRef> truth_refs, label_refs;
+  for (int i = 0; i < 20; ++i) truth_refs.push_back(R(i));
+  for (int i = 0; i < 5; ++i) label_refs.push_back(R(i));
+  label_refs.push_back(R(50));
+  label_refs.push_back(R(51));
+  Result<AnnotationModel> model = AnnotationModel::Estimate(
+      NodeSet(label_refs), NodeSet(truth_refs), 100);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->r(), 0.25, 1e-9);        // 5/20.
+  EXPECT_NEAR(model->p(), 1.0 - 2.0 / 80.0, 1e-9);
+}
+
+TEST(AnnotationModelTest, AccumulatorPoolsAcrossSites) {
+  AnnotationModel::Accumulator acc;
+  acc.Observe(NodeSet({R(1)}), NodeSet({R(1), R(2)}), 10);
+  acc.Observe(NodeSet({R(3), R(9)}), NodeSet({R(3), R(4)}), 10);
+  Result<AnnotationModel> model = acc.Finish();
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->r(), 2.0 / 4.0, 1e-9);
+  EXPECT_NEAR(model->p(), 1.0 - 1.0 / 16.0, 1e-9);
+}
+
+TEST(AnnotationModelTest, EstimateFailsOnDegenerateTruth) {
+  EXPECT_FALSE(AnnotationModel::Estimate(NodeSet(), NodeSet(), 10).ok());
+}
+
+}  // namespace
+}  // namespace ntw::core

@@ -1,0 +1,52 @@
+#!/bin/sh
+# End-to-end test of the command-line tools: generate a corpus, evaluate
+# it, learn + save a wrapper, reload and re-apply it, and check the two
+# extraction runs agree.
+set -eu
+
+BIN_DIR="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# 1. Generate and export a small corpus.
+"$BIN_DIR/../tools/ntw_corpus" --dataset dealers --out "$WORK/corpus" \
+    --sites 4 --pages 4 --seed 5 > "$WORK/corpus.log"
+grep -q "exported DEALERS: 4 sites" "$WORK/corpus.log"
+test -f "$WORK/corpus/site_0000/page_0000.html"
+test -f "$WORK/corpus/site_0000/truth.tsv"
+
+# 2. Evaluate the corpus end to end.
+"$BIN_DIR/../tools/ntw_eval" --corpus "$WORK/corpus" --type name \
+    --all-sites --per-site > "$WORK/eval.log"
+grep -q "NTW" "$WORK/eval.log"
+grep -q "NAIVE" "$WORK/eval.log"
+
+# 3. Learn a wrapper for one site from its own truth as a dictionary
+#    (names only; sed-decode the HTML-escaped ampersands).
+SITE="$WORK/corpus/site_0001"
+awk -F'\t' '$1 == "name" {print $2, $3}' "$SITE/truth.tsv" > /dev/null
+# Build a dictionary from two distinct rendered names.
+grep -ho '<u>[^<]*</u>\|<b>[^<]*</b>\|<strong>[^<]*</strong>\|<em>[^<]*</em>\|<span>[^<]*</span>\|<a [^>]*>[^<]*</a>' \
+    "$SITE"/page_0000.html | sed 's/<[^>]*>//g; s/&amp;/\&/g' | head -40 \
+    > "$WORK/candidates.txt"
+head -1 "$WORK/candidates.txt" > "$WORK/dict.txt"
+tail -1 "$WORK/candidates.txt" >> "$WORK/dict.txt"
+
+"$BIN_DIR/../tools/ntw_extract" --pages "$SITE" --dict "$WORK/dict.txt" \
+    --save-wrapper "$WORK/wrapper.txt" --quiet > "$WORK/learned.tsv" || {
+  # Some candidate pairs cannot induce a wrapper (e.g. both map to the
+  # same node); that is a usage error, not a tool failure — fall back to
+  # a dictionary of all candidates.
+  cp "$WORK/candidates.txt" "$WORK/dict.txt"
+  "$BIN_DIR/../tools/ntw_extract" --pages "$SITE" --dict "$WORK/dict.txt" \
+      --save-wrapper "$WORK/wrapper.txt" --quiet > "$WORK/learned.tsv"
+}
+test -s "$WORK/learned.tsv"
+test -s "$WORK/wrapper.txt"
+
+# 4. Reload the wrapper and re-apply: extraction must be identical.
+"$BIN_DIR/../tools/ntw_extract" --pages "$SITE" \
+    --load-wrapper "$WORK/wrapper.txt" --quiet > "$WORK/applied.tsv"
+cmp "$WORK/learned.tsv" "$WORK/applied.tsv"
+
+echo "cli_test OK"

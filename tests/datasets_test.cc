@@ -1,0 +1,185 @@
+#include <set>
+
+#include "core/xpath_inductor.h"
+#include "datasets/dataset.h"
+#include "datasets/dealers.h"
+#include "datasets/disc.h"
+#include "datasets/products.h"
+#include "datasets/runner.h"
+#include "gtest/gtest.h"
+#include "html/serializer.h"
+
+namespace ntw::datasets {
+namespace {
+
+DealersConfig SmallDealers() {
+  DealersConfig config;
+  config.num_sites = 16;
+  config.universe_size = 600;
+  return config;
+}
+
+TEST(DealersTest, ShapeAndTypes) {
+  Dataset dataset = MakeDealers(SmallDealers());
+  EXPECT_EQ(dataset.name, "DEALERS");
+  EXPECT_EQ(dataset.types,
+            (std::vector<std::string>{"name", "zip", "phone"}));
+  ASSERT_EQ(dataset.sites.size(), 16u);
+  for (const SiteData& data : dataset.sites) {
+    EXPECT_EQ(data.site.pages.size(), 12u);
+    EXPECT_FALSE(data.site.truth.at("name").empty());
+    EXPECT_FALSE(data.site.truth.at("zip").empty());
+    // One zip line per record.
+    EXPECT_EQ(data.site.truth.at("name").size(),
+              data.site.truth.at("zip").size());
+  }
+}
+
+TEST(DealersTest, DeterministicBySeed) {
+  Dataset a = MakeDealers(SmallDealers());
+  Dataset b = MakeDealers(SmallDealers());
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  for (size_t i = 0; i < a.sites.size(); ++i) {
+    EXPECT_EQ(a.sites[i].site.name, b.sites[i].site.name);
+    EXPECT_EQ(a.sites[i].annotations.at("name"),
+              b.sites[i].annotations.at("name"));
+    EXPECT_EQ(a.sites[i].site.truth.at("name"),
+              b.sites[i].site.truth.at("name"));
+  }
+}
+
+TEST(DealersTest, AnnotatorOperatingPoint) {
+  DealersConfig config;
+  config.num_sites = 40;
+  Dataset dataset = MakeDealers(config);
+  core::Prf quality = AnnotatorQuality(dataset, "name");
+  // The paper's dictionary annotator: 0.95 precision / 0.24 recall. Allow
+  // sampling slack but pin the operating regime.
+  EXPECT_GT(quality.precision, 0.85);
+  EXPECT_GT(quality.recall, 0.15);
+  EXPECT_LT(quality.recall, 0.40);
+}
+
+TEST(DealersTest, ZipAnnotatorNoisyButHighRecall) {
+  Dataset dataset = MakeDealers(SmallDealers());
+  core::Prf quality = AnnotatorQuality(dataset, "zip");
+  EXPECT_GT(quality.recall, 0.95);   // The regex always hits real zips...
+  EXPECT_LT(quality.precision, 0.95);  // ...and footers/street numbers too.
+}
+
+TEST(DealersTest, TruthNodesAreTextNodes) {
+  Dataset dataset = MakeDealers(SmallDealers());
+  for (const SiteData& data : dataset.sites) {
+    for (const auto& [type, truth] : data.site.truth) {
+      for (const core::NodeRef& ref : truth) {
+        const html::Node* node = data.site.pages.Resolve(ref);
+        ASSERT_NE(node, nullptr);
+        EXPECT_TRUE(node->is_text());
+      }
+    }
+  }
+}
+
+TEST(DealersTest, SitesAreStructurallyDiverse) {
+  Dataset dataset = MakeDealers(SmallDealers());
+  std::set<std::string> first_page_signatures;
+  for (const SiteData& data : dataset.sites) {
+    first_page_signatures.insert(
+        html::StructuralSignature(data.site.pages.page(0).root()));
+  }
+  // Random templates: essentially every site should differ structurally.
+  EXPECT_GT(first_page_signatures.size(), dataset.sites.size() / 2);
+}
+
+TEST(DiscTest, ShapeAndSeedAlbums) {
+  DiscConfig config;
+  Dataset dataset = MakeDisc(config);
+  EXPECT_EQ(dataset.name, "DISC");
+  ASSERT_EQ(dataset.sites.size(), 15u);
+  for (const SiteData& data : dataset.sites) {
+    // min seed + min extra pages at least.
+    EXPECT_GE(data.site.pages.size(),
+              config.min_seed_albums + config.min_extra_albums);
+    EXPECT_FALSE(data.site.truth.at("track").empty());
+    // One album title node per page.
+    EXPECT_EQ(data.site.truth.at("album").size(), data.site.pages.size());
+  }
+}
+
+TEST(DiscTest, TrackAnnotatorFindsSeedTracks) {
+  Dataset dataset = MakeDisc(DiscConfig{});
+  core::Prf quality = AnnotatorQuality(dataset, "track");
+  EXPECT_GT(quality.precision, 0.7);
+  EXPECT_GT(quality.recall, 0.3);  // Non-seed albums dilute global recall.
+  // Recall restricted to annotated pages is what the paper reports (0.9);
+  // verified indirectly: most seed-album tracks are hit.
+}
+
+TEST(DiscTest, AlbumAnnotationsAreNoisy) {
+  Dataset dataset = MakeDisc(DiscConfig{});
+  size_t labels = 0, hits = 0;
+  for (const SiteData& data : dataset.sites) {
+    const core::NodeSet& album_labels = data.annotations.at("album");
+    labels += album_labels.size();
+    hits += album_labels.IntersectSize(data.site.truth.at("album"));
+  }
+  EXPECT_GT(labels, 0u);
+  // Seed titles recur in head titles, details tabs, reviews and title
+  // tracks: a substantial share of the labels are off-truth noise —
+  // exactly why Appendix B.2 calls this annotator "very noisy".
+  EXPECT_LT(hits, labels);
+  EXPECT_GT(labels - hits, labels / 4);
+}
+
+TEST(ProductsTest, ShapeAndCatalogue) {
+  ProductsConfig config;
+  Dataset dataset = MakeProducts(config);
+  EXPECT_EQ(dataset.name, "PRODUCTS");
+  ASSERT_EQ(dataset.sites.size(), 10u);
+  core::Prf quality = AnnotatorQuality(dataset, "model");
+  EXPECT_GT(quality.precision, 0.7);
+  EXPECT_GT(quality.recall, 0.4);
+}
+
+TEST(SplitTest, AlternatesSites) {
+  Dataset dataset = MakeDealers(SmallDealers());
+  Split split = MakeSplit(dataset);
+  EXPECT_EQ(split.train.size() + split.test.size(), dataset.sites.size());
+  EXPECT_EQ(split.train[0], 0u);
+  EXPECT_EQ(split.test[0], 1u);
+}
+
+TEST(LearnModelsTest, ProducesPlausibleModels) {
+  Dataset dataset = MakeDealers(SmallDealers());
+  Split split = MakeSplit(dataset);
+  Result<TrainedModels> models = LearnModels(dataset, "name", split.train);
+  ASSERT_TRUE(models.ok()) << models.status().ToString();
+  EXPECT_GT(models->annotation.p(), 0.8);
+  EXPECT_GT(models->annotation.r(), 0.1);
+  EXPECT_LT(models->annotation.r(), 0.5);
+  // The publication model prefers record-like lists over degenerate ones.
+  core::ListFeatures record_like;
+  record_like.schema_size = 4;
+  record_like.alignment = 3;
+  core::ListFeatures degenerate;
+  EXPECT_GT(models->publication.LogProb(record_like),
+            models->publication.LogProb(degenerate));
+}
+
+TEST(RunnerTest, SmallEndToEndRun) {
+  Dataset dataset = MakeDealers(SmallDealers());
+  core::XPathInductor inductor;
+  RunConfig config;
+  config.type = "name";
+  Result<RunSummary> summary = RunSingleType(dataset, inductor, config);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->sites.size() + summary->skipped_sites, 8u);
+  EXPECT_GT(summary->ntw_avg.f1, summary->naive_avg.f1);
+  EXPECT_GT(summary->naive_avg.recall, 0.95);  // NAIVE over-generalizes.
+  std::string formatted = FormatSummary("title", *summary);
+  EXPECT_NE(formatted.find("NTW"), std::string::npos);
+  EXPECT_NE(formatted.find("NAIVE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntw::datasets

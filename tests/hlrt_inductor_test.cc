@@ -1,0 +1,215 @@
+#include "core/hlrt_inductor.h"
+
+#include "common/rng.h"
+#include "core/enumerate.h"
+#include "core/lr_inductor.h"
+#include "datasets/dealers.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ntw::core {
+namespace {
+
+using ::ntw::testing::FindText;
+using ::ntw::testing::MustParse;
+
+// Pages where LR alone is ambiguous: sidebar items share the name markup
+// (<b> inside <li>) with the listing — only the head/tail context can
+// separate them.
+PageSet SidebarPages() {
+  auto page = [](const std::vector<std::string>& sidebar,
+                 const std::vector<std::string>& dealers) {
+    std::string html = "<html><body><ul class='side'>";
+    for (const std::string& item : sidebar) {
+      html += "<li><b>" + item + "</b></li>";
+    }
+    html += "</ul><div class='main'><ul class='stores'>";
+    for (const std::string& dealer : dealers) {
+      html += "<li><b>" + dealer + "</b></li>";
+    }
+    html += "</ul></div><div class='footer'>footer text</div></body></html>";
+    return html;
+  };
+  PageSet pages;
+  pages.AddPage(MustParse(page({"BrandOne", "BrandTwo"},
+                               {"PORTER FURNITURE", "WOODLAND FURNITURE",
+                                "HELLER HOME CENTER"})));
+  pages.AddPage(MustParse(page({"BrandThree", "BrandFour"},
+                               {"KIDDIE WORLD CENTER", "LULLABY LANE"})));
+  return pages;
+}
+
+TEST(HlrtInductorTest, HeadContextExcludesSidebar) {
+  // Head inference needs each labeled page's first label to be its first
+  // record; WOODLAND (a second record) keeps the l delimiter short.
+  PageSet pages = SidebarPages();
+  NodeSet labels(FindText(pages, "PORTER FURNITURE"));
+  for (const NodeRef& ref : FindText(pages, "WOODLAND FURNITURE")) {
+    labels.Insert(ref);
+  }
+  for (const NodeRef& ref : FindText(pages, "KIDDIE WORLD CENTER")) {
+    labels.Insert(ref);
+  }
+  // A last-record label keeps the r delimiter from swallowing the next
+  // record's opening markup.
+  for (const NodeRef& ref : FindText(pages, "LULLABY LANE")) {
+    labels.Insert(ref);
+  }
+
+  HlrtInductor hlrt;
+  Induction hlrt_induction = hlrt.Induce(pages, labels);
+  // HLRT extracts exactly the five dealer names: the head delimiter
+  // (the stores <ul>) excludes the sidebar items.
+  EXPECT_EQ(hlrt_induction.extraction.size(), 5u);
+  EXPECT_FALSE(
+      hlrt_induction.extraction.Contains(FindText(pages, "BrandOne")[0]));
+
+  // LR on the same labels cannot: "<b>...</b>" matches the sidebar too.
+  LrInductor lr;
+  Induction lr_induction = lr.Induce(pages, labels);
+  EXPECT_GT(lr_induction.extraction.size(), 5u);
+  EXPECT_TRUE(lr_induction.extraction.Contains(FindText(pages, "BrandOne")[0]));
+}
+
+TEST(HlrtInductorTest, WrapperExposesDelimiters) {
+  PageSet pages = SidebarPages();
+  NodeSet labels(FindText(pages, "PORTER FURNITURE"));
+  for (const NodeRef& ref : FindText(pages, "WOODLAND FURNITURE")) {
+    labels.Insert(ref);
+  }
+  for (const NodeRef& ref : FindText(pages, "KIDDIE WORLD CENTER")) {
+    labels.Insert(ref);
+  }
+  for (const NodeRef& ref : FindText(pages, "LULLABY LANE")) {
+    labels.Insert(ref);
+  }
+  HlrtInductor inductor;
+  Induction induction = inductor.Induce(pages, labels);
+  const auto* wrapper =
+      dynamic_cast<const HlrtWrapper*>(induction.wrapper.get());
+  ASSERT_NE(wrapper, nullptr);
+  EXPECT_TRUE(wrapper->left().ends_with("<b>"));
+  EXPECT_TRUE(wrapper->right().starts_with("</b>"));
+  EXPECT_FALSE(wrapper->head().empty());
+  EXPECT_NE(induction.wrapper->ToString().find("HLRT("), std::string::npos);
+}
+
+TEST(HlrtInductorTest, EmptyLabels) {
+  PageSet pages = SidebarPages();
+  HlrtInductor inductor;
+  EXPECT_TRUE(inductor.Induce(pages, NodeSet()).extraction.empty());
+}
+
+TEST(HlrtInductorTest, ExtractMatchesInduction) {
+  PageSet pages = SidebarPages();
+  NodeSet labels(FindText(pages, "WOODLAND FURNITURE"));
+  for (const NodeRef& ref : FindText(pages, "LULLABY LANE")) {
+    labels.Insert(ref);
+  }
+  HlrtInductor inductor;
+  Induction induction = inductor.Induce(pages, labels);
+  EXPECT_EQ(induction.wrapper->Extract(pages), induction.extraction);
+}
+
+TEST(HlrtInductorTest, TopDownIsRejected) {
+  PageSet pages = SidebarPages();
+  NodeSet labels(FindText(pages, "WOODLAND FURNITURE"));
+  HlrtInductor inductor;
+  Result<WrapperSpace> space =
+      Enumerate(EnumAlgorithm::kTopDown, inductor, pages, labels);
+  EXPECT_FALSE(space.ok());
+  EXPECT_EQ(space.status().code(), StatusCode::kFailedPrecondition);
+  // BottomUp works fine (blackbox).
+  Result<WrapperSpace> bottom_up =
+      Enumerate(EnumAlgorithm::kBottomUp, inductor, pages, labels);
+  ASSERT_TRUE(bottom_up.ok());
+  EXPECT_GE(bottom_up->size(), 1u);
+}
+
+// Empirical well-behavedness on generated dealer sites: HLRT's head/tail
+// delimiters are template chunks bracketing the listing, under which
+// fidelity/closure/monotonicity hold (Sec. 5 claims the LR analysis
+// "extends to HLRT").
+class HlrtWellBehavedTest : public ::testing::Test {
+ protected:
+  HlrtWellBehavedTest() {
+    datasets::DealersConfig config;
+    config.num_sites = 3;
+    config.pages_per_site = 4;
+    dataset_ = datasets::MakeDealers(config);
+  }
+  datasets::Dataset dataset_;
+  HlrtInductor inductor_;
+};
+
+TEST_F(HlrtWellBehavedTest, FidelityOnGeneratedSites) {
+  Rng rng(11);
+  for (const datasets::SiteData& data : dataset_.sites) {
+    NodeSet truth = data.site.truth.at("name");
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<NodeRef> subset;
+      for (const NodeRef& ref : truth) {
+        if (rng.NextBernoulli(0.3)) subset.push_back(ref);
+      }
+      if (subset.empty()) subset.push_back(truth[0]);
+      NodeSet labels(std::move(subset));
+      Induction induction = inductor_.Induce(data.site.pages, labels);
+      EXPECT_TRUE(labels.IsSubsetOf(induction.extraction));
+    }
+  }
+}
+
+TEST_F(HlrtWellBehavedTest, MonotonicityOnGeneratedSites) {
+  Rng rng(13);
+  for (const datasets::SiteData& data : dataset_.sites) {
+    NodeSet truth = data.site.truth.at("name");
+    for (int trial = 0; trial < 6; ++trial) {
+      std::vector<NodeRef> large;
+      for (const NodeRef& ref : truth) {
+        if (rng.NextBernoulli(0.5)) large.push_back(ref);
+      }
+      if (large.size() < 2) continue;
+      NodeSet l2(large);
+      std::vector<NodeRef> small(large.begin(),
+                                 large.begin() +
+                                     static_cast<long>(large.size() / 2));
+      NodeSet l1(std::move(small));
+      Induction i1 = inductor_.Induce(data.site.pages, l1);
+      Induction i2 = inductor_.Induce(data.site.pages, l2);
+      EXPECT_TRUE(i1.extraction.IsSubsetOf(i2.extraction))
+          << data.site.name;
+    }
+  }
+}
+
+TEST_F(HlrtWellBehavedTest, ClosureOnGeneratedSites) {
+  Rng rng(17);
+  for (const datasets::SiteData& data : dataset_.sites) {
+    NodeSet truth = data.site.truth.at("name");
+    std::vector<NodeRef> seed = {truth[0],
+                                 truth[truth.size() / 2]};
+    NodeSet labels(std::move(seed));
+    Induction induction = inductor_.Induce(data.site.pages, labels);
+    NodeSet closure = induction.extraction.Intersect(
+        data.site.pages.AllTextNodes());
+    Induction again =
+        inductor_.Induce(data.site.pages, labels.Union(closure));
+    EXPECT_EQ(again.extraction, induction.extraction) << data.site.name;
+  }
+}
+
+TEST_F(HlrtWellBehavedTest, AtLeastAsPreciseAsLrOnTruthSubsets) {
+  LrInductor lr;
+  for (const datasets::SiteData& data : dataset_.sites) {
+    NodeSet truth = data.site.truth.at("name");
+    NodeSet labels({truth[0], truth[truth.size() - 1]});
+    Induction hlrt_induction = inductor_.Induce(data.site.pages, labels);
+    Induction lr_induction = lr.Induce(data.site.pages, labels);
+    EXPECT_TRUE(
+        hlrt_induction.extraction.IsSubsetOf(lr_induction.extraction))
+        << data.site.name;
+  }
+}
+
+}  // namespace
+}  // namespace ntw::core

@@ -1,0 +1,299 @@
+// Tests for the persistence layer: CEscape/CUnescape, file utilities,
+// command-line flags, wrapper save/load, and corpus export/import.
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/file_util.h"
+#include "common/rng.h"
+#include "common/flags.h"
+#include "common/strings.h"
+#include "core/hlrt_inductor.h"
+#include "core/lr_inductor.h"
+#include "core/wrapper_store.h"
+#include "core/xpath_inductor.h"
+#include "datasets/corpus_io.h"
+#include "datasets/dealers.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ntw {
+namespace {
+
+// Unique scratch directory per test run.
+std::string ScratchDir(const std::string& tag) {
+  std::string dir = std::filesystem::temp_directory_path().string() +
+                    "/ntw_io_test_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// ----------------------------------------------------------- escaping.
+
+TEST(EscapeTest, RoundTripsControlCharacters) {
+  std::string original = "a\tb\nc\rd\\e\x01\x7f plain";
+  std::string escaped = CEscape(original);
+  EXPECT_EQ(escaped.find('\t'), std::string::npos);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  Result<std::string> back = CUnescape(escaped);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, original);
+}
+
+TEST(EscapeTest, EmptyAndPlain) {
+  EXPECT_EQ(CEscape(""), "");
+  EXPECT_EQ(CEscape("hello world"), "hello world");
+  EXPECT_EQ(*CUnescape("hello"), "hello");
+}
+
+TEST(EscapeTest, RejectsMalformed) {
+  EXPECT_FALSE(CUnescape("bad\\").ok());
+  EXPECT_FALSE(CUnescape("bad\\q").ok());
+  EXPECT_FALSE(CUnescape("bad\\x1").ok());
+  EXPECT_FALSE(CUnescape("bad\\xzz").ok());
+}
+
+TEST(EscapeTest, RandomBytesRoundTrip) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string original;
+    for (size_t i = 0; i < rng.NextBounded(40); ++i) {
+      original.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    Result<std::string> back = CUnescape(CEscape(original));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, original);
+  }
+}
+
+// ----------------------------------------------------------- file utils.
+
+TEST(FileUtilTest, WriteReadRoundTrip) {
+  std::string dir = ScratchDir("files");
+  ASSERT_TRUE(MakeDirs(dir).ok());
+  std::string path = dir + "/f.txt";
+  ASSERT_TRUE(WriteFile(path, "first contents").ok());
+  // Overwrite with binary content including an embedded NUL.
+  ASSERT_TRUE(WriteFile(path, std::string("a\0b", 3)).ok());
+  Result<std::string> back = ReadFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, std::string("a\0b", 3));
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_FALSE(FileExists(dir + "/missing"));
+}
+
+TEST(FileUtilTest, ReadMissingFails) {
+  EXPECT_FALSE(ReadFile("/definitely/not/here").ok());
+}
+
+TEST(FileUtilTest, ListFilesFiltersAndSorts) {
+  std::string dir = ScratchDir("list");
+  ASSERT_TRUE(MakeDirs(dir).ok());
+  ASSERT_TRUE(WriteFile(dir + "/b.html", "x").ok());
+  ASSERT_TRUE(WriteFile(dir + "/a.html", "x").ok());
+  ASSERT_TRUE(WriteFile(dir + "/c.txt", "x").ok());
+  Result<std::vector<std::string>> files = ListFiles(dir, ".html");
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 2u);
+  EXPECT_TRUE((*files)[0].ends_with("a.html"));
+  EXPECT_TRUE((*files)[1].ends_with("b.html"));
+  EXPECT_FALSE(ListFiles(dir + "/nope").ok());
+}
+
+// ----------------------------------------------------------------- flags.
+
+TEST(FlagsTest, AllForms) {
+  // Note: "--verbose pos1" is the space form and consumes "pos1" — a flag
+  // intended as boolean must be last, use "=", or precede another flag.
+  const char* argv[] = {"tool",      "--name=value", "--count", "7",
+                        "--verbose", "pos1",         "--",      "--pos2"};
+  Result<Flags> flags = Flags::Parse(8, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->Get("name"), "value");
+  EXPECT_EQ(*flags->GetInt("count", 0), 7);
+  EXPECT_TRUE(flags->Has("verbose"));
+  EXPECT_EQ(flags->Get("verbose"), "pos1");
+  ASSERT_EQ(flags->positional().size(), 1u);
+  EXPECT_EQ(flags->positional()[0], "--pos2");
+}
+
+TEST(FlagsTest, BooleanBeforeFlagAndAtEnd) {
+  const char* argv[] = {"tool", "--quiet", "--name=x", "--verbose"};
+  Result<Flags> flags = Flags::Parse(4, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->Has("quiet"));
+  EXPECT_EQ(flags->Get("quiet"), "");
+  EXPECT_TRUE(flags->Has("verbose"));
+  EXPECT_EQ(flags->Get("verbose"), "");
+}
+
+TEST(FlagsTest, Defaults) {
+  const char* argv[] = {"tool"};
+  Result<Flags> flags = Flags::Parse(1, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->Get("missing", "fallback"), "fallback");
+  EXPECT_EQ(*flags->GetInt("missing", 42), 42);
+  EXPECT_EQ(*flags->GetDouble("missing", 0.5), 0.5);
+}
+
+TEST(FlagsTest, NumericValidation) {
+  const char* argv[] = {"tool", "--n=abc", "--d=1.5"};
+  Result<Flags> flags = Flags::Parse(3, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_FALSE(flags->GetInt("n", 0).ok());
+  EXPECT_DOUBLE_EQ(*flags->GetDouble("d", 0), 1.5);
+}
+
+TEST(FlagsTest, UnknownDetection) {
+  const char* argv[] = {"tool", "--known=1", "--mystery"};
+  Result<Flags> flags = Flags::Parse(3, argv);
+  ASSERT_TRUE(flags.ok());
+  std::vector<std::string> unknown = flags->UnknownFlags({"known"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "mystery");
+}
+
+TEST(FlagsTest, MalformedFlagRejected) {
+  const char* argv[] = {"tool", "--=x"};
+  EXPECT_FALSE(Flags::Parse(2, argv).ok());
+}
+
+// --------------------------------------------------------- wrapper store.
+
+TEST(WrapperStoreTest, XPathRoundTrip) {
+  core::PageSet pages = testing::FigureOnePages();
+  core::XPathInductor inductor;
+  core::NodeSet labels(testing::FindText(pages, "WOODLAND FURNITURE"));
+  for (const core::NodeRef& ref :
+       testing::FindText(pages, "KIDDIE WORLD CENTER")) {
+    labels.Insert(ref);
+  }
+  core::Induction induction = inductor.Induce(pages, labels);
+  Result<std::string> record = core::SerializeWrapper(*induction.wrapper);
+  ASSERT_TRUE(record.ok());
+  Result<core::WrapperPtr> back = core::DeserializeWrapper(*record);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->Extract(pages), induction.extraction);
+}
+
+TEST(WrapperStoreTest, LrRoundTripWithControlCharacters) {
+  core::LrWrapper wrapper("<td>\t<u>", "</u>\n");
+  Result<std::string> record = core::SerializeWrapper(wrapper);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->find('\n'), std::string::npos);  // Single line.
+  Result<core::WrapperPtr> back = core::DeserializeWrapper(*record);
+  ASSERT_TRUE(back.ok());
+  const auto* lr = dynamic_cast<const core::LrWrapper*>(back->get());
+  ASSERT_NE(lr, nullptr);
+  EXPECT_EQ(lr->left(), "<td>\t<u>");
+  EXPECT_EQ(lr->right(), "</u>\n");
+}
+
+TEST(WrapperStoreTest, LrEmptyDelimitersSurvive) {
+  core::LrWrapper wrapper("", "");
+  Result<std::string> record = core::SerializeWrapper(wrapper);
+  ASSERT_TRUE(record.ok());
+  Result<core::WrapperPtr> back = core::DeserializeWrapper(*record + "\n");
+  ASSERT_TRUE(back.ok());
+  const auto* lr = dynamic_cast<const core::LrWrapper*>(back->get());
+  ASSERT_NE(lr, nullptr);
+  EXPECT_TRUE(lr->left().empty());
+  EXPECT_TRUE(lr->right().empty());
+}
+
+TEST(WrapperStoreTest, HlrtRoundTrip) {
+  core::HlrtWrapper wrapper("<ul class=\"stores\">", "</ul>", "><li><b>",
+                            "</b>");
+  Result<std::string> record = core::SerializeWrapper(wrapper);
+  ASSERT_TRUE(record.ok());
+  Result<core::WrapperPtr> back = core::DeserializeWrapper(*record);
+  ASSERT_TRUE(back.ok());
+  const auto* hlrt = dynamic_cast<const core::HlrtWrapper*>(back->get());
+  ASSERT_NE(hlrt, nullptr);
+  EXPECT_EQ(hlrt->head(), wrapper.head());
+  EXPECT_EQ(hlrt->tail(), wrapper.tail());
+}
+
+TEST(WrapperStoreTest, SaveLoadFile) {
+  std::string dir = ScratchDir("wrapper");
+  ASSERT_TRUE(MakeDirs(dir).ok());
+  core::LrWrapper wrapper("<u>", "</u>");
+  ASSERT_TRUE(core::SaveWrapper(wrapper, dir + "/w.txt").ok());
+  Result<core::WrapperPtr> back = core::LoadWrapper(dir + "/w.txt");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->ToString(), wrapper.ToString());
+}
+
+TEST(WrapperStoreTest, Malformed) {
+  EXPECT_FALSE(core::DeserializeWrapper("").ok());
+  EXPECT_FALSE(core::DeserializeWrapper("BOGUS\tx").ok());
+  EXPECT_FALSE(core::DeserializeWrapper("XPATH\t//bad[").ok());
+  EXPECT_FALSE(core::DeserializeWrapper("LR\tonlyone").ok());
+  EXPECT_FALSE(core::DeserializeWrapper("HLRT\ta\tb").ok());
+}
+
+// ------------------------------------------------------------ corpus io.
+
+TEST(CorpusIoTest, SiteRoundTripPreservesEverything) {
+  datasets::DealersConfig config;
+  config.num_sites = 2;
+  config.pages_per_site = 3;
+  datasets::Dataset dataset = datasets::MakeDealers(config);
+  const datasets::SiteData& original = dataset.sites[0];
+
+  std::string dir = ScratchDir("site");
+  ASSERT_TRUE(datasets::ExportSite(original, dir).ok());
+  Result<datasets::SiteData> imported = datasets::ImportSite(dir);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+
+  EXPECT_EQ(imported->site.name, original.site.name);
+  ASSERT_EQ(imported->site.pages.size(), original.site.pages.size());
+  for (size_t p = 0; p < original.site.pages.size(); ++p) {
+    EXPECT_EQ(imported->site.pages.page(p).node_count(),
+              original.site.pages.page(p).node_count());
+  }
+  EXPECT_EQ(imported->site.truth.at("name"), original.site.truth.at("name"));
+  EXPECT_EQ(imported->annotations.at("name"),
+            original.annotations.at("name"));
+  // Truth nodes carry the same text after the round trip.
+  for (const core::NodeRef& ref : original.site.truth.at("name")) {
+    EXPECT_EQ(imported->site.pages.Resolve(ref)->text(),
+              original.site.pages.Resolve(ref)->text());
+  }
+}
+
+TEST(CorpusIoTest, DatasetRoundTrip) {
+  datasets::DealersConfig config;
+  config.num_sites = 3;
+  config.pages_per_site = 2;
+  datasets::Dataset dataset = datasets::MakeDealers(config);
+
+  std::string dir = ScratchDir("dataset");
+  ASSERT_TRUE(datasets::ExportDataset(dataset, dir).ok());
+  Result<datasets::Dataset> imported = datasets::ImportDataset(dir);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_EQ(imported->name, "DEALERS");
+  EXPECT_EQ(imported->types, dataset.types);
+  ASSERT_EQ(imported->sites.size(), 3u);
+}
+
+TEST(CorpusIoTest, LoadPagesRejectsEmptyDirectory) {
+  std::string dir = ScratchDir("empty");
+  ASSERT_TRUE(MakeDirs(dir).ok());
+  EXPECT_FALSE(datasets::LoadPagesFromDirectory(dir).ok());
+  EXPECT_FALSE(datasets::ImportDataset(dir).ok());
+}
+
+TEST(CorpusIoTest, ImportRejectsDanglingReferences) {
+  datasets::DealersConfig config;
+  config.num_sites = 1;
+  config.pages_per_site = 2;
+  datasets::Dataset dataset = datasets::MakeDealers(config);
+  std::string dir = ScratchDir("dangling");
+  ASSERT_TRUE(datasets::ExportSite(dataset.sites[0], dir).ok());
+  ASSERT_TRUE(WriteFile(dir + "/truth.tsv", "name\t0\t999999\n").ok());
+  EXPECT_FALSE(datasets::ImportSite(dir).ok());
+}
+
+}  // namespace
+}  // namespace ntw

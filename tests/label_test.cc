@@ -1,0 +1,108 @@
+#include "core/label.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ntw::core {
+namespace {
+
+NodeRef R(int page, int node) { return NodeRef{page, node}; }
+
+TEST(NodeSetTest, NormalizesOnConstruction) {
+  NodeSet set({R(1, 5), R(0, 3), R(1, 5), R(0, 1)});
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set[0], R(0, 1));
+  EXPECT_EQ(set[1], R(0, 3));
+  EXPECT_EQ(set[2], R(1, 5));
+}
+
+TEST(NodeSetTest, InsertKeepsSortedUnique) {
+  NodeSet set;
+  set.Insert(R(0, 5));
+  set.Insert(R(0, 2));
+  set.Insert(R(0, 5));
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set[0], R(0, 2));
+  EXPECT_TRUE(set.Contains(R(0, 5)));
+  EXPECT_FALSE(set.Contains(R(0, 3)));
+}
+
+TEST(NodeSetTest, SetOperations) {
+  NodeSet a({R(0, 1), R(0, 2), R(0, 3)});
+  NodeSet b({R(0, 2), R(0, 3), R(0, 4)});
+  EXPECT_EQ(a.Union(b), NodeSet({R(0, 1), R(0, 2), R(0, 3), R(0, 4)}));
+  EXPECT_EQ(a.Intersect(b), NodeSet({R(0, 2), R(0, 3)}));
+  EXPECT_EQ(a.Difference(b), NodeSet({R(0, 1)}));
+  EXPECT_EQ(a.IntersectSize(b), 2u);
+}
+
+TEST(NodeSetTest, SubsetChecks) {
+  NodeSet a({R(0, 1), R(0, 3)});
+  NodeSet b({R(0, 1), R(0, 2), R(0, 3)});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(NodeSet().IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(NodeSetTest, EmptySetOperations) {
+  NodeSet empty;
+  NodeSet a({R(0, 1)});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(a.Union(empty), a);
+  EXPECT_EQ(a.Intersect(empty), empty);
+  EXPECT_EQ(a.Difference(empty), a);
+  EXPECT_EQ(empty.Difference(a), empty);
+}
+
+TEST(NodeSetTest, FingerprintDistinguishes) {
+  NodeSet a({R(0, 1), R(0, 2)});
+  NodeSet b({R(0, 1), R(0, 3)});
+  NodeSet c({R(0, 1), R(0, 2)});
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  EXPECT_EQ(a.Fingerprint(), c.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), NodeSet().Fingerprint());
+}
+
+TEST(NodeSetTest, FingerprintOrderInvariant) {
+  NodeSet a({R(1, 1), R(0, 2)});
+  NodeSet b({R(0, 2), R(1, 1)});
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(NodeSetTest, ToStringFormat) {
+  EXPECT_EQ(NodeSet({R(0, 3), R(1, 2)}).ToString(), "{(0,3),(1,2)}");
+  EXPECT_EQ(NodeSet().ToString(), "{}");
+}
+
+TEST(PageSetTest, ResolveValidAndInvalid) {
+  core::PageSet pages = testing::FigureOnePages();
+  NodeSet texts = pages.AllTextNodes();
+  ASSERT_FALSE(texts.empty());
+  for (const NodeRef& ref : texts) {
+    const html::Node* node = pages.Resolve(ref);
+    ASSERT_NE(node, nullptr);
+    EXPECT_TRUE(node->is_text());
+  }
+  EXPECT_EQ(pages.Resolve(R(-1, 0)), nullptr);
+  EXPECT_EQ(pages.Resolve(R(99, 0)), nullptr);
+  EXPECT_EQ(pages.Resolve(R(0, 100000)), nullptr);
+}
+
+TEST(PageSetTest, AllTextNodesCountsMatch) {
+  core::PageSet pages = testing::FigureOnePages();
+  EXPECT_EQ(pages.AllTextNodes().size(), pages.TextNodeCount());
+  // Figure-1 pages: 3 records × 4 texts + 2 records × 4 texts = 20.
+  EXPECT_EQ(pages.TextNodeCount(), 20u);
+}
+
+TEST(PageSetTest, RefsOrderedByPageThenNode) {
+  core::PageSet pages = testing::FigureOnePages();
+  NodeSet texts = pages.AllTextNodes();
+  for (size_t i = 1; i < texts.size(); ++i) {
+    EXPECT_TRUE(texts[i - 1] < texts[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ntw::core

@@ -1,0 +1,84 @@
+#include "core/metrics.h"
+
+#include "gtest/gtest.h"
+
+namespace ntw::core {
+namespace {
+
+NodeRef R(int node) { return NodeRef{0, node}; }
+
+TEST(MetricsTest, PerfectExtraction) {
+  NodeSet truth({R(1), R(2), R(3)});
+  Prf prf = Evaluate(truth, truth);
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0);
+  EXPECT_DOUBLE_EQ(prf.f1, 1.0);
+  EXPECT_EQ(prf.true_positives, 3u);
+}
+
+TEST(MetricsTest, OverGeneralized) {
+  NodeSet truth({R(1), R(2)});
+  NodeSet extraction({R(1), R(2), R(3), R(4), R(5), R(6), R(7), R(8)});
+  Prf prf = Evaluate(extraction, truth);
+  EXPECT_DOUBLE_EQ(prf.precision, 0.25);
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0);
+  EXPECT_NEAR(prf.f1, 0.4, 1e-12);
+}
+
+TEST(MetricsTest, PartialRecall) {
+  NodeSet truth({R(1), R(2), R(3), R(4)});
+  NodeSet extraction({R(1), R(2)});
+  Prf prf = Evaluate(extraction, truth);
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.5);
+}
+
+TEST(MetricsTest, EmptyExtraction) {
+  Prf prf = Evaluate(NodeSet(), NodeSet({R(1)}));
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);  // Nothing wrongly extracted.
+  EXPECT_DOUBLE_EQ(prf.recall, 0.0);
+  EXPECT_DOUBLE_EQ(prf.f1, 0.0);
+}
+
+TEST(MetricsTest, EmptyTruthAndExtraction) {
+  Prf prf = Evaluate(NodeSet(), NodeSet());
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0);
+  EXPECT_DOUBLE_EQ(prf.f1, 1.0);
+}
+
+TEST(MetricsTest, DisjointSets) {
+  Prf prf = Evaluate(NodeSet({R(1)}), NodeSet({R(2)}));
+  EXPECT_DOUBLE_EQ(prf.precision, 0.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.0);
+  EXPECT_DOUBLE_EQ(prf.f1, 0.0);
+}
+
+TEST(MetricsTest, F1IsHarmonicMean) {
+  NodeSet truth({R(1), R(2), R(3), R(4)});
+  NodeSet extraction({R(1), R(2), R(5), R(6)});
+  Prf prf = Evaluate(extraction, truth);  // P = R = 0.5.
+  EXPECT_DOUBLE_EQ(prf.f1, 0.5);
+}
+
+TEST(MetricsTest, MacroAverage) {
+  Prf a = Evaluate(NodeSet({R(1)}), NodeSet({R(1)}));        // 1/1/1.
+  Prf b = Evaluate(NodeSet({R(1)}), NodeSet({R(2)}));        // 0/0/0.
+  Prf avg = MacroAverage({a, b});
+  EXPECT_DOUBLE_EQ(avg.precision, 0.5);
+  EXPECT_DOUBLE_EQ(avg.recall, 0.5);
+  EXPECT_DOUBLE_EQ(avg.f1, 0.5);
+}
+
+TEST(MetricsTest, MacroAverageEmpty) {
+  Prf avg = MacroAverage({});
+  EXPECT_DOUBLE_EQ(avg.precision, 0.0);
+}
+
+TEST(MetricsTest, ToStringFormat) {
+  Prf prf = Evaluate(NodeSet({R(1)}), NodeSet({R(1)}));
+  EXPECT_EQ(ToString(prf), "precision=1.000 recall=1.000 f1=1.000");
+}
+
+}  // namespace
+}  // namespace ntw::core

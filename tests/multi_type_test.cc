@@ -1,0 +1,228 @@
+#include "core/multi_type.h"
+
+#include "core/metrics.h"
+#include "core/xpath_inductor.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ntw::core {
+namespace {
+
+using ::ntw::testing::FindText;
+using ::ntw::testing::MustParse;
+
+// Dealer pages with name + zip columns (the Appendix A setting).
+PageSet DealerPages() {
+  auto page = [](const std::vector<std::array<std::string, 2>>& rows) {
+    std::string html = "<html><body><table class='stores'>";
+    for (const auto& row : rows) {
+      html += "<tr><td><b>" + row[0] + "</b></td><td>" + row[1] +
+              "</td><td><a href='#m'>Map</a></td></tr>";
+    }
+    html += "</table></body></html>";
+    return html;
+  };
+  PageSet pages;
+  pages.AddPage(MustParse(page({{"PORTER FURNITURE", "MS 38652"},
+                                {"WOODLAND FURNITURE", "MS 39776"},
+                                {"HELLER HOME CENTER", "CA 94901"}})));
+  pages.AddPage(MustParse(page({{"KIDDIE WORLD CENTER", "CA 95128"},
+                                {"LULLABY LANE", "CA 94066"}})));
+  return pages;
+}
+
+struct Fixture {
+  PageSet pages = DealerPages();
+  NodeSet name_truth;
+  NodeSet zip_truth;
+
+  Fixture() {
+    for (const char* name :
+         {"PORTER FURNITURE", "WOODLAND FURNITURE", "HELLER HOME CENTER",
+          "KIDDIE WORLD CENTER", "LULLABY LANE"}) {
+      for (const NodeRef& ref : FindText(pages, name)) {
+        name_truth.Insert(ref);
+      }
+    }
+    for (const char* zip : {"MS 38652", "MS 39776", "CA 94901",
+                                   "CA 95128", "CA 94066"}) {
+      for (const NodeRef& ref : FindText(pages, zip)) zip_truth.Insert(ref);
+    }
+  }
+
+  PublicationModel Prior() const {
+    std::vector<const NodeSet*> typed = {&name_truth, &zip_truth};
+    ListFeatures features =
+        ComputeListFeatures(SegmentRecords(pages, typed));
+    Result<PublicationModel> model =
+        PublicationModel::Fit({features, features});
+    EXPECT_TRUE(model.ok());
+    return std::move(model).value();
+  }
+};
+
+TEST(AssembleRecordsTest, PerfectInterleavingAssembles) {
+  Fixture f;
+  RecordSet records = AssembleRecords(f.pages, {f.name_truth, f.zip_truth});
+  EXPECT_EQ(records.records.size(), 5u);
+  EXPECT_TRUE(records.failed_pages.empty());
+  EXPECT_EQ(records.TypeNodes(0), f.name_truth);
+  EXPECT_EQ(records.TypeNodes(1), f.zip_truth);
+}
+
+TEST(AssembleRecordsTest, UnbalancedCountsFail) {
+  Fixture f;
+  // Drop one zip: 3 names vs 2 zips on page 0 cannot interleave.
+  NodeSet zips = f.zip_truth;
+  NodeSet missing_one;
+  for (const NodeRef& ref : zips) {
+    if (ref.page == 0 && missing_one.empty()) {
+      missing_one.Insert(ref);
+      continue;
+    }
+  }
+  zips = zips.Difference(missing_one);
+  RecordSet records = AssembleRecords(f.pages, {f.name_truth, zips});
+  ASSERT_EQ(records.failed_pages.size(), 1u);
+  EXPECT_EQ(records.failed_pages[0], 0);
+  // Page 1 still assembles.
+  EXPECT_EQ(records.records.size(), 2u);
+}
+
+TEST(AssembleRecordsTest, WrongOrderFails) {
+  Fixture f;
+  // Use names for both types: sequence n n n is not a repetition of a
+  // permutation of two types.
+  RecordSet records =
+      AssembleRecords(f.pages, {f.name_truth, f.name_truth});
+  EXPECT_TRUE(records.records.empty());
+  EXPECT_EQ(records.failed_pages.size(), 2u);
+}
+
+TEST(AssembleRecordsTest, EmptyExtractionsYieldNothing) {
+  Fixture f;
+  RecordSet records = AssembleRecords(f.pages, {NodeSet(), NodeSet()});
+  EXPECT_TRUE(records.records.empty());
+  EXPECT_TRUE(records.failed_pages.empty());
+}
+
+TEST(AssembleRecordsTest, ZipFirstPermutationAccepted) {
+  // A site listing zip before name still assembles (fixed permutation).
+  PageSet pages;
+  pages.AddPage(MustParse(
+      "<table><tr><td>MS 38652</td><td><b>PORTER</b></td></tr>"
+      "<tr><td>MS 39776</td><td><b>WOODLAND</b></td></tr></table>"));
+  NodeSet names;
+  for (const char* s : {"PORTER", "WOODLAND"}) {
+    for (const NodeRef& ref : FindText(pages, s)) names.Insert(ref);
+  }
+  NodeSet zips;
+  for (const char* s : {"MS 38652", "MS 39776"}) {
+    for (const NodeRef& ref : FindText(pages, s)) zips.Insert(ref);
+  }
+  RecordSet records = AssembleRecords(pages, {names, zips});
+  EXPECT_EQ(records.records.size(), 2u);
+  EXPECT_TRUE(records.failed_pages.empty());
+}
+
+TEST(MultiTypeTest, NtwRecoversBothTypesFromNoisyLabels) {
+  Fixture f;
+  // Noisy labels: names hit partially; zips get one false positive (the
+  // "Map" cell on page 0 pretends to match).
+  MultiTypeLabels labels;
+  labels.type_names = {"name", "zip"};
+  NodeSet name_labels(FindText(f.pages, "WOODLAND FURNITURE"));
+  for (const NodeRef& ref : FindText(f.pages, "KIDDIE WORLD CENTER")) {
+    name_labels.Insert(ref);
+  }
+  NodeSet zip_labels;
+  for (const char* zip : {"MS 38652", "CA 94066", "CA 95128"}) {
+    for (const NodeRef& ref : FindText(f.pages, zip)) zip_labels.Insert(ref);
+  }
+  zip_labels.Insert(FindText(f.pages, "Map")[0]);  // False positive.
+  labels.labels = {name_labels, zip_labels};
+
+  std::vector<AnnotationModel> annotators = {AnnotationModel(0.95, 0.4),
+                                             AnnotationModel(0.9, 0.6)};
+  XPathInductor inductor;
+  Result<MultiTypeOutcome> outcome = LearnMultiTypeNtw(
+      inductor, f.pages, labels, annotators, f.Prior());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->records.records.size(), 5u);
+  EXPECT_EQ(outcome->records.TypeNodes(0), f.name_truth);
+  EXPECT_EQ(outcome->records.TypeNodes(1), f.zip_truth);
+}
+
+TEST(MultiTypeTest, NaiveFailsToAssemble) {
+  Fixture f;
+  MultiTypeLabels labels;
+  labels.type_names = {"name", "zip"};
+  NodeSet name_labels(FindText(f.pages, "WOODLAND FURNITURE"));
+  // Noise: an address-cell label poisons the name rule.
+  name_labels.Insert(FindText(f.pages, "MS 38652")[0]);
+  NodeSet zip_labels;
+  for (const char* zip : {"CA 94066", "CA 95128"}) {
+    for (const NodeRef& ref : FindText(f.pages, zip)) zip_labels.Insert(ref);
+  }
+  labels.labels = {name_labels, zip_labels};
+
+  XPathInductor inductor;
+  Result<MultiTypeOutcome> naive =
+      LearnMultiTypeNaive(inductor, f.pages, labels);
+  ASSERT_TRUE(naive.ok());
+  // The poisoned name wrapper extracts both columns; interleaving breaks
+  // and pages fail — recall collapses (Fig. 3(a)).
+  Prf prf = Evaluate(naive->records.TypeNodes(0), f.name_truth);
+  EXPECT_LT(prf.recall, 0.5);
+}
+
+TEST(EvaluateRecordsTest, PerfectAndPartial) {
+  Fixture f;
+  std::vector<core::NodeSet> truth = {f.name_truth, f.zip_truth};
+  RecordSet perfect = AssembleRecords(f.pages, truth);
+  Prf prf = EvaluateRecords(f.pages, perfect, truth);
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0);
+  EXPECT_EQ(prf.expected, 5u);
+
+  // Empty extraction: precision 1 by convention, recall 0.
+  Prf empty = EvaluateRecords(f.pages, RecordSet(), truth);
+  EXPECT_DOUBLE_EQ(empty.precision, 1.0);
+  EXPECT_DOUBLE_EQ(empty.recall, 0.0);
+
+  // Misaligned extraction (zip of the NEXT record): records exist but none
+  // match the truth tuples.
+  RecordSet shifted = perfect;
+  for (size_t i = 0; i + 1 < shifted.records.size(); ++i) {
+    shifted.records[i][1] = perfect.records[i + 1][1];
+  }
+  Prf bad = EvaluateRecords(f.pages, shifted, truth);
+  EXPECT_LT(bad.precision, 0.5);
+}
+
+TEST(MultiTypeTest, ValidationErrors) {
+  Fixture f;
+  XPathInductor inductor;
+  MultiTypeLabels empty;
+  EXPECT_FALSE(LearnMultiTypeNaive(inductor, f.pages, empty).ok());
+
+  MultiTypeLabels mismatched;
+  mismatched.type_names = {"name"};
+  mismatched.labels = {NodeSet(FindText(f.pages, "LULLABY LANE"))};
+  EXPECT_FALSE(LearnMultiTypeNtw(inductor, f.pages, mismatched, {},
+                                 f.Prior())
+                   .ok());
+
+  MultiTypeLabels with_empty_type;
+  with_empty_type.type_names = {"name", "zip"};
+  with_empty_type.labels = {NodeSet(FindText(f.pages, "LULLABY LANE")),
+                            NodeSet()};
+  std::vector<AnnotationModel> annotators = {AnnotationModel(0.9, 0.3),
+                                             AnnotationModel(0.9, 0.3)};
+  EXPECT_FALSE(LearnMultiTypeNtw(inductor, f.pages, with_empty_type,
+                                 annotators, f.Prior())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace ntw::core

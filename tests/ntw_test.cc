@@ -1,0 +1,146 @@
+// End-to-end tests of the noise-tolerant learning driver on controlled
+// page sets: the Sec. 1 scenario (one bad label over-generalizes NAIVE,
+// NTW recovers) across inductors and enumeration algorithms.
+
+#include "core/ntw.h"
+
+#include "core/lr_inductor.h"
+#include "core/metrics.h"
+#include "core/xpath_inductor.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ntw::core {
+namespace {
+
+using ::ntw::testing::FigureOnePages;
+using ::ntw::testing::FindText;
+
+class NtwTest : public ::testing::Test {
+ protected:
+  NtwTest() : pages_(FigureOnePages()) {
+    for (const char* name :
+         {"PORTER FURNITURE", "WOODLAND FURNITURE", "HELLER HOME CENTER",
+          "KIDDIE WORLD CENTER", "LULLABY LANE"}) {
+      for (const NodeRef& ref : FindText(pages_, name)) truth_.Insert(ref);
+    }
+    labels_ = NodeSet(FindText(pages_, "HELLER HOME CENTER"));
+    for (const NodeRef& ref : FindText(pages_, "KIDDIE WORLD CENTER")) {
+      labels_.Insert(ref);
+    }
+    // The bad label (an address line).
+    for (const NodeRef& ref : FindText(pages_, "532 SAN MATEO AVE.")) {
+      labels_.Insert(ref);
+    }
+
+    ListFeatures truth_features =
+        ComputeListFeatures(SegmentRecords(pages_, truth_));
+    Result<PublicationModel> publication =
+        PublicationModel::Fit({truth_features, truth_features});
+    EXPECT_TRUE(publication.ok());
+    ranker_ = std::make_unique<Ranker>(AnnotationModel(0.95, 0.4),
+                                       std::move(publication).value());
+  }
+
+  PageSet pages_;
+  NodeSet truth_;
+  NodeSet labels_;
+  std::unique_ptr<Ranker> ranker_;
+};
+
+TEST_F(NtwTest, XPathRecoversFromBadLabel) {
+  XPathInductor inductor;
+  Result<NtwOutcome> outcome =
+      LearnNoiseTolerant(inductor, pages_, labels_, *ranker_);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->best.extraction, truth_);
+  EXPECT_GT(outcome->space_size, 1u);
+}
+
+TEST_F(NtwTest, LrRecoversFromBadLabel) {
+  LrInductor inductor;
+  Result<NtwOutcome> outcome =
+      LearnNoiseTolerant(inductor, pages_, labels_, *ranker_);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->best.extraction, truth_);
+}
+
+TEST_F(NtwTest, NaiveOverGeneralizes) {
+  XPathInductor inductor;
+  Induction naive = LearnNaive(inductor, pages_, labels_);
+  Prf prf = Evaluate(naive.extraction, truth_);
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0);     // Still covers the names...
+  EXPECT_LT(prf.precision, 0.5);         // ...but with many false nodes.
+}
+
+TEST_F(NtwTest, AllEnumerationAlgorithmsAgreeOnWinner) {
+  XPathInductor inductor;
+  NodeSet winner;
+  for (EnumAlgorithm algo : {EnumAlgorithm::kBottomUp,
+                             EnumAlgorithm::kTopDown, EnumAlgorithm::kNaive}) {
+    NtwOptions options;
+    options.algorithm = algo;
+    Result<NtwOutcome> outcome =
+        LearnNoiseTolerant(inductor, pages_, labels_, *ranker_, options);
+    ASSERT_TRUE(outcome.ok()) << EnumAlgorithmName(algo);
+    if (winner.empty()) {
+      winner = outcome->best.extraction;
+    } else {
+      EXPECT_EQ(outcome->best.extraction, winner)
+          << EnumAlgorithmName(algo);
+    }
+  }
+  EXPECT_EQ(winner, truth_);
+}
+
+TEST_F(NtwTest, CleanLabelsAlsoWork) {
+  // Noise tolerance must not hurt the clean case.
+  XPathInductor inductor;
+  // Labels must span record positions or every enumerated wrapper stays
+  // pinned to one row (tr[2]); row 2 + row 1 generalizes to the column.
+  NodeSet clean(FindText(pages_, "WOODLAND FURNITURE"));
+  for (const NodeRef& ref : FindText(pages_, "KIDDIE WORLD CENTER")) {
+    clean.Insert(ref);
+  }
+  Result<NtwOutcome> outcome =
+      LearnNoiseTolerant(inductor, pages_, clean, *ranker_);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->best.extraction, truth_);
+}
+
+TEST_F(NtwTest, EmptyLabelsFail) {
+  XPathInductor inductor;
+  EXPECT_FALSE(LearnNoiseTolerant(inductor, pages_, NodeSet(), *ranker_).ok());
+}
+
+TEST_F(NtwTest, OutcomeCarriesInstrumentation) {
+  XPathInductor inductor;
+  Result<NtwOutcome> outcome =
+      LearnNoiseTolerant(inductor, pages_, labels_, *ranker_);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->inductor_calls, 0);
+  EXPECT_GE(outcome->best_score.total,
+            outcome->best_score.log_annotation +
+                outcome->best_score.log_list - 1e-9);
+  EXPECT_FALSE(outcome->best.wrapper->ToString().empty());
+}
+
+TEST_F(NtwTest, MajorityNoiseStillBreaksIt) {
+  // Sanity: the framework is noise-tolerant, not noise-proof. With labels
+  // that are mostly wrong and structurally consistent, the wrong list can
+  // win. (This mirrors Table 1's low-precision/low-recall corner.)
+  XPathInductor inductor;
+  NodeSet bad_labels;
+  for (const char* text :
+       {"201 HWY. 30 WEST", "123 MAIN ST.", "514 4TH STREET",
+        "1899 W. SAN CARLOS ST."}) {
+    for (const NodeRef& ref : FindText(pages_, text)) bad_labels.Insert(ref);
+  }
+  Result<NtwOutcome> outcome =
+      LearnNoiseTolerant(inductor, pages_, bad_labels, *ranker_);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_NE(outcome->best.extraction, truth_);
+}
+
+}  // namespace
+}  // namespace ntw::core

@@ -1,0 +1,135 @@
+#include "core/ranker.h"
+
+#include "core/xpath_inductor.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ntw::core {
+namespace {
+
+using ::ntw::testing::FigureOnePages;
+using ::ntw::testing::FindText;
+
+class RankerTest : public ::testing::Test {
+ protected:
+  RankerTest() : pages_(FigureOnePages()) {
+    for (const char* name :
+         {"PORTER FURNITURE", "WOODLAND FURNITURE", "HELLER HOME CENTER",
+          "KIDDIE WORLD CENTER", "LULLABY LANE"}) {
+      for (const NodeRef& ref : FindText(pages_, name)) truth_.Insert(ref);
+    }
+    // Noisy labels: two clean names + an address.
+    labels_ = NodeSet(FindText(pages_, "WOODLAND FURNITURE"));
+    for (const NodeRef& ref : FindText(pages_, "KIDDIE WORLD CENTER")) {
+      labels_.Insert(ref);
+    }
+    for (const NodeRef& ref : FindText(pages_, "532 SAN MATEO AVE.")) {
+      labels_.Insert(ref);
+    }
+  }
+
+  PublicationModel FitPrior() {
+    ListFeatures truth_features =
+        ComputeListFeatures(SegmentRecords(pages_, truth_));
+    Result<PublicationModel> model =
+        PublicationModel::Fit({truth_features, truth_features});
+    EXPECT_TRUE(model.ok());
+    return std::move(model).value();
+  }
+
+  PageSet pages_;
+  NodeSet truth_;
+  NodeSet labels_;
+};
+
+TEST_F(RankerTest, FullVariantRecoversTruth) {
+  XPathInductor inductor;
+  WrapperSpace space = EnumerateTopDown(inductor, pages_, labels_);
+  Ranker ranker(AnnotationModel(0.95, 0.4), FitPrior(), RankerVariant::kFull);
+  std::vector<ScoredCandidate> ranked = ranker.Rank(space, pages_, labels_);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(space.candidates[ranked[0].candidate_index].extraction, truth_);
+}
+
+TEST_F(RankerTest, RankIsSortedDescending) {
+  XPathInductor inductor;
+  WrapperSpace space = EnumerateTopDown(inductor, pages_, labels_);
+  Ranker ranker(AnnotationModel(0.95, 0.4), FitPrior());
+  std::vector<ScoredCandidate> ranked = ranker.Rank(space, pages_, labels_);
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].total, ranked[i].total);
+  }
+}
+
+TEST_F(RankerTest, VariantsDecomposeScore) {
+  XPathInductor inductor;
+  WrapperSpace space = EnumerateTopDown(inductor, pages_, labels_);
+  PublicationModel prior = FitPrior();
+  AnnotationModel annotation(0.95, 0.4);
+
+  Ranker full(annotation, prior, RankerVariant::kFull);
+  Ranker ann_only(annotation, prior, RankerVariant::kAnnotationOnly);
+  Ranker list_only(annotation, prior, RankerVariant::kListOnly);
+
+  auto full_ranked = full.Rank(space, pages_, labels_);
+  for (const ScoredCandidate& sc : full_ranked) {
+    EXPECT_NEAR(sc.total, sc.log_annotation + sc.log_list, 1e-9);
+  }
+  for (const ScoredCandidate& sc : ann_only.Rank(space, pages_, labels_)) {
+    EXPECT_DOUBLE_EQ(sc.total, sc.log_annotation);
+  }
+  for (const ScoredCandidate& sc : list_only.Rank(space, pages_, labels_)) {
+    EXPECT_DOUBLE_EQ(sc.total, sc.log_list);
+  }
+}
+
+TEST_F(RankerTest, BestReturnsTopIndex) {
+  XPathInductor inductor;
+  WrapperSpace space = EnumerateTopDown(inductor, pages_, labels_);
+  Ranker ranker(AnnotationModel(0.95, 0.4), FitPrior());
+  Result<size_t> best = ranker.Best(space, pages_, labels_);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(*best, ranker.Rank(space, pages_, labels_)[0].candidate_index);
+}
+
+TEST_F(RankerTest, BestFailsOnEmptySpace) {
+  Ranker ranker(AnnotationModel(0.95, 0.4), FitPrior());
+  EXPECT_FALSE(ranker.Best(WrapperSpace(), pages_, labels_).ok());
+}
+
+TEST_F(RankerTest, ListOnlyVariantIgnoresLabels) {
+  // NTW-X scores do not depend on which labels were given.
+  XPathInductor inductor;
+  WrapperSpace space = EnumerateTopDown(inductor, pages_, labels_);
+  Ranker list_only(AnnotationModel(0.95, 0.4), FitPrior(),
+                   RankerVariant::kListOnly);
+  auto with_labels = list_only.Rank(space, pages_, labels_);
+  auto with_other = list_only.Rank(space, pages_, NodeSet());
+  ASSERT_EQ(with_labels.size(), with_other.size());
+  for (size_t i = 0; i < with_labels.size(); ++i) {
+    EXPECT_EQ(with_labels[i].candidate_index, with_other[i].candidate_index);
+    EXPECT_DOUBLE_EQ(with_labels[i].total, with_other[i].total);
+  }
+}
+
+TEST_F(RankerTest, RankingIsDeterministic) {
+  XPathInductor inductor;
+  WrapperSpace space = EnumerateTopDown(inductor, pages_, labels_);
+  Ranker ranker(AnnotationModel(0.95, 0.4), FitPrior());
+  auto first = ranker.Rank(space, pages_, labels_);
+  auto second = ranker.Rank(space, pages_, labels_);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].candidate_index, second[i].candidate_index);
+    EXPECT_DOUBLE_EQ(first[i].total, second[i].total);
+  }
+}
+
+TEST(RankerVariantTest, Names) {
+  EXPECT_STREQ(RankerVariantName(RankerVariant::kFull), "NTW");
+  EXPECT_STREQ(RankerVariantName(RankerVariant::kAnnotationOnly), "NTW-L");
+  EXPECT_STREQ(RankerVariantName(RankerVariant::kListOnly), "NTW-X");
+}
+
+}  // namespace
+}  // namespace ntw::core

@@ -1,0 +1,238 @@
+#include "regex/regex.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace ntw::regex {
+namespace {
+
+Regex MustCompile(const std::string& pattern) {
+  Result<Regex> re = Regex::Compile(pattern);
+  EXPECT_TRUE(re.ok()) << pattern << ": " << re.status().ToString();
+  return std::move(re).value();
+}
+
+TEST(RegexTest, LiteralFullMatch) {
+  Regex re = MustCompile("abc");
+  EXPECT_TRUE(re.FullMatch("abc"));
+  EXPECT_FALSE(re.FullMatch("abcd"));
+  EXPECT_FALSE(re.FullMatch("ab"));
+  EXPECT_FALSE(re.FullMatch(""));
+}
+
+TEST(RegexTest, PartialMatch) {
+  Regex re = MustCompile("bc");
+  EXPECT_TRUE(re.PartialMatch("abcd"));
+  EXPECT_FALSE(re.PartialMatch("b c"));
+}
+
+TEST(RegexTest, Dot) {
+  Regex re = MustCompile("a.c");
+  EXPECT_TRUE(re.FullMatch("abc"));
+  EXPECT_TRUE(re.FullMatch("a-c"));
+  EXPECT_FALSE(re.FullMatch("a\nc"));  // Dot excludes newline.
+  EXPECT_FALSE(re.FullMatch("ac"));
+}
+
+TEST(RegexTest, StarGreedy) {
+  Regex re = MustCompile("ab*c");
+  EXPECT_TRUE(re.FullMatch("ac"));
+  EXPECT_TRUE(re.FullMatch("abbbbc"));
+  EXPECT_FALSE(re.FullMatch("adc"));
+}
+
+TEST(RegexTest, Plus) {
+  Regex re = MustCompile("ab+c");
+  EXPECT_FALSE(re.FullMatch("ac"));
+  EXPECT_TRUE(re.FullMatch("abc"));
+  EXPECT_TRUE(re.FullMatch("abbc"));
+}
+
+TEST(RegexTest, Question) {
+  Regex re = MustCompile("colou?r");
+  EXPECT_TRUE(re.FullMatch("color"));
+  EXPECT_TRUE(re.FullMatch("colour"));
+  EXPECT_FALSE(re.FullMatch("colouur"));
+}
+
+TEST(RegexTest, CountedRepeat) {
+  Regex re = MustCompile("a{3}");
+  EXPECT_TRUE(re.FullMatch("aaa"));
+  EXPECT_FALSE(re.FullMatch("aa"));
+  EXPECT_FALSE(re.FullMatch("aaaa"));
+}
+
+TEST(RegexTest, CountedRange) {
+  Regex re = MustCompile("a{2,3}");
+  EXPECT_FALSE(re.FullMatch("a"));
+  EXPECT_TRUE(re.FullMatch("aa"));
+  EXPECT_TRUE(re.FullMatch("aaa"));
+  EXPECT_FALSE(re.FullMatch("aaaa"));
+}
+
+TEST(RegexTest, CountedOpenRange) {
+  Regex re = MustCompile("a{2,}");
+  EXPECT_FALSE(re.FullMatch("a"));
+  EXPECT_TRUE(re.FullMatch("aaaaaa"));
+}
+
+TEST(RegexTest, BraceLiteralWhenNotQuantifier) {
+  Regex re = MustCompile("a{x}");
+  EXPECT_TRUE(re.FullMatch("a{x}"));
+}
+
+TEST(RegexTest, CharClass) {
+  Regex re = MustCompile("[abc]+");
+  EXPECT_TRUE(re.FullMatch("cab"));
+  EXPECT_FALSE(re.FullMatch("cad"));
+}
+
+TEST(RegexTest, CharClassRange) {
+  Regex re = MustCompile("[a-f0-3]+");
+  EXPECT_TRUE(re.FullMatch("fade012"));
+  EXPECT_FALSE(re.FullMatch("g"));
+  EXPECT_FALSE(re.FullMatch("4"));
+}
+
+TEST(RegexTest, NegatedClass) {
+  Regex re = MustCompile("[^0-9]+");
+  EXPECT_TRUE(re.FullMatch("abc!"));
+  EXPECT_FALSE(re.FullMatch("ab1"));
+}
+
+TEST(RegexTest, ClassWithLeadingBracket) {
+  Regex re = MustCompile("[]a]+");
+  EXPECT_TRUE(re.FullMatch("]a]"));
+}
+
+TEST(RegexTest, DigitShorthand) {
+  Regex re = MustCompile(R"(\d{5})");
+  EXPECT_TRUE(re.FullMatch("38652"));
+  EXPECT_FALSE(re.FullMatch("3865"));
+  EXPECT_FALSE(re.FullMatch("3865a"));
+}
+
+TEST(RegexTest, WordAndSpaceShorthand) {
+  EXPECT_TRUE(MustCompile(R"(\w+)").FullMatch("ab_9"));
+  EXPECT_FALSE(MustCompile(R"(\w+)").FullMatch("a b"));
+  EXPECT_TRUE(MustCompile(R"(\s+)").FullMatch(" \t\n"));
+  EXPECT_TRUE(MustCompile(R"(\S+)").FullMatch("abc"));
+  EXPECT_FALSE(MustCompile(R"(\D)").FullMatch("5"));
+}
+
+TEST(RegexTest, EscapedMetachars) {
+  Regex re = MustCompile(R"(\$\d+\.\d{2})");
+  EXPECT_TRUE(re.FullMatch("$129.99"));
+  EXPECT_FALSE(re.FullMatch("x129.99"));
+}
+
+TEST(RegexTest, Alternation) {
+  Regex re = MustCompile("cat|dog|bird");
+  EXPECT_TRUE(re.FullMatch("cat"));
+  EXPECT_TRUE(re.FullMatch("dog"));
+  EXPECT_TRUE(re.FullMatch("bird"));
+  EXPECT_FALSE(re.FullMatch("catdog"));
+}
+
+TEST(RegexTest, GroupedAlternation) {
+  Regex re = MustCompile("a(b|c)d");
+  EXPECT_TRUE(re.FullMatch("abd"));
+  EXPECT_TRUE(re.FullMatch("acd"));
+  EXPECT_FALSE(re.FullMatch("ad"));
+}
+
+TEST(RegexTest, GroupRepeat) {
+  Regex re = MustCompile("(ab)+");
+  EXPECT_TRUE(re.FullMatch("ab"));
+  EXPECT_TRUE(re.FullMatch("ababab"));
+  EXPECT_FALSE(re.FullMatch("aba"));
+}
+
+TEST(RegexTest, NestedGroups) {
+  Regex re = MustCompile("((a|b)c)+d");
+  EXPECT_TRUE(re.FullMatch("acbcd"));
+  EXPECT_FALSE(re.FullMatch("abd"));
+}
+
+TEST(RegexTest, Anchors) {
+  EXPECT_TRUE(MustCompile("^abc$").FullMatch("abc"));
+  EXPECT_TRUE(MustCompile("^a").PartialMatch("abc"));
+  EXPECT_FALSE(MustCompile("^b").PartialMatch("abc"));
+  EXPECT_TRUE(MustCompile("c$").PartialMatch("abc"));
+  EXPECT_FALSE(MustCompile("b$").PartialMatch("abc"));
+}
+
+TEST(RegexTest, WordBoundary) {
+  Regex re = MustCompile(R"(\b\d{5}\b)");
+  EXPECT_TRUE(re.PartialMatch("zip 38652 ok"));
+  EXPECT_TRUE(re.PartialMatch("38652"));
+  EXPECT_TRUE(re.PartialMatch("MS 38652"));
+  EXPECT_FALSE(re.PartialMatch("386521"));
+  EXPECT_FALSE(re.PartialMatch("a38652"));
+  EXPECT_TRUE(re.PartialMatch("(38652)"));
+}
+
+TEST(RegexTest, FindAllNonOverlapping) {
+  Regex re = MustCompile(R"(\d+)");
+  std::vector<Regex::Span> spans = re.FindAll("a12b345c6");
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].begin, 1u);
+  EXPECT_EQ(spans[0].end, 3u);
+  EXPECT_EQ(spans[1].begin, 4u);
+  EXPECT_EQ(spans[1].end, 7u);
+  EXPECT_EQ(spans[2].begin, 8u);
+  EXPECT_EQ(spans[2].end, 9u);
+}
+
+TEST(RegexTest, FindAllEmptyOnNoMatch) {
+  EXPECT_TRUE(MustCompile("xyz").FindAll("abc").empty());
+}
+
+TEST(RegexTest, GreedyBacktracks) {
+  // Greedy a* must give back one 'a' so the literal 'a' can match.
+  Regex re = MustCompile("a*a");
+  EXPECT_TRUE(re.FullMatch("aaaa"));
+  EXPECT_TRUE(re.FullMatch("a"));
+  EXPECT_FALSE(re.FullMatch(""));
+}
+
+TEST(RegexTest, AlternationInsideRepeatBacktracks) {
+  Regex re = MustCompile("(ab|a)*b");
+  EXPECT_TRUE(re.FullMatch("ab"));     // (a) then b.
+  EXPECT_TRUE(re.FullMatch("abab"));   // (ab)(a) then b.
+  EXPECT_TRUE(re.FullMatch("b"));
+}
+
+TEST(RegexTest, ZipcodePattern) {
+  Regex re = MustCompile(R"(\b\d{5}\b)");
+  EXPECT_TRUE(re.PartialMatch("NEW ALBANY, MS 38652"));
+  EXPECT_TRUE(re.PartialMatch("10245 MAIN ST."));  // 5-digit street number.
+  EXPECT_FALSE(re.PartialMatch("662-534-3672"));   // Phone groups are 3/3/4.
+  EXPECT_FALSE(re.PartialMatch("P.O. BOX 152"));
+}
+
+TEST(RegexTest, ParseErrors) {
+  EXPECT_FALSE(Regex::Compile("a(b").ok());
+  EXPECT_FALSE(Regex::Compile("a)b").ok());
+  EXPECT_FALSE(Regex::Compile("[abc").ok());
+  EXPECT_FALSE(Regex::Compile("*a").ok());
+  EXPECT_FALSE(Regex::Compile("a\\").ok());
+  EXPECT_FALSE(Regex::Compile("a{3,2}").ok());
+  EXPECT_FALSE(Regex::Compile("^*").ok());
+  EXPECT_FALSE(Regex::Compile("[b-a]").ok());
+}
+
+TEST(RegexTest, EmptyPatternMatchesEmpty) {
+  Regex re = MustCompile("");
+  EXPECT_TRUE(re.FullMatch(""));
+  EXPECT_FALSE(re.FullMatch("a"));
+  EXPECT_TRUE(re.PartialMatch("abc"));  // Matches the empty string anywhere.
+}
+
+TEST(RegexTest, CaseSensitive) {
+  EXPECT_FALSE(MustCompile("abc").FullMatch("ABC"));
+}
+
+}  // namespace
+}  // namespace ntw::regex

@@ -1,0 +1,146 @@
+#include "core/single_entity.h"
+
+#include "core/xpath_inductor.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ntw::core {
+namespace {
+
+using ::ntw::testing::FindText;
+using ::ntw::testing::MustParse;
+
+// Album pages: one title per page (in <h2>), with the title repeated in
+// reviews and sometimes matching a track — the Appendix B.2 setting.
+PageSet AlbumPages() {
+  auto page = [](const std::string& title, const std::string& track1,
+                 const std::string& review_mention) {
+    return "<html><body><div class='hd'><h2>" + title +
+           "</h2><p>by Artist</p></div>"
+           "<ul class='tracks'><li>" +
+           track1 +
+           "</li><li>Silent Road</li><li>Golden Rain</li></ul>"
+           "<div class='reviews'><p>Great record. <b>" +
+           review_mention + "</b> is a classic.</p></div></body></html>";
+  };
+  PageSet pages;
+  // Page 0: title track! The title appears twice (h2 and track list).
+  pages.AddPage(MustParse(page("Abbey Road", "Abbey Road", "Abbey Road")));
+  pages.AddPage(MustParse(page("Mi Plan", "Sweet Night", "Mi Plan")));
+  pages.AddPage(
+      MustParse(page("Bach for Breakfast", "Morning Air", "Silent Road")));
+  return pages;
+}
+
+// The noisy album annotator: exact matches of known titles anywhere.
+NodeSet AlbumLabels(const PageSet& pages) {
+  NodeSet labels;
+  for (const char* title :
+       {"Abbey Road", "Mi Plan", "Bach for Breakfast"}) {
+    for (const NodeRef& ref : FindText(pages, title)) labels.Insert(ref);
+  }
+  return labels;
+}
+
+TEST(SingleEntityTest, AnnotationsAreNoisy) {
+  PageSet pages = AlbumPages();
+  NodeSet labels = AlbumLabels(pages);
+  // h2 titles (3) + title track (1) + review mentions (2) = 6.
+  EXPECT_EQ(labels.size(), 6u);
+}
+
+TEST(SingleEntityTest, LearnsTheTitleWrapper) {
+  PageSet pages = AlbumPages();
+  XPathInductor inductor;
+  Result<SingleEntityOutcome> outcome =
+      LearnSingleEntity(inductor, pages, AlbumLabels(pages));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  // The winner extracts exactly one node per page, and it is the title.
+  ASSERT_EQ(outcome->best.extraction.size(), 3u);
+  for (const NodeRef& ref : outcome->best.extraction) {
+    const html::Node* node = pages.Resolve(ref);
+    EXPECT_EQ(node->parent()->tag(), "h2") << node->text();
+  }
+  EXPECT_EQ(outcome->covered_labels, 3u);
+}
+
+TEST(SingleEntityTest, OverGeneralizedWrappersDiscarded) {
+  PageSet pages = AlbumPages();
+  XPathInductor inductor;
+  Result<SingleEntityOutcome> outcome =
+      LearnSingleEntity(inductor, pages, AlbumLabels(pages));
+  ASSERT_TRUE(outcome.ok());
+  for (const Candidate& candidate : outcome->tied) {
+    int last_page = -1;
+    for (const NodeRef& ref : candidate.extraction) {
+      EXPECT_NE(ref.page, last_page) << "multiple nodes on one page";
+      last_page = ref.page;
+    }
+  }
+}
+
+TEST(SingleEntityTest, WorksWithBothEnumerationAlgorithms) {
+  PageSet pages = AlbumPages();
+  XPathInductor inductor;
+  NodeSet labels = AlbumLabels(pages);
+  Result<SingleEntityOutcome> top_down =
+      LearnSingleEntity(inductor, pages, labels, EnumAlgorithm::kTopDown);
+  Result<SingleEntityOutcome> bottom_up =
+      LearnSingleEntity(inductor, pages, labels, EnumAlgorithm::kBottomUp);
+  ASSERT_TRUE(top_down.ok());
+  ASSERT_TRUE(bottom_up.ok());
+  EXPECT_EQ(top_down->best.extraction, bottom_up->best.extraction);
+  EXPECT_EQ(top_down->covered_labels, bottom_up->covered_labels);
+}
+
+TEST(SingleEntityTest, MultipleCorrectWrappersTie) {
+  // Title in <h2> AND in a details tab: two consistent wrappers tie at
+  // full coverage — the paper saw exactly this.
+  auto page = [](const std::string& title) {
+    return "<html><body><h2>" + title + "</h2><div class='details'>" +
+           "<span class='val'>" + title + "</span></div>" +
+           "<ul><li>track one</li><li>track two</li></ul></body></html>";
+  };
+  PageSet pages;
+  pages.AddPage(MustParse(page("Abbey Road")));
+  pages.AddPage(MustParse(page("Mi Plan")));
+  NodeSet labels;
+  for (const char* title : {"Abbey Road", "Mi Plan"}) {
+    for (const NodeRef& ref : FindText(pages, title)) labels.Insert(ref);
+  }
+  XPathInductor inductor;
+  Result<SingleEntityOutcome> outcome =
+      LearnSingleEntity(inductor, pages, labels);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GE(outcome->tied.size(), 2u);
+  for (const Candidate& candidate : outcome->tied) {
+    EXPECT_EQ(candidate.extraction.size(), 2u);
+  }
+}
+
+TEST(SingleEntityTest, FailsWithoutLabels) {
+  PageSet pages = AlbumPages();
+  XPathInductor inductor;
+  EXPECT_FALSE(LearnSingleEntity(inductor, pages, NodeSet()).ok());
+}
+
+TEST(SingleEntityTest, ListLikeLabelsFallBackToPositionWrappers) {
+  // Two labeled nodes on the same page: the wrapper trained on both
+  // extracts both and is discarded; only the position-specific singleton
+  // wrappers (li[1], li[2]) survive, each covering one label.
+  PageSet pages;
+  pages.AddPage(
+      MustParse("<ul><li>Same Name</li><li>Same Name</li></ul>"));
+  NodeSet labels(FindText(pages, "Same Name"));
+  ASSERT_EQ(labels.size(), 2u);
+  XPathInductor inductor;
+  Result<SingleEntityOutcome> outcome =
+      LearnSingleEntity(inductor, pages, labels);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->covered_labels, 1u);
+  EXPECT_GE(outcome->tied.size(), 2u);
+  EXPECT_EQ(outcome->best.extraction.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ntw::core

@@ -1,0 +1,112 @@
+#include "stats/kde.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace ntw::stats {
+namespace {
+
+TEST(DescriptiveTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(DescriptiveTest, StdDev) {
+  EXPECT_DOUBLE_EQ(StdDev({2, 2, 2}), 0.0);
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(StdDev({1}), 0.0);
+}
+
+TEST(DescriptiveTest, Quantile) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile({7}, 0.9), 7.0);
+}
+
+TEST(DescriptiveTest, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Quantile({5, 1, 3}, 0.5), 3.0);
+}
+
+TEST(DescriptiveTest, Median) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({1, 2, 3, 4}), 2.5);
+}
+
+TEST(KdeTest, EmptySampleFails) {
+  EXPECT_FALSE(KernelDensity::Fit({}).ok());
+}
+
+TEST(KdeTest, DensityPeaksAtData) {
+  Result<KernelDensity> kde = KernelDensity::Fit({4, 4, 4, 5, 3});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->Density(4.0), kde->Density(8.0));
+  EXPECT_GT(kde->Density(4.0), kde->Density(0.0));
+}
+
+TEST(KdeTest, DegenerateSampleStillSmooth) {
+  Result<KernelDensity> kde = KernelDensity::Fit({2, 2, 2, 2});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GE(kde->bandwidth(), 0.75);  // Floored bandwidth.
+  EXPECT_GT(kde->Density(2.0), kde->Density(3.0));
+  EXPECT_GT(kde->Density(3.0), 0.0);
+}
+
+TEST(KdeTest, LogDensityFiniteFarAway) {
+  Result<KernelDensity> kde = KernelDensity::Fit({1, 2, 3});
+  ASSERT_TRUE(kde.ok());
+  double log_density = kde->LogDensity(1e6);
+  EXPECT_TRUE(std::isfinite(log_density));
+  EXPECT_LT(log_density, kde->LogDensity(2.0));
+}
+
+TEST(KdeTest, IntegratesToRoughlyOne) {
+  Result<KernelDensity> kde = KernelDensity::Fit({3, 5, 8, 9, 5, 4});
+  ASSERT_TRUE(kde.ok());
+  double integral = 0.0;
+  for (double x = -30; x <= 50; x += 0.05) {
+    integral += kde->Density(x) * 0.05;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(KdeTest, FixedBandwidthRespected) {
+  KernelDensity::Options options;
+  options.fixed_bandwidth = 2.5;
+  Result<KernelDensity> kde = KernelDensity::Fit({1, 9}, options);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_DOUBLE_EQ(kde->bandwidth(), 2.5);
+}
+
+TEST(KdeTest, BandwidthShrinksWithSampleSize) {
+  std::vector<double> small = {1, 3, 5, 7, 9, 11};
+  std::vector<double> large;
+  for (int rep = 0; rep < 40; ++rep) {
+    for (double v : small) large.push_back(v);
+  }
+  Result<KernelDensity> kde_small = KernelDensity::Fit(small);
+  Result<KernelDensity> kde_large = KernelDensity::Fit(large);
+  ASSERT_TRUE(kde_small.ok());
+  ASSERT_TRUE(kde_large.ok());
+  EXPECT_LT(kde_large->bandwidth(), kde_small->bandwidth());
+}
+
+TEST(KdeTest, SymmetricAroundSinglePoint) {
+  Result<KernelDensity> kde = KernelDensity::Fit({5});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_NEAR(kde->Density(4.0), kde->Density(6.0), 1e-12);
+}
+
+TEST(KdeTest, DiscriminatesSchemaSizes) {
+  // The use case from the ranking model: schema sizes of real dealer lists
+  // cluster around 3-4; a whole-table wrapper yields schema 1.
+  Result<KernelDensity> kde = KernelDensity::Fit({3, 4, 3, 4, 3, 5, 4, 3});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->LogDensity(3.5) - kde->LogDensity(1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace ntw::stats

@@ -1,0 +1,142 @@
+#include "core/table_inductor.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ntw::core {
+namespace {
+
+using ::ntw::testing::ExampleCell;
+using ::ntw::testing::ExampleTablePage;
+
+class TableInductorTest : public ::testing::Test {
+ protected:
+  TableInductorTest() : pages_(ExampleTablePage()) {}
+
+  NodeRef Cell(int row, int col) { return ExampleCell(pages_, row, col); }
+
+  PageSet pages_;
+  TableInductor inductor_;
+};
+
+TEST_F(TableInductorTest, CandidateUniverseIsAllCells) {
+  EXPECT_EQ(TableInductor::CellTextNodes(pages_).size(), 20u);
+}
+
+TEST_F(TableInductorTest, CellCoordinates) {
+  auto cell = TableInductor::CellOf(pages_, Cell(2, 3));
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->col, 3);
+  auto other = TableInductor::CellOf(pages_, Cell(2, 1));
+  ASSERT_TRUE(other.has_value());
+  EXPECT_EQ(other->row, cell->row);  // Same row id.
+  auto third = TableInductor::CellOf(pages_, Cell(3, 1));
+  ASSERT_TRUE(third.has_value());
+  EXPECT_NE(third->row, cell->row);
+}
+
+TEST_F(TableInductorTest, EmptyLabelsYieldEmptyWrapper) {
+  Induction induction = inductor_.Induce(pages_, NodeSet());
+  EXPECT_TRUE(induction.extraction.empty());
+}
+
+// Example 1: "If L consists of a single label, TABLE learns a rule that
+// returns just the label itself."
+TEST_F(TableInductorTest, SingletonStaysSingleton) {
+  NodeSet labels({Cell(1, 1)});
+  Induction induction = inductor_.Induce(pages_, labels);
+  EXPECT_EQ(induction.extraction, labels);
+}
+
+// "If L consists of labels all from the same row (or column), TABLE
+// generalizes it to the entire row (or column)."
+TEST_F(TableInductorTest, SameColumnGeneralizesToColumn) {
+  Induction induction =
+      inductor_.Induce(pages_, NodeSet({Cell(1, 1), Cell(2, 1)}));
+  ASSERT_EQ(induction.extraction.size(), 5u);
+  for (int row = 1; row <= 5; ++row) {
+    EXPECT_TRUE(induction.extraction.Contains(Cell(row, 1)));
+  }
+}
+
+TEST_F(TableInductorTest, SameRowGeneralizesToRow) {
+  Induction induction =
+      inductor_.Induce(pages_, NodeSet({Cell(4, 1), Cell(4, 2)}));
+  ASSERT_EQ(induction.extraction.size(), 4u);
+  for (int col = 1; col <= 4; ++col) {
+    EXPECT_TRUE(induction.extraction.Contains(Cell(4, col)));
+  }
+}
+
+// "If L consists of labels that span at least two rows and columns,
+// TABLE generalizes it to the entire table."
+TEST_F(TableInductorTest, SpanningLabelsGiveWholeTable) {
+  Induction induction =
+      inductor_.Induce(pages_, NodeSet({Cell(4, 2), Cell(5, 3)}));
+  EXPECT_EQ(induction.extraction.size(), 20u);
+}
+
+// Example 3: the feature-based formulation. {n1, a4} has empty feature
+// intersection, hence the whole table.
+TEST_F(TableInductorTest, FeatureIntersectionSemantics) {
+  Induction induction =
+      inductor_.Induce(pages_, NodeSet({Cell(1, 1), Cell(4, 2)}));
+  EXPECT_EQ(induction.extraction.size(), 20u);
+}
+
+TEST_F(TableInductorTest, ThreeLabelsOneColumn) {
+  // {n1, n2, n4} generalizes to the first column (Example 3).
+  Induction induction = inductor_.Induce(
+      pages_, NodeSet({Cell(1, 1), Cell(2, 1), Cell(4, 1)}));
+  EXPECT_EQ(induction.extraction.size(), 5u);
+}
+
+TEST_F(TableInductorTest, SubdivisionByRowAndColumn) {
+  NodeSet labels({Cell(1, 1), Cell(2, 1), Cell(4, 1), Cell(4, 2),
+                  Cell(5, 3)});
+  std::vector<AttrHandle> attrs = inductor_.Attributes(pages_, labels);
+  ASSERT_EQ(attrs.size(), 2u);
+
+  // By row: {n1}, {n2}, {n4, a4}, {z5}.
+  std::vector<NodeSet> by_row = inductor_.Subdivide(pages_, labels, attrs[0]);
+  EXPECT_EQ(by_row.size(), 4u);
+  // By column: {n1, n2, n4}, {a4}, {z5}.
+  std::vector<NodeSet> by_col = inductor_.Subdivide(pages_, labels, attrs[1]);
+  EXPECT_EQ(by_col.size(), 3u);
+  bool found_column_group = false;
+  for (const NodeSet& group : by_col) {
+    if (group.size() == 3) {
+      found_column_group = true;
+      EXPECT_TRUE(group.Contains(Cell(1, 1)));
+      EXPECT_TRUE(group.Contains(Cell(2, 1)));
+      EXPECT_TRUE(group.Contains(Cell(4, 1)));
+    }
+  }
+  EXPECT_TRUE(found_column_group);
+}
+
+TEST_F(TableInductorTest, WrapperToStringIsDescriptive) {
+  Induction induction =
+      inductor_.Induce(pages_, NodeSet({Cell(1, 1), Cell(2, 1)}));
+  EXPECT_NE(induction.wrapper->ToString().find("col="), std::string::npos);
+}
+
+TEST_F(TableInductorTest, RowsDistinctAcrossPages) {
+  // Two copies of the table on different pages: the same row index on
+  // another page is a different row id, but columns align.
+  PageSet two_pages;
+  two_pages.AddPage(testing::MustParse(
+      "<table><tr><td>a1</td><td>b1</td></tr></table>"));
+  two_pages.AddPage(testing::MustParse(
+      "<table><tr><td>a2</td><td>b2</td></tr></table>"));
+  auto a1 = testing::FindText(two_pages, "a1")[0];
+  auto a2 = testing::FindText(two_pages, "a2")[0];
+  Induction induction = inductor_.Induce(two_pages, NodeSet({a1, a2}));
+  // Common column 1, rows differ → the whole first column across pages.
+  EXPECT_EQ(induction.extraction.size(), 2u);
+  EXPECT_TRUE(induction.extraction.Contains(a1));
+  EXPECT_TRUE(induction.extraction.Contains(a2));
+}
+
+}  // namespace
+}  // namespace ntw::core

@@ -1,0 +1,96 @@
+#include "text/char_view.h"
+
+#include "gtest/gtest.h"
+#include "html/parser.h"
+#include "test_util.h"
+
+namespace ntw::text {
+namespace {
+
+using ::ntw::testing::MustParse;
+
+TEST(CharViewTest, StreamContainsMarkupAndText) {
+  html::Document doc = MustParse("<td><u>NAME</u><br>ADDR</td>");
+  CharView view(doc);
+  EXPECT_EQ(view.stream(), "<td><u>NAME</u><br>ADDR</td>");
+}
+
+TEST(CharViewTest, AttributesInStream) {
+  html::Document doc = MustParse("<a href='x'>t</a>");
+  CharView view(doc);
+  EXPECT_EQ(view.stream(), "<a href=\"x\">t</a>");
+}
+
+TEST(CharViewTest, SpansPointAtText) {
+  html::Document doc = MustParse("<td><u>NAME</u><br>ADDR</td>");
+  CharView view(doc);
+  ASSERT_EQ(view.spans().size(), 2u);
+  const TextSpan& name = view.spans()[0];
+  EXPECT_EQ(view.stream().substr(name.begin, name.end - name.begin), "NAME");
+  const TextSpan& addr = view.spans()[1];
+  EXPECT_EQ(view.stream().substr(addr.begin, addr.end - addr.begin), "ADDR");
+}
+
+TEST(CharViewTest, SpanForNode) {
+  html::Document doc = MustParse("<td><u>NAME</u><br>ADDR</td>");
+  CharView view(doc);
+  const html::Node* name_node = doc.text_nodes()[0];
+  const TextSpan* span = view.SpanForNode(name_node->preorder_index());
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->node, name_node);
+  // An element node has no span.
+  EXPECT_EQ(view.SpanForNode(doc.root()->child(0)->preorder_index()),
+            nullptr);
+  EXPECT_EQ(view.SpanForNode(-1), nullptr);
+  EXPECT_EQ(view.SpanForNode(9999), nullptr);
+}
+
+TEST(CharViewTest, BeforeAfterContexts) {
+  html::Document doc = MustParse("<td><u>NAME</u><br>ADDR</td>");
+  CharView view(doc);
+  const TextSpan& name = view.spans()[0];
+  EXPECT_EQ(view.Before(name, 3), "<u>");
+  EXPECT_EQ(view.Before(name, 7), "<td><u>");
+  EXPECT_EQ(view.Before(name, 100), "<td><u>");  // Clipped at page start.
+  EXPECT_EQ(view.After(name, 4), "</u>");
+  EXPECT_EQ(view.After(name, 100), "</u><br>ADDR</td>");
+}
+
+TEST(CharViewTest, LrDelimitersOfFigureOne) {
+  core::PageSet pages = testing::FigureOnePages();
+  CharView view(pages.page(0));
+  // The name nodes all sit between "<u>" and "</u>".
+  EXPECT_EQ(view.Before(view.spans()[0], 3), "<u>");
+  EXPECT_EQ(view.After(view.spans()[0], 4), "</u>");
+}
+
+TEST(CommonAffixTest, Suffix) {
+  EXPECT_EQ(LongestCommonSuffix({"abcde", "xycde", "zcde"}), "cde");
+  EXPECT_EQ(LongestCommonSuffix({"abc", "abc"}), "abc");
+  EXPECT_EQ(LongestCommonSuffix({"abc", "xyz"}), "");
+  EXPECT_EQ(LongestCommonSuffix({"abc"}), "abc");
+  EXPECT_EQ(LongestCommonSuffix({}), "");
+  EXPECT_EQ(LongestCommonSuffix({"abc", ""}), "");
+}
+
+TEST(CommonAffixTest, Prefix) {
+  EXPECT_EQ(LongestCommonPrefix({"abcde", "abxyz", "abq"}), "ab");
+  EXPECT_EQ(LongestCommonPrefix({"same", "same"}), "same");
+  EXPECT_EQ(LongestCommonPrefix({"a", "b"}), "");
+  EXPECT_EQ(LongestCommonPrefix({}), "");
+  EXPECT_EQ(LongestCommonPrefix({"", "abc"}), "");
+}
+
+TEST(CommonAffixTest, SuffixShrinksMonotonically) {
+  // Adding a string can only shorten the common suffix — the property
+  // behind LR monotonicity.
+  std::vector<std::string_view> strings = {"xx</u>", "yy</u>"};
+  std::string two = LongestCommonSuffix(strings);
+  strings.push_back("zz>");
+  std::string three = LongestCommonSuffix(strings);
+  EXPECT_TRUE(two.size() >= three.size());
+  EXPECT_TRUE(two.ends_with(three));
+}
+
+}  // namespace
+}  // namespace ntw::text

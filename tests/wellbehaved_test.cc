@@ -1,0 +1,161 @@
+// Property tests for Definition 1: every inductor shipped with the
+// library must be *well-behaved* — fidelity, closure, monotonicity — on
+// arbitrary label subsets. The enumeration algorithms' correctness
+// (Theorems 1-3) depends on exactly these properties, so they are tested
+// exhaustively over randomized label draws on several page sets.
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "core/lr_inductor.h"
+#include "core/table_inductor.h"
+#include "core/wrapper.h"
+#include "core/xpath_inductor.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ntw::core {
+namespace {
+
+struct InductorCase {
+  std::string name;
+  std::shared_ptr<const WrapperInductor> inductor;
+  // Candidate labels the inductor can meaningfully learn from.
+  NodeSet (*candidates)(const PageSet&);
+  // Which page set to use: 0 = Example-1 table, 1 = Figure-1 dealers.
+  int page_set;
+};
+
+NodeSet AllText(const PageSet& pages) { return pages.AllTextNodes(); }
+NodeSet CellText(const PageSet& pages) {
+  return TableInductor::CellTextNodes(pages);
+}
+
+std::vector<InductorCase> MakeCases() {
+  return {
+      {"TABLE-on-table", std::make_shared<TableInductor>(), &CellText, 0},
+      {"LR-on-table", std::make_shared<LrInductor>(), &AllText, 0},
+      {"XPATH-on-table", std::make_shared<XPathInductor>(), &AllText, 0},
+      {"LR-on-dealers", std::make_shared<LrInductor>(), &AllText, 1},
+      {"XPATH-on-dealers", std::make_shared<XPathInductor>(), &AllText, 1},
+  };
+}
+
+class WellBehavedTest : public ::testing::TestWithParam<InductorCase> {
+ protected:
+  WellBehavedTest() {
+    pages_ = GetParam().page_set == 0 ? testing::ExampleTablePage()
+                                      : testing::FigureOnePages();
+    candidates_ = GetParam().candidates(pages_);
+  }
+
+  NodeSet RandomSubset(Rng* rng, size_t max_size) {
+    std::vector<NodeRef> refs;
+    size_t want = 1 + rng->NextBounded(max_size);
+    for (size_t i = 0; i < want; ++i) {
+      refs.push_back(candidates_[rng->NextBounded(candidates_.size())]);
+    }
+    return NodeSet(std::move(refs));
+  }
+
+  PageSet pages_;
+  NodeSet candidates_;
+};
+
+// FIDELITY: L ⊆ φ(L).
+TEST_P(WellBehavedTest, Fidelity) {
+  const auto& inductor = *GetParam().inductor;
+  Rng rng(101);
+  for (int trial = 0; trial < 40; ++trial) {
+    NodeSet labels = RandomSubset(&rng, 6);
+    Induction induction = inductor.Induce(pages_, labels);
+    EXPECT_TRUE(labels.IsSubsetOf(induction.extraction))
+        << GetParam().name << " labels=" << labels.ToString()
+        << " extraction=" << induction.extraction.ToString();
+  }
+}
+
+// CLOSURE: ℓ ∈ φ(L) ⇒ φ(L ∪ {ℓ}) = φ(L).
+TEST_P(WellBehavedTest, Closure) {
+  const auto& inductor = *GetParam().inductor;
+  Rng rng(202);
+  for (int trial = 0; trial < 25; ++trial) {
+    NodeSet labels = RandomSubset(&rng, 4);
+    Induction induction = inductor.Induce(pages_, labels);
+    // Add each extracted candidate node back; the wrapper must not change.
+    for (const NodeRef& extracted : induction.extraction) {
+      if (!candidates_.Contains(extracted)) continue;
+      NodeSet extended = labels;
+      extended.Insert(extracted);
+      Induction again = inductor.Induce(pages_, extended);
+      EXPECT_EQ(again.extraction, induction.extraction)
+          << GetParam().name << " labels=" << labels.ToString()
+          << " +" << extracted.page << "," << extracted.node;
+    }
+  }
+}
+
+// Full closure: φ(L ∪ φ(L)) = φ(L).
+TEST_P(WellBehavedTest, ClosureUnderFullOutput) {
+  const auto& inductor = *GetParam().inductor;
+  Rng rng(303);
+  for (int trial = 0; trial < 25; ++trial) {
+    NodeSet labels = RandomSubset(&rng, 4);
+    Induction induction = inductor.Induce(pages_, labels);
+    NodeSet closure = induction.extraction.Intersect(candidates_);
+    Induction again = inductor.Induce(pages_, labels.Union(closure));
+    EXPECT_EQ(again.extraction, induction.extraction) << GetParam().name;
+  }
+}
+
+// MONOTONICITY: L1 ⊆ L2 ⇒ φ(L1) ⊆ φ(L2).
+TEST_P(WellBehavedTest, Monotonicity) {
+  const auto& inductor = *GetParam().inductor;
+  Rng rng(404);
+  for (int trial = 0; trial < 40; ++trial) {
+    NodeSet l2 = RandomSubset(&rng, 6);
+    // Random subset of l2.
+    std::vector<NodeRef> sub;
+    for (const NodeRef& ref : l2) {
+      if (rng.NextBernoulli(0.6)) sub.push_back(ref);
+    }
+    if (sub.empty()) sub.push_back(l2[0]);
+    NodeSet l1(std::move(sub));
+    Induction i1 = inductor.Induce(pages_, l1);
+    Induction i2 = inductor.Induce(pages_, l2);
+    EXPECT_TRUE(i1.extraction.IsSubsetOf(i2.extraction))
+        << GetParam().name << " L1=" << l1.ToString()
+        << " L2=" << l2.ToString();
+  }
+}
+
+// φ(∅) extracts nothing.
+TEST_P(WellBehavedTest, EmptyLabels) {
+  Induction induction = GetParam().inductor->Induce(pages_, NodeSet());
+  EXPECT_TRUE(induction.extraction.empty()) << GetParam().name;
+}
+
+// Determinism: equal inputs give equal outputs.
+TEST_P(WellBehavedTest, Deterministic) {
+  const auto& inductor = *GetParam().inductor;
+  Rng rng(505);
+  for (int trial = 0; trial < 10; ++trial) {
+    NodeSet labels = RandomSubset(&rng, 5);
+    EXPECT_EQ(inductor.Induce(pages_, labels).extraction,
+              inductor.Induce(pages_, labels).extraction);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllInductors, WellBehavedTest, ::testing::ValuesIn(MakeCases()),
+    [](const ::testing::TestParamInfo<InductorCase>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace ntw::core

@@ -1,0 +1,178 @@
+#include <string>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace ntw::xpath {
+namespace {
+
+using ::ntw::testing::MustParse;
+
+Expr MustParseXPath(const std::string& s) {
+  Result<Expr> expr = ParseXPath(s);
+  EXPECT_TRUE(expr.ok()) << s << ": " << expr.status().ToString();
+  return std::move(expr).value();
+}
+
+std::vector<std::string> EvalTexts(const std::string& xpath,
+                                   const html::Document& doc) {
+  std::vector<std::string> out;
+  for (const html::Node* node : Evaluate(MustParseXPath(xpath), doc)) {
+    out.push_back(node->is_text() ? node->text() : node->tag());
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- Parser.
+
+TEST(XPathParserTest, PaperExample) {
+  Expr expr = MustParseXPath(
+      "//div[@class='content']/table[1]/tr/td[2]/text()");
+  ASSERT_EQ(expr.steps.size(), 5u);
+  EXPECT_EQ(expr.steps[0].axis, Axis::kDescendant);
+  EXPECT_EQ(expr.steps[0].tag, "div");
+  ASSERT_EQ(expr.steps[0].attr_filters.size(), 1u);
+  EXPECT_EQ(expr.steps[0].attr_filters[0].first, "class");
+  EXPECT_EQ(expr.steps[0].attr_filters[0].second, "content");
+  EXPECT_EQ(expr.steps[1].axis, Axis::kChild);
+  EXPECT_EQ(expr.steps[1].child_number, 1);
+  EXPECT_EQ(expr.steps[3].tag, "td");
+  EXPECT_EQ(expr.steps[3].child_number, 2);
+  EXPECT_EQ(expr.steps[4].test, NodeTest::kText);
+}
+
+TEST(XPathParserTest, RoundTripToString) {
+  const std::string canonical =
+      "//div[@class='content']/table[1]/tr/td[2]/text()";
+  EXPECT_EQ(MustParseXPath(canonical).ToString(), canonical);
+}
+
+TEST(XPathParserTest, Wildcard) {
+  Expr expr = MustParseXPath("//*/*[3]/text()");
+  EXPECT_EQ(expr.steps[0].test, NodeTest::kAnyElement);
+  EXPECT_EQ(expr.steps[1].child_number, 3);
+}
+
+TEST(XPathParserTest, RelativeShorthandMeansDescendant) {
+  Expr expr = MustParseXPath("td/u");
+  EXPECT_EQ(expr.steps[0].axis, Axis::kDescendant);
+  EXPECT_EQ(expr.steps[1].axis, Axis::kChild);
+}
+
+TEST(XPathParserTest, DoubleQuotedAttrValue) {
+  Expr expr = MustParseXPath("//div[@id=\"a b\"]");
+  EXPECT_EQ(expr.steps[0].attr_filters[0].second, "a b");
+}
+
+TEST(XPathParserTest, MultipleAttrFiltersSorted) {
+  Expr expr = MustParseXPath("//div[@z='1'][@a='2']");
+  ASSERT_EQ(expr.steps[0].attr_filters.size(), 2u);
+  EXPECT_EQ(expr.steps[0].attr_filters[0].first, "a");
+  EXPECT_EQ(expr.steps[0].attr_filters[1].first, "z");
+}
+
+TEST(XPathParserTest, Errors) {
+  EXPECT_FALSE(ParseXPath("").ok());
+  EXPECT_FALSE(ParseXPath("//div[").ok());
+  EXPECT_FALSE(ParseXPath("//div[@a=x]").ok());   // Unquoted value.
+  EXPECT_FALSE(ParseXPath("//div[0]").ok());      // Child numbers are >= 1.
+  EXPECT_FALSE(ParseXPath("//div[1][2]").ok());   // Duplicate child number.
+  EXPECT_FALSE(ParseXPath("//div/").ok());        // Trailing slash.
+  EXPECT_FALSE(ParseXPath("//div[@a='x]").ok());  // Unterminated value.
+}
+
+// -------------------------------------------------------------- Evaluator.
+
+constexpr char kListing[] =
+    "<html><body>"
+    "<div class='content'>"
+    "<table><tr><td>n1</td><td>a1</td></tr>"
+    "<tr><td>n2</td><td>a2</td></tr></table>"
+    "<table><tr><td>x1</td><td>y1</td></tr></table>"
+    "</div>"
+    "<div class='footer'><table><tr><td>f1</td></tr></table></div>"
+    "</body></html>";
+
+TEST(XPathEvalTest, DescendantAndChild) {
+  html::Document doc = MustParse(kListing);
+  EXPECT_EQ(EvalTexts("//td/text()", doc),
+            (std::vector<std::string>{"n1", "a1", "n2", "a2", "x1", "y1",
+                                      "f1"}));
+}
+
+TEST(XPathEvalTest, AttributeFilter) {
+  html::Document doc = MustParse(kListing);
+  EXPECT_EQ(
+      EvalTexts("//div[@class='content']/table[1]/tr/td[1]/text()", doc),
+      (std::vector<std::string>{"n1", "n2"}));
+}
+
+TEST(XPathEvalTest, ChildNumberOnTag) {
+  html::Document doc = MustParse(kListing);
+  EXPECT_EQ(EvalTexts("//div[@class='content']/table[2]//td/text()", doc),
+            (std::vector<std::string>{"x1", "y1"}));
+}
+
+TEST(XPathEvalTest, SecondColumn) {
+  html::Document doc = MustParse(kListing);
+  EXPECT_EQ(EvalTexts("//table/tr/td[2]/text()", doc),
+            (std::vector<std::string>{"a1", "a2", "y1"}));
+}
+
+TEST(XPathEvalTest, WildcardStep) {
+  html::Document doc = MustParse(kListing);
+  EXPECT_EQ(EvalTexts("//body/*[@class='footer']//text()", doc),
+            (std::vector<std::string>{"f1"}));
+}
+
+TEST(XPathEvalTest, NoMatchesReturnsEmpty) {
+  html::Document doc = MustParse(kListing);
+  EXPECT_TRUE(Evaluate(MustParseXPath("//span/text()"), doc).empty());
+  EXPECT_TRUE(
+      Evaluate(MustParseXPath("//div[@class='nope']"), doc).empty());
+}
+
+TEST(XPathEvalTest, ResultsAreDocumentOrderedNoDuplicates) {
+  // '//' from multiple contexts can reach the same node; ensure dedup.
+  html::Document doc = MustParse("<a><b><c>x</c></b></a>");
+  std::vector<const html::Node*> nodes =
+      Evaluate(MustParseXPath("//*//text()"), doc);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0]->text(), "x");
+}
+
+TEST(XPathEvalTest, TextChildNumberUsesSiblingPosition) {
+  // <td>A<br>B<br>C</td>: text nodes at sibling positions 1, 3, 5.
+  html::Document doc = MustParse("<td>A<br>B<br>C</td>");
+  EXPECT_EQ(EvalTexts("//td/text()[3]", doc),
+            (std::vector<std::string>{"B"}));
+  EXPECT_EQ(EvalTexts("//td/text()[1]", doc),
+            (std::vector<std::string>{"A"}));
+}
+
+TEST(XPathEvalTest, ElementResults) {
+  html::Document doc = MustParse(kListing);
+  std::vector<const html::Node*> tables =
+      Evaluate(MustParseXPath("//table"), doc);
+  EXPECT_EQ(tables.size(), 3u);
+}
+
+TEST(XPathEvalTest, DeepDescendantFromMidTree) {
+  html::Document doc = MustParse(
+      "<div id='a'><section><p><span>deep</span></p></section></div>");
+  EXPECT_EQ(EvalTexts("//div[@id='a']//span/text()", doc),
+            (std::vector<std::string>{"deep"}));
+}
+
+TEST(XPathEvalTest, StepMatchesAttrAndNumber) {
+  html::Document doc =
+      MustParse("<tr><td class='x'>1</td><td class='x'>2</td></tr>");
+  EXPECT_EQ(EvalTexts("//td[2][@class='x']/text()", doc),
+            (std::vector<std::string>{"2"}));
+  EXPECT_TRUE(EvalTexts("//td[3][@class='x']/text()", doc).empty());
+}
+
+}  // namespace
+}  // namespace ntw::xpath
