@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appb2_single_entity.dir/bench_appb2_single_entity.cc.o"
+  "CMakeFiles/bench_appb2_single_entity.dir/bench_appb2_single_entity.cc.o.d"
+  "bench_appb2_single_entity"
+  "bench_appb2_single_entity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appb2_single_entity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_appb2_single_entity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hlrt_dealers.dir/bench_ext_hlrt_dealers.cc.o"
+  "CMakeFiles/bench_ext_hlrt_dealers.dir/bench_ext_hlrt_dealers.cc.o.d"
+  "bench_ext_hlrt_dealers"
+  "bench_ext_hlrt_dealers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hlrt_dealers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

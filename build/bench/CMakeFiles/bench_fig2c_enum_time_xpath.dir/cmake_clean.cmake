@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2c_enum_time_xpath.dir/bench_fig2c_enum_time_xpath.cc.o"
+  "CMakeFiles/bench_fig2c_enum_time_xpath.dir/bench_fig2c_enum_time_xpath.cc.o.d"
+  "bench_fig2c_enum_time_xpath"
+  "bench_fig2c_enum_time_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2c_enum_time_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2d_xpath_dealers.dir/bench_fig2d_xpath_dealers.cc.o"
+  "CMakeFiles/bench_fig2d_xpath_dealers.dir/bench_fig2d_xpath_dealers.cc.o.d"
+  "bench_fig2d_xpath_dealers"
+  "bench_fig2d_xpath_dealers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2d_xpath_dealers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2g_lr_disc.cc" "bench/CMakeFiles/bench_fig2g_lr_disc.dir/bench_fig2g_lr_disc.cc.o" "gcc" "bench/CMakeFiles/bench_fig2g_lr_disc.dir/bench_fig2g_lr_disc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ntw_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/ntw_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/sitegen/CMakeFiles/ntw_sitegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/annotate/CMakeFiles/ntw_annotate.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/ntw_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ntw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/ntw_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ntw_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/ntw_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/ntw_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ntw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ntw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2g_lr_disc.dir/bench_fig2g_lr_disc.cc.o"
+  "CMakeFiles/bench_fig2g_lr_disc.dir/bench_fig2g_lr_disc.cc.o.d"
+  "bench_fig2g_lr_disc"
+  "bench_fig2g_lr_disc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2g_lr_disc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

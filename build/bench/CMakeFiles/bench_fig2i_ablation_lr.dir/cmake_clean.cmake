@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2i_ablation_lr.dir/bench_fig2i_ablation_lr.cc.o"
+  "CMakeFiles/bench_fig2i_ablation_lr.dir/bench_fig2i_ablation_lr.cc.o.d"
+  "bench_fig2i_ablation_lr"
+  "bench_fig2i_ablation_lr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2i_ablation_lr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

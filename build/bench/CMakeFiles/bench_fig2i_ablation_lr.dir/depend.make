@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2i_ablation_lr.
+# This may be replaced when dependencies are built.

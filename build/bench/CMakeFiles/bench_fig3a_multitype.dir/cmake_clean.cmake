@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3a_multitype.dir/bench_fig3a_multitype.cc.o"
+  "CMakeFiles/bench_fig3a_multitype.dir/bench_fig3a_multitype.cc.o.d"
+  "bench_fig3a_multitype"
+  "bench_fig3a_multitype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3a_multitype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3c_products.dir/bench_fig3c_products.cc.o"
+  "CMakeFiles/bench_fig3c_products.dir/bench_fig3c_products.cc.o.d"
+  "bench_fig3c_products"
+  "bench_fig3c_products.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3c_products.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

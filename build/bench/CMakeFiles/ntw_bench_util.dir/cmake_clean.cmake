@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/ntw_bench_util.dir/bench_util.cc.o.d"
+  "CMakeFiles/ntw_bench_util.dir/enum_experiment.cc.o"
+  "CMakeFiles/ntw_bench_util.dir/enum_experiment.cc.o.d"
+  "CMakeFiles/ntw_bench_util.dir/multitype_experiment.cc.o"
+  "CMakeFiles/ntw_bench_util.dir/multitype_experiment.cc.o.d"
+  "libntw_bench_util.a"
+  "libntw_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

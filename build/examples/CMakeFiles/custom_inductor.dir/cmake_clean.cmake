@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_inductor.dir/custom_inductor.cpp.o"
+  "CMakeFiles/custom_inductor.dir/custom_inductor.cpp.o.d"
+  "custom_inductor"
+  "custom_inductor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_inductor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dealers_pipeline.dir/dealers_pipeline.cpp.o"
+  "CMakeFiles/dealers_pipeline.dir/dealers_pipeline.cpp.o.d"
+  "dealers_pipeline"
+  "dealers_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dealers_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discography.dir/discography.cpp.o"
+  "CMakeFiles/discography.dir/discography.cpp.o.d"
+  "discography"
+  "discography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for discography.
+# This may be replaced when dependencies are built.

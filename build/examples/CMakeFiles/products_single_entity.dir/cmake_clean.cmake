@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/products_single_entity.dir/products_single_entity.cpp.o"
+  "CMakeFiles/products_single_entity.dir/products_single_entity.cpp.o.d"
+  "products_single_entity"
+  "products_single_entity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/products_single_entity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

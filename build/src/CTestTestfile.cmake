@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("regex")
+subdirs("html")
+subdirs("xpath")
+subdirs("align")
+subdirs("stats")
+subdirs("text")
+subdirs("core")
+subdirs("annotate")
+subdirs("sitegen")
+subdirs("datasets")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_align.dir/edit_distance.cc.o"
+  "CMakeFiles/ntw_align.dir/edit_distance.cc.o.d"
+  "libntw_align.a"
+  "libntw_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

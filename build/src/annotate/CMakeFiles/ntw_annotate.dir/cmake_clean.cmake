@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_annotate.dir/dictionary_annotator.cc.o"
+  "CMakeFiles/ntw_annotate.dir/dictionary_annotator.cc.o.d"
+  "CMakeFiles/ntw_annotate.dir/regex_annotator.cc.o"
+  "CMakeFiles/ntw_annotate.dir/regex_annotator.cc.o.d"
+  "CMakeFiles/ntw_annotate.dir/synthetic_annotator.cc.o"
+  "CMakeFiles/ntw_annotate.dir/synthetic_annotator.cc.o.d"
+  "libntw_annotate.a"
+  "libntw_annotate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_annotate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_common.dir/file_util.cc.o"
+  "CMakeFiles/ntw_common.dir/file_util.cc.o.d"
+  "CMakeFiles/ntw_common.dir/flags.cc.o"
+  "CMakeFiles/ntw_common.dir/flags.cc.o.d"
+  "CMakeFiles/ntw_common.dir/rng.cc.o"
+  "CMakeFiles/ntw_common.dir/rng.cc.o.d"
+  "CMakeFiles/ntw_common.dir/status.cc.o"
+  "CMakeFiles/ntw_common.dir/status.cc.o.d"
+  "CMakeFiles/ntw_common.dir/strings.cc.o"
+  "CMakeFiles/ntw_common.dir/strings.cc.o.d"
+  "libntw_common.a"
+  "libntw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

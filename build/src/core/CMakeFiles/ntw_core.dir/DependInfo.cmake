@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/annotation_model.cc" "src/core/CMakeFiles/ntw_core.dir/annotation_model.cc.o" "gcc" "src/core/CMakeFiles/ntw_core.dir/annotation_model.cc.o.d"
+  "/root/repo/src/core/enumerate.cc" "src/core/CMakeFiles/ntw_core.dir/enumerate.cc.o" "gcc" "src/core/CMakeFiles/ntw_core.dir/enumerate.cc.o.d"
+  "/root/repo/src/core/hlrt_inductor.cc" "src/core/CMakeFiles/ntw_core.dir/hlrt_inductor.cc.o" "gcc" "src/core/CMakeFiles/ntw_core.dir/hlrt_inductor.cc.o.d"
+  "/root/repo/src/core/label.cc" "src/core/CMakeFiles/ntw_core.dir/label.cc.o" "gcc" "src/core/CMakeFiles/ntw_core.dir/label.cc.o.d"
+  "/root/repo/src/core/lr_inductor.cc" "src/core/CMakeFiles/ntw_core.dir/lr_inductor.cc.o" "gcc" "src/core/CMakeFiles/ntw_core.dir/lr_inductor.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/ntw_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/ntw_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/multi_type.cc" "src/core/CMakeFiles/ntw_core.dir/multi_type.cc.o" "gcc" "src/core/CMakeFiles/ntw_core.dir/multi_type.cc.o.d"
+  "/root/repo/src/core/ntw.cc" "src/core/CMakeFiles/ntw_core.dir/ntw.cc.o" "gcc" "src/core/CMakeFiles/ntw_core.dir/ntw.cc.o.d"
+  "/root/repo/src/core/publication_model.cc" "src/core/CMakeFiles/ntw_core.dir/publication_model.cc.o" "gcc" "src/core/CMakeFiles/ntw_core.dir/publication_model.cc.o.d"
+  "/root/repo/src/core/ranker.cc" "src/core/CMakeFiles/ntw_core.dir/ranker.cc.o" "gcc" "src/core/CMakeFiles/ntw_core.dir/ranker.cc.o.d"
+  "/root/repo/src/core/single_entity.cc" "src/core/CMakeFiles/ntw_core.dir/single_entity.cc.o" "gcc" "src/core/CMakeFiles/ntw_core.dir/single_entity.cc.o.d"
+  "/root/repo/src/core/table_inductor.cc" "src/core/CMakeFiles/ntw_core.dir/table_inductor.cc.o" "gcc" "src/core/CMakeFiles/ntw_core.dir/table_inductor.cc.o.d"
+  "/root/repo/src/core/wrapper.cc" "src/core/CMakeFiles/ntw_core.dir/wrapper.cc.o" "gcc" "src/core/CMakeFiles/ntw_core.dir/wrapper.cc.o.d"
+  "/root/repo/src/core/wrapper_store.cc" "src/core/CMakeFiles/ntw_core.dir/wrapper_store.cc.o" "gcc" "src/core/CMakeFiles/ntw_core.dir/wrapper_store.cc.o.d"
+  "/root/repo/src/core/xpath_inductor.cc" "src/core/CMakeFiles/ntw_core.dir/xpath_inductor.cc.o" "gcc" "src/core/CMakeFiles/ntw_core.dir/xpath_inductor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ntw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/ntw_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/ntw_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ntw_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/ntw_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ntw_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_core.dir/annotation_model.cc.o"
+  "CMakeFiles/ntw_core.dir/annotation_model.cc.o.d"
+  "CMakeFiles/ntw_core.dir/enumerate.cc.o"
+  "CMakeFiles/ntw_core.dir/enumerate.cc.o.d"
+  "CMakeFiles/ntw_core.dir/hlrt_inductor.cc.o"
+  "CMakeFiles/ntw_core.dir/hlrt_inductor.cc.o.d"
+  "CMakeFiles/ntw_core.dir/label.cc.o"
+  "CMakeFiles/ntw_core.dir/label.cc.o.d"
+  "CMakeFiles/ntw_core.dir/lr_inductor.cc.o"
+  "CMakeFiles/ntw_core.dir/lr_inductor.cc.o.d"
+  "CMakeFiles/ntw_core.dir/metrics.cc.o"
+  "CMakeFiles/ntw_core.dir/metrics.cc.o.d"
+  "CMakeFiles/ntw_core.dir/multi_type.cc.o"
+  "CMakeFiles/ntw_core.dir/multi_type.cc.o.d"
+  "CMakeFiles/ntw_core.dir/ntw.cc.o"
+  "CMakeFiles/ntw_core.dir/ntw.cc.o.d"
+  "CMakeFiles/ntw_core.dir/publication_model.cc.o"
+  "CMakeFiles/ntw_core.dir/publication_model.cc.o.d"
+  "CMakeFiles/ntw_core.dir/ranker.cc.o"
+  "CMakeFiles/ntw_core.dir/ranker.cc.o.d"
+  "CMakeFiles/ntw_core.dir/single_entity.cc.o"
+  "CMakeFiles/ntw_core.dir/single_entity.cc.o.d"
+  "CMakeFiles/ntw_core.dir/table_inductor.cc.o"
+  "CMakeFiles/ntw_core.dir/table_inductor.cc.o.d"
+  "CMakeFiles/ntw_core.dir/wrapper.cc.o"
+  "CMakeFiles/ntw_core.dir/wrapper.cc.o.d"
+  "CMakeFiles/ntw_core.dir/wrapper_store.cc.o"
+  "CMakeFiles/ntw_core.dir/wrapper_store.cc.o.d"
+  "CMakeFiles/ntw_core.dir/xpath_inductor.cc.o"
+  "CMakeFiles/ntw_core.dir/xpath_inductor.cc.o.d"
+  "libntw_core.a"
+  "libntw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libntw_core.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_datasets.dir/corpus_io.cc.o"
+  "CMakeFiles/ntw_datasets.dir/corpus_io.cc.o.d"
+  "CMakeFiles/ntw_datasets.dir/dataset.cc.o"
+  "CMakeFiles/ntw_datasets.dir/dataset.cc.o.d"
+  "CMakeFiles/ntw_datasets.dir/dealers.cc.o"
+  "CMakeFiles/ntw_datasets.dir/dealers.cc.o.d"
+  "CMakeFiles/ntw_datasets.dir/disc.cc.o"
+  "CMakeFiles/ntw_datasets.dir/disc.cc.o.d"
+  "CMakeFiles/ntw_datasets.dir/products.cc.o"
+  "CMakeFiles/ntw_datasets.dir/products.cc.o.d"
+  "CMakeFiles/ntw_datasets.dir/runner.cc.o"
+  "CMakeFiles/ntw_datasets.dir/runner.cc.o.d"
+  "libntw_datasets.a"
+  "libntw_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_html.dir/dom.cc.o"
+  "CMakeFiles/ntw_html.dir/dom.cc.o.d"
+  "CMakeFiles/ntw_html.dir/entities.cc.o"
+  "CMakeFiles/ntw_html.dir/entities.cc.o.d"
+  "CMakeFiles/ntw_html.dir/parser.cc.o"
+  "CMakeFiles/ntw_html.dir/parser.cc.o.d"
+  "CMakeFiles/ntw_html.dir/serializer.cc.o"
+  "CMakeFiles/ntw_html.dir/serializer.cc.o.d"
+  "CMakeFiles/ntw_html.dir/tokenizer.cc.o"
+  "CMakeFiles/ntw_html.dir/tokenizer.cc.o.d"
+  "libntw_html.a"
+  "libntw_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_regex.dir/regex.cc.o"
+  "CMakeFiles/ntw_regex.dir/regex.cc.o.d"
+  "libntw_regex.a"
+  "libntw_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_sitegen.dir/chrome.cc.o"
+  "CMakeFiles/ntw_sitegen.dir/chrome.cc.o.d"
+  "CMakeFiles/ntw_sitegen.dir/list_template.cc.o"
+  "CMakeFiles/ntw_sitegen.dir/list_template.cc.o.d"
+  "CMakeFiles/ntw_sitegen.dir/page_builder.cc.o"
+  "CMakeFiles/ntw_sitegen.dir/page_builder.cc.o.d"
+  "CMakeFiles/ntw_sitegen.dir/site.cc.o"
+  "CMakeFiles/ntw_sitegen.dir/site.cc.o.d"
+  "CMakeFiles/ntw_sitegen.dir/vocab.cc.o"
+  "CMakeFiles/ntw_sitegen.dir/vocab.cc.o.d"
+  "libntw_sitegen.a"
+  "libntw_sitegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_sitegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

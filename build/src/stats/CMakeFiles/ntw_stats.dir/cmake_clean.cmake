@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_stats.dir/kde.cc.o"
+  "CMakeFiles/ntw_stats.dir/kde.cc.o.d"
+  "libntw_stats.a"
+  "libntw_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

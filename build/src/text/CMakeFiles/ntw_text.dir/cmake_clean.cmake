@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_text.dir/char_view.cc.o"
+  "CMakeFiles/ntw_text.dir/char_view.cc.o.d"
+  "libntw_text.a"
+  "libntw_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

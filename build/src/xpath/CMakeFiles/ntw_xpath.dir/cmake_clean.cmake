@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_xpath.dir/ast.cc.o"
+  "CMakeFiles/ntw_xpath.dir/ast.cc.o.d"
+  "CMakeFiles/ntw_xpath.dir/evaluator.cc.o"
+  "CMakeFiles/ntw_xpath.dir/evaluator.cc.o.d"
+  "CMakeFiles/ntw_xpath.dir/parser.cc.o"
+  "CMakeFiles/ntw_xpath.dir/parser.cc.o.d"
+  "libntw_xpath.a"
+  "libntw_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotation_model_test.dir/annotation_model_test.cc.o"
+  "CMakeFiles/annotation_model_test.dir/annotation_model_test.cc.o.d"
+  "annotation_model_test"
+  "annotation_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotation_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlrt_inductor_test.dir/hlrt_inductor_test.cc.o"
+  "CMakeFiles/hlrt_inductor_test.dir/hlrt_inductor_test.cc.o.d"
+  "hlrt_inductor_test"
+  "hlrt_inductor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlrt_inductor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_test.dir/label_test.cc.o"
+  "CMakeFiles/label_test.dir/label_test.cc.o.d"
+  "label_test"
+  "label_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

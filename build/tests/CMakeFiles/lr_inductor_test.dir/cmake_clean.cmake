@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lr_inductor_test.dir/lr_inductor_test.cc.o"
+  "CMakeFiles/lr_inductor_test.dir/lr_inductor_test.cc.o.d"
+  "lr_inductor_test"
+  "lr_inductor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lr_inductor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_type_test.dir/multi_type_test.cc.o"
+  "CMakeFiles/multi_type_test.dir/multi_type_test.cc.o.d"
+  "multi_type_test"
+  "multi_type_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_type_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_test.dir/ntw_test.cc.o"
+  "CMakeFiles/ntw_test.dir/ntw_test.cc.o.d"
+  "ntw_test"
+  "ntw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

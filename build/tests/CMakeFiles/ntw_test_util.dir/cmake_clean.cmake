@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_test_util.dir/test_util.cc.o"
+  "CMakeFiles/ntw_test_util.dir/test_util.cc.o.d"
+  "libntw_test_util.a"
+  "libntw_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publication_model_test.dir/publication_model_test.cc.o"
+  "CMakeFiles/publication_model_test.dir/publication_model_test.cc.o.d"
+  "publication_model_test"
+  "publication_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publication_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

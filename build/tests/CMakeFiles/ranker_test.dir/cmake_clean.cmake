@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranker_test.dir/ranker_test.cc.o"
+  "CMakeFiles/ranker_test.dir/ranker_test.cc.o.d"
+  "ranker_test"
+  "ranker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_entity_test.dir/single_entity_test.cc.o"
+  "CMakeFiles/single_entity_test.dir/single_entity_test.cc.o.d"
+  "single_entity_test"
+  "single_entity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_entity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

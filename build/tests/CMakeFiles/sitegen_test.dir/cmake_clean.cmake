@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sitegen_test.dir/sitegen_test.cc.o"
+  "CMakeFiles/sitegen_test.dir/sitegen_test.cc.o.d"
+  "sitegen_test"
+  "sitegen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sitegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

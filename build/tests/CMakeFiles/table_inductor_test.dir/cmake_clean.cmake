@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_inductor_test.dir/table_inductor_test.cc.o"
+  "CMakeFiles/table_inductor_test.dir/table_inductor_test.cc.o.d"
+  "table_inductor_test"
+  "table_inductor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_inductor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wellbehaved_test.dir/wellbehaved_test.cc.o"
+  "CMakeFiles/wellbehaved_test.dir/wellbehaved_test.cc.o.d"
+  "wellbehaved_test"
+  "wellbehaved_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wellbehaved_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

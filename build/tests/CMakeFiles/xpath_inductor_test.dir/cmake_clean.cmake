@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_inductor_test.dir/xpath_inductor_test.cc.o"
+  "CMakeFiles/xpath_inductor_test.dir/xpath_inductor_test.cc.o.d"
+  "xpath_inductor_test"
+  "xpath_inductor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_inductor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_corpus.dir/ntw_corpus.cc.o"
+  "CMakeFiles/ntw_corpus.dir/ntw_corpus.cc.o.d"
+  "ntw_corpus"
+  "ntw_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_eval.dir/ntw_eval.cc.o"
+  "CMakeFiles/ntw_eval.dir/ntw_eval.cc.o.d"
+  "ntw_eval"
+  "ntw_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntw_extract.dir/ntw_extract.cc.o"
+  "CMakeFiles/ntw_extract.dir/ntw_extract.cc.o.d"
+  "ntw_extract"
+  "ntw_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntw_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
