@@ -7,6 +7,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
+#include "core/induction_cache.h"
+
 namespace ntw::core {
 namespace {
 
@@ -51,62 +54,111 @@ Result<WrapperSpace> EnumerateNaive(const WrapperInductor& inductor,
   WrapperSpace space;
   CandidateCollector collector;
   const auto& refs = labels.refs();
-  uint64_t subset_count = 1ULL << labels.size();
-  for (uint64_t mask = 1; mask < subset_count; ++mask) {
-    std::vector<NodeRef> subset;
-    for (size_t i = 0; i < refs.size(); ++i) {
-      if (mask & (1ULL << i)) subset.push_back(refs[i]);
+  uint64_t last_mask = (1ULL << labels.size()) - 1;
+  ThreadPool& pool = ThreadPool::Global();
+
+  // Every mask is a distinct subset, so memoization cannot hit; induce in
+  // parallel blocks and merge in mask order (byte-identical to serial).
+  // Blocks bound the in-flight Induction memory to O(block) instead of
+  // O(2^|L|).
+  uint64_t block = static_cast<uint64_t>(pool.threads()) * 64;
+  if (block < 256) block = 256;
+  std::vector<NodeSet> subset_slots(block);
+  std::vector<Induction> result_slots(block);
+  for (uint64_t base = 1; base <= last_mask; base += block) {
+    uint64_t count = std::min<uint64_t>(block, last_mask - base + 1);
+    pool.ParallelFor(static_cast<size_t>(count), [&](size_t j) {
+      uint64_t mask = base + j;
+      std::vector<NodeRef> subset;
+      for (size_t i = 0; i < refs.size(); ++i) {
+        if (mask & (1ULL << i)) subset.push_back(refs[i]);
+      }
+      subset_slots[j] = NodeSet(std::move(subset));
+      result_slots[j] = inductor.Induce(pages, subset_slots[j]);
+    });
+    for (uint64_t j = 0; j < count; ++j) {
+      collector.Add(std::move(result_slots[j]), subset_slots[j]);
+      ++space.inductor_calls;
     }
-    NodeSet subset_set(std::move(subset));
-    collector.Add(inductor.Induce(pages, subset_set), subset_set);
-    ++space.inductor_calls;
   }
+  space.cache_misses = space.inductor_calls;
   space.candidates = collector.Take();
   return space;
 }
+
+namespace {
+
+/// Size-then-lexicographic order over label subsets — the smallest-first
+/// expansion order of Algorithm 1 step 4, also used to keep each round's
+/// frontier deterministic.
+struct SizeOrder {
+  bool operator()(const NodeSet& a, const NodeSet& b) const {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return std::lexicographical_compare(
+        a.refs().begin(), a.refs().end(), b.refs().begin(), b.refs().end(),
+        [](const NodeRef& x, const NodeRef& y) { return x < y; });
+  }
+};
+
+}  // namespace
 
 WrapperSpace EnumerateBottomUp(const WrapperInductor& inductor,
                                const PageSet& pages, const NodeSet& labels) {
   WrapperSpace space;
   CandidateCollector collector;
+  InductionCache cache;
+  ThreadPool& pool = ThreadPool::Global();
 
-  // Z holds closed subsets of L pending expansion, smallest first
-  // (Algorithm 1 step 4). Sets are identified by their sorted ref vector.
-  struct SizeOrder {
-    bool operator()(const NodeSet& a, const NodeSet& b) const {
-      if (a.size() != b.size()) return a.size() < b.size();
-      return std::lexicographical_compare(
-          a.refs().begin(), a.refs().end(), b.refs().begin(), b.refs().end(),
-          [](const NodeRef& x, const NodeRef& y) { return x < y; });
-    }
-  };
-  std::set<NodeSet, SizeOrder> z;
+  // The set of closed subsets ever expanded is the closure of {∅} under
+  // s ↦ φ̆(s ∪ {ℓ}) and does not depend on expansion order, so instead of
+  // popping one smallest set at a time (Algorithm 1 step 4) the engine
+  // expands the whole frontier of a round concurrently. Z_round holds the
+  // sets discovered in the previous round, smallest-first.
   std::set<NodeSet, SizeOrder> ever_queued;  // Never expand a set twice.
-
-  z.insert(NodeSet());
+  std::vector<NodeSet> frontier;
+  frontier.push_back(NodeSet());
   ever_queued.insert(NodeSet());
 
-  while (!z.empty()) {
-    NodeSet s = *z.begin();  // Smallest set (step 4).
-    z.erase(z.begin());
+  struct Expansion {
+    NodeSet expanded;  // s ∪ {ℓ}.
+    Induction induction;
+    NodeSet closure;  // φ̆(s ∪ {ℓ}) = φ(s ∪ {ℓ}) ∩ L.
+  };
 
-    for (const NodeRef& label : labels) {
-      if (s.Contains(label)) continue;
-      NodeSet expanded = s;
-      expanded.Insert(label);
-
-      Induction induction = inductor.Induce(pages, expanded);  // Step 7.
-      ++space.inductor_calls;
-      NodeSet closure = induction.extraction.Intersect(labels);  // Step 8.
-      collector.Add(std::move(induction), expanded);             // Step 9.
-
-      if (!(closure == labels) && !ever_queued.count(closure)) {  // Step 10.
-        z.insert(closure);
-        ever_queued.insert(closure);
+  while (!frontier.empty()) {
+    // All (s, label) expansion tasks of this round, in (set, label) order.
+    std::vector<std::pair<const NodeSet*, const NodeRef*>> tasks;
+    for (const NodeSet& s : frontier) {
+      for (const NodeRef& label : labels) {
+        if (!s.Contains(label)) tasks.emplace_back(&s, &label);
       }
     }
+
+    std::vector<Expansion> results(tasks.size());
+    pool.ParallelFor(tasks.size(), [&](size_t i) {
+      Expansion& out = results[i];
+      out.expanded = *tasks[i].first;
+      out.expanded.Insert(*tasks[i].second);
+      out.induction = cache.GetOrInduce(inductor, pages, out.expanded);
+      out.closure = out.induction.extraction.Intersect(labels);  // Step 8.
+    });
+
+    // Deterministic merge: collect candidates and discover the next
+    // frontier in task index order, exactly as a serial pass would.
+    std::set<NodeSet, SizeOrder> next;
+    for (Expansion& r : results) {
+      ++space.inductor_calls;                         // Step 7 (logical).
+      collector.Add(std::move(r.induction), r.expanded);  // Step 9.
+      if (!(r.closure == labels) && !ever_queued.count(r.closure)) {
+        ever_queued.insert(r.closure);  // Step 10.
+        next.insert(std::move(r.closure));
+      }
+    }
+    frontier.assign(next.begin(), next.end());
   }
 
+  space.cache_hits = cache.hits();
+  space.cache_misses = cache.misses();
   space.candidates = collector.Take();
   return space;
 }
@@ -139,11 +191,19 @@ WrapperSpace EnumerateTopDown(const FeatureBasedInductor& inductor,
     }
   }
 
+  // Final induction pass: every set in Z is fingerprint-distinct, so the
+  // calls are independent — induce them in parallel and merge in Z order
+  // (byte-identical to the serial loop).
   CandidateCollector collector;
-  for (const NodeSet& s : z) {
-    collector.Add(inductor.Induce(pages, s), s);
+  std::vector<Induction> inductions(z.size());
+  ThreadPool::Global().ParallelFor(z.size(), [&](size_t i) {
+    inductions[i] = inductor.Induce(pages, z[i]);
+  });
+  for (size_t i = 0; i < z.size(); ++i) {
+    collector.Add(std::move(inductions[i]), z[i]);
     ++space.inductor_calls;
   }
+  space.cache_misses = space.inductor_calls;
   space.candidates = collector.Take();
   return space;
 }

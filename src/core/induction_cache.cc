@@ -1,0 +1,48 @@
+#include "core/induction_cache.h"
+
+namespace ntw::core {
+
+Induction InductionCache::GetOrInduce(const WrapperInductor& inductor,
+                                      const PageSet& pages,
+                                      const NodeSet& labels) {
+  uint64_t fp = labels.Fingerprint();
+  std::promise<Induction> promise;
+  std::shared_future<Induction> result;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Entry>& bucket = entries_[fp];
+    for (const Entry& entry : bucket) {
+      if (entry.labels == labels) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        result = entry.result;
+        break;
+      }
+    }
+    if (!result.valid()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      result = promise.get_future().share();
+      bucket.push_back(Entry{labels, result});
+      owner = true;
+    }
+  }
+  if (owner) {
+    // Single flight: this thread won the insert race and owns the call.
+    try {
+      promise.set_value(inductor.Induce(pages, labels));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+  }
+  return result.get();  // Copies out of the cache (waits if in flight).
+}
+
+size_t InductionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [fp, bucket] : entries_) total += bucket.size();
+  return total;
+}
+
+}  // namespace ntw::core

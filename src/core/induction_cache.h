@@ -1,0 +1,63 @@
+#ifndef NTW_CORE_INDUCTION_CACHE_H_
+#define NTW_CORE_INDUCTION_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/wrapper.h"
+
+namespace ntw::core {
+
+/// Memoizes Induce() results within one enumeration run, keyed by the
+/// label subset's Fingerprint() (verified against the actual NodeSet, so a
+/// fingerprint collision can never serve the wrong result).
+///
+/// Thread-safe with single-flight semantics: when several workers ask for
+/// the same subset concurrently, exactly one invokes the inductor and the
+/// others block on its result. That makes the hit/miss totals — and the
+/// number of real inductor invocations — deterministic at every thread
+/// count: misses == number of distinct subsets requested, hits == total
+/// requests − misses.
+///
+/// Why memoization preserves the enumeration semantics: φ is a pure
+/// function of (pages, labels) — Definition 1 wrappers are deterministic
+/// rules — so replaying a cached Induction is observationally identical to
+/// re-running φ. Fidelity, closure and monotonicity are properties of
+/// φ's outputs and therefore survive unchanged.
+class InductionCache {
+ public:
+  InductionCache() = default;
+  InductionCache(const InductionCache&) = delete;
+  InductionCache& operator=(const InductionCache&) = delete;
+
+  /// Returns φ(labels), invoking `inductor` at most once per distinct
+  /// label set over the cache's lifetime. The cache must only ever see one
+  /// (inductor, pages) pair — it is scoped to a single enumeration run.
+  Induction GetOrInduce(const WrapperInductor& inductor, const PageSet& pages,
+                        const NodeSet& labels);
+
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  /// Number of distinct subsets stored.
+  size_t size() const;
+
+ private:
+  struct Entry {
+    NodeSet labels;
+    std::shared_future<Induction> result;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::vector<Entry>> entries_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+};
+
+}  // namespace ntw::core
+
+#endif  // NTW_CORE_INDUCTION_CACHE_H_

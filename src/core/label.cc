@@ -1,5 +1,7 @@
 #include "core/label.h"
 
+#include <atomic>
+
 namespace ntw::core {
 
 void NodeSet::Insert(const NodeRef& ref) {
@@ -112,6 +114,11 @@ size_t PageSet::TextNodeCount() const {
   size_t count = 0;
   for (const auto& page : pages_) count += page.text_nodes().size();
   return count;
+}
+
+uint64_t PageSet::NextId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace ntw::core

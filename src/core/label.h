@@ -91,13 +91,29 @@ class NodeSet {
 
 /// An immutable collection of parsed pages from one website — the unit a
 /// wrapper is learned for. Documents must be finalized.
+///
+/// Every PageSet instance carries a process-unique id() so caches keyed by
+/// page set (e.g. LrInductor's flattened views) can detect that an address
+/// now belongs to a different object — address + shape alone cannot, since
+/// a recreated page set often has both in common with its predecessor.
 class PageSet {
  public:
-  PageSet() = default;
+  PageSet() : id_(NextId()) {}
   explicit PageSet(std::vector<html::Document> pages)
-      : pages_(std::move(pages)) {}
+      : id_(NextId()), pages_(std::move(pages)) {}
+
+  PageSet(PageSet&& other) noexcept
+      : id_(NextId()), pages_(std::move(other.pages_)) {}
+  PageSet& operator=(PageSet&& other) noexcept {
+    id_ = NextId();
+    pages_ = std::move(other.pages_);
+    return *this;
+  }
 
   void AddPage(html::Document page) { pages_.push_back(std::move(page)); }
+
+  /// Unique across all PageSet instances ever constructed (moves renew it).
+  uint64_t id() const { return id_; }
 
   size_t size() const { return pages_.size(); }
   bool empty() const { return pages_.empty(); }
@@ -114,6 +130,9 @@ class PageSet {
   size_t TextNodeCount() const;
 
  private:
+  static uint64_t NextId();
+
+  uint64_t id_;
   std::vector<html::Document> pages_;
 };
 

@@ -43,20 +43,21 @@ std::string LrWrapper::ToString() const {
   return "LR(l='" + Abbrev(left_) + "', r='" + Abbrev(right_) + "')";
 }
 
-const std::vector<text::CharView>& LrInductor::Views(
-    const PageSet& pages) const {
-  if (cached_pages_ != &pages || cached_page_count_ != pages.size() ||
-      cached_text_nodes_ != pages.TextNodeCount()) {
-    cached_views_.clear();
-    cached_views_.reserve(pages.size());
+const std::vector<text::CharView>& LrInductor::Views(const PageSet& pages) {
+  struct ViewCache {
+    uint64_t id = 0;  // PageSet ids start at 1, so 0 never matches.
+    std::vector<text::CharView> views;
+  };
+  thread_local ViewCache cache;
+  if (cache.id != pages.id()) {
+    cache.views.clear();
+    cache.views.reserve(pages.size());
     for (size_t p = 0; p < pages.size(); ++p) {
-      cached_views_.emplace_back(pages.page(p));
+      cache.views.emplace_back(pages.page(p));
     }
-    cached_pages_ = &pages;
-    cached_page_count_ = pages.size();
-    cached_text_nodes_ = pages.TextNodeCount();
+    cache.id = pages.id();
   }
-  return cached_views_;
+  return cache.views;
 }
 
 Induction LrInductor::Induce(const PageSet& pages,

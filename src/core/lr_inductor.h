@@ -40,17 +40,17 @@ class LrInductor : public FeatureBasedInductor {
   size_t max_context() const { return max_context_; }
 
  private:
-  /// Per-PageSet flattened views, built lazily and cached by identity.
-  /// The cache is validated by address *and* shape (page / text-node
-  /// counts), so a different PageSet reusing a freed address cannot serve
-  /// stale views. Not thread-safe (as with the rest of the inductor).
-  const std::vector<text::CharView>& Views(const PageSet& pages) const;
+  /// Per-PageSet flattened views, built lazily and cached per *thread*
+  /// (the enumeration engine calls Induce from pool workers; a
+  /// thread-local cache needs no locking and each worker amortizes the
+  /// flattening across its share of the subsets). The cache is validated
+  /// by PageSet::id(), which is unique per instance lifetime, so a
+  /// recreated page set reusing a freed address can never be served stale
+  /// views. The returned reference is valid until the same thread calls
+  /// Views() with a different PageSet.
+  static const std::vector<text::CharView>& Views(const PageSet& pages);
 
   size_t max_context_;
-  mutable const PageSet* cached_pages_ = nullptr;
-  mutable size_t cached_page_count_ = 0;
-  mutable size_t cached_text_nodes_ = 0;
-  mutable std::vector<text::CharView> cached_views_;
 };
 
 /// The learned (l, r) rule. Exposed so examples/benches can inspect it.

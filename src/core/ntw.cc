@@ -23,6 +23,8 @@ Result<NtwOutcome> LearnNoiseTolerant(const WrapperInductor& inductor,
   outcome.best = space.candidates[outcome.best_score.candidate_index];
   outcome.space_size = space.size();
   outcome.inductor_calls = space.inductor_calls;
+  outcome.cache_hits = space.cache_hits;
+  outcome.cache_misses = space.cache_misses;
   return outcome;
 }
 

@@ -19,9 +19,13 @@ struct NtwOutcome {
   Candidate best;
   /// Score decomposition of the winner.
   ScoredCandidate best_score;
-  /// Instrumentation.
+  /// Instrumentation. `inductor_calls` is the logical count the theorems
+  /// bound; `cache_hits`/`cache_misses` split it into memoized replays vs
+  /// real inductor invocations (see WrapperSpace).
   size_t space_size = 0;
   int64_t inductor_calls = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
 };
 
 /// The end-to-end noise-tolerant wrapper framework (Sec. 3):

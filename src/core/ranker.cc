@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace ntw::core {
 
 const char* RankerVariantName(RankerVariant variant) {
@@ -19,11 +21,13 @@ const char* RankerVariantName(RankerVariant variant) {
 std::vector<ScoredCandidate> Ranker::Rank(const WrapperSpace& space,
                                           const PageSet& pages,
                                           const NodeSet& labels) const {
-  std::vector<ScoredCandidate> scored;
-  scored.reserve(space.candidates.size());
-  for (size_t i = 0; i < space.candidates.size(); ++i) {
+  // Candidate scores are independent; compute them in parallel into
+  // per-index slots (deterministic: identical doubles at any thread
+  // count), then sort serially.
+  std::vector<ScoredCandidate> scored(space.candidates.size());
+  ThreadPool::Global().ParallelFor(space.candidates.size(), [&](size_t i) {
     const Candidate& candidate = space.candidates[i];
-    ScoredCandidate sc;
+    ScoredCandidate& sc = scored[i];
     sc.candidate_index = i;
     sc.log_annotation = annotation_.LogProb(labels, candidate.extraction);
     sc.log_list = publication_.LogProb(pages, candidate.extraction);
@@ -38,8 +42,7 @@ std::vector<ScoredCandidate> Ranker::Rank(const WrapperSpace& space,
         sc.total = sc.log_list;
         break;
     }
-    scored.push_back(sc);
-  }
+  });
   std::stable_sort(
       scored.begin(), scored.end(),
       [&space](const ScoredCandidate& a, const ScoredCandidate& b) {

@@ -1,6 +1,8 @@
 #ifndef NTW_CORE_WRAPPER_H_
 #define NTW_CORE_WRAPPER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -80,13 +82,16 @@ class FeatureBasedInductor : public WrapperInductor {
 
 /// Decorator counting Induce() calls — the measurement instrument for
 /// Fig. 2(a,b). Also forwards the feature-based hooks when the underlying
-/// inductor provides them.
+/// inductor provides them. The counter is atomic because the enumeration
+/// engine probes expansions from multiple pool workers; with memoization
+/// (BottomUp) it observes the *actual* invocations, i.e. the enumeration's
+/// cache_misses, not its logical inductor_calls.
 class CountingInductor : public FeatureBasedInductor {
  public:
   explicit CountingInductor(const WrapperInductor* base) : base_(base) {}
 
   Induction Induce(const PageSet& pages, const NodeSet& labels) const override {
-    ++calls_;
+    calls_.fetch_add(1, std::memory_order_relaxed);
     return base_->Induce(pages, labels);
   }
 
@@ -97,12 +102,12 @@ class CountingInductor : public FeatureBasedInductor {
   std::vector<NodeSet> Subdivide(const PageSet& pages, const NodeSet& s,
                                  AttrHandle attr) const override;
 
-  int64_t calls() const { return calls_; }
-  void ResetCalls() { calls_ = 0; }
+  int64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  void ResetCalls() { calls_.store(0, std::memory_order_relaxed); }
 
  private:
   const WrapperInductor* base_;
-  mutable int64_t calls_ = 0;
+  mutable std::atomic<int64_t> calls_{0};
 };
 
 }  // namespace ntw::core

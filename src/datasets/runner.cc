@@ -2,6 +2,7 @@
 
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace ntw::datasets {
 
@@ -23,8 +24,16 @@ Result<RunSummary> RunSingleType(const Dataset& dataset,
         return all;
       }();
 
-  std::vector<core::Prf> ntw_results;
-  std::vector<core::Prf> naive_results;
+  // Sites are independent given the trained models — this per-site loop
+  // is the dataset-level fan-out the whole run spends its time in. Filter
+  // serially (to keep skipped-site accounting deterministic), learn in
+  // parallel into per-site slots, then merge in evaluation order.
+  struct SiteJob {
+    const SiteData* data = nullptr;
+    const core::NodeSet* labels = nullptr;
+    const core::NodeSet* truth = nullptr;
+  };
+  std::vector<SiteJob> jobs;
   for (size_t index : eval_sites) {
     const SiteData& data = dataset.sites[index];
     auto labels_it = data.annotations.find(config.type);
@@ -34,10 +43,16 @@ Result<RunSummary> RunSingleType(const Dataset& dataset,
       ++summary.skipped_sites;
       continue;
     }
-    const core::NodeSet& labels = labels_it->second;
-    const core::NodeSet& truth = truth_it->second;
+    jobs.push_back(SiteJob{&data, &labels_it->second, &truth_it->second});
+  }
 
-    SiteOutcome outcome;
+  std::vector<SiteOutcome> outcomes(jobs.size());
+  ThreadPool::Global().ParallelFor(jobs.size(), [&](size_t i) {
+    const SiteData& data = *jobs[i].data;
+    const core::NodeSet& labels = *jobs[i].labels;
+    const core::NodeSet& truth = *jobs[i].truth;
+
+    SiteOutcome& outcome = outcomes[i];
     outcome.site_name = data.site.name;
     outcome.labels = labels.size();
 
@@ -51,6 +66,8 @@ Result<RunSummary> RunSingleType(const Dataset& dataset,
       outcome.ntw = core::Evaluate(ntw_outcome->best.extraction, truth);
       outcome.space_size = ntw_outcome->space_size;
       outcome.inductor_calls = ntw_outcome->inductor_calls;
+      outcome.cache_hits = ntw_outcome->cache_hits;
+      outcome.cache_misses = ntw_outcome->cache_misses;
       outcome.ntw_wrapper = ntw_outcome->best.wrapper->ToString();
     } else {
       outcome.ntw = core::Evaluate(core::NodeSet(), truth);
@@ -60,7 +77,13 @@ Result<RunSummary> RunSingleType(const Dataset& dataset,
         core::LearnNaive(inductor, data.site.pages, labels);
     outcome.naive = core::Evaluate(naive.extraction, truth);
     outcome.naive_wrapper = naive.wrapper->ToString();
+  });
 
+  std::vector<core::Prf> ntw_results;
+  std::vector<core::Prf> naive_results;
+  ntw_results.reserve(outcomes.size());
+  naive_results.reserve(outcomes.size());
+  for (SiteOutcome& outcome : outcomes) {
     ntw_results.push_back(outcome.ntw);
     naive_results.push_back(outcome.naive);
     summary.sites.push_back(std::move(outcome));

@@ -27,6 +27,8 @@ struct SiteOutcome {
   core::Prf naive;
   size_t space_size = 0;
   int64_t inductor_calls = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
   double seconds = 0.0;
   std::string ntw_wrapper;
   std::string naive_wrapper;

@@ -259,9 +259,52 @@ TEST(EnumerateTest, CountingInductorCounts) {
   XPathInductor base;
   CountingInductor counting(&base);
   WrapperSpace space = EnumerateBottomUp(counting, pages, labels);
-  EXPECT_EQ(counting.calls(), space.inductor_calls);
+  // With memoization the inductor only sees the cache misses; the logical
+  // call count the theorems bound is hits + misses.
+  EXPECT_EQ(counting.calls(), space.cache_misses);
+  EXPECT_EQ(space.cache_hits + space.cache_misses, space.inductor_calls);
   counting.ResetCalls();
   EXPECT_EQ(counting.calls(), 0);
+}
+
+TEST(EnumerateTest, BottomUpMemoizationNeverInducesASubsetTwice) {
+  // Example 2's label set makes BottomUp revisit expansions: several
+  // closed frontier sets expand to the same |s|+1 subset. The cache must
+  // turn every revisit into a hit, so the distinct-Induce count (what the
+  // inductor actually ran) is strictly below the uncached call count.
+  PageSet pages = testing::ExampleTablePage();
+  NodeSet labels({testing::ExampleCell(pages, 1, 1),
+                  testing::ExampleCell(pages, 2, 1),
+                  testing::ExampleCell(pages, 4, 1),
+                  testing::ExampleCell(pages, 4, 2),
+                  testing::ExampleCell(pages, 5, 3)});
+  TableInductor base;
+  CountingInductor counting(&base);
+  WrapperSpace space = EnumerateBottomUp(counting, pages, labels);
+  EXPECT_EQ(counting.calls(), space.cache_misses);
+  EXPECT_LE(space.cache_misses, space.inductor_calls);
+  EXPECT_GT(space.cache_hits, 0) << "expected overlapping frontier "
+                                    "expansions on the Example 2 corpus";
+  EXPECT_EQ(space.cache_hits + space.cache_misses, space.inductor_calls);
+}
+
+TEST(EnumerateTest, NaiveAndTopDownReportAllMisses) {
+  // Naive enumerates each subset once and TopDown's Z is
+  // fingerprint-distinct, so neither can hit the memo; their accounting
+  // still splits logical calls into hits + misses.
+  PageSet pages = testing::FigureOnePages();
+  NodeSet labels(testing::FindText(pages, "PORTER FURNITURE"));
+  for (const NodeRef& ref : testing::FindText(pages, "LULLABY LANE")) {
+    labels.Insert(ref);
+  }
+  XPathInductor inductor;
+  Result<WrapperSpace> naive = EnumerateNaive(inductor, pages, labels, 10);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(naive->cache_hits, 0);
+  EXPECT_EQ(naive->cache_misses, naive->inductor_calls);
+  WrapperSpace top_down = EnumerateTopDown(inductor, pages, labels);
+  EXPECT_EQ(top_down.cache_hits, 0);
+  EXPECT_EQ(top_down.cache_misses, top_down.inductor_calls);
 }
 
 TEST(EnumerateTest, AlgorithmNames) {

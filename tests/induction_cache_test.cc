@@ -1,0 +1,99 @@
+#include "core/induction_cache.h"
+
+#include <atomic>
+
+#include "common/thread_pool.h"
+#include "core/table_inductor.h"
+#include "core/xpath_inductor.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ntw::core {
+namespace {
+
+using ::ntw::testing::ExampleCell;
+using ::ntw::testing::ExampleTablePage;
+
+class InductionCacheTest : public ::testing::Test {
+ protected:
+  InductionCacheTest() : pages_(ExampleTablePage()) {}
+
+  NodeSet Cell(int row, int col) {
+    return NodeSet({ExampleCell(pages_, row, col)});
+  }
+
+  PageSet pages_;
+  TableInductor inductor_;
+};
+
+TEST_F(InductionCacheTest, MissThenHitCounters) {
+  InductionCache cache;
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);
+
+  NodeSet a = Cell(1, 1);
+  Induction first = cache.GetOrInduce(inductor_, pages_, a);
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+
+  Induction replay = cache.GetOrInduce(inductor_, pages_, a);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(replay.extraction, first.extraction);
+
+  NodeSet b = Cell(2, 1);
+  cache.GetOrInduce(inductor_, pages_, b);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST_F(InductionCacheTest, ReplayMatchesDirectInduction) {
+  InductionCache cache;
+  NodeSet labels({ExampleCell(pages_, 1, 1), ExampleCell(pages_, 2, 1)});
+  Induction direct = inductor_.Induce(pages_, labels);
+  cache.GetOrInduce(inductor_, pages_, labels);
+  Induction cached = cache.GetOrInduce(inductor_, pages_, labels);
+  EXPECT_EQ(cached.extraction, direct.extraction);
+  EXPECT_EQ(cached.extraction.Fingerprint(), direct.extraction.Fingerprint());
+  ASSERT_NE(cached.wrapper, nullptr);
+  EXPECT_EQ(cached.wrapper->Extract(pages_), direct.wrapper->Extract(pages_));
+}
+
+TEST_F(InductionCacheTest, SingleFlightUnderConcurrency) {
+  // 8 workers × 64 requests over 4 distinct subsets: the inductor must run
+  // exactly 4 times no matter how the requests interleave, and the
+  // counters must balance.
+  XPathInductor base;
+  CountingInductor counting(&base);
+  PageSet pages = testing::FigureOnePages();
+  std::vector<NodeSet> subsets;
+  for (const char* text : {"PORTER FURNITURE", "LULLABY LANE",
+                           "HELLER HOME CENTER", "KIDDIE WORLD CENTER"}) {
+    subsets.emplace_back(testing::FindText(pages, text));
+  }
+
+  InductionCache cache;
+  ThreadPool pool(8);
+  constexpr size_t kRequests = 256;
+  std::atomic<int> mismatches{0};
+  pool.ParallelFor(kRequests, [&](size_t i) {
+    const NodeSet& labels = subsets[i % subsets.size()];
+    Induction induction = cache.GetOrInduce(counting, pages, labels);
+    if (!labels.IsSubsetOf(induction.extraction)) {
+      mismatches.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(counting.calls(), static_cast<int64_t>(subsets.size()));
+  EXPECT_EQ(cache.misses(), static_cast<int64_t>(subsets.size()));
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<int64_t>(kRequests));
+  EXPECT_EQ(cache.size(), subsets.size());
+}
+
+}  // namespace
+}  // namespace ntw::core

@@ -1,0 +1,170 @@
+// Parallel/serial equivalence: the enumeration engine must produce
+// byte-identical results at every thread count — same candidate sequence,
+// same logical call accounting, same memoization totals, same ranking
+// winner. Anything less would let --threads change extraction output.
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/enumerate.h"
+#include "core/lr_inductor.h"
+#include "core/ntw.h"
+#include "core/publication_model.h"
+#include "core/ranker.h"
+#include "core/xpath_inductor.h"
+#include "datasets/dealers.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ntw::core {
+namespace {
+
+using ::ntw::testing::FigureOnePages;
+using ::ntw::testing::FindText;
+
+/// Everything observable about one enumeration + ranking run. Candidate
+/// order matters: byte-identical means the sequence, not just the set.
+struct RunSnapshot {
+  std::vector<std::tuple<uint64_t, uint64_t, std::string>> candidates;
+  int64_t inductor_calls = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  size_t best_index = 0;
+  uint64_t best_extraction_fp = 0;
+
+  bool operator==(const RunSnapshot& other) const = default;
+};
+
+class ParallelEquivalenceTest : public ::testing::Test {
+ protected:
+  ParallelEquivalenceTest() : pages_(FigureOnePages()) {
+    for (const char* name :
+         {"PORTER FURNITURE", "WOODLAND FURNITURE", "HELLER HOME CENTER",
+          "KIDDIE WORLD CENTER", "LULLABY LANE"}) {
+      for (const NodeRef& ref : FindText(pages_, name)) truth_.Insert(ref);
+    }
+    // Noisy labels: clean names plus an address (the ranker_test setup).
+    labels_ = NodeSet(FindText(pages_, "WOODLAND FURNITURE"));
+    for (const NodeRef& ref : FindText(pages_, "KIDDIE WORLD CENTER")) {
+      labels_.Insert(ref);
+    }
+    for (const NodeRef& ref : FindText(pages_, "532 SAN MATEO AVE.")) {
+      labels_.Insert(ref);
+    }
+  }
+
+  ~ParallelEquivalenceTest() override {
+    ThreadPool::SetGlobalThreads(0);  // Restore the default width.
+  }
+
+  Ranker MakeRanker() {
+    ListFeatures truth_features =
+        ComputeListFeatures(SegmentRecords(pages_, truth_));
+    Result<PublicationModel> prior =
+        PublicationModel::Fit({truth_features, truth_features});
+    EXPECT_TRUE(prior.ok());
+    return Ranker(AnnotationModel(0.95, 0.4), std::move(prior).value());
+  }
+
+  RunSnapshot Snapshot(EnumAlgorithm algo, const WrapperInductor& inductor,
+                       const Ranker& ranker) {
+    Result<WrapperSpace> space = Enumerate(algo, inductor, pages_, labels_);
+    EXPECT_TRUE(space.ok()) << EnumAlgorithmName(algo);
+    RunSnapshot snap;
+    for (const Candidate& c : space->candidates) {
+      snap.candidates.emplace_back(c.extraction.Fingerprint(),
+                                   c.trained_on.Fingerprint(),
+                                   c.wrapper->ToString());
+    }
+    snap.inductor_calls = space->inductor_calls;
+    snap.cache_hits = space->cache_hits;
+    snap.cache_misses = space->cache_misses;
+    Result<size_t> best = ranker.Best(*space, pages_, labels_);
+    EXPECT_TRUE(best.ok()) << EnumAlgorithmName(algo);
+    if (best.ok()) {
+      snap.best_index = *best;
+      snap.best_extraction_fp =
+          space->candidates[*best].extraction.Fingerprint();
+    }
+    return snap;
+  }
+
+  void ExpectEquivalenceAcrossThreadCounts(const WrapperInductor& inductor) {
+    Ranker ranker = MakeRanker();
+    for (EnumAlgorithm algo : {EnumAlgorithm::kNaive, EnumAlgorithm::kBottomUp,
+                               EnumAlgorithm::kTopDown}) {
+      ThreadPool::SetGlobalThreads(1);
+      RunSnapshot serial = Snapshot(algo, inductor, ranker);
+      EXPECT_FALSE(serial.candidates.empty()) << EnumAlgorithmName(algo);
+      for (int threads : {2, 8}) {
+        ThreadPool::SetGlobalThreads(threads);
+        RunSnapshot parallel = Snapshot(algo, inductor, ranker);
+        EXPECT_EQ(parallel, serial)
+            << EnumAlgorithmName(algo) << " with " << threads << " threads vs"
+            << " serial: candidate sequence, call accounting and winner must"
+            << " be byte-identical";
+      }
+    }
+  }
+
+  PageSet pages_;
+  NodeSet truth_;
+  NodeSet labels_;
+};
+
+TEST_F(ParallelEquivalenceTest, XPathAllAlgorithmsAllThreadCounts) {
+  XPathInductor inductor;
+  ExpectEquivalenceAcrossThreadCounts(inductor);
+}
+
+TEST_F(ParallelEquivalenceTest, LrAllAlgorithmsAllThreadCounts) {
+  LrInductor inductor;
+  ExpectEquivalenceAcrossThreadCounts(inductor);
+}
+
+// The generated dealer corpora exercise the engine with larger label sets
+// and realistic page structure; equivalence must also hold through the
+// parallel per-site path (LearnNoiseTolerant under the dataset runner
+// shares this code).
+TEST(ParallelEquivalenceDealersTest, BottomUpAndTopDownOnGeneratedSites) {
+  datasets::DealersConfig config;
+  config.num_sites = 4;
+  config.pages_per_site = 4;
+  datasets::Dataset dealers = datasets::MakeDealers(config);
+  XPathInductor inductor;
+
+  for (const datasets::SiteData& data : dealers.sites) {
+    const NodeSet& labels = data.annotations.at("name");
+    if (labels.empty()) continue;
+    for (EnumAlgorithm algo :
+         {EnumAlgorithm::kBottomUp, EnumAlgorithm::kTopDown}) {
+      ThreadPool::SetGlobalThreads(1);
+      Result<WrapperSpace> serial =
+          Enumerate(algo, inductor, data.site.pages, labels);
+      ASSERT_TRUE(serial.ok());
+      for (int threads : {2, 8}) {
+        ThreadPool::SetGlobalThreads(threads);
+        Result<WrapperSpace> parallel =
+            Enumerate(algo, inductor, data.site.pages, labels);
+        ASSERT_TRUE(parallel.ok());
+        ASSERT_EQ(parallel->size(), serial->size())
+            << data.site.name << " " << EnumAlgorithmName(algo);
+        for (size_t i = 0; i < serial->size(); ++i) {
+          EXPECT_EQ(parallel->candidates[i].extraction.Fingerprint(),
+                    serial->candidates[i].extraction.Fingerprint())
+              << data.site.name << " " << EnumAlgorithmName(algo)
+              << " candidate " << i << " at " << threads << " threads";
+        }
+        EXPECT_EQ(parallel->inductor_calls, serial->inductor_calls);
+        EXPECT_EQ(parallel->cache_hits, serial->cache_hits);
+        EXPECT_EQ(parallel->cache_misses, serial->cache_misses);
+      }
+    }
+  }
+  ThreadPool::SetGlobalThreads(0);
+}
+
+}  // namespace
+}  // namespace ntw::core

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1 verification: build + ctest once normally, then once under
+# ThreadSanitizer (NTW_SANITIZE=thread) to vet the parallel enumeration
+# engine. Usage: tools/check.sh [extra ctest args, e.g. -R enumerate_test]
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> normal build + ctest"
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j "$JOBS"
+(cd "$ROOT/build" && ctest --output-on-failure -j "$JOBS" "$@")
+
+echo "==> ThreadSanitizer build + ctest"
+cmake -B "$ROOT/build-tsan" -S "$ROOT" -DNTW_SANITIZE=thread
+cmake --build "$ROOT/build-tsan" -j "$JOBS"
+(cd "$ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS" "$@")
+
+echo "check.sh OK"

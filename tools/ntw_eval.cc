@@ -6,11 +6,13 @@
 // Usage:
 //   ntw_eval --corpus DIR --type NAME [--inductor xpath|lr|hlrt]
 //            [--variant full|ntw-l|ntw-x] [--all-sites] [--per-site]
+//            [--threads N]
 
 #include <cstdio>
 
 #include "common/flags.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "core/hlrt_inductor.h"
 #include "core/lr_inductor.h"
 #include "core/xpath_inductor.h"
@@ -24,7 +26,8 @@ using namespace ntw;
 constexpr char kUsage[] =
     "usage: ntw_eval --corpus DIR --type NAME [--inductor xpath|lr|hlrt]\n"
     "                [--variant full|ntw-l|ntw-x] [--all-sites]"
-    " [--per-site]\n";
+    " [--per-site]\n"
+    "                [--threads N]   (0 or absent = all hardware threads)\n";
 
 int Run(int argc, char** argv) {
   Result<Flags> flags_or = Flags::Parse(argc, argv);
@@ -38,6 +41,13 @@ int Run(int argc, char** argv) {
   std::string type = flags.Get("type");
   if (corpus.empty() || type.empty()) {
     std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+
+  Result<int> threads = ConfigureGlobalThreadPool(flags);
+  if (!threads.ok()) {
+    std::fprintf(stderr, "%s\n%s", threads.status().ToString().c_str(),
+                 kUsage);
     return 2;
   }
 
@@ -90,9 +100,12 @@ int Run(int argc, char** argv) {
                         .c_str());
   if (flags.Has("per-site")) {
     for (const datasets::SiteOutcome& site : summary->sites) {
-      std::printf("  %-40.40s labels=%-4zu ntw_f1=%.3f naive_f1=%.3f  %s\n",
+      std::printf("  %-40.40s labels=%-4zu ntw_f1=%.3f naive_f1=%.3f"
+                  " cache=%lld/%lld  %s\n",
                   site.site_name.c_str(), site.labels, site.ntw.f1,
-                  site.naive.f1, site.ntw_wrapper.c_str());
+                  site.naive.f1, static_cast<long long>(site.cache_hits),
+                  static_cast<long long>(site.cache_hits + site.cache_misses),
+                  site.ntw_wrapper.c_str());
     }
   }
   return 0;
