@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ntw::annotate {
 
@@ -34,6 +36,9 @@ bool DictionaryAnnotator::Matches(const std::string& text) const {
 
 core::NodeSet DictionaryAnnotator::Annotate(
     const core::PageSet& pages) const {
+  obs::Span span("annotate.dictionary");
+  static obs::Counter* const labels =
+      obs::Registry::Global().GetCounter("ntw.annotate.labels");
   std::vector<core::NodeRef> refs;
   size_t page_limit = options_.max_pages == 0
                           ? pages.size()
@@ -46,7 +51,9 @@ core::NodeSet DictionaryAnnotator::Annotate(
       }
     }
   }
-  return core::NodeSet(std::move(refs));
+  core::NodeSet result(std::move(refs));
+  labels->Add(static_cast<int64_t>(result.size()));
+  return result;
 }
 
 }  // namespace ntw::annotate

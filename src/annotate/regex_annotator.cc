@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ntw::annotate {
 
 Result<RegexAnnotator> RegexAnnotator::Create(std::string name,
@@ -17,6 +20,9 @@ RegexAnnotator RegexAnnotator::Zipcode() {
 }
 
 core::NodeSet RegexAnnotator::Annotate(const core::PageSet& pages) const {
+  obs::Span span("annotate.regex");
+  static obs::Counter* const labels =
+      obs::Registry::Global().GetCounter("ntw.annotate.labels");
   std::vector<core::NodeRef> refs;
   for (size_t p = 0; p < pages.size(); ++p) {
     for (const html::Node* node : pages.page(p).text_nodes()) {
@@ -26,7 +32,9 @@ core::NodeSet RegexAnnotator::Annotate(const core::PageSet& pages) const {
       }
     }
   }
-  return core::NodeSet(std::move(refs));
+  core::NodeSet result(std::move(refs));
+  labels->Add(static_cast<int64_t>(result.size()));
+  return result;
 }
 
 }  // namespace ntw::annotate

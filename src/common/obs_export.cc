@@ -1,0 +1,30 @@
+#include "common/obs_export.h"
+
+#include "common/file_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ntw {
+
+ObsExporter ObsExporter::FromFlags(const Flags& flags) {
+  ObsExporter exporter;
+  exporter.metrics_path_ = flags.Get("metrics-json");
+  exporter.trace_path_ = flags.Get("trace");
+  if (!exporter.trace_path_.empty()) obs::Tracer::Global().Enable();
+  return exporter;
+}
+
+Status ObsExporter::Write() const {
+  if (!metrics_path_.empty()) {
+    NTW_RETURN_IF_ERROR(
+        WriteFile(metrics_path_, obs::Registry::Global().ToJson() + "\n"));
+  }
+  if (!trace_path_.empty()) {
+    obs::Tracer::Global().Disable();
+    NTW_RETURN_IF_ERROR(
+        WriteFile(trace_path_, obs::Tracer::Global().ToJson() + "\n"));
+  }
+  return Status::OK();
+}
+
+}  // namespace ntw

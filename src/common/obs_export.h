@@ -1,0 +1,37 @@
+#ifndef NTW_COMMON_OBS_EXPORT_H_
+#define NTW_COMMON_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/flags.h"
+#include "common/status.h"
+
+namespace ntw {
+
+/// Shared handling of the observability flags every tool exposes:
+///   --metrics-json=PATH   dump the metrics registry as JSON at exit
+///   --trace=PATH          record phase spans and dump the trace at exit
+///
+/// FromFlags reads both flags and enables the global tracer when --trace
+/// is present (tracing is off by default — spans cost two atomic loads
+/// when disabled). Write() serializes whatever was requested; it is a
+/// no-op when neither flag was given. Instrumentation never alters
+/// extraction output — the exports go to side files only.
+class ObsExporter {
+ public:
+  static ObsExporter FromFlags(const Flags& flags);
+
+  /// Writes the requested JSON files. Call once, after the workload.
+  Status Write() const;
+
+  bool metrics_requested() const { return !metrics_path_.empty(); }
+  bool trace_requested() const { return !trace_path_.empty(); }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
+}  // namespace ntw
+
+#endif  // NTW_COMMON_OBS_EXPORT_H_

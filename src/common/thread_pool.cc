@@ -4,8 +4,31 @@
 #include <exception>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ntw {
 namespace {
+
+/// Pool instruments, registered once. Counters are updated per loop (not
+/// per index), so instrumentation adds O(1) relaxed atomics per
+/// ParallelFor — nothing on the index hot path.
+struct PoolMetrics {
+  obs::Counter* parallel_for;   // Fanned-out loops.
+  obs::Counter* inline_loops;   // Loops degraded to inline execution.
+  obs::Counter* tasks;          // Total indices executed.
+  obs::Gauge* threads;          // Width of the most recent pool.
+
+  static PoolMetrics& Get() {
+    static PoolMetrics m{
+        obs::Registry::Global().GetCounter("ntw.pool.parallel_for"),
+        obs::Registry::Global().GetCounter("ntw.pool.inline_loops"),
+        obs::Registry::Global().GetCounter("ntw.pool.tasks"),
+        obs::Registry::Global().GetGauge("ntw.pool.threads"),
+    };
+    return m;
+  }
+};
 
 /// Set while a thread is executing pool work, so nested ParallelFor calls
 /// degrade to inline execution instead of deadlocking on a busy pool.
@@ -44,6 +67,7 @@ struct LoopState {
 }  // namespace
 
 ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  PoolMetrics::Get().threads->Set(threads_);
   workers_.reserve(static_cast<size_t>(threads_ - 1));
   for (int i = 0; i < threads_ - 1; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -76,12 +100,17 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.tasks->Add(static_cast<int64_t>(n));
   // Inline paths: trivial loops, a serial pool, or a nested call from
   // inside pool work (the outer loop already owns the workers).
   if (n == 1 || threads_ == 1 || t_in_pool_work) {
+    metrics.inline_loops->Add(1);
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  metrics.parallel_for->Add(1);
+  obs::Span loop_span("pool.parallel_for");
 
   auto state = std::make_shared<LoopState>();
   state->n = n;
@@ -92,7 +121,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i < helpers; ++i) {
-      queue_.push_back([state] { state->Drain(); });
+      // The helper span records this worker's share of the loop — the
+      // per-thread pool activity view of the trace.
+      queue_.push_back([state] {
+        obs::Span span("pool.drain");
+        state->Drain();
+      });
     }
   }
   cv_.notify_all();

@@ -9,9 +9,39 @@
 
 #include "common/thread_pool.h"
 #include "core/induction_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ntw::core {
 namespace {
+
+/// Enumeration instruments. Updated during the serial merge phases only,
+/// so they add nothing to the parallel induction hot path.
+struct EnumMetrics {
+  obs::Counter* runs;
+  obs::Counter* inductor_calls;  // Logical calls (the theorems' count).
+  obs::Histogram* labels;        // |L| per enumeration.
+  obs::Histogram* space_size;    // |W(L)| per enumeration.
+  obs::Histogram* rounds;        // BottomUp frontier rounds.
+
+  static EnumMetrics& Get() {
+    static EnumMetrics m{
+        obs::Registry::Global().GetCounter("ntw.enumerate.runs"),
+        obs::Registry::Global().GetCounter("ntw.enumerate.inductor_calls"),
+        obs::Registry::Global().GetHistogram("ntw.enumerate.labels"),
+        obs::Registry::Global().GetHistogram("ntw.enumerate.space_size"),
+        obs::Registry::Global().GetHistogram("ntw.enumerate.rounds"),
+    };
+    return m;
+  }
+
+  void Finish(const WrapperSpace& space, const NodeSet& label_set) {
+    runs->Add(1);
+    inductor_calls->Add(space.inductor_calls);
+    labels->Record(static_cast<int64_t>(label_set.size()));
+    space_size->Record(static_cast<int64_t>(space.size()));
+  }
+};
 
 /// Deduplicates candidates by extraction output. Two wrappers are the same
 /// element of W(L) iff they extract the same node set (Sec. 6: a wrapper's
@@ -51,6 +81,7 @@ Result<WrapperSpace> EnumerateNaive(const WrapperInductor& inductor,
         "naive enumeration over " + std::to_string(labels.size()) +
         " labels would need 2^" + std::to_string(labels.size()) + " calls");
   }
+  obs::Span span("enumerate.naive");
   WrapperSpace space;
   CandidateCollector collector;
   const auto& refs = labels.refs();
@@ -74,7 +105,7 @@ Result<WrapperSpace> EnumerateNaive(const WrapperInductor& inductor,
         if (mask & (1ULL << i)) subset.push_back(refs[i]);
       }
       subset_slots[j] = NodeSet(std::move(subset));
-      result_slots[j] = inductor.Induce(pages, subset_slots[j]);
+      result_slots[j] = InstrumentedInduce(inductor, pages, subset_slots[j]);
     });
     for (uint64_t j = 0; j < count; ++j) {
       collector.Add(std::move(result_slots[j]), subset_slots[j]);
@@ -83,6 +114,7 @@ Result<WrapperSpace> EnumerateNaive(const WrapperInductor& inductor,
   }
   space.cache_misses = space.inductor_calls;
   space.candidates = collector.Take();
+  EnumMetrics::Get().Finish(space, labels);
   return space;
 }
 
@@ -104,10 +136,12 @@ struct SizeOrder {
 
 WrapperSpace EnumerateBottomUp(const WrapperInductor& inductor,
                                const PageSet& pages, const NodeSet& labels) {
+  obs::Span span("enumerate.bottomup");
   WrapperSpace space;
   CandidateCollector collector;
   InductionCache cache;
   ThreadPool& pool = ThreadPool::Global();
+  int64_t rounds = 0;
 
   // The set of closed subsets ever expanded is the closure of {∅} under
   // s ↦ φ̆(s ∪ {ℓ}) and does not depend on expansion order, so instead of
@@ -126,6 +160,7 @@ WrapperSpace EnumerateBottomUp(const WrapperInductor& inductor,
   };
 
   while (!frontier.empty()) {
+    ++rounds;
     // All (s, label) expansion tasks of this round, in (set, label) order.
     std::vector<std::pair<const NodeSet*, const NodeRef*>> tasks;
     for (const NodeSet& s : frontier) {
@@ -160,11 +195,14 @@ WrapperSpace EnumerateBottomUp(const WrapperInductor& inductor,
   space.cache_hits = cache.hits();
   space.cache_misses = cache.misses();
   space.candidates = collector.Take();
+  EnumMetrics::Get().Finish(space, labels);
+  EnumMetrics::Get().rounds->Record(rounds);
   return space;
 }
 
 WrapperSpace EnumerateTopDown(const FeatureBasedInductor& inductor,
                               const PageSet& pages, const NodeSet& labels) {
+  obs::Span span("enumerate.topdown");
   WrapperSpace space;
   if (labels.empty()) return space;
 
@@ -197,7 +235,7 @@ WrapperSpace EnumerateTopDown(const FeatureBasedInductor& inductor,
   CandidateCollector collector;
   std::vector<Induction> inductions(z.size());
   ThreadPool::Global().ParallelFor(z.size(), [&](size_t i) {
-    inductions[i] = inductor.Induce(pages, z[i]);
+    inductions[i] = InstrumentedInduce(inductor, pages, z[i]);
   });
   for (size_t i = 0; i < z.size(); ++i) {
     collector.Add(std::move(inductions[i]), z[i]);
@@ -205,6 +243,7 @@ WrapperSpace EnumerateTopDown(const FeatureBasedInductor& inductor,
   }
   space.cache_misses = space.inductor_calls;
   space.candidates = collector.Take();
+  EnumMetrics::Get().Finish(space, labels);
   return space;
 }
 

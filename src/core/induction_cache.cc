@@ -1,6 +1,43 @@
 #include "core/induction_cache.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ntw::core {
+namespace {
+
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+
+  static CacheMetrics& Get() {
+    static CacheMetrics m{
+        obs::Registry::Global().GetCounter("ntw.cache.hits"),
+        obs::Registry::Global().GetCounter("ntw.cache.misses"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+Induction InstrumentedInduce(const WrapperInductor& inductor,
+                             const PageSet& pages, const NodeSet& labels) {
+  static obs::Counter* const calls =
+      obs::Registry::Global().GetCounter("ntw.induce.calls");
+  static obs::Histogram* const latency =
+      obs::Registry::Global().GetHistogram("ntw.induce.ns");
+  obs::Span span("induce");
+  calls->Add(1);
+  auto start = std::chrono::steady_clock::now();
+  Induction induction = inductor.Induce(pages, labels);
+  latency->Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
+  return induction;
+}
 
 Induction InductionCache::GetOrInduce(const WrapperInductor& inductor,
                                       const PageSet& pages,
@@ -15,12 +52,14 @@ Induction InductionCache::GetOrInduce(const WrapperInductor& inductor,
     for (const Entry& entry : bucket) {
       if (entry.labels == labels) {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        CacheMetrics::Get().hits->Add(1);
         result = entry.result;
         break;
       }
     }
     if (!result.valid()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
+      CacheMetrics::Get().misses->Add(1);
       result = promise.get_future().share();
       bucket.push_back(Entry{labels, result});
       owner = true;
@@ -29,7 +68,7 @@ Induction InductionCache::GetOrInduce(const WrapperInductor& inductor,
   if (owner) {
     // Single flight: this thread won the insert race and owns the call.
     try {
-      promise.set_value(inductor.Induce(pages, labels));
+      promise.set_value(InstrumentedInduce(inductor, pages, labels));
     } catch (...) {
       promise.set_exception(std::current_exception());
       throw;

@@ -12,6 +12,15 @@
 
 namespace ntw::core {
 
+/// Invokes `inductor.Induce` wrapped in the observability instruments: an
+/// "induce" trace span, the `ntw.induce.calls` counter and the
+/// `ntw.induce.ns` latency histogram. Every real inductor invocation the
+/// enumeration engines make routes through here, so the Figure-2 call
+/// accounting is also visible in the metrics registry. Pure pass-through
+/// otherwise — the returned Induction is exactly `inductor.Induce(...)`.
+Induction InstrumentedInduce(const WrapperInductor& inductor,
+                             const PageSet& pages, const NodeSet& labels);
+
 /// Memoizes Induce() results within one enumeration run, keyed by the
 /// label subset's Fingerprint() (verified against the actual NodeSet, so a
 /// fingerprint collision can never serve the wrong result).

@@ -1,5 +1,8 @@
 #include "core/ntw.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ntw::core {
 
 Result<NtwOutcome> LearnNoiseTolerant(const WrapperInductor& inductor,
@@ -7,6 +10,10 @@ Result<NtwOutcome> LearnNoiseTolerant(const WrapperInductor& inductor,
                                       const NodeSet& labels,
                                       const Ranker& ranker,
                                       const NtwOptions& options) {
+  obs::Span span("ntw.learn");
+  static obs::Counter* const runs =
+      obs::Registry::Global().GetCounter("ntw.learn.runs");
+  runs->Add(1);
   if (labels.empty()) {
     return Status::InvalidArgument("no labels to learn from");
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ntw::core {
 
@@ -21,6 +23,13 @@ const char* RankerVariantName(RankerVariant variant) {
 std::vector<ScoredCandidate> Ranker::Rank(const WrapperSpace& space,
                                           const PageSet& pages,
                                           const NodeSet& labels) const {
+  obs::Span span("rank");
+  static obs::Counter* const runs =
+      obs::Registry::Global().GetCounter("ntw.rank.runs");
+  static obs::Counter* const candidates =
+      obs::Registry::Global().GetCounter("ntw.rank.candidates");
+  runs->Add(1);
+  candidates->Add(static_cast<int64_t>(space.candidates.size()));
   // Candidate scores are independent; compute them in parallel into
   // per-index slots (deterministic: identical doubles at any thread
   // count), then sort serially.

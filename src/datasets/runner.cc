@@ -3,15 +3,25 @@
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ntw::datasets {
 
 Result<RunSummary> RunSingleType(const Dataset& dataset,
                                  const core::WrapperInductor& inductor,
                                  const RunConfig& config) {
+  obs::Span run_span("run.single_type");
+  static obs::Counter* const sites_evaluated =
+      obs::Registry::Global().GetCounter("ntw.run.sites");
+  static obs::Counter* const sites_skipped =
+      obs::Registry::Global().GetCounter("ntw.run.skipped_sites");
   Split split = MakeSplit(dataset);
-  NTW_ASSIGN_OR_RETURN(TrainedModels models,
-                       LearnModels(dataset, config.type, split.train));
+  Result<TrainedModels> models_or = [&] {
+    obs::Span span("run.learn_models");
+    return LearnModels(dataset, config.type, split.train);
+  }();
+  NTW_ASSIGN_OR_RETURN(TrainedModels models, std::move(models_or));
   core::Ranker ranker(models.annotation, models.publication, config.variant);
 
   RunSummary summary;
@@ -46,8 +56,12 @@ Result<RunSummary> RunSingleType(const Dataset& dataset,
     jobs.push_back(SiteJob{&data, &labels_it->second, &truth_it->second});
   }
 
+  sites_evaluated->Add(static_cast<int64_t>(jobs.size()));
+  sites_skipped->Add(static_cast<int64_t>(summary.skipped_sites));
+
   std::vector<SiteOutcome> outcomes(jobs.size());
   ThreadPool::Global().ParallelFor(jobs.size(), [&](size_t i) {
+    obs::Span site_span("run.site");
     const SiteData& data = *jobs[i].data;
     const core::NodeSet& labels = *jobs[i].labels;
     const core::NodeSet& truth = *jobs[i].truth;

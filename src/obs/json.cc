@@ -1,0 +1,149 @@
+#include "obs/json.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ntw::obs {
+
+void JsonWriter::Escape(std::string_view value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (has_member_.back()) out_ += ',';
+    has_member_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(true);
+  has_member_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  stack_.pop_back();
+  has_member_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(false);
+  has_member_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  stack_.pop_back();
+  has_member_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(std::string_view name) {
+  if (has_member_.back()) out_ += ',';
+  has_member_.back() = true;
+  out_ += '"';
+  Escape(name, &out_);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  Escape(value, &out_);
+  out_ += '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  out_ += buf;
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out_ += buf;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+void JsonWriter::KV(std::string_view name, std::string_view value) {
+  Key(name);
+  String(value);
+}
+
+void JsonWriter::KV(std::string_view name, const char* value) {
+  Key(name);
+  String(value);
+}
+
+void JsonWriter::KV(std::string_view name, int64_t value) {
+  Key(name);
+  Int(value);
+}
+
+void JsonWriter::KV(std::string_view name, double value) {
+  Key(name);
+  Double(value);
+}
+
+void JsonWriter::KV(std::string_view name, bool value) {
+  Key(name);
+  Bool(value);
+}
+
+std::string JsonWriter::Take() { return std::move(out_); }
+
+}  // namespace ntw::obs

@@ -1,0 +1,135 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+#include "obs/json.h"
+
+namespace ntw::obs {
+
+size_t Histogram::BucketIndex(int64_t sample) {
+  if (sample <= 0) return 0;
+  return static_cast<size_t>(std::bit_width(static_cast<uint64_t>(sample)));
+}
+
+int64_t Histogram::BucketLowerBound(size_t index) {
+  if (index == 0) return INT64_MIN;
+  return int64_t{1} << (index - 1);
+}
+
+void Histogram::Record(int64_t sample) {
+  buckets_[BucketIndex(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  int64_t seen = min_.load(std::memory_order_relaxed);
+  while (sample < seen &&
+         !min_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (sample > seen &&
+         !max_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::min() const {
+  int64_t v = min_.load(std::memory_order_relaxed);
+  return v == INT64_MAX ? 0 : v;
+}
+
+int64_t Histogram::max() const {
+  int64_t v = max_.load(std::memory_order_relaxed);
+  return v == INT64_MIN ? 0 : v;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // Never destroyed: worker
+  return *registry;  // threads may still record during static teardown.
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void Registry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("schema", "ntw-metrics");
+  json.KV("schema_version", int64_t{1});
+
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    json.KV(name, counter->value());
+  }
+  json.EndObject();
+
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    json.KV(name, gauge->value());
+  }
+  json.EndObject();
+
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    json.Key(name);
+    json.BeginObject();
+    json.KV("count", histogram->count());
+    json.KV("sum", histogram->sum());
+    json.KV("min", histogram->min());
+    json.KV("max", histogram->max());
+    json.Key("buckets");
+    json.BeginArray();
+    for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      int64_t count = histogram->bucket(i);
+      if (count == 0) continue;
+      json.BeginArray();
+      // The ≤0 bucket reports lower bound 0 (INT64_MIN is not meaningful
+      // for the non-negative quantities the library records).
+      json.Int(i == 0 ? 0 : Histogram::BucketLowerBound(i));
+      json.Int(count);
+      json.EndArray();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+
+  json.EndObject();
+  return json.Take();
+}
+
+}  // namespace ntw::obs

@@ -1,0 +1,128 @@
+#ifndef NTW_OBS_METRICS_H_
+#define NTW_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace ntw::obs {
+
+/// Structured runtime metrics for the extraction pipeline.
+///
+/// Hot-path contract: once a Counter/Gauge/Histogram pointer has been
+/// obtained from the Registry it is stable for the process lifetime
+/// (ResetValues zeroes values but never invalidates instruments), and
+/// every mutation is a relaxed atomic operation — no locks, no
+/// allocation. Registration itself takes the registry mutex and is meant
+/// to happen once per call site (function-local static pointer).
+///
+/// Determinism contract (DESIGN.md §7): instruments only *observe*; no
+/// library control flow ever reads a metric, so enabling or exporting
+/// metrics cannot change extraction output bytes.
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. configured thread count).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed log-scale (power-of-two) histogram over int64 samples.
+///
+/// Bucket 0 holds samples ≤ 0; bucket i (1 ≤ i ≤ 63) holds samples in
+/// [2^(i-1), 2^i). INT64_MAX lands in the last bucket — the layout covers
+/// the whole int64 range, so no sample can overflow past it. All updates
+/// are relaxed atomics: totals are exact, and min/max are maintained with
+/// CAS loops.
+class Histogram {
+ public:
+  static constexpr size_t kBucketCount = 64;
+
+  /// Bucket a sample falls into (see class comment).
+  static size_t BucketIndex(int64_t sample);
+
+  /// Inclusive lower bound of bucket `index`: 0 → INT64_MIN (the ≤0
+  /// bucket), i ≥ 1 → 2^(i-1).
+  static int64_t BucketLowerBound(size_t index);
+
+  void Record(int64_t sample);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest recorded sample; 0 when empty.
+  int64_t min() const;
+  int64_t max() const;
+  int64_t bucket(size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kBucketCount]{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{INT64_MIN};
+};
+
+/// Process-wide instrument registry. Thread-safe; instrument pointers are
+/// stable for the process lifetime.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Finds or creates the named instrument. Names are dotted lowercase
+  /// paths, e.g. "ntw.enumerate.inductor_calls". Each name maps to one
+  /// kind — asking for an existing name with a different kind returns a
+  /// distinct instrument (the kinds live in separate namespaces).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Zeroes every instrument's value. Pointers stay valid — call sites
+  /// caching instruments across a reset keep working.
+  void ResetValues();
+
+  /// Serializes all instruments, sorted by name:
+  ///   {"schema":"ntw-metrics","schema_version":1,
+  ///    "counters":{...},"gauges":{...},
+  ///    "histograms":{name:{count,sum,min,max,buckets:[[lower,count]..]}}}
+  /// Histogram buckets with zero count are omitted.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ntw::obs
+
+#endif  // NTW_OBS_METRICS_H_

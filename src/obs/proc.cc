@@ -1,0 +1,23 @@
+#include "obs/proc.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace ntw::obs {
+
+int64_t PeakRssBytes() {
+#if defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<int64_t>(usage.ru_maxrss);  // Bytes on macOS.
+#elif defined(__unix__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux.
+#else
+  return 0;
+#endif
+}
+
+}  // namespace ntw::obs

@@ -1,0 +1,14 @@
+#ifndef NTW_OBS_PROC_H_
+#define NTW_OBS_PROC_H_
+
+#include <cstdint>
+
+namespace ntw::obs {
+
+/// Peak resident set size of the current process in bytes (ru_maxrss via
+/// getrusage, scaled from the platform unit). Returns 0 when unavailable.
+int64_t PeakRssBytes();
+
+}  // namespace ntw::obs
+
+#endif  // NTW_OBS_PROC_H_

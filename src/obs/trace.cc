@@ -1,0 +1,94 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+
+namespace ntw::obs {
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // Never destroyed: pool workers
+  return *tracer;                        // may outlive static teardown.
+}
+
+void Tracer::Enable() {
+  Reset();
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_release); }
+
+void Tracer::Reset() {
+  enabled_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.clear();
+  // Bump the generation so thread-local pointers into the old buffers are
+  // recognized as stale and re-registered on next use.
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+Tracer::ThreadBuffer* Tracer::GetThreadBuffer() {
+  thread_local ThreadBuffer* t_buffer = nullptr;
+  thread_local uint64_t t_generation = 0;
+  uint64_t current = generation_.load(std::memory_order_acquire);
+  if (t_buffer == nullptr || t_generation != current) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Re-check under the lock: Reset may have bumped the generation again.
+    current = generation_.load(std::memory_order_relaxed);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    t_buffer = buffers_.back().get();
+    t_generation = current;
+  }
+  return t_buffer;
+}
+
+size_t Tracer::SpanCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->spans.size();
+  return total;
+}
+
+std::string Tracer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("schema", "ntw-trace");
+  json.KV("schema_version", int64_t{1});
+  json.Key("spans");
+  json.BeginArray();
+  for (size_t t = 0; t < buffers_.size(); ++t) {
+    for (const SpanRecord& span : buffers_[t]->spans) {
+      json.BeginObject();
+      json.KV("name", span.name);
+      json.KV("thread", static_cast<int64_t>(t));
+      json.KV("depth", static_cast<int64_t>(span.depth));
+      json.Key("start_ns");
+      json.UInt(span.start_ns);
+      json.Key("dur_ns");
+      json.UInt(span.end_ns >= span.start_ns ? span.end_ns - span.start_ns
+                                             : 0);
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.Take();
+}
+
+Span::Span(const char* name) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  buffer_ = tracer.GetThreadBuffer();
+  index_ = buffer_->spans.size();
+  buffer_->spans.push_back(Tracer::SpanRecord{
+      name, buffer_->depth, tracer.NowNs(), 0});
+  ++buffer_->depth;
+}
+
+Span::~Span() {
+  if (buffer_ == nullptr) return;
+  buffer_->spans[index_].end_ns = Tracer::Global().NowNs();
+  --buffer_->depth;
+}
+
+}  // namespace ntw::obs

@@ -1,0 +1,114 @@
+#ifndef NTW_OBS_TRACE_H_
+#define NTW_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ntw::obs {
+
+/// Hierarchical phase tracer for the extraction pipeline
+/// (annotate → induce → enumerate → rank → extract, plus per-thread pool
+/// activity).
+///
+/// Spans are recorded into per-thread append-only buffers, so the hot
+/// path touches no lock after a thread's first span: Span's constructor
+/// reads one atomic (the enabled flag), stamps a steady-clock time and
+/// appends to a thread-local vector. When tracing is disabled (the
+/// default) a Span is two relaxed loads and nothing else.
+///
+/// Aggregation (ToJson / Reset / Enable / Disable) must run quiescently —
+/// no spans in flight on any thread. Every caller in this codebase has a
+/// natural quiescent point because ThreadPool::ParallelFor joins before
+/// returning.
+///
+/// Determinism contract (DESIGN.md §7): spans only observe; tracing never
+/// changes library control flow, so extraction output bytes are identical
+/// with tracing on or off.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Clears previous spans and starts recording. The span clock restarts
+  /// at zero.
+  void Enable();
+
+  /// Stops recording; already-recorded spans remain exportable.
+  void Disable();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops every recorded span and detaches all thread buffers.
+  void Reset();
+
+  /// Number of spans recorded so far.
+  size_t SpanCount() const;
+
+  /// Serializes the trace:
+  ///   {"schema":"ntw-trace","schema_version":1,
+  ///    "spans":[{"name","thread","depth","start_ns","dur_ns"}...]}
+  /// Spans are ordered by (thread, start). `thread` is the buffer
+  /// registration index, not an OS id; `depth` reconstructs the hierarchy
+  /// within a thread (a span's parent is the nearest preceding span of
+  /// smaller depth that still covers its start time).
+  std::string ToJson() const;
+
+ private:
+  friend class Span;
+
+  struct SpanRecord {
+    const char* name;  // Must outlive the tracer (string literals).
+    int32_t depth;
+    uint64_t start_ns;
+    uint64_t end_ns;
+  };
+
+  struct ThreadBuffer {
+    std::vector<SpanRecord> spans;
+    int32_t depth = 0;
+  };
+
+  /// The calling thread's buffer for the current trace generation,
+  /// registering a new one (under the mutex) on first use.
+  ThreadBuffer* GetThreadBuffer();
+
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> generation_{1};
+  std::chrono::steady_clock::time_point epoch_{};
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span on the global tracer. `name` must be a string literal (the
+/// tracer stores the pointer). No-op while tracing is disabled.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer::ThreadBuffer* buffer_ = nullptr;
+  size_t index_ = 0;
+};
+
+}  // namespace ntw::obs
+
+#endif  // NTW_OBS_TRACE_H_

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Golden-file integration test: snapshot ntw_eval --json on a small
+# generated corpus and compare byte-for-byte against tests/golden/.
+# The JSON summary is deterministic by construction (no timing fields),
+# so any diff is a real behaviour change — inspect it, then regenerate
+# with:
+#   sh tests/golden_test.sh <build-dir>/tests --update-golden
+set -eu
+
+BIN_DIR="$1"
+MODE="${2:-check}"
+SRC_DIR="$(cd "$(dirname "$0")" && pwd)"
+GOLDEN="$SRC_DIR/golden/dealers_name_xpath.json"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# The pinned corpus: must never change without refreshing the golden file.
+"$BIN_DIR/../tools/ntw_corpus" --dataset dealers --out "$WORK/corpus" \
+    --sites 4 --pages 4 --seed 5 > /dev/null
+
+"$BIN_DIR/../tools/ntw_eval" --corpus "$WORK/corpus" --type name \
+    --all-sites --json --threads 1 \
+    --metrics-json "$WORK/metrics.json" --trace "$WORK/trace.json" \
+    > "$WORK/eval.json"
+
+# The observability side-channels must be valid, schema-versioned JSON.
+grep -q '"schema":"ntw-metrics"' "$WORK/metrics.json"
+grep -q '"ntw.induce.calls"' "$WORK/metrics.json"
+grep -q '"schema":"ntw-trace"' "$WORK/trace.json"
+grep -q '"name":"run.single_type"' "$WORK/trace.json"
+
+if [ "$MODE" = "--update-golden" ]; then
+  mkdir -p "$SRC_DIR/golden"
+  cp "$WORK/eval.json" "$GOLDEN"
+  echo "golden_test: updated $GOLDEN"
+  exit 0
+fi
+
+cmp "$GOLDEN" "$WORK/eval.json" || {
+  echo "golden_test: ntw_eval --json drifted from $GOLDEN" >&2
+  echo "  (if intentional, rerun with --update-golden)" >&2
+  exit 1
+}
+
+# The summary must also be thread-count invariant: a parallel run has to
+# reproduce the golden bytes exactly.
+"$BIN_DIR/../tools/ntw_eval" --corpus "$WORK/corpus" --type name \
+    --all-sites --json --threads 4 > "$WORK/eval_mt.json"
+cmp "$GOLDEN" "$WORK/eval_mt.json" || {
+  echo "golden_test: --threads 4 output differs from golden" >&2
+  exit 1
+}
+
+echo "golden_test OK"

@@ -1,0 +1,303 @@
+// Observability layer: histogram bucketing edge cases, concurrent
+// instrument updates under the thread pool, span nesting — and the
+// determinism contract of DESIGN.md §7: turning metrics/tracing on must
+// not change extraction output bytes at any thread count.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/ntw.h"
+#include "core/publication_model.h"
+#include "core/ranker.h"
+#include "core/xpath_inductor.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "test_util.h"
+
+namespace ntw::obs {
+namespace {
+
+using ::ntw::testing::FigureOnePages;
+using ::ntw::testing::FindText;
+
+// ---------------------------------------------------------------------
+// Histogram bucketing
+// ---------------------------------------------------------------------
+
+TEST(HistogramTest, BucketIndexEdgeCases) {
+  // Bucket 0 is the ≤0 bucket.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(-1), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(INT64_MIN), 0u);
+  // Bucket i covers [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  // The top of the range cannot overflow past the last bucket.
+  EXPECT_EQ(Histogram::BucketIndex(int64_t{1} << 62), 63u);
+  EXPECT_EQ(Histogram::BucketIndex(INT64_MAX), 63u);
+}
+
+TEST(HistogramTest, BucketBoundsRoundTrip) {
+  EXPECT_EQ(Histogram::BucketLowerBound(0), INT64_MIN);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1);
+  EXPECT_EQ(Histogram::BucketLowerBound(2), 2);
+  EXPECT_EQ(Histogram::BucketLowerBound(3), 4);
+  EXPECT_EQ(Histogram::BucketLowerBound(63), int64_t{1} << 62);
+  // Every bucket's lower bound maps back into that bucket, and the value
+  // just below it into the previous one.
+  for (size_t i = 1; i < Histogram::kBucketCount; ++i) {
+    int64_t lower = Histogram::BucketLowerBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(lower), i) << "bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(lower - 1), i - 1) << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, RecordAggregatesAndResets) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);  // Empty histogram reports 0.
+  EXPECT_EQ(h.max(), 0);
+
+  h.Record(0);
+  h.Record(5);
+  h.Record(5);
+  h.Record(INT64_MAX);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), INT64_MAX);
+  EXPECT_EQ(h.bucket(0), 1);                           // The 0 sample.
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(5)), 2);   // Both 5s.
+  EXPECT_EQ(h.bucket(63), 1);                          // INT64_MAX.
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(h.bucket(i), 0) << "bucket " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+TEST(RegistryTest, StablePointersAcrossLookupsAndResets) {
+  Registry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  Gauge* g = registry.GetGauge("test.counter");  // Separate kind namespace.
+  Histogram* h = registry.GetHistogram("test.hist");
+  EXPECT_NE(static_cast<void*>(c), static_cast<void*>(g));
+  EXPECT_EQ(registry.GetCounter("test.counter"), c);
+  EXPECT_EQ(registry.GetGauge("test.counter"), g);
+  EXPECT_EQ(registry.GetHistogram("test.hist"), h);
+
+  c->Add(7);
+  g->Set(-3);
+  h->Record(42);
+  registry.ResetValues();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0);
+  c->Add(1);  // Cached pointers keep working after a reset.
+  EXPECT_EQ(registry.GetCounter("test.counter")->value(), 1);
+}
+
+TEST(RegistryTest, ToJsonSchema) {
+  Registry registry;
+  registry.GetCounter("b.count")->Add(2);
+  registry.GetCounter("a.count")->Add(1);
+  registry.GetGauge("width")->Set(8);
+  registry.GetHistogram("lat")->Record(3);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"schema\":\"ntw-metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  // Counters are sorted by name.
+  EXPECT_LT(json.find("\"a.count\":1"), json.find("\"b.count\":2"));
+  EXPECT_NE(json.find("\"width\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency
+// ---------------------------------------------------------------------
+
+TEST(ObsConcurrencyTest, CountersAndHistogramsAreExactUnderThreadPool) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("concurrent.counter");
+  Histogram* hist = registry.GetHistogram("concurrent.hist");
+  constexpr size_t kN = 20000;
+
+  ThreadPool pool(8);
+  pool.ParallelFor(kN, [&](size_t i) {
+    counter->Add(1);
+    hist->Record(static_cast<int64_t>(i % 100));  // 0..99.
+  });
+
+  EXPECT_EQ(counter->value(), static_cast<int64_t>(kN));
+  EXPECT_EQ(hist->count(), static_cast<int64_t>(kN));
+  // Sum of i%100 over 20000 indices: 200 full cycles of 0+..+99 = 4950.
+  EXPECT_EQ(hist->sum(), 200 * 4950);
+  EXPECT_EQ(hist->min(), 0);
+  EXPECT_EQ(hist->max(), 99);
+  int64_t bucket_total = 0;
+  for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    bucket_total += hist->bucket(i);
+  }
+  EXPECT_EQ(bucket_total, static_cast<int64_t>(kN));
+}
+
+// ---------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------
+
+TEST(TracerTest, SpanNestingDepthAndOrder) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable();
+  {
+    Span outer("test.outer");
+    {
+      Span inner("test.inner");
+      { Span leaf("test.leaf"); }
+    }
+    { Span sibling("test.sibling"); }
+  }
+  tracer.Disable();
+  EXPECT_EQ(tracer.SpanCount(), 4u);
+
+  std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"schema\":\"ntw-trace\""), std::string::npos);
+  // Insertion order within a thread; nesting is encoded in depth.
+  EXPECT_LT(json.find("test.outer"), json.find("test.inner"));
+  EXPECT_LT(json.find("test.inner"), json.find("test.leaf"));
+  EXPECT_LT(json.find("test.leaf"), json.find("test.sibling"));
+  EXPECT_NE(json.find("\"name\":\"test.outer\",\"thread\":0,\"depth\":0"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.inner\",\"thread\":0,\"depth\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.leaf\",\"thread\":0,\"depth\":2"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.sibling\",\"thread\":0,\"depth\":1"),
+            std::string::npos);
+  tracer.Reset();
+}
+
+TEST(TracerTest, DisabledSpansRecordNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Reset();
+  ASSERT_FALSE(tracer.enabled());
+  { Span span("test.ignored"); }
+  EXPECT_EQ(tracer.SpanCount(), 0u);
+}
+
+TEST(TracerTest, SpansFromPoolThreads) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable();
+  ThreadPool pool(4);
+  pool.ParallelFor(64, [&](size_t) { Span span("test.pool_work"); });
+  tracer.Disable();
+  // Every iteration recorded exactly one span, whichever thread ran it
+  // (the pool adds its own pool.parallel_for / pool.drain spans on top).
+  EXPECT_GE(tracer.SpanCount(), 64u);
+  std::string json = tracer.ToJson();
+  size_t work_spans = 0;
+  for (size_t pos = json.find("test.pool_work"); pos != std::string::npos;
+       pos = json.find("test.pool_work", pos + 1)) {
+    ++work_spans;
+  }
+  EXPECT_EQ(work_spans, 64u);
+  tracer.Reset();
+}
+
+// ---------------------------------------------------------------------
+// Determinism: instrumentation on vs off must not change output bytes
+// ---------------------------------------------------------------------
+
+/// The exact byte stream ntw_extract would print for this outcome.
+std::string ExtractionBytes(const core::PageSet& pages,
+                            const core::NtwOutcome& outcome) {
+  std::string out = outcome.best.wrapper->ToString();
+  out += '\n';
+  for (const core::NodeRef& ref : outcome.best.extraction) {
+    const html::Node* node = pages.Resolve(ref);
+    if (node == nullptr) continue;
+    out += std::to_string(ref.page);
+    out += '\t';
+    out += node->text();
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(ObsDeterminismTest, InstrumentationOnVsOffIsByteIdentical) {
+  core::PageSet pages = FigureOnePages();
+  core::NodeSet labels(FindText(pages, "WOODLAND FURNITURE"));
+  for (const core::NodeRef& ref : FindText(pages, "KIDDIE WORLD CENTER")) {
+    labels.Insert(ref);
+  }
+  for (const core::NodeRef& ref : FindText(pages, "532 SAN MATEO AVE.")) {
+    labels.Insert(ref);
+  }
+  ASSERT_FALSE(labels.empty());
+
+  // The ntw_extract learn-mode setup: generic publication prior.
+  std::vector<core::ListFeatures> prior;
+  for (double delta : {-1.0, 0.0, 0.0, 1.0}) {
+    core::ListFeatures f;
+    f.schema_size = 3.0 + delta;
+    f.alignment = 2.0;
+    prior.push_back(f);
+  }
+  Result<core::PublicationModel> publication =
+      core::PublicationModel::Fit(prior);
+  ASSERT_TRUE(publication.ok());
+  core::Ranker ranker(core::AnnotationModel(0.95, 0.3),
+                      std::move(publication).value());
+  core::XPathInductor inductor;
+
+  auto learn_bytes = [&]() {
+    Result<core::NtwOutcome> outcome =
+        core::LearnNoiseTolerant(inductor, pages, labels, ranker);
+    EXPECT_TRUE(outcome.ok());
+    return outcome.ok() ? ExtractionBytes(pages, *outcome) : std::string();
+  };
+
+  for (int threads : {1, 2, 8}) {
+    ThreadPool::SetGlobalThreads(threads);
+
+    // Instrumentation off: tracer disabled (metrics counters are always
+    // live — they have no off switch by design).
+    Tracer::Global().Reset();
+    ASSERT_FALSE(Tracer::Global().enabled());
+    std::string off_bytes = learn_bytes();
+    ASSERT_FALSE(off_bytes.empty());
+
+    // Instrumentation on: tracing enabled and metrics freshly zeroed, as
+    // --trace/--metrics-json would arrange.
+    Registry::Global().ResetValues();
+    Tracer::Global().Enable();
+    std::string on_bytes = learn_bytes();
+    Tracer::Global().Disable();
+
+    EXPECT_EQ(on_bytes, off_bytes)
+        << "instrumentation changed extraction output at " << threads
+        << " threads";
+    EXPECT_GT(Tracer::Global().SpanCount(), 0u);
+    EXPECT_GT(Registry::Global().GetCounter("ntw.induce.calls")->value(), 0);
+  }
+  Tracer::Global().Reset();
+  ThreadPool::SetGlobalThreads(0);
+}
+
+}  // namespace
+}  // namespace ntw::obs

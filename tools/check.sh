@@ -1,20 +1,42 @@
 #!/bin/sh
 # Tier-1 verification: build + ctest once normally, then once under
 # ThreadSanitizer (NTW_SANITIZE=thread) to vet the parallel enumeration
-# engine. Usage: tools/check.sh [extra ctest args, e.g. -R enumerate_test]
-set -eu
+# engine, then a smoke run of the perf bench runner. Every stage must
+# pass; each failure is reported and propagated explicitly (set -e alone
+# is too easy to defeat — e.g. a future `ctest || true` or an `if`
+# context would swallow the TSan suite's exit code).
+# Usage: tools/check.sh [extra ctest args, e.g. -R enumerate_test]
+set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
+FAILED=0
 
 echo "==> normal build + ctest"
-cmake -B "$ROOT/build" -S "$ROOT"
-cmake --build "$ROOT/build" -j "$JOBS"
-(cd "$ROOT/build" && ctest --output-on-failure -j "$JOBS" "$@")
+cmake -B "$ROOT/build" -S "$ROOT" || exit 1
+cmake --build "$ROOT/build" -j "$JOBS" || exit 1
+(cd "$ROOT/build" && ctest --output-on-failure -j "$JOBS" "$@") || {
+  echo "check.sh: normal ctest suite FAILED" >&2
+  FAILED=1
+}
 
 echo "==> ThreadSanitizer build + ctest"
-cmake -B "$ROOT/build-tsan" -S "$ROOT" -DNTW_SANITIZE=thread
-cmake --build "$ROOT/build-tsan" -j "$JOBS"
-(cd "$ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS" "$@")
+cmake -B "$ROOT/build-tsan" -S "$ROOT" -DNTW_SANITIZE=thread || exit 1
+cmake --build "$ROOT/build-tsan" -j "$JOBS" || exit 1
+(cd "$ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS" "$@") || {
+  echo "check.sh: ThreadSanitizer ctest suite FAILED" >&2
+  FAILED=1
+}
 
+echo "==> ntw_bench smoke"
+"$ROOT/build/tools/ntw_bench" --smoke --repetitions 1 \
+    --out "$ROOT/build/BENCH_ntw.json" || {
+  echo "check.sh: ntw_bench smoke run FAILED" >&2
+  FAILED=1
+}
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "check.sh FAILED" >&2
+  exit 1
+fi
 echo "check.sh OK"

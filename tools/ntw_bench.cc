@@ -1,0 +1,279 @@
+// ntw_bench — perf-regression bench runner.
+//
+// Executes a pinned subset of the Figure-2 benches (enumeration call
+// counts / wall clock for LR and XPATH, end-to-end NTW-vs-NAIVE runs on
+// DEALERS) and emits a schema-versioned BENCH_ntw.json with wall clock,
+// inductor-call accounting, cache hit rate and peak RSS, so the perf
+// trajectory of the repo accumulates run over run. Accuracy (F1) is
+// recorded alongside speed: a correctness regression shows up in the same
+// file as a perf one.
+//
+// Usage:
+//   ntw_bench [--out BENCH_ntw.json] [--sites N] [--repetitions N]
+//             [--threads N] [--smoke]
+//
+// --smoke shrinks the workload (10 sites, 1 repetition) for CI and
+// tools/check.sh; the JSON schema is identical.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/file_util.h"
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/lr_inductor.h"
+#include "core/xpath_inductor.h"
+#include "datasets/dealers.h"
+#include "datasets/runner.h"
+#include "enum_experiment.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/proc.h"
+
+namespace {
+
+using namespace ntw;
+
+constexpr char kUsage[] =
+    "usage: ntw_bench [--out BENCH_ntw.json] [--sites N]"
+    " [--repetitions N]\n"
+    "                 [--threads N] [--smoke]\n";
+
+constexpr int64_t kSchemaVersion = 1;
+
+/// Snapshot of the call-accounting counters, for per-workload deltas.
+struct CounterSnapshot {
+  int64_t logical_calls = 0;
+  int64_t real_induce_calls = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+
+  static CounterSnapshot Take() {
+    obs::Registry& registry = obs::Registry::Global();
+    CounterSnapshot snap;
+    snap.logical_calls =
+        registry.GetCounter("ntw.enumerate.inductor_calls")->value();
+    snap.real_induce_calls = registry.GetCounter("ntw.induce.calls")->value();
+    snap.cache_hits = registry.GetCounter("ntw.cache.hits")->value();
+    snap.cache_misses = registry.GetCounter("ntw.cache.misses")->value();
+    return snap;
+  }
+
+  CounterSnapshot Delta(const CounterSnapshot& before) const {
+    CounterSnapshot d;
+    d.logical_calls = logical_calls - before.logical_calls;
+    d.real_induce_calls = real_induce_calls - before.real_induce_calls;
+    d.cache_hits = cache_hits - before.cache_hits;
+    d.cache_misses = cache_misses - before.cache_misses;
+    return d;
+  }
+};
+
+struct BenchResult {
+  std::string name;
+  std::vector<double> wall_seconds_reps;
+  double wall_seconds = 0.0;  // Best (min) repetition.
+  CounterSnapshot calls;      // Deltas from the last repetition.
+  // Workload-specific payloads; negative means "not applicable".
+  int64_t top_down_calls = -1;
+  int64_t bottom_up_calls = -1;
+  double ntw_f1 = -1.0;
+  double naive_f1 = -1.0;
+};
+
+/// Runs `body` `repetitions` times, recording wall clock per repetition
+/// and counter deltas for the last one.
+template <typename Body>
+BenchResult Measure(const std::string& name, int repetitions, Body body) {
+  BenchResult result;
+  result.name = name;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    CounterSnapshot before = CounterSnapshot::Take();
+    Stopwatch watch;
+    body(&result);
+    result.wall_seconds_reps.push_back(watch.ElapsedSeconds());
+    result.calls = CounterSnapshot::Take().Delta(before);
+  }
+  result.wall_seconds = result.wall_seconds_reps[0];
+  for (double s : result.wall_seconds_reps) {
+    if (s < result.wall_seconds) result.wall_seconds = s;
+  }
+  return result;
+}
+
+std::string ResultsJson(const std::vector<BenchResult>& results,
+                        size_t sites, size_t pages, int repetitions,
+                        int threads, bool smoke) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.KV("schema", "ntw-bench");
+  json.KV("schema_version", kSchemaVersion);
+  json.Key("config");
+  json.BeginObject();
+  json.KV("sites", static_cast<int64_t>(sites));
+  json.KV("pages_per_site", static_cast<int64_t>(pages));
+  json.KV("repetitions", static_cast<int64_t>(repetitions));
+  json.KV("threads", static_cast<int64_t>(threads));
+  json.KV("smoke", smoke);
+  json.EndObject();
+  json.Key("benches");
+  json.BeginArray();
+  for (const BenchResult& r : results) {
+    json.BeginObject();
+    json.KV("name", r.name);
+    json.KV("wall_seconds", r.wall_seconds);
+    json.Key("wall_seconds_reps");
+    json.BeginArray();
+    for (double s : r.wall_seconds_reps) json.Double(s);
+    json.EndArray();
+    json.KV("logical_inductor_calls", r.calls.logical_calls);
+    json.KV("real_induce_calls", r.calls.real_induce_calls);
+    json.KV("cache_hits", r.calls.cache_hits);
+    json.KV("cache_misses", r.calls.cache_misses);
+    int64_t lookups = r.calls.cache_hits + r.calls.cache_misses;
+    json.KV("cache_hit_rate",
+            lookups > 0 ? static_cast<double>(r.calls.cache_hits) /
+                              static_cast<double>(lookups)
+                        : 0.0);
+    if (r.top_down_calls >= 0) json.KV("top_down_calls", r.top_down_calls);
+    if (r.bottom_up_calls >= 0) json.KV("bottom_up_calls", r.bottom_up_calls);
+    if (r.ntw_f1 >= 0.0) json.KV("ntw_f1", r.ntw_f1);
+    if (r.naive_f1 >= 0.0) json.KV("naive_f1", r.naive_f1);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.KV("peak_rss_bytes", obs::PeakRssBytes());
+  json.EndObject();
+  return json.Take();
+}
+
+int Run(int argc, char** argv) {
+  Result<Flags> flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n%s", flags_or.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  const Flags& flags = *flags_or;
+  std::vector<std::string> unknown = flags.UnknownFlags(
+      {"out", "sites", "repetitions", "threads", "smoke", "help"});
+  if (!unknown.empty() || flags.Has("help")) {
+    for (const std::string& name : unknown) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    }
+    std::fprintf(stderr, "%s", kUsage);
+    return flags.Has("help") ? 0 : 2;
+  }
+
+  bool smoke = flags.Has("smoke");
+  Result<int64_t> sites_or = flags.GetInt("sites", smoke ? 10 : 40);
+  Result<int64_t> reps_or = flags.GetInt("repetitions", smoke ? 1 : 3);
+  if (!sites_or.ok() || !reps_or.ok() || *sites_or < 1 || *reps_or < 1) {
+    std::fprintf(stderr, "--sites and --repetitions must be >= 1\n%s",
+                 kUsage);
+    return 2;
+  }
+  size_t sites = static_cast<size_t>(*sites_or);
+  int repetitions = static_cast<int>(*reps_or);
+  Result<int> threads = ConfigureGlobalThreadPool(flags);
+  if (!threads.ok()) {
+    std::fprintf(stderr, "%s\n%s", threads.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  std::string out = flags.Get("out", "BENCH_ntw.json");
+
+  // The pinned workload: a fixed-seed DEALERS subset (generation is not
+  // timed).
+  datasets::DealersConfig config;
+  config.num_sites = sites;
+  datasets::Dataset dealers = datasets::MakeDealers(config);
+  std::fprintf(stderr, "ntw_bench: %zu sites, %d repetition(s), %d threads\n",
+               dealers.sites.size(), repetitions, *threads);
+
+  core::LrInductor lr;
+  core::XPathInductor xpath;
+  std::vector<BenchResult> results;
+
+  // Fig. 2(a): enumeration call counts, LR (TopDown vs BottomUp).
+  results.push_back(
+      Measure("fig2a_enum_calls_lr", repetitions, [&](BenchResult* r) {
+        std::vector<bench::EnumRow> rows =
+            bench::RunEnumExperiment(dealers, "name", lr, 0);
+        r->top_down_calls = 0;
+        r->bottom_up_calls = 0;
+        for (const bench::EnumRow& row : rows) {
+          r->top_down_calls += row.top_down_calls;
+          r->bottom_up_calls += row.bottom_up_calls;
+        }
+      }));
+
+  // Fig. 2(b,c): enumeration call counts and wall clock, XPATH.
+  results.push_back(
+      Measure("fig2bc_enum_xpath", repetitions, [&](BenchResult* r) {
+        std::vector<bench::EnumRow> rows =
+            bench::RunEnumExperiment(dealers, "name", xpath, 0);
+        r->top_down_calls = 0;
+        r->bottom_up_calls = 0;
+        for (const bench::EnumRow& row : rows) {
+          r->top_down_calls += row.top_down_calls;
+          r->bottom_up_calls += row.bottom_up_calls;
+        }
+      }));
+
+  // Fig. 2(d,e): end-to-end NTW vs NAIVE accuracy + wall clock.
+  struct EndToEnd {
+    const char* name;
+    const core::WrapperInductor* inductor;
+  };
+  for (const EndToEnd& e2e :
+       {EndToEnd{"fig2d_xpath_dealers", &xpath},
+        EndToEnd{"fig2e_lr_dealers", &lr}}) {
+    results.push_back(Measure(e2e.name, repetitions, [&](BenchResult* r) {
+      datasets::RunConfig run_config;
+      run_config.type = "name";
+      Result<datasets::RunSummary> summary =
+          datasets::RunSingleType(dealers, *e2e.inductor, run_config);
+      if (summary.ok()) {
+        r->ntw_f1 = summary->ntw_avg.f1;
+        r->naive_f1 = summary->naive_avg.f1;
+      }
+    }));
+  }
+
+  for (const BenchResult& r : results) {
+    std::fprintf(stderr,
+                 "  %-22s %8.3fs  logical_calls=%-8lld real=%-8lld"
+                 " hit_rate=%.2f%s\n",
+                 r.name.c_str(), r.wall_seconds,
+                 static_cast<long long>(r.calls.logical_calls),
+                 static_cast<long long>(r.calls.real_induce_calls),
+                 r.calls.cache_hits + r.calls.cache_misses > 0
+                     ? static_cast<double>(r.calls.cache_hits) /
+                           static_cast<double>(r.calls.cache_hits +
+                                               r.calls.cache_misses)
+                     : 0.0,
+                 r.ntw_f1 >= 0
+                     ? (" ntw_f1=" + std::to_string(r.ntw_f1)).c_str()
+                     : "");
+  }
+
+  std::string json = ResultsJson(results, sites, config.pages_per_site,
+                                 repetitions, *threads, smoke);
+  Status written = WriteFile(out, json + "\n");
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (%zu bytes, peak rss %.1f MiB)\n",
+               out.c_str(), json.size() + 1,
+               static_cast<double>(obs::PeakRssBytes()) / (1024.0 * 1024.0));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

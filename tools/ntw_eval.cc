@@ -6,11 +6,13 @@
 // Usage:
 //   ntw_eval --corpus DIR --type NAME [--inductor xpath|lr|hlrt]
 //            [--variant full|ntw-l|ntw-x] [--all-sites] [--per-site]
-//            [--threads N]
+//            [--threads N] [--json]
+//            [--metrics-json PATH] [--trace PATH]
 
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/obs_export.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/hlrt_inductor.h"
@@ -18,6 +20,7 @@
 #include "core/xpath_inductor.h"
 #include "datasets/corpus_io.h"
 #include "datasets/runner.h"
+#include "obs/json.h"
 
 namespace {
 
@@ -27,7 +30,58 @@ constexpr char kUsage[] =
     "usage: ntw_eval --corpus DIR --type NAME [--inductor xpath|lr|hlrt]\n"
     "                [--variant full|ntw-l|ntw-x] [--all-sites]"
     " [--per-site]\n"
-    "                [--threads N]   (0 or absent = all hardware threads)\n";
+    "                [--threads N]   (0 or absent = all hardware threads)\n"
+    "                [--json]        (machine-readable summary on stdout;\n"
+    "                                 deterministic — no timing fields)\n"
+    "                [--metrics-json PATH] [--trace PATH]\n";
+
+void WritePrf(obs::JsonWriter& json, const char* key, const core::Prf& prf) {
+  json.Key(key);
+  json.BeginObject();
+  json.KV("precision", prf.precision);
+  json.KV("recall", prf.recall);
+  json.KV("f1", prf.f1);
+  json.EndObject();
+}
+
+/// Deterministic machine-readable summary: everything FormatSummary and
+/// --per-site print except wall-clock times, which would make the output
+/// unstable (the golden-file test snapshots this exact byte stream).
+std::string SummaryJson(const std::string& dataset, const std::string& type,
+                        const std::string& inductor, const char* variant,
+                        const datasets::RunSummary& summary) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.KV("schema", "ntw-eval");
+  json.KV("schema_version", int64_t{1});
+  json.KV("dataset", dataset);
+  json.KV("type", type);
+  json.KV("inductor", inductor);
+  json.KV("variant", variant);
+  WritePrf(json, "annotator", summary.annotator);
+  json.KV("sites_evaluated", static_cast<int64_t>(summary.sites.size()));
+  json.KV("sites_skipped", static_cast<int64_t>(summary.skipped_sites));
+  WritePrf(json, "ntw", summary.ntw_avg);
+  WritePrf(json, "naive", summary.naive_avg);
+  json.Key("sites");
+  json.BeginArray();
+  for (const datasets::SiteOutcome& site : summary.sites) {
+    json.BeginObject();
+    json.KV("name", site.site_name);
+    json.KV("labels", static_cast<int64_t>(site.labels));
+    json.KV("space_size", static_cast<int64_t>(site.space_size));
+    json.KV("inductor_calls", site.inductor_calls);
+    json.KV("cache_hits", site.cache_hits);
+    json.KV("cache_misses", site.cache_misses);
+    WritePrf(json, "ntw", site.ntw);
+    WritePrf(json, "naive", site.naive);
+    json.KV("ntw_wrapper", site.ntw_wrapper);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.Take();
+}
 
 int Run(int argc, char** argv) {
   Result<Flags> flags_or = Flags::Parse(argc, argv);
@@ -50,6 +104,7 @@ int Run(int argc, char** argv) {
                  kUsage);
     return 2;
   }
+  ObsExporter obs_export = ObsExporter::FromFlags(flags);
 
   Result<datasets::Dataset> dataset = datasets::ImportDataset(corpus);
   if (!dataset.ok()) {
@@ -92,21 +147,34 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s", datasets::FormatSummary(
-                        dataset->name + " / " + type + " / " +
-                            inductor->Name() + " / " +
-                            core::RankerVariantName(config.variant),
-                        *summary)
-                        .c_str());
-  if (flags.Has("per-site")) {
-    for (const datasets::SiteOutcome& site : summary->sites) {
-      std::printf("  %-40.40s labels=%-4zu ntw_f1=%.3f naive_f1=%.3f"
-                  " cache=%lld/%lld  %s\n",
-                  site.site_name.c_str(), site.labels, site.ntw.f1,
-                  site.naive.f1, static_cast<long long>(site.cache_hits),
-                  static_cast<long long>(site.cache_hits + site.cache_misses),
-                  site.ntw_wrapper.c_str());
+  if (flags.Has("json")) {
+    std::printf("%s\n",
+                SummaryJson(dataset->name, type, inductor->Name(),
+                            core::RankerVariantName(config.variant), *summary)
+                    .c_str());
+  } else {
+    std::printf("%s", datasets::FormatSummary(
+                          dataset->name + " / " + type + " / " +
+                              inductor->Name() + " / " +
+                              core::RankerVariantName(config.variant),
+                          *summary)
+                          .c_str());
+    if (flags.Has("per-site")) {
+      for (const datasets::SiteOutcome& site : summary->sites) {
+        std::printf("  %-40.40s labels=%-4zu ntw_f1=%.3f naive_f1=%.3f"
+                    " cache=%lld/%lld  %s\n",
+                    site.site_name.c_str(), site.labels, site.ntw.f1,
+                    site.naive.f1, static_cast<long long>(site.cache_hits),
+                    static_cast<long long>(site.cache_hits +
+                                           site.cache_misses),
+                    site.ntw_wrapper.c_str());
+      }
     }
+  }
+  Status written = obs_export.Write();
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
   }
   return 0;
 }

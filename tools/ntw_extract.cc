@@ -23,7 +23,9 @@
 #include "annotate/regex_annotator.h"
 #include "common/file_util.h"
 #include "common/flags.h"
+#include "common/obs_export.h"
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "core/hlrt_inductor.h"
 #include "core/lr_inductor.h"
 #include "core/ntw.h"
@@ -41,10 +43,12 @@ constexpr char kUsage[] =
     "                   [--inductor xpath|lr|hlrt]"
     " [--algorithm topdown|bottomup]\n"
     "                   [--p P] [--r R] [--schema-prior N]"
-    " [--save-wrapper FILE] [--quiet]\n";
+    " [--save-wrapper FILE] [--quiet]\n"
+    "                   [--metrics-json PATH] [--trace PATH]\n";
 
 void PrintExtraction(const core::PageSet& pages,
                      const core::NodeSet& extraction) {
+  obs::Span span("extract.print");
   for (const core::NodeRef& ref : extraction) {
     const html::Node* node = pages.Resolve(ref);
     if (node == nullptr) continue;
@@ -62,7 +66,8 @@ int Run(int argc, char** argv) {
   const Flags& flags = *flags_or;
   std::vector<std::string> unknown = flags.UnknownFlags(
       {"pages", "dict", "regex", "load-wrapper", "inductor", "algorithm",
-       "p", "r", "schema-prior", "save-wrapper", "quiet", "help"});
+       "p", "r", "schema-prior", "save-wrapper", "quiet", "help",
+       "metrics-json", "trace"});
   if (!unknown.empty() || flags.Has("help")) {
     for (const std::string& name : unknown) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
@@ -71,6 +76,7 @@ int Run(int argc, char** argv) {
     return flags.Has("help") ? 0 : 2;
   }
   bool quiet = flags.Has("quiet");
+  ObsExporter obs_export = ObsExporter::FromFlags(flags);
 
   std::string pages_dir = flags.Get("pages");
   if (pages_dir.empty()) {
@@ -101,7 +107,17 @@ int Run(int argc, char** argv) {
       std::fprintf(stderr, "wrapper: %s\n",
                    (*wrapper)->ToString().c_str());
     }
-    PrintExtraction(pages, (*wrapper)->Extract(pages));
+    core::NodeSet extraction;
+    {
+      obs::Span span("extract.apply");
+      extraction = (*wrapper)->Extract(pages);
+    }
+    PrintExtraction(pages, extraction);
+    Status written = obs_export.Write();
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
     return 0;
   }
 
@@ -223,6 +239,11 @@ int Run(int argc, char** argv) {
     }
   }
   PrintExtraction(pages, outcome->best.extraction);
+  Status written = obs_export.Write();
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
   return 0;
 }
 
