@@ -80,6 +80,24 @@ Result<std::vector<std::string>> ListFiles(const std::string& directory,
   return files;
 }
 
+Result<std::vector<std::string>> ListSubdirectories(
+    const std::string& directory) {
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    return Status::NotFound(directory + " is not a directory");
+  }
+  std::vector<std::string> dirs;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_directory()) continue;
+    dirs.push_back(entry.path().string());
+  }
+  if (ec) {
+    return Status::Internal("cannot list " + directory + ": " + ec.message());
+  }
+  std::sort(dirs.begin(), dirs.end());
+  return dirs;
+}
+
 bool FileExists(const std::string& path) {
   std::error_code ec;
   return fs::is_regular_file(path, ec);

@@ -23,6 +23,11 @@ Status MakeDirs(const std::string& path);
 Result<std::vector<std::string>> ListFiles(const std::string& directory,
                                            const std::string& suffix = "");
 
+/// Lists immediate subdirectories of `directory` (full paths), sorted
+/// lexicographically. NotFound when the directory does not exist.
+Result<std::vector<std::string>> ListSubdirectories(
+    const std::string& directory);
+
 /// True when the path names an existing regular file.
 bool FileExists(const std::string& path);
 

@@ -6,6 +6,15 @@
 
 namespace ntw {
 
+void BeginSchemaDocument(obs::JsonWriter& json, std::string_view schema,
+                         int64_t version) {
+  json.BeginObject();
+  json.KV("schema", schema);
+  json.KV("schema_version", version);
+}
+
+std::string MetricsJson() { return obs::Registry::Global().ToJson() + "\n"; }
+
 ObsExporter ObsExporter::FromFlags(const Flags& flags) {
   ObsExporter exporter;
   exporter.metrics_path_ = flags.Get("metrics-json");
@@ -16,8 +25,7 @@ ObsExporter ObsExporter::FromFlags(const Flags& flags) {
 
 Status ObsExporter::Write() const {
   if (!metrics_path_.empty()) {
-    NTW_RETURN_IF_ERROR(
-        WriteFile(metrics_path_, obs::Registry::Global().ToJson() + "\n"));
+    NTW_RETURN_IF_ERROR(WriteFile(metrics_path_, MetricsJson()));
   }
   if (!trace_path_.empty()) {
     obs::Tracer::Global().Disable();

@@ -1,12 +1,29 @@
 #ifndef NTW_COMMON_OBS_EXPORT_H_
 #define NTW_COMMON_OBS_EXPORT_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/flags.h"
 #include "common/status.h"
+#include "obs/json.h"
 
 namespace ntw {
+
+/// Opens the root object of a schema-stamped JSON document and emits the
+/// "schema"/"schema_version" preamble. Every machine-readable surface
+/// (ntw_eval --json, ntw_serve responses, --metrics-json, bench output)
+/// must start its document here so the framing and the JsonWriter's fixed
+/// float formatting cannot drift between surfaces. The caller still owns
+/// the writer: add members, EndObject(), Take().
+void BeginSchemaDocument(obs::JsonWriter& json, std::string_view schema,
+                         int64_t version);
+
+/// The canonical serialization of the global metrics registry, newline
+/// terminated — the one body shared by `--metrics-json` files and the
+/// daemon's `GET /metrics` endpoint.
+std::string MetricsJson();
 
 /// Shared handling of the observability flags every tool exposes:
 ///   --metrics-json=PATH   dump the metrics registry as JSON at exit

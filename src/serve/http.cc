@@ -1,0 +1,247 @@
+#include "serve/http.h"
+
+#include <algorithm>
+
+#include "common/obs_export.h"
+#include "common/strings.h"
+#include "obs/json.h"
+
+namespace ntw::serve {
+
+namespace {
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Strips one trailing '\r' (header lines are split on '\n'; both CRLF
+/// and bare-LF framing are accepted).
+std::string_view StripCr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+}  // namespace
+
+std::string HttpRequest::QueryParam(const std::string& name) const {
+  auto it = query.find(name);
+  return it == query.end() ? "" : it->second;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 100: return "Continue";
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  obs::JsonWriter json;
+  BeginSchemaDocument(json, "ntw-serve-error", 1);
+  json.KV("status", static_cast<int64_t>(status));
+  json.KV("error", message);
+  json.EndObject();
+  HttpResponse response;
+  response.status = status;
+  response.body = json.Take() + "\n";
+  return response;
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(response.body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += ReasonPhrase(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() && HexValue(s[i + 1]) >= 0 &&
+               HexValue(s[i + 2]) >= 0) {
+      out += static_cast<char>(HexValue(s[i + 1]) * 16 + HexValue(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+void RequestParser::Reset() {
+  request_ = HttpRequest();
+  headers_complete_ = false;
+  expects_continue_ = false;
+  saw_bytes_ = false;
+  content_length_ = 0;
+  error_status_ = 0;
+  error_message_.clear();
+  phase_ = Phase::kNeedMore;
+}
+
+RequestParser::Phase RequestParser::Fail(int status, std::string message) {
+  phase_ = Phase::kError;
+  error_status_ = status;
+  error_message_ = std::move(message);
+  return phase_;
+}
+
+RequestParser::Phase RequestParser::ParseHeaderBlock(std::string_view block) {
+  size_t line_end = block.find('\n');
+  if (line_end == std::string_view::npos) {
+    return Fail(400, "missing request line");
+  }
+  std::string_view request_line = StripCr(block.substr(0, line_end));
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    return Fail(400, "malformed request line");
+  }
+  request_.method = std::string(request_line.substr(0, sp1));
+  request_.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  std::string_view version = request_line.substr(sp2 + 1);
+  if (!version.starts_with("HTTP/1.")) {
+    return Fail(505, "unsupported protocol version");
+  }
+  request_.keep_alive = version != "HTTP/1.0";
+  if (request_.method.empty() || request_.target.empty() ||
+      request_.target[0] != '/') {
+    return Fail(400, "malformed request line");
+  }
+
+  // Split target into decoded path + query parameters.
+  std::string_view target = request_.target;
+  size_t qmark = target.find('?');
+  request_.path = UrlDecode(target.substr(0, qmark));
+  if (qmark != std::string_view::npos) {
+    for (const std::string& pair : Split(target.substr(qmark + 1), '&')) {
+      if (pair.empty()) continue;
+      size_t eq = pair.find('=');
+      std::string key = UrlDecode(std::string_view(pair).substr(0, eq));
+      std::string value = eq == std::string::npos
+                              ? ""
+                              : UrlDecode(std::string_view(pair).substr(eq + 1));
+      request_.query[key] = std::move(value);
+    }
+  }
+
+  // Header fields.
+  std::string_view rest = block.substr(line_end + 1);
+  while (!rest.empty()) {
+    size_t eol = rest.find('\n');
+    std::string_view line =
+        StripCr(eol == std::string_view::npos ? rest : rest.substr(0, eol));
+    rest = eol == std::string_view::npos ? std::string_view() : rest.substr(eol + 1);
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Fail(400, "malformed header field");
+    }
+    std::string name = ToLower(StripWhitespace(line.substr(0, colon)));
+    std::string value(StripWhitespace(line.substr(colon + 1)));
+    if (name.empty()) return Fail(400, "malformed header field");
+    request_.headers[name] = value;
+  }
+
+  auto connection = request_.headers.find("connection");
+  if (connection != request_.headers.end()) {
+    std::string value = ToLower(connection->second);
+    if (value == "close") request_.keep_alive = false;
+    if (value == "keep-alive") request_.keep_alive = true;
+  }
+  auto expect = request_.headers.find("expect");
+  if (expect != request_.headers.end() &&
+      ToLower(expect->second) == "100-continue") {
+    expects_continue_ = true;
+  }
+
+  if (request_.headers.count("transfer-encoding") > 0) {
+    return Fail(501, "transfer-encoding is not supported");
+  }
+  auto length = request_.headers.find("content-length");
+  if (length != request_.headers.end()) {
+    const std::string& digits = length->second;
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos ||
+        digits.size() > 18) {
+      return Fail(400, "malformed content-length");
+    }
+    content_length_ = static_cast<size_t>(std::stoll(digits));
+    if (content_length_ > limits_.max_body_bytes) {
+      return Fail(413, "request body exceeds " +
+                           std::to_string(limits_.max_body_bytes) + " bytes");
+    }
+  } else if (request_.method == "POST" || request_.method == "PUT") {
+    return Fail(411, "content-length is required");
+  }
+  headers_complete_ = true;
+  return Phase::kNeedMore;
+}
+
+RequestParser::Phase RequestParser::Consume(std::string* in) {
+  if (phase_ == Phase::kError || phase_ == Phase::kComplete) return phase_;
+  if (!in->empty()) saw_bytes_ = true;
+  if (!headers_complete_) {
+    // Find the blank line terminating the header block; accept CRLF or
+    // bare LF framing (split lines tolerate a dangling '\r').
+    size_t end = in->find("\r\n\r\n");
+    size_t skip = 4;
+    size_t lf = in->find("\n\n");
+    if (lf != std::string::npos && (end == std::string::npos || lf < end)) {
+      end = lf;
+      skip = 2;
+    }
+    if (end == std::string::npos) {
+      if (in->size() > limits_.max_header_bytes) {
+        return Fail(431, "header block exceeds " +
+                             std::to_string(limits_.max_header_bytes) +
+                             " bytes");
+      }
+      return Phase::kNeedMore;
+    }
+    if (end + skip > limits_.max_header_bytes) {
+      return Fail(431, "header block exceeds " +
+                           std::to_string(limits_.max_header_bytes) +
+                           " bytes");
+    }
+    Phase parsed = ParseHeaderBlock(std::string_view(*in).substr(0, end));
+    in->erase(0, end + skip);
+    if (parsed == Phase::kError) return phase_;
+  }
+  if (in->size() < content_length_) return Phase::kNeedMore;
+  request_.body = in->substr(0, content_length_);
+  in->erase(0, content_length_);
+  phase_ = Phase::kComplete;
+  return phase_;
+}
+
+}  // namespace ntw::serve

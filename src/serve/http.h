@@ -1,0 +1,116 @@
+#ifndef NTW_SERVE_HTTP_H_
+#define NTW_SERVE_HTTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ntw::serve {
+
+/// One parsed HTTP/1.1 request. Header names are lowercased; the query
+/// string is split and percent-decoded. `keep_alive` reflects the
+/// HTTP/1.1 default adjusted by a `Connection: close` header (HTTP/1.0
+/// requests default to close).
+struct HttpRequest {
+  std::string method;  // As sent, e.g. "GET" / "POST".
+  std::string target;  // Raw request target, e.g. "/extract?site=x".
+  std::string path;    // Decoded path before '?'.
+  std::map<std::string, std::string> query;
+  std::map<std::string, std::string> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  /// Query parameter value, or "" when absent.
+  std::string QueryParam(const std::string& name) const;
+};
+
+/// A response under construction. Serialization adds Content-Length and
+/// Connection headers; no Date header is emitted so that responses are
+/// byte-deterministic functions of the request (the serve tests replay
+/// concurrent traffic against a serial baseline).
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Canonical reason phrase for the status codes the server emits.
+const char* ReasonPhrase(int status);
+
+/// A JSON error body ({"schema":"ntw-serve-error","status":...,
+/// "error":...}) with the matching HTTP status — shared by the endpoint
+/// logic and the server's transport-level rejections (413/431/503/...).
+HttpResponse ErrorResponse(int status, const std::string& message);
+
+/// Serializes status line + headers + body into raw wire bytes.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+/// Percent-decodes a URL component ('+' becomes a space; malformed %
+/// escapes are kept literally — the server is lenient on input it only
+/// uses for repository lookups that will simply miss).
+std::string UrlDecode(std::string_view s);
+
+/// Size limits enforced while parsing (see ServerOptions).
+struct HttpLimits {
+  size_t max_header_bytes = 64 * 1024;
+  size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
+/// Incremental HTTP/1.1 request parser: feed the connection's receive
+/// buffer, get back the parse phase. Consumed bytes are erased from the
+/// buffer, so pipelined follow-up requests survive in place. On kError
+/// the connection should answer with `error_status()` and close.
+class RequestParser {
+ public:
+  explicit RequestParser(const HttpLimits& limits) : limits_(limits) {}
+
+  enum class Phase {
+    kNeedMore,  // Waiting for more bytes.
+    kComplete,  // A full request is available via TakeRequest().
+    kError,     // Malformed / over-limit; see error_status().
+  };
+
+  /// Consumes as much of `in` as possible and advances the state machine.
+  Phase Consume(std::string* in);
+
+  /// Moves the parsed request out; only valid after kComplete.
+  HttpRequest TakeRequest() { return std::move(request_); }
+
+  /// True once the header block has been fully parsed.
+  bool headers_complete() const { return headers_complete_; }
+
+  /// True when the client sent `Expect: 100-continue` (the server should
+  /// emit an interim 100 response before the body arrives).
+  bool expects_continue() const { return expects_continue_; }
+
+  /// True once any byte of the current request has been seen — an idle
+  /// keep-alive connection (false) can be closed silently on timeout or
+  /// shutdown, a mid-request one (true) is a slow-loris timeout.
+  bool has_partial_data() const { return saw_bytes_; }
+
+  int error_status() const { return error_status_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// Resets for the next request on the same connection.
+  void Reset();
+
+ private:
+  Phase Fail(int status, std::string message);
+  Phase ParseHeaderBlock(std::string_view block);
+
+  HttpLimits limits_;
+  HttpRequest request_;
+  bool headers_complete_ = false;
+  bool expects_continue_ = false;
+  bool saw_bytes_ = false;
+  size_t content_length_ = 0;
+  int error_status_ = 0;
+  std::string error_message_;
+  Phase phase_ = Phase::kNeedMore;
+};
+
+}  // namespace ntw::serve
+
+#endif  // NTW_SERVE_HTTP_H_

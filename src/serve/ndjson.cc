@@ -1,0 +1,172 @@
+#include "serve/ndjson.h"
+
+#include <cstdint>
+
+namespace ntw::serve {
+
+namespace {
+
+void SkipSpace(std::string_view s, size_t* pos) {
+  while (*pos < s.size() &&
+         (s[*pos] == ' ' || s[*pos] == '\t' || s[*pos] == '\r')) {
+    ++*pos;
+  }
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+void AppendUtf8(uint32_t code_point, std::string* out) {
+  if (code_point < 0x80) {
+    out->push_back(static_cast<char>(code_point));
+  } else if (code_point < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else if (code_point < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  }
+}
+
+/// Parses one \uXXXX unit already past the "\u"; advances *pos past the
+/// four hex digits. Returns the code unit or -1 on malformed input.
+int32_t ParseHex4(std::string_view s, size_t* pos) {
+  if (*pos + 4 > s.size()) return -1;
+  int32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    int digit = HexValue(s[*pos + i]);
+    if (digit < 0) return -1;
+    value = value * 16 + digit;
+  }
+  *pos += 4;
+  return value;
+}
+
+Result<std::string> ParseString(std::string_view s, size_t* pos) {
+  if (*pos >= s.size() || s[*pos] != '"') {
+    return Status::ParseError("expected '\"' at offset " +
+                              std::to_string(*pos));
+  }
+  ++*pos;
+  std::string out;
+  while (*pos < s.size()) {
+    char c = s[*pos];
+    if (c == '"') {
+      ++*pos;
+      return out;
+    }
+    if (static_cast<unsigned char>(c) < 0x20) {
+      return Status::ParseError("raw control character in string");
+    }
+    if (c != '\\') {
+      out.push_back(c);
+      ++*pos;
+      continue;
+    }
+    if (*pos + 1 >= s.size()) break;
+    char esc = s[*pos + 1];
+    *pos += 2;
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        int32_t unit = ParseHex4(s, pos);
+        if (unit < 0) return Status::ParseError("malformed \\u escape");
+        uint32_t code_point = static_cast<uint32_t>(unit);
+        if (unit >= 0xD800 && unit <= 0xDBFF) {
+          // High surrogate: a low surrogate must follow.
+          if (*pos + 2 > s.size() || s[*pos] != '\\' || s[*pos + 1] != 'u') {
+            return Status::ParseError("unpaired surrogate");
+          }
+          *pos += 2;
+          int32_t low = ParseHex4(s, pos);
+          if (low < 0xDC00 || low > 0xDFFF) {
+            return Status::ParseError("unpaired surrogate");
+          }
+          code_point = 0x10000 + ((static_cast<uint32_t>(unit) - 0xD800) << 10)
+                       + (static_cast<uint32_t>(low) - 0xDC00);
+        } else if (unit >= 0xDC00 && unit <= 0xDFFF) {
+          return Status::ParseError("unpaired surrogate");
+        }
+        AppendUtf8(code_point, &out);
+        break;
+      }
+      default:
+        return Status::ParseError(std::string("unknown escape '\\") + esc +
+                                  "'");
+    }
+  }
+  return Status::ParseError("unterminated string");
+}
+
+}  // namespace
+
+Result<BatchLine> ParseBatchLine(std::string_view line) {
+  BatchLine result;
+  bool has_html = false;
+  size_t pos = 0;
+  SkipSpace(line, &pos);
+  if (pos >= line.size() || line[pos] != '{') {
+    return Status::ParseError("batch line must be a JSON object");
+  }
+  ++pos;
+  SkipSpace(line, &pos);
+  if (pos < line.size() && line[pos] == '}') {
+    ++pos;
+  } else {
+    while (true) {
+      SkipSpace(line, &pos);
+      NTW_ASSIGN_OR_RETURN(std::string key, ParseString(line, &pos));
+      SkipSpace(line, &pos);
+      if (pos >= line.size() || line[pos] != ':') {
+        return Status::ParseError("expected ':' after key \"" + key + "\"");
+      }
+      ++pos;
+      SkipSpace(line, &pos);
+      NTW_ASSIGN_OR_RETURN(std::string value, ParseString(line, &pos));
+      if (key == "html") {
+        result.html = std::move(value);
+        has_html = true;
+      } else if (key == "id") {
+        result.id = std::move(value);
+        result.has_id = true;
+      }
+      SkipSpace(line, &pos);
+      if (pos < line.size() && line[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < line.size() && line[pos] == '}') {
+        ++pos;
+        break;
+      }
+      return Status::ParseError("expected ',' or '}' in object");
+    }
+  }
+  SkipSpace(line, &pos);
+  if (pos != line.size()) {
+    return Status::ParseError("trailing bytes after object");
+  }
+  if (!has_html) {
+    return Status::ParseError("missing required key \"html\"");
+  }
+  return result;
+}
+
+}  // namespace ntw::serve

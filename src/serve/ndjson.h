@@ -1,0 +1,31 @@
+#ifndef NTW_SERVE_NDJSON_H_
+#define NTW_SERVE_NDJSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace ntw::serve {
+
+/// One line of a `POST /extract_batch` body. The wire format is NDJSON:
+/// every line is a flat JSON object with string values,
+///
+///   {"id": "page-17", "html": "<html>...</html>"}
+///
+/// `html` is required, `id` is optional (echoed back for correlation),
+/// unknown string-valued keys are ignored. The parser accepts exactly the
+/// escapes of RFC 8259 including \uXXXX surrogate pairs; anything else is
+/// a ParseError so a malformed line yields a per-line error record
+/// instead of silently extracting from garbage.
+struct BatchLine {
+  std::string id;
+  std::string html;
+  bool has_id = false;
+};
+
+Result<BatchLine> ParseBatchLine(std::string_view line);
+
+}  // namespace ntw::serve
+
+#endif  // NTW_SERVE_NDJSON_H_

@@ -1,0 +1,519 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+#include "obs/metrics.h"
+
+namespace ntw::serve {
+
+namespace {
+
+struct ServerMetrics {
+  obs::Counter* connections;
+  obs::Counter* requests;
+  obs::Counter* responses_2xx;
+  obs::Counter* responses_4xx;
+  obs::Counter* responses_5xx;
+  obs::Counter* rejected_overload;
+  obs::Counter* rejected_too_large;
+  obs::Counter* parse_errors;
+  obs::Counter* read_timeouts;
+  obs::Counter* write_timeouts;
+  obs::Counter* dropped_responses;
+  obs::Counter* drain_forced_closes;
+  obs::Gauge* inflight;
+  obs::Histogram* request_body_bytes;
+  obs::Histogram* handle_micros;
+
+  static ServerMetrics& Get() {
+    obs::Registry& registry = obs::Registry::Global();
+    static ServerMetrics m{
+        registry.GetCounter("ntw.serve.connections"),
+        registry.GetCounter("ntw.serve.requests"),
+        registry.GetCounter("ntw.serve.responses_2xx"),
+        registry.GetCounter("ntw.serve.responses_4xx"),
+        registry.GetCounter("ntw.serve.responses_5xx"),
+        registry.GetCounter("ntw.serve.rejected_overload"),
+        registry.GetCounter("ntw.serve.rejected_too_large"),
+        registry.GetCounter("ntw.serve.parse_errors"),
+        registry.GetCounter("ntw.serve.read_timeouts"),
+        registry.GetCounter("ntw.serve.write_timeouts"),
+        registry.GetCounter("ntw.serve.dropped_responses"),
+        registry.GetCounter("ntw.serve.drain_forced_closes"),
+        registry.GetGauge("ntw.serve.inflight"),
+        registry.GetHistogram("ntw.serve.request_body_bytes"),
+        registry.GetHistogram("ntw.serve.handle_micros"),
+    };
+    return m;
+  }
+};
+
+void CountStatus(int status) {
+  ServerMetrics& metrics = ServerMetrics::Get();
+  if (status < 400) {
+    metrics.responses_2xx->Add(1);
+  } else if (status < 500) {
+    metrics.responses_4xx->Add(1);
+  } else {
+    metrics.responses_5xx->Add(1);
+  }
+}
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  fcntl(fd, F_SETFD, FD_CLOEXEC);
+}
+
+int64_t MillisUntil(HttpServer::Clock::time_point deadline,
+                    HttpServer::Clock::time_point now) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+      .count();
+}
+
+}  // namespace
+
+HttpServer::HttpServer(ServerOptions options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() {
+  for (auto& [id, conn] : conns_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  // The wake pipe lives for the whole object lifetime (not per-Run):
+  // RequestShutdown()/RequestReload() may fire from other threads or
+  // signal handlers any time before destruction, and closing the write
+  // end while they write() would race on the reused descriptor.
+  int wake_write = wake_write_fd_.exchange(-1, std::memory_order_relaxed);
+  if (wake_write >= 0) ::close(wake_write);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+}
+
+Status HttpServer::Bind() {
+  if (wake_read_fd_ < 0) {
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) return Errno("pipe");
+    SetNonBlocking(pipe_fds[0]);
+    SetNonBlocking(pipe_fds[1]);
+    wake_read_fd_ = pipe_fds[0];
+    wake_write_fd_.store(pipe_fds[1], std::memory_order_relaxed);
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  SetNonBlocking(listen_fd_);
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad --host '" + options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind " + options_.host + ":" +
+                 std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 128) != 0) return Errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+void HttpServer::RequestShutdown() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  WakeLoop();
+}
+
+void HttpServer::RequestReload() {
+  reload_.store(true, std::memory_order_relaxed);
+  WakeLoop();
+}
+
+void HttpServer::WakeLoop() {
+  int fd = wake_write_fd_.load(std::memory_order_relaxed);
+  if (fd < 0) return;
+  char byte = 1;
+  // Best effort: a full pipe already guarantees a pending wake-up.
+  [[maybe_unused]] ssize_t rc = ::write(fd, &byte, 1);
+}
+
+HttpResponse HttpServer::SafeHandle(const HttpRequest& request) const {
+  auto start = Clock::now();
+  HttpResponse response;
+  try {
+    response = handler_(request);
+  } catch (const std::exception& e) {
+    response = ErrorResponse(500, std::string("handler exception: ") +
+                                      e.what());
+  } catch (...) {
+    response = ErrorResponse(500, "handler exception");
+  }
+  ServerMetrics::Get().handle_micros->Record(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+  return response;
+}
+
+void HttpServer::CloseConn(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  if (it->second.fd >= 0) ::close(it->second.fd);
+  conns_.erase(it);
+}
+
+void HttpServer::AcceptPending(Clock::time_point now) {
+  while (listen_fd_ >= 0 &&
+         conns_.size() < static_cast<size_t>(options_.max_connections)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN (or transient error): try next poll round.
+    SetNonBlocking(fd);
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ServerMetrics::Get().connections->Add(1);
+    uint64_t id = next_conn_id_++;
+    auto [it, inserted] = conns_.emplace(id, Conn(options_.limits));
+    it->second.fd = fd;
+    it->second.deadline =
+        now + std::chrono::milliseconds(options_.read_timeout_ms);
+  }
+}
+
+void HttpServer::HandleReadable(uint64_t id, Conn& conn,
+                                Clock::time_point now) {
+  char buffer[64 * 1024];
+  for (;;) {
+    ssize_t got = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+    if (got > 0) {
+      conn.in.append(buffer, static_cast<size_t>(got));
+      if (got < static_cast<ssize_t>(sizeof(buffer))) break;
+      continue;
+    }
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Peer closed (or hard error). A request already dispatched keeps the
+    // connection alive until its completion arrives and fails to write.
+    if (conn.state == Conn::State::kReading) CloseConn(id);
+    return;
+  }
+  if (conn.state == Conn::State::kReading) TryAdvance(id, conn, now);
+}
+
+void HttpServer::TryAdvance(uint64_t id, Conn& conn, Clock::time_point now) {
+  RequestParser::Phase phase = conn.parser.Consume(&conn.in);
+  switch (phase) {
+    case RequestParser::Phase::kNeedMore:
+      if (conn.parser.headers_complete() && conn.parser.expects_continue() &&
+          !conn.sent_continue) {
+        // Interim response so clients (curl) do not stall before sending
+        // the body. Tiny and sent while the socket buffer is empty, so a
+        // best-effort direct send is fine.
+        conn.sent_continue = true;
+        const char kContinue[] = "HTTP/1.1 100 Continue\r\n\r\n";
+        [[maybe_unused]] ssize_t rc =
+            ::send(conn.fd, kContinue, sizeof(kContinue) - 1, MSG_NOSIGNAL);
+      }
+      return;
+    case RequestParser::Phase::kError: {
+      ServerMetrics& metrics = ServerMetrics::Get();
+      if (conn.parser.error_status() == 413) {
+        metrics.rejected_too_large->Add(1);
+      } else {
+        metrics.parse_errors->Add(1);
+      }
+      conn.in.clear();
+      conn.close_after_write = true;
+      StartWrite(conn,
+                 ErrorResponse(conn.parser.error_status(),
+                               conn.parser.error_message()),
+                 /*keep_alive=*/false, now);
+      return;
+    }
+    case RequestParser::Phase::kComplete:
+      Dispatch(id, conn, now);
+      return;
+  }
+}
+
+void HttpServer::Dispatch(uint64_t id, Conn& conn, Clock::time_point now) {
+  HttpRequest request = conn.parser.TakeRequest();
+  conn.parser.Reset();
+  conn.sent_continue = false;
+
+  ServerMetrics& metrics = ServerMetrics::Get();
+  metrics.requests->Add(1);
+  metrics.request_body_bytes->Record(static_cast<int64_t>(request.body.size()));
+
+  bool keep_alive = request.keep_alive && !draining_;
+  conn.close_after_write = !keep_alive;
+
+  bool parallel = options_.pool != nullptr && options_.pool->threads() > 1;
+  if (!parallel) {
+    HttpResponse response = SafeHandle(request);
+    CountStatus(response.status);
+    StartWrite(conn, response, keep_alive, now);
+    return;
+  }
+  if (inflight_ >= options_.max_inflight) {
+    metrics.rejected_overload->Add(1);
+    HttpResponse response = ErrorResponse(
+        503, "server is at its in-flight request limit, retry later");
+    CountStatus(response.status);
+    StartWrite(conn, response, keep_alive, now);
+    return;
+  }
+  ++inflight_;
+  metrics.inflight->Set(inflight_);
+  conn.state = Conn::State::kProcessing;
+  auto shared_request = std::make_shared<HttpRequest>(std::move(request));
+  options_.pool->Submit([this, id, shared_request, keep_alive] {
+    HttpResponse response = SafeHandle(*shared_request);
+    Completion completion{id, response.status,
+                          SerializeResponse(response, keep_alive)};
+    {
+      std::lock_guard<std::mutex> lock(completion_mu_);
+      completions_.push_back(std::move(completion));
+    }
+    WakeLoop();
+  });
+}
+
+void HttpServer::StartWrite(Conn& conn, const HttpResponse& response,
+                            bool keep_alive, Clock::time_point now) {
+  StartWriteRaw(conn, SerializeResponse(response, keep_alive), now);
+}
+
+void HttpServer::StartWriteRaw(Conn& conn, std::string bytes,
+                               Clock::time_point now) {
+  conn.out = std::move(bytes);
+  conn.out_offset = 0;
+  conn.state = Conn::State::kWriting;
+  conn.deadline = now + std::chrono::milliseconds(options_.write_timeout_ms);
+}
+
+void HttpServer::HandleWritable(uint64_t id, Conn& conn,
+                                Clock::time_point now) {
+  while (conn.out_offset < conn.out.size()) {
+    ssize_t sent = ::send(conn.fd, conn.out.data() + conn.out_offset,
+                          conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (sent > 0) {
+      conn.out_offset += static_cast<size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    CloseConn(id);  // Peer vanished mid-response.
+    return;
+  }
+  FinishWrite(id, conn, now);
+}
+
+void HttpServer::FinishWrite(uint64_t id, Conn& conn, Clock::time_point now) {
+  if (conn.close_after_write || draining_) {
+    CloseConn(id);
+    return;
+  }
+  // Keep-alive: recycle the connection for the next request; pipelined
+  // bytes already buffered are consumed immediately.
+  conn.out.clear();
+  conn.out_offset = 0;
+  conn.state = Conn::State::kReading;
+  conn.deadline = now + std::chrono::milliseconds(options_.read_timeout_ms);
+  TryAdvance(id, conn, now);
+}
+
+void HttpServer::ApplyCompletions(Clock::time_point now) {
+  std::vector<Completion> ready;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    ready.swap(completions_);
+  }
+  ServerMetrics& metrics = ServerMetrics::Get();
+  for (Completion& completion : ready) {
+    --inflight_;
+    metrics.inflight->Set(inflight_);
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end() ||
+        it->second.state != Conn::State::kProcessing) {
+      metrics.dropped_responses->Add(1);
+      continue;
+    }
+    CountStatus(completion.status);
+    StartWriteRaw(it->second, std::move(completion.bytes), now);
+    HandleWritable(completion.conn_id, it->second, now);
+  }
+}
+
+void HttpServer::ExpireDeadlines(Clock::time_point now) {
+  ServerMetrics& metrics = ServerMetrics::Get();
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Conn& conn = it->second;
+    uint64_t id = it->first;
+    ++it;  // CloseConn invalidates the current iterator only.
+    if (conn.state == Conn::State::kProcessing) continue;
+    if (now < conn.deadline) continue;
+    if (conn.state == Conn::State::kReading) {
+      if (conn.parser.has_partial_data() || !conn.in.empty()) {
+        metrics.read_timeouts->Add(1);  // Slow-loris / stalled request.
+      }
+      // Idle keep-alive connections expire silently.
+    } else {
+      metrics.write_timeouts->Add(1);
+    }
+    CloseConn(id);
+  }
+}
+
+void HttpServer::BeginDrain(Clock::time_point now) {
+  draining_ = true;
+  drain_deadline_ = now + std::chrono::milliseconds(options_.drain_grace_ms);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Connections with no partial request have nothing in flight: close
+  // them now. Mid-request reads keep their read deadline — a request the
+  // client has started sending still gets served, then closed.
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    uint64_t id = it->first;
+    Conn& conn = it->second;
+    ++it;
+    if (conn.state == Conn::State::kReading && !conn.parser.has_partial_data()
+        && conn.in.empty()) {
+      CloseConn(id);
+    }
+  }
+}
+
+int HttpServer::PollTimeoutMs(Clock::time_point now) const {
+  int64_t timeout = 60'000;
+  for (const auto& [id, conn] : conns_) {
+    if (conn.state == Conn::State::kProcessing) continue;
+    timeout = std::min(timeout, MillisUntil(conn.deadline, now));
+  }
+  if (options_.tick_interval_ms > 0 && tick_hook_) {
+    timeout = std::min(timeout, MillisUntil(next_tick_, now));
+  }
+  if (draining_) {
+    timeout = std::min(timeout, MillisUntil(drain_deadline_, now));
+  }
+  if (timeout < 0) return 0;
+  if (timeout > 1000) return 1000;  // Bounded signal/shutdown latency.
+  return static_cast<int>(timeout) + 1;  // Round up past the deadline.
+}
+
+Status HttpServer::Run() {
+  if (listen_fd_ < 0) NTW_RETURN_IF_ERROR(Bind());
+  next_tick_ = Clock::now() +
+               std::chrono::milliseconds(options_.tick_interval_ms);
+
+  std::vector<pollfd> poll_fds;
+  std::vector<uint64_t> poll_ids;
+  for (;;) {
+    Clock::time_point now = Clock::now();
+    if (shutdown_.load(std::memory_order_relaxed) && !draining_) {
+      BeginDrain(now);
+    }
+    if (reload_.exchange(false, std::memory_order_relaxed) && reload_hook_) {
+      reload_hook_();
+    }
+    if (tick_hook_ && options_.tick_interval_ms > 0 && now >= next_tick_) {
+      tick_hook_();
+      next_tick_ = now + std::chrono::milliseconds(options_.tick_interval_ms);
+    }
+    if (draining_) {
+      if (conns_.empty() && inflight_ == 0) break;
+      if (now >= drain_deadline_) {
+        ServerMetrics::Get().drain_forced_closes->Add(
+            static_cast<int64_t>(conns_.size()));
+        while (!conns_.empty()) CloseConn(conns_.begin()->first);
+        if (inflight_ == 0) break;
+        // Workers still own in-flight requests: keep looping to collect
+        // (and drop) their completions so Run() exits cleanly.
+      }
+    }
+
+    poll_fds.clear();
+    poll_ids.clear();
+    poll_fds.push_back({wake_read_fd_, POLLIN, 0});
+    poll_ids.push_back(0);
+    if (listen_fd_ >= 0 &&
+        conns_.size() < static_cast<size_t>(options_.max_connections)) {
+      poll_fds.push_back({listen_fd_, POLLIN, 0});
+      poll_ids.push_back(0);
+    }
+    for (const auto& [id, conn] : conns_) {
+      short events = 0;
+      if (conn.state == Conn::State::kReading) events = POLLIN;
+      if (conn.state == Conn::State::kWriting) events = POLLOUT;
+      if (events == 0) continue;
+      poll_fds.push_back({conn.fd, events, 0});
+      poll_ids.push_back(id);
+    }
+
+    int rc = ::poll(poll_fds.data(), poll_fds.size(), PollTimeoutMs(now));
+    if (rc < 0 && errno != EINTR) return Errno("poll");
+    now = Clock::now();
+
+    if (rc > 0) {
+      for (size_t i = 0; i < poll_fds.size(); ++i) {
+        if (poll_fds[i].revents == 0) continue;
+        int fd = poll_fds[i].fd;
+        if (fd == wake_read_fd_) {
+          char buffer[256];
+          while (::read(wake_read_fd_, buffer, sizeof(buffer)) > 0) {
+          }
+          continue;
+        }
+        if (fd == listen_fd_) {
+          AcceptPending(now);
+          continue;
+        }
+        auto it = conns_.find(poll_ids[i]);
+        if (it == conns_.end() || it->second.fd != fd) continue;
+        Conn& conn = it->second;
+        if (conn.state == Conn::State::kReading &&
+            (poll_fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          HandleReadable(poll_ids[i], conn, now);
+        } else if (conn.state == Conn::State::kWriting &&
+                   (poll_fds[i].revents & (POLLOUT | POLLHUP | POLLERR)) !=
+                       0) {
+          HandleWritable(poll_ids[i], conn, now);
+        }
+      }
+    }
+    ApplyCompletions(now);
+    ExpireDeadlines(now);
+  }
+
+  // Drain any wake bytes so a relaunched Run() does not spin once, and
+  // reset the shutdown latch. The pipe itself stays open (see ~HttpServer)
+  // so concurrent Request*() calls stay safe after Run() returns.
+  char buffer[256];
+  while (::read(wake_read_fd_, buffer, sizeof(buffer)) > 0) {
+  }
+  shutdown_.store(false, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace ntw::serve

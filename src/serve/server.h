@@ -1,0 +1,166 @@
+#ifndef NTW_SERVE_SERVER_H_
+#define NTW_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "serve/http.h"
+
+namespace ntw::serve {
+
+/// Tuning knobs for HttpServer; the defaults are what tools/ntw_serve
+/// ships with.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = kernel-assigned ephemeral port (see port()).
+  HttpLimits limits;
+  /// Requests dispatched but not yet answered; beyond this, new requests
+  /// are rejected with 503 instead of queueing unboundedly.
+  int max_inflight = 128;
+  /// Simultaneously open connections; beyond this, accepting pauses.
+  int max_connections = 1024;
+  /// Budget to receive one full request (slow-loris bound) — also the
+  /// keep-alive idle timeout.
+  int read_timeout_ms = 5000;
+  /// Budget to write one full response once it is ready.
+  int write_timeout_ms = 5000;
+  /// On shutdown, how long to wait for in-flight work before force-close.
+  int drain_grace_ms = 10000;
+  /// Cadence of the tick hook (mtime-based hot reload); 0 disables it.
+  int tick_interval_ms = 1000;
+  /// Worker pool that runs the handler. nullptr (or a serial pool) means
+  /// requests are handled inline on the event loop.
+  ThreadPool* pool = nullptr;
+};
+
+/// A minimal dependency-free HTTP/1.1 daemon over POSIX sockets.
+///
+/// Architecture: one event-loop thread owns every socket and runs
+/// poll() over the listener, a self-wake pipe, and all connections; it
+/// parses requests incrementally and hands complete ones to the thread
+/// pool via Submit(). Workers only compute — they serialize the response
+/// bytes, push them onto a completion queue and poke the wake pipe; the
+/// event loop attaches the bytes to the connection and writes them out.
+/// Production concerns handled here, not in handlers: per-request
+/// read/write timeouts, max body size (413), bounded in-flight count
+/// (503), keep-alive with pipelining, Expect: 100-continue, and graceful
+/// drain (stop accepting, finish in-flight requests, then return).
+///
+/// Determinism: the handler is a pure function and responses carry no
+/// timestamps, so the bytes a request receives do not depend on worker
+/// scheduling — concurrent load replays byte-identically to serial.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  using Clock = std::chrono::steady_clock;
+
+  HttpServer(ServerOptions options, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Creates, binds and listens the server socket. Call before Run().
+  Status Bind();
+
+  /// The bound port (useful with options.port = 0). Valid after Bind().
+  int port() const { return port_; }
+
+  /// The event loop; blocks until RequestShutdown() and the subsequent
+  /// drain complete. Returns non-OK only on setup failures.
+  Status Run();
+
+  /// Initiates graceful shutdown: stop accepting, drain in-flight
+  /// requests, make Run() return. Async-signal-safe (the SIGTERM/SIGINT
+  /// handlers call this) and safe from any thread.
+  void RequestShutdown();
+
+  /// Schedules the reload hook to run on the event loop (the SIGHUP
+  /// handler calls this). Async-signal-safe.
+  void RequestReload();
+
+  /// Called on the event loop after RequestReload() — wrapper repository
+  /// hot reload. Set before Run().
+  void SetReloadHook(std::function<void()> hook) { reload_hook_ = std::move(hook); }
+
+  /// Called on the event loop every tick_interval_ms — mtime polling.
+  /// Set before Run().
+  void SetTickHook(std::function<void()> hook) { tick_hook_ = std::move(hook); }
+
+ private:
+  struct Conn {
+    enum class State { kReading, kProcessing, kWriting };
+
+    explicit Conn(const HttpLimits& limits) : parser(limits) {}
+
+    int fd = -1;
+    State state = State::kReading;
+    RequestParser parser;
+    std::string in;        // Received, not yet consumed.
+    std::string out;       // Response bytes pending write.
+    size_t out_offset = 0;
+    bool close_after_write = false;
+    bool sent_continue = false;
+    Clock::time_point deadline;
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    int status = 0;
+    std::string bytes;
+  };
+
+  void AcceptPending(Clock::time_point now);
+  void HandleReadable(uint64_t id, Conn& conn, Clock::time_point now);
+  void TryAdvance(uint64_t id, Conn& conn, Clock::time_point now);
+  void Dispatch(uint64_t id, Conn& conn, Clock::time_point now);
+  void HandleWritable(uint64_t id, Conn& conn, Clock::time_point now);
+  void StartWrite(Conn& conn, const HttpResponse& response, bool keep_alive,
+                  Clock::time_point now);
+  void StartWriteRaw(Conn& conn, std::string bytes, Clock::time_point now);
+  void FinishWrite(uint64_t id, Conn& conn, Clock::time_point now);
+  void ApplyCompletions(Clock::time_point now);
+  void ExpireDeadlines(Clock::time_point now);
+  void BeginDrain(Clock::time_point now);
+  void CloseConn(uint64_t id);
+  void WakeLoop();
+  HttpResponse SafeHandle(const HttpRequest& request) const;
+  int PollTimeoutMs(Clock::time_point now) const;
+
+  ServerOptions options_;
+  Handler handler_;
+  std::function<void()> reload_hook_;
+  std::function<void()> tick_hook_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int wake_read_fd_ = -1;
+  std::atomic<int> wake_write_fd_{-1};
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> reload_{false};
+
+  // Event-loop-owned state (no locking needed).
+  std::map<uint64_t, Conn> conns_;
+  uint64_t next_conn_id_ = 1;
+  int inflight_ = 0;
+  bool draining_ = false;
+  Clock::time_point drain_deadline_;
+  Clock::time_point next_tick_;
+
+  // Worker → event loop handoff.
+  std::mutex completion_mu_;
+  std::vector<Completion> completions_;
+};
+
+}  // namespace ntw::serve
+
+#endif  // NTW_SERVE_SERVER_H_

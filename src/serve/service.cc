@@ -1,0 +1,179 @@
+#include "serve/service.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/obs_export.h"
+#include "common/strings.h"
+#include "html/parser.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "serve/ndjson.h"
+
+namespace ntw::serve {
+
+namespace {
+
+struct ServiceMetrics {
+  obs::Counter* pages_extracted;
+  obs::Counter* values_extracted;
+  obs::Counter* batch_lines;
+  obs::Counter* wrapper_misses;
+
+  static ServiceMetrics& Get() {
+    static ServiceMetrics m{
+        obs::Registry::Global().GetCounter("ntw.serve.pages_extracted"),
+        obs::Registry::Global().GetCounter("ntw.serve.values_extracted"),
+        obs::Registry::Global().GetCounter("ntw.serve.batch_lines"),
+        obs::Registry::Global().GetCounter("ntw.serve.wrapper_misses"),
+    };
+    return m;
+  }
+};
+
+/// Applies a stored wrapper to one page and returns the extracted text
+/// values in document order.
+std::vector<std::string> ExtractValues(const core::Wrapper& wrapper,
+                                       const std::string& page_html) {
+  Result<html::Document> doc = html::Parse(page_html);
+  if (!doc.ok()) return {};
+  core::PageSet pages;
+  pages.AddPage(std::move(*doc));
+  core::NodeSet extraction = wrapper.Extract(pages);
+  std::vector<std::string> values;
+  values.reserve(extraction.size());
+  for (const core::NodeRef& ref : extraction) {
+    const html::Node* node = pages.Resolve(ref);
+    if (node != nullptr) values.push_back(node->text());
+  }
+  ServiceMetrics::Get().pages_extracted->Add(1);
+  ServiceMetrics::Get().values_extracted->Add(
+      static_cast<int64_t>(values.size()));
+  return values;
+}
+
+void WriteValues(obs::JsonWriter& json, const std::vector<std::string>& values) {
+  json.Key("values");
+  json.BeginArray();
+  for (const std::string& value : values) json.String(value);
+  json.EndArray();
+}
+
+/// Resolves the (site, attribute) pair from the query string against a
+/// snapshot. On failure fills `error` with the response to send.
+const WrapperRepository::Entry* LookupWrapper(
+    const WrapperRepository::Snapshot& snapshot, const HttpRequest& request,
+    std::string* site, std::string* attribute, HttpResponse* error) {
+  *site = request.QueryParam("site");
+  *attribute = request.QueryParam("attribute");
+  if (attribute->empty()) *attribute = request.QueryParam("attr");
+  if (site->empty() || attribute->empty()) {
+    *error = ErrorResponse(
+        400, "query parameters 'site' and 'attribute' are required");
+    return nullptr;
+  }
+  const WrapperRepository::Entry* entry = snapshot.Find(*site, *attribute);
+  if (entry == nullptr) {
+    ServiceMetrics::Get().wrapper_misses->Add(1);
+    *error = ErrorResponse(404, "no wrapper for site '" + *site +
+                                    "' attribute '" + *attribute + "'");
+  }
+  return entry;
+}
+
+}  // namespace
+
+HttpResponse ExtractService::Handle(const HttpRequest& request) const {
+  if (request.path == "/healthz") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    HttpResponse response;
+    response.content_type = "text/plain";
+    response.body = "ok\n";
+    return response;
+  }
+  if (request.path == "/metrics") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    HttpResponse response;
+    response.body = MetricsJson();
+    return response;
+  }
+  if (request.path == "/extract") {
+    if (request.method != "POST") return ErrorResponse(405, "use POST");
+    return Extract(request);
+  }
+  if (request.path == "/extract_batch") {
+    if (request.method != "POST") return ErrorResponse(405, "use POST");
+    return ExtractBatch(request);
+  }
+  return ErrorResponse(404, "unknown endpoint '" + request.path + "'");
+}
+
+HttpResponse ExtractService::Extract(const HttpRequest& request) const {
+  std::shared_ptr<const WrapperRepository::Snapshot> snapshot =
+      repository_->snapshot();
+  std::string site;
+  std::string attribute;
+  HttpResponse error;
+  const WrapperRepository::Entry* entry =
+      LookupWrapper(*snapshot, request, &site, &attribute, &error);
+  if (entry == nullptr) return error;
+
+  std::vector<std::string> values = ExtractValues(*entry->wrapper,
+                                                  request.body);
+  obs::JsonWriter json;
+  BeginSchemaDocument(json, "ntw-serve-extract", 1);
+  json.KV("site", site);
+  json.KV("attribute", attribute);
+  json.KV("wrapper", entry->record);
+  json.KV("repository_version", static_cast<int64_t>(snapshot->version));
+  WriteValues(json, values);
+  json.EndObject();
+  HttpResponse response;
+  response.body = json.Take() + "\n";
+  return response;
+}
+
+HttpResponse ExtractService::ExtractBatch(const HttpRequest& request) const {
+  std::shared_ptr<const WrapperRepository::Snapshot> snapshot =
+      repository_->snapshot();
+  std::string site;
+  std::string attribute;
+  HttpResponse error;
+  const WrapperRepository::Entry* entry =
+      LookupWrapper(*snapshot, request, &site, &attribute, &error);
+  if (entry == nullptr) return error;
+
+  // One result slot per input line, written independently and joined in
+  // input order — the ParallelFor determinism discipline, so a batch
+  // response is byte-identical at every thread count.
+  std::vector<std::string> lines = Split(request.body, '\n');
+  while (!lines.empty() && StripWhitespace(lines.back()).empty()) {
+    lines.pop_back();
+  }
+  ServiceMetrics::Get().batch_lines->Add(static_cast<int64_t>(lines.size()));
+  std::vector<std::string> results(lines.size());
+  const core::Wrapper& wrapper = *entry->wrapper;
+  pool_->ParallelFor(lines.size(), [&](size_t i) {
+    obs::JsonWriter json;
+    json.BeginObject();
+    json.KV("index", static_cast<int64_t>(i));
+    Result<BatchLine> line = ParseBatchLine(lines[i]);
+    if (!line.ok()) {
+      json.KV("error", line.status().ToString());
+    } else {
+      if (line->has_id) json.KV("id", line->id);
+      WriteValues(json, ExtractValues(wrapper, line->html));
+    }
+    json.EndObject();
+    results[i] = json.Take();
+  });
+  HttpResponse response;
+  response.content_type = "application/x-ndjson";
+  for (const std::string& line : results) {
+    response.body += line;
+    response.body += '\n';
+  }
+  return response;
+}
+
+}  // namespace ntw::serve

@@ -1,0 +1,43 @@
+#ifndef NTW_SERVE_SERVICE_H_
+#define NTW_SERVE_SERVICE_H_
+
+#include "common/thread_pool.h"
+#include "serve/http.h"
+#include "serve/wrapper_repository.h"
+
+namespace ntw::serve {
+
+/// The daemon's endpoint logic, one pure function from request to
+/// response so the transport (HttpServer) stays generic and the CLI can
+/// reuse the exact same repository code path:
+///
+///   POST /extract?site=S&attribute=A   body = one HTML page
+///     → {"schema":"ntw-serve-extract",...,"values":[...]}
+///   POST /extract_batch?site=S&attribute=A   body = NDJSON, one
+///     {"id":...,"html":...} object per line, fanned out with ParallelFor
+///     → NDJSON, one {"index":..,"id":..,"values":[..]} line per input
+///   GET /metrics   → the canonical ntw-metrics registry dump
+///   GET /healthz   → 200 "ok"
+///
+/// Handle() is thread-safe and deterministic: identical request bytes
+/// against an unchanged repository snapshot produce identical response
+/// bytes, whatever the concurrency (the batch fan-out writes pre-sized
+/// per-line slots that are joined in input order).
+class ExtractService {
+ public:
+  ExtractService(const WrapperRepository* repository, ThreadPool* pool)
+      : repository_(repository), pool_(pool) {}
+
+  HttpResponse Handle(const HttpRequest& request) const;
+
+ private:
+  HttpResponse Extract(const HttpRequest& request) const;
+  HttpResponse ExtractBatch(const HttpRequest& request) const;
+
+  const WrapperRepository* repository_;
+  ThreadPool* pool_;
+};
+
+}  // namespace ntw::serve
+
+#endif  // NTW_SERVE_SERVICE_H_

@@ -1,0 +1,140 @@
+#include "serve/wrapper_repository.h"
+
+#include <filesystem>
+
+#include "common/file_util.h"
+#include "core/wrapper_store.h"
+#include "obs/metrics.h"
+
+namespace ntw::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct RepoMetrics {
+  obs::Counter* reloads;
+  obs::Counter* load_errors;
+  obs::Gauge* wrappers;
+  obs::Gauge* version;
+
+  static RepoMetrics& Get() {
+    static RepoMetrics m{
+        obs::Registry::Global().GetCounter("ntw.repo.reloads"),
+        obs::Registry::Global().GetCounter("ntw.repo.load_errors"),
+        obs::Registry::Global().GetGauge("ntw.repo.wrappers"),
+        obs::Registry::Global().GetGauge("ntw.repo.version"),
+    };
+    return m;
+  }
+};
+
+constexpr char kSuffix[] = ".wrapper";
+
+/// FNV-1a over a byte view — the fingerprint accumulator.
+void HashBytes(std::string_view bytes, uint64_t* hash) {
+  for (char c : bytes) {
+    *hash ^= static_cast<unsigned char>(c);
+    *hash *= 1099511628211ULL;
+  }
+}
+
+void HashInt(uint64_t value, uint64_t* hash) {
+  for (int i = 0; i < 8; ++i) {
+    *hash ^= (value >> (i * 8)) & 0xFF;
+    *hash *= 1099511628211ULL;
+  }
+}
+
+}  // namespace
+
+const WrapperRepository::Entry* WrapperRepository::Snapshot::Find(
+    const std::string& site, const std::string& attribute) const {
+  auto it = wrappers.find({site, attribute});
+  return it == wrappers.end() ? nullptr : &it->second;
+}
+
+uint64_t WrapperRepository::DiskFingerprint() const {
+  // (path, mtime, size) of every wrapper file, folded in sorted order.
+  // Any publish — even one keeping mtime granularity-equal sizes — that
+  // adds, removes or rewrites a file with a new timestamp changes this.
+  uint64_t hash = 1469598103934665603ULL;  // FNV offset basis.
+  Result<std::vector<std::string>> sites = ListSubdirectories(root_);
+  if (!sites.ok()) return hash;
+  for (const std::string& site_dir : *sites) {
+    Result<std::vector<std::string>> files = ListFiles(site_dir, kSuffix);
+    if (!files.ok()) continue;
+    for (const std::string& file : *files) {
+      std::error_code ec;
+      uint64_t mtime = static_cast<uint64_t>(
+          fs::last_write_time(file, ec).time_since_epoch().count());
+      uint64_t size = ec ? 0 : static_cast<uint64_t>(fs::file_size(file, ec));
+      HashBytes(file, &hash);
+      HashInt(mtime, &hash);
+      HashInt(size, &hash);
+    }
+  }
+  return hash;
+}
+
+Status WrapperRepository::Load() {
+  uint64_t fingerprint = DiskFingerprint();
+  NTW_ASSIGN_OR_RETURN(std::vector<std::string> site_dirs,
+                       ListSubdirectories(root_));
+  auto next = std::make_shared<Snapshot>();
+  for (const std::string& site_dir : site_dirs) {
+    std::string site = fs::path(site_dir).filename().string();
+    Result<std::vector<std::string>> files = ListFiles(site_dir, kSuffix);
+    if (!files.ok()) {
+      next->errors.push_back(site_dir + ": " + files.status().ToString());
+      continue;
+    }
+    for (const std::string& file : *files) {
+      std::string attribute = fs::path(file).filename().string();
+      attribute.resize(attribute.size() - (sizeof(kSuffix) - 1));
+      Result<std::string> record = ReadFile(file);
+      if (!record.ok()) {
+        next->errors.push_back(file + ": " + record.status().ToString());
+        continue;
+      }
+      Result<core::WrapperPtr> wrapper = core::DeserializeWrapper(*record);
+      if (!wrapper.ok()) {
+        next->errors.push_back(file + ": " + wrapper.status().ToString());
+        continue;
+      }
+      std::string_view trimmed = *record;
+      while (!trimmed.empty() &&
+             (trimmed.back() == '\n' || trimmed.back() == '\r')) {
+        trimmed.remove_suffix(1);
+      }
+      next->wrappers[{site, attribute}] =
+          Entry{std::move(*wrapper), std::string(trimmed)};
+    }
+  }
+  RepoMetrics& metrics = RepoMetrics::Get();
+  metrics.reloads->Add(1);
+  metrics.load_errors->Add(static_cast<int64_t>(next->errors.size()));
+  metrics.wrappers->Set(static_cast<int64_t>(next->wrappers.size()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    next->version = snapshot_->version + 1;
+    metrics.version->Set(static_cast<int64_t>(next->version));
+    snapshot_ = std::move(next);
+    loaded_fingerprint_ = fingerprint;
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<const WrapperRepository::Snapshot> WrapperRepository::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+bool WrapperRepository::PollForChanges() const {
+  uint64_t fingerprint = DiskFingerprint();
+  std::lock_guard<std::mutex> lock(mu_);
+  return fingerprint != loaded_fingerprint_;
+}
+
+}  // namespace ntw::serve

@@ -1,0 +1,81 @@
+#ifndef NTW_SERVE_WRAPPER_REPOSITORY_H_
+#define NTW_SERVE_WRAPPER_REPOSITORY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/wrapper.h"
+
+namespace ntw::serve {
+
+/// A directory of learned wrappers, keyed by (site, attribute) — the
+/// paper's deployment unit: learn once per site from noisy annotations,
+/// then re-apply to every freshly crawled page of that site. On-disk
+/// layout (records are `core::SerializeWrapper` lines):
+///
+///   <root>/<site>/<attribute>.wrapper
+///
+/// Concurrency model: readers grab an immutable `Snapshot` shared_ptr and
+/// use it for the whole request, so a concurrent reload can never show a
+/// request a half-updated repository. Load() builds a complete new
+/// snapshot off to the side and swaps the pointer under a mutex (writers
+/// should publish individual files with write-temp-then-rename; whole-
+/// directory consistency comes from the snapshot swap). A wrapper file
+/// that fails to parse is skipped and reported — one corrupt record must
+/// not take down serving for every other site.
+class WrapperRepository {
+ public:
+  struct Entry {
+    core::WrapperPtr wrapper;
+    std::string record;  // The serialized form, for logs / responses.
+  };
+
+  struct Snapshot {
+    /// (site, attribute) → entry, deterministically ordered.
+    std::map<std::pair<std::string, std::string>, Entry> wrappers;
+    /// Load failures, one "path: status" line per bad file.
+    std::vector<std::string> errors;
+    /// Monotonic generation number; bumped by every successful Load().
+    uint64_t version = 0;
+
+    const Entry* Find(const std::string& site,
+                      const std::string& attribute) const;
+  };
+
+  explicit WrapperRepository(std::string root) : root_(std::move(root)) {}
+
+  /// Scans the directory tree and atomically publishes a new snapshot.
+  /// NotFound when the root directory is missing (the previous snapshot,
+  /// if any, stays published). Per-file failures do not fail the load.
+  Status Load();
+
+  /// The currently published snapshot; never null after a successful
+  /// Load(), empty version-0 snapshot before.
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Cheap mtime/size scan of the tree. True when the on-disk state
+  /// differs from what the published snapshot was loaded from — the
+  /// daemon's tick handler calls this and triggers Load() on change.
+  bool PollForChanges() const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  uint64_t DiskFingerprint() const;
+
+  std::string root_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const Snapshot> snapshot_ =
+      std::make_shared<const Snapshot>();
+  uint64_t loaded_fingerprint_ = 0;
+};
+
+}  // namespace ntw::serve
+
+#endif  // NTW_SERVE_WRAPPER_REPOSITORY_H_

@@ -49,4 +49,22 @@ test -s "$WORK/wrapper.txt"
     --load-wrapper "$WORK/wrapper.txt" --quiet > "$WORK/applied.tsv"
 cmp "$WORK/learned.tsv" "$WORK/applied.tsv"
 
+# 5. Serve-repository apply mode: the same wrapper addressed by
+#    (site, attribute) through a WrapperRepository tree must extract the
+#    same bytes again (CLI and daemon share this code path).
+mkdir -p "$WORK/repo/site_0001"
+cp "$WORK/wrapper.txt" "$WORK/repo/site_0001/name.wrapper"
+"$BIN_DIR/../tools/ntw_extract" --pages "$SITE" --wrapper-dir "$WORK/repo" \
+    --site site_0001 --attribute name --quiet > "$WORK/served.tsv"
+cmp "$WORK/learned.tsv" "$WORK/served.tsv"
+
+# A missing (site, attribute) key must fail with a clear error.
+if "$BIN_DIR/../tools/ntw_extract" --pages "$SITE" \
+    --wrapper-dir "$WORK/repo" --site site_0001 --attribute price \
+    --quiet > /dev/null 2> "$WORK/missing.log"; then
+  echo "cli_test: missing attribute should have failed" >&2
+  exit 1
+fi
+grep -q "no wrapper for site" "$WORK/missing.log"
+
 echo "cli_test OK"

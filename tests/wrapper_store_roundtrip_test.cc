@@ -1,0 +1,210 @@
+// Property tests for the wrapper store, the serialization boundary the
+// serving repository trusts: for every wrapper an inductor can produce,
+// Serialize → Deserialize → Serialize must be byte-identical and the
+// reconstructed wrapper must extract exactly what the original did; and
+// no truncated or corrupted record may do anything worse than return a
+// clean error Status.
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/hlrt_inductor.h"
+#include "core/lr_inductor.h"
+#include "core/table_inductor.h"
+#include "core/wrapper.h"
+#include "core/wrapper_store.h"
+#include "core/xpath_inductor.h"
+#include "datasets/dealers.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ntw::core {
+namespace {
+
+NodeSet RandomSubset(const NodeSet& pool, Rng* rng, size_t max_size) {
+  std::vector<NodeRef> refs;
+  size_t want = 1 + rng->NextBounded(max_size);
+  for (size_t i = 0; i < want; ++i) {
+    refs.push_back(pool[rng->NextBounded(pool.size())]);
+  }
+  return NodeSet(std::move(refs));
+}
+
+/// One (inductor, page set, label pool) context to draw wrappers from —
+/// the same randomized generators the well-behavedness suite uses, so
+/// the store is exercised on realistic rules, not hand-picked ones.
+struct Context {
+  std::string name;
+  const WrapperInductor* inductor;
+  const PageSet* pages;
+  NodeSet pool;
+};
+
+class RoundTripTest : public ::testing::Test {
+ protected:
+  RoundTripTest() {
+    table_pages_ = testing::ExampleTablePage();
+    dealer_pages_ = testing::FigureOnePages();
+    datasets::DealersConfig config;
+    config.num_sites = 4;
+    config.pages_per_site = 3;
+    dataset_ = datasets::MakeDealers(config);
+
+    contexts_.push_back({"LR-table", &lr_, &table_pages_,
+                         table_pages_.AllTextNodes()});
+    contexts_.push_back({"XPATH-table", &xpath_, &table_pages_,
+                         table_pages_.AllTextNodes()});
+    contexts_.push_back({"LR-dealers", &lr_, &dealer_pages_,
+                         dealer_pages_.AllTextNodes()});
+    contexts_.push_back({"XPATH-dealers", &xpath_, &dealer_pages_,
+                         dealer_pages_.AllTextNodes()});
+    // HLRT labels must come from the template-bracketed truth list (see
+    // hlrt_inductor.h) for the induced rule to be meaningful.
+    for (const datasets::SiteData& data : dataset_.sites) {
+      const NodeSet& truth = data.site.truth.at("name");
+      if (truth.size() < 2) continue;
+      contexts_.push_back({"HLRT-" + data.site.name, &hlrt_,
+                           &data.site.pages, truth});
+    }
+  }
+
+  /// Serialized records of randomized induced wrappers, paired with the
+  /// context they came from (for Extract equivalence checks).
+  std::vector<std::pair<std::string, const Context*>> SampleRecords(
+      int trials_per_context) {
+    std::vector<std::pair<std::string, const Context*>> records;
+    Rng rng(4242);
+    for (const Context& context : contexts_) {
+      for (int trial = 0; trial < trials_per_context; ++trial) {
+        NodeSet labels = RandomSubset(context.pool, &rng, 5);
+        Induction induction = context.inductor->Induce(*context.pages, labels);
+        if (induction.wrapper == nullptr) continue;
+        Result<std::string> record = SerializeWrapper(*induction.wrapper);
+        if (!record.ok()) {
+          ADD_FAILURE() << context.name << ": "
+                        << record.status().ToString();
+          continue;
+        }
+        records.emplace_back(*record, &context);
+      }
+    }
+    return records;
+  }
+
+  LrInductor lr_;
+  XPathInductor xpath_;
+  HlrtInductor hlrt_;
+  PageSet table_pages_;
+  PageSet dealer_pages_;
+  datasets::Dataset dataset_;
+  std::vector<Context> contexts_;
+};
+
+// Serialize → Deserialize → Serialize is byte-identical, and the
+// reconstructed wrapper is extraction-equivalent to the original.
+TEST_F(RoundTripTest, SerializeParseSerializeByteIdentical) {
+  Rng rng(99);
+  int checked = 0;
+  for (const Context& context : contexts_) {
+    for (int trial = 0; trial < 20; ++trial) {
+      NodeSet labels = RandomSubset(context.pool, &rng, 5);
+      Induction induction = context.inductor->Induce(*context.pages, labels);
+      ASSERT_NE(induction.wrapper, nullptr) << context.name;
+
+      Result<std::string> record = SerializeWrapper(*induction.wrapper);
+      ASSERT_TRUE(record.ok())
+          << context.name << ": " << record.status().ToString();
+
+      Result<WrapperPtr> parsed = DeserializeWrapper(*record);
+      ASSERT_TRUE(parsed.ok())
+          << context.name << " record=" << *record << ": "
+          << parsed.status().ToString();
+
+      Result<std::string> again = SerializeWrapper(**parsed);
+      ASSERT_TRUE(again.ok()) << context.name;
+      EXPECT_EQ(*record, *again) << context.name;
+
+      EXPECT_EQ((*parsed)->Extract(*context.pages), induction.extraction)
+          << context.name << " record=" << *record;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 100);
+}
+
+// Every strict prefix of a valid record either parses cleanly or returns
+// a non-OK Status — never crashes. (Some prefixes are legitimately valid
+// records themselves, e.g. an xpath cut at a step boundary.)
+TEST_F(RoundTripTest, TruncatedRecordsFailCleanly) {
+  for (const auto& [record, context] : SampleRecords(3)) {
+    for (size_t len = 0; len < record.size(); ++len) {
+      Result<WrapperPtr> parsed = DeserializeWrapper(record.substr(0, len));
+      if (parsed.ok()) {
+        // A shorter-but-valid record must still round-trip.
+        Result<std::string> again = SerializeWrapper(**parsed);
+        EXPECT_TRUE(again.ok()) << context->name << " prefix len " << len;
+      } else {
+        EXPECT_FALSE(parsed.status().ToString().empty());
+      }
+    }
+  }
+}
+
+// Random single-byte corruption never crashes, and whatever still parses
+// must itself round-trip.
+TEST_F(RoundTripTest, CorruptedRecordsFailCleanly) {
+  Rng rng(1717);
+  std::vector<std::pair<std::string, const Context*>> records =
+      SampleRecords(3);
+  ASSERT_FALSE(records.empty());
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto& [record, context] =
+        records[rng.NextBounded(records.size())];
+    if (record.empty()) continue;
+    std::string corrupt = record;
+    corrupt[rng.NextBounded(corrupt.size())] =
+        static_cast<char>(rng.NextBounded(256));
+    Result<WrapperPtr> parsed = DeserializeWrapper(corrupt);
+    if (parsed.ok()) {
+      Result<std::string> again = SerializeWrapper(**parsed);
+      EXPECT_TRUE(again.ok()) << context->name << " corrupt=" << corrupt;
+    } else {
+      EXPECT_FALSE(parsed.status().ToString().empty());
+    }
+  }
+}
+
+TEST(WrapperStoreTest, MalformedRecordsAreRejected) {
+  const char* malformed[] = {
+      "",                      // Empty record.
+      "XPATH",                 // Kind without payload tab.
+      "LR",                    // Kind without payload tab.
+      "LR\tonly-left",         // LR needs two fields.
+      "HLRT\ta\tb",            // HLRT needs four fields.
+      "HLRT\ta\tb\tc",         // Still one short.
+      "BOGUS\tx",              // Unknown kind.
+      "TABLE\t0",              // TABLE is not serializable either way.
+      "XPATH\t((",             // Unparseable xpath expression.
+      "LR\tbad\\q\tr",         // Invalid escape sequence.
+  };
+  for (const char* record : malformed) {
+    Result<core::WrapperPtr> parsed = DeserializeWrapper(record);
+    EXPECT_FALSE(parsed.ok()) << "record=" << record;
+  }
+}
+
+// The TABLE inductor's wrapper is a pedagogical device bound to one page
+// set; serializing it must be a clean error, not a crash.
+TEST(WrapperStoreTest, TableWrapperIsNotSerializable) {
+  core::PageSet pages = testing::ExampleTablePage();
+  TableInductor inductor;
+  NodeSet labels({testing::ExampleCell(pages, 1, 2)});
+  Induction induction = inductor.Induce(pages, labels);
+  ASSERT_NE(induction.wrapper, nullptr);
+  Result<std::string> record = SerializeWrapper(*induction.wrapper);
+  EXPECT_FALSE(record.ok());
+}
+
+}  // namespace
+}  // namespace ntw::core

@@ -35,6 +35,12 @@ echo "==> ntw_bench smoke"
   FAILED=1
 }
 
+echo "==> ntw_serve smoke"
+sh "$ROOT/tools/serve_smoke.sh" "$ROOT/build" || {
+  echo "check.sh: ntw_serve smoke run FAILED" >&2
+  FAILED=1
+}
+
 if [ "$FAILED" -ne 0 ]; then
   echo "check.sh FAILED" >&2
   exit 1

@@ -51,9 +51,7 @@ std::string SummaryJson(const std::string& dataset, const std::string& type,
                         const std::string& inductor, const char* variant,
                         const datasets::RunSummary& summary) {
   obs::JsonWriter json;
-  json.BeginObject();
-  json.KV("schema", "ntw-eval");
-  json.KV("schema_version", int64_t{1});
+  BeginSchemaDocument(json, "ntw-eval", 1);
   json.KV("dataset", dataset);
   json.KV("type", type);
   json.KV("inductor", inductor);

@@ -6,6 +6,7 @@
 //               [--inductor xpath|lr|hlrt] [--algorithm topdown|bottomup]
 //               [--p 0.95] [--r 0.3] [--save-wrapper FILE]
 //   ntw_extract --pages DIR --load-wrapper FILE
+//   ntw_extract --pages DIR --wrapper-dir DIR --site S --attribute A
 //
 // Modes:
 //   learn   (default): annotate the pages with the dictionary (one entry
@@ -13,6 +14,9 @@
 //           generic publication prior, print the winning wrapper and its
 //           extraction as TSV (page <TAB> text).
 //   apply   (--load-wrapper): re-apply a previously saved wrapper.
+//   apply   (--wrapper-dir): select the (site, attribute) wrapper out of
+//           a serving repository — the exact same serve::WrapperRepository
+//           code path ntw_serve uses, so CLI and daemon cannot diverge.
 //
 // The (p, r) flags are the annotator model parameters of Eq. 4; in a real
 // deployment they come from a labeled sample (see datasets::LearnModels).
@@ -32,6 +36,7 @@
 #include "core/wrapper_store.h"
 #include "core/xpath_inductor.h"
 #include "datasets/corpus_io.h"
+#include "serve/wrapper_repository.h"
 
 namespace {
 
@@ -39,7 +44,8 @@ using namespace ntw;
 
 constexpr char kUsage[] =
     "usage: ntw_extract --pages DIR (--dict FILE | --regex PATTERN |"
-    " --load-wrapper FILE)\n"
+    " --load-wrapper FILE |\n"
+    "                   --wrapper-dir DIR --site S --attribute A)\n"
     "                   [--inductor xpath|lr|hlrt]"
     " [--algorithm topdown|bottomup]\n"
     "                   [--p P] [--r R] [--schema-prior N]"
@@ -65,9 +71,9 @@ int Run(int argc, char** argv) {
   }
   const Flags& flags = *flags_or;
   std::vector<std::string> unknown = flags.UnknownFlags(
-      {"pages", "dict", "regex", "load-wrapper", "inductor", "algorithm",
-       "p", "r", "schema-prior", "save-wrapper", "quiet", "help",
-       "metrics-json", "trace"});
+      {"pages", "dict", "regex", "load-wrapper", "wrapper-dir", "site",
+       "attribute", "inductor", "algorithm", "p", "r", "schema-prior",
+       "save-wrapper", "quiet", "help", "metrics-json", "trace"});
   if (!unknown.empty() || flags.Has("help")) {
     for (const std::string& name : unknown) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
@@ -95,7 +101,53 @@ int Run(int argc, char** argv) {
                  pages.size(), pages.TextNodeCount());
   }
 
-  // ----- apply mode --------------------------------------------------
+  // ----- apply mode (serving repository) -----------------------------
+  if (flags.Has("wrapper-dir")) {
+    std::string site = flags.Get("site");
+    std::string attribute = flags.Get("attribute");
+    if (site.empty() || attribute.empty()) {
+      std::fprintf(stderr,
+                   "--wrapper-dir requires --site and --attribute\n%s",
+                   kUsage);
+      return 2;
+    }
+    serve::WrapperRepository repository(flags.Get("wrapper-dir"));
+    Status loaded = repository.Load();
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+      return 1;
+    }
+    std::shared_ptr<const serve::WrapperRepository::Snapshot> snapshot =
+        repository.snapshot();
+    for (const std::string& error : snapshot->errors) {
+      std::fprintf(stderr, "skipped wrapper: %s\n", error.c_str());
+    }
+    const serve::WrapperRepository::Entry* entry =
+        snapshot->Find(site, attribute);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "no wrapper for site '%s' attribute '%s'\n",
+                   site.c_str(), attribute.c_str());
+      return 1;
+    }
+    if (!quiet) {
+      std::fprintf(stderr, "wrapper: %s\n",
+                   entry->wrapper->ToString().c_str());
+    }
+    core::NodeSet extraction;
+    {
+      obs::Span span("extract.apply");
+      extraction = entry->wrapper->Extract(pages);
+    }
+    PrintExtraction(pages, extraction);
+    Status written = obs_export.Write();
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  // ----- apply mode (single wrapper file) ----------------------------
   if (flags.Has("load-wrapper")) {
     Result<core::WrapperPtr> wrapper =
         core::LoadWrapper(flags.Get("load-wrapper"));

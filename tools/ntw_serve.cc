@@ -1,0 +1,201 @@
+// ntw_serve — the wrapper-serving daemon: loads a repository of learned
+// wrappers and applies them to freshly crawled pages over HTTP, the
+// paper's deployment mode (learn once per site, extract at web scale).
+//
+// Usage:
+//   ntw_serve --wrapper-dir DIR [--host 127.0.0.1] [--port 8377]
+//             [--port-file PATH] [--threads N] [--max-body-bytes N]
+//             [--max-inflight N] [--read-timeout-ms N]
+//             [--write-timeout-ms N] [--drain-grace-ms N]
+//             [--reload-poll-ms N] [--metrics-json PATH] [--trace PATH]
+//             [--quiet]
+//
+// Endpoints (see DESIGN.md §8):
+//   POST /extract?site=S&attribute=A        body = one HTML page
+//   POST /extract_batch?site=S&attribute=A  body = NDJSON {"id","html"}
+//   GET  /metrics                           obs registry dump
+//   GET  /healthz
+//
+// Signals: SIGTERM/SIGINT trigger graceful shutdown (stop accepting,
+// drain in-flight requests, flush final metrics, exit 0); SIGHUP forces
+// a wrapper repository reload. The repository is also hot-reloaded when
+// file mtimes change (--reload-poll-ms cadence, 0 disables).
+
+#include <csignal>
+#include <cstdio>
+
+#include "common/file_util.h"
+#include "common/flags.h"
+#include "common/obs_export.h"
+#include "common/thread_pool.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/wrapper_repository.h"
+
+namespace {
+
+using namespace ntw;
+
+constexpr char kUsage[] =
+    "usage: ntw_serve --wrapper-dir DIR [--host H] [--port P]"
+    " [--port-file PATH]\n"
+    "                 [--threads N] [--max-body-bytes N] [--max-inflight N]\n"
+    "                 [--read-timeout-ms N] [--write-timeout-ms N]\n"
+    "                 [--drain-grace-ms N] [--reload-poll-ms N]\n"
+    "                 [--metrics-json PATH] [--trace PATH] [--quiet]\n";
+
+serve::HttpServer* g_server = nullptr;
+
+// Handlers only touch lock-free atomics via Request*() — signal-safe.
+void OnShutdownSignal(int) {
+  if (g_server != nullptr) g_server->RequestShutdown();
+}
+void OnReloadSignal(int) {
+  if (g_server != nullptr) g_server->RequestReload();
+}
+
+int Run(int argc, char** argv) {
+  Result<Flags> flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n%s", flags_or.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  const Flags& flags = *flags_or;
+  std::vector<std::string> unknown = flags.UnknownFlags(
+      {"wrapper-dir", "host", "port", "port-file", "threads",
+       "max-body-bytes", "max-inflight", "read-timeout-ms",
+       "write-timeout-ms", "drain-grace-ms", "reload-poll-ms",
+       "metrics-json", "trace", "quiet", "help"});
+  if (!unknown.empty() || flags.Has("help")) {
+    for (const std::string& name : unknown) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    }
+    std::fprintf(stderr, "%s", kUsage);
+    return flags.Has("help") ? 0 : 2;
+  }
+  bool quiet = flags.Has("quiet");
+  ObsExporter obs_export = ObsExporter::FromFlags(flags);
+
+  std::string wrapper_dir = flags.Get("wrapper-dir");
+  if (wrapper_dir.empty()) {
+    std::fprintf(stderr, "--wrapper-dir is required\n%s", kUsage);
+    return 2;
+  }
+
+  Result<int> threads = ConfigureGlobalThreadPool(flags);
+  if (!threads.ok()) {
+    std::fprintf(stderr, "%s\n%s", threads.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+
+  serve::ServerOptions options;
+  options.host = flags.Get("host", "127.0.0.1");
+  Result<int64_t> port = flags.GetInt("port", 8377);
+  Result<int64_t> max_body = flags.GetInt(
+      "max-body-bytes", static_cast<int64_t>(options.limits.max_body_bytes));
+  Result<int64_t> max_inflight =
+      flags.GetInt("max-inflight", options.max_inflight);
+  Result<int64_t> read_timeout =
+      flags.GetInt("read-timeout-ms", options.read_timeout_ms);
+  Result<int64_t> write_timeout =
+      flags.GetInt("write-timeout-ms", options.write_timeout_ms);
+  Result<int64_t> drain_grace =
+      flags.GetInt("drain-grace-ms", options.drain_grace_ms);
+  Result<int64_t> reload_poll = flags.GetInt("reload-poll-ms", 1000);
+  for (const auto* value : {&port, &max_body, &max_inflight, &read_timeout,
+                            &write_timeout, &drain_grace, &reload_poll}) {
+    if (!value->ok()) {
+      std::fprintf(stderr, "%s\n%s", value->status().ToString().c_str(),
+                   kUsage);
+      return 2;
+    }
+  }
+  options.port = static_cast<int>(*port);
+  options.limits.max_body_bytes = static_cast<size_t>(*max_body);
+  options.max_inflight = static_cast<int>(*max_inflight);
+  options.read_timeout_ms = static_cast<int>(*read_timeout);
+  options.write_timeout_ms = static_cast<int>(*write_timeout);
+  options.drain_grace_ms = static_cast<int>(*drain_grace);
+  options.tick_interval_ms = static_cast<int>(*reload_poll);
+  options.pool = &ThreadPool::Global();
+
+  serve::WrapperRepository repository(wrapper_dir);
+  Status loaded = repository.Load();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<const serve::WrapperRepository::Snapshot> snapshot =
+      repository.snapshot();
+  for (const std::string& error : snapshot->errors) {
+    std::fprintf(stderr, "ntw_serve: skipped wrapper: %s\n", error.c_str());
+  }
+  if (!quiet) {
+    std::fprintf(stderr, "ntw_serve: loaded %zu wrappers from %s\n",
+                 snapshot->wrappers.size(), wrapper_dir.c_str());
+  }
+
+  serve::ExtractService service(&repository, options.pool);
+  serve::HttpServer server(
+      options, [&service](const serve::HttpRequest& request) {
+        return service.Handle(request);
+      });
+  server.SetReloadHook([&repository, quiet] {
+    Status status = repository.Load();
+    if (!status.ok()) {
+      std::fprintf(stderr, "ntw_serve: reload failed: %s\n",
+                   status.ToString().c_str());
+    } else if (!quiet) {
+      std::fprintf(stderr, "ntw_serve: repository reloaded (%zu wrappers)\n",
+                   repository.snapshot()->wrappers.size());
+    }
+  });
+  server.SetTickHook([&repository, &server] {
+    if (repository.PollForChanges()) server.RequestReload();
+  });
+
+  Status bound = server.Bind();
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.ToString().c_str());
+    return 1;
+  }
+  if (flags.Has("port-file")) {
+    Status written = WriteFile(flags.Get("port-file"),
+                               std::to_string(server.port()) + "\n");
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!quiet) {
+    std::fprintf(stderr, "ntw_serve: listening on %s:%d (%d threads)\n",
+                 options.host.c_str(), server.port(), *threads);
+  }
+
+  g_server = &server;
+  std::signal(SIGTERM, OnShutdownSignal);
+  std::signal(SIGINT, OnShutdownSignal);
+  std::signal(SIGHUP, OnReloadSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Status ran = server.Run();
+  g_server = nullptr;
+  if (!ran.ok()) {
+    std::fprintf(stderr, "%s\n", ran.ToString().c_str());
+    return 1;
+  }
+  if (!quiet) std::fprintf(stderr, "ntw_serve: drained, shutting down\n");
+
+  Status flushed = obs_export.Write();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "%s\n", flushed.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

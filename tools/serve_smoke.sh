@@ -1,0 +1,114 @@
+#!/bin/sh
+# Smoke test of the ntw_serve daemon as a black box: start it on an
+# ephemeral port against a throwaway wrapper repository, hit every
+# endpoint with curl, then SIGTERM it and assert a clean drain (exit 0,
+# final metrics flushed). check.sh and CI run this after the unit suite —
+# it is the only place the installed binary, the signal handlers and the
+# port-file handshake are exercised end to end.
+# Usage: tools/serve_smoke.sh <build-dir>
+set -u
+
+BUILD="${1:?usage: tools/serve_smoke.sh <build-dir>}"
+SERVE="$BUILD/tools/ntw_serve"
+[ -x "$SERVE" ] || { echo "serve_smoke: $SERVE not built" >&2; exit 1; }
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/ntw_serve_smoke.XXXXXX")"
+PID=""
+trap '[ -n "$PID" ] && kill "$PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+# A one-wrapper repository: example.com/name extracts <li> text.
+mkdir -p "$WORK/repo/example.com"
+printf 'XPATH\t//li/text()\n' > "$WORK/repo/example.com/name.wrapper"
+
+"$SERVE" --wrapper-dir "$WORK/repo" --port 0 --port-file "$WORK/port" \
+    --metrics-json "$WORK/metrics.json" --quiet 2> "$WORK/stderr.log" &
+PID=$!
+
+# Wait for the port-file handshake (the daemon writes it after bind).
+i=0
+while [ ! -s "$WORK/port" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "serve_smoke: daemon never wrote the port file" >&2
+    cat "$WORK/stderr.log" >&2
+    exit 1
+  fi
+  kill -0 "$PID" 2>/dev/null || {
+    echo "serve_smoke: daemon died at startup" >&2
+    cat "$WORK/stderr.log" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+PORT="$(cat "$WORK/port")"
+BASE="http://127.0.0.1:$PORT"
+
+fail() { echo "serve_smoke: $1" >&2; cat "$WORK/stderr.log" >&2; exit 1; }
+
+# /healthz
+HEALTH="$(curl -sS --max-time 5 "$BASE/healthz")" || fail "healthz request failed"
+[ "$HEALTH" = "ok" ] || fail "unexpected healthz body: $HEALTH"
+
+# /extract
+BODY='<html><ul><li>alpha</li><li>beta</li></ul></html>'
+EXTRACT="$(printf '%s' "$BODY" | curl -sS --max-time 5 --data-binary @- \
+    "$BASE/extract?site=example.com&attribute=name")" \
+    || fail "extract request failed"
+case "$EXTRACT" in
+  *'"values":["alpha","beta"]'*) ;;
+  *) fail "unexpected extract response: $EXTRACT" ;;
+esac
+
+# /extract_batch
+BATCH="$(printf '{"id":"p1","html":"<ul><li>one</li></ul>"}\n{"id":"p2","html":"<ul><li>two</li></ul>"}\n' \
+    | curl -sS --max-time 5 --data-binary @- \
+    "$BASE/extract_batch?site=example.com&attribute=name")" \
+    || fail "extract_batch request failed"
+case "$BATCH" in
+  *'"id":"p1","values":["one"]'*) ;;
+  *) fail "unexpected batch response: $BATCH" ;;
+esac
+
+# /metrics must be the canonical ntw-metrics document and account for
+# every request issued, including itself: healthz + extract + batch +
+# this one = 4 (the counter is bumped when a request is dispatched).
+METRICS="$(curl -sS --max-time 5 "$BASE/metrics")" || fail "metrics request failed"
+case "$METRICS" in
+  *'"schema":"ntw-metrics"'*) ;;
+  *) fail "metrics response is not an ntw-metrics document" ;;
+esac
+case "$METRICS" in
+  *'"ntw.serve.requests":4'*) ;;
+  *) fail "request counter does not account for the 4 requests: $METRICS" ;;
+esac
+
+# Hot reload on SIGHUP: a new wrapper becomes servable without restart.
+printf 'XPATH\t//b/text()\n' > "$WORK/repo/example.com/price.wrapper"
+kill -HUP "$PID" || fail "SIGHUP failed"
+i=0
+while :; do
+  RELOADED="$(printf '<b>9</b>' | curl -sS --max-time 5 --data-binary @- \
+      "$BASE/extract?site=example.com&attribute=price")" \
+      || fail "post-reload extract failed"
+  case "$RELOADED" in
+    *'"values":["9"]'*) break ;;
+  esac
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    fail "reload never served the new wrapper: $RELOADED"
+  fi
+  sleep 0.1
+done
+
+# Graceful SIGTERM: exit 0 and a flushed metrics file.
+kill -TERM "$PID" || fail "SIGTERM failed"
+wait "$PID"
+CODE=$?
+[ "$CODE" -eq 0 ] || fail "daemon exited $CODE instead of 0"
+[ -s "$WORK/metrics.json" ] || fail "daemon did not flush --metrics-json"
+case "$(cat "$WORK/metrics.json")" in
+  *'"schema":"ntw-metrics"'*) ;;
+  *) fail "flushed metrics file is not an ntw-metrics document" ;;
+esac
+
+echo "serve_smoke OK (port $PORT)"
