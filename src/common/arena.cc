@@ -1,0 +1,64 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ntw {
+
+char* Arena::Allocate(size_t n, size_t align) {
+  uintptr_t p = reinterpret_cast<uintptr_t>(ptr_);
+  uintptr_t aligned = (p + (align - 1)) & ~(uintptr_t{align} - 1);
+  size_t pad = aligned - p;
+  if (ptr_ != nullptr && n + pad <= static_cast<size_t>(end_ - ptr_)) {
+    used_ += n + pad;
+    ptr_ = reinterpret_cast<char*>(aligned) + n;
+    return reinterpret_cast<char*>(aligned);
+  }
+  return AllocateSlow(n, align);
+}
+
+char* Arena::AllocateSlow(size_t n, size_t align) {
+  // A fresh chunk from operator new is max_align_t-aligned, so its base
+  // satisfies any `align` we accept.
+  size_t want = std::max(n, std::max(min_chunk_bytes_, capacity_));
+  Chunk chunk;
+  chunk.data = std::make_unique<char[]>(want);
+  chunk.size = want;
+  ptr_ = chunk.data.get();
+  end_ = ptr_ + want;
+  capacity_ += want;
+  fresh_bytes_ += n;
+  used_ += n;
+  chunks_.push_back(std::move(chunk));
+  char* out = ptr_;
+  ptr_ += n;
+  (void)align;
+  return out;
+}
+
+std::string_view Arena::CopyString(std::string_view s) {
+  if (s.empty()) return std::string_view();
+  char* dst = Allocate(s.size(), 1);
+  std::memcpy(dst, s.data(), s.size());
+  return std::string_view(dst, s.size());
+}
+
+void Arena::Reset() {
+  used_ = 0;
+  fresh_bytes_ = 0;
+  if (chunks_.empty()) return;
+  if (chunks_.size() > 1) {
+    // Consolidate: one chunk of the combined capacity, so the next cycle
+    // bumps within a single contiguous run and never spills.
+    size_t total = capacity_;
+    chunks_.clear();
+    Chunk chunk;
+    chunk.data = std::make_unique<char[]>(total);
+    chunk.size = total;
+    chunks_.push_back(std::move(chunk));
+  }
+  ptr_ = chunks_.back().data.get();
+  end_ = ptr_ + chunks_.back().size;
+}
+
+}  // namespace ntw

@@ -1,0 +1,34 @@
+#include "common/build_info.h"
+
+#include <thread>
+
+#include "obs/json.h"
+
+#ifndef NTW_GIT_SHA
+#define NTW_GIT_SHA "unknown"
+#endif
+#ifndef NTW_BUILD_TYPE
+#define NTW_BUILD_TYPE "unknown"
+#endif
+
+namespace ntw {
+
+BuildInfo GetBuildInfo() {
+  BuildInfo info;
+  info.cpu_count = static_cast<int>(std::thread::hardware_concurrency());
+  info.build_type = NTW_BUILD_TYPE;
+  info.git_sha = NTW_GIT_SHA;
+  return info;
+}
+
+void WriteMachineInfo(obs::JsonWriter& json) {
+  BuildInfo info = GetBuildInfo();
+  json.Key("machine");
+  json.BeginObject();
+  json.KV("cpu_count", static_cast<int64_t>(info.cpu_count));
+  json.KV("build_type", info.build_type);
+  json.KV("git_sha", info.git_sha);
+  json.EndObject();
+}
+
+}  // namespace ntw

@@ -1,0 +1,28 @@
+#ifndef NTW_COMMON_BUILD_INFO_H_
+#define NTW_COMMON_BUILD_INFO_H_
+
+#include <string>
+
+namespace ntw {
+
+namespace obs {
+class JsonWriter;
+}  // namespace obs
+
+// Machine/build metadata recorded in benchmark artifacts so the bench
+// trajectory is comparable across commits and hosts.
+struct BuildInfo {
+  int cpu_count = 0;          // std::thread::hardware_concurrency
+  std::string build_type;     // CMAKE_BUILD_TYPE at configure time
+  std::string git_sha;        // `git rev-parse --short HEAD` at configure time
+};
+
+BuildInfo GetBuildInfo();
+
+// Appends `"machine": {"cpu_count": N, "build_type": "...", "git_sha": "..."}`
+// to an open JSON object.
+void WriteMachineInfo(obs::JsonWriter& json);
+
+}  // namespace ntw
+
+#endif  // NTW_COMMON_BUILD_INFO_H_

@@ -1,0 +1,304 @@
+#include "core/compiled_wrapper.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/hlrt_inductor.h"
+#include "core/lr_inductor.h"
+#include "core/xpath_inductor.h"
+#include "xpath/ast.h"
+
+namespace ntw::core {
+
+StringSearcher::StringSearcher(std::string needle)
+    : needle_(std::move(needle)) {
+  size_t n = needle_.size();
+  for (size_t i = 0; i < 256; ++i) skip_[i] = n;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    skip_[static_cast<unsigned char>(needle_[i])] = n - 1 - i;
+  }
+}
+
+size_t StringSearcher::Find(std::string_view haystack, size_t from) const {
+  size_t n = needle_.size();
+  if (n == 0) return from <= haystack.size() ? from : std::string_view::npos;
+  if (from > haystack.size() || n > haystack.size() - from) {
+    return std::string_view::npos;
+  }
+  size_t pos = from;
+  size_t last = haystack.size() - n;
+  while (pos <= last) {
+    unsigned char tail = static_cast<unsigned char>(haystack[pos + n - 1]);
+    if (tail == static_cast<unsigned char>(needle_[n - 1]) &&
+        std::memcmp(haystack.data() + pos, needle_.data(), n - 1) == 0) {
+      return pos;
+    }
+    pos += skip_[tail];
+  }
+  return std::string_view::npos;
+}
+
+void FastPageBuffer::Clear() {
+  doc.Clear();
+  values.clear();
+  current_.clear();
+  next_.clear();
+  // marks_/epoch_ stay: stale marks always hold an epoch older than any
+  // future one, so they can never alias a live mark.
+}
+
+FastBufferPool::Lease::~Lease() {
+  if (pool_ == nullptr) return;
+  buffer_->Clear();
+  std::lock_guard<std::mutex> lock(pool_->mu_);
+  for (auto& slot : pool_->free_) {
+    if (slot == nullptr) {
+      slot.reset(buffer_);
+      return;
+    }
+  }
+  pool_->free_.emplace_back(buffer_);
+}
+
+FastBufferPool::Lease FastBufferPool::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& slot : free_) {
+    if (slot != nullptr) {
+      return Lease(this, slot.release());
+    }
+  }
+  return Lease(this, new FastPageBuffer());
+}
+
+std::shared_ptr<const CompiledWrapper> CompiledWrapper::Compile(
+    const Wrapper& wrapper) {
+  auto plan = std::make_shared<CompiledWrapper>();
+  if (const auto* x = dynamic_cast<const XPathWrapper*>(&wrapper)) {
+    plan->kind_ = Kind::kXPath;
+    for (const xpath::Step& step : x->expr().steps) {
+      StepOp op;
+      op.descendant = step.axis == xpath::Axis::kDescendant;
+      switch (step.test) {
+        case xpath::NodeTest::kText:
+          op.is_text = true;
+          break;
+        case xpath::NodeTest::kAnyElement:
+          op.any_element = true;
+          break;
+        case xpath::NodeTest::kTag:
+          op.tag_id = html::NameTable::Global().Intern(step.tag).id;
+          break;
+      }
+      op.child_number = step.child_number.value_or(-1);
+      for (const auto& [name, value] : step.attr_filters) {
+        op.attr_filters.emplace_back(html::NameTable::Global().Intern(name).id,
+                                     value);
+      }
+      plan->steps_.push_back(std::move(op));
+    }
+    return plan;
+  }
+  if (const auto* lr = dynamic_cast<const LrWrapper*>(&wrapper)) {
+    plan->kind_ = Kind::kLr;
+    plan->left_ = lr->left();
+    plan->right_ = lr->right();
+    plan->left_searcher_ = StringSearcher(plan->left_);
+    return plan;
+  }
+  if (const auto* hlrt = dynamic_cast<const HlrtWrapper*>(&wrapper)) {
+    plan->kind_ = Kind::kHlrt;
+    plan->head_ = hlrt->head();
+    plan->tail_ = hlrt->tail();
+    plan->left_ = hlrt->left();
+    plan->right_ = hlrt->right();
+    plan->head_searcher_ = StringSearcher(plan->head_);
+    plan->tail_searcher_ = StringSearcher(plan->tail_);
+    plan->left_searcher_ = StringSearcher(plan->left_);
+    return plan;
+  }
+  return nullptr;  // Unknown kind: caller falls back to the interpreter.
+}
+
+void CompiledWrapper::Extract(FastPageBuffer& buffer,
+                              std::vector<std::string_view>* values) const {
+  values->clear();
+  switch (kind_) {
+    case Kind::kXPath:
+      ExtractXPath(buffer, values);
+      return;
+    case Kind::kLr:
+      ExtractLr(buffer, values);
+      return;
+    case Kind::kHlrt:
+      ExtractHlrt(buffer, values);
+      return;
+  }
+}
+
+namespace {
+
+// First pre-order index after the subtree rooted at `index` — because the
+// builder appends nodes in document order, a subtree occupies the
+// contiguous index range (index, SubtreeEnd(index)).
+int32_t SubtreeEnd(const html::ArenaDocument& doc, int32_t index) {
+  int32_t n = index;
+  while (n >= 0) {
+    int32_t sibling = doc.node(n).next_sibling;
+    if (sibling >= 0) return sibling;
+    n = doc.node(n).parent;
+  }
+  return static_cast<int32_t>(doc.node_count());
+}
+
+}  // namespace
+
+void CompiledWrapper::ExtractXPath(
+    FastPageBuffer& buffer, std::vector<std::string_view>* values) const {
+  const html::ArenaDocument& doc = buffer.doc;
+  std::vector<int32_t>& current = buffer.current_;
+  std::vector<int32_t>& next = buffer.next_;
+  std::vector<uint32_t>& marks = buffer.marks_;
+  if (marks.size() < doc.node_count()) marks.resize(doc.node_count(), 0);
+
+  current.clear();
+  current.push_back(0);  // Document root.
+  for (const StepOp& step : steps_) {
+    next.clear();
+    if (++buffer.epoch_ == 0) {  // Wraparound: wipe stale marks once.
+      std::fill(marks.begin(), marks.end(), 0u);
+      buffer.epoch_ = 1;
+    }
+    uint32_t epoch = buffer.epoch_;
+
+    auto try_candidate = [&](int32_t idx) {
+      const html::ArenaNode& n = doc.node(idx);
+      if (step.is_text) {
+        if (n.kind != html::NodeKind::kText) return;
+      } else if (step.any_element) {
+        if (n.kind != html::NodeKind::kElement) return;
+      } else {
+        if (n.kind != html::NodeKind::kElement || n.tag_id != step.tag_id) {
+          return;
+        }
+      }
+      if (step.child_number >= 0) {
+        if (!step.is_text && !step.any_element) {
+          if (n.same_tag_child_number != step.child_number) return;
+        } else if (n.sibling_index + 1 != step.child_number) {
+          return;
+        }
+      }
+      for (const auto& [name_id, value] : step.attr_filters) {
+        const html::ArenaAttr* attr = doc.FindAttr(n, name_id);
+        if (attr == nullptr || attr->value != value) return;
+      }
+      uint32_t& mark = marks[static_cast<size_t>(idx)];
+      if (mark == epoch) return;  // Already collected for this step.
+      mark = epoch;
+      next.push_back(idx);
+    };
+
+    for (int32_t context : current) {
+      if (step.descendant) {
+        int32_t end = SubtreeEnd(doc, context);
+        for (int32_t i = context + 1; i < end; ++i) try_candidate(i);
+      } else {
+        for (int32_t c = doc.node(context).first_child; c >= 0;
+             c = doc.node(c).next_sibling) {
+          try_candidate(c);
+        }
+      }
+    }
+    current.swap(next);
+    if (current.empty()) break;
+  }
+
+  // Same final ordering as xpath::Evaluate: ascending pre-order.
+  std::sort(current.begin(), current.end());
+  for (int32_t idx : current) {
+    const html::ArenaNode& n = doc.node(idx);
+    values->push_back(n.kind == html::NodeKind::kText ? n.text
+                                                      : std::string_view());
+  }
+}
+
+bool CompiledWrapper::SpanMatchesLr(const std::string& stream, size_t begin,
+                                    size_t end) const {
+  if (begin < left_.size()) return false;
+  if (std::memcmp(stream.data() + (begin - left_.size()), left_.data(),
+                  left_.size()) != 0) {
+    return false;
+  }
+  if (right_.size() > stream.size() - end) return false;
+  return std::memcmp(stream.data() + end, right_.data(), right_.size()) == 0;
+}
+
+void CompiledWrapper::ExtractLr(FastPageBuffer& buffer,
+                                std::vector<std::string_view>* values) const {
+  const std::string& stream = buffer.doc.stream();
+  const auto& spans = buffer.doc.spans();
+  if (left_.empty()) {
+    for (const auto& span : spans) {
+      if (SpanMatchesLr(stream, span.begin, span.end)) {
+        values->push_back(
+            std::string_view(stream).substr(span.begin, span.end - span.begin));
+      }
+    }
+    return;
+  }
+  // Occurrence-driven: every matching span's begin coincides with the end of
+  // a left-delimiter occurrence, so scan occurrences (BMH) and binary-merge
+  // against the span list instead of memcmp-ing every span.
+  size_t si = 0;
+  size_t pos = 0;
+  while (si < spans.size()) {
+    pos = left_searcher_.Find(stream, pos);
+    if (pos == std::string_view::npos) break;
+    size_t anchor = pos + left_.size();
+    while (si < spans.size() && spans[si].begin < anchor) ++si;
+    for (size_t j = si; j < spans.size() && spans[j].begin == anchor; ++j) {
+      const auto& span = spans[j];
+      if (right_.size() <= stream.size() - span.end &&
+          std::memcmp(stream.data() + span.end, right_.data(),
+                      right_.size()) == 0) {
+        values->push_back(
+            std::string_view(stream).substr(span.begin, span.end - span.begin));
+      }
+    }
+    ++pos;
+  }
+}
+
+void CompiledWrapper::ExtractHlrt(
+    FastPageBuffer& buffer, std::vector<std::string_view>* values) const {
+  const std::string& stream = buffer.doc.stream();
+  const auto& spans = buffer.doc.spans();
+  // Region, exactly as hlrt_inductor.cc: after the first head occurrence,
+  // before the first tail occurrence after that; no head occurrence → {0,0}.
+  size_t begin = 0;
+  size_t end = stream.size();
+  bool no_region = false;
+  if (!head_.empty()) {
+    size_t pos = head_searcher_.Find(stream, 0);
+    if (pos == std::string_view::npos) {
+      begin = 0;
+      end = 0;
+      no_region = true;  // Head absent: Region() is {0,0}, tail not searched.
+    } else {
+      begin = pos + head_.size();
+    }
+  }
+  if (!no_region && !tail_.empty()) {
+    size_t pos = tail_searcher_.Find(stream, begin);
+    if (pos != std::string_view::npos) end = pos;
+  }
+  for (const auto& span : spans) {
+    if (span.begin < begin || span.end > end) continue;
+    if (SpanMatchesLr(stream, span.begin, span.end)) {
+      values->push_back(
+          std::string_view(stream).substr(span.begin, span.end - span.begin));
+    }
+  }
+}
+
+}  // namespace ntw::core

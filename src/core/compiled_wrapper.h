@@ -1,0 +1,154 @@
+#ifndef NTW_CORE_COMPILED_WRAPPER_H_
+#define NTW_CORE_COMPILED_WRAPPER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/wrapper.h"
+#include "html/arena_dom.h"
+
+namespace ntw::core {
+
+/// Precomputed Boyer–Moore–Horspool substring search. Find() returns the
+/// same positions as std::string::find (including the empty-needle edge
+/// cases), just faster on long haystacks: the skip table lets the scan
+/// advance needle-length bytes on a mismatching last character.
+class StringSearcher {
+ public:
+  StringSearcher() = default;
+  explicit StringSearcher(std::string needle);
+
+  /// First occurrence at or after `from`; std::string_view::npos if none.
+  size_t Find(std::string_view haystack, size_t from = 0) const;
+
+  const std::string& needle() const { return needle_; }
+  bool empty() const { return needle_.empty(); }
+
+ private:
+  std::string needle_;
+  // Shift for each possible last-window byte.
+  size_t skip_[256] = {};
+};
+
+/// Reusable per-request buffers for the fast path: the arena document plus
+/// the evaluator scratch. Acquire one from a FastBufferPool, parse into
+/// `doc`, run CompiledWrapper::Extract, copy the values out, release.
+/// Everything keeps its capacity across uses; steady state allocates
+/// nothing.
+class FastPageBuffer {
+ public:
+  html::ArenaDocument doc;
+  /// Output slot for CompiledWrapper::Extract — views into `doc`.
+  std::vector<std::string_view> values;
+
+  /// Recycles for the next request (keeps capacity).
+  void Clear();
+
+ private:
+  friend class CompiledWrapper;
+
+  // XPath step-machine scratch: current/next context sets and an
+  // epoch-marked dedup table.
+  std::vector<int32_t> current_;
+  std::vector<int32_t> next_;
+  std::vector<uint32_t> marks_;
+  uint32_t epoch_ = 0;
+};
+
+/// A thread-safe free list of FastPageBuffers. Lease RAII-returns the
+/// buffer (Clear()ed) on destruction.
+class FastBufferPool {
+ public:
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), buffer_(other.buffer_) {
+      other.pool_ = nullptr;
+      other.buffer_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    ~Lease();
+
+    FastPageBuffer* operator->() { return buffer_; }
+    FastPageBuffer& operator*() { return *buffer_; }
+
+   private:
+    friend class FastBufferPool;
+    Lease(FastBufferPool* pool, FastPageBuffer* buffer)
+        : pool_(pool), buffer_(buffer) {}
+    FastBufferPool* pool_;
+    FastPageBuffer* buffer_;
+  };
+
+  Lease Acquire();
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<FastPageBuffer>> free_;
+};
+
+/// A wrapper compiled into an executable plan over the arena DOM:
+///   - XPATH  → a step program over interned tag/attr ids (no string
+///              compares on the hot path);
+///   - LR     → occurrence-driven scan of the flattened stream using a BMH
+///              searcher for the left delimiter;
+///   - HLRT   → BMH head/tail region narrowing, then anchored LR checks.
+///
+/// Extract() returns, for the single page in `buffer.doc`, exactly the
+/// values the interpreted Wrapper::Extract + node->text() pipeline returns
+/// for the same input, in the same order — the byte-identity contract the
+/// serving layer relies on (tests/fastpath_equivalence_test.cc pins it).
+/// The returned string_views point into the buffer; consume them before
+/// releasing it.
+class CompiledWrapper {
+ public:
+  /// Compiles `wrapper` (an XPathWrapper, LrWrapper or HlrtWrapper).
+  /// Returns nullptr for wrapper kinds without a compiled form — callers
+  /// fall back to the interpreted path.
+  static std::shared_ptr<const CompiledWrapper> Compile(
+      const Wrapper& wrapper);
+
+  void Extract(FastPageBuffer& buffer,
+               std::vector<std::string_view>* values) const;
+
+ private:
+  enum class Kind { kXPath, kLr, kHlrt };
+
+  struct StepOp {
+    bool descendant = false;  // child vs descendant axis
+    // Node test: kText (tag_id == -2), any element (tag_id == -1), or a
+    // specific interned tag id.
+    int32_t tag_id = -1;
+    bool is_text = false;
+    bool any_element = false;
+    int32_t child_number = -1;  // -1 = no filter (0 is a legal, unmatchable
+                                // value: child numbers are 1-based)
+    std::vector<std::pair<int32_t, std::string>> attr_filters;
+  };
+
+  void ExtractXPath(FastPageBuffer& buffer,
+                    std::vector<std::string_view>* values) const;
+  void ExtractLr(FastPageBuffer& buffer,
+                 std::vector<std::string_view>* values) const;
+  void ExtractHlrt(FastPageBuffer& buffer,
+                   std::vector<std::string_view>* values) const;
+  bool SpanMatchesLr(const std::string& stream, size_t begin,
+                     size_t end) const;
+
+  Kind kind_ = Kind::kXPath;
+  std::vector<StepOp> steps_;        // XPATH
+  std::string left_, right_;         // LR / HLRT
+  StringSearcher left_searcher_;     // LR / HLRT (non-empty left only)
+  StringSearcher head_searcher_;     // HLRT
+  StringSearcher tail_searcher_;     // HLRT
+  std::string head_, tail_;          // HLRT
+};
+
+}  // namespace ntw::core
+
+#endif  // NTW_CORE_COMPILED_WRAPPER_H_

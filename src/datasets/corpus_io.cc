@@ -86,6 +86,22 @@ Result<core::PageSet> LoadPagesFromDirectory(const std::string& directory) {
   return pages;
 }
 
+Result<std::vector<std::string>> LoadPageSourcesFromDirectory(
+    const std::string& directory) {
+  NTW_ASSIGN_OR_RETURN(std::vector<std::string> files,
+                       ListFiles(directory, ".html"));
+  if (files.empty()) {
+    return Status::NotFound("no .html files in " + directory);
+  }
+  std::vector<std::string> sources;
+  sources.reserve(files.size());
+  for (const std::string& path : files) {
+    NTW_ASSIGN_OR_RETURN(std::string contents, ReadFile(path));
+    sources.push_back(std::move(contents));
+  }
+  return sources;
+}
+
 Result<SiteData> ImportSite(const std::string& directory) {
   SiteData site;
   NTW_ASSIGN_OR_RETURN(std::string name, ReadFile(directory + "/site.txt"));

@@ -2,6 +2,7 @@
 #define NTW_DATASETS_CORPUS_IO_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "datasets/dataset.h"
@@ -36,6 +37,13 @@ Result<Dataset> ImportDataset(const std::string& directory);
 /// Parses a directory of raw .html files into a PageSet (no truth /
 /// annotations) — the entry point for user-supplied crawls.
 Result<core::PageSet> LoadPagesFromDirectory(const std::string& directory);
+
+/// Reads the same .html files in the same (sorted) order as
+/// LoadPagesFromDirectory, but returns the raw bytes unparsed — the input
+/// the compiled fast path (arena DOM) consumes. Index i here corresponds
+/// to page i of the PageSet the sibling function builds.
+Result<std::vector<std::string>> LoadPageSourcesFromDirectory(
+    const std::string& directory);
 
 }  // namespace ntw::datasets
 

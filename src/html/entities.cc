@@ -98,19 +98,27 @@ size_t TryDecodeReference(std::string_view s, size_t pos, std::string* out) {
 std::string DecodeEntities(std::string_view s) {
   std::string out;
   out.reserve(s.size());
+  AppendDecodedEntities(s, &out);
+  return out;
+}
+
+void AppendDecodedEntities(std::string_view s, std::string* out) {
   size_t i = 0;
   while (i < s.size()) {
-    if (s[i] == '&') {
-      size_t next = TryDecodeReference(s, i, &out);
-      if (next != i) {
-        i = next;
-        continue;
-      }
+    size_t amp = s.find('&', i);
+    if (amp == std::string_view::npos) {
+      out->append(s.data() + i, s.size() - i);
+      return;
     }
-    out.push_back(s[i]);
-    ++i;
+    out->append(s.data() + i, amp - i);
+    size_t next = TryDecodeReference(s, amp, out);
+    if (next != amp) {
+      i = next;
+    } else {
+      out->push_back('&');
+      i = amp + 1;
+    }
   }
-  return out;
 }
 
 }  // namespace ntw::html

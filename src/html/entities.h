@@ -14,6 +14,12 @@ namespace ntw::html {
 /// tag-soup browser behaviour.
 std::string DecodeEntities(std::string_view s);
 
+/// Appends the decoded form of `s` to `*out` without clearing it: exactly
+/// DecodeEntities minus the allocation, so hot loops (the tokenizer) can
+/// reuse one output buffer across calls. Runs without references are
+/// copied in bulk rather than byte by byte.
+void AppendDecodedEntities(std::string_view s, std::string* out);
+
 }  // namespace ntw::html
 
 #endif  // NTW_HTML_ENTITIES_H_

@@ -1,0 +1,24 @@
+#ifndef NTW_HTML_PARSE_RULES_H_
+#define NTW_HTML_PARSE_RULES_H_
+
+#include <string_view>
+
+namespace ntw::html {
+
+/// Tag-soup recovery rules shared by the heap tree builder (parser.cc) and
+/// the arena tree builder (arena_dom.cc). The two parse modes must produce
+/// structurally identical trees — keeping the rules in one place is what
+/// makes the fast path's byte-identity contract hold by construction.
+
+/// True when an open <`open`> element is implicitly closed by an incoming
+/// start tag <`incoming`> (HTML5 "implied end tags" restricted to what
+/// listing pages actually use).
+bool CloseImpliedBy(std::string_view open, std::string_view incoming);
+
+/// Elements that act as scope boundaries: an implied close never propagates
+/// past them.
+bool IsScopeBoundary(std::string_view tag);
+
+}  // namespace ntw::html
+
+#endif  // NTW_HTML_PARSE_RULES_H_

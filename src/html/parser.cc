@@ -5,14 +5,15 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "html/parse_rules.h"
 #include "html/tokenizer.h"
 
 namespace ntw::html {
-namespace {
 
 // Tags whose open instance is implicitly closed when a sibling of the same
 // group starts. Modeled on the HTML5 "implied end tags" rules restricted to
-// what listing pages actually use.
+// what listing pages actually use. Shared with the arena builder via
+// parse_rules.h so the two parse modes cannot drift.
 bool CloseImpliedBy(std::string_view open, std::string_view incoming) {
   if (open == "li" && incoming == "li") return true;
   if (open == "option" && incoming == "option") return true;
@@ -43,6 +44,8 @@ bool IsScopeBoundary(std::string_view tag) {
   return tag == "table" || tag == "ul" || tag == "ol" || tag == "dl" ||
          tag == "div" || tag == "body" || tag == "html" || tag == "select";
 }
+
+namespace {
 
 class TreeBuilder {
  public:

@@ -36,10 +36,11 @@ bool Tokenizer::Next(Token* token) {
 
   if (input_[pos_] != '<') {
     size_t start = pos_;
-    while (pos_ < input_.size() && input_[pos_] != '<') ++pos_;
+    pos_ = input_.find('<', pos_);  // memchr under the hood.
+    if (pos_ == std::string_view::npos) pos_ = input_.size();
     token->kind = TokenKind::kText;
-    token->data = DecodeEntities(input_.substr(start, pos_ - start));
-    token->attrs.clear();
+    token->data.clear();
+    AppendDecodedEntities(input_.substr(start, pos_ - start), &token->data);
     token->self_closing = false;
     return true;
   }
@@ -48,13 +49,12 @@ bool Tokenizer::Next(Token* token) {
   if (input_.substr(pos_).size() >= 4 && input_.substr(pos_, 4) == "<!--") {
     size_t end = input_.find("-->", pos_ + 4);
     token->kind = TokenKind::kComment;
-    token->attrs.clear();
     token->self_closing = false;
     if (end == std::string_view::npos) {
-      token->data = std::string(input_.substr(pos_ + 4));
+      token->data.assign(input_.substr(pos_ + 4));
       pos_ = input_.size();
     } else {
-      token->data = std::string(input_.substr(pos_ + 4, end - pos_ - 4));
+      token->data.assign(input_.substr(pos_ + 4, end - pos_ - 4));
       pos_ = end + 3;
     }
     return true;
@@ -64,13 +64,12 @@ bool Tokenizer::Next(Token* token) {
   if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '!') {
     size_t end = input_.find('>', pos_);
     token->kind = TokenKind::kDoctype;
-    token->attrs.clear();
     token->self_closing = false;
     if (end == std::string_view::npos) {
-      token->data = std::string(input_.substr(pos_ + 2));
+      token->data.assign(input_.substr(pos_ + 2));
       pos_ = input_.size();
     } else {
-      token->data = std::string(input_.substr(pos_ + 2, end - pos_ - 2));
+      token->data.assign(input_.substr(pos_ + 2, end - pos_ - 2));
       pos_ = end + 1;
     }
     return true;
@@ -80,11 +79,11 @@ bool Tokenizer::Next(Token* token) {
 
   // Stray '<': emit it as text together with the following run.
   size_t start = pos_;
-  ++pos_;
-  while (pos_ < input_.size() && input_[pos_] != '<') ++pos_;
+  pos_ = input_.find('<', pos_ + 1);
+  if (pos_ == std::string_view::npos) pos_ = input_.size();
   token->kind = TokenKind::kText;
-  token->data = DecodeEntities(input_.substr(start, pos_ - start));
-  token->attrs.clear();
+  token->data.clear();
+  AppendDecodedEntities(input_.substr(start, pos_ - start), &token->data);
   token->self_closing = false;
   return true;
 }
@@ -103,11 +102,10 @@ bool Tokenizer::LexTag(Token* token) {
   }
   size_t name_start = pos_;
   while (pos_ < input_.size() && IsTagNameChar(input_[pos_])) ++pos_;
-  std::string name = ToLower(input_.substr(name_start, pos_ - name_start));
 
   token->kind = closing ? TokenKind::kEndTag : TokenKind::kStartTag;
-  token->data = name;
-  token->attrs.clear();
+  token->data.assign(input_.substr(name_start, pos_ - name_start));
+  for (char& c : token->data) c = AsciiToLower(c);
   token->self_closing = false;
 
   if (!closing) {
@@ -120,25 +118,30 @@ bool Tokenizer::LexTag(Token* token) {
   if (pos_ < input_.size() && input_[pos_] == '>') ++pos_;
 
   if (!closing && !token->self_closing &&
-      (name == "script" || name == "style" || name == "textarea")) {
-    raw_text_tag_ = name;
+      (token->data == "script" || token->data == "style" ||
+       token->data == "textarea")) {
+    raw_text_tag_ = token->data;
   }
   return true;
 }
 
 void Tokenizer::LexAttributes(Token* token) {
+  // Overwrite existing attr slots in place and trim at the end: the slot
+  // strings keep their capacity from tag to tag, so steady-state attribute
+  // lexing does not allocate.
+  size_t count = 0;
   for (;;) {
     SkipWhitespace();
-    if (pos_ >= input_.size()) return;
+    if (pos_ >= input_.size()) break;
     char c = input_[pos_];
-    if (c == '>') return;
+    if (c == '>') break;
     if (c == '/') {
       ++pos_;
       SkipWhitespace();
       if (pos_ < input_.size() && input_[pos_] == '>') {
         token->self_closing = true;
       }
-      return;
+      break;
     }
     // Attribute name.
     size_t name_start = pos_;
@@ -147,13 +150,16 @@ void Tokenizer::LexAttributes(Token* token) {
            !IsAsciiSpace(input_[pos_])) {
       ++pos_;
     }
-    std::string name = ToLower(input_.substr(name_start, pos_ - name_start));
-    if (name.empty()) {
+    if (pos_ == name_start) {
       ++pos_;  // Defensive: skip a malformed character.
       continue;
     }
+    if (count == token->attrs.size()) token->attrs.emplace_back();
+    auto& [name, value] = token->attrs[count++];
+    name.assign(input_.substr(name_start, pos_ - name_start));
+    for (char& ch : name) ch = AsciiToLower(ch);
+    value.clear();
     SkipWhitespace();
-    std::string value;
     if (pos_ < input_.size() && input_[pos_] == '=') {
       ++pos_;
       SkipWhitespace();
@@ -162,7 +168,8 @@ void Tokenizer::LexAttributes(Token* token) {
         char quote = input_[pos_++];
         size_t value_start = pos_;
         while (pos_ < input_.size() && input_[pos_] != quote) ++pos_;
-        value = DecodeEntities(input_.substr(value_start, pos_ - value_start));
+        AppendDecodedEntities(
+            input_.substr(value_start, pos_ - value_start), &value);
         if (pos_ < input_.size()) ++pos_;  // Closing quote.
       } else {
         size_t value_start = pos_;
@@ -170,11 +177,12 @@ void Tokenizer::LexAttributes(Token* token) {
                input_[pos_] != '>') {
           ++pos_;
         }
-        value = DecodeEntities(input_.substr(value_start, pos_ - value_start));
+        AppendDecodedEntities(
+            input_.substr(value_start, pos_ - value_start), &value);
       }
     }
-    token->attrs.emplace_back(std::move(name), std::move(value));
   }
+  token->attrs.resize(count);
 }
 
 void Tokenizer::SkipWhitespace() {
@@ -199,8 +207,7 @@ bool Tokenizer::ConsumeRawText(const std::string& closing_tag, Token* token) {
   }
   if (end == pos_) return false;
   token->kind = TokenKind::kText;
-  token->data = std::string(input_.substr(pos_, end - pos_));
-  token->attrs.clear();
+  token->data.assign(input_.substr(pos_, end - pos_));
   token->self_closing = false;
   pos_ = end;
   return true;

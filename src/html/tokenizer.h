@@ -18,6 +18,11 @@ enum class TokenKind {
 
 /// One lexical token. Tag names and attribute names are lowercased;
 /// attribute values and text have character references decoded.
+///
+/// `attrs` is meaningful only for kStartTag. The streaming loop reuses the
+/// caller's Token — its strings keep their capacity, so steady-state
+/// tokenization allocates nothing — which means other token kinds may leave
+/// stale attrs from an earlier tag in place rather than clearing them.
 struct Token {
   TokenKind kind;
   std::string data;  // Tag name, text content, or comment body.

@@ -72,6 +72,13 @@ void JsonWriter::EndArray() {
   out_ += ']';
 }
 
+void JsonWriter::RawMembers(std::string_view members) {
+  if (members.empty()) return;
+  if (has_member_.back()) out_ += ',';
+  has_member_.back() = true;
+  out_.append(members.data(), members.size());
+}
+
 void JsonWriter::Key(std::string_view name) {
   if (has_member_.back()) out_ += ',';
   has_member_.back() = true;

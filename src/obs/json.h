@@ -33,6 +33,15 @@ class JsonWriter {
   void Bool(bool value);
   void Null();
 
+  /// Splices pre-serialized object members into the current object. The
+  /// fragment must be the exact bytes this writer would have produced for
+  /// the same members (callers build it once with a scratch JsonWriter and
+  /// memoize it — see WrapperRepository's per-entry response prefix).
+  void RawMembers(std::string_view members);
+
+  /// Pre-sizes the output buffer when the caller can bound the document.
+  void Reserve(size_t bytes) { out_.reserve(bytes); }
+
   /// Convenience: Key(name) + the value.
   void KV(std::string_view name, std::string_view value);
   void KV(std::string_view name, const char* value);

@@ -26,9 +26,18 @@ std::string_view StripCr(std::string_view line) {
 
 }  // namespace
 
-std::string HttpRequest::QueryParam(const std::string& name) const {
-  auto it = query.find(name);
-  return it == query.end() ? "" : it->second;
+std::string HttpRequest::QueryParam(std::string_view name) const {
+  for (const auto& [key, value] : query) {
+    if (key == name) return value;
+  }
+  return "";
+}
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
 }
 
 const char* ReasonPhrase(int status) {
@@ -62,20 +71,26 @@ HttpResponse ErrorResponse(int status, const std::string& message) {
   return response;
 }
 
+void SerializeResponseHead(const HttpResponse& response, bool keep_alive,
+                           std::string* out) {
+  out->clear();
+  *out += "HTTP/1.1 ";
+  *out += std::to_string(response.status);
+  *out += ' ';
+  *out += ReasonPhrase(response.status);
+  *out += "\r\nContent-Type: ";
+  *out += response.content_type;
+  *out += "\r\nContent-Length: ";
+  *out += std::to_string(response.body.size());
+  *out += "\r\nConnection: ";
+  *out += keep_alive ? "keep-alive" : "close";
+  *out += "\r\n\r\n";
+}
+
 std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
   std::string out;
   out.reserve(response.body.size() + 128);
-  out += "HTTP/1.1 ";
-  out += std::to_string(response.status);
-  out += ' ';
-  out += ReasonPhrase(response.status);
-  out += "\r\nContent-Type: ";
-  out += response.content_type;
-  out += "\r\nContent-Length: ";
-  out += std::to_string(response.body.size());
-  out += "\r\nConnection: ";
-  out += keep_alive ? "keep-alive" : "close";
-  out += "\r\n\r\n";
+  SerializeResponseHead(response, keep_alive, &out);
   out += response.body;
   return out;
 }
@@ -83,22 +98,34 @@ std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
 std::string UrlDecode(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (size_t i = 0; i < s.size(); ++i) {
-    if (s[i] == '+') {
-      out += ' ';
-    } else if (s[i] == '%' && i + 2 < s.size() && HexValue(s[i + 1]) >= 0 &&
-               HexValue(s[i + 2]) >= 0) {
-      out += static_cast<char>(HexValue(s[i + 1]) * 16 + HexValue(s[i + 2]));
-      i += 2;
-    } else {
-      out += s[i];
-    }
-  }
+  UrlDecodeTo(s, &out);
   return out;
 }
 
+void UrlDecodeTo(std::string_view s, std::string* out) {
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      *out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() && HexValue(s[i + 1]) >= 0 &&
+               HexValue(s[i + 2]) >= 0) {
+      *out += static_cast<char>(HexValue(s[i + 1]) * 16 + HexValue(s[i + 2]));
+      i += 2;
+    } else {
+      *out += s[i];
+    }
+  }
+}
+
 void RequestParser::Reset() {
-  request_ = HttpRequest();
+  // Clear contents but keep every buffer's capacity (including the header
+  // and query slot strings, which ParseHeaderBlock overwrites in place):
+  // a keep-alive connection parses its steady-state traffic without
+  // allocating.
+  request_.method.clear();
+  request_.target.clear();
+  request_.path.clear();
+  request_.body.clear();
+  request_.keep_alive = true;
   headers_complete_ = false;
   expects_continue_ = false;
   saw_bytes_ = false;
@@ -126,8 +153,8 @@ RequestParser::Phase RequestParser::ParseHeaderBlock(std::string_view block) {
   if (sp1 == std::string_view::npos || sp2 == sp1) {
     return Fail(400, "malformed request line");
   }
-  request_.method = std::string(request_line.substr(0, sp1));
-  request_.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request_.method.assign(request_line.substr(0, sp1));
+  request_.target.assign(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
   std::string_view version = request_line.substr(sp2 + 1);
   if (!version.starts_with("HTTP/1.")) {
     return Fail(505, "unsupported protocol version");
@@ -138,24 +165,50 @@ RequestParser::Phase RequestParser::ParseHeaderBlock(std::string_view block) {
     return Fail(400, "malformed request line");
   }
 
-  // Split target into decoded path + query parameters.
+  // Split target into decoded path + query parameters. Query slots are
+  // overwritten in place and trimmed at the end, so their string capacity
+  // survives from request to request on a keep-alive connection.
   std::string_view target = request_.target;
   size_t qmark = target.find('?');
-  request_.path = UrlDecode(target.substr(0, qmark));
+  request_.path.clear();
+  UrlDecodeTo(target.substr(0, qmark), &request_.path);
+  size_t query_count = 0;
   if (qmark != std::string_view::npos) {
-    for (const std::string& pair : Split(target.substr(qmark + 1), '&')) {
+    std::string_view pairs = target.substr(qmark + 1);
+    while (!pairs.empty()) {
+      size_t amp = pairs.find('&');
+      std::string_view pair =
+          amp == std::string_view::npos ? pairs : pairs.substr(0, amp);
+      pairs = amp == std::string_view::npos ? std::string_view()
+                                            : pairs.substr(amp + 1);
       if (pair.empty()) continue;
       size_t eq = pair.find('=');
-      std::string key = UrlDecode(std::string_view(pair).substr(0, eq));
-      std::string value = eq == std::string::npos
-                              ? ""
-                              : UrlDecode(std::string_view(pair).substr(eq + 1));
-      request_.query[key] = std::move(value);
+      if (query_count == request_.query.size()) request_.query.emplace_back();
+      auto& [key, value] = request_.query[query_count];
+      key.clear();
+      UrlDecodeTo(pair.substr(0, eq), &key);
+      value.clear();
+      if (eq != std::string_view::npos) {
+        UrlDecodeTo(pair.substr(eq + 1), &value);
+      }
+      // A repeated name keeps its first position and the last value, the
+      // semantics a map assignment had.
+      bool duplicate = false;
+      for (size_t i = 0; i < query_count; ++i) {
+        if (request_.query[i].first == key) {
+          std::swap(request_.query[i].second, value);
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) ++query_count;
     }
   }
+  request_.query.resize(query_count);
 
-  // Header fields.
+  // Header fields, with the same in-place slot reuse as the query list.
   std::string_view rest = block.substr(line_end + 1);
+  size_t header_count = 0;
   while (!rest.empty()) {
     size_t eol = rest.find('\n');
     std::string_view line =
@@ -164,32 +217,47 @@ RequestParser::Phase RequestParser::ParseHeaderBlock(std::string_view block) {
     if (line.empty()) continue;
     size_t colon = line.find(':');
     if (colon == std::string_view::npos) {
+      request_.headers.resize(header_count);
       return Fail(400, "malformed header field");
     }
-    std::string name = ToLower(StripWhitespace(line.substr(0, colon)));
-    std::string value(StripWhitespace(line.substr(colon + 1)));
-    if (name.empty()) return Fail(400, "malformed header field");
-    request_.headers[name] = value;
+    if (header_count == request_.headers.size()) {
+      request_.headers.emplace_back();
+    }
+    auto& [name, value] = request_.headers[header_count];
+    name.assign(StripWhitespace(line.substr(0, colon)));
+    for (char& c : name) c = AsciiToLower(c);
+    if (name.empty()) {
+      request_.headers.resize(header_count);
+      return Fail(400, "malformed header field");
+    }
+    value.assign(StripWhitespace(line.substr(colon + 1)));
+    bool duplicate = false;
+    for (size_t i = 0; i < header_count; ++i) {
+      if (request_.headers[i].first == name) {
+        std::swap(request_.headers[i].second, value);
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) ++header_count;
   }
+  request_.headers.resize(header_count);
 
-  auto connection = request_.headers.find("connection");
-  if (connection != request_.headers.end()) {
-    std::string value = ToLower(connection->second);
+  if (const std::string* connection = request_.FindHeader("connection")) {
+    std::string value = ToLower(*connection);
     if (value == "close") request_.keep_alive = false;
     if (value == "keep-alive") request_.keep_alive = true;
   }
-  auto expect = request_.headers.find("expect");
-  if (expect != request_.headers.end() &&
-      ToLower(expect->second) == "100-continue") {
+  const std::string* expect = request_.FindHeader("expect");
+  if (expect != nullptr && ToLower(*expect) == "100-continue") {
     expects_continue_ = true;
   }
 
-  if (request_.headers.count("transfer-encoding") > 0) {
+  if (request_.FindHeader("transfer-encoding") != nullptr) {
     return Fail(501, "transfer-encoding is not supported");
   }
-  auto length = request_.headers.find("content-length");
-  if (length != request_.headers.end()) {
-    const std::string& digits = length->second;
+  if (const std::string* length = request_.FindHeader("content-length")) {
+    const std::string& digits = *length;
     if (digits.empty() ||
         digits.find_first_not_of("0123456789") != std::string::npos ||
         digits.size() > 18) {
@@ -238,7 +306,7 @@ RequestParser::Phase RequestParser::Consume(std::string* in) {
     if (parsed == Phase::kError) return phase_;
   }
   if (in->size() < content_length_) return Phase::kNeedMore;
-  request_.body = in->substr(0, content_length_);
+  request_.body.assign(in->data(), content_length_);
   in->erase(0, content_length_);
   phase_ = Phase::kComplete;
   return phase_;

@@ -3,9 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace ntw::serve {
 
@@ -13,17 +14,26 @@ namespace ntw::serve {
 /// string is split and percent-decoded. `keep_alive` reflects the
 /// HTTP/1.1 default adjusted by a `Connection: close` header (HTTP/1.0
 /// requests default to close).
+///
+/// Headers and query parameters are flat (name, value) lists — both hold a
+/// handful of entries, so a linear scan beats a node-based map and the
+/// parser can reuse the slots' string capacity across keep-alive requests.
+/// Names are unique (a repeated name overwrites the earlier value, the same
+/// last-wins semantics a map assignment had).
 struct HttpRequest {
   std::string method;  // As sent, e.g. "GET" / "POST".
   std::string target;  // Raw request target, e.g. "/extract?site=x".
   std::string path;    // Decoded path before '?'.
-  std::map<std::string, std::string> query;
-  std::map<std::string, std::string> headers;
+  std::vector<std::pair<std::string, std::string>> query;
+  std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
   bool keep_alive = true;
 
   /// Query parameter value, or "" when absent.
-  std::string QueryParam(const std::string& name) const;
+  std::string QueryParam(std::string_view name) const;
+
+  /// Header value by lowercased name, or nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
 };
 
 /// A response under construction. Serialization adds Content-Length and
@@ -47,10 +57,21 @@ HttpResponse ErrorResponse(int status, const std::string& message);
 /// Serializes status line + headers + body into raw wire bytes.
 std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
 
+/// Serializes just the status line + headers (through the final CRLF CRLF)
+/// into `*out`, clearing it first — the buffer's capacity is reused, which
+/// is how per-connection head buffers avoid an allocation per response.
+/// The body is written separately (gathered writev-style), never copied.
+void SerializeResponseHead(const HttpResponse& response, bool keep_alive,
+                           std::string* out);
+
 /// Percent-decodes a URL component ('+' becomes a space; malformed %
 /// escapes are kept literally — the server is lenient on input it only
 /// uses for repository lookups that will simply miss).
 std::string UrlDecode(std::string_view s);
+
+/// Appends the decoded form to `*out` without clearing it; UrlDecode minus
+/// the allocation, so the parser can decode into reused buffers.
+void UrlDecodeTo(std::string_view s, std::string* out);
 
 /// Size limits enforced while parsing (see ServerOptions).
 struct HttpLimits {
@@ -77,6 +98,11 @@ class RequestParser {
 
   /// Moves the parsed request out; only valid after kComplete.
   HttpRequest TakeRequest() { return std::move(request_); }
+
+  /// The parsed request in place; only valid after kComplete. The inline
+  /// serving path reads it here and then Reset()s, so the request's buffers
+  /// (body, header slots) keep their capacity from request to request.
+  const HttpRequest& request() const { return request_; }
 
   /// True once the header block has been fully parsed.
   bool headers_complete() const { return headers_complete_; }

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -257,40 +258,49 @@ void HttpServer::TryAdvance(uint64_t id, Conn& conn, Clock::time_point now) {
 }
 
 void HttpServer::Dispatch(uint64_t id, Conn& conn, Clock::time_point now) {
-  HttpRequest request = conn.parser.TakeRequest();
-  conn.parser.Reset();
   conn.sent_continue = false;
 
   ServerMetrics& metrics = ServerMetrics::Get();
   metrics.requests->Add(1);
-  metrics.request_body_bytes->Record(static_cast<int64_t>(request.body.size()));
+  metrics.request_body_bytes->Record(
+      static_cast<int64_t>(conn.parser.request().body.size()));
 
-  bool keep_alive = request.keep_alive && !draining_;
+  bool keep_alive = conn.parser.request().keep_alive && !draining_;
   conn.close_after_write = !keep_alive;
 
   bool parallel = options_.pool != nullptr && options_.pool->threads() > 1;
   if (!parallel) {
-    HttpResponse response = SafeHandle(request);
+    // Inline path: handle the request where the parser built it, then
+    // Reset() — the request's buffers keep their capacity for the next
+    // request on this connection instead of being moved out and freed.
+    HttpResponse response = SafeHandle(conn.parser.request());
+    conn.parser.Reset();
     CountStatus(response.status);
-    StartWrite(conn, response, keep_alive, now);
+    StartWrite(conn, std::move(response), keep_alive, now);
     return;
   }
   if (inflight_ >= options_.max_inflight) {
+    conn.parser.Reset();
     metrics.rejected_overload->Add(1);
     HttpResponse response = ErrorResponse(
         503, "server is at its in-flight request limit, retry later");
     CountStatus(response.status);
-    StartWrite(conn, response, keep_alive, now);
+    StartWrite(conn, std::move(response), keep_alive, now);
     return;
   }
   ++inflight_;
   metrics.inflight->Set(inflight_);
   conn.state = Conn::State::kProcessing;
-  auto shared_request = std::make_shared<HttpRequest>(std::move(request));
+  auto shared_request =
+      std::make_shared<HttpRequest>(conn.parser.TakeRequest());
+  conn.parser.Reset();
   options_.pool->Submit([this, id, shared_request, keep_alive] {
     HttpResponse response = SafeHandle(*shared_request);
-    Completion completion{id, response.status,
-                          SerializeResponse(response, keep_alive)};
+    Completion completion;
+    completion.conn_id = id;
+    completion.status = response.status;
+    SerializeResponseHead(response, keep_alive, &completion.head);
+    completion.body = std::move(response.body);
     {
       std::lock_guard<std::mutex> lock(completion_mu_);
       completions_.push_back(std::move(completion));
@@ -299,14 +309,21 @@ void HttpServer::Dispatch(uint64_t id, Conn& conn, Clock::time_point now) {
   });
 }
 
-void HttpServer::StartWrite(Conn& conn, const HttpResponse& response,
+void HttpServer::StartWrite(Conn& conn, HttpResponse response,
                             bool keep_alive, Clock::time_point now) {
-  StartWriteRaw(conn, SerializeResponse(response, keep_alive), now);
+  // The head lands in the connection's recycled buffer; the body is moved,
+  // never copied.
+  SerializeResponseHead(response, keep_alive, &conn.out_head);
+  conn.out_body = std::move(response.body);
+  conn.out_offset = 0;
+  conn.state = Conn::State::kWriting;
+  conn.deadline = now + std::chrono::milliseconds(options_.write_timeout_ms);
 }
 
-void HttpServer::StartWriteRaw(Conn& conn, std::string bytes,
-                               Clock::time_point now) {
-  conn.out = std::move(bytes);
+void HttpServer::StartWriteParts(Conn& conn, std::string head,
+                                 std::string body, Clock::time_point now) {
+  conn.out_head = std::move(head);
+  conn.out_body = std::move(body);
   conn.out_offset = 0;
   conn.state = Conn::State::kWriting;
   conn.deadline = now + std::chrono::milliseconds(options_.write_timeout_ms);
@@ -314,9 +331,27 @@ void HttpServer::StartWriteRaw(Conn& conn, std::string bytes,
 
 void HttpServer::HandleWritable(uint64_t id, Conn& conn,
                                 Clock::time_point now) {
-  while (conn.out_offset < conn.out.size()) {
-    ssize_t sent = ::send(conn.fd, conn.out.data() + conn.out_offset,
-                          conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+  size_t total = conn.out_head.size() + conn.out_body.size();
+  while (conn.out_offset < total) {
+    // Gather write: head and body stay separate buffers all the way to the
+    // socket (sendmsg == writev + MSG_NOSIGNAL).
+    iovec iov[2];
+    int iov_count = 0;
+    if (conn.out_offset < conn.out_head.size()) {
+      iov[iov_count++] = {conn.out_head.data() + conn.out_offset,
+                          conn.out_head.size() - conn.out_offset};
+      if (!conn.out_body.empty()) {
+        iov[iov_count++] = {conn.out_body.data(), conn.out_body.size()};
+      }
+    } else {
+      size_t body_offset = conn.out_offset - conn.out_head.size();
+      iov[iov_count++] = {conn.out_body.data() + body_offset,
+                          conn.out_body.size() - body_offset};
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iov_count);
+    ssize_t sent = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
     if (sent > 0) {
       conn.out_offset += static_cast<size_t>(sent);
       continue;
@@ -334,8 +369,10 @@ void HttpServer::FinishWrite(uint64_t id, Conn& conn, Clock::time_point now) {
     return;
   }
   // Keep-alive: recycle the connection for the next request; pipelined
-  // bytes already buffered are consumed immediately.
-  conn.out.clear();
+  // bytes already buffered are consumed immediately. clear() keeps both
+  // buffers' capacity for the next response.
+  conn.out_head.clear();
+  conn.out_body.clear();
   conn.out_offset = 0;
   conn.state = Conn::State::kReading;
   conn.deadline = now + std::chrono::milliseconds(options_.read_timeout_ms);
@@ -359,7 +396,8 @@ void HttpServer::ApplyCompletions(Clock::time_point now) {
       continue;
     }
     CountStatus(completion.status);
-    StartWriteRaw(it->second, std::move(completion.bytes), now);
+    StartWriteParts(it->second, std::move(completion.head),
+                    std::move(completion.body), now);
     HandleWritable(completion.conn_id, it->second, now);
   }
 }

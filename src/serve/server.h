@@ -105,8 +105,13 @@ class HttpServer {
     State state = State::kReading;
     RequestParser parser;
     std::string in;        // Received, not yet consumed.
-    std::string out;       // Response bytes pending write.
-    size_t out_offset = 0;
+    // Pending response, written gather-style (sendmsg with two iovecs) so
+    // the body string is never copied into a combined wire buffer. The
+    // head buffer is recycled across keep-alive responses; the body is
+    // moved in from the handler.
+    std::string out_head;
+    std::string out_body;
+    size_t out_offset = 0;  // Progress across head + body combined.
     bool close_after_write = false;
     bool sent_continue = false;
     Clock::time_point deadline;
@@ -115,7 +120,8 @@ class HttpServer {
   struct Completion {
     uint64_t conn_id = 0;
     int status = 0;
-    std::string bytes;
+    std::string head;
+    std::string body;
   };
 
   void AcceptPending(Clock::time_point now);
@@ -123,9 +129,10 @@ class HttpServer {
   void TryAdvance(uint64_t id, Conn& conn, Clock::time_point now);
   void Dispatch(uint64_t id, Conn& conn, Clock::time_point now);
   void HandleWritable(uint64_t id, Conn& conn, Clock::time_point now);
-  void StartWrite(Conn& conn, const HttpResponse& response, bool keep_alive,
+  void StartWrite(Conn& conn, HttpResponse response, bool keep_alive,
                   Clock::time_point now);
-  void StartWriteRaw(Conn& conn, std::string bytes, Clock::time_point now);
+  void StartWriteParts(Conn& conn, std::string head, std::string body,
+                       Clock::time_point now);
   void FinishWrite(uint64_t id, Conn& conn, Clock::time_point now);
   void ApplyCompletions(Clock::time_point now);
   void ExpireDeadlines(Clock::time_point now);

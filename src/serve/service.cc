@@ -1,10 +1,12 @@
 #include "serve/service.h"
 
+#include <chrono>
 #include <utility>
 #include <vector>
 
 #include "common/obs_export.h"
 #include "common/strings.h"
+#include "html/arena_dom.h"
 #include "html/parser.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -19,6 +21,8 @@ struct ServiceMetrics {
   obs::Counter* values_extracted;
   obs::Counter* batch_lines;
   obs::Counter* wrapper_misses;
+  obs::Counter* arena_bytes_reused;
+  obs::Histogram* extract_latency;
 
   static ServiceMetrics& Get() {
     static ServiceMetrics m{
@@ -26,15 +30,18 @@ struct ServiceMetrics {
         obs::Registry::Global().GetCounter("ntw.serve.values_extracted"),
         obs::Registry::Global().GetCounter("ntw.serve.batch_lines"),
         obs::Registry::Global().GetCounter("ntw.serve.wrapper_misses"),
+        obs::Registry::Global().GetCounter("ntw.serve.arena_bytes_reused"),
+        obs::Registry::Global().GetHistogram(
+            "ntw.serve.extract_latency_micros"),
     };
     return m;
   }
 };
 
-/// Applies a stored wrapper to one page and returns the extracted text
-/// values in document order.
-std::vector<std::string> ExtractValues(const core::Wrapper& wrapper,
-                                       const std::string& page_html) {
+/// Interpreted path: heap DOM parse + Wrapper::Extract. Returns the
+/// extracted text values in document order.
+std::vector<std::string> ExtractValuesInterpreted(const core::Wrapper& wrapper,
+                                                  const std::string& page_html) {
   Result<html::Document> doc = html::Parse(page_html);
   if (!doc.ok()) return {};
   core::PageSet pages;
@@ -46,17 +53,7 @@ std::vector<std::string> ExtractValues(const core::Wrapper& wrapper,
     const html::Node* node = pages.Resolve(ref);
     if (node != nullptr) values.push_back(node->text());
   }
-  ServiceMetrics::Get().pages_extracted->Add(1);
-  ServiceMetrics::Get().values_extracted->Add(
-      static_cast<int64_t>(values.size()));
   return values;
-}
-
-void WriteValues(obs::JsonWriter& json, const std::vector<std::string>& values) {
-  json.Key("values");
-  json.BeginArray();
-  for (const std::string& value : values) json.String(value);
-  json.EndArray();
 }
 
 /// Resolves the (site, attribute) pair from the query string against a
@@ -81,7 +78,50 @@ const WrapperRepository::Entry* LookupWrapper(
   return entry;
 }
 
+int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 }  // namespace
+
+/// Extracts from one page and writes the `"values":[...]` member. Fast
+/// path (arena DOM + compiled plan) when enabled and the entry carries a
+/// plan; interpreted otherwise. Both paths produce identical JSON bytes —
+/// the fast path's views and the interpreter's strings serialize the same.
+void ExtractService::ExtractToJson(const WrapperRepository::Entry& entry,
+                                   const std::string& page_html,
+                                   obs::JsonWriter& json) const {
+  ServiceMetrics& metrics = ServiceMetrics::Get();
+  auto start = std::chrono::steady_clock::now();
+  if (options_.fast_path && entry.compiled != nullptr) {
+    core::FastBufferPool::Lease lease = buffers_.Acquire();
+    html::ArenaParse(page_html, &lease->doc);
+    entry.compiled->Extract(*lease, &lease->values);
+    metrics.extract_latency->Record(MicrosSince(start));
+    json.Key("values");
+    json.BeginArray();
+    for (std::string_view value : lease->values) json.String(value);
+    json.EndArray();
+    metrics.pages_extracted->Add(1);
+    metrics.values_extracted->Add(
+        static_cast<int64_t>(lease->values.size()));
+    const Arena& arena = lease->doc.arena();
+    metrics.arena_bytes_reused->Add(
+        static_cast<int64_t>(arena.used() - arena.fresh_bytes()));
+    return;
+  }
+  std::vector<std::string> values =
+      ExtractValuesInterpreted(*entry.wrapper, page_html);
+  metrics.extract_latency->Record(MicrosSince(start));
+  json.Key("values");
+  json.BeginArray();
+  for (const std::string& value : values) json.String(value);
+  json.EndArray();
+  metrics.pages_extracted->Add(1);
+  metrics.values_extracted->Add(static_cast<int64_t>(values.size()));
+}
 
 HttpResponse ExtractService::Handle(const HttpRequest& request) const {
   if (request.path == "/healthz") {
@@ -118,18 +158,17 @@ HttpResponse ExtractService::Extract(const HttpRequest& request) const {
       LookupWrapper(*snapshot, request, &site, &attribute, &error);
   if (entry == nullptr) return error;
 
-  std::vector<std::string> values = ExtractValues(*entry->wrapper,
-                                                  request.body);
   obs::JsonWriter json;
-  BeginSchemaDocument(json, "ntw-serve-extract", 1);
-  json.KV("site", site);
-  json.KV("attribute", attribute);
-  json.KV("wrapper", entry->record);
-  json.KV("repository_version", static_cast<int64_t>(snapshot->version));
-  WriteValues(json, values);
+  json.Reserve(entry->response_prefix.size() + 192);
+  json.BeginObject();
+  // Everything before "values" is constant per entry within a snapshot;
+  // the repository escaped it once at load time.
+  json.RawMembers(entry->response_prefix);
+  ExtractToJson(*entry, request.body, json);
   json.EndObject();
   HttpResponse response;
-  response.body = json.Take() + "\n";
+  response.body = json.Take();
+  response.body.push_back('\n');
   return response;
 }
 
@@ -152,7 +191,6 @@ HttpResponse ExtractService::ExtractBatch(const HttpRequest& request) const {
   }
   ServiceMetrics::Get().batch_lines->Add(static_cast<int64_t>(lines.size()));
   std::vector<std::string> results(lines.size());
-  const core::Wrapper& wrapper = *entry->wrapper;
   pool_->ParallelFor(lines.size(), [&](size_t i) {
     obs::JsonWriter json;
     json.BeginObject();
@@ -162,13 +200,17 @@ HttpResponse ExtractService::ExtractBatch(const HttpRequest& request) const {
       json.KV("error", line.status().ToString());
     } else {
       if (line->has_id) json.KV("id", line->id);
-      WriteValues(json, ExtractValues(wrapper, line->html));
+      ExtractToJson(*entry, line->html, json);
     }
     json.EndObject();
     results[i] = json.Take();
   });
   HttpResponse response;
   response.content_type = "application/x-ndjson";
+  // Exact-size join: one reserve, no re-allocation churn while appending.
+  size_t total = 0;
+  for (const std::string& line : results) total += line.size() + 1;
+  response.body.reserve(total);
   for (const std::string& line : results) {
     response.body += line;
     response.body += '\n';

@@ -2,6 +2,8 @@
 #define NTW_SERVE_SERVICE_H_
 
 #include "common/thread_pool.h"
+#include "core/compiled_wrapper.h"
+#include "obs/json.h"
 #include "serve/http.h"
 #include "serve/wrapper_repository.h"
 
@@ -23,19 +25,40 @@ namespace ntw::serve {
 /// against an unchanged repository snapshot produce identical response
 /// bytes, whatever the concurrency (the batch fan-out writes pre-sized
 /// per-line slots that are joined in input order).
+///
+/// Extraction runs on the compiled fast path by default (arena DOM +
+/// CompiledWrapper plans from the repository snapshot, with per-request
+/// buffer reuse via a pool); `Options{.fast_path = false}` — the daemon's
+/// --no-fast-path — forces the interpreted Wrapper::Extract path. The two
+/// paths are byte-identical by contract, pinned by
+/// tests/fastpath_equivalence_test.cc and the ntw_loadgen cross-check.
+struct ExtractServiceOptions {
+  bool fast_path = true;
+};
+
 class ExtractService {
  public:
-  ExtractService(const WrapperRepository* repository, ThreadPool* pool)
-      : repository_(repository), pool_(pool) {}
+  using Options = ExtractServiceOptions;
+
+  ExtractService(const WrapperRepository* repository, ThreadPool* pool,
+                 Options options = {})
+      : repository_(repository), pool_(pool), options_(options) {}
 
   HttpResponse Handle(const HttpRequest& request) const;
 
  private:
   HttpResponse Extract(const HttpRequest& request) const;
   HttpResponse ExtractBatch(const HttpRequest& request) const;
+  void ExtractToJson(const WrapperRepository::Entry& entry,
+                     const std::string& page_html,
+                     obs::JsonWriter& json) const;
 
   const WrapperRepository* repository_;
   ThreadPool* pool_;
+  Options options_;
+  // Reusable per-request fast-path buffers (arena DOM + scratch); the pool
+  // is internally synchronized, so Handle() stays const and thread-safe.
+  mutable core::FastBufferPool buffers_;
 };
 
 }  // namespace ntw::serve

@@ -3,7 +3,9 @@
 #include <filesystem>
 
 #include "common/file_util.h"
+#include "common/obs_export.h"
 #include "core/wrapper_store.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 
 namespace ntw::serve {
@@ -107,8 +109,10 @@ Status WrapperRepository::Load() {
              (trimmed.back() == '\n' || trimmed.back() == '\r')) {
         trimmed.remove_suffix(1);
       }
-      next->wrappers[{site, attribute}] =
-          Entry{std::move(*wrapper), std::string(trimmed)};
+      Entry entry{std::move(*wrapper), std::string(trimmed), nullptr, {}};
+      // Compile once per load; every request then executes the plan.
+      entry.compiled = core::CompiledWrapper::Compile(*entry.wrapper);
+      next->wrappers[{site, attribute}] = std::move(entry);
     }
   }
   RepoMetrics& metrics = RepoMetrics::Get();
@@ -118,6 +122,21 @@ Status WrapperRepository::Load() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     next->version = snapshot_->version + 1;
+    // The version is now known, so every /extract response member before
+    // "values" is fixed per entry. Serialize once through the same
+    // JsonWriter calls the service used to make per request — stripping
+    // the enclosing braces leaves exactly the member bytes to splice.
+    for (auto& [key, entry] : next->wrappers) {
+      obs::JsonWriter json;
+      BeginSchemaDocument(json, "ntw-serve-extract", 1);
+      json.KV("site", key.first);
+      json.KV("attribute", key.second);
+      json.KV("wrapper", entry.record);
+      json.KV("repository_version", static_cast<int64_t>(next->version));
+      json.EndObject();
+      std::string document = json.Take();
+      entry.response_prefix = document.substr(1, document.size() - 2);
+    }
     metrics.version->Set(static_cast<int64_t>(next->version));
     snapshot_ = std::move(next);
     loaded_fingerprint_ = fingerprint;

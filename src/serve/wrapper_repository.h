@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/compiled_wrapper.h"
 #include "core/wrapper.h"
 
 namespace ntw::serve {
@@ -34,6 +35,18 @@ class WrapperRepository {
   struct Entry {
     core::WrapperPtr wrapper;
     std::string record;  // The serialized form, for logs / responses.
+    /// Executable plan compiled at load time (XPath step program over
+    /// interned ids, BMH skip tables for LR/HLRT). nullptr when the
+    /// wrapper kind has no compiled form — the service then falls back to
+    /// the interpreted wrapper.
+    std::shared_ptr<const core::CompiledWrapper> compiled;
+    /// Serialized members of every /extract response up to (and excluding)
+    /// "values" — schema header, site, attribute, wrapper record and
+    /// repository version are all constant for an entry within a snapshot,
+    /// so they are escaped once at load time and spliced into each
+    /// response with JsonWriter::RawMembers instead of re-serialized per
+    /// request.
+    std::string response_prefix;
   };
 
   struct Snapshot {

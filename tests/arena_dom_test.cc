@@ -1,0 +1,181 @@
+// The arena DOM's contract is byte-for-byte agreement with the heap DOM:
+// same nodes in the same pre-order, same numbering, same attribute order,
+// same decoded/collapsed text, and a flattened stream identical to
+// text::CharView. These tests pin that contract on handwritten edge cases
+// and on full generated corpora (every page of a DEALERS subset), plus
+// the Clear()-and-reuse steady state the serving layer depends on.
+
+#include "html/arena_dom.h"
+
+#include <string>
+#include <vector>
+
+#include "datasets/dealers.h"
+#include "gtest/gtest.h"
+#include "html/dom.h"
+#include "html/parser.h"
+#include "html/serializer.h"
+#include "text/char_view.h"
+
+namespace ntw::html {
+namespace {
+
+/// Asserts the arena document is node-for-node identical to the heap one.
+void ExpectSameTree(const Document& heap, const ArenaDocument& arena) {
+  ASSERT_EQ(heap.node_count(), arena.node_count());
+  for (size_t i = 0; i < heap.node_count(); ++i) {
+    int32_t index = static_cast<int32_t>(i);
+    const Node* h = heap.node(static_cast<int>(i));
+    const ArenaNode& a = arena.node(index);
+    ASSERT_EQ(h->kind(), a.kind) << "node " << i;
+    EXPECT_EQ(h->preorder_index(), static_cast<int>(i));
+    EXPECT_EQ(h->sibling_index(), a.sibling_index) << "node " << i;
+    EXPECT_EQ(h->same_tag_child_number(), a.same_tag_child_number)
+        << "node " << i;
+    if (h->parent() == nullptr) {
+      EXPECT_EQ(a.parent, -1);
+    } else {
+      EXPECT_EQ(h->parent()->preorder_index(), a.parent) << "node " << i;
+    }
+    if (h->is_element()) {
+      EXPECT_EQ(h->tag(), a.tag) << "node " << i;
+      const auto& heap_attrs = h->attrs();
+      ASSERT_EQ(static_cast<int32_t>(heap_attrs.size()),
+                a.attrs_end - a.attrs_begin)
+          << "node " << i;
+      for (size_t k = 0; k < heap_attrs.size(); ++k) {
+        const ArenaAttr& attr =
+            arena.attrs()[static_cast<size_t>(a.attrs_begin) + k];
+        EXPECT_EQ(heap_attrs[k].first, attr.name) << "node " << i;
+        EXPECT_EQ(heap_attrs[k].second, attr.value) << "node " << i;
+        EXPECT_EQ(NameTable::Global().Find(heap_attrs[k].first),
+                  attr.name_id);
+      }
+    } else {
+      EXPECT_EQ(h->text(), a.text) << "node " << i;
+    }
+  }
+}
+
+/// Asserts the arena stream/spans equal text::CharView over the heap DOM.
+void ExpectSameStream(const Document& heap, ArenaDocument& arena) {
+  text::CharView view(heap);
+  EXPECT_EQ(view.stream(), arena.stream());
+  ASSERT_EQ(view.spans().size(), arena.spans().size());
+  for (size_t i = 0; i < view.spans().size(); ++i) {
+    EXPECT_EQ(view.spans()[i].node->preorder_index(), arena.spans()[i].node);
+    EXPECT_EQ(view.spans()[i].begin, arena.spans()[i].begin);
+    EXPECT_EQ(view.spans()[i].end, arena.spans()[i].end);
+  }
+}
+
+void ExpectEquivalent(const std::string& input) {
+  Result<Document> heap = Parse(input);
+  ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+  ArenaDocument arena;
+  ArenaParse(input, &arena);
+  ExpectSameTree(*heap, arena);
+  ExpectSameStream(*heap, arena);
+}
+
+TEST(ArenaDomTest, SimpleListPage) {
+  ExpectEquivalent(
+      "<html><body><ul><li>One<li>Two<li>Three</ul></body></html>");
+}
+
+TEST(ArenaDomTest, VoidElementsAndAttributes) {
+  ExpectEquivalent(
+      "<div class=\"a\" id=x><img src=\"p.png\"><br><input value='v'>"
+      "text</div>");
+}
+
+TEST(ArenaDomTest, DuplicateAttributesKeepFirstPositionLastValue) {
+  ExpectEquivalent("<p class=\"a\" id=\"1\" class=\"b\">x</p>");
+}
+
+TEST(ArenaDomTest, EntitiesAndWhitespaceCollapse) {
+  ExpectEquivalent(
+      "<td>  AT&amp;T   &#x20AC; 5 </td><td>\n\t</td><td>&bogus;</td>");
+}
+
+TEST(ArenaDomTest, ImpliedClosesAndTables) {
+  ExpectEquivalent(
+      "<table><tr><td>a<td>b<tr><td>c</table><p>one<p>two");
+}
+
+TEST(ArenaDomTest, SameTagChildNumbering) {
+  const char kInput[] =
+      "<div><span>a</span><b>x</b><span>b</span><span>c</span></div>";
+  Result<Document> heap = Parse(kInput);
+  ASSERT_TRUE(heap.ok());
+  ArenaDocument arena;
+  ArenaParse(kInput, &arena);
+  ExpectSameTree(*heap, arena);
+  // Spot-check the numbering semantics directly: same-tag numbers count
+  // per tag, sibling indexes count all children.
+  std::vector<int32_t> same_tag;
+  std::vector<int32_t> sibling;
+  for (size_t i = 0; i < arena.node_count(); ++i) {
+    const ArenaNode& n = arena.node(static_cast<int32_t>(i));
+    if (n.kind == NodeKind::kElement && n.tag == "span") {
+      same_tag.push_back(n.same_tag_child_number);
+      sibling.push_back(n.sibling_index);
+    }
+  }
+  EXPECT_EQ(same_tag, (std::vector<int32_t>{1, 2, 3}));
+  EXPECT_EQ(sibling, (std::vector<int32_t>{0, 2, 3}));
+}
+
+TEST(ArenaDomTest, GeneratedCorpusEquivalence) {
+  datasets::DealersConfig config;
+  config.num_sites = 4;
+  datasets::Dataset dealers = datasets::MakeDealers(config);
+  size_t pages = 0;
+  for (const datasets::SiteData& site : dealers.sites) {
+    for (size_t p = 0; p < site.site.pages.size(); ++p) {
+      ExpectEquivalent(Serialize(site.site.pages.page(p).root()));
+      ++pages;
+    }
+  }
+  EXPECT_GT(pages, 0u);
+}
+
+TEST(ArenaDomTest, ClearAndReuseStaysEquivalentWithoutFreshGrowth) {
+  datasets::DealersConfig config;
+  config.num_sites = 2;
+  datasets::Dataset dealers = datasets::MakeDealers(config);
+  std::vector<std::string> sources;
+  for (const datasets::SiteData& site : dealers.sites) {
+    for (size_t p = 0; p < site.site.pages.size(); ++p) {
+      sources.push_back(Serialize(site.site.pages.page(p).root()));
+    }
+  }
+  ArenaDocument arena;
+  // Warm-up pass: grow the arena and vectors to the working-set size.
+  for (const std::string& source : sources) ArenaParse(source, &arena);
+  // Steady state: every page re-parses correctly from recycled capacity.
+  for (const std::string& source : sources) {
+    ArenaParse(source, &arena);
+    arena.stream();  // Also exercise the lazy stream rebuild.
+    EXPECT_EQ(arena.arena().fresh_bytes(), 0u);
+    Result<Document> heap = Parse(source);
+    ASSERT_TRUE(heap.ok());
+    ExpectSameTree(*heap, arena);
+    ExpectSameStream(*heap, arena);
+  }
+}
+
+TEST(NameTableTest, InternIsStableAndFindNeverCreates) {
+  NameTable& table = NameTable::Global();
+  NameTable::Interned a = table.Intern("div");
+  NameTable::Interned b = table.Intern("div");
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.name, "div");
+  EXPECT_EQ(table.Find("div"), a.id);
+  EXPECT_EQ(table.Find("never-a-tag-name-xyzzy"), -1);
+  NameTable::Interned c = table.Intern("span");
+  EXPECT_NE(c.id, a.id);
+}
+
+}  // namespace
+}  // namespace ntw::html

@@ -47,6 +47,46 @@ TEST(EntitiesTest, MissingSemicolonStillDecodes) {
   EXPECT_EQ(DecodeEntities("&amp x"), "& x");
 }
 
+TEST(EntitiesTest, HugeNumericSaturatesToReplacement) {
+  // Values far past the uint32 range must saturate, not wrap back into a
+  // valid code point.
+  EXPECT_EQ(DecodeEntities("&#99999999999999999999;"), "\xef\xbf\xbd");
+  EXPECT_EQ(DecodeEntities("&#xFFFFFFFFFFFFFFFF;"), "\xef\xbf\xbd");
+  // One past the Unicode maximum, and exactly the maximum.
+  EXPECT_EQ(DecodeEntities("&#1114112;"), "\xef\xbf\xbd");
+  EXPECT_EQ(DecodeEntities("&#x10FFFF;"), "\xf4\x8f\xbf\xbf");
+}
+
+TEST(EntitiesTest, TruncatedNumericReferencePassesThrough) {
+  // A reference cut off before any digit is not a reference at all.
+  EXPECT_EQ(DecodeEntities("&#"), "&#");
+  EXPECT_EQ(DecodeEntities("&#x"), "&#x");
+  EXPECT_EQ(DecodeEntities("&#X"), "&#X");
+  EXPECT_EQ(DecodeEntities("&#;"), "&#;");
+  EXPECT_EQ(DecodeEntities("&#x;"), "&#x;");
+  EXPECT_EQ(DecodeEntities("value &#x"), "value &#x");
+  EXPECT_EQ(DecodeEntities("&#xZZ;"), "&#xZZ;");
+}
+
+TEST(EntitiesTest, TrailingAmpersandAndEmptyName) {
+  EXPECT_EQ(DecodeEntities("&"), "&");
+  EXPECT_EQ(DecodeEntities("&;"), "&;");
+  EXPECT_EQ(DecodeEntities("a & b"), "a & b");
+}
+
+TEST(EntitiesTest, UnknownNamedEntityKeepsSemicolonAndCase) {
+  EXPECT_EQ(DecodeEntities("&AMP;"), "&AMP;");  // Names are case-sensitive.
+  // The name scan is maximal: "nbspx" is not an entity, so nothing decodes.
+  EXPECT_EQ(DecodeEntities("&nbsp &nbspx;"), "\xc2\xa0 &nbspx;");
+  EXPECT_EQ(DecodeEntities("&verylongunknownentityname;"),
+            "&verylongunknownentityname;");
+}
+
+TEST(EntitiesTest, NumericZeroAndControlDecodeLiterally) {
+  EXPECT_EQ(DecodeEntities("&#65;&#0;&#66;"),
+            std::string("A\0B", 3));
+}
+
 // -------------------------------------------------------------- Tokenizer.
 
 TEST(TokenizerTest, BasicTags) {

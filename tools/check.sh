@@ -41,6 +41,13 @@ sh "$ROOT/tools/serve_smoke.sh" "$ROOT/build" || {
   FAILED=1
 }
 
+echo "==> ntw_loadgen smoke (includes fast-vs-interpreted equivalence gate)"
+"$ROOT/build/tools/ntw_loadgen" --smoke \
+    --out "$ROOT/build/BENCH_serve.json" || {
+  echo "check.sh: ntw_loadgen smoke run FAILED" >&2
+  FAILED=1
+}
+
 if [ "$FAILED" -ne 0 ]; then
   echo "check.sh FAILED" >&2
   exit 1

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/build_info.h"
 #include "common/file_util.h"
 #include "common/flags.h"
 #include "common/stopwatch.h"
@@ -42,7 +43,8 @@ constexpr char kUsage[] =
     " [--repetitions N]\n"
     "                 [--threads N] [--smoke]\n";
 
-constexpr int64_t kSchemaVersion = 1;
+// v2: added the "machine" block (cpu_count, build_type, git_sha).
+constexpr int64_t kSchemaVersion = 2;
 
 /// Snapshot of the call-accounting counters, for per-workload deltas.
 struct CounterSnapshot {
@@ -119,6 +121,7 @@ std::string ResultsJson(const std::vector<BenchResult>& results,
   json.KV("threads", static_cast<int64_t>(threads));
   json.KV("smoke", smoke);
   json.EndObject();
+  WriteMachineInfo(json);
   json.Key("benches");
   json.BeginArray();
   for (const BenchResult& r : results) {

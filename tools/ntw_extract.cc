@@ -30,12 +30,14 @@
 #include "common/obs_export.h"
 #include "common/strings.h"
 #include "obs/trace.h"
+#include "core/compiled_wrapper.h"
 #include "core/hlrt_inductor.h"
 #include "core/lr_inductor.h"
 #include "core/ntw.h"
 #include "core/wrapper_store.h"
 #include "core/xpath_inductor.h"
 #include "datasets/corpus_io.h"
+#include "html/arena_dom.h"
 #include "serve/wrapper_repository.h"
 
 namespace {
@@ -50,7 +52,8 @@ constexpr char kUsage[] =
     " [--algorithm topdown|bottomup]\n"
     "                   [--p P] [--r R] [--schema-prior N]"
     " [--save-wrapper FILE] [--quiet]\n"
-    "                   [--metrics-json PATH] [--trace PATH]\n";
+    "                   [--metrics-json PATH] [--trace PATH]"
+    " [--no-fast-path]\n";
 
 void PrintExtraction(const core::PageSet& pages,
                      const core::NodeSet& extraction) {
@@ -73,7 +76,8 @@ int Run(int argc, char** argv) {
   std::vector<std::string> unknown = flags.UnknownFlags(
       {"pages", "dict", "regex", "load-wrapper", "wrapper-dir", "site",
        "attribute", "inductor", "algorithm", "p", "r", "schema-prior",
-       "save-wrapper", "quiet", "help", "metrics-json", "trace"});
+       "save-wrapper", "quiet", "help", "metrics-json", "trace",
+       "no-fast-path"});
   if (!unknown.empty() || flags.Has("help")) {
     for (const std::string& name : unknown) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
@@ -133,12 +137,35 @@ int Run(int argc, char** argv) {
       std::fprintf(stderr, "wrapper: %s\n",
                    entry->wrapper->ToString().c_str());
     }
-    core::NodeSet extraction;
-    {
+    // Compiled fast path (arena DOM + plan), same output bytes as the
+    // interpreted path below; --no-fast-path forces the interpreter.
+    if (!flags.Has("no-fast-path") && entry->compiled != nullptr) {
+      Result<std::vector<std::string>> sources =
+          datasets::LoadPageSourcesFromDirectory(pages_dir);
+      if (!sources.ok()) {
+        std::fprintf(stderr, "%s\n", sources.status().ToString().c_str());
+        return 1;
+      }
+      core::FastPageBuffer buffer;
+      std::string value;
       obs::Span span("extract.apply");
-      extraction = entry->wrapper->Extract(pages);
+      for (size_t i = 0; i < sources->size(); ++i) {
+        buffer.Clear();
+        html::ArenaParse((*sources)[i], &buffer.doc);
+        entry->compiled->Extract(buffer, &buffer.values);
+        for (std::string_view v : buffer.values) {
+          value.assign(v);
+          std::printf("%d\t%s\n", static_cast<int>(i), value.c_str());
+        }
+      }
+    } else {
+      core::NodeSet extraction;
+      {
+        obs::Span span("extract.apply");
+        extraction = entry->wrapper->Extract(pages);
+      }
+      PrintExtraction(pages, extraction);
     }
-    PrintExtraction(pages, extraction);
     Status written = obs_export.Write();
     if (!written.ok()) {
       std::fprintf(stderr, "%s\n", written.ToString().c_str());

@@ -8,7 +8,7 @@
 //             [--max-inflight N] [--read-timeout-ms N]
 //             [--write-timeout-ms N] [--drain-grace-ms N]
 //             [--reload-poll-ms N] [--metrics-json PATH] [--trace PATH]
-//             [--quiet]
+//             [--no-fast-path] [--quiet]
 //
 // Endpoints (see DESIGN.md §8):
 //   POST /extract?site=S&attribute=A        body = one HTML page
@@ -42,7 +42,8 @@ constexpr char kUsage[] =
     "                 [--threads N] [--max-body-bytes N] [--max-inflight N]\n"
     "                 [--read-timeout-ms N] [--write-timeout-ms N]\n"
     "                 [--drain-grace-ms N] [--reload-poll-ms N]\n"
-    "                 [--metrics-json PATH] [--trace PATH] [--quiet]\n";
+    "                 [--metrics-json PATH] [--trace PATH] [--no-fast-path]\n"
+    "                 [--quiet]\n";
 
 serve::HttpServer* g_server = nullptr;
 
@@ -66,7 +67,7 @@ int Run(int argc, char** argv) {
       {"wrapper-dir", "host", "port", "port-file", "threads",
        "max-body-bytes", "max-inflight", "read-timeout-ms",
        "write-timeout-ms", "drain-grace-ms", "reload-poll-ms",
-       "metrics-json", "trace", "quiet", "help"});
+       "metrics-json", "trace", "no-fast-path", "quiet", "help"});
   if (!unknown.empty() || flags.Has("help")) {
     for (const std::string& name : unknown) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
@@ -137,7 +138,11 @@ int Run(int argc, char** argv) {
                  snapshot->wrappers.size(), wrapper_dir.c_str());
   }
 
-  serve::ExtractService service(&repository, options.pool);
+  serve::ExtractService::Options service_options;
+  // --no-fast-path keeps the interpreted Wrapper::Extract path alive for
+  // A/B benchmarking and as the byte-identity cross-check baseline.
+  service_options.fast_path = !flags.Has("no-fast-path");
+  serve::ExtractService service(&repository, options.pool, service_options);
   serve::HttpServer server(
       options, [&service](const serve::HttpRequest& request) {
         return service.Handle(request);
