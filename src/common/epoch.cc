@@ -1,0 +1,121 @@
+#include "common/epoch.h"
+
+#include <algorithm>
+
+namespace ntw {
+
+namespace {
+
+std::atomic<uint64_t> g_next_domain_id{1};
+
+/// One thread's slot assignments, keyed by domain id rather than domain
+/// address — ids are never reused, so a cache entry can never alias a
+/// newer domain that happens to land at a destroyed one's address. A
+/// thread touches very few domains (the daemon has exactly one), so a
+/// linear scan beats any map.
+struct CachedSlot {
+  uint64_t domain_id;
+  int slot;
+};
+thread_local std::vector<CachedSlot> t_slots;
+
+}  // namespace
+
+EpochDomain::EpochDomain()
+    : domain_id_(g_next_domain_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+EpochDomain::~EpochDomain() {
+  // Anything still retired is freed unconditionally: the owner is tearing
+  // the domain down, so no reader may be pinned anymore (same contract as
+  // destroying any object readers still use).
+  for (Retired& entry : retired_) entry.free_fn();
+}
+
+int EpochDomain::ReaderSlot() {
+  for (const CachedSlot& cached : t_slots) {
+    if (cached.domain_id == domain_id_) return cached.slot;
+  }
+  int index = slot_count_.fetch_add(1, std::memory_order_relaxed);
+  // Table full: share a slot by modulo. Two threads writing one slot is
+  // conservative — the slot reads as pinned whenever either is — which
+  // can only defer reclamation, never allow a premature free. The
+  // Unpin() of one thread while the other is pinned could clear the
+  // other's announcement, so sharing degrades Unpin to a no-op epoch
+  // re-announce; see UnpinSlot.
+  if (index >= kMaxReaders) index %= kMaxReaders;
+  t_slots.push_back({domain_id_, index});
+  return index;
+}
+
+void EpochDomain::PinSlot(int slot) {
+  Slot& s = slots_[slot];
+  uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    s.epoch.store(e, std::memory_order_seq_cst);
+    uint64_t current = global_epoch_.load(std::memory_order_seq_cst);
+    if (current == e) return;
+    // A writer advanced the epoch between our load and our announcement;
+    // re-announce so a concurrent slot scan cannot miss us. At most one
+    // retry per concurrent reload — reloads are rare, so the loop is
+    // wait-free in steady state.
+    e = current;
+  }
+}
+
+void EpochDomain::UnpinSlot(int slot) {
+  if (slot_count_.load(std::memory_order_relaxed) > kMaxReaders) {
+    // Slot-sharing fallback: clearing could erase another thread's pin.
+    // Leave the announcement in place — it reads as "pinned at an old
+    // epoch", which only defers reclamation until the next Pin on this
+    // slot re-announces a current epoch.
+    return;
+  }
+  slots_[slot].epoch.store(0, std::memory_order_seq_cst);
+}
+
+void EpochDomain::Retire(std::function<void()> free_fn) {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  // Stamp with the pre-advance epoch E, then advance to E+1: the pointer
+  // swap the caller performed before Retire() is seq_cst-ordered before
+  // this fetch_add, so any reader pinned at >= E+1 saw the new pointer.
+  uint64_t epoch = global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  retired_.push_back({std::move(free_fn), epoch});
+  retired_count_.store(retired_.size(), std::memory_order_relaxed);
+}
+
+size_t EpochDomain::TryReclaim() {
+  if (!has_retired()) return 0;
+  std::vector<std::function<void()>> ready;
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    // Scan the slots *after* taking the same mutex Retire() holds: every
+    // entry in the list was retired before this scan, so a reader that
+    // still holds a retired pointer had already announced an epoch <= the
+    // entry's — the scan cannot miss it (a pin racing with the scan
+    // re-validates against the advanced global epoch and re-announces).
+    uint64_t min_pinned = UINT64_MAX;
+    int occupied =
+        std::min(slot_count_.load(std::memory_order_seq_cst),
+                 static_cast<int>(kMaxReaders));
+    for (int i = 0; i < occupied; ++i) {
+      uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+      if (e != 0) min_pinned = std::min(min_pinned, e);
+    }
+    auto quiescent = [min_pinned](const Retired& entry) {
+      return entry.epoch < min_pinned;
+    };
+    for (Retired& entry : retired_) {
+      if (quiescent(entry)) ready.push_back(std::move(entry.free_fn));
+    }
+    retired_.erase(
+        std::remove_if(retired_.begin(), retired_.end(), quiescent),
+        retired_.end());
+    retired_count_.store(retired_.size(), std::memory_order_relaxed);
+  }
+  // Destructors run outside the mutex — a free function that takes its
+  // own locks (metrics, allocator) cannot deadlock against Retire().
+  for (std::function<void()>& free_fn : ready) free_fn();
+  return ready.size();
+}
+
+}  // namespace ntw

@@ -1,0 +1,129 @@
+#ifndef NTW_COMMON_EPOCH_H_
+#define NTW_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace ntw {
+
+/// Epoch-based reclamation for read-mostly published pointers — the
+/// serving repository's snapshot-swap protocol (DESIGN.md §11).
+///
+/// The shape of the problem: N reactor threads each dereference "the
+/// current snapshot" on every request, while a rare reload publishes a
+/// replacement and must eventually free the old one. A shared_ptr copy
+/// under a mutex serializes every request on one cache line; epochs make
+/// the reader side wait-free in the absence of reloads and keep the
+/// writer entirely off the request path.
+///
+/// Protocol:
+///   - Each reader thread owns one cache-line-padded slot. To read, it
+///     announces the current global epoch in its slot (Pin), loads the
+///     published pointer, uses it, and clears the slot (Unpin). The pin
+///     is a store + a load; it only retries when a writer advanced the
+///     epoch in between, which happens once per reload — effectively
+///     wait-free on the steady-state request path, and never a lock.
+///   - The writer publishes the replacement pointer first, then calls
+///     Retire(): the object is stamped with the current epoch E and the
+///     global epoch advances to E+1. Any reader that can still hold the
+///     old pointer is pinned at an epoch <= E (a reader pinned at E+1
+///     provably loaded the new pointer — all epoch and pointer accesses
+///     are seq_cst, so the publish is ordered before the advance in the
+///     single total order).
+///   - TryReclaim() scans the slots; an object retired at E is freed
+///     once every occupied slot announces an epoch > E. The scan is
+///     non-blocking — a pinned reader just defers the free to a later
+///     call — so a reload never stalls in-flight extraction.
+///
+/// The retire list itself is mutex-guarded: Retire and TryReclaim are
+/// cold-path (once per reload / once per idle check), and taking the
+/// same mutex in both is what makes the "scan after retire" ordering
+/// argument airtight. `has_retired()` is the hot-path gate: a single
+/// relaxed load callers can afford per request.
+class EpochDomain {
+ public:
+  /// Upper bound on concurrently registered reader threads. Slots are
+  /// assigned per (thread, domain) and reused for the thread's lifetime;
+  /// shard reactors plus a worker pool stay far under this. When the
+  /// table is full, extra readers fall back to slot-sharing via a
+  /// CAS-free modulo map — still safe (a shared slot is only ever *more*
+  /// conservative: it pins for two threads), never unsound.
+  static constexpr int kMaxReaders = 64;
+
+  EpochDomain();
+  ~EpochDomain();
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// RAII pin: announces the current epoch for this thread's slot. Hold
+  /// it across every dereference of the protected pointer.
+  class Pin {
+   public:
+    explicit Pin(EpochDomain* domain)
+        : domain_(domain), slot_(domain->ReaderSlot()) {
+      domain_->PinSlot(slot_);
+    }
+    ~Pin() { domain_->UnpinSlot(slot_); }
+
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+   private:
+    EpochDomain* domain_;
+    int slot_;
+  };
+
+  /// Hands the object's release over to the domain: stamps it with the
+  /// current epoch and advances the epoch, so readers pinned from now on
+  /// can be proven clear of it. `free_fn` runs exactly once, from
+  /// whichever thread's TryReclaim() finds the object quiescent.
+  void Retire(std::function<void()> free_fn);
+
+  /// Frees every retired object whose epoch has been vacated by all
+  /// pinned readers. Non-blocking (a pinned reader defers, never stalls
+  /// the caller); returns the number of objects freed.
+  size_t TryReclaim();
+
+  /// True when Retire()d objects are awaiting reclamation — one relaxed
+  /// load, cheap enough to gate a TryReclaim() per request.
+  bool has_retired() const {
+    return retired_count_.load(std::memory_order_relaxed) != 0;
+  }
+
+  uint64_t epoch() const {
+    return global_epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{0};  // 0 = quiescent (not in a read).
+  };
+
+  struct Retired {
+    std::function<void()> free_fn;
+    uint64_t epoch = 0;
+  };
+
+  /// The calling thread's slot in this domain (registered on first use,
+  /// cached in a thread-local afterwards).
+  int ReaderSlot();
+  void PinSlot(int slot);
+  void UnpinSlot(int slot);
+
+  const uint64_t domain_id_;  // Process-unique; keys the thread-local cache.
+  std::atomic<uint64_t> global_epoch_{1};
+  Slot slots_[kMaxReaders];
+  std::atomic<int> slot_count_{0};
+
+  std::mutex retired_mu_;
+  std::vector<Retired> retired_;
+  std::atomic<size_t> retired_count_{0};
+};
+
+}  // namespace ntw
+
+#endif  // NTW_COMMON_EPOCH_H_

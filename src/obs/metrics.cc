@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "obs/json.h"
@@ -48,6 +49,55 @@ void Histogram::Reset() {
   max_.store(INT64_MIN, std::memory_order_relaxed);
 }
 
+HistogramView SnapshotHistogram(const Histogram& histogram) {
+  HistogramView view;
+  view.count = histogram.count();
+  view.sum = histogram.sum();
+  view.min = histogram.min();
+  view.max = histogram.max();
+  for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    view.buckets[i] = histogram.bucket(i);
+  }
+  return view;
+}
+
+int64_t ShardedCounter::value() const {
+  int64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void ShardedCounter::Reset() {
+  for (Cell& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+}
+
+HistogramView ShardedHistogram::Merged() const {
+  HistogramView merged;
+  int64_t min = INT64_MAX;
+  int64_t max = INT64_MIN;
+  for (const Stripes& stripe : stripes_) {
+    const Histogram& h = stripe.histogram;
+    int64_t count = h.count();
+    if (count == 0) continue;
+    merged.count += count;
+    merged.sum += h.sum();
+    min = std::min(min, h.min());
+    max = std::max(max, h.max());
+    for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      merged.buckets[i] += h.bucket(i);
+    }
+  }
+  merged.min = merged.count > 0 ? min : 0;
+  merged.max = merged.count > 0 ? max : 0;
+  return merged;
+}
+
+void ShardedHistogram::Reset() {
+  for (Stripes& stripe : stripes_) stripe.histogram.Reset();
+}
+
 Registry& Registry::Global() {
   static Registry* registry = new Registry();  // Never destroyed: worker
   return *registry;  // threads may still record during static teardown.
@@ -74,25 +124,99 @@ Histogram* Registry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+ShardedCounter* Registry::GetShardedCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = sharded_counters_[name];
+  if (!slot) slot = std::make_unique<ShardedCounter>();
+  return slot.get();
+}
+
+ShardedHistogram* Registry::GetShardedHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = sharded_histograms_[name];
+  if (!slot) slot = std::make_unique<ShardedHistogram>();
+  return slot.get();
+}
+
+void Registry::SetShardCount(int shards) {
+  shard_count_.store(shards < 1 ? 1 : shards, std::memory_order_relaxed);
+}
+
 void Registry::ResetValues() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, counter] : sharded_counters_) counter->Reset();
+  for (auto& [name, histogram] : sharded_histograms_) histogram->Reset();
 }
+
+namespace {
+
+void WriteHistogramView(JsonWriter& json, const HistogramView& view) {
+  json.BeginObject();
+  json.KV("count", view.count);
+  json.KV("sum", view.sum);
+  json.KV("min", view.min);
+  json.KV("max", view.max);
+  json.Key("buckets");
+  json.BeginArray();
+  for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    if (view.buckets[i] == 0) continue;
+    json.BeginArray();
+    // The ≤0 bucket reports lower bound 0 (INT64_MIN is not meaningful
+    // for the non-negative quantities the library records).
+    json.Int(i == 0 ? 0 : Histogram::BucketLowerBound(i));
+    json.Int(view.buckets[i]);
+    json.EndArray();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+/// Emits two sorted maps' members interleaved so the output object stays
+/// sorted by name regardless of which map a name lives in.
+template <typename MapA, typename MapB, typename EmitA, typename EmitB>
+void EmitMergedSorted(const MapA& a, const MapB& b, EmitA emit_a,
+                      EmitB emit_b) {
+  auto it_a = a.begin();
+  auto it_b = b.begin();
+  while (it_a != a.end() || it_b != b.end()) {
+    if (it_b == b.end() ||
+        (it_a != a.end() && it_a->first < it_b->first)) {
+      emit_a(it_a->first, *it_a->second);
+      ++it_a;
+    } else {
+      emit_b(it_b->first, *it_b->second);
+      ++it_b;
+    }
+  }
+}
+
+}  // namespace
 
 std::string Registry::ToJson() const {
   std::lock_guard<std::mutex> lock(mu_);
+  int shards = shard_count();
   JsonWriter json;
   json.BeginObject();
   json.KV("schema", "ntw-metrics");
-  json.KV("schema_version", int64_t{1});
+  json.KV("schema_version", int64_t{2});
+  json.KV("shard_count", static_cast<int64_t>(shards));
 
+  // Sharded instruments appear merged here under their plain names, so
+  // consumers keyed on totals ("ntw.serve.requests") are agnostic to
+  // whether a metric is striped.
   json.Key("counters");
   json.BeginObject();
-  for (const auto& [name, counter] : counters_) {
-    json.KV(name, counter->value());
-  }
+  EmitMergedSorted(
+      counters_, sharded_counters_,
+      [&json](const std::string& name, const Counter& counter) {
+        json.KV(name, counter.value());
+      },
+      [&json](const std::string& name, const ShardedCounter& counter) {
+        json.KV(name, counter.value());
+      });
   json.EndObject();
 
   json.Key("gauges");
@@ -104,28 +228,46 @@ std::string Registry::ToJson() const {
 
   json.Key("histograms");
   json.BeginObject();
-  for (const auto& [name, histogram] : histograms_) {
+  EmitMergedSorted(
+      histograms_, sharded_histograms_,
+      [&json](const std::string& name, const Histogram& histogram) {
+        json.Key(name);
+        WriteHistogramView(json, SnapshotHistogram(histogram));
+      },
+      [&json](const std::string& name, const ShardedHistogram& histogram) {
+        json.Key(name);
+        WriteHistogramView(json, histogram.Merged());
+      });
+  json.EndObject();
+
+  // The shard dimension: per-shard values for every sharded instrument,
+  // arrays indexed by shard id and trimmed to the configured shard count.
+  json.Key("shards");
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, counter] : sharded_counters_) {
     json.Key(name);
-    json.BeginObject();
-    json.KV("count", histogram->count());
-    json.KV("sum", histogram->sum());
-    json.KV("min", histogram->min());
-    json.KV("max", histogram->max());
-    json.Key("buckets");
     json.BeginArray();
-    for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
-      int64_t count = histogram->bucket(i);
-      if (count == 0) continue;
-      json.BeginArray();
-      // The ≤0 bucket reports lower bound 0 (INT64_MIN is not meaningful
-      // for the non-negative quantities the library records).
-      json.Int(i == 0 ? 0 : Histogram::BucketLowerBound(i));
-      json.Int(count);
-      json.EndArray();
+    for (int s = 0; s < shards; ++s) json.Int(counter->shard_value(s));
+    json.EndArray();
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, histogram] : sharded_histograms_) {
+    json.Key(name);
+    json.BeginArray();
+    for (int s = 0; s < shards; ++s) {
+      const Histogram& h = histogram->shard(s);
+      json.BeginObject();
+      json.KV("count", h.count());
+      json.KV("sum", h.sum());
+      json.EndObject();
     }
     json.EndArray();
-    json.EndObject();
   }
+  json.EndObject();
   json.EndObject();
 
   json.EndObject();

@@ -87,6 +87,79 @@ class Histogram {
   std::atomic<int64_t> max_{INT64_MIN};
 };
 
+/// A point-in-time copy of one histogram's aggregates — what exports
+/// serialize and what ShardedHistogram::Merged() returns. Decoupling the
+/// view from the live atomics lets per-shard stripes merge lock-free.
+struct HistogramView {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  int64_t buckets[Histogram::kBucketCount] = {};
+};
+
+/// Reads a consistent-enough view of a live histogram (each field is a
+/// relaxed load; totals can be mid-update, which regression tooling
+/// tolerates the same way it tolerates sampling skew).
+HistogramView SnapshotHistogram(const Histogram& histogram);
+
+/// Per-shard counter for the serving reactors: each shard increments its
+/// own cache-line-padded cell, so N reactors counting requests never
+/// contend on one line. The merged value() is a lock-free sum at scrape
+/// time — writers are never stopped. Shard ids beyond kStripes fold
+/// modulo (totals stay exact; only the per-shard attribution folds).
+class ShardedCounter {
+ public:
+  static constexpr int kStripes = 32;
+
+  void Add(int shard, int64_t delta = 1) {
+    cells_[Stripe(shard)].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Merged total across all shards.
+  int64_t value() const;
+  /// One shard's contribution (modulo-folded like Add).
+  int64_t shard_value(int shard) const {
+    return cells_[Stripe(shard)].value.load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  static size_t Stripe(int shard) {
+    return static_cast<size_t>(shard) & (kStripes - 1);
+  }
+  struct alignas(64) Cell {
+    std::atomic<int64_t> value{0};
+  };
+  Cell cells_[kStripes];
+};
+
+/// Per-shard histogram: one full log-scale Histogram per stripe, merged
+/// lock-free at scrape. Same stripe mapping as ShardedCounter.
+class ShardedHistogram {
+ public:
+  static constexpr int kStripes = 32;
+
+  void Record(int shard, int64_t sample) {
+    stripes_[Stripe(shard)].histogram.Record(sample);
+  }
+  const Histogram& shard(int shard) const {
+    return stripes_[Stripe(shard)].histogram;
+  }
+  /// Lock-free merge of every stripe (sum of counts/sums/buckets,
+  /// min-of-mins, max-of-maxes).
+  HistogramView Merged() const;
+  void Reset();
+
+ private:
+  static size_t Stripe(int shard) {
+    return static_cast<size_t>(shard) & (kStripes - 1);
+  }
+  struct alignas(64) Stripes {
+    Histogram histogram;
+  };
+  Stripes stripes_[kStripes];
+};
+
 /// Process-wide instrument registry. Thread-safe; instrument pointers are
 /// stable for the process lifetime.
 class Registry {
@@ -100,20 +173,35 @@ class Registry {
   /// Finds or creates the named instrument. Names are dotted lowercase
   /// paths, e.g. "ntw.enumerate.inductor_calls". Each name maps to one
   /// kind — asking for an existing name with a different kind returns a
-  /// distinct instrument (the kinds live in separate namespaces).
+  /// distinct instrument (the kinds live in separate namespaces; a name
+  /// should belong to exactly one kind or the export would emit it twice).
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
+  ShardedCounter* GetShardedCounter(const std::string& name);
+  ShardedHistogram* GetShardedHistogram(const std::string& name);
+
+  /// Number of serving shards the export reports per-shard values for
+  /// (trims the stripe arrays in ToJson). Defaults to 1; the daemon and
+  /// loadgen set it at startup.
+  void SetShardCount(int shards);
+  int shard_count() const {
+    return shard_count_.load(std::memory_order_relaxed);
+  }
 
   /// Zeroes every instrument's value. Pointers stay valid — call sites
   /// caching instruments across a reset keep working.
   void ResetValues();
 
   /// Serializes all instruments, sorted by name:
-  ///   {"schema":"ntw-metrics","schema_version":1,
+  ///   {"schema":"ntw-metrics","schema_version":2,"shard_count":N,
   ///    "counters":{...},"gauges":{...},
-  ///    "histograms":{name:{count,sum,min,max,buckets:[[lower,count]..]}}}
-  /// Histogram buckets with zero count are omitted.
+  ///    "histograms":{name:{count,sum,min,max,buckets:[[lower,count]..]}},
+  ///    "shards":{"counters":{name:[v0..]},
+  ///              "histograms":{name:[{"count":..,"sum":..}..]}}}
+  /// Sharded instruments appear merged in "counters"/"histograms" (so
+  /// dashboards keyed on totals keep working) and broken out by shard
+  /// under "shards". Histogram buckets with zero count are omitted.
   std::string ToJson() const;
 
  private:
@@ -121,6 +209,10 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<ShardedCounter>> sharded_counters_;
+  std::map<std::string, std::unique_ptr<ShardedHistogram>>
+      sharded_histograms_;
+  std::atomic<int> shard_count_{1};
 };
 
 }  // namespace ntw::obs

@@ -13,6 +13,8 @@
 #include <cerrno>
 #include <cstring>
 #include <memory>
+#include <thread>
+#include <utility>
 
 #include "obs/metrics.h"
 
@@ -20,54 +22,56 @@ namespace ntw::serve {
 
 namespace {
 
+// Per-shard stripes: each reactor thread increments its own cache line;
+// /metrics merges at scrape time and exports the shard dimension.
 struct ServerMetrics {
-  obs::Counter* connections;
-  obs::Counter* requests;
-  obs::Counter* responses_2xx;
-  obs::Counter* responses_4xx;
-  obs::Counter* responses_5xx;
-  obs::Counter* rejected_overload;
-  obs::Counter* rejected_too_large;
-  obs::Counter* parse_errors;
-  obs::Counter* read_timeouts;
-  obs::Counter* write_timeouts;
-  obs::Counter* dropped_responses;
-  obs::Counter* drain_forced_closes;
+  obs::ShardedCounter* connections;
+  obs::ShardedCounter* requests;
+  obs::ShardedCounter* responses_2xx;
+  obs::ShardedCounter* responses_4xx;
+  obs::ShardedCounter* responses_5xx;
+  obs::ShardedCounter* rejected_overload;
+  obs::ShardedCounter* rejected_too_large;
+  obs::ShardedCounter* parse_errors;
+  obs::ShardedCounter* read_timeouts;
+  obs::ShardedCounter* write_timeouts;
+  obs::ShardedCounter* dropped_responses;
+  obs::ShardedCounter* drain_forced_closes;
   obs::Gauge* inflight;
-  obs::Histogram* request_body_bytes;
-  obs::Histogram* handle_micros;
+  obs::ShardedHistogram* request_body_bytes;
+  obs::ShardedHistogram* handle_micros;
 
   static ServerMetrics& Get() {
     obs::Registry& registry = obs::Registry::Global();
     static ServerMetrics m{
-        registry.GetCounter("ntw.serve.connections"),
-        registry.GetCounter("ntw.serve.requests"),
-        registry.GetCounter("ntw.serve.responses_2xx"),
-        registry.GetCounter("ntw.serve.responses_4xx"),
-        registry.GetCounter("ntw.serve.responses_5xx"),
-        registry.GetCounter("ntw.serve.rejected_overload"),
-        registry.GetCounter("ntw.serve.rejected_too_large"),
-        registry.GetCounter("ntw.serve.parse_errors"),
-        registry.GetCounter("ntw.serve.read_timeouts"),
-        registry.GetCounter("ntw.serve.write_timeouts"),
-        registry.GetCounter("ntw.serve.dropped_responses"),
-        registry.GetCounter("ntw.serve.drain_forced_closes"),
+        registry.GetShardedCounter("ntw.serve.connections"),
+        registry.GetShardedCounter("ntw.serve.requests"),
+        registry.GetShardedCounter("ntw.serve.responses_2xx"),
+        registry.GetShardedCounter("ntw.serve.responses_4xx"),
+        registry.GetShardedCounter("ntw.serve.responses_5xx"),
+        registry.GetShardedCounter("ntw.serve.rejected_overload"),
+        registry.GetShardedCounter("ntw.serve.rejected_too_large"),
+        registry.GetShardedCounter("ntw.serve.parse_errors"),
+        registry.GetShardedCounter("ntw.serve.read_timeouts"),
+        registry.GetShardedCounter("ntw.serve.write_timeouts"),
+        registry.GetShardedCounter("ntw.serve.dropped_responses"),
+        registry.GetShardedCounter("ntw.serve.drain_forced_closes"),
         registry.GetGauge("ntw.serve.inflight"),
-        registry.GetHistogram("ntw.serve.request_body_bytes"),
-        registry.GetHistogram("ntw.serve.handle_micros"),
+        registry.GetShardedHistogram("ntw.serve.request_body_bytes"),
+        registry.GetShardedHistogram("ntw.serve.handle_micros"),
     };
     return m;
   }
 };
 
-void CountStatus(int status) {
+void CountStatus(int shard, int status) {
   ServerMetrics& metrics = ServerMetrics::Get();
   if (status < 400) {
-    metrics.responses_2xx->Add(1);
+    metrics.responses_2xx->Add(shard, 1);
   } else if (status < 500) {
-    metrics.responses_4xx->Add(1);
+    metrics.responses_4xx->Add(shard, 1);
   } else {
-    metrics.responses_5xx->Add(1);
+    metrics.responses_5xx->Add(shard, 1);
   }
 }
 
@@ -81,6 +85,12 @@ void SetNonBlocking(int fd) {
   fcntl(fd, F_SETFD, FD_CLOEXEC);
 }
 
+void DrainPipe(int fd) {
+  char buffer[256];
+  while (::read(fd, buffer, sizeof(buffer)) > 0) {
+  }
+}
+
 int64_t MillisUntil(HttpServer::Clock::time_point deadline,
                     HttpServer::Clock::time_point now) {
   return std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
@@ -90,81 +100,165 @@ int64_t MillisUntil(HttpServer::Clock::time_point deadline,
 }  // namespace
 
 HttpServer::HttpServer(ServerOptions options, Handler handler)
-    : options_(std::move(options)), handler_(std::move(handler)) {}
+    : HttpServer(std::move(options),
+                 HandlerFactory([handler = std::move(handler)](int) {
+                   return handler;
+                 })) {}
+
+HttpServer::HttpServer(ServerOptions options, HandlerFactory factory)
+    : options_(std::move(options)), factory_(std::move(factory)) {
+  if (options_.shards < 1) options_.shards = 1;
+  // The shard vector is fixed at construction so signal handlers can
+  // iterate it without synchronization (they only read each shard's
+  // atomic wake fd). Handlers are built lazily in Bind().
+  shards_.reserve(static_cast<size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->id = i;
+  }
+}
 
 HttpServer::~HttpServer() {
-  for (auto& [id, conn] : conns_) {
-    if (conn.fd >= 0) ::close(conn.fd);
+  for (auto& shard : shards_) {
+    for (auto& [id, conn] : shard->conns) {
+      if (conn.fd >= 0) ::close(conn.fd);
+    }
+    for (int fd : shard->pending_fds) {
+      if (fd >= 0) ::close(fd);
+    }
+    if (shard->listen_fd >= 0) ::close(shard->listen_fd);
+    // The wake pipe lives for the whole object lifetime (not per-Run):
+    // RequestShutdown()/RequestReload() may fire from other threads or
+    // signal handlers any time before destruction, and closing the write
+    // end while they write() would race on the reused descriptor.
+    int wake_write =
+        shard->wake_write_fd.exchange(-1, std::memory_order_relaxed);
+    if (wake_write >= 0) ::close(wake_write);
+    if (shard->wake_read_fd >= 0) ::close(shard->wake_read_fd);
   }
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  // The wake pipe lives for the whole object lifetime (not per-Run):
-  // RequestShutdown()/RequestReload() may fire from other threads or
-  // signal handlers any time before destruction, and closing the write
-  // end while they write() would race on the reused descriptor.
-  int wake_write = wake_write_fd_.exchange(-1, std::memory_order_relaxed);
-  if (wake_write >= 0) ::close(wake_write);
-  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+}
+
+size_t HttpServer::ShardConnCap() const {
+  int shards = static_cast<int>(shards_.size());
+  return static_cast<size_t>((options_.max_connections + shards - 1) / shards);
+}
+
+int HttpServer::ShardInflightCap() const {
+  int shards = static_cast<int>(shards_.size());
+  return (options_.max_inflight + shards - 1) / shards;
+}
+
+Status HttpServer::BindShardListener(Shard& shard, bool reuseport) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  SetNonBlocking(fd);
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport) {
+#ifdef SO_REUSEPORT
+    if (setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      ::close(fd);
+      return Errno("setsockopt SO_REUSEPORT");
+    }
+#else
+    ::close(fd);
+    return Status::Internal("SO_REUSEPORT unavailable");
+#endif
+  }
+
+  // Shard 0 binds the configured port (possibly 0 = ephemeral); the rest
+  // bind the concrete port shard 0 learned.
+  int port = shard.id == 0 ? options_.port : port_;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad --host '" + options_.host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("bind " + options_.host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
+    return Errno("listen");
+  }
+  if (shard.id == 0) {
+    socklen_t len = sizeof(addr);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      ::close(fd);
+      return Errno("getsockname");
+    }
+    port_ = ntohs(addr.sin_port);
+  }
+  shard.listen_fd = fd;
+  return Status::OK();
 }
 
 Status HttpServer::Bind() {
-  if (wake_read_fd_ < 0) {
-    int pipe_fds[2];
-    if (::pipe(pipe_fds) != 0) return Errno("pipe");
-    SetNonBlocking(pipe_fds[0]);
-    SetNonBlocking(pipe_fds[1]);
-    wake_read_fd_ = pipe_fds[0];
-    wake_write_fd_.store(pipe_fds[1], std::memory_order_relaxed);
+  for (auto& shard : shards_) {
+    if (shard->wake_read_fd < 0) {
+      int pipe_fds[2];
+      if (::pipe(pipe_fds) != 0) return Errno("pipe");
+      SetNonBlocking(pipe_fds[0]);
+      SetNonBlocking(pipe_fds[1]);
+      shard->wake_read_fd = pipe_fds[0];
+      shard->wake_write_fd.store(pipe_fds[1], std::memory_order_relaxed);
+    }
+    if (!shard->handler) shard->handler = factory_(shard->id);
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return Errno("socket");
-  SetNonBlocking(listen_fd_);
-  int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("bad --host '" + options_.host + "'");
+  bool want_reuseport = shards_.size() > 1 && !options_.force_accept_relay;
+  relay_accept_ = options_.force_accept_relay && shards_.size() > 1;
+  NTW_RETURN_IF_ERROR(BindShardListener(*shards_[0], want_reuseport));
+  if (want_reuseport) {
+    for (size_t i = 1; i < shards_.size(); ++i) {
+      Status status = BindShardListener(*shards_[i], /*reuseport=*/true);
+      if (!status.ok()) {
+        // SO_REUSEPORT unavailable (or the bind raced): fall back to the
+        // single-listener accept relay. Shard 0's listener keeps working
+        // — SO_REUSEPORT with one socket behaves like a plain listener.
+        for (size_t j = 1; j <= i && j < shards_.size(); ++j) {
+          if (shards_[j]->listen_fd >= 0) {
+            ::close(shards_[j]->listen_fd);
+            shards_[j]->listen_fd = -1;
+          }
+        }
+        relay_accept_ = true;
+        break;
+      }
+    }
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    return Errno("bind " + options_.host + ":" +
-                 std::to_string(options_.port));
-  }
-  if (::listen(listen_fd_, 128) != 0) return Errno("listen");
-
-  socklen_t len = sizeof(addr);
-  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    return Errno("getsockname");
-  }
-  port_ = ntohs(addr.sin_port);
   return Status::OK();
 }
 
 void HttpServer::RequestShutdown() {
   shutdown_.store(true, std::memory_order_relaxed);
-  WakeLoop();
+  for (auto& shard : shards_) WakeShard(*shard);
 }
 
 void HttpServer::RequestReload() {
   reload_.store(true, std::memory_order_relaxed);
-  WakeLoop();
+  // Shard 0 alone consumes the flag — one SIGHUP, one reload, whatever
+  // the shard count.
+  WakeShard(*shards_[0]);
 }
 
-void HttpServer::WakeLoop() {
-  int fd = wake_write_fd_.load(std::memory_order_relaxed);
+void HttpServer::WakeShard(Shard& shard) {
+  int fd = shard.wake_write_fd.load(std::memory_order_relaxed);
   if (fd < 0) return;
   char byte = 1;
   // Best effort: a full pipe already guarantees a pending wake-up.
   [[maybe_unused]] ssize_t rc = ::write(fd, &byte, 1);
 }
 
-HttpResponse HttpServer::SafeHandle(const HttpRequest& request) const {
+HttpResponse HttpServer::SafeHandle(Shard& shard,
+                                    const HttpRequest& request) const {
   auto start = Clock::now();
   HttpResponse response;
   try {
-    response = handler_(request);
+    response = shard.handler(request);
   } catch (const std::exception& e) {
     response = ErrorResponse(500, std::string("handler exception: ") +
                                       e.what());
@@ -172,37 +266,88 @@ HttpResponse HttpServer::SafeHandle(const HttpRequest& request) const {
     response = ErrorResponse(500, "handler exception");
   }
   ServerMetrics::Get().handle_micros->Record(
-      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                            start)
-          .count());
+      shard.id, std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - start)
+                    .count());
   return response;
 }
 
-void HttpServer::CloseConn(uint64_t id) {
-  auto it = conns_.find(id);
-  if (it == conns_.end()) return;
+void HttpServer::CloseConn(Shard& shard, uint64_t id) {
+  auto it = shard.conns.find(id);
+  if (it == shard.conns.end()) return;
   if (it->second.fd >= 0) ::close(it->second.fd);
-  conns_.erase(it);
+  shard.conns.erase(it);
+  total_conns_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-void HttpServer::AcceptPending(Clock::time_point now) {
-  while (listen_fd_ >= 0 &&
-         conns_.size() < static_cast<size_t>(options_.max_connections)) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN (or transient error): try next poll round.
-    SetNonBlocking(fd);
-    int one = 1;
-    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    ServerMetrics::Get().connections->Add(1);
-    uint64_t id = next_conn_id_++;
-    auto [it, inserted] = conns_.emplace(id, Conn(options_.limits));
-    it->second.fd = fd;
-    it->second.deadline =
-        now + std::chrono::milliseconds(options_.read_timeout_ms);
+void HttpServer::AdoptFd(Shard& shard, int fd, Clock::time_point now) {
+  SetNonBlocking(fd);
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ServerMetrics::Get().connections->Add(shard.id, 1);
+  total_conns_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t id = shard.next_conn_id++;
+  auto [it, inserted] = shard.conns.emplace(id, Conn(options_.limits));
+  it->second.fd = fd;
+  it->second.deadline =
+      now + std::chrono::milliseconds(options_.read_timeout_ms);
+}
+
+void HttpServer::RelayFd(int fd) {
+  // Round-robin across every shard; shard 0 (the acceptor) adopts its own
+  // share directly, the rest get a queue push + wake.
+  Shard& target = *shards_[static_cast<size_t>(relay_next_)];
+  relay_next_ = (relay_next_ + 1) % static_cast<int>(shards_.size());
+  if (target.id == 0) {
+    AdoptFd(target, fd, Clock::now());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(target.pending_mu);
+    target.pending_fds.push_back(fd);
+  }
+  WakeShard(target);
+}
+
+void HttpServer::DrainPendingFds(Shard& shard, Clock::time_point now) {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(shard.pending_mu);
+    fds.swap(shard.pending_fds);
+  }
+  for (int fd : fds) {
+    if (shard.draining ||
+        shard.conns.size() >= ShardConnCap()) {
+      ::close(fd);  // Arrived after drain began or over the shard cap.
+      continue;
+    }
+    AdoptFd(shard, fd, now);
   }
 }
 
-void HttpServer::HandleReadable(uint64_t id, Conn& conn,
+void HttpServer::AcceptPending(Shard& shard, Clock::time_point now) {
+  while (shard.listen_fd >= 0) {
+    if (relay_accept_) {
+      // Relay mode: the global cap is the backstop (per-shard tables are
+      // owned by their loops, so the acceptor checks the shared total).
+      if (total_conns_.load(std::memory_order_relaxed) >=
+          options_.max_connections) {
+        return;
+      }
+    } else if (shard.conns.size() >= ShardConnCap()) {
+      return;
+    }
+    int fd = ::accept(shard.listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN (or transient error): try next poll round.
+    if (relay_accept_) {
+      RelayFd(fd);
+    } else {
+      AdoptFd(shard, fd, now);
+    }
+  }
+}
+
+void HttpServer::HandleReadable(Shard& shard, uint64_t id, Conn& conn,
                                 Clock::time_point now) {
   char buffer[64 * 1024];
   for (;;) {
@@ -215,13 +360,14 @@ void HttpServer::HandleReadable(uint64_t id, Conn& conn,
     if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     // Peer closed (or hard error). A request already dispatched keeps the
     // connection alive until its completion arrives and fails to write.
-    if (conn.state == Conn::State::kReading) CloseConn(id);
+    if (conn.state == Conn::State::kReading) CloseConn(shard, id);
     return;
   }
-  if (conn.state == Conn::State::kReading) TryAdvance(id, conn, now);
+  if (conn.state == Conn::State::kReading) TryAdvance(shard, id, conn, now);
 }
 
-void HttpServer::TryAdvance(uint64_t id, Conn& conn, Clock::time_point now) {
+void HttpServer::TryAdvance(Shard& shard, uint64_t id, Conn& conn,
+                            Clock::time_point now) {
   RequestParser::Phase phase = conn.parser.Consume(&conn.in);
   switch (phase) {
     case RequestParser::Phase::kNeedMore:
@@ -239,78 +385,82 @@ void HttpServer::TryAdvance(uint64_t id, Conn& conn, Clock::time_point now) {
     case RequestParser::Phase::kError: {
       ServerMetrics& metrics = ServerMetrics::Get();
       if (conn.parser.error_status() == 413) {
-        metrics.rejected_too_large->Add(1);
+        metrics.rejected_too_large->Add(shard.id, 1);
       } else {
-        metrics.parse_errors->Add(1);
+        metrics.parse_errors->Add(shard.id, 1);
       }
       conn.in.clear();
       conn.close_after_write = true;
-      StartWrite(conn,
+      StartWrite(shard, conn,
                  ErrorResponse(conn.parser.error_status(),
                                conn.parser.error_message()),
                  /*keep_alive=*/false, now);
       return;
     }
     case RequestParser::Phase::kComplete:
-      Dispatch(id, conn, now);
+      Dispatch(shard, id, conn, now);
       return;
   }
 }
 
-void HttpServer::Dispatch(uint64_t id, Conn& conn, Clock::time_point now) {
+void HttpServer::Dispatch(Shard& shard, uint64_t id, Conn& conn,
+                          Clock::time_point now) {
   conn.sent_continue = false;
 
   ServerMetrics& metrics = ServerMetrics::Get();
-  metrics.requests->Add(1);
+  metrics.requests->Add(shard.id, 1);
   metrics.request_body_bytes->Record(
-      static_cast<int64_t>(conn.parser.request().body.size()));
+      shard.id, static_cast<int64_t>(conn.parser.request().body.size()));
 
-  bool keep_alive = conn.parser.request().keep_alive && !draining_;
+  bool keep_alive = conn.parser.request().keep_alive && !shard.draining;
   conn.close_after_write = !keep_alive;
 
   bool parallel = options_.pool != nullptr && options_.pool->threads() > 1;
   if (!parallel) {
-    // Inline path: handle the request where the parser built it, then
-    // Reset() — the request's buffers keep their capacity for the next
-    // request on this connection instead of being moved out and freed.
-    HttpResponse response = SafeHandle(conn.parser.request());
+    // Inline path (the sharded daemon's normal mode): handle the request
+    // where the parser built it, then Reset() — the request's buffers
+    // keep their capacity for the next request on this connection
+    // instead of being moved out and freed.
+    HttpResponse response = SafeHandle(shard, conn.parser.request());
     conn.parser.Reset();
-    CountStatus(response.status);
-    StartWrite(conn, std::move(response), keep_alive, now);
+    CountStatus(shard.id, response.status);
+    StartWrite(shard, conn, std::move(response), keep_alive, now);
     return;
   }
-  if (inflight_ >= options_.max_inflight) {
+  if (shard.inflight >= ShardInflightCap()) {
     conn.parser.Reset();
-    metrics.rejected_overload->Add(1);
+    metrics.rejected_overload->Add(shard.id, 1);
     HttpResponse response = ErrorResponse(
         503, "server is at its in-flight request limit, retry later");
-    CountStatus(response.status);
-    StartWrite(conn, std::move(response), keep_alive, now);
+    CountStatus(shard.id, response.status);
+    StartWrite(shard, conn, std::move(response), keep_alive, now);
     return;
   }
-  ++inflight_;
-  metrics.inflight->Set(inflight_);
+  ++shard.inflight;
+  metrics.inflight->Add(1);
   conn.state = Conn::State::kProcessing;
   auto shared_request =
       std::make_shared<HttpRequest>(conn.parser.TakeRequest());
   conn.parser.Reset();
-  options_.pool->Submit([this, id, shared_request, keep_alive] {
-    HttpResponse response = SafeHandle(*shared_request);
+  Shard* shard_ptr = &shard;
+  options_.pool->Submit([this, shard_ptr, id, shared_request, keep_alive] {
+    HttpResponse response = SafeHandle(*shard_ptr, *shared_request);
     Completion completion;
     completion.conn_id = id;
     completion.status = response.status;
     SerializeResponseHead(response, keep_alive, &completion.head);
     completion.body = std::move(response.body);
     {
-      std::lock_guard<std::mutex> lock(completion_mu_);
-      completions_.push_back(std::move(completion));
+      std::lock_guard<std::mutex> lock(shard_ptr->completion_mu);
+      shard_ptr->completions.push_back(std::move(completion));
     }
-    WakeLoop();
+    WakeShard(*shard_ptr);
   });
 }
 
-void HttpServer::StartWrite(Conn& conn, HttpResponse response,
+void HttpServer::StartWrite(Shard& shard, Conn& conn, HttpResponse response,
                             bool keep_alive, Clock::time_point now) {
+  (void)shard;
   // The head lands in the connection's recycled buffer; the body is moved,
   // never copied.
   SerializeResponseHead(response, keep_alive, &conn.out_head);
@@ -329,7 +479,7 @@ void HttpServer::StartWriteParts(Conn& conn, std::string head,
   conn.deadline = now + std::chrono::milliseconds(options_.write_timeout_ms);
 }
 
-void HttpServer::HandleWritable(uint64_t id, Conn& conn,
+void HttpServer::HandleWritable(Shard& shard, uint64_t id, Conn& conn,
                                 Clock::time_point now) {
   size_t total = conn.out_head.size() + conn.out_body.size();
   while (conn.out_offset < total) {
@@ -357,15 +507,16 @@ void HttpServer::HandleWritable(uint64_t id, Conn& conn,
       continue;
     }
     if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
-    CloseConn(id);  // Peer vanished mid-response.
+    CloseConn(shard, id);  // Peer vanished mid-response.
     return;
   }
-  FinishWrite(id, conn, now);
+  FinishWrite(shard, id, conn, now);
 }
 
-void HttpServer::FinishWrite(uint64_t id, Conn& conn, Clock::time_point now) {
-  if (conn.close_after_write || draining_) {
-    CloseConn(id);
+void HttpServer::FinishWrite(Shard& shard, uint64_t id, Conn& conn,
+                             Clock::time_point now) {
+  if (conn.close_after_write || shard.draining) {
+    CloseConn(shard, id);
     return;
   }
   // Keep-alive: recycle the connection for the next request; pipelined
@@ -376,35 +527,35 @@ void HttpServer::FinishWrite(uint64_t id, Conn& conn, Clock::time_point now) {
   conn.out_offset = 0;
   conn.state = Conn::State::kReading;
   conn.deadline = now + std::chrono::milliseconds(options_.read_timeout_ms);
-  TryAdvance(id, conn, now);
+  TryAdvance(shard, id, conn, now);
 }
 
-void HttpServer::ApplyCompletions(Clock::time_point now) {
+void HttpServer::ApplyCompletions(Shard& shard, Clock::time_point now) {
   std::vector<Completion> ready;
   {
-    std::lock_guard<std::mutex> lock(completion_mu_);
-    ready.swap(completions_);
+    std::lock_guard<std::mutex> lock(shard.completion_mu);
+    ready.swap(shard.completions);
   }
   ServerMetrics& metrics = ServerMetrics::Get();
   for (Completion& completion : ready) {
-    --inflight_;
-    metrics.inflight->Set(inflight_);
-    auto it = conns_.find(completion.conn_id);
-    if (it == conns_.end() ||
+    --shard.inflight;
+    metrics.inflight->Add(-1);
+    auto it = shard.conns.find(completion.conn_id);
+    if (it == shard.conns.end() ||
         it->second.state != Conn::State::kProcessing) {
-      metrics.dropped_responses->Add(1);
+      metrics.dropped_responses->Add(shard.id, 1);
       continue;
     }
-    CountStatus(completion.status);
+    CountStatus(shard.id, completion.status);
     StartWriteParts(it->second, std::move(completion.head),
                     std::move(completion.body), now);
-    HandleWritable(completion.conn_id, it->second, now);
+    HandleWritable(shard, completion.conn_id, it->second, now);
   }
 }
 
-void HttpServer::ExpireDeadlines(Clock::time_point now) {
+void HttpServer::ExpireDeadlines(Shard& shard, Clock::time_point now) {
   ServerMetrics& metrics = ServerMetrics::Get();
-  for (auto it = conns_.begin(); it != conns_.end();) {
+  for (auto it = shard.conns.begin(); it != shard.conns.end();) {
     Conn& conn = it->second;
     uint64_t id = it->first;
     ++it;  // CloseConn invalidates the current iterator only.
@@ -412,95 +563,108 @@ void HttpServer::ExpireDeadlines(Clock::time_point now) {
     if (now < conn.deadline) continue;
     if (conn.state == Conn::State::kReading) {
       if (conn.parser.has_partial_data() || !conn.in.empty()) {
-        metrics.read_timeouts->Add(1);  // Slow-loris / stalled request.
+        metrics.read_timeouts->Add(shard.id, 1);  // Slow-loris / stall.
       }
       // Idle keep-alive connections expire silently.
     } else {
-      metrics.write_timeouts->Add(1);
+      metrics.write_timeouts->Add(shard.id, 1);
     }
-    CloseConn(id);
+    CloseConn(shard, id);
   }
 }
 
-void HttpServer::BeginDrain(Clock::time_point now) {
-  draining_ = true;
-  drain_deadline_ = now + std::chrono::milliseconds(options_.drain_grace_ms);
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+void HttpServer::BeginDrain(Shard& shard, Clock::time_point now) {
+  shard.draining = true;
+  shard.drain_deadline =
+      now + std::chrono::milliseconds(options_.drain_grace_ms);
+  if (shard.listen_fd >= 0) {
+    ::close(shard.listen_fd);
+    shard.listen_fd = -1;
   }
   // Connections with no partial request have nothing in flight: close
   // them now. Mid-request reads keep their read deadline — a request the
   // client has started sending still gets served, then closed.
-  for (auto it = conns_.begin(); it != conns_.end();) {
+  for (auto it = shard.conns.begin(); it != shard.conns.end();) {
     uint64_t id = it->first;
     Conn& conn = it->second;
     ++it;
     if (conn.state == Conn::State::kReading && !conn.parser.has_partial_data()
         && conn.in.empty()) {
-      CloseConn(id);
+      CloseConn(shard, id);
     }
   }
 }
 
-int HttpServer::PollTimeoutMs(Clock::time_point now) const {
+int HttpServer::PollTimeoutMs(const Shard& shard,
+                              Clock::time_point now) const {
   int64_t timeout = 60'000;
-  for (const auto& [id, conn] : conns_) {
+  for (const auto& [id, conn] : shard.conns) {
     if (conn.state == Conn::State::kProcessing) continue;
     timeout = std::min(timeout, MillisUntil(conn.deadline, now));
   }
-  if (options_.tick_interval_ms > 0 && tick_hook_) {
-    timeout = std::min(timeout, MillisUntil(next_tick_, now));
+  if (shard.id == 0 && options_.tick_interval_ms > 0 && tick_hook_) {
+    timeout = std::min(timeout, MillisUntil(shard.next_tick, now));
   }
-  if (draining_) {
-    timeout = std::min(timeout, MillisUntil(drain_deadline_, now));
+  if (shard.draining) {
+    timeout = std::min(timeout, MillisUntil(shard.drain_deadline, now));
   }
   if (timeout < 0) return 0;
   if (timeout > 1000) return 1000;  // Bounded signal/shutdown latency.
   return static_cast<int>(timeout) + 1;  // Round up past the deadline.
 }
 
-Status HttpServer::Run() {
-  if (listen_fd_ < 0) NTW_RETURN_IF_ERROR(Bind());
-  next_tick_ = Clock::now() +
-               std::chrono::milliseconds(options_.tick_interval_ms);
-
+Status HttpServer::RunShard(Shard& shard) {
   std::vector<pollfd> poll_fds;
   std::vector<uint64_t> poll_ids;
   for (;;) {
     Clock::time_point now = Clock::now();
-    if (shutdown_.load(std::memory_order_relaxed) && !draining_) {
-      BeginDrain(now);
+    if (shutdown_.load(std::memory_order_relaxed) && !shard.draining) {
+      BeginDrain(shard, now);
     }
-    if (reload_.exchange(false, std::memory_order_relaxed) && reload_hook_) {
-      reload_hook_();
+    if (shard.id == 0) {
+      // Reload and tick are shard-0 affairs: the repository swap they
+      // trigger is published through one atomic store that every shard's
+      // next Pin() observes — no cross-shard coordination needed.
+      if (reload_.exchange(false, std::memory_order_relaxed) &&
+          reload_hook_) {
+        reload_hook_();
+      }
+      if (tick_hook_ && options_.tick_interval_ms > 0 &&
+          now >= shard.next_tick) {
+        tick_hook_();
+        shard.next_tick =
+            now + std::chrono::milliseconds(options_.tick_interval_ms);
+      }
     }
-    if (tick_hook_ && options_.tick_interval_ms > 0 && now >= next_tick_) {
-      tick_hook_();
-      next_tick_ = now + std::chrono::milliseconds(options_.tick_interval_ms);
-    }
-    if (draining_) {
-      if (conns_.empty() && inflight_ == 0) break;
-      if (now >= drain_deadline_) {
+    if (shard.draining) {
+      if (shard.conns.empty() && shard.inflight == 0) break;
+      if (now >= shard.drain_deadline) {
         ServerMetrics::Get().drain_forced_closes->Add(
-            static_cast<int64_t>(conns_.size()));
-        while (!conns_.empty()) CloseConn(conns_.begin()->first);
-        if (inflight_ == 0) break;
+            shard.id, static_cast<int64_t>(shard.conns.size()));
+        while (!shard.conns.empty()) {
+          CloseConn(shard, shard.conns.begin()->first);
+        }
+        if (shard.inflight == 0) break;
         // Workers still own in-flight requests: keep looping to collect
-        // (and drop) their completions so Run() exits cleanly.
+        // (and drop) their completions so RunShard() exits cleanly.
       }
     }
 
     poll_fds.clear();
     poll_ids.clear();
-    poll_fds.push_back({wake_read_fd_, POLLIN, 0});
+    poll_fds.push_back({shard.wake_read_fd, POLLIN, 0});
     poll_ids.push_back(0);
-    if (listen_fd_ >= 0 &&
-        conns_.size() < static_cast<size_t>(options_.max_connections)) {
-      poll_fds.push_back({listen_fd_, POLLIN, 0});
+    bool accept_open =
+        shard.listen_fd >= 0 &&
+        (relay_accept_
+             ? total_conns_.load(std::memory_order_relaxed) <
+                   options_.max_connections
+             : shard.conns.size() < ShardConnCap());
+    if (accept_open) {
+      poll_fds.push_back({shard.listen_fd, POLLIN, 0});
       poll_ids.push_back(0);
     }
-    for (const auto& [id, conn] : conns_) {
+    for (const auto& [id, conn] : shard.conns) {
       short events = 0;
       if (conn.state == Conn::State::kReading) events = POLLIN;
       if (conn.state == Conn::State::kWriting) events = POLLOUT;
@@ -509,7 +673,8 @@ Status HttpServer::Run() {
       poll_ids.push_back(id);
     }
 
-    int rc = ::poll(poll_fds.data(), poll_fds.size(), PollTimeoutMs(now));
+    int rc =
+        ::poll(poll_fds.data(), poll_fds.size(), PollTimeoutMs(shard, now));
     if (rc < 0 && errno != EINTR) return Errno("poll");
     now = Clock::now();
 
@@ -517,40 +682,76 @@ Status HttpServer::Run() {
       for (size_t i = 0; i < poll_fds.size(); ++i) {
         if (poll_fds[i].revents == 0) continue;
         int fd = poll_fds[i].fd;
-        if (fd == wake_read_fd_) {
-          char buffer[256];
-          while (::read(wake_read_fd_, buffer, sizeof(buffer)) > 0) {
-          }
+        if (fd == shard.wake_read_fd) {
+          DrainPipe(shard.wake_read_fd);
           continue;
         }
-        if (fd == listen_fd_) {
-          AcceptPending(now);
+        if (fd == shard.listen_fd) {
+          AcceptPending(shard, now);
           continue;
         }
-        auto it = conns_.find(poll_ids[i]);
-        if (it == conns_.end() || it->second.fd != fd) continue;
+        auto it = shard.conns.find(poll_ids[i]);
+        if (it == shard.conns.end() || it->second.fd != fd) continue;
         Conn& conn = it->second;
         if (conn.state == Conn::State::kReading &&
             (poll_fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-          HandleReadable(poll_ids[i], conn, now);
+          HandleReadable(shard, poll_ids[i], conn, now);
         } else if (conn.state == Conn::State::kWriting &&
                    (poll_fds[i].revents & (POLLOUT | POLLHUP | POLLERR)) !=
                        0) {
-          HandleWritable(poll_ids[i], conn, now);
+          HandleWritable(shard, poll_ids[i], conn, now);
         }
       }
     }
-    ApplyCompletions(now);
-    ExpireDeadlines(now);
+    DrainPendingFds(shard, now);
+    ApplyCompletions(shard, now);
+    ExpireDeadlines(shard, now);
   }
 
-  // Drain any wake bytes so a relaunched Run() does not spin once, and
-  // reset the shutdown latch. The pipe itself stays open (see ~HttpServer)
-  // so concurrent Request*() calls stay safe after Run() returns.
-  char buffer[256];
-  while (::read(wake_read_fd_, buffer, sizeof(buffer)) > 0) {
+  // Close any relayed sockets that arrived after this shard's drain
+  // finished (the acceptor may have assigned them before it drained).
+  {
+    std::lock_guard<std::mutex> lock(shard.pending_mu);
+    for (int fd : shard.pending_fds) ::close(fd);
+    shard.pending_fds.clear();
   }
+  // Drain any wake bytes so a relaunched Run() does not spin once. The
+  // pipe itself stays open (see ~HttpServer) so concurrent Request*()
+  // calls stay safe after Run() returns.
+  DrainPipe(shard.wake_read_fd);
+  return Status::OK();
+}
+
+Status HttpServer::Run() {
+  if (shards_[0]->listen_fd < 0) NTW_RETURN_IF_ERROR(Bind());
+  shards_[0]->next_tick =
+      Clock::now() + std::chrono::milliseconds(options_.tick_interval_ms);
+
+  if (shards_.size() == 1) {
+    Status status = RunShard(*shards_[0]);
+    shutdown_.store(false, std::memory_order_relaxed);
+    return status;
+  }
+
+  // Shard 0 runs on the calling thread (it owns reload/tick and, in relay
+  // mode, the sole listener); the rest get their own reactor threads.
+  std::vector<Status> statuses(shards_.size(), Status::OK());
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size() - 1);
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    threads.emplace_back([this, i, &statuses] {
+      statuses[i] = RunShard(*shards_[i]);
+    });
+  }
+  statuses[0] = RunShard(*shards_[0]);
+  // If shard 0 failed (e.g. poll error) the others would run forever:
+  // make sure every loop sees shutdown before joining.
+  if (!statuses[0].ok()) RequestShutdown();
+  for (std::thread& thread : threads) thread.join();
   shutdown_.store(false, std::memory_order_relaxed);
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
   return Status::OK();
 }
 

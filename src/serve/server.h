@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -22,10 +23,20 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;  // 0 = kernel-assigned ephemeral port (see port()).
   HttpLimits limits;
+  /// Independent reactor shards (event-loop threads), each with its own
+  /// listener, connection table and timers — DESIGN.md §11. 1 keeps the
+  /// classic single-loop server; ntw_serve defaults to the core count.
+  int shards = 1;
+  /// Testing/portability knob: skip SO_REUSEPORT and force the fallback
+  /// accept relay (shard 0 owns the only listener and hands accepted
+  /// sockets to the other shards round-robin).
+  bool force_accept_relay = false;
   /// Requests dispatched but not yet answered; beyond this, new requests
-  /// are rejected with 503 instead of queueing unboundedly.
+  /// are rejected with 503 instead of queueing unboundedly. Divided
+  /// evenly across shards (each shard enforces its share).
   int max_inflight = 128;
   /// Simultaneously open connections; beyond this, accepting pauses.
+  /// Divided evenly across shards.
   int max_connections = 1024;
   /// Budget to receive one full request (slow-loris bound) — also the
   /// keep-alive idle timeout.
@@ -35,20 +46,29 @@ struct ServerOptions {
   /// On shutdown, how long to wait for in-flight work before force-close.
   int drain_grace_ms = 10000;
   /// Cadence of the tick hook (mtime-based hot reload); 0 disables it.
+  /// The tick runs on shard 0 only — one mtime poller per process.
   int tick_interval_ms = 1000;
   /// Worker pool that runs the handler. nullptr (or a serial pool) means
-  /// requests are handled inline on the event loop.
+  /// requests are handled inline on the event loop — the right choice
+  /// when shards > 1 (the reactors themselves are the parallelism).
   ThreadPool* pool = nullptr;
 };
 
 /// A minimal dependency-free HTTP/1.1 daemon over POSIX sockets.
 ///
-/// Architecture: one event-loop thread owns every socket and runs
-/// poll() over the listener, a self-wake pipe, and all connections; it
-/// parses requests incrementally and hands complete ones to the thread
-/// pool via Submit(). Workers only compute — they serialize the response
-/// bytes, push them onto a completion queue and poke the wake pipe; the
-/// event loop attaches the bytes to the connection and writes them out.
+/// Architecture (DESIGN.md §11): N independent reactor shards, each an
+/// event-loop thread that owns its own listener socket, self-wake pipe,
+/// connection table and timers, and runs poll() over them. With
+/// SO_REUSEPORT every shard listens on the same address and the kernel
+/// spreads incoming connections; where that is unavailable (or
+/// force_accept_relay is set) shard 0 owns the sole listener and relays
+/// accepted sockets to the other shards round-robin through per-shard
+/// handoff queues + wake pipes. A connection lives its whole life on one
+/// shard, so the steady-state request path touches no cross-shard shared
+/// state. Complete requests are handled inline on the shard (the normal
+/// sharded configuration) or submitted to an optional worker pool whose
+/// completions return through the owning shard's queue.
+///
 /// Production concerns handled here, not in handlers: per-request
 /// read/write timeouts, max body size (413), bounded in-flight count
 /// (503), keep-alive with pipelining, Expect: 100-continue, and graceful
@@ -56,26 +76,41 @@ struct ServerOptions {
 ///
 /// Determinism: the handler is a pure function and responses carry no
 /// timestamps, so the bytes a request receives do not depend on worker
-/// scheduling — concurrent load replays byte-identically to serial.
+/// scheduling or shard placement — any shard count replays
+/// byte-identically to serial (tests/sharded_serve_test.cc).
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  /// Builds shard-local handlers: called once per shard before the loops
+  /// start, so each reactor can own private state (e.g. its own
+  /// ExtractService with a per-shard buffer pool).
+  using HandlerFactory = std::function<Handler(int shard)>;
   using Clock = std::chrono::steady_clock;
 
+  /// One handler shared by every shard (it must be thread-safe when
+  /// shards > 1 or a pool is set).
   HttpServer(ServerOptions options, Handler handler);
+  /// One handler per shard, built by the factory.
+  HttpServer(ServerOptions options, HandlerFactory factory);
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Creates, binds and listens the server socket. Call before Run().
+  /// Creates, binds and listens every shard's socket. Call before Run().
   Status Bind();
 
   /// The bound port (useful with options.port = 0). Valid after Bind().
   int port() const { return port_; }
 
-  /// The event loop; blocks until RequestShutdown() and the subsequent
-  /// drain complete. Returns non-OK only on setup failures.
+  /// True when the shards share one listener through the accept relay
+  /// instead of per-shard SO_REUSEPORT listeners. Valid after Bind().
+  bool using_accept_relay() const { return relay_accept_; }
+
+  /// The event loops; blocks until RequestShutdown() and the subsequent
+  /// drain complete on every shard. Shard 0 runs on the calling thread,
+  /// shards 1..N-1 on internal threads. Returns non-OK only on setup
+  /// failures.
   Status Run();
 
   /// Initiates graceful shutdown: stop accepting, drain in-flight
@@ -83,15 +118,16 @@ class HttpServer {
   /// handlers call this) and safe from any thread.
   void RequestShutdown();
 
-  /// Schedules the reload hook to run on the event loop (the SIGHUP
-  /// handler calls this). Async-signal-safe.
+  /// Schedules the reload hook to run on shard 0's loop (the SIGHUP
+  /// handler calls this). Consumed by shard 0 only, so one SIGHUP runs
+  /// the hook exactly once whatever the shard count. Async-signal-safe.
   void RequestReload();
 
-  /// Called on the event loop after RequestReload() — wrapper repository
+  /// Called on shard 0's loop after RequestReload() — wrapper repository
   /// hot reload. Set before Run().
   void SetReloadHook(std::function<void()> hook) { reload_hook_ = std::move(hook); }
 
-  /// Called on the event loop every tick_interval_ms — mtime polling.
+  /// Called on shard 0's loop every tick_interval_ms — mtime polling.
   /// Set before Run().
   void SetTickHook(std::function<void()> hook) { tick_hook_ = std::move(hook); }
 
@@ -124,48 +160,79 @@ class HttpServer {
     std::string body;
   };
 
-  void AcceptPending(Clock::time_point now);
-  void HandleReadable(uint64_t id, Conn& conn, Clock::time_point now);
-  void TryAdvance(uint64_t id, Conn& conn, Clock::time_point now);
-  void Dispatch(uint64_t id, Conn& conn, Clock::time_point now);
-  void HandleWritable(uint64_t id, Conn& conn, Clock::time_point now);
-  void StartWrite(Conn& conn, HttpResponse response, bool keep_alive,
+  /// One reactor: everything below `handler` is owned and touched by this
+  /// shard's loop thread only; the two mutex-guarded queues are the only
+  /// cross-thread entry points (worker completions, relayed accepts).
+  struct Shard {
+    int id = 0;
+    Handler handler;
+    int listen_fd = -1;  // -1 on relay shards (id > 0 in relay mode).
+    int wake_read_fd = -1;
+    std::atomic<int> wake_write_fd{-1};
+
+    // Loop-owned state.
+    std::map<uint64_t, Conn> conns;
+    uint64_t next_conn_id = 1;
+    int inflight = 0;
+    bool draining = false;
+    Clock::time_point drain_deadline;
+    Clock::time_point next_tick;
+
+    // Worker → loop handoff.
+    std::mutex completion_mu;
+    std::vector<Completion> completions;
+
+    // Relay handoff: accepted fds shard 0 assigned to this shard.
+    std::mutex pending_mu;
+    std::vector<int> pending_fds;
+  };
+
+  Status BindShardListener(Shard& shard, bool reuseport);
+  void AdoptFd(Shard& shard, int fd, Clock::time_point now);
+  void AcceptPending(Shard& shard, Clock::time_point now);
+  void DrainPendingFds(Shard& shard, Clock::time_point now);
+  void RelayFd(int fd);
+  void HandleReadable(Shard& shard, uint64_t id, Conn& conn,
+                      Clock::time_point now);
+  void TryAdvance(Shard& shard, uint64_t id, Conn& conn,
                   Clock::time_point now);
+  void Dispatch(Shard& shard, uint64_t id, Conn& conn, Clock::time_point now);
+  void HandleWritable(Shard& shard, uint64_t id, Conn& conn,
+                      Clock::time_point now);
+  void StartWrite(Shard& shard, Conn& conn, HttpResponse response,
+                  bool keep_alive, Clock::time_point now);
   void StartWriteParts(Conn& conn, std::string head, std::string body,
                        Clock::time_point now);
-  void FinishWrite(uint64_t id, Conn& conn, Clock::time_point now);
-  void ApplyCompletions(Clock::time_point now);
-  void ExpireDeadlines(Clock::time_point now);
-  void BeginDrain(Clock::time_point now);
-  void CloseConn(uint64_t id);
-  void WakeLoop();
-  HttpResponse SafeHandle(const HttpRequest& request) const;
-  int PollTimeoutMs(Clock::time_point now) const;
+  void FinishWrite(Shard& shard, uint64_t id, Conn& conn,
+                   Clock::time_point now);
+  void ApplyCompletions(Shard& shard, Clock::time_point now);
+  void ExpireDeadlines(Shard& shard, Clock::time_point now);
+  void BeginDrain(Shard& shard, Clock::time_point now);
+  void CloseConn(Shard& shard, uint64_t id);
+  void WakeShard(Shard& shard);
+  HttpResponse SafeHandle(Shard& shard, const HttpRequest& request) const;
+  int PollTimeoutMs(const Shard& shard, Clock::time_point now) const;
+  Status RunShard(Shard& shard);
+  size_t ShardConnCap() const;
+  int ShardInflightCap() const;
 
   ServerOptions options_;
-  Handler handler_;
+  HandlerFactory factory_;
   std::function<void()> reload_hook_;
   std::function<void()> tick_hook_;
 
-  int listen_fd_ = -1;
   int port_ = 0;
-  int wake_read_fd_ = -1;
-  std::atomic<int> wake_write_fd_{-1};
+  bool relay_accept_ = false;
+  int relay_next_ = 0;  // Shard 0 only: next round-robin target.
+  /// Open connections across all shards. Only the relay-mode acceptor
+  /// reads it (per-shard tables are loop-owned, so the global cap needs a
+  /// shared count); updated on connection open/close, never per request.
+  std::atomic<int> total_conns_{0};
 
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> reload_{false};
 
-  // Event-loop-owned state (no locking needed).
-  std::map<uint64_t, Conn> conns_;
-  uint64_t next_conn_id_ = 1;
-  int inflight_ = 0;
-  bool draining_ = false;
-  Clock::time_point drain_deadline_;
-  Clock::time_point next_tick_;
-
-  // Worker → event loop handoff.
-  std::mutex completion_mu_;
-  std::vector<Completion> completions_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace ntw::serve

@@ -16,22 +16,26 @@ namespace ntw::serve {
 
 namespace {
 
+// Sharded instruments: each reactor shard records into its own stripe
+// (no cross-shard cache-line contention on the request path); /metrics
+// merges stripes at scrape time and also exports the shard dimension.
 struct ServiceMetrics {
-  obs::Counter* pages_extracted;
-  obs::Counter* values_extracted;
-  obs::Counter* batch_lines;
-  obs::Counter* wrapper_misses;
-  obs::Counter* arena_bytes_reused;
-  obs::Histogram* extract_latency;
+  obs::ShardedCounter* pages_extracted;
+  obs::ShardedCounter* values_extracted;
+  obs::ShardedCounter* batch_lines;
+  obs::ShardedCounter* wrapper_misses;
+  obs::ShardedCounter* arena_bytes_reused;
+  obs::ShardedHistogram* extract_latency;
 
   static ServiceMetrics& Get() {
     static ServiceMetrics m{
-        obs::Registry::Global().GetCounter("ntw.serve.pages_extracted"),
-        obs::Registry::Global().GetCounter("ntw.serve.values_extracted"),
-        obs::Registry::Global().GetCounter("ntw.serve.batch_lines"),
-        obs::Registry::Global().GetCounter("ntw.serve.wrapper_misses"),
-        obs::Registry::Global().GetCounter("ntw.serve.arena_bytes_reused"),
-        obs::Registry::Global().GetHistogram(
+        obs::Registry::Global().GetShardedCounter("ntw.serve.pages_extracted"),
+        obs::Registry::Global().GetShardedCounter("ntw.serve.values_extracted"),
+        obs::Registry::Global().GetShardedCounter("ntw.serve.batch_lines"),
+        obs::Registry::Global().GetShardedCounter("ntw.serve.wrapper_misses"),
+        obs::Registry::Global().GetShardedCounter(
+            "ntw.serve.arena_bytes_reused"),
+        obs::Registry::Global().GetShardedHistogram(
             "ntw.serve.extract_latency_micros"),
     };
     return m;
@@ -60,7 +64,8 @@ std::vector<std::string> ExtractValuesInterpreted(const core::Wrapper& wrapper,
 /// snapshot. On failure fills `error` with the response to send.
 const WrapperRepository::Entry* LookupWrapper(
     const WrapperRepository::Snapshot& snapshot, const HttpRequest& request,
-    std::string* site, std::string* attribute, HttpResponse* error) {
+    int shard, std::string* site, std::string* attribute,
+    HttpResponse* error) {
   *site = request.QueryParam("site");
   *attribute = request.QueryParam("attribute");
   if (attribute->empty()) *attribute = request.QueryParam("attr");
@@ -71,7 +76,7 @@ const WrapperRepository::Entry* LookupWrapper(
   }
   const WrapperRepository::Entry* entry = snapshot.Find(*site, *attribute);
   if (entry == nullptr) {
-    ServiceMetrics::Get().wrapper_misses->Add(1);
+    ServiceMetrics::Get().wrapper_misses->Add(shard, 1);
     *error = ErrorResponse(404, "no wrapper for site '" + *site +
                                     "' attribute '" + *attribute + "'");
   }
@@ -94,33 +99,34 @@ void ExtractService::ExtractToJson(const WrapperRepository::Entry& entry,
                                    const std::string& page_html,
                                    obs::JsonWriter& json) const {
   ServiceMetrics& metrics = ServiceMetrics::Get();
+  int shard = options_.shard;
   auto start = std::chrono::steady_clock::now();
   if (options_.fast_path && entry.compiled != nullptr) {
     core::FastBufferPool::Lease lease = buffers_.Acquire();
     html::ArenaParse(page_html, &lease->doc);
     entry.compiled->Extract(*lease, &lease->values);
-    metrics.extract_latency->Record(MicrosSince(start));
+    metrics.extract_latency->Record(shard, MicrosSince(start));
     json.Key("values");
     json.BeginArray();
     for (std::string_view value : lease->values) json.String(value);
     json.EndArray();
-    metrics.pages_extracted->Add(1);
-    metrics.values_extracted->Add(
-        static_cast<int64_t>(lease->values.size()));
+    metrics.pages_extracted->Add(shard, 1);
+    metrics.values_extracted->Add(shard,
+                                  static_cast<int64_t>(lease->values.size()));
     const Arena& arena = lease->doc.arena();
     metrics.arena_bytes_reused->Add(
-        static_cast<int64_t>(arena.used() - arena.fresh_bytes()));
+        shard, static_cast<int64_t>(arena.used() - arena.fresh_bytes()));
     return;
   }
   std::vector<std::string> values =
       ExtractValuesInterpreted(*entry.wrapper, page_html);
-  metrics.extract_latency->Record(MicrosSince(start));
+  metrics.extract_latency->Record(shard, MicrosSince(start));
   json.Key("values");
   json.BeginArray();
   for (const std::string& value : values) json.String(value);
   json.EndArray();
-  metrics.pages_extracted->Add(1);
-  metrics.values_extracted->Add(static_cast<int64_t>(values.size()));
+  metrics.pages_extracted->Add(shard, 1);
+  metrics.values_extracted->Add(shard, static_cast<int64_t>(values.size()));
 }
 
 HttpResponse ExtractService::Handle(const HttpRequest& request) const {
@@ -139,23 +145,30 @@ HttpResponse ExtractService::Handle(const HttpRequest& request) const {
   }
   if (request.path == "/extract") {
     if (request.method != "POST") return ErrorResponse(405, "use POST");
-    return Extract(request);
+    HttpResponse response = Extract(request);
+    // Our pin is released; if a reload retired a snapshot while we held
+    // it, free it here rather than waiting for the next reload.
+    repository_->ReclaimRetired();
+    return response;
   }
   if (request.path == "/extract_batch") {
     if (request.method != "POST") return ErrorResponse(405, "use POST");
-    return ExtractBatch(request);
+    HttpResponse response = ExtractBatch(request);
+    repository_->ReclaimRetired();
+    return response;
   }
   return ErrorResponse(404, "unknown endpoint '" + request.path + "'");
 }
 
 HttpResponse ExtractService::Extract(const HttpRequest& request) const {
-  std::shared_ptr<const WrapperRepository::Snapshot> snapshot =
-      repository_->snapshot();
+  // Wait-free read-side: the pin keeps this snapshot alive for the whole
+  // request; a concurrent reload publishes a new one without blocking us.
+  WrapperRepository::PinnedSnapshot snapshot = repository_->Pin();
   std::string site;
   std::string attribute;
   HttpResponse error;
-  const WrapperRepository::Entry* entry =
-      LookupWrapper(*snapshot, request, &site, &attribute, &error);
+  const WrapperRepository::Entry* entry = LookupWrapper(
+      *snapshot, request, options_.shard, &site, &attribute, &error);
   if (entry == nullptr) return error;
 
   obs::JsonWriter json;
@@ -173,13 +186,12 @@ HttpResponse ExtractService::Extract(const HttpRequest& request) const {
 }
 
 HttpResponse ExtractService::ExtractBatch(const HttpRequest& request) const {
-  std::shared_ptr<const WrapperRepository::Snapshot> snapshot =
-      repository_->snapshot();
+  WrapperRepository::PinnedSnapshot snapshot = repository_->Pin();
   std::string site;
   std::string attribute;
   HttpResponse error;
-  const WrapperRepository::Entry* entry =
-      LookupWrapper(*snapshot, request, &site, &attribute, &error);
+  const WrapperRepository::Entry* entry = LookupWrapper(
+      *snapshot, request, options_.shard, &site, &attribute, &error);
   if (entry == nullptr) return error;
 
   // One result slot per input line, written independently and joined in
@@ -189,7 +201,8 @@ HttpResponse ExtractService::ExtractBatch(const HttpRequest& request) const {
   while (!lines.empty() && StripWhitespace(lines.back()).empty()) {
     lines.pop_back();
   }
-  ServiceMetrics::Get().batch_lines->Add(static_cast<int64_t>(lines.size()));
+  ServiceMetrics::Get().batch_lines->Add(options_.shard,
+                                         static_cast<int64_t>(lines.size()));
   std::vector<std::string> results(lines.size());
   pool_->ParallelFor(lines.size(), [&](size_t i) {
     obs::JsonWriter json;

@@ -32,8 +32,16 @@ namespace ntw::serve {
 /// --no-fast-path — forces the interpreted Wrapper::Extract path. The two
 /// paths are byte-identical by contract, pinned by
 /// tests/fastpath_equivalence_test.cc and the ntw_loadgen cross-check.
+///
+/// Sharding (DESIGN.md §11): the daemon instantiates one ExtractService
+/// per reactor shard, so each shard's requests reuse a FastBufferPool no
+/// other shard touches and account to per-shard metric stripes
+/// (`Options::shard`). The repository is shared — reads go through its
+/// wait-free epoch pin, never a lock.
 struct ExtractServiceOptions {
   bool fast_path = true;
+  /// Metric stripe this instance records into (the owning reactor's id).
+  int shard = 0;
 };
 
 class ExtractService {
@@ -58,6 +66,7 @@ class ExtractService {
   Options options_;
   // Reusable per-request fast-path buffers (arena DOM + scratch); the pool
   // is internally synchronized, so Handle() stays const and thread-safe.
+  // One pool per service instance — per shard in the sharded daemon.
   mutable core::FastBufferPool buffers_;
 };
 

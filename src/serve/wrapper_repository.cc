@@ -1,5 +1,6 @@
 #include "serve/wrapper_repository.h"
 
+#include <chrono>
 #include <filesystem>
 
 #include "common/file_util.h"
@@ -17,15 +18,25 @@ namespace {
 struct RepoMetrics {
   obs::Counter* reloads;
   obs::Counter* load_errors;
+  obs::Counter* snapshots_retired;
+  obs::Counter* snapshots_freed;
   obs::Gauge* wrappers;
   obs::Gauge* version;
+  /// Time from a snapshot's retirement (new one published) to its actual
+  /// free — how long the epoch quiescence point took to pass. Large
+  /// values mean a reader pinned an old snapshot for a long time.
+  obs::Histogram* reload_quiesce_micros;
 
   static RepoMetrics& Get() {
     static RepoMetrics m{
         obs::Registry::Global().GetCounter("ntw.repo.reloads"),
         obs::Registry::Global().GetCounter("ntw.repo.load_errors"),
+        obs::Registry::Global().GetCounter("ntw.repo.snapshots_retired"),
+        obs::Registry::Global().GetCounter("ntw.repo.snapshots_freed"),
         obs::Registry::Global().GetGauge("ntw.repo.wrappers"),
         obs::Registry::Global().GetGauge("ntw.repo.version"),
+        obs::Registry::Global().GetHistogram(
+            "ntw.serve.reload_quiesce_micros"),
     };
     return m;
   }
@@ -119,6 +130,7 @@ Status WrapperRepository::Load() {
   metrics.reloads->Add(1);
   metrics.load_errors->Add(static_cast<int64_t>(next->errors.size()));
   metrics.wrappers->Set(static_cast<int64_t>(next->wrappers.size()));
+  std::shared_ptr<const Snapshot> old;
   {
     std::lock_guard<std::mutex> lock(mu_);
     next->version = snapshot_->version + 1;
@@ -138,9 +150,32 @@ Status WrapperRepository::Load() {
       entry.response_prefix = document.substr(1, document.size() - 2);
     }
     metrics.version->Set(static_cast<int64_t>(next->version));
+    old = std::move(snapshot_);
     snapshot_ = std::move(next);
+    // The publish: from here every Pin() sees the new snapshot. Readers
+    // mid-request keep the old one alive through their epoch pin.
+    current_.store(snapshot_.get(), std::memory_order_seq_cst);
     loaded_fingerprint_ = fingerprint;
   }
+  // Retire the replaced snapshot: stamped with the pre-advance epoch, it
+  // is freed (the shared_ptr released) once every reader pinned before
+  // the publish has unpinned — the per-shard quiescence point. The free
+  // runs from whichever thread's ReclaimRetired() observes quiescence.
+  metrics.snapshots_retired->Add(1);
+  auto retired_at = std::chrono::steady_clock::now();
+  epochs_.Retire([old = std::move(old), retired_at]() mutable {
+    RepoMetrics& m = RepoMetrics::Get();
+    m.reload_quiesce_micros->Record(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - retired_at)
+            .count());
+    old.reset();
+    m.snapshots_freed->Add(1);
+  });
+  // Usually the old snapshot is already quiescent (requests are micro-
+  // seconds, reloads are seconds apart) — try once, non-blocking; if a
+  // reader is still pinned the next ReclaimRetired() picks it up.
+  epochs_.TryReclaim();
   return Status::OK();
 }
 
@@ -148,6 +183,11 @@ std::shared_ptr<const WrapperRepository::Snapshot> WrapperRepository::snapshot()
     const {
   std::lock_guard<std::mutex> lock(mu_);
   return snapshot_;
+}
+
+void WrapperRepository::ReclaimRetired() const {
+  if (!epochs_.has_retired()) return;
+  epochs_.TryReclaim();
 }
 
 bool WrapperRepository::PollForChanges() const {

@@ -1,6 +1,8 @@
 #ifndef NTW_SERVE_WRAPPER_REPOSITORY_H_
 #define NTW_SERVE_WRAPPER_REPOSITORY_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -9,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/result.h"
 #include "core/compiled_wrapper.h"
 #include "core/wrapper.h"
@@ -22,14 +25,20 @@ namespace ntw::serve {
 ///
 ///   <root>/<site>/<attribute>.wrapper
 ///
-/// Concurrency model: readers grab an immutable `Snapshot` shared_ptr and
-/// use it for the whole request, so a concurrent reload can never show a
-/// request a half-updated repository. Load() builds a complete new
-/// snapshot off to the side and swaps the pointer under a mutex (writers
-/// should publish individual files with write-temp-then-rename; whole-
-/// directory consistency comes from the snapshot swap). A wrapper file
-/// that fails to parse is skipped and reported — one corrupt record must
-/// not take down serving for every other site.
+/// Concurrency model (DESIGN.md §11): the request path takes Pin() — a
+/// wait-free epoch pin plus one atomic pointer load, no lock — and uses
+/// the immutable `Snapshot` it references for the whole request, so a
+/// concurrent reload can never show a request a half-updated repository.
+/// Load() builds a complete new snapshot (wrappers parsed, plans
+/// compiled, response prefixes serialized) entirely off the data path,
+/// publishes it with a single atomic store, and hands the old snapshot
+/// to an EpochDomain: it is freed only once every reader pinned before
+/// the publish has finished — reload never stalls in-flight extraction,
+/// and a stalled reader only defers the free, never blocks serving.
+/// (Writers should publish individual files with write-temp-then-rename;
+/// whole-directory consistency comes from the snapshot swap.) A wrapper
+/// file that fails to parse is skipped and reported — one corrupt record
+/// must not take down serving for every other site.
 class WrapperRepository {
  public:
   struct Entry {
@@ -61,16 +70,52 @@ class WrapperRepository {
                       const std::string& attribute) const;
   };
 
-  explicit WrapperRepository(std::string root) : root_(std::move(root)) {}
+  explicit WrapperRepository(std::string root) : root_(std::move(root)) {
+    current_.store(snapshot_.get(), std::memory_order_seq_cst);
+  }
+
+  /// The request path's handle on the published snapshot: an epoch pin
+  /// (wait-free — one slot store plus an epoch load, re-validated only
+  /// when a reload races) and a raw pointer. No lock, no refcount
+  /// contention. Hold it for the whole request; the snapshot cannot be
+  /// reclaimed while any pin taken before its retirement is live.
+  class PinnedSnapshot {
+   public:
+    const Snapshot* operator->() const { return snapshot_; }
+    const Snapshot& operator*() const { return *snapshot_; }
+    const Snapshot* get() const { return snapshot_; }
+
+    PinnedSnapshot(const PinnedSnapshot&) = delete;
+    PinnedSnapshot& operator=(const PinnedSnapshot&) = delete;
+
+   private:
+    friend class WrapperRepository;
+    PinnedSnapshot(EpochDomain* domain, const std::atomic<const Snapshot*>& p)
+        : pin_(domain),
+          snapshot_(p.load(std::memory_order_seq_cst)) {}
+    EpochDomain::Pin pin_;  // Must outlive every dereference of snapshot_.
+    const Snapshot* snapshot_;
+  };
 
   /// Scans the directory tree and atomically publishes a new snapshot.
   /// NotFound when the root directory is missing (the previous snapshot,
   /// if any, stays published). Per-file failures do not fail the load.
+  /// The replaced snapshot is retired to the epoch domain and freed once
+  /// all in-flight readers have moved past it.
   Status Load();
 
-  /// The currently published snapshot; never null after a successful
-  /// Load(), empty version-0 snapshot before.
+  /// Wait-free read-side access for the request path.
+  PinnedSnapshot Pin() const { return PinnedSnapshot(&epochs_, current_); }
+
+  /// The currently published snapshot as an owning handle; never null
+  /// after a successful Load(), empty version-0 snapshot before. Takes a
+  /// mutex — tools and tests only; the request path uses Pin().
   std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Opportunistically frees retired snapshots whose readers have all
+  /// quiesced. One relaxed load when nothing is retired — cheap enough
+  /// for event loops to call every iteration. Never blocks.
+  void ReclaimRetired() const;
 
   /// Cheap mtime/size scan of the tree. True when the on-disk state
   /// differs from what the published snapshot was loaded from — the
@@ -84,8 +129,13 @@ class WrapperRepository {
 
   std::string root_;
   mutable std::mutex mu_;
+  /// Owns the published snapshot (compat API + keeps it alive across the
+  /// publish). The hot path reads `current_`, which always points at the
+  /// same object `snapshot_` owns.
   std::shared_ptr<const Snapshot> snapshot_ =
       std::make_shared<const Snapshot>();
+  std::atomic<const Snapshot*> current_{nullptr};
+  mutable EpochDomain epochs_;
   uint64_t loaded_fingerprint_ = 0;
 };
 

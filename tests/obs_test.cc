@@ -121,11 +121,48 @@ TEST(RegistryTest, ToJsonSchema) {
   registry.GetHistogram("lat")->Record(3);
   std::string json = registry.ToJson();
   EXPECT_NE(json.find("\"schema\":\"ntw-metrics\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"shard_count\":1"), std::string::npos);
   // Counters are sorted by name.
   EXPECT_LT(json.find("\"a.count\":1"), json.find("\"b.count\":2"));
   EXPECT_NE(json.find("\"width\":8"), std::string::npos);
   EXPECT_NE(json.find("\"lat\""), std::string::npos);
+}
+
+TEST(RegistryTest, ShardedInstrumentsMergeIntoPlainSections) {
+  Registry registry;
+  registry.SetShardCount(3);
+  ShardedCounter* counter = registry.GetShardedCounter("m.requests");
+  counter->Add(0, 5);
+  counter->Add(1, 7);
+  counter->Add(2, 1);
+  EXPECT_EQ(counter->value(), 13);
+  EXPECT_EQ(counter->shard_value(1), 7);
+  ShardedHistogram* hist = registry.GetShardedHistogram("m.lat");
+  hist->Record(0, 4);
+  hist->Record(1, 16);
+  hist->Record(2, 2);
+  HistogramView merged = hist->Merged();
+  EXPECT_EQ(merged.count, 3);
+  EXPECT_EQ(merged.sum, 22);
+  EXPECT_EQ(merged.min, 2);
+  EXPECT_EQ(merged.max, 16);
+  // A plain counter sorts in among the sharded ones (one merged map).
+  registry.GetCounter("m.plain")->Add(9);
+
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"shard_count\":3"), std::string::npos);
+  // Merged totals under the plain names, sorted with plain instruments.
+  EXPECT_NE(json.find("\"m.requests\":13"), std::string::npos);
+  EXPECT_LT(json.find("\"m.plain\":9"), json.find("\"m.requests\":13"));
+  // The shard dimension: per-shard arrays trimmed to the shard count.
+  EXPECT_NE(json.find("\"m.requests\":[5,7,1]"), std::string::npos);
+  EXPECT_NE(json.find("\"shards\":"), std::string::npos);
+  EXPECT_NE(json.find("{\"count\":1,\"sum\":16}"), std::string::npos);
+
+  registry.ResetValues();
+  EXPECT_EQ(counter->value(), 0);
+  EXPECT_EQ(hist->Merged().count, 0);
 }
 
 // ---------------------------------------------------------------------

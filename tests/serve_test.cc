@@ -41,8 +41,10 @@ namespace {
 
 using std::chrono::milliseconds;
 
+// Server counters are sharded (per-reactor stripes); value() is the
+// merged total across shards.
 int64_t CounterValue(const std::string& name) {
-  return obs::Registry::Global().GetCounter(name)->value();
+  return obs::Registry::Global().GetShardedCounter(name)->value();
 }
 
 // ---------------------------------------------------------------------

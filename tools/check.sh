@@ -35,14 +35,14 @@ echo "==> ntw_bench smoke"
   FAILED=1
 }
 
-echo "==> ntw_serve smoke"
-sh "$ROOT/tools/serve_smoke.sh" "$ROOT/build" || {
+echo "==> ntw_serve smoke (2 shards)"
+sh "$ROOT/tools/serve_smoke.sh" "$ROOT/build" 2 || {
   echo "check.sh: ntw_serve smoke run FAILED" >&2
   FAILED=1
 }
 
-echo "==> ntw_loadgen smoke (includes fast-vs-interpreted equivalence gate)"
-"$ROOT/build/tools/ntw_loadgen" --smoke \
+echo "==> ntw_loadgen smoke (equivalence gates + shard sweep)"
+"$ROOT/build/tools/ntw_loadgen" --smoke --shards 2 --sweep 1,2 \
     --out "$ROOT/build/BENCH_serve.json" || {
   echo "check.sh: ntw_loadgen smoke run FAILED" >&2
   FAILED=1

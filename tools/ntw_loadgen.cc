@@ -7,7 +7,7 @@
 // port, and drives it over raw keep-alive sockets — once on the compiled
 // fast path (arena DOM + wrapper plans) and once on the interpreted path
 // (what --no-fast-path serves). Emits a schema-versioned BENCH_serve.json
-// with requests/second, latency percentiles from the
+// (v2) with requests/second, latency percentiles from the
 // ntw.serve.extract_latency_micros histogram, peak RSS and machine
 // metadata, so serving-throughput regressions accumulate in-repo the same
 // way ntw_bench's learning benches do.
@@ -20,7 +20,9 @@
 //
 // Usage:
 //   ntw_loadgen [--out BENCH_serve.json] [--sites N] [--requests N]
-//               [--connections N] [--pipeline N] [--repetitions N] [--smoke]
+//               [--connections N] [--client-threads N] [--pipeline N]
+//               [--repetitions N] [--shards N] [--sweep 1,2,4,...]
+//               [--smoke]
 //
 // --pipeline N keeps N requests in flight per connection (HTTP/1.1
 // pipelining, which the server supports): syscall and scheduling overhead
@@ -28,8 +30,21 @@
 // cost instead of round-trip cost. --pipeline 1 degrades to strict
 // request/response lockstep.
 //
+// --connections C / --client-threads T drive C keep-alive connections
+// from T client threads (default T = C, one thread per connection; with
+// T < C each thread multiplexes several connections, sending every
+// window before reading any — so the offered load scales past the client
+// thread count).
+//
+// --shards N serves the main fast/interpreted phases from an N-shard
+// multi-reactor server (DESIGN.md §11). --sweep S1,S2,... additionally
+// measures fast-path throughput at each shard count on a fresh server
+// and replays every distinct request serially at each point, comparing
+// the bytes against the in-process baseline — the shard-scaling curve
+// and the cross-shard byte-identity contract in one pass.
+//
 // --smoke shrinks the workload for CI and tools/check.sh; the JSON schema
-// (and the equivalence check) is identical.
+// (and the equivalence checks) is identical.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -42,6 +57,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -72,10 +88,12 @@ using namespace ntw;
 constexpr char kUsage[] =
     "usage: ntw_loadgen [--out BENCH_serve.json] [--sites N]"
     " [--requests N]\n"
-    "                   [--connections N] [--pipeline N] [--repetitions N]"
-    " [--smoke]\n";
+    "                   [--connections N] [--client-threads N]"
+    " [--pipeline N]\n"
+    "                   [--repetitions N] [--shards N]"
+    " [--sweep 1,2,4,...] [--smoke]\n";
 
-constexpr int64_t kSchemaVersion = 1;
+constexpr int64_t kSchemaVersion = 2;
 
 // ---------------------------------------------------------------------
 // Minimal blocking HTTP/1.1 client (keep-alive, Content-Length framing).
@@ -149,29 +167,34 @@ class Client {
 };
 
 // ---------------------------------------------------------------------
-// Histogram percentiles (bucketed upper-bound estimates).
+// Histogram percentiles (geometric bucket midpoints).
 // ---------------------------------------------------------------------
 
-/// Percentile estimate from the log-scale histogram: the upper bound of
-/// the bucket holding the q-quantile sample, clamped to the exact
-/// recorded max. Buckets are powers of two, so the estimate is within 2x
-/// of the true order statistic — plenty for regression tracking.
-int64_t HistogramPercentile(const obs::Histogram& histogram, double q) {
-  int64_t count = histogram.count();
-  if (count <= 0) return 0;
-  int64_t rank = static_cast<int64_t>(std::ceil(q * static_cast<double>(count)));
+/// Percentile estimate from the log-scale histogram: the *geometric
+/// midpoint* of the power-of-two bucket holding the q-quantile sample,
+/// clamped to the recorded [min, max]. A sample in [2^(i-1), 2^i) is
+/// estimated as 2^(i-1)·√2, so the estimate is within a factor of √2 of
+/// the true order statistic in either direction (DESIGN.md §11) —
+/// reporting the bucket's upper bound instead biases every percentile
+/// high and can make p50 exceed the exact mean, which is computed from
+/// the untruncated sum.
+int64_t HistogramPercentile(const obs::HistogramView& view, double q) {
+  if (view.count <= 0) return 0;
+  int64_t rank =
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(view.count)));
   if (rank < 1) rank = 1;
   int64_t cumulative = 0;
   for (size_t i = 0; i < obs::Histogram::kBucketCount; ++i) {
-    cumulative += histogram.bucket(i);
-    if (cumulative >= rank) {
-      int64_t upper = i + 1 < obs::Histogram::kBucketCount
-                          ? obs::Histogram::BucketLowerBound(i + 1) - 1
-                          : histogram.max();
-      return std::min(upper, histogram.max());
-    }
+    cumulative += view.buckets[i];
+    if (cumulative < rank) continue;
+    if (i == 0) return std::min<int64_t>(view.min, 0);  // The ≤0 bucket.
+    double lower =
+        static_cast<double>(obs::Histogram::BucketLowerBound(i));
+    int64_t estimate =
+        static_cast<int64_t>(std::llround(lower * std::sqrt(2.0)));
+    return std::clamp(estimate, view.min, view.max);
   }
-  return histogram.max();
+  return view.max;
 }
 
 struct PhaseResult {
@@ -193,12 +216,15 @@ struct PhaseResult {
 };
 
 /// Drives `total_requests` POSTs round-robin over `request_bytes` from
-/// `connections` keep-alive client threads against 127.0.0.1:`port`,
-/// keeping up to `pipeline` requests in flight per connection.
+/// `connections` keep-alive connections spread across `client_threads`
+/// threads against 127.0.0.1:`port`, keeping up to `pipeline` requests
+/// in flight per connection. Each thread sends a window on every
+/// connection it owns before reading any of them back, so one thread
+/// keeps several connections busy simultaneously.
 PhaseResult RunPhase(const std::string& name, int port,
                      const std::vector<std::string>& request_bytes,
                      int64_t total_requests, int connections,
-                     int64_t pipeline) {
+                     int client_threads, int64_t pipeline) {
   obs::Registry::Global().ResetValues();
   PhaseResult result;
   result.name = name;
@@ -206,33 +232,55 @@ PhaseResult RunPhase(const std::string& name, int port,
   std::atomic<int64_t> errors{0};
   Stopwatch watch;
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(connections));
-  for (int t = 0; t < connections; ++t) {
-    threads.emplace_back([&]() {
-      Client client(port);
-      if (!client.ok()) {
-        errors.fetch_add(total_requests, std::memory_order_relaxed);
+  threads.reserve(static_cast<size_t>(client_threads));
+  for (int t = 0; t < client_threads; ++t) {
+    // Connections [t, t + client_threads, t + 2*client_threads, ...).
+    threads.emplace_back([&, t]() {
+      std::vector<std::unique_ptr<Client>> conns;
+      for (int c = t; c < connections; c += client_threads) {
+        auto client = std::make_unique<Client>(port);
+        if (client->ok()) conns.push_back(std::move(client));
+      }
+      if (conns.empty()) {
+        // Nothing connected: surface it loudly (any error fails the run).
+        errors.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       std::string wire;
-      while (true) {
-        int64_t begin = next.fetch_add(pipeline, std::memory_order_relaxed);
-        if (begin >= total_requests) break;
-        int64_t window = std::min(pipeline, total_requests - begin);
-        wire.clear();
-        for (int64_t k = 0; k < window; ++k) {
-          wire += request_bytes[static_cast<size_t>(begin + k) %
-                                request_bytes.size()];
+      std::vector<std::pair<Client*, int64_t>> inflight;
+      bool exhausted = false;
+      while (!exhausted && !conns.empty()) {
+        inflight.clear();
+        // Send a window on every owned connection first...
+        for (size_t c = 0; c < conns.size(); ++c) {
+          int64_t begin =
+              next.fetch_add(pipeline, std::memory_order_relaxed);
+          if (begin >= total_requests) {
+            exhausted = true;
+            break;
+          }
+          int64_t window = std::min(pipeline, total_requests - begin);
+          wire.clear();
+          for (int64_t k = 0; k < window; ++k) {
+            wire += request_bytes[static_cast<size_t>(begin + k) %
+                                  request_bytes.size()];
+          }
+          if (!conns[c]->Send(wire)) {
+            errors.fetch_add(window, std::memory_order_relaxed);
+            conns.erase(conns.begin() + static_cast<ptrdiff_t>(c));
+            --c;
+            continue;
+          }
+          inflight.emplace_back(conns[c].get(), window);
         }
-        if (!client.Send(wire)) {
-          errors.fetch_add(window, std::memory_order_relaxed);
-          break;
-        }
-        for (int64_t k = 0; k < window; ++k) {
-          std::string response = client.ReadResponse();
-          if (response.empty() ||
-              response.compare(0, 12, "HTTP/1.1 200") != 0) {
-            errors.fetch_add(1, std::memory_order_relaxed);
+        // ...then read everything back.
+        for (auto& [client, window] : inflight) {
+          for (int64_t k = 0; k < window; ++k) {
+            std::string response = client->ReadResponse();
+            if (response.empty() ||
+                response.compare(0, 12, "HTTP/1.1 200") != 0) {
+              errors.fetch_add(1, std::memory_order_relaxed);
+            }
           }
         }
       }
@@ -246,20 +294,23 @@ PhaseResult RunPhase(const std::string& name, int port,
       result.wall_seconds > 0.0
           ? static_cast<double>(total_requests) / result.wall_seconds
           : 0.0;
-  const obs::Histogram* latency = obs::Registry::Global().GetHistogram(
-      "ntw.serve.extract_latency_micros");
-  result.latency_count = latency->count();
+  // The latency instrument is sharded (per-reactor stripes); merge them.
+  obs::HistogramView latency =
+      obs::Registry::Global()
+          .GetShardedHistogram("ntw.serve.extract_latency_micros")
+          ->Merged();
+  result.latency_count = latency.count;
   result.latency_mean_micros =
-      latency->count() > 0 ? static_cast<double>(latency->sum()) /
-                                 static_cast<double>(latency->count())
-                           : 0.0;
-  result.latency_p50_micros = HistogramPercentile(*latency, 0.50);
-  result.latency_p95_micros = HistogramPercentile(*latency, 0.95);
-  result.latency_p99_micros = HistogramPercentile(*latency, 0.99);
-  result.latency_max_micros = latency->max();
+      latency.count > 0 ? static_cast<double>(latency.sum) /
+                              static_cast<double>(latency.count)
+                        : 0.0;
+  result.latency_p50_micros = HistogramPercentile(latency, 0.50);
+  result.latency_p95_micros = HistogramPercentile(latency, 0.95);
+  result.latency_p99_micros = HistogramPercentile(latency, 0.99);
+  result.latency_max_micros = latency.max;
   result.arena_bytes_reused =
       obs::Registry::Global()
-          .GetCounter("ntw.serve.arena_bytes_reused")
+          .GetShardedCounter("ntw.serve.arena_bytes_reused")
           ->value();
   return result;
 }
@@ -288,6 +339,33 @@ void WritePhase(obs::JsonWriter& json, const PhaseResult& r) {
   json.EndObject();
 }
 
+/// Best repetition by throughput; errors accumulate across all reps (any
+/// failed request in any repetition is fatal).
+PhaseResult BestOf(const std::vector<PhaseResult>& reps) {
+  size_t best_index = 0;
+  int64_t errors = 0;
+  std::vector<double> rps;
+  for (size_t i = 0; i < reps.size(); ++i) {
+    errors += reps[i].errors;
+    rps.push_back(reps[i].requests_per_second);
+    if (reps[i].requests_per_second > reps[best_index].requests_per_second) {
+      best_index = i;
+    }
+  }
+  PhaseResult best = reps[best_index];
+  best.errors = errors;
+  best.rps_reps = std::move(rps);
+  return best;
+}
+
+/// One point on the throughput-vs-shards curve.
+struct SweepPoint {
+  int shards = 0;
+  bool accept_relay = false;
+  PhaseResult phase;
+  int64_t divergences = 0;  // Serial replay vs in-process baseline bytes.
+};
+
 int Run(int argc, char** argv) {
   Result<Flags> flags_or = Flags::Parse(argc, argv);
   if (!flags_or.ok()) {
@@ -297,8 +375,8 @@ int Run(int argc, char** argv) {
   }
   const Flags& flags = *flags_or;
   std::vector<std::string> unknown = flags.UnknownFlags(
-      {"out", "sites", "requests", "connections", "pipeline", "repetitions",
-       "smoke", "help"});
+      {"out", "sites", "requests", "connections", "client-threads",
+       "pipeline", "repetitions", "shards", "sweep", "smoke", "help"});
   if (!unknown.empty() || flags.Has("help")) {
     for (const std::string& name : unknown) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
@@ -312,15 +390,35 @@ int Run(int argc, char** argv) {
   Result<int64_t> connections_or = flags.GetInt("connections", 1);
   Result<int64_t> pipeline_or = flags.GetInt("pipeline", 16);
   Result<int64_t> reps_or = flags.GetInt("repetitions", smoke ? 1 : 3);
+  Result<int64_t> shards_or = flags.GetInt("shards", 1);
   if (!sites_or.ok() || !requests_or.ok() || !connections_or.ok() ||
-      !pipeline_or.ok() || !reps_or.ok() || *sites_or < 1 ||
-      *requests_or < 1 || *connections_or < 1 || *pipeline_or < 1 ||
-      *reps_or < 1) {
+      !pipeline_or.ok() || !reps_or.ok() || !shards_or.ok() ||
+      *sites_or < 1 || *requests_or < 1 || *connections_or < 1 ||
+      *pipeline_or < 1 || *reps_or < 1 || *shards_or < 1) {
     std::fprintf(stderr,
-                 "--sites, --requests, --connections, --pipeline and"
-                 " --repetitions must be >= 1\n%s",
+                 "--sites, --requests, --connections, --pipeline,"
+                 " --repetitions and --shards must be >= 1\n%s",
                  kUsage);
     return 2;
+  }
+  Result<int64_t> client_threads_or =
+      flags.GetInt("client-threads", *connections_or);
+  if (!client_threads_or.ok() || *client_threads_or < 1) {
+    std::fprintf(stderr, "--client-threads must be >= 1\n%s", kUsage);
+    return 2;
+  }
+  std::vector<int> sweep_shards;
+  if (flags.Has("sweep")) {
+    for (const std::string& token : Split(flags.Get("sweep"), ',')) {
+      std::string trimmed(StripWhitespace(token));
+      if (trimmed.empty()) continue;
+      int value = std::atoi(trimmed.c_str());
+      if (value < 1) {
+        std::fprintf(stderr, "--sweep values must be >= 1\n%s", kUsage);
+        return 2;
+      }
+      sweep_shards.push_back(value);
+    }
   }
   std::string out = flags.Get("out", "BENCH_serve.json");
 
@@ -381,12 +479,16 @@ int Run(int argc, char** argv) {
   }
 
   serve::ExtractService fast(&repository, &ThreadPool::Global(),
-                             serve::ExtractService::Options{true});
+                             serve::ExtractService::Options{true, 0});
   serve::ExtractService interpreted(&repository, &ThreadPool::Global(),
-                                    serve::ExtractService::Options{false});
+                                    serve::ExtractService::Options{false, 0});
 
   // ----- equivalence gate: both paths, every request, byte-compared -----
+  // The fast-path bodies double as the baseline for the sweep's
+  // cross-shard replay below.
   int64_t divergences = 0;
+  std::vector<std::string> expected_bodies;
+  expected_bodies.reserve(page_bodies.size());
   for (size_t i = 0; i < page_bodies.size(); ++i) {
     serve::HttpRequest request;
     request.method = "POST";
@@ -406,6 +508,7 @@ int Run(int argc, char** argv) {
                      b.status, b.body.c_str());
       }
     }
+    expected_bodies.push_back(std::move(a.body));
   }
   if (divergences > 0) {
     std::fprintf(stderr,
@@ -418,25 +521,6 @@ int Run(int argc, char** argv) {
   std::fprintf(stderr,
                "equivalence: %zu responses byte-identical across paths\n",
                page_bodies.size());
-
-  // ----- in-process server, handler switched between phases ------------
-  std::atomic<const serve::ExtractService*> current{&fast};
-  serve::ServerOptions server_options;
-  server_options.port = 0;
-  server_options.pool = nullptr;  // Inline: single-threaded serving.
-  serve::HttpServer server(server_options,
-                           [&current](const serve::HttpRequest& request) {
-                             return current.load(std::memory_order_acquire)
-                                 ->Handle(request);
-                           });
-  Status bound = server.Bind();
-  if (!bound.ok()) {
-    std::fprintf(stderr, "%s\n", bound.ToString().c_str());
-    std::filesystem::remove_all(repo_dir);
-    return 1;
-  }
-  int port = server.port();
-  std::thread server_thread([&server]() { server.Run(); });
 
   // Pre-serialized request bytes, one per (site, page).
   std::vector<std::string> request_bytes;
@@ -454,15 +538,62 @@ int Run(int argc, char** argv) {
 
   int64_t total_requests = *requests_or;
   int connections = static_cast<int>(*connections_or);
+  int client_threads = static_cast<int>(
+      std::min<int64_t>(*client_threads_or, connections));
   int64_t pipeline = *pipeline_or;
   int repetitions = static_cast<int>(*reps_or);
+  int shards = static_cast<int>(*shards_or);
+  int max_shards = shards;
+  for (int s : sweep_shards) max_shards = std::max(max_shards, s);
+  obs::Registry::Global().SetShardCount(max_shards);
+
+  // ----- in-process server for the main phases: --shards reactors, one
+  // fast + one interpreted service per shard (each with a shard-private
+  // buffer pool), the active path flipped between phases -----------------
+  std::atomic<bool> use_fast{true};
+  struct ShardServices {
+    std::unique_ptr<serve::ExtractService> fast;
+    std::unique_ptr<serve::ExtractService> interpreted;
+  };
+  std::vector<ShardServices> shard_services(static_cast<size_t>(shards));
+  serve::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.shards = shards;
+  server_options.pool = nullptr;  // Inline: the reactors are the threads.
+  serve::HttpServer server(
+      server_options,
+      serve::HttpServer::HandlerFactory([&](int shard) {
+        auto& slot = shard_services[static_cast<size_t>(shard)];
+        slot.fast = std::make_unique<serve::ExtractService>(
+            &repository, &ThreadPool::Global(),
+            serve::ExtractService::Options{true, shard});
+        slot.interpreted = std::make_unique<serve::ExtractService>(
+            &repository, &ThreadPool::Global(),
+            serve::ExtractService::Options{false, shard});
+        serve::ExtractService* f = slot.fast.get();
+        serve::ExtractService* i = slot.interpreted.get();
+        return [f, i, &use_fast](const serve::HttpRequest& request) {
+          return (use_fast.load(std::memory_order_acquire) ? f : i)
+              ->Handle(request);
+        };
+      }));
+  Status bound = server.Bind();
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.ToString().c_str());
+    std::filesystem::remove_all(repo_dir);
+    return 1;
+  }
+  int port = server.port();
+  std::thread server_thread([&server]() { server.Run(); });
+
   std::fprintf(stderr,
                "ntw_loadgen: %zu sites, %zu pages, %lld requests/phase,"
-               " %d connection(s), pipeline %lld, %d repetition(s),"
-               " port %d\n",
+               " %d connection(s), %d client thread(s), pipeline %lld,"
+               " %d repetition(s), %d shard(s), port %d\n",
                dealers.sites.size(), page_bodies.size(),
                static_cast<long long>(total_requests), connections,
-               static_cast<long long>(pipeline), repetitions, port);
+               client_threads, static_cast<long long>(pipeline), repetitions,
+               shards, port);
 
   // Interleave the phases across repetitions (fast, interpreted, fast, ...)
   // so slow drift in the environment hits both phases alike; keep the best
@@ -470,36 +601,20 @@ int Run(int argc, char** argv) {
   std::vector<PhaseResult> fast_reps;
   std::vector<PhaseResult> interp_reps;
   for (int rep = 0; rep < repetitions; ++rep) {
-    current.store(&fast, std::memory_order_release);
+    use_fast.store(true, std::memory_order_release);
     fast_reps.push_back(RunPhase("fast_path", port, request_bytes,
-                                 total_requests, connections, pipeline));
-    current.store(&interpreted, std::memory_order_release);
+                                 total_requests, connections, client_threads,
+                                 pipeline));
+    use_fast.store(false, std::memory_order_release);
     interp_reps.push_back(RunPhase("interpreted", port, request_bytes,
-                                   total_requests, connections, pipeline));
+                                   total_requests, connections,
+                                   client_threads, pipeline));
   }
-  auto best_of = [](const std::vector<PhaseResult>& reps) {
-    size_t best_index = 0;
-    int64_t errors = 0;
-    std::vector<double> rps;
-    for (size_t i = 0; i < reps.size(); ++i) {
-      errors += reps[i].errors;
-      rps.push_back(reps[i].requests_per_second);
-      if (reps[i].requests_per_second >
-          reps[best_index].requests_per_second) {
-        best_index = i;
-      }
-    }
-    PhaseResult best = reps[best_index];
-    best.errors = errors;  // Any failed request in any repetition is fatal.
-    best.rps_reps = std::move(rps);
-    return best;
-  };
-  PhaseResult fast_result = best_of(fast_reps);
-  PhaseResult interp_result = best_of(interp_reps);
+  PhaseResult fast_result = BestOf(fast_reps);
+  PhaseResult interp_result = BestOf(interp_reps);
 
   server.RequestShutdown();
   server_thread.join();
-  std::filesystem::remove_all(repo_dir);
 
   for (const PhaseResult* r : {&fast_result, &interp_result}) {
     std::fprintf(stderr,
@@ -513,6 +628,7 @@ int Run(int argc, char** argv) {
   }
   if (fast_result.errors > 0 || interp_result.errors > 0) {
     std::fprintf(stderr, "ntw_loadgen: request errors during load\n");
+    std::filesystem::remove_all(repo_dir);
     return 1;
   }
   double speedup = interp_result.requests_per_second > 0.0
@@ -520,6 +636,106 @@ int Run(int argc, char** argv) {
                              interp_result.requests_per_second
                        : 0.0;
   std::fprintf(stderr, "  fast-path speedup: %.2fx\n", speedup);
+
+  // ----- shard sweep: throughput-vs-shards curve + cross-shard bytes ----
+  std::vector<SweepPoint> sweep;
+  for (int point_shards : sweep_shards) {
+    SweepPoint point;
+    point.shards = point_shards;
+    std::vector<ShardServices> sweep_services(
+        static_cast<size_t>(point_shards));
+    serve::ServerOptions sweep_options;
+    sweep_options.port = 0;
+    sweep_options.shards = point_shards;
+    sweep_options.pool = nullptr;
+    serve::HttpServer sweep_server(
+        sweep_options,
+        serve::HttpServer::HandlerFactory([&](int shard) {
+          auto& slot = sweep_services[static_cast<size_t>(shard)];
+          slot.fast = std::make_unique<serve::ExtractService>(
+              &repository, &ThreadPool::Global(),
+              serve::ExtractService::Options{true, shard});
+          serve::ExtractService* f = slot.fast.get();
+          return [f](const serve::HttpRequest& request) {
+            return f->Handle(request);
+          };
+        }));
+    Status sweep_bound = sweep_server.Bind();
+    if (!sweep_bound.ok()) {
+      std::fprintf(stderr, "%s\n", sweep_bound.ToString().c_str());
+      std::filesystem::remove_all(repo_dir);
+      return 1;
+    }
+    point.accept_relay = sweep_server.using_accept_relay();
+    int sweep_port = sweep_server.port();
+    std::thread sweep_thread([&sweep_server]() { sweep_server.Run(); });
+
+    // Scale offered load with the shard count so the server, not the
+    // client, is the bottleneck being measured.
+    int sweep_connections = std::max(connections, 2 * point_shards);
+    int sweep_client_threads =
+        std::min(sweep_connections, std::max(client_threads, point_shards));
+    std::vector<PhaseResult> point_reps;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      point_reps.push_back(RunPhase(
+          "sweep_" + std::to_string(point_shards), sweep_port, request_bytes,
+          total_requests, sweep_connections, sweep_client_threads,
+          pipeline));
+    }
+    point.phase = BestOf(point_reps);
+
+    // Cross-shard byte-identity: replay every distinct request serially
+    // on a fresh connection and compare against the in-process baseline.
+    {
+      Client replay(sweep_port);
+      for (size_t i = 0; replay.ok() && i < request_bytes.size(); ++i) {
+        if (!replay.Send(request_bytes[i])) {
+          ++point.divergences;
+          break;
+        }
+        std::string response = replay.ReadResponse();
+        size_t body_start = response.find("\r\n\r\n");
+        std::string body = body_start == std::string::npos
+                               ? std::string()
+                               : response.substr(body_start + 4);
+        if (body != expected_bodies[i]) {
+          ++point.divergences;
+          if (point.divergences <= 3) {
+            std::fprintf(stderr,
+                         "SHARD DIVERGENCE shards=%d request=%zu\n",
+                         point_shards, i);
+          }
+        }
+      }
+      if (!replay.ok()) ++point.divergences;
+    }
+
+    sweep_server.RequestShutdown();
+    sweep_thread.join();
+    std::fprintf(stderr,
+                 "  sweep shards=%-2d %9.1f req/s  (%d conns, %d client"
+                 " threads%s)  divergences=%lld\n",
+                 point_shards, point.phase.requests_per_second,
+                 sweep_connections, sweep_client_threads,
+                 point.accept_relay ? ", accept relay" : "",
+                 static_cast<long long>(point.divergences));
+    sweep.push_back(std::move(point));
+  }
+  std::filesystem::remove_all(repo_dir);
+  int64_t sweep_errors = 0;
+  int64_t sweep_divergences = 0;
+  for (const SweepPoint& point : sweep) {
+    sweep_errors += point.phase.errors;
+    sweep_divergences += point.divergences;
+  }
+  if (sweep_errors > 0 || sweep_divergences > 0) {
+    std::fprintf(stderr,
+                 "ntw_loadgen: sweep failed (%lld errors, %lld"
+                 " divergences)\n",
+                 static_cast<long long>(sweep_errors),
+                 static_cast<long long>(sweep_divergences));
+    return 1;
+  }
 
   obs::JsonWriter json;
   BeginSchemaDocument(json, "ntw-serve-bench", kSchemaVersion);
@@ -529,8 +745,10 @@ int Run(int argc, char** argv) {
   json.KV("pages", static_cast<int64_t>(page_bodies.size()));
   json.KV("requests_per_phase", total_requests);
   json.KV("connections", static_cast<int64_t>(connections));
+  json.KV("client_threads", static_cast<int64_t>(client_threads));
   json.KV("pipeline", pipeline);
   json.KV("repetitions", static_cast<int64_t>(repetitions));
+  json.KV("shards", static_cast<int64_t>(shards));
   json.KV("server_inline", true);
   json.KV("smoke", smoke);
   json.EndObject();
@@ -546,6 +764,31 @@ int Run(int argc, char** argv) {
   json.KV("responses_compared", static_cast<int64_t>(page_bodies.size()));
   json.KV("divergences", divergences);
   json.EndObject();
+  json.Key("sweep");
+  json.BeginArray();
+  for (const SweepPoint& point : sweep) {
+    json.BeginObject();
+    json.KV("shards", static_cast<int64_t>(point.shards));
+    json.KV("accept_relay", point.accept_relay);
+    json.KV("requests_per_second", point.phase.requests_per_second);
+    json.Key("requests_per_second_reps");
+    json.BeginArray();
+    for (double rps : point.phase.rps_reps) json.Double(rps);
+    json.EndArray();
+    json.Key("latency_micros");
+    json.BeginObject();
+    json.KV("count", point.phase.latency_count);
+    json.KV("mean", point.phase.latency_mean_micros);
+    json.KV("p50", point.phase.latency_p50_micros);
+    json.KV("p95", point.phase.latency_p95_micros);
+    json.KV("p99", point.phase.latency_p99_micros);
+    json.KV("max", point.phase.latency_max_micros);
+    json.EndObject();
+    json.KV("errors", point.phase.errors);
+    json.KV("divergences", point.divergences);
+    json.EndObject();
+  }
+  json.EndArray();
   json.KV("peak_rss_bytes", obs::PeakRssBytes());
   json.EndObject();
   std::string body = json.Take();

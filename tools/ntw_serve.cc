@@ -4,11 +4,17 @@
 //
 // Usage:
 //   ntw_serve --wrapper-dir DIR [--host 127.0.0.1] [--port 8377]
-//             [--port-file PATH] [--threads N] [--max-body-bytes N]
-//             [--max-inflight N] [--read-timeout-ms N]
-//             [--write-timeout-ms N] [--drain-grace-ms N]
-//             [--reload-poll-ms N] [--metrics-json PATH] [--trace PATH]
+//             [--port-file PATH] [--shards N] [--threads N]
+//             [--max-body-bytes N] [--max-inflight N]
+//             [--read-timeout-ms N] [--write-timeout-ms N]
+//             [--drain-grace-ms N] [--reload-poll-ms N]
+//             [--metrics-json PATH] [--trace PATH]
 //             [--no-fast-path] [--quiet]
+//
+// --shards N runs N reactor shards (independent event loops, one per
+// core by default — DESIGN.md §11); each shard handles its requests
+// inline with a shard-private buffer pool. --threads then only sizes the
+// pool /extract_batch fans out over.
 //
 // Endpoints (see DESIGN.md §8):
 //   POST /extract?site=S&attribute=A        body = one HTML page
@@ -23,6 +29,11 @@
 
 #include <csignal>
 #include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
 
 #include "common/file_util.h"
 #include "common/flags.h"
@@ -39,11 +50,11 @@ using namespace ntw;
 constexpr char kUsage[] =
     "usage: ntw_serve --wrapper-dir DIR [--host H] [--port P]"
     " [--port-file PATH]\n"
-    "                 [--threads N] [--max-body-bytes N] [--max-inflight N]\n"
-    "                 [--read-timeout-ms N] [--write-timeout-ms N]\n"
-    "                 [--drain-grace-ms N] [--reload-poll-ms N]\n"
-    "                 [--metrics-json PATH] [--trace PATH] [--no-fast-path]\n"
-    "                 [--quiet]\n";
+    "                 [--shards N] [--threads N] [--max-body-bytes N]\n"
+    "                 [--max-inflight N] [--read-timeout-ms N]\n"
+    "                 [--write-timeout-ms N] [--drain-grace-ms N]\n"
+    "                 [--reload-poll-ms N] [--metrics-json PATH]\n"
+    "                 [--trace PATH] [--no-fast-path] [--quiet]\n";
 
 serve::HttpServer* g_server = nullptr;
 
@@ -64,7 +75,7 @@ int Run(int argc, char** argv) {
   }
   const Flags& flags = *flags_or;
   std::vector<std::string> unknown = flags.UnknownFlags(
-      {"wrapper-dir", "host", "port", "port-file", "threads",
+      {"wrapper-dir", "host", "port", "port-file", "shards", "threads",
        "max-body-bytes", "max-inflight", "read-timeout-ms",
        "write-timeout-ms", "drain-grace-ms", "reload-poll-ms",
        "metrics-json", "trace", "no-fast-path", "quiet", "help"});
@@ -105,8 +116,12 @@ int Run(int argc, char** argv) {
   Result<int64_t> drain_grace =
       flags.GetInt("drain-grace-ms", options.drain_grace_ms);
   Result<int64_t> reload_poll = flags.GetInt("reload-poll-ms", 1000);
+  unsigned hw = std::thread::hardware_concurrency();
+  Result<int64_t> shards =
+      flags.GetInt("shards", static_cast<int64_t>(hw > 0 ? hw : 1));
   for (const auto* value : {&port, &max_body, &max_inflight, &read_timeout,
-                            &write_timeout, &drain_grace, &reload_poll}) {
+                            &write_timeout, &drain_grace, &reload_poll,
+                            &shards}) {
     if (!value->ok()) {
       std::fprintf(stderr, "%s\n%s", value->status().ToString().c_str(),
                    kUsage);
@@ -120,7 +135,12 @@ int Run(int argc, char** argv) {
   options.write_timeout_ms = static_cast<int>(*write_timeout);
   options.drain_grace_ms = static_cast<int>(*drain_grace);
   options.tick_interval_ms = static_cast<int>(*reload_poll);
-  options.pool = &ThreadPool::Global();
+  options.shards = *shards < 1 ? 1 : static_cast<int>(*shards);
+  // Sharded: the reactors are the parallelism — handle inline, no
+  // cross-thread handoff. Single shard keeps the classic worker-pool
+  // dispatch. Either way /extract_batch fans out over the global pool.
+  options.pool = options.shards > 1 ? nullptr : &ThreadPool::Global();
+  obs::Registry::Global().SetShardCount(options.shards);
 
   serve::WrapperRepository repository(wrapper_dir);
   Status loaded = repository.Load();
@@ -138,15 +158,27 @@ int Run(int argc, char** argv) {
                  snapshot->wrappers.size(), wrapper_dir.c_str());
   }
 
-  serve::ExtractService::Options service_options;
   // --no-fast-path keeps the interpreted Wrapper::Extract path alive for
   // A/B benchmarking and as the byte-identity cross-check baseline.
-  service_options.fast_path = !flags.Has("no-fast-path");
-  serve::ExtractService service(&repository, options.pool, service_options);
+  bool fast_path = !flags.Has("no-fast-path");
+  // One ExtractService per shard: a shard-private FastBufferPool and
+  // per-shard metric stripes; the repository is shared (epoch-pinned
+  // reads). The factory runs once per shard inside Bind().
+  std::vector<std::unique_ptr<serve::ExtractService>> services;
   serve::HttpServer server(
-      options, [&service](const serve::HttpRequest& request) {
-        return service.Handle(request);
-      });
+      options,
+      serve::HttpServer::HandlerFactory(
+          [&repository, &services, fast_path](int shard) {
+            serve::ExtractService::Options service_options;
+            service_options.fast_path = fast_path;
+            service_options.shard = shard;
+            services.push_back(std::make_unique<serve::ExtractService>(
+                &repository, &ThreadPool::Global(), service_options));
+            serve::ExtractService* service = services.back().get();
+            return [service](const serve::HttpRequest& request) {
+              return service->Handle(request);
+            };
+          }));
   server.SetReloadHook([&repository, quiet] {
     Status status = repository.Load();
     if (!status.ok()) {
@@ -175,8 +207,12 @@ int Run(int argc, char** argv) {
     }
   }
   if (!quiet) {
-    std::fprintf(stderr, "ntw_serve: listening on %s:%d (%d threads)\n",
-                 options.host.c_str(), server.port(), *threads);
+    std::fprintf(stderr,
+                 "ntw_serve: listening on %s:%d (%d shard%s%s, %d threads)\n",
+                 options.host.c_str(), server.port(), options.shards,
+                 options.shards == 1 ? "" : "s",
+                 server.using_accept_relay() ? ", accept relay" : "",
+                 *threads);
   }
 
   g_server = &server;

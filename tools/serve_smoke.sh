@@ -5,10 +5,11 @@
 # final metrics flushed). check.sh and CI run this after the unit suite —
 # it is the only place the installed binary, the signal handlers and the
 # port-file handshake are exercised end to end.
-# Usage: tools/serve_smoke.sh <build-dir>
+# Usage: tools/serve_smoke.sh <build-dir> [shards]
 set -u
 
-BUILD="${1:?usage: tools/serve_smoke.sh <build-dir>}"
+BUILD="${1:?usage: tools/serve_smoke.sh <build-dir> [shards]}"
+SHARDS="${2:-1}"
 SERVE="$BUILD/tools/ntw_serve"
 [ -x "$SERVE" ] || { echo "serve_smoke: $SERVE not built" >&2; exit 1; }
 
@@ -21,6 +22,7 @@ mkdir -p "$WORK/repo/example.com"
 printf 'XPATH\t//li/text()\n' > "$WORK/repo/example.com/name.wrapper"
 
 "$SERVE" --wrapper-dir "$WORK/repo" --port 0 --port-file "$WORK/port" \
+    --shards "$SHARDS" \
     --metrics-json "$WORK/metrics.json" --quiet 2> "$WORK/stderr.log" &
 PID=$!
 
@@ -111,4 +113,4 @@ case "$(cat "$WORK/metrics.json")" in
   *) fail "flushed metrics file is not an ntw-metrics document" ;;
 esac
 
-echo "serve_smoke OK (port $PORT)"
+echo "serve_smoke OK (port $PORT, $SHARDS shard(s))"
