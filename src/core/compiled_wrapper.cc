@@ -47,29 +47,6 @@ void FastPageBuffer::Clear() {
   // future one, so they can never alias a live mark.
 }
 
-FastBufferPool::Lease::~Lease() {
-  if (pool_ == nullptr) return;
-  buffer_->Clear();
-  std::lock_guard<std::mutex> lock(pool_->mu_);
-  for (auto& slot : pool_->free_) {
-    if (slot == nullptr) {
-      slot.reset(buffer_);
-      return;
-    }
-  }
-  pool_->free_.emplace_back(buffer_);
-}
-
-FastBufferPool::Lease FastBufferPool::Acquire() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& slot : free_) {
-    if (slot != nullptr) {
-      return Lease(this, slot.release());
-    }
-  }
-  return Lease(this, new FastPageBuffer());
-}
-
 std::shared_ptr<const CompiledWrapper> CompiledWrapper::Compile(
     const Wrapper& wrapper) {
   auto plan = std::make_shared<CompiledWrapper>();
@@ -119,6 +96,18 @@ std::shared_ptr<const CompiledWrapper> CompiledWrapper::Compile(
   return nullptr;  // Unknown kind: caller falls back to the interpreter.
 }
 
+const char* CompiledWrapper::plan_kind() const {
+  switch (kind_) {
+    case Kind::kXPath:
+      return "xpath";
+    case Kind::kLr:
+      return "lr";
+    case Kind::kHlrt:
+      return "hlrt";
+  }
+  return "unknown";
+}
+
 void CompiledWrapper::Extract(FastPageBuffer& buffer,
                               std::vector<std::string_view>* values) const {
   values->clear();
@@ -127,11 +116,24 @@ void CompiledWrapper::Extract(FastPageBuffer& buffer,
       ExtractXPath(buffer, values);
       return;
     case Kind::kLr:
-      ExtractLr(buffer, values);
+      MatchLr(buffer.doc.stream(), buffer.doc.spans(), values);
       return;
     case Kind::kHlrt:
-      ExtractHlrt(buffer, values);
+      MatchHlrt(buffer.doc.stream(), buffer.doc.spans(), values);
       return;
+  }
+}
+
+void CompiledWrapper::ExtractStreaming(
+    std::string_view raw_page, StreamPageBuffer& buffer,
+    std::vector<std::string_view>* values) const {
+  values->clear();
+  if (!dom_free()) return;  // XPath needs the DOM; callers route there.
+  buffer.page.Build(raw_page);
+  if (kind_ == Kind::kLr) {
+    MatchLr(buffer.page.stream(), buffer.page.spans(), values);
+  } else {
+    MatchHlrt(buffer.page.stream(), buffer.page.spans(), values);
   }
 }
 
@@ -222,7 +224,7 @@ void CompiledWrapper::ExtractXPath(
   }
 }
 
-bool CompiledWrapper::SpanMatchesLr(const std::string& stream, size_t begin,
+bool CompiledWrapper::SpanMatchesLr(std::string_view stream, size_t begin,
                                     size_t end) const {
   if (begin < left_.size()) return false;
   if (std::memcmp(stream.data() + (begin - left_.size()), left_.data(),
@@ -233,15 +235,14 @@ bool CompiledWrapper::SpanMatchesLr(const std::string& stream, size_t begin,
   return std::memcmp(stream.data() + end, right_.data(), right_.size()) == 0;
 }
 
-void CompiledWrapper::ExtractLr(FastPageBuffer& buffer,
-                                std::vector<std::string_view>* values) const {
-  const std::string& stream = buffer.doc.stream();
-  const auto& spans = buffer.doc.spans();
+template <typename Span>
+void CompiledWrapper::MatchLr(std::string_view stream,
+                              const std::vector<Span>& spans,
+                              std::vector<std::string_view>* values) const {
   if (left_.empty()) {
     for (const auto& span : spans) {
       if (SpanMatchesLr(stream, span.begin, span.end)) {
-        values->push_back(
-            std::string_view(stream).substr(span.begin, span.end - span.begin));
+        values->push_back(stream.substr(span.begin, span.end - span.begin));
       }
     }
     return;
@@ -261,18 +262,17 @@ void CompiledWrapper::ExtractLr(FastPageBuffer& buffer,
       if (right_.size() <= stream.size() - span.end &&
           std::memcmp(stream.data() + span.end, right_.data(),
                       right_.size()) == 0) {
-        values->push_back(
-            std::string_view(stream).substr(span.begin, span.end - span.begin));
+        values->push_back(stream.substr(span.begin, span.end - span.begin));
       }
     }
     ++pos;
   }
 }
 
-void CompiledWrapper::ExtractHlrt(
-    FastPageBuffer& buffer, std::vector<std::string_view>* values) const {
-  const std::string& stream = buffer.doc.stream();
-  const auto& spans = buffer.doc.spans();
+template <typename Span>
+void CompiledWrapper::MatchHlrt(std::string_view stream,
+                                const std::vector<Span>& spans,
+                                std::vector<std::string_view>* values) const {
   // Region, exactly as hlrt_inductor.cc: after the first head occurrence,
   // before the first tail occurrence after that; no head occurrence → {0,0}.
   size_t begin = 0;
@@ -295,8 +295,7 @@ void CompiledWrapper::ExtractHlrt(
   for (const auto& span : spans) {
     if (span.begin < begin || span.end > end) continue;
     if (SpanMatchesLr(stream, span.begin, span.end)) {
-      values->push_back(
-          std::string_view(stream).substr(span.begin, span.end - span.begin));
+      values->push_back(stream.substr(span.begin, span.end - span.begin));
     }
   }
 }

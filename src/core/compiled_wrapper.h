@@ -10,6 +10,7 @@
 
 #include "core/wrapper.h"
 #include "html/arena_dom.h"
+#include "html/stream_page.h"
 
 namespace ntw::core {
 
@@ -34,8 +35,8 @@ class StringSearcher {
   size_t skip_[256] = {};
 };
 
-/// Reusable per-request buffers for the fast path: the arena document plus
-/// the evaluator scratch. Acquire one from a FastBufferPool, parse into
+/// Reusable per-request buffers for the DOM fast path: the arena document
+/// plus the evaluator scratch. Acquire one from a BufferPool, parse into
 /// `doc`, run CompiledWrapper::Extract, copy the values out, release.
 /// Everything keeps its capacity across uses; steady state allocates
 /// nothing.
@@ -59,9 +60,28 @@ class FastPageBuffer {
   uint32_t epoch_ = 0;
 };
 
-/// A thread-safe free list of FastPageBuffers. Lease RAII-returns the
-/// buffer (Clear()ed) on destruction.
-class FastBufferPool {
+/// Reusable per-request buffer for the streaming (no-DOM) path: the
+/// flattened stream page and the value slot. Much lighter than
+/// FastPageBuffer — no arena, no node arrays, no XPath scratch.
+class StreamPageBuffer {
+ public:
+  html::StreamPage page;
+  /// Output slot for CompiledWrapper::ExtractStreaming — views into
+  /// `page` (which may alias the request body; see StreamPage).
+  std::vector<std::string_view> values;
+
+  /// Recycles for the next request (keeps capacity).
+  void Clear() {
+    page.Clear();
+    values.clear();
+  }
+};
+
+/// A thread-safe free list of per-request buffers (FastPageBuffer for the
+/// DOM fast path, StreamPageBuffer for the streaming path). Lease
+/// RAII-returns the buffer (Clear()ed) on destruction.
+template <class Buffer>
+class BufferPool {
  public:
   class Lease {
    public:
@@ -72,39 +92,67 @@ class FastBufferPool {
     }
     Lease& operator=(Lease&&) = delete;
     Lease(const Lease&) = delete;
-    ~Lease();
+    ~Lease() {
+      if (pool_ == nullptr) return;
+      buffer_->Clear();
+      std::lock_guard<std::mutex> lock(pool_->mu_);
+      for (auto& slot : pool_->free_) {
+        if (slot == nullptr) {
+          slot.reset(buffer_);
+          return;
+        }
+      }
+      pool_->free_.emplace_back(buffer_);
+    }
 
-    FastPageBuffer* operator->() { return buffer_; }
-    FastPageBuffer& operator*() { return *buffer_; }
+    Buffer* operator->() { return buffer_; }
+    Buffer& operator*() { return *buffer_; }
 
    private:
-    friend class FastBufferPool;
-    Lease(FastBufferPool* pool, FastPageBuffer* buffer)
-        : pool_(pool), buffer_(buffer) {}
-    FastBufferPool* pool_;
-    FastPageBuffer* buffer_;
+    friend class BufferPool;
+    Lease(BufferPool* pool, Buffer* buffer) : pool_(pool), buffer_(buffer) {}
+    BufferPool* pool_;
+    Buffer* buffer_;
   };
 
-  Lease Acquire();
+  Lease Acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& slot : free_) {
+      if (slot != nullptr) {
+        return Lease(this, slot.release());
+      }
+    }
+    return Lease(this, new Buffer());
+  }
 
  private:
   std::mutex mu_;
-  std::vector<std::unique_ptr<FastPageBuffer>> free_;
+  std::vector<std::unique_ptr<Buffer>> free_;
 };
 
-/// A wrapper compiled into an executable plan over the arena DOM:
+using FastBufferPool = BufferPool<FastPageBuffer>;
+using StreamBufferPool = BufferPool<StreamPageBuffer>;
+
+/// A wrapper compiled into an executable plan:
 ///   - XPATH  → a step program over interned tag/attr ids (no string
-///              compares on the hot path);
+///              compares on the hot path); needs the arena DOM;
 ///   - LR     → occurrence-driven scan of the flattened stream using a BMH
 ///              searcher for the left delimiter;
 ///   - HLRT   → BMH head/tail region narrowing, then anchored LR checks.
+///
+/// LR and HLRT are defined purely over the flattened character stream —
+/// they never touch the tree — so they are classified dom_free() and can
+/// additionally execute via ExtractStreaming(), which builds the stream
+/// with a StreamPage (no DOM at all) instead of flattening an arena DOM.
 ///
 /// Extract() returns, for the single page in `buffer.doc`, exactly the
 /// values the interpreted Wrapper::Extract + node->text() pipeline returns
 /// for the same input, in the same order — the byte-identity contract the
 /// serving layer relies on (tests/fastpath_equivalence_test.cc pins it).
-/// The returned string_views point into the buffer; consume them before
-/// releasing it.
+/// ExtractStreaming() returns those same bytes again, because StreamPage
+/// reproduces the arena flatten byte for byte. The returned string_views
+/// point into the buffer (and, on the streaming path's zero-copy tier,
+/// possibly into the raw input); consume them before releasing either.
 class CompiledWrapper {
  public:
   /// Compiles `wrapper` (an XPathWrapper, LrWrapper or HlrtWrapper).
@@ -115,6 +163,18 @@ class CompiledWrapper {
 
   void Extract(FastPageBuffer& buffer,
                std::vector<std::string_view>* values) const;
+
+  /// Streaming no-DOM execution over the raw request bytes. Only valid
+  /// for dom_free() plans (LR/HLRT); XPath plans yield no values.
+  void ExtractStreaming(std::string_view raw_page, StreamPageBuffer& buffer,
+                        std::vector<std::string_view>* values) const;
+
+  /// Capability flag: true when the plan is defined over the flattened
+  /// character stream alone and never needs a DOM (LR/HLRT).
+  bool dom_free() const { return kind_ != Kind::kXPath; }
+
+  /// "xpath", "lr" or "hlrt" — for routing metrics and bench phase labels.
+  const char* plan_kind() const;
 
  private:
   enum class Kind { kXPath, kLr, kHlrt };
@@ -133,11 +193,16 @@ class CompiledWrapper {
 
   void ExtractXPath(FastPageBuffer& buffer,
                     std::vector<std::string_view>* values) const;
-  void ExtractLr(FastPageBuffer& buffer,
+  // The LR/HLRT matchers, shared by the DOM path (ArenaDocument spans)
+  // and the streaming path (StreamPage spans): any span type with
+  // .begin/.end works, so both paths run the identical matching logic.
+  template <typename Span>
+  void MatchLr(std::string_view stream, const std::vector<Span>& spans,
+               std::vector<std::string_view>* values) const;
+  template <typename Span>
+  void MatchHlrt(std::string_view stream, const std::vector<Span>& spans,
                  std::vector<std::string_view>* values) const;
-  void ExtractHlrt(FastPageBuffer& buffer,
-                   std::vector<std::string_view>* values) const;
-  bool SpanMatchesLr(const std::string& stream, size_t begin,
+  bool SpanMatchesLr(std::string_view stream, size_t begin,
                      size_t end) const;
 
   Kind kind_ = Kind::kXPath;

@@ -45,8 +45,8 @@ void AppendUtf8(uint32_t cp, std::string* out) {
 }
 
 // Attempts to decode a character reference starting at s[pos] (which is
-// '&'). On success writes the decoded text and returns the index one past
-// the reference; on failure returns pos.
+// '&'). On success writes the decoded text (when `out` is non-null) and
+// returns the index one past the reference; on failure returns pos.
 size_t TryDecodeReference(std::string_view s, size_t pos, std::string* out) {
   size_t i = pos + 1;
   if (i >= s.size()) return pos;
@@ -74,7 +74,7 @@ size_t TryDecodeReference(std::string_view s, size_t pos, std::string* out) {
       ++i;
     }
     if (i == digits_start) return pos;
-    AppendUtf8(cp, out);
+    if (out != nullptr) AppendUtf8(cp, out);
     if (i < s.size() && s[i] == ';') ++i;
     return i;
   }
@@ -85,7 +85,7 @@ size_t TryDecodeReference(std::string_view s, size_t pos, std::string* out) {
   if (name.empty()) return pos;
   for (const auto& entity : kNamedEntities) {
     if (name == entity.name) {
-      out->append(entity.utf8);
+      if (out != nullptr) out->append(entity.utf8);
       if (i < s.size() && s[i] == ';') ++i;
       return i;
     }
@@ -100,6 +100,10 @@ std::string DecodeEntities(std::string_view s) {
   out.reserve(s.size());
   AppendDecodedEntities(s, &out);
   return out;
+}
+
+bool StartsReference(std::string_view s, size_t pos) {
+  return TryDecodeReference(s, pos, nullptr) != pos;
 }
 
 void AppendDecodedEntities(std::string_view s, std::string* out) {

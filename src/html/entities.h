@@ -20,6 +20,15 @@ std::string DecodeEntities(std::string_view s);
 /// copied in bulk rather than byte by byte.
 void AppendDecodedEntities(std::string_view s, std::string* out);
 
+/// True when the '&' at s[pos] begins a character reference that
+/// DecodeEntities would rewrite (a known named entity or a numeric
+/// reference). The streaming flattener's verbatim validator uses this to
+/// prove decode-identity for a span — every '&' that does NOT start a
+/// reference passes through DecodeEntities unchanged — without running
+/// the decoder or allocating. Precondition: pos < s.size() and
+/// s[pos] == '&'.
+bool StartsReference(std::string_view s, size_t pos);
+
 }  // namespace ntw::html
 
 #endif  // NTW_HTML_ENTITIES_H_

@@ -1,0 +1,435 @@
+#include "html/stream_page.h"
+
+#include "common/strings.h"
+#include "html/arena_dom.h"
+#include "html/dom.h"
+#include "html/entities.h"
+#include "html/parse_rules.h"
+#include "html/scan.h"
+
+namespace ntw::html {
+namespace {
+
+constexpr size_t kNpos = std::string_view::npos;
+
+// The verbatim grammar only admits tag names that the tokenizer would
+// emit unchanged: lowercase start, lowercase/digit/-/_/: continuation.
+// Anything else (uppercase is the common case) gets rewritten by the
+// tokenizer, so the validator bails.
+bool IsVerbatimNameStart(char c) { return c >= 'a' && c <= 'z'; }
+bool IsVerbatimNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-' ||
+         c == '_' || c == ':';
+}
+
+// Attribute-name bytes the tokenizer passes through unchanged. The
+// tokenizer stops a name at '=', '>', '/' or whitespace and lowercases
+// it, so uppercase bytes cannot round-trip.
+bool IsVerbatimAttrNameChar(char c) {
+  return c != '=' && c != '>' && c != '/' && !IsAsciiSpace(c) &&
+         !(c >= 'A' && c <= 'Z');
+}
+
+bool IsRawTextTag(std::string_view tag) {
+  return tag == "script" || tag == "style" || tag == "textarea";
+}
+
+// True when CollapseWhitespace(s) == s for a non-empty s: no whitespace
+// byte other than ' ', no leading/trailing space, no "  " run. Raw-text
+// element contents (not entity-decoded, but collapse-processed) are
+// validated with this.
+bool IsCollapseIdentity(std::string_view s) {
+  if (s.empty()) return true;
+  if (IsAsciiSpace(s.front()) || IsAsciiSpace(s.back())) return false;
+  for (size_t i = 0; i + 1 < s.size(); ++i) {
+    if (!IsAsciiSpace(s[i])) continue;
+    if (s[i] != ' ' || IsAsciiSpace(s[i + 1])) return false;
+  }
+  return true;
+}
+
+// Appends CollapseWhitespace(text) to `out`, separator-joining the word
+// runs. Returns true when anything was appended (i.e. the text was not
+// whitespace-only — the skip_whitespace_text rule falls out for free).
+bool AppendCollapsed(std::string_view text, std::string* out) {
+  size_t mark = out->size();
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && IsAsciiSpace(text[i])) ++i;
+    size_t run = i;
+    while (run < text.size() && !IsAsciiSpace(text[run])) ++run;
+    if (run > i) {
+      if (out->size() > mark) out->push_back(' ');
+      out->append(text.data() + i, run - i);
+      i = run;
+    }
+  }
+  return out->size() > mark;
+}
+
+}  // namespace
+
+void StreamPage::Clear() {
+  input_ = std::string_view();
+  stream_.clear();
+  spans_.clear();
+  open_.clear();
+  attr_names_.clear();
+  tier_ = Tier::kFlattened;
+}
+
+void StreamPage::Build(std::string_view input) {
+  Clear();
+  input_ = input;
+  if (BuildVerbatim(input)) return;
+  stream_.clear();
+  spans_.clear();
+  open_.clear();
+  tier_ = Tier::kFlattened;
+  BuildFlattened(input);
+}
+
+// Tiers 1+2: a single scan that proves the input byte-identical to the
+// normalized stream (verbatim) or identical up to LOCAL patches — entity
+// decodes and whitespace-collapse fixes whose replacements are computable
+// in place (patched). Every check mirrors a specific normalization the
+// Tokenizer / tree builder / flattener performs; any STRUCTURAL rewrite
+// (one that moves, reorders or synthesizes tag bytes) bails to the fused
+// flatten. The grammar is deliberately conservative — a false bail only
+// costs speed, a false accept would break the byte-identity contract.
+//
+// Copy-on-write: while no patch has fired, nothing is copied and the
+// recorded spans double as raw-byte offsets. The first patch copies the
+// proven-verbatim prefix into stream_ and from then on clean chunks are
+// appended in bulk between patch points.
+bool StreamPage::BuildVerbatim(std::string_view in) {
+  size_t n = in.size();
+  size_t pos = 0;
+  bool copied = false;    // True once the output diverged from the input.
+  size_t flush_mark = 0;  // Raw start of the pending clean chunk (copied).
+
+  // Output offset of raw offset `p`: identity until the first patch,
+  // afterwards the pending clean chunk [flush_mark, p) lands right after
+  // the bytes already in stream_.
+  auto out_pos = [&](size_t p) {
+    return copied ? stream_.size() + (p - flush_mark) : p;
+  };
+  // Replaces raw [q, r) with `replacement` in the output; returns the
+  // output offset where the replacement begins.
+  auto patch = [&](size_t q, size_t r, std::string_view replacement) {
+    if (!copied) {
+      stream_.assign(in.data(), q);  // The prefix is proven verbatim.
+      copied = true;
+    } else {
+      stream_.append(in.data() + flush_mark, q - flush_mark);
+    }
+    size_t begin = stream_.size();
+    stream_.append(replacement);
+    flush_mark = r;
+    return begin;
+  };
+
+  while (pos < n) {
+    if (in[pos] != '<') {
+      // Text run, ending at the next '<' or end of input. Verbatim text
+      // must survive entity decoding (every '&' fails to start a
+      // reference) and whitespace collapsing (interior single spaces
+      // only) unchanged; anything else is a local rewrite — decode +
+      // collapse the run and patch it in.
+      size_t run_begin = pos;
+      size_t run_end = n;
+      bool rewrite = false;
+      size_t p = pos;
+      for (;;) {
+        size_t q = scan::FindTextSpecial(in, p);
+        if (q == kNpos) break;
+        char c = in[q];
+        if (c == '<') {
+          run_end = q;
+          break;
+        }
+        if (c == '&') {
+          // The byte ending the run ('<' or the quote below) is never
+          // alphanumeric, so reference parsing sees the same extent in
+          // the full input as in the token substring.
+          if (!StartsReference(in, q)) {
+            p = q + 1;
+            continue;
+          }
+          rewrite = true;
+        } else if (c == ' ' && q != run_begin && q + 1 < n &&
+                   !IsAsciiSpace(in[q + 1]) && in[q + 1] != '<') {
+          // A single interior ' ' survives collapsing — keep validating.
+          p = q + 1;
+          continue;
+        } else {
+          // Any other whitespace shape gets collapse-rewritten.
+          rewrite = true;
+        }
+        // The run will be decoded + collapsed wholesale; only its end
+        // matters now, so skip the per-byte validation and memchr to the
+        // closing '<'.
+        size_t lt = scan::FindByte(in, q + 1, '<');
+        run_end = lt == kNpos ? n : lt;
+        break;
+      }
+      if (!rewrite) {
+        spans_.push_back({out_pos(run_begin), out_pos(run_end)});
+      } else {
+        // Same pipeline as the tokenizer + builder: decode the whole
+        // run, then collapse; a collapsed-empty run is the whitespace-
+        // only text node the builders drop — patch it away, no span.
+        decoded_.clear();
+        AppendDecodedEntities(in.substr(run_begin, run_end - run_begin),
+                              &decoded_);
+        normalized_.clear();
+        if (AppendCollapsed(decoded_, &normalized_)) {
+          size_t begin = patch(run_begin, run_end, normalized_);
+          spans_.push_back({begin, begin + normalized_.size()});
+        } else {
+          patch(run_begin, run_end, std::string_view());
+        }
+      }
+      pos = run_end;
+      continue;
+    }
+
+    if (pos + 1 >= n) return false;  // Bare '<' at EOF → text token.
+    char next = in[pos + 1];
+
+    if (next == '/') {
+      // End tag: must be exactly "</name>" and close the innermost open
+      // element — anything else makes the builder drop it or emit extra
+      // implied closes, both of which rewrite the stream.
+      size_t name_start = pos + 2;
+      size_t p = name_start;
+      if (p >= n || !IsVerbatimNameStart(in[p])) return false;
+      ++p;
+      while (p < n && IsVerbatimNameChar(in[p])) ++p;
+      if (p >= n || in[p] != '>') return false;
+      std::string_view name = in.substr(name_start, p - name_start);
+      if (open_.empty() || open_.back() != name) return false;
+      open_.pop_back();
+      pos = p + 1;
+      continue;
+    }
+
+    if (!IsVerbatimNameStart(next)) return false;  // <!… <?… <A… "< "…
+
+    // Start tag.
+    size_t name_start = pos + 1;
+    size_t p = name_start + 1;
+    while (p < n && IsVerbatimNameChar(in[p])) ++p;
+    std::string_view name = in.substr(name_start, p - name_start);
+
+    // An implied end tag would interpose a close tag the raw bytes lack.
+    if (!open_.empty() && !IsScopeBoundary(open_.back()) &&
+        CloseImpliedBy(open_.back(), name)) {
+      return false;
+    }
+
+    // Attributes: each must be exactly ` name="value"` — single space,
+    // no uppercase in the name, '=' then a double-quoted decode-identical
+    // value, no duplicate names (the builder keeps first-position/
+    // last-value, reordering the bytes), '>' immediately after the last.
+    attr_names_.clear();
+    for (;;) {
+      if (p >= n) return false;  // Unterminated tag → closed at EOF.
+      if (in[p] == '>') {
+        ++p;
+        break;
+      }
+      if (in[p] != ' ') return false;  // '/', tab, newline, … all bail.
+      ++p;
+      size_t an_start = p;
+      while (p < n && IsVerbatimAttrNameChar(in[p])) ++p;
+      if (p == an_start || p >= n || in[p] != '=') return false;
+      std::string_view attr_name = in.substr(an_start, p - an_start);
+      for (std::string_view seen : attr_names_) {
+        if (seen == attr_name) return false;
+      }
+      attr_names_.push_back(attr_name);
+      ++p;
+      if (p >= n || in[p] != '"') return false;
+      ++p;
+      size_t value_end = scan::FindByte(in, p, '"');
+      if (value_end == kNpos) return false;
+      std::string_view value_region = in.substr(0, value_end);
+      size_t amp = p;
+      bool decode = false;
+      while ((amp = scan::FindByte(value_region, amp, '&')) != kNpos) {
+        if (StartsReference(in, amp)) decode = true;
+        ++amp;
+      }
+      if (decode) {
+        // Attribute values are entity-decoded but never collapsed; the
+        // decoded bytes splice straight in (no span — attr values are
+        // not text nodes).
+        decoded_.clear();
+        AppendDecodedEntities(in.substr(p, value_end - p), &decoded_);
+        patch(p, value_end, decoded_);
+      }
+      p = value_end + 1;
+    }
+
+    if (IsVoidElementTag(name)) {
+      pos = p;
+      continue;
+    }
+    open_.push_back(name);
+
+    if (IsRawTextTag(name)) {
+      // Raw-text content runs to the matching "</name" (with a '>' or
+      // whitespace boundary, as the tokenizer requires); for verbatim we
+      // additionally require the close to be exactly "</name>". Content
+      // is NOT entity-decoded (so '&' is fine) but IS collapse-processed.
+      needle_.assign("</");
+      needle_.append(name);
+      size_t end = p;
+      for (;;) {
+        end = in.find(needle_, end);
+        if (end == kNpos) return false;  // Unclosed → EOF close differs.
+        size_t after = end + needle_.size();
+        if (after >= n) return false;
+        if (in[after] == '>') break;
+        if (IsAsciiSpace(in[after])) return false;  // "</script >" etc.
+        ++end;  // "</scriptfoo" is content; keep scanning.
+      }
+      std::string_view content = in.substr(p, end - p);
+      if (!content.empty()) {
+        // Raw text is NOT entity-decoded but IS collapse-processed;
+        // whitespace-only content is dropped (no text node). Both are
+        // local fixes.
+        if (IsCollapseIdentity(content)) {
+          spans_.push_back({out_pos(p), out_pos(end)});
+        } else {
+          normalized_.clear();
+          if (AppendCollapsed(content, &normalized_)) {
+            size_t begin = patch(p, end, normalized_);
+            spans_.push_back({begin, begin + normalized_.size()});
+          } else {
+            patch(p, end, std::string_view());
+          }
+        }
+      }
+      pos = end;  // The main loop consumes the "</name>" close next.
+      continue;
+    }
+    pos = p;
+  }
+  // Elements still open at EOF would get synthesized close tags in the
+  // stream — a structural rewrite, so bail.
+  if (!open_.empty()) return false;
+  if (copied) {
+    stream_.append(in.data() + flush_mark, n - flush_mark);
+    tier_ = Tier::kPatched;
+  } else {
+    tier_ = Tier::kVerbatim;
+  }
+  return true;
+}
+
+// Tier 2: the fused tokenize→flatten loop. Feeds the shared Tokenizer
+// through the same recovery rules as the tree builders (parse_rules.h),
+// but instead of materializing nodes it appends the flattened stream
+// directly: close tags are emitted at the document-order position where
+// the builder would pop the element's frame, which is exactly where the
+// recursive flattener emits them.
+void StreamPage::BuildFlattened(std::string_view in) {
+  auto emit_close = [this](std::string_view tag) {
+    stream_.append("</");
+    stream_.append(tag);
+    stream_.push_back('>');
+  };
+
+  Tokenizer tokenizer(in);
+  while (tokenizer.Next(&token_)) {
+    switch (token_.kind) {
+      case TokenKind::kText: {
+        size_t begin = stream_.size();
+        // Collapsed-empty text is the whitespace-only case the builders
+        // skip; AppendCollapsed appends nothing then, so no span either.
+        if (AppendCollapsed(token_.data, &stream_)) {
+          spans_.push_back({begin, stream_.size()});
+        }
+        break;
+      }
+      case TokenKind::kStartTag: {
+        // Implied end tags, bounded by scope boundaries — same loop as
+        // the builders, with the close tags emitted as we pop.
+        while (!open_.empty()) {
+          std::string_view top = open_.back();
+          if (IsScopeBoundary(top)) break;
+          if (!CloseImpliedBy(top, token_.data)) break;
+          emit_close(top);
+          open_.pop_back();
+        }
+        // Interned name: stable for the process lifetime, so the open
+        // stack can hold views across the whole build.
+        NameTable::Interned tag = NameTable::Global().Intern(token_.data);
+        stream_.push_back('<');
+        stream_.append(tag.name);
+        // Duplicate attribute names keep the first position, last value
+        // (Node::SetAttr semantics); later duplicates vanish.
+        size_t attr_count = token_.attrs.size();
+        for (size_t i = 0; i < attr_count; ++i) {
+          const std::string& attr_name = token_.attrs[i].first;
+          bool duplicate = false;
+          for (size_t j = 0; j < i; ++j) {
+            if (token_.attrs[j].first == attr_name) {
+              duplicate = true;
+              break;
+            }
+          }
+          if (duplicate) continue;
+          const std::string* value = &token_.attrs[i].second;
+          for (size_t j = i + 1; j < attr_count; ++j) {
+            if (token_.attrs[j].first == attr_name) {
+              value = &token_.attrs[j].second;
+            }
+          }
+          stream_.push_back(' ');
+          stream_.append(attr_name);
+          stream_.append("=\"");
+          stream_.append(*value);
+          stream_.push_back('"');
+        }
+        stream_.push_back('>');
+        if (IsVoidElementTag(tag.name)) break;
+        if (token_.self_closing) {
+          emit_close(tag.name);  // Childless element: <x></x>.
+          break;
+        }
+        open_.push_back(tag.name);
+        break;
+      }
+      case TokenKind::kEndTag: {
+        // Nearest matching open element closes everything above it; a
+        // stray end tag never crosses a table boundary (and an entirely
+        // unmatched one is dropped).
+        for (size_t i = open_.size(); i > 0; --i) {
+          std::string_view candidate = open_[i - 1];
+          if (candidate == token_.data) {
+            for (size_t j = open_.size(); j >= i; --j) {
+              emit_close(open_[j - 1]);
+            }
+            open_.resize(i - 1);
+            break;
+          }
+          if (candidate == "table" && token_.data != "table") break;
+        }
+        break;
+      }
+      case TokenKind::kComment:
+      case TokenKind::kDoctype:
+        break;  // Dropped, as the tidy pipeline does.
+    }
+  }
+  // Unclosed elements get end tags at EOF, innermost first.
+  for (size_t j = open_.size(); j > 0; --j) {
+    emit_close(open_[j - 1]);
+  }
+  open_.clear();
+}
+
+}  // namespace ntw::html

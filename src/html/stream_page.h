@@ -1,0 +1,116 @@
+#ifndef NTW_HTML_STREAM_PAGE_H_
+#define NTW_HTML_STREAM_PAGE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "html/tokenizer.h"
+
+namespace ntw::html {
+
+/// A text node's extent in a StreamPage's flattened stream.
+struct StreamSpan {
+  size_t begin;
+  size_t end;
+};
+
+/// A page reduced to the flattened character stream plus its text spans —
+/// the only inputs the LR/HLRT delimiter matchers consume — built without
+/// constructing any DOM. The produced stream is byte-identical to
+/// ArenaDocument::stream()/spans() for the same input under the default
+/// ParseOptions (collapse whitespace, skip whitespace-only text), which is
+/// what makes the serving fast path's byte-identity contract carry over to
+/// the streaming path (tests/streaming_equivalence_test.cc pins it).
+///
+/// Three tiers, one scanner:
+///
+///  1. Verbatim (zero-copy): a single-pass scanner proves the raw input
+///     already IS its own normalized stream — lowercase tag names, attrs
+///     serialized exactly as ` name="value"` with no duplicates, text runs
+///     that survive entity decoding and whitespace collapsing unchanged,
+///     no comments/doctypes/stray '<', explicit end tags matching the
+///     innermost open element, no implied end tags firing, empty stack at
+///     end of input. On success stream() aliases the input and the spans
+///     are raw-byte offsets: no copy, no decode, no DOM. Entity decoding
+///     is thereby lazy in the strongest sense — the scanner only *tests*
+///     each '&' (html::StartsReference); bytes are never rewritten.
+///
+///  2. Patched (copy-on-write): when the only divergences the scanner
+///     meets are LOCAL — a decodable character reference in a text run or
+///     attribute value, a whitespace-collapse fix, a whitespace-only text
+///     node to drop — it does not give up the single pass. At the first
+///     such divergence it copies the (proven-verbatim) prefix into the
+///     reuse buffer and continues, memcpying clean chunks and splicing in
+///     the decoded/collapsed replacement at each patch point. This is the
+///     lazy-decode tier real listing pages hit: script-generated HTML is
+///     structurally canonical but carries &amp;-style references in data
+///     values, so the stream build stays a SIMD scan plus a few small
+///     patches instead of a full tokenize.
+///
+///  3. Flattened: any STRUCTURAL rewrite (tag-name case, attribute
+///     re-serialization, implied or mismatched end tags, comments,
+///     doctypes, stray '<', raw-text oddities, unclosed elements) bails
+///     to the fused tokenize→flatten loop (the shared Tokenizer plus the
+///     shared parse_rules.h recovery rules, an open-tag stack instead of
+///     a tree) that appends the normalized stream into the reuse buffer.
+///
+/// Reuse: Clear() keeps every buffer's capacity, so steady-state builds
+/// allocate nothing (the serving layer pools StreamPages per shard).
+///
+/// Lifetime rule: stream() and spans() alias the Build() input when
+/// verbatim() is true — they are valid only while the input bytes
+/// outlive the page, and are invalidated by the next Build()/Clear().
+class StreamPage {
+ public:
+  enum class Tier {
+    kVerbatim,   // Zero-copy: stream() aliases the input.
+    kPatched,    // Copy-on-write: clean chunks memcpyed, local patches.
+    kFlattened,  // Full fused tokenize→flatten rebuild.
+  };
+
+  StreamPage() = default;
+  StreamPage(const StreamPage&) = delete;
+  StreamPage& operator=(const StreamPage&) = delete;
+
+  /// Builds the flattened stream for `input` (default ParseOptions
+  /// semantics). Never fails: pages the verbatim/patched scanner rejects
+  /// take the fused flatten path.
+  void Build(std::string_view input);
+
+  /// The normalized character stream; aliases the Build() input when
+  /// verbatim() is true.
+  std::string_view stream() const {
+    return tier_ == Tier::kVerbatim ? input_ : std::string_view(stream_);
+  }
+  const std::vector<StreamSpan>& spans() const { return spans_; }
+
+  /// Which tier the last Build() took.
+  Tier tier() const { return tier_; }
+
+  /// True when the last Build() took the zero-copy tier.
+  bool verbatim() const { return tier_ == Tier::kVerbatim; }
+
+  /// Recycles for the next page (keeps capacity).
+  void Clear();
+
+ private:
+  bool BuildVerbatim(std::string_view input);
+  void BuildFlattened(std::string_view input);
+
+  std::string_view input_;
+  std::string stream_;               // Patched/flattened output buffer.
+  std::vector<StreamSpan> spans_;
+  std::vector<std::string_view> open_;        // Open-element tag names.
+  std::vector<std::string_view> attr_names_;  // Per-tag dedup scratch.
+  std::string needle_;                        // Raw-text end-tag scratch.
+  std::string decoded_;                       // Patch entity-decode scratch.
+  std::string normalized_;                    // Patch collapse scratch.
+  Token token_;                               // Flatten token scratch.
+  Tier tier_ = Tier::kFlattened;
+};
+
+}  // namespace ntw::html
+
+#endif  // NTW_HTML_STREAM_PAGE_H_

@@ -2,6 +2,7 @@
 
 #include "common/strings.h"
 #include "html/entities.h"
+#include "html/scan.h"
 
 namespace ntw::html {
 namespace {
@@ -143,13 +144,11 @@ void Tokenizer::LexAttributes(Token* token) {
       }
       break;
     }
-    // Attribute name.
+    // Attribute name: runs to '=', '>', '/' or whitespace (vectorized
+    // byte-class scan).
     size_t name_start = pos_;
-    while (pos_ < input_.size() && input_[pos_] != '=' &&
-           input_[pos_] != '>' && input_[pos_] != '/' &&
-           !IsAsciiSpace(input_[pos_])) {
-      ++pos_;
-    }
+    pos_ = scan::FindAttrNameEnd(input_, pos_);
+    if (pos_ == std::string_view::npos) pos_ = input_.size();
     if (pos_ == name_start) {
       ++pos_;  // Defensive: skip a malformed character.
       continue;
@@ -167,16 +166,15 @@ void Tokenizer::LexAttributes(Token* token) {
           (input_[pos_] == '"' || input_[pos_] == '\'')) {
         char quote = input_[pos_++];
         size_t value_start = pos_;
-        while (pos_ < input_.size() && input_[pos_] != quote) ++pos_;
+        pos_ = scan::FindByte(input_, pos_, quote);
+        if (pos_ == std::string_view::npos) pos_ = input_.size();
         AppendDecodedEntities(
             input_.substr(value_start, pos_ - value_start), &value);
         if (pos_ < input_.size()) ++pos_;  // Closing quote.
       } else {
         size_t value_start = pos_;
-        while (pos_ < input_.size() && !IsAsciiSpace(input_[pos_]) &&
-               input_[pos_] != '>') {
-          ++pos_;
-        }
+        pos_ = scan::FindWsOrGt(input_, pos_);
+        if (pos_ == std::string_view::npos) pos_ = input_.size();
         AppendDecodedEntities(
             input_.substr(value_start, pos_ - value_start), &value);
       }

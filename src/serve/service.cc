@@ -25,6 +25,9 @@ struct ServiceMetrics {
   obs::ShardedCounter* batch_lines;
   obs::ShardedCounter* wrapper_misses;
   obs::ShardedCounter* arena_bytes_reused;
+  obs::ShardedCounter* streaming_pages;
+  obs::ShardedCounter* streaming_verbatim_pages;
+  obs::ShardedCounter* streaming_patched_pages;
   obs::ShardedHistogram* extract_latency;
 
   static ServiceMetrics& Get() {
@@ -35,6 +38,11 @@ struct ServiceMetrics {
         obs::Registry::Global().GetShardedCounter("ntw.serve.wrapper_misses"),
         obs::Registry::Global().GetShardedCounter(
             "ntw.serve.arena_bytes_reused"),
+        obs::Registry::Global().GetShardedCounter("ntw.serve.streaming_pages"),
+        obs::Registry::Global().GetShardedCounter(
+            "ntw.serve.streaming_verbatim_pages"),
+        obs::Registry::Global().GetShardedCounter(
+            "ntw.serve.streaming_patched_pages"),
         obs::Registry::Global().GetShardedHistogram(
             "ntw.serve.extract_latency_micros"),
     };
@@ -91,16 +99,45 @@ int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-/// Extracts from one page and writes the `"values":[...]` member. Fast
-/// path (arena DOM + compiled plan) when enabled and the entry carries a
-/// plan; interpreted otherwise. Both paths produce identical JSON bytes —
-/// the fast path's views and the interpreter's strings serialize the same.
+/// Extracts from one page and writes the `"values":[...]` member.
+/// Streaming no-DOM path for dom_free() plans when enabled; arena fast
+/// path (arena DOM + compiled plan) otherwise when enabled and the entry
+/// carries a plan; interpreted as the final fallback. All paths produce
+/// identical JSON bytes — views and strings serialize the same.
 void ExtractService::ExtractToJson(const WrapperRepository::Entry& entry,
                                    const std::string& page_html,
                                    obs::JsonWriter& json) const {
   ServiceMetrics& metrics = ServiceMetrics::Get();
   int shard = options_.shard;
   auto start = std::chrono::steady_clock::now();
+  if (options_.fast_path && options_.streaming && entry.compiled != nullptr &&
+      entry.compiled->dom_free()) {
+    // Streaming no-DOM path: BMH over the StreamPage-built stream, no
+    // arena parse. On the zero-copy tier the values alias `page_html`
+    // directly — which outlives the lease here.
+    core::StreamBufferPool::Lease lease = stream_buffers_.Acquire();
+    entry.compiled->ExtractStreaming(page_html, *lease, &lease->values);
+    metrics.extract_latency->Record(shard, MicrosSince(start));
+    json.Key("values");
+    json.BeginArray();
+    for (std::string_view value : lease->values) json.String(value);
+    json.EndArray();
+    metrics.pages_extracted->Add(shard, 1);
+    metrics.values_extracted->Add(shard,
+                                  static_cast<int64_t>(lease->values.size()));
+    metrics.streaming_pages->Add(shard, 1);
+    switch (lease->page.tier()) {
+      case html::StreamPage::Tier::kVerbatim:
+        metrics.streaming_verbatim_pages->Add(shard, 1);
+        break;
+      case html::StreamPage::Tier::kPatched:
+        metrics.streaming_patched_pages->Add(shard, 1);
+        break;
+      case html::StreamPage::Tier::kFlattened:
+        break;
+    }
+    return;
+  }
   if (options_.fast_path && entry.compiled != nullptr) {
     core::FastBufferPool::Lease lease = buffers_.Acquire();
     html::ArenaParse(page_html, &lease->doc);

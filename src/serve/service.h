@@ -29,9 +29,15 @@ namespace ntw::serve {
 /// Extraction runs on the compiled fast path by default (arena DOM +
 /// CompiledWrapper plans from the repository snapshot, with per-request
 /// buffer reuse via a pool); `Options{.fast_path = false}` — the daemon's
-/// --no-fast-path — forces the interpreted Wrapper::Extract path. The two
-/// paths are byte-identical by contract, pinned by
-/// tests/fastpath_equivalence_test.cc and the ntw_loadgen cross-check.
+/// --no-fast-path — forces the interpreted Wrapper::Extract path. On top
+/// of that, dom_free() plans (LR/HLRT — DESIGN.md §12) default to the
+/// streaming no-DOM path: the request body goes through StreamPage
+/// (zero-copy when the bytes are already canonical, fused
+/// tokenize→flatten otherwise) and never builds an arena DOM;
+/// `streaming = false` — the daemon's --no-streaming — drops them back
+/// to the arena fast path. All paths are byte-identical by contract,
+/// pinned by tests/fastpath_equivalence_test.cc,
+/// tests/streaming_equivalence_test.cc and the ntw_loadgen cross-check.
 ///
 /// Sharding (DESIGN.md §11): the daemon instantiates one ExtractService
 /// per reactor shard, so each shard's requests reuse a FastBufferPool no
@@ -42,6 +48,10 @@ struct ExtractServiceOptions {
   bool fast_path = true;
   /// Metric stripe this instance records into (the owning reactor's id).
   int shard = 0;
+  /// Route dom_free() plans through the streaming no-DOM path. Only
+  /// consulted when fast_path is on. (Declared after `shard` so existing
+  /// `Options{true, n}` brace-initializers keep their meaning.)
+  bool streaming = true;
 };
 
 class ExtractService {
@@ -68,6 +78,8 @@ class ExtractService {
   // is internally synchronized, so Handle() stays const and thread-safe.
   // One pool per service instance — per shard in the sharded daemon.
   mutable core::FastBufferPool buffers_;
+  // Lighter buffers (stream page + values) for the streaming no-DOM path.
+  mutable core::StreamBufferPool stream_buffers_;
 };
 
 }  // namespace ntw::serve

@@ -1,10 +1,11 @@
 // Pins the fast-path determinism contract: a CompiledWrapper executed
 // over the arena DOM returns exactly the values the interpreted
 // Wrapper::Extract + node->text() pipeline returns, for every wrapper
-// kind (XPATH, LR, HLRT) on every page of a generated corpus — and at
-// the service layer, ExtractService with and without the fast path
-// produces byte-identical HTTP responses for /extract and
-// /extract_batch.
+// kind (XPATH, LR, HLRT) on every page of a generated corpus — with the
+// streaming no-DOM path joining the comparison for dom_free() plans —
+// and at the service layer, ExtractService in streaming, arena-DOM and
+// interpreted configurations produces byte-identical HTTP responses for
+// /extract and /extract_batch.
 
 #include <unistd.h>
 
@@ -57,6 +58,15 @@ std::vector<std::string> FastValues(const core::CompiledWrapper& compiled,
                                   buffer.values.end());
 }
 
+std::vector<std::string> StreamingValues(
+    const core::CompiledWrapper& compiled, core::StreamPageBuffer& buffer,
+    const std::string& source) {
+  buffer.Clear();
+  compiled.ExtractStreaming(source, buffer, &buffer.values);
+  return std::vector<std::string>(buffer.values.begin(),
+                                  buffer.values.end());
+}
+
 class FastPathEquivalenceTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
@@ -71,9 +81,11 @@ class FastPathEquivalenceTest : public ::testing::Test {
   }
 
   /// Learns one wrapper per site with `inductor` and checks fast ==
-  /// interpreted on every page of every site.
+  /// interpreted (and, for dom_free() plans, == streaming) on every page
+  /// of every site.
   void CheckInductor(const core::WrapperInductor& inductor) {
     core::FastPageBuffer buffer;
+    core::StreamPageBuffer stream_buffer;
     for (const datasets::SiteData& site : dealers_->sites) {
       auto truth = site.site.truth.find("name");
       ASSERT_NE(truth, site.site.truth.end());
@@ -87,10 +99,17 @@ class FastPathEquivalenceTest : public ::testing::Test {
       for (size_t p = 0; p < site.site.pages.size(); ++p) {
         std::string source =
             html::Serialize(site.site.pages.page(p).root());
-        EXPECT_EQ(FastValues(*compiled, buffer, source),
-                  InterpretedValues(*induction.wrapper, source))
+        std::vector<std::string> interpreted =
+            InterpretedValues(*induction.wrapper, source);
+        EXPECT_EQ(FastValues(*compiled, buffer, source), interpreted)
             << "site " << site.site.name << " page " << p << " wrapper "
             << induction.wrapper->ToString();
+        if (compiled->dom_free()) {
+          EXPECT_EQ(StreamingValues(*compiled, stream_buffer, source),
+                    interpreted)
+              << "streaming, site " << site.site.name << " page " << p
+              << " wrapper " << induction.wrapper->ToString();
+        }
       }
     }
   }
@@ -177,9 +196,14 @@ class ServiceEquivalenceTest : public ::testing::Test {
         std::make_unique<serve::WrapperRepository>(repo_dir_.string());
     ASSERT_TRUE(repository_->Load().ok());
     ASSERT_TRUE(repository_->snapshot()->errors.empty());
+    // Options{true} defaults streaming on, so fast_ routes LR/HLRT through
+    // the no-DOM path; dom_ pins them to the arena fast path instead.
     fast_ = std::make_unique<serve::ExtractService>(
         repository_.get(), &ThreadPool::Global(),
         serve::ExtractService::Options{true});
+    dom_ = std::make_unique<serve::ExtractService>(
+        repository_.get(), &ThreadPool::Global(),
+        serve::ExtractService::Options{true, 0, false});
     interpreted_ = std::make_unique<serve::ExtractService>(
         repository_.get(), &ThreadPool::Global(),
         serve::ExtractService::Options{false});
@@ -193,9 +217,13 @@ class ServiceEquivalenceTest : public ::testing::Test {
   void ExpectSameResponse(const serve::HttpRequest& request) {
     serve::HttpResponse a = fast_->Handle(request);
     serve::HttpResponse b = interpreted_->Handle(request);
+    serve::HttpResponse c = dom_->Handle(request);
     EXPECT_EQ(a.status, b.status);
     EXPECT_EQ(a.content_type, b.content_type);
     EXPECT_EQ(a.body, b.body);
+    EXPECT_EQ(c.status, b.status);
+    EXPECT_EQ(c.content_type, b.content_type);
+    EXPECT_EQ(c.body, b.body);
   }
 
   std::filesystem::path repo_dir_;
@@ -203,6 +231,7 @@ class ServiceEquivalenceTest : public ::testing::Test {
   std::vector<std::string> sources_;
   std::unique_ptr<serve::WrapperRepository> repository_;
   std::unique_ptr<serve::ExtractService> fast_;
+  std::unique_ptr<serve::ExtractService> dom_;
   std::unique_ptr<serve::ExtractService> interpreted_;
 };
 

@@ -53,7 +53,7 @@ constexpr char kUsage[] =
     "                   [--p P] [--r R] [--schema-prior N]"
     " [--save-wrapper FILE] [--quiet]\n"
     "                   [--metrics-json PATH] [--trace PATH]"
-    " [--no-fast-path]\n";
+    " [--no-fast-path] [--no-streaming]\n";
 
 void PrintExtraction(const core::PageSet& pages,
                      const core::NodeSet& extraction) {
@@ -77,7 +77,7 @@ int Run(int argc, char** argv) {
       {"pages", "dict", "regex", "load-wrapper", "wrapper-dir", "site",
        "attribute", "inductor", "algorithm", "p", "r", "schema-prior",
        "save-wrapper", "quiet", "help", "metrics-json", "trace",
-       "no-fast-path"});
+       "no-fast-path", "no-streaming"});
   if (!unknown.empty() || flags.Has("help")) {
     for (const std::string& name : unknown) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
@@ -137,8 +137,10 @@ int Run(int argc, char** argv) {
       std::fprintf(stderr, "wrapper: %s\n",
                    entry->wrapper->ToString().c_str());
     }
-    // Compiled fast path (arena DOM + plan), same output bytes as the
-    // interpreted path below; --no-fast-path forces the interpreter.
+    // Compiled fast path, same output bytes as the interpreted path
+    // below; dom_free plans stream straight over the raw page bytes
+    // (no DOM) unless --no-streaming, others arena-parse.
+    // --no-fast-path forces the interpreter.
     if (!flags.Has("no-fast-path") && entry->compiled != nullptr) {
       Result<std::vector<std::string>> sources =
           datasets::LoadPageSourcesFromDirectory(pages_dir);
@@ -146,14 +148,26 @@ int Run(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", sources.status().ToString().c_str());
         return 1;
       }
+      bool streaming =
+          !flags.Has("no-streaming") && entry->compiled->dom_free();
       core::FastPageBuffer buffer;
+      core::StreamPageBuffer stream_buffer;
       std::string value;
       obs::Span span("extract.apply");
       for (size_t i = 0; i < sources->size(); ++i) {
-        buffer.Clear();
-        html::ArenaParse((*sources)[i], &buffer.doc);
-        entry->compiled->Extract(buffer, &buffer.values);
-        for (std::string_view v : buffer.values) {
+        const std::vector<std::string_view>* values;
+        if (streaming) {
+          stream_buffer.Clear();
+          entry->compiled->ExtractStreaming((*sources)[i], stream_buffer,
+                                            &stream_buffer.values);
+          values = &stream_buffer.values;
+        } else {
+          buffer.Clear();
+          html::ArenaParse((*sources)[i], &buffer.doc);
+          entry->compiled->Extract(buffer, &buffer.values);
+          values = &buffer.values;
+        }
+        for (std::string_view v : *values) {
           value.assign(v);
           std::printf("%d\t%s\n", static_cast<int>(i), value.c_str());
         }

@@ -1,28 +1,48 @@
 // ntw_loadgen — closed-loop throughput benchmark for the serving daemon's
 // POST /extract endpoint.
 //
-// Builds a pinned DEALERS subset (fixed seed), learns one XPATH wrapper
-// per site from ground truth, publishes the wrappers to a temporary
-// serving repository, starts a real HttpServer in-process on an ephemeral
-// port, and drives it over raw keep-alive sockets — once on the compiled
-// fast path (arena DOM + wrapper plans) and once on the interpreted path
-// (what --no-fast-path serves). Emits a schema-versioned BENCH_serve.json
-// (v2) with requests/second, latency percentiles from the
-// ntw.serve.extract_latency_micros histogram, peak RSS and machine
-// metadata, so serving-throughput regressions accumulate in-repo the same
-// way ntw_bench's learning benches do.
+// Builds a pinned DEALERS subset (fixed seed), learns one XPATH and one
+// LR wrapper per site from ground truth, publishes the wrappers to a
+// temporary serving repository, starts a real HttpServer in-process on an
+// ephemeral port, and drives it over raw keep-alive sockets through five
+// phases split by plan kind and execution path:
 //
-// Before any timing, every (site, page) request is executed through both
-// service configurations in-process and the responses are compared
-// byte-for-byte; any divergence prints the pair and exits 1 — the
+//   delimiter_streaming    LR plans, streaming no-DOM path (DESIGN.md §12)
+//   delimiter_dom          LR plans, arena-DOM fast path (--no-streaming)
+//   delimiter_interpreted  LR plans, interpreted Wrapper::Extract
+//   xpath_fast             XPATH plans, arena-DOM fast path
+//   xpath_interpreted      XPATH plans, interpreted Wrapper::Extract
+//
+// Emits a schema-versioned BENCH_serve.json (v3) with per-phase
+// requests/second tagged by plan kind and path, latency percentiles from
+// the ntw.serve.extract_latency_micros histogram, a speedups object
+// (delimiter_streaming_vs_dom is the headline number the streaming path
+// is accountable to), peak RSS and machine metadata, so
+// serving-throughput regressions accumulate in-repo the same way
+// ntw_bench's learning benches do.
+//
+// Before any timing, every (site, attribute, page) request is executed
+// through the streaming, arena-DOM and interpreted service
+// configurations in-process and the responses are compared
+// byte-for-byte; any divergence prints the triple and exits 1 — the
 // fast-path determinism contract is enforced by the benchmark itself, not
 // just by the unit tests.
 //
 // Usage:
 //   ntw_loadgen [--out BENCH_serve.json] [--sites N] [--requests N]
-//               [--connections N] [--client-threads N] [--pipeline N]
-//               [--repetitions N] [--shards N] [--sweep 1,2,4,...]
-//               [--smoke]
+//               [--records N] [--connections N] [--client-threads N]
+//               [--pipeline N] [--repetitions N] [--shards N]
+//               [--sweep 1,2,4,...] [--no-streaming] [--smoke]
+//
+// --records N pins every generated page to exactly N listing records
+// (default 30 for full runs — a realistic dealer-locator page, a few KB
+// of HTML — and the dataset default 2..10 for --smoke, matching the unit
+// corpora). Larger pages shift the measurement toward extraction cost and
+// away from fixed per-request socket overhead.
+//
+// --no-streaming builds the "streaming" services with the streaming path
+// off (every delimiter phase then runs the arena fast path) — CI uses it
+// to keep the non-streaming combination green end to end.
 //
 // --pipeline N keeps N requests in flight per connection (HTTP/1.1
 // pipelining, which the server supports): syscall and scheduling overhead
@@ -69,6 +89,7 @@
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "core/lr_inductor.h"
 #include "core/wrapper_store.h"
 #include "core/xpath_inductor.h"
 #include "datasets/dealers.h"
@@ -88,12 +109,12 @@ using namespace ntw;
 constexpr char kUsage[] =
     "usage: ntw_loadgen [--out BENCH_serve.json] [--sites N]"
     " [--requests N]\n"
-    "                   [--connections N] [--client-threads N]"
-    " [--pipeline N]\n"
-    "                   [--repetitions N] [--shards N]"
-    " [--sweep 1,2,4,...] [--smoke]\n";
+    "                   [--records N] [--connections N]"
+    " [--client-threads N]\n"
+    "                   [--pipeline N] [--repetitions N] [--shards N]\n"
+    "                   [--sweep 1,2,4,...] [--no-streaming] [--smoke]\n";
 
-constexpr int64_t kSchemaVersion = 2;
+constexpr int64_t kSchemaVersion = 3;
 
 // ---------------------------------------------------------------------
 // Minimal blocking HTTP/1.1 client (keep-alive, Content-Length framing).
@@ -199,6 +220,8 @@ int64_t HistogramPercentile(const obs::HistogramView& view, double q) {
 
 struct PhaseResult {
   std::string name;
+  std::string plan_kind;  // "lr" or "xpath" — which wrapper kind is driven.
+  std::string path;       // "streaming", "dom" or "interpreted".
   int64_t requests = 0;
   double wall_seconds = 0.0;
   double requests_per_second = 0.0;
@@ -318,6 +341,8 @@ PhaseResult RunPhase(const std::string& name, int port,
 void WritePhase(obs::JsonWriter& json, const PhaseResult& r) {
   json.BeginObject();
   json.KV("name", r.name);
+  json.KV("plan_kind", r.plan_kind);
+  json.KV("path", r.path);
   json.KV("requests", r.requests);
   json.KV("errors", r.errors);
   json.KV("wall_seconds", r.wall_seconds);
@@ -375,8 +400,9 @@ int Run(int argc, char** argv) {
   }
   const Flags& flags = *flags_or;
   std::vector<std::string> unknown = flags.UnknownFlags(
-      {"out", "sites", "requests", "connections", "client-threads",
-       "pipeline", "repetitions", "shards", "sweep", "smoke", "help"});
+      {"out", "sites", "requests", "records", "connections",
+       "client-threads", "pipeline", "repetitions", "shards", "sweep",
+       "no-streaming", "smoke", "help"});
   if (!unknown.empty() || flags.Has("help")) {
     for (const std::string& name : unknown) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
@@ -387,6 +413,8 @@ int Run(int argc, char** argv) {
   bool smoke = flags.Has("smoke");
   Result<int64_t> sites_or = flags.GetInt("sites", smoke ? 3 : 8);
   Result<int64_t> requests_or = flags.GetInt("requests", smoke ? 200 : 4000);
+  // 0 = the dataset's own 2..10 records/page (what the unit corpora use).
+  Result<int64_t> records_or = flags.GetInt("records", smoke ? 0 : 30);
   Result<int64_t> connections_or = flags.GetInt("connections", 1);
   Result<int64_t> pipeline_or = flags.GetInt("pipeline", 16);
   Result<int64_t> reps_or = flags.GetInt("repetitions", smoke ? 1 : 3);
@@ -398,6 +426,11 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr,
                  "--sites, --requests, --connections, --pipeline,"
                  " --repetitions and --shards must be >= 1\n%s",
+                 kUsage);
+    return 2;
+  }
+  if (!records_or.ok() || *records_or < 0) {
+    std::fprintf(stderr, "--records must be >= 0 (0 = dataset default)\n%s",
                  kUsage);
     return 2;
   }
@@ -421,16 +454,23 @@ int Run(int argc, char** argv) {
     }
   }
   std::string out = flags.Get("out", "BENCH_serve.json");
+  bool streaming_enabled = !flags.Has("no-streaming");
 
-  // ----- pinned workload: DEALERS subset, one XPATH wrapper per site ---
+  // ----- pinned workload: DEALERS subset, one XPATH + one LR wrapper per
+  // site (name.wrapper / name_lr.wrapper) --------------------------------
   datasets::DealersConfig config;
   config.num_sites = static_cast<size_t>(*sites_or);
+  if (*records_or > 0) {
+    config.min_records = static_cast<size_t>(*records_or);
+    config.max_records = static_cast<size_t>(*records_or);
+  }
   datasets::Dataset dealers = datasets::MakeDealers(config);
 
   std::filesystem::path repo_dir =
       std::filesystem::temp_directory_path() /
       ("ntw_loadgen_repo_" + std::to_string(::getpid()));
-  core::XPathInductor inductor;
+  core::XPathInductor xpath_inductor;
+  core::LrInductor lr_inductor;
   // (site, attribute, page body) per request, in deterministic order.
   std::vector<std::string> page_bodies;
   std::vector<std::string> page_sites;
@@ -442,24 +482,38 @@ int Run(int argc, char** argv) {
       std::fprintf(stderr, "site %zu has no 'name' ground truth\n", s);
       return 1;
     }
-    core::Induction induction = inductor.Induce(site.pages, truth->second);
-    if (induction.wrapper == nullptr) {
-      std::fprintf(stderr, "site %zu: induction failed\n", s);
-      return 1;
-    }
-    Result<std::string> record = core::SerializeWrapper(*induction.wrapper);
-    if (!record.ok()) {
-      std::fprintf(stderr, "%s\n", record.status().ToString().c_str());
-      return 1;
-    }
     std::string site_dir = (repo_dir / site_key).string();
     Status made = MakeDirs(site_dir);
-    Status wrote =
-        made.ok() ? WriteFile(site_dir + "/name.wrapper", *record + "\n")
-                  : made;
-    if (!wrote.ok()) {
-      std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.ToString().c_str());
       return 1;
+    }
+    struct Learn {
+      const core::WrapperInductor* inductor;
+      const char* file;
+    };
+    for (const Learn& learn :
+         {Learn{&xpath_inductor, "name.wrapper"},
+          Learn{&lr_inductor, "name_lr.wrapper"}}) {
+      core::Induction induction =
+          learn.inductor->Induce(site.pages, truth->second);
+      if (induction.wrapper == nullptr) {
+        std::fprintf(stderr, "site %zu: induction failed (%s)\n", s,
+                     learn.file);
+        return 1;
+      }
+      Result<std::string> record =
+          core::SerializeWrapper(*induction.wrapper);
+      if (!record.ok()) {
+        std::fprintf(stderr, "%s\n", record.status().ToString().c_str());
+        return 1;
+      }
+      Status wrote =
+          WriteFile(site_dir + "/" + learn.file, *record + "\n");
+      if (!wrote.ok()) {
+        std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+        return 1;
+      }
     }
     for (size_t p = 0; p < site.pages.size(); ++p) {
       page_bodies.push_back(html::Serialize(site.pages.page(p).root()));
@@ -478,63 +532,81 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "wrapper load error: %s\n", error.c_str());
   }
 
-  serve::ExtractService fast(&repository, &ThreadPool::Global(),
-                             serve::ExtractService::Options{true, 0});
+  serve::ExtractService streaming(
+      &repository, &ThreadPool::Global(),
+      serve::ExtractService::Options{true, 0, streaming_enabled});
+  serve::ExtractService dom(&repository, &ThreadPool::Global(),
+                            serve::ExtractService::Options{true, 0, false});
   serve::ExtractService interpreted(&repository, &ThreadPool::Global(),
                                     serve::ExtractService::Options{false, 0});
 
-  // ----- equivalence gate: both paths, every request, byte-compared -----
-  // The fast-path bodies double as the baseline for the sweep's
-  // cross-shard replay below.
+  // ----- equivalence gate: all three paths, every (attribute, page)
+  // request, byte-compared. The streaming-service bodies double as the
+  // baseline for the sweep's cross-shard replay below ("name" requests
+  // first, then "name_lr", matching the replay order). -------------------
   int64_t divergences = 0;
+  int64_t responses_compared = 0;
   std::vector<std::string> expected_bodies;
-  expected_bodies.reserve(page_bodies.size());
-  for (size_t i = 0; i < page_bodies.size(); ++i) {
-    serve::HttpRequest request;
-    request.method = "POST";
-    request.path = "/extract";
-    request.query.emplace_back("site", page_sites[i]);
-    request.query.emplace_back("attribute", "name");
-    request.body = page_bodies[i];
-    serve::HttpResponse a = fast.Handle(request);
-    serve::HttpResponse b = interpreted.Handle(request);
-    if (a.status != b.status || a.body != b.body) {
-      ++divergences;
-      if (divergences <= 3) {
-        std::fprintf(stderr,
-                     "DIVERGENCE site=%s page=%zu\n  fast: %d %s\n"
-                     "  interp: %d %s\n",
-                     page_sites[i].c_str(), i, a.status, a.body.c_str(),
-                     b.status, b.body.c_str());
+  expected_bodies.reserve(2 * page_bodies.size());
+  for (const char* attribute : {"name", "name_lr"}) {
+    for (size_t i = 0; i < page_bodies.size(); ++i) {
+      serve::HttpRequest request;
+      request.method = "POST";
+      request.path = "/extract";
+      request.query.emplace_back("site", page_sites[i]);
+      request.query.emplace_back("attribute", attribute);
+      request.body = page_bodies[i];
+      serve::HttpResponse a = streaming.Handle(request);
+      serve::HttpResponse b = dom.Handle(request);
+      serve::HttpResponse c = interpreted.Handle(request);
+      ++responses_compared;
+      if (a.status != b.status || a.body != b.body ||
+          a.status != c.status || a.body != c.body) {
+        ++divergences;
+        if (divergences <= 3) {
+          std::fprintf(stderr,
+                       "DIVERGENCE site=%s attribute=%s page=%zu\n"
+                       "  streaming: %d %s\n  dom: %d %s\n  interp: %d %s\n",
+                       page_sites[i].c_str(), attribute, i, a.status,
+                       a.body.c_str(), b.status, b.body.c_str(), c.status,
+                       c.body.c_str());
+        }
       }
+      expected_bodies.push_back(std::move(a.body));
     }
-    expected_bodies.push_back(std::move(a.body));
   }
   if (divergences > 0) {
     std::fprintf(stderr,
-                 "ntw_loadgen: %lld of %zu responses diverge between fast"
-                 " and interpreted paths\n",
-                 static_cast<long long>(divergences), page_bodies.size());
+                 "ntw_loadgen: %lld of %lld responses diverge across"
+                 " streaming/dom/interpreted paths\n",
+                 static_cast<long long>(divergences),
+                 static_cast<long long>(responses_compared));
     std::filesystem::remove_all(repo_dir);
     return 1;
   }
   std::fprintf(stderr,
-               "equivalence: %zu responses byte-identical across paths\n",
-               page_bodies.size());
+               "equivalence: %lld responses byte-identical across paths\n",
+               static_cast<long long>(responses_compared));
 
-  // Pre-serialized request bytes, one per (site, page).
-  std::vector<std::string> request_bytes;
-  request_bytes.reserve(page_bodies.size());
-  for (size_t i = 0; i < page_bodies.size(); ++i) {
-    std::string request = "POST /extract?site=" + page_sites[i] +
-                          "&attribute=name HTTP/1.1\r\n"
-                          "Host: 127.0.0.1\r\n"
-                          "Content-Type: text/html\r\n"
-                          "Content-Length: " +
-                          std::to_string(page_bodies[i].size()) +
-                          "\r\n\r\n" + page_bodies[i];
-    request_bytes.push_back(std::move(request));
-  }
+  // Pre-serialized request bytes, one per (attribute, site, page).
+  auto build_requests = [&](const char* attribute) {
+    std::vector<std::string> requests;
+    requests.reserve(page_bodies.size());
+    for (size_t i = 0; i < page_bodies.size(); ++i) {
+      std::string request = "POST /extract?site=" + page_sites[i] +
+                            "&attribute=" + attribute +
+                            " HTTP/1.1\r\n"
+                            "Host: 127.0.0.1\r\n"
+                            "Content-Type: text/html\r\n"
+                            "Content-Length: " +
+                            std::to_string(page_bodies[i].size()) +
+                            "\r\n\r\n" + page_bodies[i];
+      requests.push_back(std::move(request));
+    }
+    return requests;
+  };
+  std::vector<std::string> xpath_requests = build_requests("name");
+  std::vector<std::string> lr_requests = build_requests("name_lr");
 
   int64_t total_requests = *requests_or;
   int connections = static_cast<int>(*connections_or);
@@ -548,11 +620,14 @@ int Run(int argc, char** argv) {
   obs::Registry::Global().SetShardCount(max_shards);
 
   // ----- in-process server for the main phases: --shards reactors, one
-  // fast + one interpreted service per shard (each with a shard-private
-  // buffer pool), the active path flipped between phases -----------------
-  std::atomic<bool> use_fast{true};
+  // streaming + one arena-DOM + one interpreted service per shard (each
+  // with a shard-private buffer pool), the active path flipped between
+  // phases ---------------------------------------------------------------
+  enum Mode : int { kStreaming = 0, kDom = 1, kInterpreted = 2 };
+  std::atomic<int> mode{kStreaming};
   struct ShardServices {
-    std::unique_ptr<serve::ExtractService> fast;
+    std::unique_ptr<serve::ExtractService> streaming;
+    std::unique_ptr<serve::ExtractService> dom;
     std::unique_ptr<serve::ExtractService> interpreted;
   };
   std::vector<ShardServices> shard_services(static_cast<size_t>(shards));
@@ -564,17 +639,27 @@ int Run(int argc, char** argv) {
       server_options,
       serve::HttpServer::HandlerFactory([&](int shard) {
         auto& slot = shard_services[static_cast<size_t>(shard)];
-        slot.fast = std::make_unique<serve::ExtractService>(
+        slot.streaming = std::make_unique<serve::ExtractService>(
             &repository, &ThreadPool::Global(),
-            serve::ExtractService::Options{true, shard});
+            serve::ExtractService::Options{true, shard, streaming_enabled});
+        slot.dom = std::make_unique<serve::ExtractService>(
+            &repository, &ThreadPool::Global(),
+            serve::ExtractService::Options{true, shard, false});
         slot.interpreted = std::make_unique<serve::ExtractService>(
             &repository, &ThreadPool::Global(),
             serve::ExtractService::Options{false, shard});
-        serve::ExtractService* f = slot.fast.get();
+        serve::ExtractService* s = slot.streaming.get();
+        serve::ExtractService* d = slot.dom.get();
         serve::ExtractService* i = slot.interpreted.get();
-        return [f, i, &use_fast](const serve::HttpRequest& request) {
-          return (use_fast.load(std::memory_order_acquire) ? f : i)
-              ->Handle(request);
+        return [s, d, i, &mode](const serve::HttpRequest& request) {
+          switch (mode.load(std::memory_order_acquire)) {
+            case kStreaming:
+              return s->Handle(request);
+            case kDom:
+              return d->Handle(request);
+            default:
+              return i->Handle(request);
+          }
         };
       }));
   Status bound = server.Bind();
@@ -595,47 +680,88 @@ int Run(int argc, char** argv) {
                client_threads, static_cast<long long>(pipeline), repetitions,
                shards, port);
 
-  // Interleave the phases across repetitions (fast, interpreted, fast, ...)
-  // so slow drift in the environment hits both phases alike; keep the best
-  // repetition of each, the same noise-rejection convention as ntw_bench.
-  std::vector<PhaseResult> fast_reps;
-  std::vector<PhaseResult> interp_reps;
+  // Interleave all five phases across repetitions so slow drift in the
+  // environment hits every phase alike; keep the best repetition of
+  // each, the same noise-rejection convention as ntw_bench.
+  struct PhaseSpec {
+    const char* name;
+    const char* plan_kind;
+    const char* path;
+    Mode phase_mode;
+    const std::vector<std::string>* requests;
+  };
+  const PhaseSpec specs[] = {
+      {"delimiter_streaming", "lr", streaming_enabled ? "streaming" : "dom",
+       kStreaming, &lr_requests},
+      {"delimiter_dom", "lr", "dom", kDom, &lr_requests},
+      {"delimiter_interpreted", "lr", "interpreted", kInterpreted,
+       &lr_requests},
+      {"xpath_fast", "xpath", "dom", kDom, &xpath_requests},
+      {"xpath_interpreted", "xpath", "interpreted", kInterpreted,
+       &xpath_requests},
+  };
+  constexpr size_t kPhaseCount = sizeof(specs) / sizeof(specs[0]);
+  std::vector<std::vector<PhaseResult>> phase_reps(kPhaseCount);
   for (int rep = 0; rep < repetitions; ++rep) {
-    use_fast.store(true, std::memory_order_release);
-    fast_reps.push_back(RunPhase("fast_path", port, request_bytes,
-                                 total_requests, connections, client_threads,
-                                 pipeline));
-    use_fast.store(false, std::memory_order_release);
-    interp_reps.push_back(RunPhase("interpreted", port, request_bytes,
-                                   total_requests, connections,
-                                   client_threads, pipeline));
+    for (size_t ph = 0; ph < kPhaseCount; ++ph) {
+      mode.store(specs[ph].phase_mode, std::memory_order_release);
+      PhaseResult r =
+          RunPhase(specs[ph].name, port, *specs[ph].requests,
+                   total_requests, connections, client_threads, pipeline);
+      r.plan_kind = specs[ph].plan_kind;
+      r.path = specs[ph].path;
+      phase_reps[ph].push_back(std::move(r));
+    }
   }
-  PhaseResult fast_result = BestOf(fast_reps);
-  PhaseResult interp_result = BestOf(interp_reps);
+  std::vector<PhaseResult> phase_results;
+  phase_results.reserve(kPhaseCount);
+  for (size_t ph = 0; ph < kPhaseCount; ++ph) {
+    phase_results.push_back(BestOf(phase_reps[ph]));
+  }
 
   server.RequestShutdown();
   server_thread.join();
 
-  for (const PhaseResult* r : {&fast_result, &interp_result}) {
+  int64_t phase_errors = 0;
+  for (const PhaseResult& r : phase_results) {
     std::fprintf(stderr,
-                 "  %-12s %9.1f req/s  p50=%lldus p95=%lldus p99=%lldus"
+                 "  %-22s %9.1f req/s  p50=%lldus p95=%lldus p99=%lldus"
                  "  errors=%lld\n",
-                 r->name.c_str(), r->requests_per_second,
-                 static_cast<long long>(r->latency_p50_micros),
-                 static_cast<long long>(r->latency_p95_micros),
-                 static_cast<long long>(r->latency_p99_micros),
-                 static_cast<long long>(r->errors));
+                 r.name.c_str(), r.requests_per_second,
+                 static_cast<long long>(r.latency_p50_micros),
+                 static_cast<long long>(r.latency_p95_micros),
+                 static_cast<long long>(r.latency_p99_micros),
+                 static_cast<long long>(r.errors));
+    phase_errors += r.errors;
   }
-  if (fast_result.errors > 0 || interp_result.errors > 0) {
+  if (phase_errors > 0) {
     std::fprintf(stderr, "ntw_loadgen: request errors during load\n");
     std::filesystem::remove_all(repo_dir);
     return 1;
   }
-  double speedup = interp_result.requests_per_second > 0.0
-                       ? fast_result.requests_per_second /
-                             interp_result.requests_per_second
-                       : 0.0;
-  std::fprintf(stderr, "  fast-path speedup: %.2fx\n", speedup);
+  auto rps_of = [&](const char* name) {
+    for (const PhaseResult& r : phase_results) {
+      if (r.name == name) return r.requests_per_second;
+    }
+    return 0.0;
+  };
+  auto ratio = [](double a, double b) { return b > 0.0 ? a / b : 0.0; };
+  // The headline number: streaming vs the arena-DOM fast path on the
+  // delimiter-only workload — what skipping the DOM entirely buys.
+  double streaming_vs_dom = ratio(rps_of("delimiter_streaming"),
+                                  rps_of("delimiter_dom"));
+  double streaming_vs_interp = ratio(rps_of("delimiter_streaming"),
+                                     rps_of("delimiter_interpreted"));
+  double dom_vs_interp = ratio(rps_of("delimiter_dom"),
+                               rps_of("delimiter_interpreted"));
+  double xpath_vs_interp =
+      ratio(rps_of("xpath_fast"), rps_of("xpath_interpreted"));
+  std::fprintf(stderr,
+               "  speedups: delimiter streaming/dom %.2fx,"
+               " streaming/interp %.2fx, dom/interp %.2fx;"
+               " xpath fast/interp %.2fx\n",
+               streaming_vs_dom, streaming_vs_interp, dom_vs_interp,
+               xpath_vs_interp);
 
   // ----- shard sweep: throughput-vs-shards curve + cross-shard bytes ----
   std::vector<SweepPoint> sweep;
@@ -652,10 +778,11 @@ int Run(int argc, char** argv) {
         sweep_options,
         serve::HttpServer::HandlerFactory([&](int shard) {
           auto& slot = sweep_services[static_cast<size_t>(shard)];
-          slot.fast = std::make_unique<serve::ExtractService>(
+          slot.streaming = std::make_unique<serve::ExtractService>(
               &repository, &ThreadPool::Global(),
-              serve::ExtractService::Options{true, shard});
-          serve::ExtractService* f = slot.fast.get();
+              serve::ExtractService::Options{true, shard,
+                                             streaming_enabled});
+          serve::ExtractService* f = slot.streaming.get();
           return [f](const serve::HttpRequest& request) {
             return f->Handle(request);
           };
@@ -675,35 +802,46 @@ int Run(int argc, char** argv) {
     int sweep_connections = std::max(connections, 2 * point_shards);
     int sweep_client_threads =
         std::min(sweep_connections, std::max(client_threads, point_shards));
+    // The sweep drives the delimiter_streaming workload — the new hot
+    // path whose shard scaling the curve is meant to track.
     std::vector<PhaseResult> point_reps;
     for (int rep = 0; rep < repetitions; ++rep) {
-      point_reps.push_back(RunPhase(
-          "sweep_" + std::to_string(point_shards), sweep_port, request_bytes,
+      PhaseResult r = RunPhase(
+          "sweep_" + std::to_string(point_shards), sweep_port, lr_requests,
           total_requests, sweep_connections, sweep_client_threads,
-          pipeline));
+          pipeline);
+      r.plan_kind = "lr";
+      r.path = streaming_enabled ? "streaming" : "dom";
+      point_reps.push_back(std::move(r));
     }
     point.phase = BestOf(point_reps);
 
     // Cross-shard byte-identity: replay every distinct request serially
-    // on a fresh connection and compare against the in-process baseline.
+    // on a fresh connection ("name" first, then "name_lr" — the
+    // expected_bodies order) and compare against the in-process baseline.
     {
       Client replay(sweep_port);
-      for (size_t i = 0; replay.ok() && i < request_bytes.size(); ++i) {
-        if (!replay.Send(request_bytes[i])) {
-          ++point.divergences;
-          break;
-        }
-        std::string response = replay.ReadResponse();
-        size_t body_start = response.find("\r\n\r\n");
-        std::string body = body_start == std::string::npos
-                               ? std::string()
-                               : response.substr(body_start + 4);
-        if (body != expected_bodies[i]) {
-          ++point.divergences;
-          if (point.divergences <= 3) {
-            std::fprintf(stderr,
-                         "SHARD DIVERGENCE shards=%d request=%zu\n",
-                         point_shards, i);
+      size_t expected_index = 0;
+      for (const std::vector<std::string>* requests :
+           {&xpath_requests, &lr_requests}) {
+        for (size_t i = 0; replay.ok() && i < requests->size();
+             ++i, ++expected_index) {
+          if (!replay.Send((*requests)[i])) {
+            ++point.divergences;
+            break;
+          }
+          std::string response = replay.ReadResponse();
+          size_t body_start = response.find("\r\n\r\n");
+          std::string body = body_start == std::string::npos
+                                 ? std::string()
+                                 : response.substr(body_start + 4);
+          if (body != expected_bodies[expected_index]) {
+            ++point.divergences;
+            if (point.divergences <= 3) {
+              std::fprintf(stderr,
+                           "SHARD DIVERGENCE shards=%d request=%zu\n",
+                           point_shards, expected_index);
+            }
           }
         }
       }
@@ -743,6 +881,17 @@ int Run(int argc, char** argv) {
   json.BeginObject();
   json.KV("sites", static_cast<int64_t>(dealers.sites.size()));
   json.KV("pages", static_cast<int64_t>(page_bodies.size()));
+  {
+    size_t total_bytes = 0;
+    for (const std::string& body : page_bodies) total_bytes += body.size();
+    json.KV("records_per_page",
+            *records_or > 0 ? *records_or : int64_t{0});
+    json.KV("page_bytes_total", static_cast<int64_t>(total_bytes));
+    json.KV("page_bytes_mean",
+            static_cast<int64_t>(page_bodies.empty()
+                                     ? 0
+                                     : total_bytes / page_bodies.size()));
+  }
   json.KV("requests_per_phase", total_requests);
   json.KV("connections", static_cast<int64_t>(connections));
   json.KV("client_threads", static_cast<int64_t>(client_threads));
@@ -750,18 +899,24 @@ int Run(int argc, char** argv) {
   json.KV("repetitions", static_cast<int64_t>(repetitions));
   json.KV("shards", static_cast<int64_t>(shards));
   json.KV("server_inline", true);
+  json.KV("streaming", streaming_enabled);
   json.KV("smoke", smoke);
   json.EndObject();
   WriteMachineInfo(json);
   json.Key("phases");
   json.BeginArray();
-  WritePhase(json, fast_result);
-  WritePhase(json, interp_result);
+  for (const PhaseResult& r : phase_results) WritePhase(json, r);
   json.EndArray();
-  json.KV("speedup", speedup);
+  json.Key("speedups");
+  json.BeginObject();
+  json.KV("delimiter_streaming_vs_dom", streaming_vs_dom);
+  json.KV("delimiter_streaming_vs_interpreted", streaming_vs_interp);
+  json.KV("delimiter_dom_vs_interpreted", dom_vs_interp);
+  json.KV("xpath_fast_vs_interpreted", xpath_vs_interp);
+  json.EndObject();
   json.Key("equivalence");
   json.BeginObject();
-  json.KV("responses_compared", static_cast<int64_t>(page_bodies.size()));
+  json.KV("responses_compared", responses_compared);
   json.KV("divergences", divergences);
   json.EndObject();
   json.Key("sweep");
@@ -770,6 +925,8 @@ int Run(int argc, char** argv) {
     json.BeginObject();
     json.KV("shards", static_cast<int64_t>(point.shards));
     json.KV("accept_relay", point.accept_relay);
+    json.KV("plan_kind", point.phase.plan_kind);
+    json.KV("path", point.phase.path);
     json.KV("requests_per_second", point.phase.requests_per_second);
     json.Key("requests_per_second_reps");
     json.BeginArray();

@@ -9,7 +9,7 @@
 //             [--read-timeout-ms N] [--write-timeout-ms N]
 //             [--drain-grace-ms N] [--reload-poll-ms N]
 //             [--metrics-json PATH] [--trace PATH]
-//             [--no-fast-path] [--quiet]
+//             [--no-fast-path] [--no-streaming] [--quiet]
 //
 // --shards N runs N reactor shards (independent event loops, one per
 // core by default — DESIGN.md §11); each shard handles its requests
@@ -54,7 +54,8 @@ constexpr char kUsage[] =
     "                 [--max-inflight N] [--read-timeout-ms N]\n"
     "                 [--write-timeout-ms N] [--drain-grace-ms N]\n"
     "                 [--reload-poll-ms N] [--metrics-json PATH]\n"
-    "                 [--trace PATH] [--no-fast-path] [--quiet]\n";
+    "                 [--trace PATH] [--no-fast-path] [--no-streaming]\n"
+    "                 [--quiet]\n";
 
 serve::HttpServer* g_server = nullptr;
 
@@ -78,7 +79,8 @@ int Run(int argc, char** argv) {
       {"wrapper-dir", "host", "port", "port-file", "shards", "threads",
        "max-body-bytes", "max-inflight", "read-timeout-ms",
        "write-timeout-ms", "drain-grace-ms", "reload-poll-ms",
-       "metrics-json", "trace", "no-fast-path", "quiet", "help"});
+       "metrics-json", "trace", "no-fast-path", "no-streaming", "quiet",
+       "help"});
   if (!unknown.empty() || flags.Has("help")) {
     for (const std::string& name : unknown) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
@@ -159,8 +161,11 @@ int Run(int argc, char** argv) {
   }
 
   // --no-fast-path keeps the interpreted Wrapper::Extract path alive for
-  // A/B benchmarking and as the byte-identity cross-check baseline.
+  // A/B benchmarking and as the byte-identity cross-check baseline;
+  // --no-streaming pins dom_free plans to the arena fast path instead of
+  // the streaming no-DOM path (DESIGN.md §12).
   bool fast_path = !flags.Has("no-fast-path");
+  bool streaming = !flags.Has("no-streaming");
   // One ExtractService per shard: a shard-private FastBufferPool and
   // per-shard metric stripes; the repository is shared (epoch-pinned
   // reads). The factory runs once per shard inside Bind().
@@ -168,9 +173,10 @@ int Run(int argc, char** argv) {
   serve::HttpServer server(
       options,
       serve::HttpServer::HandlerFactory(
-          [&repository, &services, fast_path](int shard) {
+          [&repository, &services, fast_path, streaming](int shard) {
             serve::ExtractService::Options service_options;
             service_options.fast_path = fast_path;
+            service_options.streaming = streaming;
             service_options.shard = shard;
             services.push_back(std::make_unique<serve::ExtractService>(
                 &repository, &ThreadPool::Global(), service_options));

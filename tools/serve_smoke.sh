@@ -5,25 +5,33 @@
 # final metrics flushed). check.sh and CI run this after the unit suite —
 # it is the only place the installed binary, the signal handlers and the
 # port-file handshake are exercised end to end.
-# Usage: tools/serve_smoke.sh <build-dir> [shards]
+# Usage: tools/serve_smoke.sh <build-dir> [shards] [extra daemon flags...]
+# e.g. tools/serve_smoke.sh build 2 --no-streaming
 set -u
 
-BUILD="${1:?usage: tools/serve_smoke.sh <build-dir> [shards]}"
+BUILD="${1:?usage: tools/serve_smoke.sh <build-dir> [shards] [flags...]}"
 SHARDS="${2:-1}"
 SERVE="$BUILD/tools/ntw_serve"
 [ -x "$SERVE" ] || { echo "serve_smoke: $SERVE not built" >&2; exit 1; }
+# Remaining arguments are passed to the daemon verbatim (path toggles
+# like --no-streaming / --no-fast-path, exercised by check.sh and CI).
+[ "$#" -ge 2 ] && shift 2 || shift "$#"
 
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/ntw_serve_smoke.XXXXXX")"
 PID=""
 trap '[ -n "$PID" ] && kill "$PID" 2>/dev/null; rm -rf "$WORK"' EXIT
 
-# A one-wrapper repository: example.com/name extracts <li> text.
+# A two-wrapper repository: example.com/name extracts <li> text via
+# XPATH (arena fast path); example.com/name_lr is the equivalent LR
+# delimiter plan, which dom_free-routes through the streaming path by
+# default.
 mkdir -p "$WORK/repo/example.com"
 printf 'XPATH\t//li/text()\n' > "$WORK/repo/example.com/name.wrapper"
+printf 'LR\t<li>\t</li>\n' > "$WORK/repo/example.com/name_lr.wrapper"
 
 "$SERVE" --wrapper-dir "$WORK/repo" --port 0 --port-file "$WORK/port" \
     --shards "$SHARDS" \
-    --metrics-json "$WORK/metrics.json" --quiet 2> "$WORK/stderr.log" &
+    --metrics-json "$WORK/metrics.json" --quiet "$@" 2> "$WORK/stderr.log" &
 PID=$!
 
 # Wait for the port-file handshake (the daemon writes it after bind).
@@ -61,6 +69,16 @@ case "$EXTRACT" in
   *) fail "unexpected extract response: $EXTRACT" ;;
 esac
 
+# /extract with the LR delimiter plan (streaming no-DOM path unless the
+# daemon was started with --no-streaming): same values, same bytes.
+EXTRACT_LR="$(printf '%s' "$BODY" | curl -sS --max-time 5 --data-binary @- \
+    "$BASE/extract?site=example.com&attribute=name_lr")" \
+    || fail "lr extract request failed"
+case "$EXTRACT_LR" in
+  *'"values":["alpha","beta"]'*) ;;
+  *) fail "unexpected lr extract response: $EXTRACT_LR" ;;
+esac
+
 # /extract_batch
 BATCH="$(printf '{"id":"p1","html":"<ul><li>one</li></ul>"}\n{"id":"p2","html":"<ul><li>two</li></ul>"}\n' \
     | curl -sS --max-time 5 --data-binary @- \
@@ -72,16 +90,17 @@ case "$BATCH" in
 esac
 
 # /metrics must be the canonical ntw-metrics document and account for
-# every request issued, including itself: healthz + extract + batch +
-# this one = 4 (the counter is bumped when a request is dispatched).
+# every request issued, including itself: healthz + extract + lr extract
+# + batch + this one = 5 (the counter is bumped when a request is
+# dispatched).
 METRICS="$(curl -sS --max-time 5 "$BASE/metrics")" || fail "metrics request failed"
 case "$METRICS" in
   *'"schema":"ntw-metrics"'*) ;;
   *) fail "metrics response is not an ntw-metrics document" ;;
 esac
 case "$METRICS" in
-  *'"ntw.serve.requests":4'*) ;;
-  *) fail "request counter does not account for the 4 requests: $METRICS" ;;
+  *'"ntw.serve.requests":5'*) ;;
+  *) fail "request counter does not account for the 5 requests: $METRICS" ;;
 esac
 
 # Hot reload on SIGHUP: a new wrapper becomes servable without restart.
