@@ -194,7 +194,7 @@ class Registry {
   void ResetValues();
 
   /// Serializes all instruments, sorted by name:
-  ///   {"schema":"ntw-metrics","schema_version":2,"shard_count":N,
+  ///   {"schema":"ntw-metrics","schema_version":3,"shard_count":N,
   ///    "counters":{...},"gauges":{...},
   ///    "histograms":{name:{count,sum,min,max,buckets:[[lower,count]..]}},
   ///    "shards":{"counters":{name:[v0..]},

@@ -1,0 +1,419 @@
+#include "serve/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace ntw::serve {
+
+namespace {
+
+/// Global drift instruments. Per-page observation costs no global counter
+/// add — per-state totals live in the stripes; only rare transitions
+/// (evaluations, triggers, cooldowns) are exported.
+struct DriftMetrics {
+  obs::Counter* evaluations;
+  obs::Counter* events;
+  obs::Counter* suppressed_hysteresis;
+  obs::Counter* pages_retained;
+  obs::Counter* samples_taken;
+  obs::Counter* cooldowns;
+
+  static DriftMetrics& Get() {
+    static DriftMetrics m{
+        obs::Registry::Global().GetCounter("ntw.serve.drift_evaluations"),
+        obs::Registry::Global().GetCounter("ntw.serve.drift_events"),
+        obs::Registry::Global().GetCounter(
+            "ntw.serve.drift_suppressed_hysteresis"),
+        obs::Registry::Global().GetCounter("ntw.serve.drift_pages_retained"),
+        obs::Registry::Global().GetCounter("ntw.serve.drift_samples_taken"),
+        obs::Registry::Global().GetCounter("ntw.serve.drift_cooldowns"),
+    };
+    return m;
+  }
+};
+
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+DriftState::DriftState(std::string site, std::string attribute,
+                       std::string record, const DriftConfig& config)
+    : site_(std::move(site)),
+      attribute_(std::move(attribute)),
+      record_(std::move(record)),
+      config_(config) {}
+
+const char* DriftState::PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kWarmup:
+      return "warmup";
+    case Phase::kSteady:
+      return "steady";
+    case Phase::kCollecting:
+      return "collecting";
+    case Phase::kQueued:
+      return "queued";
+    case Phase::kCooldown:
+      return "cooldown";
+  }
+  return "unknown";
+}
+
+bool DriftState::FilterTest(uint64_t hash) const {
+  size_t b1 = hash & (kFilterWords * 64 - 1);
+  size_t b2 = (hash >> 32) & (kFilterWords * 64 - 1);
+  return (filter_[b1 >> 6] >> (b1 & 63)) & 1 &&
+         (filter_[b2 >> 6] >> (b2 & 63)) & 1;
+}
+
+void DriftState::FilterInsert(uint64_t hash) {
+  size_t b1 = hash & (kFilterWords * 64 - 1);
+  size_t b2 = (hash >> 32) & (kFilterWords * 64 - 1);
+  filter_[b1 >> 6] |= uint64_t{1} << (b1 & 63);
+  filter_[b2 >> 6] |= uint64_t{1} << (b2 & 63);
+}
+
+DriftState::Action DriftState::Observe(int shard,
+                                       const std::string_view* values,
+                                       size_t count,
+                                       const std::string& page_html) {
+  for (;;) {
+    switch (phase()) {
+      case Phase::kWarmup: {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Warmup may have finished while we waited for the lock.
+        if (static_cast<Phase>(phase_.load(std::memory_order_relaxed)) !=
+            Phase::kWarmup) {
+          continue;
+        }
+        ObserveWarmupLocked(values, count);
+        return Action::kNone;
+      }
+      case Phase::kSteady:
+        return ObserveSteady(shard, values, count);
+      case Phase::kCollecting: {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (static_cast<Phase>(phase_.load(std::memory_order_relaxed)) !=
+            Phase::kCollecting) {
+          continue;
+        }
+        // Bounded ring: copying the body is fine here — collection only
+        // runs on the (rare) drifted path, never in steady state.
+        bool fits =
+            retained_bytes_ + page_html.size() <= config_.retain_bytes;
+        if (retained_.empty() || fits) {
+          retained_.push_back(page_html);
+          retained_bytes_ += page_html.size();
+          DriftMetrics::Get().pages_retained->Add(1);
+        }
+        // Full on the page cap, or as soon as the byte cap blocks another
+        // page — with ≥1 page retained, waiting longer can never help.
+        bool full =
+            retained_.size() >= static_cast<size_t>(std::max(
+                                    1, config_.retain_pages)) ||
+            !fits;
+        if (full) {
+          phase_.store(static_cast<int>(Phase::kQueued),
+                       std::memory_order_release);
+          return Action::kReinduce;
+        }
+        return Action::kNone;
+      }
+      case Phase::kQueued:
+        return Action::kNone;
+      case Phase::kCooldown: {
+        // Exactly one observer sees the 1→0 transition and re-arms.
+        if (cooldown_left_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          Totals totals = MergeStripes();
+          last_pages_.store(totals.pages, std::memory_order_relaxed);
+          last_empty_.store(totals.empty_pages, std::memory_order_relaxed);
+          last_values_.store(totals.values, std::memory_order_relaxed);
+          last_value_bytes_.store(totals.value_bytes,
+                                  std::memory_order_relaxed);
+          last_known_.store(totals.known_values, std::memory_order_relaxed);
+          empty_streak_.store(0, std::memory_order_relaxed);
+          hysteresis_.store(0, std::memory_order_relaxed);
+          tick_.store(0, std::memory_order_relaxed);
+          phase_.store(static_cast<int>(Phase::kSteady),
+                       std::memory_order_release);
+        }
+        return Action::kNone;
+      }
+    }
+  }
+}
+
+void DriftState::ObserveWarmupLocked(const std::string_view* values,
+                                     size_t count) {
+  ++warmup_seen_;
+  int filter_half = std::max(1, config_.warmup_pages / 2);
+  bool building_filter = warmup_seen_ <= filter_half;
+  if (count == 0) {
+    ++warm_empty_;
+  } else {
+    warm_values_ += static_cast<int64_t>(count);
+    for (size_t i = 0; i < count; ++i) {
+      warm_value_bytes_ += static_cast<int64_t>(values[i].size());
+      uint64_t hash = Fnv1a(values[i]);
+      if (building_filter) {
+        FilterInsert(hash);
+        if (dictionary_.size() < config_.dictionary_values &&
+            dictionary_bytes_ + values[i].size() <=
+                config_.dictionary_bytes) {
+          bool seen = false;
+          for (const std::string& entry : dictionary_) {
+            if (entry == values[i]) {
+              seen = true;
+              break;
+            }
+          }
+          if (!seen) {
+            dictionary_.emplace_back(values[i]);
+            dictionary_bytes_ += values[i].size();
+          }
+        }
+      } else {
+        // Second half: measure how often a healthy extraction repeats a
+        // first-half value — the baseline the likelihood signal is
+        // judged against.
+        ++warm_probe_values_;
+        if (FilterTest(hash)) ++warm_probe_known_;
+      }
+    }
+  }
+  if (warmup_seen_ >= std::max(1, config_.warmup_pages)) {
+    FinishWarmupLocked();
+  }
+}
+
+void DriftState::FinishWarmupLocked() {
+  baseline_.pages = warmup_seen_;
+  baseline_.empty_ratio =
+      static_cast<double>(warm_empty_) / static_cast<double>(warmup_seen_);
+  int64_t nonempty = warmup_seen_ - warm_empty_;
+  baseline_.mean_values_per_page =
+      nonempty > 0
+          ? static_cast<double>(warm_values_) / static_cast<double>(nonempty)
+          : 0.0;
+  baseline_.mean_value_length =
+      warm_values_ > 0 ? static_cast<double>(warm_value_bytes_) /
+                             static_cast<double>(warm_values_)
+                       : 0.0;
+  baseline_.known_ratio =
+      warm_probe_values_ > 0 ? static_cast<double>(warm_probe_known_) /
+                                   static_cast<double>(warm_probe_values_)
+                             : 0.0;
+  baseline_.armed_empty = baseline_.empty_ratio <= config_.empty_arm_ratio;
+  baseline_.armed_likelihood =
+      baseline_.known_ratio >= config_.likelihood_arm_floor;
+  // The release store publishes the baseline and filter to steady readers.
+  phase_.store(static_cast<int>(Phase::kSteady), std::memory_order_release);
+}
+
+DriftState::Action DriftState::ObserveSteady(int shard,
+                                             const std::string_view* values,
+                                             size_t count) {
+  Stripe& stripe = stripes_[static_cast<size_t>(shard) & (kStripes - 1)];
+  stripe.pages.fetch_add(1, std::memory_order_relaxed);
+  if (count == 0) {
+    stripe.empty_pages.fetch_add(1, std::memory_order_relaxed);
+    empty_streak_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    empty_streak_.store(0, std::memory_order_relaxed);
+    int64_t bytes = 0;
+    int64_t known = 0;
+    for (size_t i = 0; i < count; ++i) {
+      bytes += static_cast<int64_t>(values[i].size());
+      if (FilterTest(Fnv1a(values[i]))) ++known;
+    }
+    stripe.values.fetch_add(static_cast<int64_t>(count),
+                            std::memory_order_relaxed);
+    stripe.value_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    stripe.known_values.fetch_add(known, std::memory_order_relaxed);
+  }
+  int tick = tick_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (tick >= config_.evaluate_every &&
+      !evaluating_.exchange(true, std::memory_order_acquire)) {
+    tick_.store(0, std::memory_order_relaxed);
+    Evaluate();
+    evaluating_.store(false, std::memory_order_release);
+  }
+  return Action::kNone;
+}
+
+DriftState::Totals DriftState::MergeStripes() const {
+  Totals totals;
+  for (const Stripe& stripe : stripes_) {
+    totals.pages += stripe.pages.load(std::memory_order_relaxed);
+    totals.empty_pages += stripe.empty_pages.load(std::memory_order_relaxed);
+    totals.values += stripe.values.load(std::memory_order_relaxed);
+    totals.value_bytes += stripe.value_bytes.load(std::memory_order_relaxed);
+    totals.known_values +=
+        stripe.known_values.load(std::memory_order_relaxed);
+  }
+  return totals;
+}
+
+void DriftState::Evaluate() {
+  Totals totals = MergeStripes();
+  int64_t window_pages =
+      totals.pages - last_pages_.load(std::memory_order_relaxed);
+  if (window_pages < config_.evaluate_every) return;  // Tick raced a reset.
+  int64_t window_empty =
+      totals.empty_pages - last_empty_.load(std::memory_order_relaxed);
+  int64_t window_values =
+      totals.values - last_values_.load(std::memory_order_relaxed);
+  int64_t window_bytes =
+      totals.value_bytes - last_value_bytes_.load(std::memory_order_relaxed);
+  int64_t window_known =
+      totals.known_values - last_known_.load(std::memory_order_relaxed);
+  int64_t window_nonempty = window_pages - window_empty;
+
+  const char* signal = nullptr;
+  if (baseline_.armed_empty &&
+      empty_streak_.load(std::memory_order_relaxed) >=
+          config_.empty_streak_limit) {
+    signal = "empty_streak";
+  }
+  if (signal == nullptr && window_values >= config_.min_window_values) {
+    if (baseline_.armed_likelihood) {
+      double known_ratio = static_cast<double>(window_known) /
+                           static_cast<double>(window_values);
+      if (known_ratio <
+          config_.likelihood_collapse * baseline_.known_ratio) {
+        signal = "likelihood_collapse";
+      }
+    }
+    if (signal == nullptr && window_nonempty > 0 &&
+        baseline_.mean_values_per_page > 0.0) {
+      double per_page = static_cast<double>(window_values) /
+                        static_cast<double>(window_nonempty);
+      if (per_page <
+          baseline_.mean_values_per_page * config_.schema_collapse) {
+        signal = "schema_collapse";
+      } else if (per_page >
+                 baseline_.mean_values_per_page * config_.schema_explosion) {
+        signal = "schema_explosion";
+      }
+    }
+    if (signal == nullptr && baseline_.mean_value_length > 0.0) {
+      double mean_length = static_cast<double>(window_bytes) /
+                           static_cast<double>(window_values);
+      if (std::abs(mean_length - baseline_.mean_value_length) >
+          config_.length_shift * baseline_.mean_value_length) {
+        signal = "alignment_shift";
+      }
+    }
+  }
+
+  last_pages_.store(totals.pages, std::memory_order_relaxed);
+  last_empty_.store(totals.empty_pages, std::memory_order_relaxed);
+  last_values_.store(totals.values, std::memory_order_relaxed);
+  last_value_bytes_.store(totals.value_bytes, std::memory_order_relaxed);
+  last_known_.store(totals.known_values, std::memory_order_relaxed);
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  DriftMetrics::Get().evaluations->Add(1);
+
+  if (signal == nullptr) {
+    hysteresis_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  int consecutive = hysteresis_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (consecutive < config_.hysteresis) {
+    DriftMetrics::Get().suppressed_hysteresis->Add(1);
+    return;
+  }
+  hysteresis_.store(0, std::memory_order_relaxed);
+  Trigger(signal);
+}
+
+void DriftState::Trigger(const char* signal) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retained_.clear();
+    retained_bytes_ = 0;
+  }
+  last_signal_.store(signal, std::memory_order_relaxed);
+  events_.fetch_add(1, std::memory_order_relaxed);
+  DriftMetrics::Get().events->Add(1);
+  phase_.store(static_cast<int>(Phase::kCollecting),
+               std::memory_order_release);
+}
+
+DriftState::Sample DriftState::TakeSample() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Sample sample;
+  sample.pages = std::move(retained_);
+  retained_.clear();
+  retained_bytes_ = 0;
+  sample.dictionary = dictionary_;
+  DriftMetrics::Get().samples_taken->Add(1);
+  return sample;
+}
+
+void DriftState::EnterCooldown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retained_.clear();
+    retained_bytes_ = 0;
+  }
+  cooldown_left_.store(std::max(1, config_.cooldown_pages),
+                       std::memory_order_relaxed);
+  DriftMetrics::Get().cooldowns->Add(1);
+  phase_.store(static_cast<int>(Phase::kCooldown),
+               std::memory_order_release);
+}
+
+void DriftState::WriteJson(obs::JsonWriter& json) const {
+  Phase current = phase();
+  Totals totals = MergeStripes();
+  json.BeginObject();
+  json.KV("site", site_);
+  json.KV("attribute", attribute_);
+  json.KV("phase", PhaseName(current));
+  json.KV("wrapper", record_);
+  json.KV("pages", totals.pages);
+  json.KV("empty_pages", totals.empty_pages);
+  json.KV("values", totals.values);
+  json.KV("known_values", totals.known_values);
+  json.KV("empty_streak", empty_streak_.load(std::memory_order_relaxed));
+  json.KV("evaluations", evaluations_.load(std::memory_order_relaxed));
+  json.KV("drift_events", events_.load(std::memory_order_relaxed));
+  const char* signal = last_signal_.load(std::memory_order_relaxed);
+  json.KV("last_signal", signal == nullptr ? "" : signal);
+  json.Key("baseline");
+  json.BeginObject();
+  if (current == Phase::kWarmup) {
+    // Baseline not frozen yet; report progress only (the fields are
+    // written under mu_ until the release store to kSteady).
+    std::lock_guard<std::mutex> lock(mu_);
+    json.KV("warmup_seen", static_cast<int64_t>(warmup_seen_));
+    json.KV("warmup_pages", static_cast<int64_t>(config_.warmup_pages));
+  } else {
+    json.KV("pages", static_cast<int64_t>(baseline_.pages));
+    json.KV("empty_ratio", baseline_.empty_ratio);
+    json.KV("mean_values_per_page", baseline_.mean_values_per_page);
+    json.KV("mean_value_length", baseline_.mean_value_length);
+    json.KV("known_ratio", baseline_.known_ratio);
+    json.KV("armed_empty", baseline_.armed_empty);
+    json.KV("armed_likelihood", baseline_.armed_likelihood);
+  }
+  json.EndObject();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    json.KV("retained_pages", static_cast<int64_t>(retained_.size()));
+    json.KV("dictionary_size", static_cast<int64_t>(dictionary_.size()));
+  }
+  json.EndObject();
+}
+
+}  // namespace ntw::serve

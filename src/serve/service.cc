@@ -125,6 +125,8 @@ void ExtractService::ExtractToJson(const WrapperRepository::Entry& entry,
     metrics.pages_extracted->Add(shard, 1);
     metrics.values_extracted->Add(shard,
                                   static_cast<int64_t>(lease->values.size()));
+    ObserveDrift(entry, page_html, lease->values.data(),
+                 lease->values.size());
     metrics.streaming_pages->Add(shard, 1);
     switch (lease->page.tier()) {
       case html::StreamPage::Tier::kVerbatim:
@@ -150,6 +152,8 @@ void ExtractService::ExtractToJson(const WrapperRepository::Entry& entry,
     metrics.pages_extracted->Add(shard, 1);
     metrics.values_extracted->Add(shard,
                                   static_cast<int64_t>(lease->values.size()));
+    ObserveDrift(entry, page_html, lease->values.data(),
+                 lease->values.size());
     const Arena& arena = lease->doc.arena();
     metrics.arena_bytes_reused->Add(
         shard, static_cast<int64_t>(arena.used() - arena.fresh_bytes()));
@@ -164,6 +168,51 @@ void ExtractService::ExtractToJson(const WrapperRepository::Entry& entry,
   json.EndArray();
   metrics.pages_extracted->Add(shard, 1);
   metrics.values_extracted->Add(shard, static_cast<int64_t>(values.size()));
+  // The interpreted path already allocates per request; a small view
+  // vector for the detector is in character.
+  std::vector<std::string_view> views(values.begin(), values.end());
+  ObserveDrift(entry, page_html, views.data(), views.size());
+}
+
+void ExtractService::ObserveDrift(const WrapperRepository::Entry& entry,
+                                  const std::string& page_html,
+                                  const std::string_view* values,
+                                  size_t count) const {
+  DriftState* state = entry.drift.get();
+  if (state == nullptr || !options_.self_heal || reinducer_ == nullptr) {
+    return;
+  }
+  DriftState::Action action =
+      state->Observe(options_.shard, values, count, page_html);
+  if (action != DriftState::Action::kReinduce) return;
+  DriftState::Sample sample = state->TakeSample();
+  ReinduceTask task;
+  task.site = state->site();
+  task.attribute = state->attribute();
+  task.incumbent_record = state->record();
+  task.pages = std::move(sample.pages);
+  task.dictionary = std::move(sample.dictionary);
+  task.state = entry.drift;
+  if (!reinducer_->Enqueue(std::move(task))) state->EnterCooldown();
+}
+
+HttpResponse ExtractService::Driftz() const {
+  WrapperRepository::PinnedSnapshot snapshot = repository_->Pin();
+  obs::JsonWriter json;
+  BeginSchemaDocument(json, "ntw-serve-drift", 1);
+  json.KV("repository_version", static_cast<int64_t>(snapshot->version));
+  json.KV("self_heal", options_.self_heal && reinducer_ != nullptr);
+  json.Key("states");
+  json.BeginArray();
+  for (const auto& [key, entry] : snapshot->wrappers) {
+    if (entry.drift != nullptr) entry.drift->WriteJson(json);
+  }
+  json.EndArray();
+  json.EndObject();
+  HttpResponse response;
+  response.body = json.Take();
+  response.body.push_back('\n');
+  return response;
 }
 
 HttpResponse ExtractService::Handle(const HttpRequest& request) const {
@@ -179,6 +228,10 @@ HttpResponse ExtractService::Handle(const HttpRequest& request) const {
     HttpResponse response;
     response.body = MetricsJson();
     return response;
+  }
+  if (request.path == "/driftz") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    return Driftz();
   }
   if (request.path == "/extract") {
     if (request.method != "POST") return ErrorResponse(405, "use POST");

@@ -1,10 +1,13 @@
 #ifndef NTW_SERVE_SERVICE_H_
 #define NTW_SERVE_SERVICE_H_
 
+#include <string_view>
+
 #include "common/thread_pool.h"
 #include "core/compiled_wrapper.h"
 #include "obs/json.h"
 #include "serve/http.h"
+#include "serve/reinduce.h"
 #include "serve/wrapper_repository.h"
 
 namespace ntw::serve {
@@ -52,6 +55,11 @@ struct ExtractServiceOptions {
   /// consulted when fast_path is on. (Declared after `shard` so existing
   /// `Options{true, n}` brace-initializers keep their meaning.)
   bool streaming = true;
+  /// Feed per-entry drift detectors after every extraction and enqueue
+  /// re-induction repairs (DESIGN.md §13). Only effective when the
+  /// service was constructed with a ReinduceWorker and the repository has
+  /// a drift config installed. (Declared last — see `streaming`.)
+  bool self_heal = true;
 };
 
 class ExtractService {
@@ -59,21 +67,32 @@ class ExtractService {
   using Options = ExtractServiceOptions;
 
   ExtractService(const WrapperRepository* repository, ThreadPool* pool,
-                 Options options = {})
-      : repository_(repository), pool_(pool), options_(options) {}
+                 Options options = {}, ReinduceWorker* reinducer = nullptr)
+      : repository_(repository),
+        pool_(pool),
+        options_(options),
+        reinducer_(reinducer) {}
 
   HttpResponse Handle(const HttpRequest& request) const;
 
  private:
   HttpResponse Extract(const HttpRequest& request) const;
   HttpResponse ExtractBatch(const HttpRequest& request) const;
+  HttpResponse Driftz() const;
   void ExtractToJson(const WrapperRepository::Entry& entry,
                      const std::string& page_html,
                      obs::JsonWriter& json) const;
+  /// Scores one extraction against the entry's drift detector and hands
+  /// a full retention ring to the re-induction worker. No-op (one null
+  /// check) when self-healing is off.
+  void ObserveDrift(const WrapperRepository::Entry& entry,
+                    const std::string& page_html,
+                    const std::string_view* values, size_t count) const;
 
   const WrapperRepository* repository_;
   ThreadPool* pool_;
   Options options_;
+  ReinduceWorker* reinducer_ = nullptr;
   // Reusable per-request fast-path buffers (arena DOM + scratch); the pool
   // is internally synchronized, so Handle() stays const and thread-safe.
   // One pool per service instance — per shard in the sharded daemon.

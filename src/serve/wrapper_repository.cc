@@ -20,6 +20,7 @@ struct RepoMetrics {
   obs::Counter* load_errors;
   obs::Counter* snapshots_retired;
   obs::Counter* snapshots_freed;
+  obs::Counter* publishes;
   obs::Gauge* wrappers;
   obs::Gauge* version;
   /// Time from a snapshot's retirement (new one published) to its actual
@@ -33,6 +34,7 @@ struct RepoMetrics {
         obs::Registry::Global().GetCounter("ntw.repo.load_errors"),
         obs::Registry::Global().GetCounter("ntw.repo.snapshots_retired"),
         obs::Registry::Global().GetCounter("ntw.repo.snapshots_freed"),
+        obs::Registry::Global().GetCounter("ntw.repo.publishes"),
         obs::Registry::Global().GetGauge("ntw.repo.wrappers"),
         obs::Registry::Global().GetGauge("ntw.repo.version"),
         obs::Registry::Global().GetHistogram(
@@ -56,6 +58,24 @@ void HashInt(uint64_t value, uint64_t* hash) {
   for (int i = 0; i < 8; ++i) {
     *hash ^= (value >> (i * 8)) & 0xFF;
     *hash *= 1099511628211ULL;
+  }
+}
+
+/// Every /extract response member before "values" is fixed per entry
+/// within a snapshot; serialize once through the same JsonWriter calls
+/// the service used to make per request — stripping the enclosing braces
+/// leaves exactly the member bytes to splice.
+void BuildResponsePrefixes(WrapperRepository::Snapshot* next) {
+  for (auto& [key, entry] : next->wrappers) {
+    obs::JsonWriter json;
+    BeginSchemaDocument(json, "ntw-serve-extract", 1);
+    json.KV("site", key.first);
+    json.KV("attribute", key.second);
+    json.KV("wrapper", entry.record);
+    json.KV("repository_version", static_cast<int64_t>(next->version));
+    json.EndObject();
+    std::string document = json.Take();
+    entry.response_prefix = document.substr(1, document.size() - 2);
   }
 }
 
@@ -120,7 +140,8 @@ Status WrapperRepository::Load() {
              (trimmed.back() == '\n' || trimmed.back() == '\r')) {
         trimmed.remove_suffix(1);
       }
-      Entry entry{std::move(*wrapper), std::string(trimmed), nullptr, {}};
+      Entry entry{std::move(*wrapper), std::string(trimmed), nullptr, {},
+                  nullptr};
       // Compile once per load; every request then executes the plan.
       entry.compiled = core::CompiledWrapper::Compile(*entry.wrapper);
       next->wrappers[{site, attribute}] = std::move(entry);
@@ -129,38 +150,72 @@ Status WrapperRepository::Load() {
   RepoMetrics& metrics = RepoMetrics::Get();
   metrics.reloads->Add(1);
   metrics.load_errors->Add(static_cast<int64_t>(next->errors.size()));
-  metrics.wrappers->Set(static_cast<int64_t>(next->wrappers.size()));
   std::shared_ptr<const Snapshot> old;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    next->version = snapshot_->version + 1;
-    // The version is now known, so every /extract response member before
-    // "values" is fixed per entry. Serialize once through the same
-    // JsonWriter calls the service used to make per request — stripping
-    // the enclosing braces leaves exactly the member bytes to splice.
-    for (auto& [key, entry] : next->wrappers) {
-      obs::JsonWriter json;
-      BeginSchemaDocument(json, "ntw-serve-extract", 1);
-      json.KV("site", key.first);
-      json.KV("attribute", key.second);
-      json.KV("wrapper", entry.record);
-      json.KV("repository_version", static_cast<int64_t>(next->version));
-      json.EndObject();
-      std::string document = json.Take();
-      entry.response_prefix = document.substr(1, document.size() - 2);
-    }
-    metrics.version->Set(static_cast<int64_t>(next->version));
-    old = std::move(snapshot_);
-    snapshot_ = std::move(next);
-    // The publish: from here every Pin() sees the new snapshot. Readers
-    // mid-request keep the old one alive through their epoch pin.
-    current_.store(snapshot_.get(), std::memory_order_seq_cst);
-    loaded_fingerprint_ = fingerprint;
+    SwapSnapshotLocked(std::move(next), fingerprint, &old);
   }
+  RetireSnapshot(std::move(old));
+  return Status::OK();
+}
+
+void WrapperRepository::SetDriftConfig(const DriftConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  drift_config_ = config;
+  drift_enabled_ = config.enabled;
+  if (!drift_enabled_) drift_states_.clear();
+}
+
+void WrapperRepository::AttachDriftStatesLocked(Snapshot* next) {
+  if (!drift_enabled_) return;
+  for (auto& [key, entry] : next->wrappers) {
+    auto it = drift_states_.find(key);
+    if (it != drift_states_.end() && it->second->record() == entry.record) {
+      // Unchanged wrapper: carry the detector (and its baseline) over so
+      // a routine reload does not restart warmup.
+      entry.drift = it->second;
+    } else {
+      entry.drift = std::make_shared<DriftState>(key.first, key.second,
+                                                 entry.record, drift_config_);
+      drift_states_[key] = entry.drift;
+    }
+  }
+  // Prune detectors whose (site, attribute) vanished from disk.
+  for (auto it = drift_states_.begin(); it != drift_states_.end();) {
+    if (next->wrappers.find(it->first) == next->wrappers.end()) {
+      it = drift_states_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void WrapperRepository::SwapSnapshotLocked(
+    std::shared_ptr<Snapshot> next, uint64_t fingerprint,
+    std::shared_ptr<const Snapshot>* old) {
+  RepoMetrics& metrics = RepoMetrics::Get();
+  next->version = snapshot_->version + 1;
+  AttachDriftStatesLocked(next.get());
+  // The version is now known, so the constant response members can be
+  // serialized per entry.
+  BuildResponsePrefixes(next.get());
+  metrics.wrappers->Set(static_cast<int64_t>(next->wrappers.size()));
+  metrics.version->Set(static_cast<int64_t>(next->version));
+  *old = std::move(snapshot_);
+  snapshot_ = std::move(next);
+  // The publish: from here every Pin() sees the new snapshot. Readers
+  // mid-request keep the old one alive through their epoch pin.
+  current_.store(snapshot_.get(), std::memory_order_seq_cst);
+  loaded_fingerprint_ = fingerprint;
+}
+
+void WrapperRepository::RetireSnapshot(
+    std::shared_ptr<const Snapshot> old) const {
   // Retire the replaced snapshot: stamped with the pre-advance epoch, it
   // is freed (the shared_ptr released) once every reader pinned before
   // the publish has unpinned — the per-shard quiescence point. The free
   // runs from whichever thread's ReclaimRetired() observes quiescence.
+  RepoMetrics& metrics = RepoMetrics::Get();
   metrics.snapshots_retired->Add(1);
   auto retired_at = std::chrono::steady_clock::now();
   epochs_.Retire([old = std::move(old), retired_at]() mutable {
@@ -176,6 +231,55 @@ Status WrapperRepository::Load() {
   // seconds, reloads are seconds apart) — try once, non-blocking; if a
   // reader is still pinned the next ReclaimRetired() picks it up.
   epochs_.TryReclaim();
+}
+
+Status WrapperRepository::PublishWrapper(const std::string& site,
+                                         const std::string& attribute,
+                                         const core::WrapperPtr& wrapper) {
+  if (wrapper == nullptr) {
+    return Status::InvalidArgument("PublishWrapper: null wrapper");
+  }
+  NTW_ASSIGN_OR_RETURN(std::string record, core::SerializeWrapper(*wrapper));
+  // Persist before publishing: a repair must survive a restart, and the
+  // write-temp + rename keeps a concurrent Load() (or a crash) from ever
+  // seeing a torn wrapper file. The dot prefix keeps the temp name out of
+  // the ListFiles(".wrapper") scan until the rename.
+  std::string dir = root_ + "/" + site;
+  NTW_RETURN_IF_ERROR(MakeDirs(dir));
+  std::string path = dir + "/" + attribute + kSuffix;
+  std::string temp = dir + "/." + attribute + kSuffix + ".tmp";
+  NTW_RETURN_IF_ERROR(WriteFile(temp, record + "\n"));
+  std::error_code ec;
+  fs::rename(temp, path, ec);
+  if (ec) {
+    return Status::Internal("PublishWrapper: rename " + temp + ": " +
+                            ec.message());
+  }
+  // Recorded so the poll loop does not immediately re-Load what we just
+  // wrote. A racing external publish can make this momentarily stale; the
+  // next PollForChanges() then simply triggers a converging reload.
+  uint64_t fingerprint = DiskFingerprint();
+
+  Entry entry;
+  entry.wrapper = wrapper;
+  entry.record = record;
+  entry.compiled = core::CompiledWrapper::Compile(*wrapper);
+
+  std::shared_ptr<const Snapshot> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto next = std::make_shared<Snapshot>(*snapshot_);
+    next->wrappers[{site, attribute}] = std::move(entry);
+    if (drift_enabled_) {
+      // Force a re-baseline: drop the drifted detector so
+      // AttachDriftStatesLocked creates a fresh one for the repaired
+      // wrapper (its healthy signal profile is different).
+      drift_states_.erase({site, attribute});
+    }
+    SwapSnapshotLocked(std::move(next), fingerprint, &old);
+  }
+  RepoMetrics::Get().publishes->Add(1);
+  RetireSnapshot(std::move(old));
   return Status::OK();
 }
 

@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "core/compiled_wrapper.h"
 #include "core/wrapper.h"
+#include "serve/drift.h"
 
 namespace ntw::serve {
 
@@ -56,6 +57,10 @@ class WrapperRepository {
     /// response with JsonWriter::RawMembers instead of re-serialized per
     /// request.
     std::string response_prefix;
+    /// Per-(site, attribute) drift detector (DESIGN.md §13). Shared with
+    /// the repository's drift registry so it survives snapshot swaps
+    /// while the record is unchanged; null when self-healing is off.
+    std::shared_ptr<DriftState> drift;
   };
 
   struct Snapshot {
@@ -104,6 +109,23 @@ class WrapperRepository {
   /// all in-flight readers have moved past it.
   Status Load();
 
+  /// Enables drift detection: every entry of subsequent snapshots gets a
+  /// DriftState, carried across reloads while its serialized record is
+  /// unchanged and re-baselined when the wrapper (or config) changes.
+  /// Call before the first Load(); off by default.
+  void SetDriftConfig(const DriftConfig& config);
+
+  /// Hot-publishes one repaired wrapper (the re-induction worker's exit
+  /// path): persists it atomically to `<root>/<site>/<attribute>.wrapper`
+  /// (write-temp + rename, so restarts keep the repair and a racing
+  /// Load() never reads a torn file), then publishes a new snapshot with
+  /// the entry swapped in — same epoch retirement discipline as Load(),
+  /// so in-flight readers keep extracting with the incumbent until their
+  /// pins release. The pair's DriftState is replaced with a fresh one
+  /// baselined on the repaired wrapper.
+  Status PublishWrapper(const std::string& site, const std::string& attribute,
+                        const core::WrapperPtr& wrapper);
+
   /// Wait-free read-side access for the request path.
   PinnedSnapshot Pin() const { return PinnedSnapshot(&epochs_, current_); }
 
@@ -126,6 +148,12 @@ class WrapperRepository {
 
  private:
   uint64_t DiskFingerprint() const;
+  void AttachDriftStatesLocked(Snapshot* next);
+  /// Swaps `next` in as the published snapshot (under mu_) and hands the
+  /// replaced one to the caller for retirement.
+  void SwapSnapshotLocked(std::shared_ptr<Snapshot> next, uint64_t fingerprint,
+                          std::shared_ptr<const Snapshot>* old);
+  void RetireSnapshot(std::shared_ptr<const Snapshot> old) const;
 
   std::string root_;
   mutable std::mutex mu_;
@@ -137,6 +165,12 @@ class WrapperRepository {
   std::atomic<const Snapshot*> current_{nullptr};
   mutable EpochDomain epochs_;
   uint64_t loaded_fingerprint_ = 0;
+  /// Drift registry (under mu_): the durable home of per-pair detector
+  /// states, re-attached to every new snapshot's entries.
+  bool drift_enabled_ = false;
+  DriftConfig drift_config_;
+  std::map<std::pair<std::string, std::string>, std::shared_ptr<DriftState>>
+      drift_states_;
 };
 
 }  // namespace ntw::serve

@@ -1,0 +1,197 @@
+#include "sitegen/mutate.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace ntw::sitegen {
+
+namespace {
+
+std::string ClassRename(const std::string& html, const Mutation& mutation) {
+  static constexpr char kNeedle[] = "class=\"";
+  std::string out;
+  out.reserve(html.size() + 64);
+  size_t pos = 0;
+  for (;;) {
+    size_t hit = html.find(kNeedle, pos);
+    if (hit == std::string::npos) break;
+    size_t value_start = hit + sizeof(kNeedle) - 1;
+    size_t value_end = html.find('"', value_start);
+    if (value_end == std::string::npos) break;
+    out.append(html, pos, value_end - pos);
+    out.append(mutation.class_suffix);
+    pos = value_end;
+  }
+  out.append(html, pos, html.size() - pos);
+  return out;
+}
+
+std::string WrapperDivInsertion(const std::string& html,
+                                const Mutation& mutation) {
+  size_t body_open = html.find("<body");
+  if (body_open == std::string::npos) return html;
+  size_t open_end = html.find('>', body_open);
+  if (open_end == std::string::npos) return html;
+  size_t body_close = html.rfind("</body>");
+  if (body_close == std::string::npos || body_close <= open_end) return html;
+  std::string out;
+  out.reserve(html.size() + 64);
+  out.append(html, 0, open_end + 1);
+  out.append("<div class=\"" + mutation.shell_class + "\">");
+  out.append(html, open_end + 1, body_close - (open_end + 1));
+  out.append("</div>");
+  out.append(html, body_close, html.size() - body_close);
+  return out;
+}
+
+std::string DelimiterTextChange(const std::string& html,
+                                const Mutation& mutation) {
+  std::string out;
+  out.reserve(html.size() + 64);
+  size_t pos = 0;
+  while (pos < html.size()) {
+    size_t lt = html.find('<', pos);
+    if (lt == std::string::npos) break;
+    out.append(html, pos, lt - pos);
+    pos = lt;
+    size_t name_start = lt + 1;
+    bool closer = name_start < html.size() && html[name_start] == '/';
+    if (closer) ++name_start;
+    size_t name_end = name_start;
+    while (name_end < html.size() &&
+           (std::isalnum(static_cast<unsigned char>(html[name_end])) != 0)) {
+      ++name_end;
+    }
+    std::string name = html.substr(name_start, name_end - name_start);
+    // Only rename at a tag boundary (next char ends the name) so `<b>` is
+    // rewritten but `<br>` is untouched.
+    if (name == mutation.from_tag) {
+      out.push_back('<');
+      if (closer) out.push_back('/');
+      out.append(mutation.to_tag);
+      pos = name_end;
+    } else {
+      out.push_back('<');
+      pos = lt + 1;
+    }
+  }
+  out.append(html, pos, html.size() - pos);
+  return out;
+}
+
+/// Splits the inside of a start tag into "name" + attribute chunks
+/// (quote-aware) and reverses the attributes.
+std::string AttributeReorder(const std::string& html) {
+  std::string out;
+  out.reserve(html.size());
+  size_t pos = 0;
+  while (pos < html.size()) {
+    size_t lt = html.find('<', pos);
+    if (lt == std::string::npos) break;
+    out.append(html, pos, lt - pos);
+    if (lt + 1 < html.size() &&
+        (html[lt + 1] == '/' || html[lt + 1] == '!')) {
+      out.push_back('<');
+      pos = lt + 1;
+      continue;
+    }
+    // Find the tag end, skipping quoted attribute values.
+    size_t cursor = lt + 1;
+    bool in_quote = false;
+    while (cursor < html.size() &&
+           (in_quote || html[cursor] != '>')) {
+      if (html[cursor] == '"') in_quote = !in_quote;
+      ++cursor;
+    }
+    if (cursor >= html.size()) break;
+    std::string inside = html.substr(lt + 1, cursor - (lt + 1));
+    // Tokenize: name, then space-separated attrs (quote-aware).
+    std::vector<std::string> parts;
+    size_t i = 0;
+    while (i < inside.size()) {
+      while (i < inside.size() &&
+             std::isspace(static_cast<unsigned char>(inside[i])) != 0) {
+        ++i;
+      }
+      if (i >= inside.size()) break;
+      size_t start = i;
+      bool quoted = false;
+      while (i < inside.size() &&
+             (quoted ||
+              std::isspace(static_cast<unsigned char>(inside[i])) == 0)) {
+        if (inside[i] == '"') quoted = !quoted;
+        ++i;
+      }
+      parts.push_back(inside.substr(start, i - start));
+    }
+    out.push_back('<');
+    if (parts.size() >= 3) {
+      out.append(parts[0]);
+      for (size_t j = parts.size(); j > 1; --j) {
+        out.push_back(' ');
+        out.append(parts[j - 1]);
+      }
+    } else {
+      out.append(inside);
+    }
+    out.push_back('>');
+    pos = cursor + 1;
+  }
+  out.append(html, pos, html.size() - pos);
+  return out;
+}
+
+std::string WhitespaceChurn(const std::string& html,
+                            const Mutation& mutation) {
+  // Pad inside the first sufficiently long text run: after its first
+  // word, insert 1-3 extra spaces. No nodes are added or removed and the
+  // document shape is untouched — churn a healthy detector must absorb.
+  size_t pos = 0;
+  while (pos < html.size()) {
+    size_t gt = html.find('>', pos);
+    if (gt == std::string::npos) break;
+    size_t text_start = gt + 1;
+    size_t lt = html.find('<', text_start);
+    if (lt == std::string::npos) break;
+    if (lt - text_start >= mutation.min_text_length) {
+      size_t space = html.find(' ', text_start);
+      if (space != std::string::npos && space < lt) {
+        std::string padding(1 + mutation.seed % 3, ' ');
+        std::string out = html;
+        out.insert(space, padding);
+        return out;
+      }
+    }
+    pos = lt;
+  }
+  return html;
+}
+
+}  // namespace
+
+std::string MutatePage(const std::string& html, const Mutation& mutation) {
+  switch (mutation.kind) {
+    case MutationKind::kClassRename:
+      return ClassRename(html, mutation);
+    case MutationKind::kWrapperDivInsertion:
+      return WrapperDivInsertion(html, mutation);
+    case MutationKind::kDelimiterTextChange:
+      return DelimiterTextChange(html, mutation);
+    case MutationKind::kAttributeReorder:
+      return AttributeReorder(html);
+    case MutationKind::kWhitespaceChurn:
+      return WhitespaceChurn(html, mutation);
+  }
+  return html;
+}
+
+std::string MutatePage(const std::string& html,
+                       const std::vector<Mutation>& mutations) {
+  std::string out = html;
+  for (const Mutation& mutation : mutations) {
+    out = MutatePage(out, mutation);
+  }
+  return out;
+}
+
+}  // namespace ntw::sitegen

@@ -1,0 +1,64 @@
+#ifndef NTW_SITEGEN_MUTATE_H_
+#define NTW_SITEGEN_MUTATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ntw::sitegen {
+
+/// String-level template mutators for fault injection: each models one
+/// flavor of site redesign the self-healing pipeline must detect and
+/// recover from (tests/self_heal_test.cc, the wellbehaved drift corpus).
+/// They operate on serialized HTML so a mutated page is exactly what a
+/// redesigned origin would serve — no DOM round-trip laundering.
+///
+/// The transforms assume generated-page discipline (attribute values and
+/// text content do not contain '<', '>' or the literal `class="` string);
+/// they are test infrastructure, not a general HTML rewriter.
+enum class MutationKind {
+  /// Appends a suffix to every `class="..."` value — the CSS-refactor
+  /// redesign that breaks attribute-predicate XPath wrappers.
+  kClassRename,
+  /// Wraps the body content in one extra `<div>` — the layout-shell
+  /// redesign that shifts depths, absolute paths and pre-order indices.
+  kWrapperDivInsertion,
+  /// Renames a delimiter tag (e.g. <b> → <strong>) — the markup redesign
+  /// that breaks byte-delimiter (LR/HLRT) wrappers.
+  kDelimiterTextChange,
+  /// Reverses the attribute order inside every start tag — byte-level
+  /// churn that leaves the DOM identical (benign for tree wrappers, a
+  /// redesign for delimiter wrappers whose contexts span attributes).
+  kAttributeReorder,
+  /// Benign churn: pads whitespace inside the first long text run (in
+  /// generated pages, the varying page title) — no new nodes, no shape
+  /// change; a correct detector must stay silent.
+  kWhitespaceChurn,
+};
+
+struct Mutation {
+  MutationKind kind;
+  /// kDelimiterTextChange: the tag to rename and its replacement.
+  std::string from_tag = "b";
+  std::string to_tag = "strong";
+  /// kClassRename: appended to every class attribute value.
+  std::string class_suffix = "-v2";
+  /// kWrapperDivInsertion: class of the inserted shell div.
+  std::string shell_class = "shell";
+  /// kWhitespaceChurn: deterministic padding amount selector.
+  uint64_t seed = 1;
+  /// kWhitespaceChurn: only text runs at least this long are padded.
+  size_t min_text_length = 8;
+};
+
+/// Applies one mutation; the input is returned unchanged when the
+/// mutation finds nothing to rewrite.
+std::string MutatePage(const std::string& html, const Mutation& mutation);
+
+/// Applies mutations left to right.
+std::string MutatePage(const std::string& html,
+                       const std::vector<Mutation>& mutations);
+
+}  // namespace ntw::sitegen
+
+#endif  // NTW_SITEGEN_MUTATE_H_

@@ -7,6 +7,7 @@
 #include "html/serializer.h"
 #include "sitegen/chrome.h"
 #include "sitegen/list_template.h"
+#include "sitegen/mutate.h"
 #include "sitegen/page_builder.h"
 #include "sitegen/site.h"
 #include "sitegen/vocab.h"
@@ -253,6 +254,85 @@ TEST(ChromeTest, RandomChromeVaries) {
     header_classes.insert(ChromeTemplate::Random(&rng, "t").header_class);
   }
   EXPECT_GT(header_classes.size(), 3u);
+}
+
+// ------------------------------------------------------- Fault injection.
+
+constexpr char kMutantPage[] =
+    "<html><head><title>Listing page 7</title></head>"
+    "<body><h1>Dealers</h1>"
+    "<div class=\"list\">"
+    "<div class=\"rec\"><b>Acme Motors</b><br><span>12 Elm</span></div>"
+    "<div class=\"rec\"><b>Bay Auto</b><br><span>9 Oak</span></div>"
+    "</div>"
+    "<a href=\"/next\" class=\"nav\">next</a>"
+    "</body></html>";
+
+TEST(MutateTest, ClassRenameSuffixesEveryClassValue) {
+  Mutation mutation{MutationKind::kClassRename};
+  std::string mutated = MutatePage(kMutantPage, mutation);
+  EXPECT_NE(mutated.find("class=\"list-v2\""), std::string::npos);
+  EXPECT_NE(mutated.find("class=\"rec-v2\""), std::string::npos);
+  EXPECT_NE(mutated.find("class=\"nav-v2\""), std::string::npos);
+  EXPECT_EQ(mutated.find("class=\"rec\""), std::string::npos);
+  // Text content is untouched.
+  EXPECT_NE(mutated.find("<b>Acme Motors</b>"), std::string::npos);
+}
+
+TEST(MutateTest, WrapperDivInsertionAddsOneShellAroundBodyContent) {
+  Mutation mutation{MutationKind::kWrapperDivInsertion};
+  std::string mutated = MutatePage(kMutantPage, mutation);
+  EXPECT_NE(mutated.find("<body><div class=\"shell\"><h1>"),
+            std::string::npos)
+      << mutated;
+  EXPECT_NE(mutated.find("</a></div></body>"), std::string::npos) << mutated;
+}
+
+TEST(MutateTest, DelimiterTextChangeRenamesExactTagOnly) {
+  Mutation mutation{MutationKind::kDelimiterTextChange};
+  std::string mutated = MutatePage(kMutantPage, mutation);
+  EXPECT_NE(mutated.find("<strong>Acme Motors</strong>"), std::string::npos)
+      << mutated;
+  EXPECT_EQ(mutated.find("<b>"), std::string::npos);
+  // <br> shares the prefix but is not at a tag boundary — untouched.
+  EXPECT_NE(mutated.find("<br>"), std::string::npos);
+}
+
+TEST(MutateTest, AttributeReorderKeepsDomShape) {
+  constexpr char kMultiAttr[] =
+      "<html><body>"
+      "<div id=\"main\" class=\"list\" data-x=\"1\">"
+      "<a href=\"/d\" class=\"go\">Acme Motors</a></div>"
+      "</body></html>";
+  Mutation mutation{MutationKind::kAttributeReorder};
+  std::string mutated = MutatePage(kMultiAttr, mutation);
+  EXPECT_NE(mutated, kMultiAttr);
+  EXPECT_NE(mutated.find("<div data-x=\"1\" class=\"list\" id=\"main\">"),
+            std::string::npos)
+      << mutated;
+  EXPECT_NE(mutated.find("<a class=\"go\" href=\"/d\">"), std::string::npos);
+  // Byte-level churn only: parsing and reserializing both shows the same
+  // text content in the same structure.
+  EXPECT_NE(mutated.find("Acme Motors"), std::string::npos);
+}
+
+TEST(MutateTest, WhitespaceChurnPadsTextWithoutNewNodes) {
+  Mutation mutation{MutationKind::kWhitespaceChurn};
+  mutation.seed = 2;
+  std::string mutated = MutatePage(kMutantPage, mutation);
+  EXPECT_NE(mutated, kMutantPage);
+  // Padding lands inside the first long text run (the varying title), so
+  // the tag structure is byte-identical outside it.
+  EXPECT_NE(mutated.find("Listing    page 7"), std::string::npos) << mutated;
+  EXPECT_EQ(mutated.size(), sizeof(kMutantPage) - 1 + 3);
+}
+
+TEST(MutateTest, MutationsComposeLeftToRight) {
+  std::string mutated =
+      MutatePage(kMutantPage, {Mutation{MutationKind::kClassRename},
+                               Mutation{MutationKind::kDelimiterTextChange}});
+  EXPECT_NE(mutated.find("class=\"rec-v2\""), std::string::npos);
+  EXPECT_NE(mutated.find("<strong>Bay Auto</strong>"), std::string::npos);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/hlrt_inductor.h"
@@ -15,6 +17,8 @@
 #include "core/xpath_inductor.h"
 #include "datasets/dealers.h"
 #include "gtest/gtest.h"
+#include "serve/drift.h"
+#include "sitegen/mutate.h"
 #include "test_util.h"
 
 namespace ntw::core {
@@ -302,6 +306,263 @@ INSTANTIATE_TEST_SUITE_P(
         RandomSuiteCase{"XPATH", std::make_shared<XPathInductor>(),
                         LabelPool::kAllText, true}),
     [](const ::testing::TestParamInfo<RandomSuiteCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------
+// Randomized drift corpus (DESIGN.md §13): for every wrapper kind, a
+// detector baselined on a healthy generated site must fire on true
+// template drift (the sitegen mutators) and stay silent — a pinned
+// false-positive rate of exactly zero — on benign churn (whitespace
+// padding, record-count variation). The detector itself is unit-tested
+// in tests/drift_test.cc; this suite pins its behavior against real
+// wrappers on real (generated) pages, seed by seed.
+// ---------------------------------------------------------------------
+
+struct DriftCorpusCase {
+  std::string name;
+  /// Learns the site's wrapper from truth labels on the training pages.
+  WrapperPtr (*learn)(const PageSet& pages, const NodeSet& labels);
+  /// The template redesign this wrapper kind is vulnerable to.
+  std::vector<sitegen::Mutation> drift;
+  /// Whether learning uses one page (TABLE's page-qualified row ids) or
+  /// all three training pages.
+  bool single_page_training;
+};
+
+class DriftCorpusTest : public ::testing::TestWithParam<DriftCorpusCase> {
+ protected:
+  static constexpr int kSeeds = 5;
+
+  /// Fixed name/address pools; the per-seed Rng draws which names appear
+  /// on each page and how many records it carries.
+  static const std::vector<std::string>& Names() {
+    static const std::vector<std::string> names = {
+        "Acme Motors", "Bay Auto",   "Cape Cars",
+        "Delta Vans",  "Echo Wheels", "Fox Trucks"};
+    return names;
+  }
+
+  /// One listing page: varying title (whitespace churn pads inside it),
+  /// one <tr class="rec"> per record, the name in <b> inside the first
+  /// cell. The single template serves every wrapper kind: TABLE reads the
+  /// cells, LR/HLRT the <b> delimiters, XPATH the class-filtered path.
+  static std::string RenderPage(int page, const std::vector<int>& records) {
+    std::string html =
+        "<html><head><title>Listing page " + std::to_string(page) +
+        "</title></head><body><h1>Dealers</h1>"
+        "<table class=\"results\">";
+    for (int record : records) {
+      html += "<tr class=\"rec\"><td><b>" + Names()[record % 6] +
+              "</b></td><td>Suite " + std::to_string(100 + record) +
+              "</td></tr>";
+    }
+    html += "</table><p class=\"footer\">End of results</p></body></html>";
+    return html;
+  }
+
+  /// Record draw for one page: 2-5 records, names rotated by the seed so
+  /// every name enters the warmup dictionary across the warmup pages.
+  static std::vector<int> DrawRecords(Rng* rng, bool fixed_first) {
+    int count = static_cast<int>(rng->NextInRange(2, 5));
+    std::vector<int> records;
+    int start = static_cast<int>(rng->NextBounded(6));
+    for (int i = 0; i < count; ++i) records.push_back(start + i);
+    if (fixed_first) records[0] = 0;
+    return records;
+  }
+
+  /// Extracts with the learned wrapper and scores the page's values into
+  /// the detector, exactly as the serving path does.
+  static serve::DriftState::Action FeedPage(serve::DriftState& state,
+                                            const Wrapper& wrapper,
+                                            const std::string& html) {
+    PageSet pages;
+    pages.AddPage(testing::MustParse(html));
+    NodeSet extraction = wrapper.Extract(pages);
+    std::vector<std::string> texts;
+    for (size_t i = 0; i < extraction.size(); ++i) {
+      texts.push_back(testing::TextOf(pages, extraction[i]));
+    }
+    std::vector<std::string_view> views(texts.begin(), texts.end());
+    return state.Observe(0, views.data(), views.size(), html);
+  }
+
+  static serve::DriftConfig CorpusConfig() {
+    serve::DriftConfig config;
+    config.warmup_pages = 8;
+    config.evaluate_every = 4;
+    config.empty_streak_limit = 4;
+    config.hysteresis = 1;
+    config.retain_pages = 2;
+    return config;
+  }
+
+  /// Learns the case's wrapper for one seeded site and returns it with a
+  /// freshly warmed-up detector.
+  struct Site {
+    WrapperPtr wrapper;
+    std::unique_ptr<serve::DriftState> state;
+    Rng rng;
+
+    explicit Site(uint64_t seed) : rng(seed) {}
+  };
+
+  Site MakeSite(uint64_t seed) {
+    Site site(seed);
+    // Training pages: the first record is pinned so single-page training
+    // (TABLE) sees a stable first row.
+    std::vector<std::string> bodies;
+    for (int page = 0; page < 3; ++page) {
+      bodies.push_back(RenderPage(page, DrawRecords(&site.rng, true)));
+    }
+    PageSet pages;
+    size_t training_pages = GetParam().single_page_training ? 1 : 3;
+    for (size_t i = 0; i < training_pages; ++i) {
+      pages.AddPage(testing::MustParse(bodies[i]));
+    }
+    NodeSet labels = TrainingLabels(pages);
+    site.wrapper = GetParam().learn(pages, labels);
+    EXPECT_NE(site.wrapper, nullptr);
+    EXPECT_FALSE(site.wrapper->Extract(pages).empty()) << GetParam().name;
+
+    site.state = std::make_unique<serve::DriftState>(
+        "corpus.example", "name", GetParam().name, CorpusConfig());
+    // Deterministic warmup coverage: the filter half sees the full name
+    // pool, so the probe half's repeat rate (and the baseline known
+    // ratio) never depends on the seed's draws.
+    for (int i = 0; i < CorpusConfig().warmup_pages; ++i) {
+      FeedPage(*site.state, *site.wrapper,
+               RenderPage(100 + i,
+                          i % 2 == 0 ? std::vector<int>{0, 1, 2}
+                                     : std::vector<int>{0, 4, 5, 3}));
+    }
+    EXPECT_EQ(site.state->phase(), serve::DriftState::Phase::kSteady);
+    return site;
+  }
+
+  /// Truth labels for training: TABLE labels the first row's cells (its
+  /// wrapper space is rows/columns); the others label every name node.
+  NodeSet TrainingLabels(const PageSet& pages) {
+    std::vector<NodeRef> refs;
+    if (GetParam().single_page_training) {
+      NodeSet cells = TableInductor::CellTextNodes(pages);
+      for (size_t i = 0; i < cells.size(); ++i) {
+        auto cell = TableInductor::CellOf(pages, cells[i]);
+        if (cell.has_value() && cells[i].page == 0) refs.push_back(cells[i]);
+      }
+      // First row only: the two cells with the smallest row id.
+      NodeSet all(std::move(refs));
+      std::vector<NodeRef> first_row;
+      auto first = TableInductor::CellOf(pages, all[0]);
+      for (size_t i = 0; i < all.size(); ++i) {
+        auto cell = TableInductor::CellOf(pages, all[i]);
+        if (cell->row == first->row) first_row.push_back(all[i]);
+      }
+      return NodeSet(std::move(first_row));
+    }
+    for (const std::string& name : Names()) {
+      for (const NodeRef& ref : testing::FindText(pages, name)) {
+        refs.push_back(ref);
+      }
+    }
+    return NodeSet(std::move(refs));
+  }
+};
+
+// Benign churn — whitespace padding inside the title and natural record-
+// count variation — must never fire: FP rate pinned at exactly zero.
+TEST_P(DriftCorpusTest, SilentOnBenignChurn) {
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    Site site = MakeSite(seed);
+    for (int i = 0; i < 24; ++i) {
+      sitegen::Mutation churn{sitegen::MutationKind::kWhitespaceChurn};
+      churn.seed = seed + static_cast<uint64_t>(i);
+      std::string page = sitegen::MutatePage(
+          RenderPage(200 + i, DrawRecords(&site.rng, true)), churn);
+      FeedPage(*site.state, *site.wrapper, page);
+    }
+    EXPECT_EQ(site.state->phase(), serve::DriftState::Phase::kSteady)
+        << GetParam().name << " seed " << seed;
+    EXPECT_EQ(site.state->drift_events(), 0)
+        << GetParam().name << " seed " << seed;
+    EXPECT_GT(site.state->evaluations(), 0);
+  }
+}
+
+// True drift — the kind-appropriate template redesign — must fire within
+// a bounded number of pages.
+TEST_P(DriftCorpusTest, FiresOnTemplateDrift) {
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    Site site = MakeSite(seed);
+    // Sanity: the mutation really breaks this wrapper kind (the healthy
+    // extraction is non-empty, the mutated one loses it).
+    {
+      std::string original = RenderPage(300, DrawRecords(&site.rng, true));
+      std::string mutated = sitegen::MutatePage(original, GetParam().drift);
+      PageSet pages;
+      pages.AddPage(testing::MustParse(mutated));
+      EXPECT_TRUE(site.wrapper->Extract(pages).empty())
+          << GetParam().name << " seed " << seed;
+    }
+    int fired_after = -1;
+    for (int i = 0; i < 40; ++i) {
+      std::string page = sitegen::MutatePage(
+          RenderPage(301 + i, DrawRecords(&site.rng, true)),
+          GetParam().drift);
+      FeedPage(*site.state, *site.wrapper, page);
+      if (site.state->drift_events() > 0) {
+        fired_after = i + 1;
+        break;
+      }
+    }
+    EXPECT_GE(fired_after, 1)
+        << GetParam().name << " seed " << seed << " never fired";
+    EXPECT_NE(site.state->phase(), serve::DriftState::Phase::kSteady)
+        << GetParam().name << " seed " << seed;
+  }
+}
+
+WrapperPtr LearnTable(const PageSet& pages, const NodeSet& labels) {
+  return TableInductor().Induce(pages, labels).wrapper;
+}
+WrapperPtr LearnLr(const PageSet& pages, const NodeSet& labels) {
+  return LrInductor().Induce(pages, labels).wrapper;
+}
+WrapperPtr LearnHlrt(const PageSet& pages, const NodeSet& labels) {
+  return HlrtInductor().Induce(pages, labels).wrapper;
+}
+WrapperPtr LearnXpath(const PageSet& pages, const NodeSet& labels) {
+  return XPathInductor().Induce(pages, labels).wrapper;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DriftCorpusTest,
+    ::testing::Values(
+        // A row wrapper's page-qualified pre-order row ids shift when the
+        // layout grows a shell div.
+        DriftCorpusCase{"TABLE",
+                        &LearnTable,
+                        {{sitegen::MutationKind::kWrapperDivInsertion}},
+                        true},
+        // Byte delimiters break when the markup tag around the value is
+        // renamed.
+        DriftCorpusCase{"LR",
+                        &LearnLr,
+                        {{sitegen::MutationKind::kDelimiterTextChange}},
+                        false},
+        DriftCorpusCase{"HLRT",
+                        &LearnHlrt,
+                        {{sitegen::MutationKind::kDelimiterTextChange}},
+                        false},
+        // The learned path filters on the training classes; a CSS
+        // refactor renames them all.
+        DriftCorpusCase{"XPATH",
+                        &LearnXpath,
+                        {{sitegen::MutationKind::kClassRename},
+                         {sitegen::MutationKind::kWrapperDivInsertion}},
+                        false}),
+    [](const ::testing::TestParamInfo<DriftCorpusCase>& info) {
       return info.param.name;
     });
 

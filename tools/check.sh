@@ -53,6 +53,19 @@ NTW_NO_SIMD=1 sh "$ROOT/tools/serve_smoke.sh" "$ROOT/build" 2 || {
   FAILED=1
 }
 
+echo "==> ntw_serve smoke (self-heal)"
+sh "$ROOT/tools/serve_smoke.sh" "$ROOT/build" --self-heal || {
+  echo "check.sh: ntw_serve self-heal smoke run FAILED" >&2
+  FAILED=1
+}
+
+echo "==> scan bench smoke"
+"$ROOT/build/bench/bench_tokenizer_scan" --smoke \
+    --out "$ROOT/build/BENCH_scan.json" || {
+  echo "check.sh: bench_tokenizer_scan smoke run FAILED" >&2
+  FAILED=1
+}
+
 echo "==> ntw_loadgen smoke (equivalence gates + shard sweep)"
 "$ROOT/build/tools/ntw_loadgen" --smoke --shards 2 --sweep 1,2 \
     --out "$ROOT/build/BENCH_serve.json" || {

@@ -10,11 +10,23 @@
 //             [--drain-grace-ms N] [--reload-poll-ms N]
 //             [--metrics-json PATH] [--trace PATH]
 //             [--no-fast-path] [--no-streaming] [--quiet]
+//             [--no-self-heal] [--drift-warmup N] [--drift-window N]
+//             [--drift-empty-streak N] [--drift-hysteresis N]
+//             [--drift-cooldown N] [--drift-retain K]
+//             [--reinduce-threads N] [--reinduce-queue N]
 //
 // --shards N runs N reactor shards (independent event loops, one per
 // core by default — DESIGN.md §11); each shard handles its requests
 // inline with a shard-private buffer pool. --threads then only sizes the
 // pool /extract_batch fans out over.
+//
+// Self-healing (DESIGN.md §13) is on by default: every /extract feeds a
+// per-(site, attribute) drift detector; a drifted pair is re-induced on
+// retained request bodies by a background worker and the repaired
+// wrapper is hot-published (and persisted) when it outscores the
+// incumbent. --no-self-heal disables detection and the worker entirely;
+// the --drift-*/--reinduce-* flags tune thresholds. GET /driftz dumps
+// detector state.
 //
 // Endpoints (see DESIGN.md §8):
 //   POST /extract?site=S&attribute=A        body = one HTML page
@@ -39,6 +51,7 @@
 #include "common/flags.h"
 #include "common/obs_export.h"
 #include "common/thread_pool.h"
+#include "serve/reinduce.h"
 #include "serve/server.h"
 #include "serve/service.h"
 #include "serve/wrapper_repository.h"
@@ -55,7 +68,11 @@ constexpr char kUsage[] =
     "                 [--write-timeout-ms N] [--drain-grace-ms N]\n"
     "                 [--reload-poll-ms N] [--metrics-json PATH]\n"
     "                 [--trace PATH] [--no-fast-path] [--no-streaming]\n"
-    "                 [--quiet]\n";
+    "                 [--quiet] [--no-self-heal] [--drift-warmup N]\n"
+    "                 [--drift-window N] [--drift-empty-streak N]\n"
+    "                 [--drift-hysteresis N] [--drift-cooldown N]\n"
+    "                 [--drift-retain K] [--reinduce-threads N]\n"
+    "                 [--reinduce-queue N]\n";
 
 serve::HttpServer* g_server = nullptr;
 
@@ -80,7 +97,9 @@ int Run(int argc, char** argv) {
        "max-body-bytes", "max-inflight", "read-timeout-ms",
        "write-timeout-ms", "drain-grace-ms", "reload-poll-ms",
        "metrics-json", "trace", "no-fast-path", "no-streaming", "quiet",
-       "help"});
+       "no-self-heal", "drift-warmup", "drift-window", "drift-empty-streak",
+       "drift-hysteresis", "drift-cooldown", "drift-retain",
+       "reinduce-threads", "reinduce-queue", "help"});
   if (!unknown.empty() || flags.Has("help")) {
     for (const std::string& name : unknown) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
@@ -144,7 +163,45 @@ int Run(int argc, char** argv) {
   options.pool = options.shards > 1 ? nullptr : &ThreadPool::Global();
   obs::Registry::Global().SetShardCount(options.shards);
 
+  serve::DriftConfig drift;
+  drift.enabled = !flags.Has("no-self-heal");
+  serve::ReinduceOptions reinduce_options;
+  {
+    Result<int64_t> warmup = flags.GetInt("drift-warmup", drift.warmup_pages);
+    Result<int64_t> window = flags.GetInt("drift-window",
+                                          drift.evaluate_every);
+    Result<int64_t> streak =
+        flags.GetInt("drift-empty-streak", drift.empty_streak_limit);
+    Result<int64_t> hysteresis =
+        flags.GetInt("drift-hysteresis", drift.hysteresis);
+    Result<int64_t> cooldown =
+        flags.GetInt("drift-cooldown", drift.cooldown_pages);
+    Result<int64_t> retain = flags.GetInt("drift-retain", drift.retain_pages);
+    Result<int64_t> reinduce_threads =
+        flags.GetInt("reinduce-threads", reinduce_options.threads);
+    Result<int64_t> reinduce_queue = flags.GetInt(
+        "reinduce-queue", static_cast<int64_t>(reinduce_options.max_queue));
+    for (const auto* value :
+         {&warmup, &window, &streak, &hysteresis, &cooldown, &retain,
+          &reinduce_threads, &reinduce_queue}) {
+      if (!value->ok()) {
+        std::fprintf(stderr, "%s\n%s", value->status().ToString().c_str(),
+                     kUsage);
+        return 2;
+      }
+    }
+    drift.warmup_pages = static_cast<int>(*warmup);
+    drift.evaluate_every = static_cast<int>(*window);
+    drift.empty_streak_limit = static_cast<int>(*streak);
+    drift.hysteresis = static_cast<int>(*hysteresis);
+    drift.cooldown_pages = static_cast<int>(*cooldown);
+    drift.retain_pages = static_cast<int>(*retain);
+    reinduce_options.threads = static_cast<int>(*reinduce_threads);
+    reinduce_options.max_queue = static_cast<size_t>(*reinduce_queue);
+  }
+
   serve::WrapperRepository repository(wrapper_dir);
+  repository.SetDriftConfig(drift);
   Status loaded = repository.Load();
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
@@ -166,20 +223,33 @@ int Run(int argc, char** argv) {
   // the streaming no-DOM path (DESIGN.md §12).
   bool fast_path = !flags.Has("no-fast-path");
   bool streaming = !flags.Has("no-streaming");
+  // The re-induction worker: one shared queue behind every shard's
+  // detector hand-offs. Constructed (and started) only when self-healing
+  // is on, so --no-self-heal spawns no extra threads.
+  std::unique_ptr<serve::ReinduceWorker> reinducer;
+  if (drift.enabled) {
+    reinducer = std::make_unique<serve::ReinduceWorker>(&repository,
+                                                        reinduce_options);
+    reinducer->Start();
+  }
   // One ExtractService per shard: a shard-private FastBufferPool and
   // per-shard metric stripes; the repository is shared (epoch-pinned
   // reads). The factory runs once per shard inside Bind().
   std::vector<std::unique_ptr<serve::ExtractService>> services;
+  serve::ReinduceWorker* reinducer_ptr = reinducer.get();
   serve::HttpServer server(
       options,
       serve::HttpServer::HandlerFactory(
-          [&repository, &services, fast_path, streaming](int shard) {
+          [&repository, &services, fast_path, streaming,
+           reinducer_ptr](int shard) {
             serve::ExtractService::Options service_options;
             service_options.fast_path = fast_path;
             service_options.streaming = streaming;
             service_options.shard = shard;
+            service_options.self_heal = reinducer_ptr != nullptr;
             services.push_back(std::make_unique<serve::ExtractService>(
-                &repository, &ThreadPool::Global(), service_options));
+                &repository, &ThreadPool::Global(), service_options,
+                reinducer_ptr));
             serve::ExtractService* service = services.back().get();
             return [service](const serve::HttpRequest& request) {
               return service->Handle(request);
@@ -229,6 +299,9 @@ int Run(int argc, char** argv) {
 
   Status ran = server.Run();
   g_server = nullptr;
+  // Stop the worker before tearing anything else down: in-flight repairs
+  // finish (and publish), queued ones are dropped into cooldown.
+  if (reinducer != nullptr) reinducer->Stop();
   if (!ran.ok()) {
     std::fprintf(stderr, "%s\n", ran.ToString().c_str());
     return 1;

@@ -7,15 +7,30 @@
 # port-file handshake are exercised end to end.
 # Usage: tools/serve_smoke.sh <build-dir> [shards] [extra daemon flags...]
 # e.g. tools/serve_smoke.sh build 2 --no-streaming
+#
+# `tools/serve_smoke.sh <build-dir> --self-heal` runs the self-healing
+# scenario instead: break the live template mid-traffic and assert the
+# daemon re-induces, hot-publishes and persists a working wrapper.
 set -u
 
-BUILD="${1:?usage: tools/serve_smoke.sh <build-dir> [shards] [flags...]}"
-SHARDS="${2:-1}"
+BUILD="${1:?usage: tools/serve_smoke.sh <build-dir> [shards|--self-heal] [flags...]}"
 SERVE="$BUILD/tools/ntw_serve"
 [ -x "$SERVE" ] || { echo "serve_smoke: $SERVE not built" >&2; exit 1; }
-# Remaining arguments are passed to the daemon verbatim (path toggles
-# like --no-streaming / --no-fast-path, exercised by check.sh and CI).
-[ "$#" -ge 2 ] && shift 2 || shift "$#"
+SELF_HEAL=0
+if [ "${2:-}" = "--self-heal" ]; then
+  SELF_HEAL=1
+  SHARDS=1
+  shift 2
+  # Tight thresholds so the drift pipeline (warmup -> streak -> collect
+  # -> re-induce -> publish) completes within a smoke-test budget.
+  set -- --drift-warmup 4 --drift-window 2 --drift-empty-streak 2 \
+      --drift-retain 3 --drift-hysteresis 1 "$@"
+else
+  SHARDS="${2:-1}"
+  # Remaining arguments are passed to the daemon verbatim (path toggles
+  # like --no-streaming / --no-fast-path, exercised by check.sh and CI).
+  [ "$#" -ge 2 ] && shift 2 || shift "$#"
+fi
 
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/ntw_serve_smoke.XXXXXX")"
 PID=""
@@ -26,8 +41,14 @@ trap '[ -n "$PID" ] && kill "$PID" 2>/dev/null; rm -rf "$WORK"' EXIT
 # delimiter plan, which dom_free-routes through the streaming path by
 # default.
 mkdir -p "$WORK/repo/example.com"
-printf 'XPATH\t//li/text()\n' > "$WORK/repo/example.com/name.wrapper"
-printf 'LR\t<li>\t</li>\n' > "$WORK/repo/example.com/name_lr.wrapper"
+if [ "$SELF_HEAL" -eq 1 ]; then
+  # Self-heal scenario: one LR delimiter wrapper that a <b> -> <strong>
+  # template change breaks completely.
+  printf 'LR\t<b>\t</b>\n' > "$WORK/repo/example.com/name.wrapper"
+else
+  printf 'XPATH\t//li/text()\n' > "$WORK/repo/example.com/name.wrapper"
+  printf 'LR\t<li>\t</li>\n' > "$WORK/repo/example.com/name_lr.wrapper"
+fi
 
 "$SERVE" --wrapper-dir "$WORK/repo" --port 0 --port-file "$WORK/port" \
     --shards "$SHARDS" \
@@ -54,6 +75,73 @@ PORT="$(cat "$WORK/port")"
 BASE="http://127.0.0.1:$PORT"
 
 fail() { echo "serve_smoke: $1" >&2; cat "$WORK/stderr.log" >&2; exit 1; }
+
+if [ "$SELF_HEAL" -eq 1 ]; then
+  HEALTHY='<html><body><div><b>alpha cars</b><i>s</i></div><div><b>bravo vans</b><i>s</i></div><div><b>carol autos</b><i>s</i></div></body></html>'
+  MUTATED='<html><body><div><strong>alpha cars</strong><i>s</i></div><div><strong>bravo vans</strong><i>s</i></div><div><strong>carol autos</strong><i>s</i></div></body></html>'
+
+  # Warm the drift detector's baseline (and its value dictionary, which
+  # seeds re-induction labeling) with healthy traffic.
+  i=0
+  while [ "$i" -lt 6 ]; do
+    WARM="$(printf '%s' "$HEALTHY" | curl -sS --max-time 5 --data-binary @- \
+        "$BASE/extract?site=example.com&attribute=name")" \
+        || fail "self-heal warmup extract failed"
+    case "$WARM" in
+      *'"values":["alpha cars","bravo vans","carol autos"]'*) ;;
+      *) fail "unexpected healthy extract response: $WARM" ;;
+    esac
+    i=$((i + 1))
+  done
+
+  # /driftz exposes the detector with self-healing on.
+  DRIFTZ="$(curl -sS --max-time 5 "$BASE/driftz")" || fail "driftz request failed"
+  case "$DRIFTZ" in
+    *'"schema":"ntw-serve-drift"'*) ;;
+    *) fail "driftz response is not an ntw-serve-drift document: $DRIFTZ" ;;
+  esac
+  case "$DRIFTZ" in
+    *'"self_heal":true'*) ;;
+    *) fail "driftz does not report self_heal enabled: $DRIFTZ" ;;
+  esac
+
+  # Break the template and keep the traffic coming: the daemon must
+  # detect the drift, re-induce from retained pages and hot-publish a
+  # repaired wrapper — after which the same mutated body extracts again.
+  i=0
+  while :; do
+    HEALED="$(printf '%s' "$MUTATED" | curl -sS --max-time 5 --data-binary @- \
+        "$BASE/extract?site=example.com&attribute=name")" \
+        || fail "self-heal drifted extract failed"
+    case "$HEALED" in
+      *'"values":["alpha cars","bravo vans","carol autos"]'*) break ;;
+      *'"values":[]'*) ;;
+      *) fail "unexpected drifted extract response: $HEALED" ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -gt 200 ]; then
+      fail "daemon never healed from the template mutation: $HEALED"
+    fi
+    sleep 0.05
+  done
+
+  # The repaired wrapper must be durable: persisted over the incumbent
+  # with the new delimiters, so a restart would survive the drift too.
+  grep -q 'strong' "$WORK/repo/example.com/name.wrapper" \
+      || fail "published wrapper was not persisted to disk"
+  METRICS="$(curl -sS --max-time 5 "$BASE/metrics")" || fail "metrics request failed"
+  case "$METRICS" in
+    *'"ntw.serve.reinduce_published":1'*) ;;
+    *) fail "metrics do not report exactly one publish: $METRICS" ;;
+  esac
+
+  kill -TERM "$PID" || fail "SIGTERM failed"
+  wait "$PID"
+  CODE=$?
+  [ "$CODE" -eq 0 ] || fail "daemon exited $CODE instead of 0"
+  echo "serve_smoke OK (port $PORT, self-heal)"
+  exit 0
+fi
 
 # /healthz
 HEALTH="$(curl -sS --max-time 5 "$BASE/healthz")" || fail "healthz request failed"
