@@ -1,0 +1,204 @@
+// Crawl throughput benchmark: pages/sec of the fetch→extract→emit
+// pipeline over a generated file:// origin, swept across worker counts —
+// the ingestion-side companion of ntw_loadgen's serving sweep. file://
+// keeps the fetch cost at a pread, so the sweep measures the pipeline
+// itself (frontier dispatch, extraction tiers, ordered emission), not
+// the disk or a socket.
+//
+// Every swept run is also an equivalence gate: its emitted bytes must
+// equal the 1-worker baseline's, so the benchmark fails loudly if
+// parallelism ever reorders or changes a record.
+//
+// `--out PATH` writes an ntw-crawl-bench (v1) JSON document
+// (BENCH_crawl.json in CI); `--smoke` shrinks the corpus and sweep to a
+// CI-sized sanity run.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/build_info.h"
+#include "common/file_util.h"
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "crawl/pipeline.h"
+#include "obs/json.h"
+#include "serve/wrapper_repository.h"
+#include "sitegen/origin.h"
+
+namespace {
+
+using namespace ntw;
+
+constexpr char kUsage[] =
+    "usage: bench_crawl [--out BENCH_crawl.json] [--sites N] [--pages N]\n"
+    "                   [--sweep 1,2,4,...] [--repetitions N] [--smoke]\n";
+
+struct SweepPoint {
+  int workers = 1;
+  double best_seconds = 0.0;
+  double pages_per_second = 0.0;
+  int64_t pages = 0;
+  int64_t records = 0;
+  int64_t bytes_emitted = 0;
+};
+
+int Run(int argc, char** argv) {
+  Result<Flags> flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n%s", flags_or.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  const Flags& flags = *flags_or;
+  std::vector<std::string> unknown = flags.UnknownFlags(
+      {"out", "sites", "pages", "sweep", "repetitions", "smoke", "help"});
+  if (!unknown.empty() || flags.Has("help")) {
+    for (const std::string& name : unknown) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    }
+    std::fprintf(stderr, "%s", kUsage);
+    return flags.Has("help") ? 0 : 2;
+  }
+  bool smoke = flags.Has("smoke");
+  Result<int64_t> sites = flags.GetInt("sites", smoke ? 8 : 24);
+  Result<int64_t> pages = flags.GetInt("pages", smoke ? 6 : 40);
+  Result<int64_t> repetitions = flags.GetInt("repetitions", smoke ? 1 : 3);
+  for (const auto* value : {&sites, &pages, &repetitions}) {
+    if (!value->ok()) {
+      std::fprintf(stderr, "%s\n%s", value->status().ToString().c_str(),
+                   kUsage);
+      return 2;
+    }
+  }
+  std::vector<int> sweep;
+  for (const std::string& part :
+       Split(flags.Get("sweep", smoke ? "1,2" : "1,2,4,8"), ',')) {
+    if (part.empty()) continue;
+    sweep.push_back(std::max(1, std::atoi(part.c_str())));
+  }
+  if (sweep.empty()) sweep = {1};
+
+  // Generate the origin once; the sweep re-crawls the same tree.
+  std::string work = (std::filesystem::temp_directory_path() /
+                      ("ntw_bench_crawl_" + std::to_string(::getpid())))
+                         .string();
+  std::string origin_dir = work + "/origin";
+  std::string repo_dir = work + "/repo";
+  sitegen::OriginOptions origin_options;
+  origin_options.sites = static_cast<size_t>(*sites);
+  origin_options.pages_per_site = static_cast<size_t>(*pages);
+  sitegen::OriginCorpus corpus = sitegen::MakeOriginCorpus(origin_options);
+  Status wrote = sitegen::WriteOriginTree(corpus, origin_dir);
+  if (wrote.ok()) {
+    wrote = sitegen::WriteOriginWrapperRepository(corpus, repo_dir);
+  }
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+    return 1;
+  }
+
+  serve::WrapperRepository repository(repo_dir);
+  Status loaded = repository.Load();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> seeds = {"file://" + origin_dir + "/index.html"};
+  std::string baseline;  // 1st run's bytes; every other run must match.
+  std::vector<SweepPoint> points;
+  for (int workers : sweep) {
+    SweepPoint point;
+    point.workers = workers;
+    for (int64_t rep = 0; rep < *repetitions; ++rep) {
+      crawl::CrawlOptions options;
+      options.workers = workers;
+      options.max_depth = 1;
+      // file:// bypasses the limiter, but keep politeness out of the
+      // measurement explicitly for any future http sweep.
+      options.rate.requests_per_second = 1e9;
+      options.rate.burst = 1e9;
+      ThreadPool pool(workers);
+      crawl::CrawlPipeline pipeline(&repository, &pool, options);
+      std::string emitted;
+      Stopwatch timer;
+      crawl::CrawlStats stats = pipeline.Run(
+          seeds,
+          [&emitted](std::string_view chunk) { emitted.append(chunk); });
+      double seconds = timer.ElapsedSeconds();
+      if (stats.pages_failed > 0) {
+        std::fprintf(stderr, "bench_crawl: %lld failed fetches\n",
+                     static_cast<long long>(stats.pages_failed));
+        return 1;
+      }
+      if (baseline.empty()) {
+        baseline = emitted;
+      } else if (emitted != baseline) {
+        std::fprintf(stderr,
+                     "bench_crawl: %d-worker output differs from baseline "
+                     "(equivalence gate)\n",
+                     workers);
+        return 1;
+      }
+      if (rep == 0 || seconds < point.best_seconds) {
+        point.best_seconds = seconds;
+        point.pages = stats.pages_fetched;
+        point.records = stats.records_emitted;
+        point.bytes_emitted = static_cast<int64_t>(emitted.size());
+      }
+    }
+    point.pages_per_second =
+        point.best_seconds > 0.0
+            ? static_cast<double>(point.pages) / point.best_seconds
+            : 0.0;
+    points.push_back(point);
+    std::fprintf(stderr, "bench_crawl: workers=%d pages/sec=%.0f (%.3fs)\n",
+                 point.workers, point.pages_per_second, point.best_seconds);
+  }
+  std::filesystem::remove_all(work);
+
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.KV("schema", "ntw-crawl-bench");
+  json.KV("schema_version", int64_t{1});
+  json.KV("smoke", smoke);
+  WriteMachineInfo(json);
+  json.KV("sites", *sites);
+  json.KV("pages_per_site", *pages);
+  json.KV("repetitions", *repetitions);
+  json.Key("runs");
+  json.BeginArray();
+  for (const SweepPoint& point : points) {
+    json.BeginObject();
+    json.KV("workers", static_cast<int64_t>(point.workers));
+    json.KV("best_seconds", point.best_seconds);
+    json.KV("pages_per_second", point.pages_per_second);
+    json.KV("pages", point.pages);
+    json.KV("records", point.records);
+    json.KV("bytes_emitted", point.bytes_emitted);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::string out = flags.Get("out", "BENCH_crawl.json");
+  Status written = WriteFile(out, json.Take() + "\n");
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "bench_crawl: wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,249 @@
+#include "crawl/fetcher.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/file_util.h"
+#include "common/strings.h"
+
+namespace ntw::crawl {
+
+namespace {
+
+int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+FetchResult FetchFile(const Url& url) {
+  FetchResult result;
+  auto start = std::chrono::steady_clock::now();
+  auto body = ReadFile(url.path);
+  if (body.ok()) {
+    result.status = 200;
+    result.body = std::move(body.value());
+  } else {
+    result.status = 404;
+    result.error = body.status().message();
+  }
+  result.latency_micros = MicrosSince(start);
+  return result;
+}
+
+struct Connection {
+  int fd = -1;
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+bool SetTimeouts(int fd, int timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  return setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0 &&
+         setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+/// Parses "HTTP/1.x NNN reason" and headers out of `head`; returns the
+/// status or 0 on a malformed response.
+int ParseStatusLine(std::string_view head, size_t* headers_begin) {
+  size_t eol = head.find("\r\n");
+  if (eol == std::string_view::npos) return 0;
+  std::string_view line = head.substr(0, eol);
+  if (!StartsWith(line, "HTTP/1.")) return 0;
+  size_t space = line.find(' ');
+  if (space == std::string_view::npos || space + 4 > line.size()) return 0;
+  int status = 0;
+  for (size_t i = space + 1; i < line.size() && line[i] != ' '; ++i) {
+    if (line[i] < '0' || line[i] > '9') return 0;
+    status = status * 10 + (line[i] - '0');
+  }
+  *headers_begin = eol + 2;
+  return status;
+}
+
+/// Case-insensitive header lookup inside the raw header block.
+bool FindHeaderValue(std::string_view headers, std::string_view name,
+                     std::string* value) {
+  size_t start = 0;
+  while (start < headers.size()) {
+    size_t end = headers.find("\r\n", start);
+    if (end == std::string_view::npos) end = headers.size();
+    std::string_view line = headers.substr(start, end - start);
+    start = end + 2;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string_view key = line.substr(0, colon);
+    if (key.size() != name.size()) continue;
+    bool match = true;
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (AsciiToLower(key[i]) != AsciiToLower(name[i])) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    std::string_view v = line.substr(colon + 1);
+    while (!v.empty() && (v.front() == ' ' || v.front() == '\t')) {
+      v.remove_prefix(1);
+    }
+    *value = std::string(v);
+    return true;
+  }
+  return false;
+}
+
+FetchResult FetchHttp(const Url& url, const FetchOptions& options) {
+  FetchResult result;
+  auto start = std::chrono::steady_clock::now();
+
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* address_list = nullptr;
+  std::string port = std::to_string(url.port);
+  int rc = ::getaddrinfo(url.host.c_str(), port.c_str(), &hints,
+                         &address_list);
+  if (rc != 0 || address_list == nullptr) {
+    result.status = kStatusConnectError;
+    result.error = "resolve failed: " + url.host;
+    result.latency_micros = MicrosSince(start);
+    return result;
+  }
+
+  Connection connection;
+  for (addrinfo* ai = address_list; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (!SetTimeouts(fd, options.timeout_ms) ||
+        ::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      ::close(fd);
+      continue;
+    }
+    connection.fd = fd;
+    break;
+  }
+  ::freeaddrinfo(address_list);
+  if (connection.fd < 0) {
+    result.status = kStatusConnectError;
+    result.error = "connect failed: " + url.Domain();
+    result.latency_micros = MicrosSince(start);
+    return result;
+  }
+
+  std::string target = url.path;
+  if (!url.query.empty()) target += "?" + url.query;
+  std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + url.host +
+                        "\r\nUser-Agent: " + options.user_agent +
+                        "\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(connection.fd, request.data() + sent,
+                       request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      result.status =
+          (errno == EAGAIN || errno == EWOULDBLOCK) ? kStatusTimeout
+                                                    : kStatusConnectError;
+      result.error = "send failed";
+      result.latency_micros = MicrosSince(start);
+      return result;
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string raw;
+  char buffer[16384];
+  size_t header_end = std::string::npos;
+  int64_t content_length = -1;
+  size_t body_begin = 0;
+  int status = 0;
+  std::string headers_block;
+  for (;;) {
+    ssize_t n = ::recv(connection.fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      result.status =
+          (errno == EAGAIN || errno == EWOULDBLOCK) ? kStatusTimeout
+                                                    : kStatusConnectError;
+      result.error = "recv failed";
+      result.latency_micros = MicrosSince(start);
+      return result;
+    }
+    if (n == 0) break;  // Orderly close.
+    raw.append(buffer, static_cast<size_t>(n));
+    if (header_end == std::string::npos) {
+      header_end = raw.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        size_t headers_begin = 0;
+        status = ParseStatusLine(raw, &headers_begin);
+        if (status == 0) {
+          result.status = kStatusProtocolError;
+          result.error = "malformed status line";
+          result.latency_micros = MicrosSince(start);
+          return result;
+        }
+        headers_block =
+            raw.substr(headers_begin, header_end - headers_begin);
+        body_begin = header_end + 4;
+        std::string length_value;
+        if (FindHeaderValue(headers_block, "Content-Length",
+                            &length_value)) {
+          content_length = std::strtoll(length_value.c_str(), nullptr, 10);
+        }
+      }
+    }
+    if (header_end != std::string::npos) {
+      size_t body_size = raw.size() - body_begin;
+      if (body_size > options.max_body_bytes) {
+        result.status = kStatusBodyTooLarge;
+        result.error = "body exceeds max_body_bytes";
+        result.latency_micros = MicrosSince(start);
+        return result;
+      }
+      if (content_length >= 0 &&
+          body_size >= static_cast<size_t>(content_length)) {
+        break;  // Full body framed by Content-Length.
+      }
+    }
+  }
+
+  if (header_end == std::string::npos) {
+    result.status = kStatusProtocolError;
+    result.error = "connection closed before headers";
+    result.latency_micros = MicrosSince(start);
+    return result;
+  }
+  result.status = status;
+  result.body = raw.substr(body_begin);
+  if (content_length >= 0 &&
+      result.body.size() > static_cast<size_t>(content_length)) {
+    result.body.resize(static_cast<size_t>(content_length));
+  }
+  if (!result.ok()) result.error = "http status " + std::to_string(status);
+  result.latency_micros = MicrosSince(start);
+  return result;
+}
+
+}  // namespace
+
+FetchResult Fetch(const Url& url, const FetchOptions& options) {
+  if (url.scheme == "file") return FetchFile(url);
+  if (url.scheme == "http") return FetchHttp(url, options);
+  FetchResult result;
+  result.status = kStatusProtocolError;
+  result.error = "unsupported scheme: " + url.scheme;
+  return result;
+}
+
+}  // namespace ntw::crawl

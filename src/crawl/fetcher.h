@@ -1,0 +1,54 @@
+#ifndef NTW_CRAWL_FETCHER_H_
+#define NTW_CRAWL_FETCHER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "crawl/url.h"
+
+namespace ntw::crawl {
+
+struct FetchOptions {
+  int timeout_ms = 5000;
+  /// Responses larger than this fail the fetch (kStatusBodyTooLarge) —
+  /// a runaway origin must not balloon crawler memory.
+  size_t max_body_bytes = 8 << 20;
+  std::string user_agent = "ntw_crawl/1";
+};
+
+/// Synthetic status codes for transport-level outcomes, chosen outside
+/// the HTTP range so they can share the `status` field.
+inline constexpr int kStatusConnectError = -1;
+inline constexpr int kStatusTimeout = -2;
+inline constexpr int kStatusProtocolError = -3;
+inline constexpr int kStatusBodyTooLarge = -4;
+
+struct FetchResult {
+  /// HTTP status (200, 404, 429, ...), or a kStatus* synthetic code.
+  /// file:// fetches report 200 on success and 404 when missing.
+  int status = 0;
+  std::string body;
+  std::string error;  // Human-readable detail for non-2xx outcomes.
+  int64_t latency_micros = 0;
+
+  bool ok() const { return status >= 200 && status < 300; }
+  /// True for outcomes the pipeline retries with backoff: 429, 5xx,
+  /// timeouts and connection failures. 4xx (other than 429) and
+  /// protocol errors are permanent.
+  bool retryable() const {
+    return status == 429 || (status >= 500 && status < 600) ||
+           status == kStatusTimeout || status == kStatusConnectError;
+  }
+};
+
+/// Blocking single-request fetcher for the two schemes the crawl
+/// pipeline supports: file:// (direct read, no sockets — the zero-dep CI
+/// path) and http:// (dependency-free GET client: Host + User-Agent +
+/// Connection: close, Content-Length or close-delimited framing,
+/// SO_RCVTIMEO/SO_SNDTIMEO timeouts). One call = one connection; the
+/// crawl's politeness rates make connection reuse irrelevant.
+FetchResult Fetch(const Url& url, const FetchOptions& options);
+
+}  // namespace ntw::crawl
+
+#endif  // NTW_CRAWL_FETCHER_H_

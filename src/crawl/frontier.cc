@@ -1,0 +1,160 @@
+#include "crawl/frontier.h"
+
+#include <algorithm>
+
+namespace ntw::crawl {
+
+Frontier::Frontier(FrontierOptions options, DomainRateLimiter* limiter)
+    : options_(std::move(options)),
+      limiter_(limiter),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (options_.domain_parallelism < 1) options_.domain_parallelism = 1;
+}
+
+double Frontier::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+bool Frontier::Passes(const std::string& serialized) const {
+  for (const std::string& pattern : options_.deny) {
+    if (MatchGlob(pattern, serialized)) return false;
+  }
+  if (options_.allow.empty()) return true;
+  for (const std::string& pattern : options_.allow) {
+    if (MatchGlob(pattern, serialized)) return true;
+  }
+  return false;
+}
+
+Frontier::AddResult Frontier::Add(const Url& url, int depth) {
+  std::string serialized = url.Serialize();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (depth > options_.max_depth) return AddResult::kTooDeep;
+  if (!seen_.insert(serialized).second) {
+    ++duplicates_;
+    return AddResult::kDuplicate;
+  }
+  if (!Passes(serialized)) {
+    ++denied_;
+    return AddResult::kDenied;
+  }
+  if (options_.max_pages >= 0 && admitted_ >= options_.max_pages) {
+    return AddResult::kFull;
+  }
+  ++admitted_;
+  FrontierItem item;
+  item.url = url;
+  item.depth = depth;
+  queues_[url.Domain()].push_back(std::move(item));
+  ++queued_;
+  cv_.notify_one();
+  return AddResult::kAdmitted;
+}
+
+void Frontier::Requeue(FrontierItem item) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string domain = item.url.Domain();
+  queues_[domain].push_back(std::move(item));
+  ++queued_;
+  cv_.notify_one();
+}
+
+bool Frontier::Next(FrontierItem* item) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (shutdown_) return false;
+    if (queued_ == 0) {
+      if (inflight_ == 0) {
+        // Nothing queued and nothing in flight that could discover more:
+        // the crawl is over. Wake everyone so all workers exit.
+        cv_.notify_all();
+        return false;
+      }
+      cv_.wait(lock);
+      continue;
+    }
+    // Scan domains in sorted order for a dispatchable head-of-queue item.
+    // The scan is O(domains) per dispatch, fine at crawl scale.
+    double min_wait = -1.0;
+    double now = NowSeconds();
+    for (auto it = queues_.begin(); it != queues_.end();) {
+      std::deque<FrontierItem>& queue = it->second;
+      if (queue.empty()) {
+        it = queues_.erase(it);
+        continue;
+      }
+      const std::string& domain = it->first;
+      // The synthetic "file" domain is a local corpus: no origin to be
+      // polite to, so neither the per-domain parallelism cap nor the
+      // token bucket applies — file:// crawls parallelize freely.
+      bool local = domain == "file";
+      if (!local &&
+          inflight_by_domain_[domain] >= options_.domain_parallelism) {
+        ++it;
+        continue;
+      }
+      double wait = (local || limiter_ == nullptr)
+                        ? 0.0
+                        : limiter_->TryAcquire(domain, now);
+      if (wait <= 0.0) {
+        *item = std::move(queue.front());
+        queue.pop_front();
+        --queued_;
+        item->seq = next_seq_++;
+        ++inflight_;
+        ++inflight_by_domain_[domain];
+        return true;
+      }
+      if (min_wait < 0.0 || wait < min_wait) min_wait = wait;
+      ++it;
+    }
+    // Work exists but nothing is dispatchable: sleep until the earliest
+    // limiter deadline (or a state change — Complete()/Add() notify).
+    if (min_wait < 0.0) {
+      cv_.wait(lock);
+    } else {
+      cv_.wait_for(lock, std::chrono::duration<double>(
+                             std::min(min_wait, 0.050)));
+    }
+  }
+}
+
+void Frontier::Complete(const FrontierItem& item) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --inflight_;
+  auto it = inflight_by_domain_.find(item.url.Domain());
+  if (it != inflight_by_domain_.end() && --it->second <= 0) {
+    inflight_by_domain_.erase(it);
+  }
+  cv_.notify_all();
+}
+
+void Frontier::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+uint64_t Frontier::dispatched() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+int64_t Frontier::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+int64_t Frontier::duplicates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicates_;
+}
+
+int64_t Frontier::denied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return denied_;
+}
+
+}  // namespace ntw::crawl

@@ -1,0 +1,126 @@
+#ifndef NTW_CRAWL_FRONTIER_H_
+#define NTW_CRAWL_FRONTIER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crawl/rate_limiter.h"
+#include "crawl/url.h"
+
+namespace ntw::crawl {
+
+struct FrontierOptions {
+  /// URL predicate pushdown, evaluated on the serialized URL BEFORE a
+  /// fetch is ever scheduled: when `allow` is non-empty a URL must match
+  /// at least one allow glob; any `deny` glob match rejects. Deny wins.
+  std::vector<std::string> allow;
+  std::vector<std::string> deny;
+  /// Link-following depth: seeds are depth 0; links found at depth d are
+  /// admitted at d+1 while d+1 <= max_depth.
+  int max_depth = 0;
+  /// Total pages admitted for fetching (seeds + discovered); -1 = no cap.
+  int64_t max_pages = -1;
+  /// Simultaneous in-flight fetches per domain. 1 is the polite default
+  /// (at most one open request per origin); benches raise it to scale.
+  int domain_parallelism = 1;
+};
+
+/// One dispatched fetch. `seq` is the emission sequence number, assigned
+/// at dispatch in dispatch order — the contract the ordered emit queue
+/// relies on: the NDJSON output is ordered by seq, so given a fixed
+/// frontier order the output bytes are independent of worker count.
+struct FrontierItem {
+  Url url;
+  int depth = 0;
+  int retries = 0;
+  uint64_t seq = 0;
+};
+
+/// The crawl scheduler: a deduplicating admission filter in front of
+/// per-domain FIFO queues, dispatched under the token-bucket rate
+/// limiter. Domains are scanned in sorted order, so dispatch order is a
+/// deterministic function of admission order and limiter decisions.
+///
+/// Worker protocol: loop { Next() → fetch/extract → Complete() }, exit
+/// when Next() returns false (every queue empty and nothing in flight —
+/// no more work can appear). Next() blocks while work exists but nothing
+/// is dispatchable yet (rate limits, domain caps), waking on the
+/// earliest limiter deadline or on state changes.
+class Frontier {
+ public:
+  enum class AddResult {
+    kAdmitted,
+    kDuplicate,   // Seen before (normalized URL dedup).
+    kDenied,      // Predicate pushdown rejected it.
+    kTooDeep,     // Beyond max_depth.
+    kFull,        // max_pages admissions already made.
+  };
+
+  Frontier(FrontierOptions options, DomainRateLimiter* limiter);
+
+  /// Admission: dedup + predicates + depth + page cap, then the domain
+  /// queue. Never blocks.
+  AddResult Add(const Url& url, int depth);
+
+  /// Re-admits a failed fetch (retry path): bypasses dedup and the page
+  /// cap, re-enters its domain's queue, and will receive a fresh seq at
+  /// dispatch. Never blocks.
+  void Requeue(FrontierItem item);
+
+  /// Blocks until an item is dispatchable, then fills `*item` (its seq
+  /// freshly assigned) and counts it in flight. Returns false when the
+  /// crawl is complete (all queues empty, nothing in flight) or
+  /// Shutdown() was called.
+  bool Next(FrontierItem* item);
+
+  /// Marks a dispatched item done (success or permanent failure). Every
+  /// Next() == true must be paired with exactly one Complete().
+  void Complete(const FrontierItem& item);
+
+  /// Wakes all waiters and makes Next() return false — abort path.
+  void Shutdown();
+
+  /// Monotonic count of seqs assigned so far (== dispatches).
+  uint64_t dispatched() const;
+
+  int64_t admitted() const;
+  int64_t duplicates() const;
+  int64_t denied() const;
+
+  /// Seconds since construction on the steady clock — the time base every
+  /// limiter/robots-cache call of one crawl must share, so backoff
+  /// reports and TTL expiries line up with dispatch decisions.
+  double NowSeconds() const;
+
+ private:
+  bool Passes(const std::string& serialized) const;
+
+  FrontierOptions options_;
+  DomainRateLimiter* limiter_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::set<std::string> seen_;
+  /// Domain → FIFO of waiting items. std::map: sorted scan order.
+  std::map<std::string, std::deque<FrontierItem>> queues_;
+  std::map<std::string, int> inflight_by_domain_;
+  int64_t queued_ = 0;
+  int64_t inflight_ = 0;
+  int64_t admitted_ = 0;
+  int64_t duplicates_ = 0;
+  int64_t denied_ = 0;
+  uint64_t next_seq_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ntw::crawl
+
+#endif  // NTW_CRAWL_FRONTIER_H_

@@ -1,0 +1,84 @@
+#include "crawl/rate_limiter.h"
+
+#include <algorithm>
+
+namespace ntw::crawl {
+
+DomainRateLimiter::DomainRateLimiter(RateLimiterOptions options)
+    : options_(options) {
+  if (options_.requests_per_second <= 0.0) options_.requests_per_second = 1.0;
+  if (options_.burst < 1.0) options_.burst = 1.0;
+}
+
+double DomainRateLimiter::EffectiveRate(const DomainState& state) const {
+  double rate = options_.requests_per_second;
+  if (state.crawl_delay > 0.0) {
+    rate = std::min(rate, 1.0 / state.crawl_delay);
+  }
+  return rate;
+}
+
+double DomainRateLimiter::TryAcquire(const std::string& domain,
+                                     double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DomainState& state = domains_[domain];
+  if (!state.initialized) {
+    // A fresh domain starts with a full bucket — the first burst is free.
+    state.tokens = options_.burst;
+    state.last_refill = now_seconds;
+    state.initialized = true;
+  }
+  if (now_seconds < state.blocked_until) {
+    return state.blocked_until - now_seconds;
+  }
+  double rate = EffectiveRate(state);
+  double elapsed = now_seconds - state.last_refill;
+  if (elapsed > 0.0) {
+    state.tokens = std::min(options_.burst, state.tokens + elapsed * rate);
+    state.last_refill = now_seconds;
+  }
+  if (state.tokens >= 1.0) {
+    state.tokens -= 1.0;
+    return 0.0;
+  }
+  return (1.0 - state.tokens) / rate;
+}
+
+void DomainRateLimiter::ReportSuccess(const std::string& domain) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = domains_.find(domain);
+  if (it == domains_.end()) return;
+  it->second.backoff = 0.0;
+  it->second.blocked_until = 0.0;
+}
+
+void DomainRateLimiter::ReportRetryableFailure(const std::string& domain,
+                                               double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DomainState& state = domains_[domain];
+  state.backoff = state.backoff <= 0.0
+                      ? options_.initial_backoff_seconds
+                      : std::min(state.backoff * options_.backoff_multiplier,
+                                 options_.max_backoff_seconds);
+  // Penalties do not stack beyond the ceiling of the *current* window:
+  // concurrent failures while already blocked extend to the same horizon.
+  state.blocked_until =
+      std::max(state.blocked_until, now_seconds + state.backoff);
+}
+
+void DomainRateLimiter::SetCrawlDelay(const std::string& domain,
+                                      double delay_seconds) {
+  if (delay_seconds <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  domains_[domain].crawl_delay = delay_seconds;
+}
+
+double DomainRateLimiter::BackoffRemaining(const std::string& domain,
+                                           double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = domains_.find(domain);
+  if (it == domains_.end()) return 0.0;
+  return std::max(0.0, it->second.blocked_until - now_seconds);
+}
+
+}  // namespace ntw::crawl

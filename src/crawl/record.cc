@@ -1,0 +1,34 @@
+#include "crawl/record.h"
+
+#include "obs/json.h"
+
+namespace ntw::crawl {
+
+void AppendRecordLine(std::string_view site, std::string_view url,
+                      std::string_view attribute,
+                      const std::vector<std::string_view>& values,
+                      const RecordTiming& timing, std::string* out) {
+  out->append("{\"schema\":\"ntw-crawl-record\",\"site\":\"");
+  obs::JsonWriter::Escape(site, out);
+  out->append("\",\"url\":\"");
+  obs::JsonWriter::Escape(url, out);
+  out->append("\",\"attribute\":\"");
+  obs::JsonWriter::Escape(attribute, out);
+  out->append("\",\"values\":[");
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    out->push_back('"');
+    obs::JsonWriter::Escape(values[i], out);
+    out->push_back('"');
+  }
+  out->push_back(']');
+  if (timing.enabled) {
+    out->append(",\"fetch_micros\":");
+    out->append(std::to_string(timing.fetch_micros));
+    out->append(",\"extract_micros\":");
+    out->append(std::to_string(timing.extract_micros));
+  }
+  out->append("}\n");
+}
+
+}  // namespace ntw::crawl

@@ -1,0 +1,37 @@
+#ifndef NTW_CRAWL_RECORD_H_
+#define NTW_CRAWL_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ntw::crawl {
+
+/// Optional per-record latency annotations. Disabled by default because
+/// they destroy the byte-identity contract between a crawl and an
+/// offline `ntw_extract --emit ndjson` run over the same pages.
+struct RecordTiming {
+  bool enabled = false;
+  int64_t fetch_micros = 0;
+  int64_t extract_micros = 0;
+};
+
+/// Appends one `ntw-crawl-record` NDJSON line (including the trailing
+/// '\n') to `*out`:
+///
+///   {"schema":"ntw-crawl-record","site":S,"url":U,"attribute":A,
+///    "values":[...]}
+///
+/// with `"fetch_micros":F,"extract_micros":E` after "values" when timing
+/// is enabled. This is THE record serializer — the crawl pipeline and
+/// the offline ntw_extract NDJSON mode both call it, which is what makes
+/// "crawl output is byte-identical to offline extraction" checkable.
+void AppendRecordLine(std::string_view site, std::string_view url,
+                      std::string_view attribute,
+                      const std::vector<std::string_view>& values,
+                      const RecordTiming& timing, std::string* out);
+
+}  // namespace ntw::crawl
+
+#endif  // NTW_CRAWL_RECORD_H_

@@ -1,0 +1,180 @@
+#include "crawl/robots.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace ntw::crawl {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Case-insensitive "does `haystack` contain `needle`" — the user-agent
+/// group match ("ntw" matches an agent string "ntw_crawl/1").
+bool ContainsNoCase(std::string_view haystack, std::string_view needle) {
+  if (needle.size() > haystack.size()) return false;
+  std::string h = ToLower(std::string(haystack));
+  std::string n = ToLower(std::string(needle));
+  return h.find(n) != std::string::npos;
+}
+
+}  // namespace
+
+bool RobotsPathMatch(std::string_view pattern, std::string_view path) {
+  bool anchored = !pattern.empty() && pattern.back() == '$';
+  if (anchored) pattern.remove_suffix(1);
+  // Prefix semantics: an unanchored pattern is allowed to end anywhere in
+  // the path, which is exactly "pattern + '*'" under glob matching.
+  size_t p = 0;
+  size_t t = 0;
+  size_t star = std::string_view::npos;
+  size_t star_text = 0;
+  while (t < path.size()) {
+    if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_text = t;
+    } else if (p < pattern.size() && pattern[p] == path[t]) {
+      ++p;
+      ++t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++star_text;
+    } else {
+      return false;
+    }
+    if (p == pattern.size() && !anchored) return true;
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool RobotsRules::Allows(std::string_view path) const {
+  // Longest matching pattern wins; allow wins ties.
+  size_t best_length = 0;
+  bool best_allow = true;
+  bool matched = false;
+  for (const Rule& rule : rules) {
+    if (!RobotsPathMatch(rule.pattern, path)) continue;
+    size_t length = rule.pattern.size();
+    if (!matched || length > best_length ||
+        (length == best_length && rule.allow)) {
+      best_length = length;
+      best_allow = rule.allow;
+      matched = true;
+    }
+  }
+  return !matched || best_allow;
+}
+
+RobotsRules ParseRobots(std::string_view body, std::string_view agent) {
+  struct Group {
+    std::vector<std::string> agents;
+    RobotsRules rules;
+  };
+  std::vector<Group> groups;
+  bool in_agent_list = false;
+
+  size_t start = 0;
+  while (start <= body.size()) {
+    size_t end = body.find('\n', start);
+    if (end == std::string_view::npos) end = body.size();
+    std::string_view line = body.substr(start, end - start);
+    start = end + 1;
+    size_t comment = line.find('#');
+    if (comment != std::string_view::npos) line = line.substr(0, comment);
+    line = Trim(line);
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string directive = ToLower(std::string(Trim(line.substr(0, colon))));
+    std::string_view value = Trim(line.substr(colon + 1));
+
+    if (directive == "user-agent") {
+      // Consecutive user-agent lines share one group; a user-agent line
+      // after rules starts a new group.
+      if (!in_agent_list) groups.emplace_back();
+      groups.back().agents.emplace_back(value);
+      in_agent_list = true;
+      continue;
+    }
+    in_agent_list = false;
+    if (groups.empty()) continue;  // Rules before any user-agent: ignored.
+    Group& group = groups.back();
+    if (directive == "disallow") {
+      // An empty Disallow allows everything — no rule to record.
+      if (!value.empty()) {
+        group.rules.rules.push_back({std::string(value), false});
+      }
+    } else if (directive == "allow") {
+      if (!value.empty()) {
+        group.rules.rules.push_back({std::string(value), true});
+      }
+    } else if (directive == "crawl-delay") {
+      char* parse_end = nullptr;
+      std::string value_str(value);
+      double delay = std::strtod(value_str.c_str(), &parse_end);
+      if (parse_end != value_str.c_str() && delay > 0.0) {
+        group.rules.crawl_delay_seconds = delay;
+      }
+    }
+    // Sitemap / unknown directives: ignored.
+  }
+
+  // Pick the applicable group: longest specific agent token beats any
+  // shorter one; "*" is the fallback of last resort.
+  const Group* best = nullptr;
+  size_t best_length = 0;
+  const Group* wildcard = nullptr;
+  for (const Group& group : groups) {
+    for (const std::string& token : group.agents) {
+      if (token == "*") {
+        if (wildcard == nullptr) wildcard = &group;
+        continue;
+      }
+      if (ContainsNoCase(agent, token) && token.size() > best_length) {
+        best = &group;
+        best_length = token.size();
+      }
+    }
+  }
+  if (best == nullptr) best = wildcard;
+  return best == nullptr ? RobotsRules{} : best->rules;
+}
+
+RobotsCache::State RobotsCache::Lookup(
+    const std::string& domain, double now_seconds,
+    std::shared_ptr<const RobotsRules>* rules) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(domain);
+  if (it != entries_.end() && it->second.rules != nullptr &&
+      now_seconds - it->second.fetched_at < ttl_seconds_) {
+    *rules = it->second.rules;
+    return State::kHit;
+  }
+  Entry& entry = entries_[domain];
+  if (entry.pending) return State::kPending;
+  entry.pending = true;
+  return State::kFetchNeeded;
+}
+
+void RobotsCache::Put(const std::string& domain, RobotsRules rules,
+                      double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[domain];
+  entry.rules = std::make_shared<const RobotsRules>(std::move(rules));
+  entry.fetched_at = now_seconds;
+  entry.pending = false;
+}
+
+}  // namespace ntw::crawl

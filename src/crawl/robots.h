@@ -1,0 +1,80 @@
+#ifndef NTW_CRAWL_ROBOTS_H_
+#define NTW_CRAWL_ROBOTS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ntw::crawl {
+
+/// The rules one robots.txt imposes on one user agent. Default-constructed
+/// rules allow everything — the value a missing, 404 or unparseable
+/// robots.txt yields.
+struct RobotsRules {
+  struct Rule {
+    std::string pattern;  // Path prefix, '*' wildcards, optional '$' anchor.
+    bool allow = false;
+  };
+  std::vector<Rule> rules;
+  /// Crawl-delay directive in seconds; 0 = none. The pipeline folds it
+  /// into the domain's token-bucket rate (effective rate becomes
+  /// min(configured, 1/delay)).
+  double crawl_delay_seconds = 0.0;
+
+  /// Longest-pattern-match-wins over all rules (the Google semantics);
+  /// an allow wins ties. No matching rule → allowed.
+  bool Allows(std::string_view path) const;
+};
+
+/// True when `pattern` matches a prefix of `path`. '*' matches any run;
+/// a trailing '$' anchors the pattern to the full path.
+bool RobotsPathMatch(std::string_view pattern, std::string_view path);
+
+/// Parses a robots.txt body for `agent`. Directive names are
+/// case-insensitive ("User-Agent", "DISALLOW", "Crawl-delay"); '#' starts
+/// a comment. Group selection: the group whose user-agent token is the
+/// longest case-insensitive substring of `agent` wins; the wildcard "*"
+/// group applies only when no specific group matched. An empty
+/// `Disallow:` value allows everything (no rule is recorded).
+RobotsRules ParseRobots(std::string_view body, std::string_view agent);
+
+/// Per-domain robots rules with a TTL. Time is supplied by the caller as
+/// seconds on its own monotonic clock, so expiry is testable without
+/// sleeping. Thread-safe; a miss is reported to exactly one caller at a
+/// time per domain (`Lookup` returns kFetchNeeded and marks the entry
+/// pending), so concurrent workers do not stampede the origin's
+/// robots.txt.
+class RobotsCache {
+ public:
+  explicit RobotsCache(double ttl_seconds) : ttl_seconds_(ttl_seconds) {}
+
+  enum class State {
+    kHit,          // *rules is valid.
+    kFetchNeeded,  // Caller must fetch robots.txt and call Put().
+    kPending,      // Another worker is fetching; retry shortly.
+  };
+
+  State Lookup(const std::string& domain, double now_seconds,
+               std::shared_ptr<const RobotsRules>* rules);
+
+  /// Installs freshly fetched rules (also clears the pending mark).
+  void Put(const std::string& domain, RobotsRules rules, double now_seconds);
+
+ private:
+  struct Entry {
+    std::shared_ptr<const RobotsRules> rules;
+    double fetched_at = 0.0;
+    bool pending = false;
+  };
+
+  const double ttl_seconds_;
+  std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ntw::crawl
+
+#endif  // NTW_CRAWL_ROBOTS_H_

@@ -1,0 +1,70 @@
+#ifndef NTW_CRAWL_URL_H_
+#define NTW_CRAWL_URL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ntw::crawl {
+
+/// A parsed crawl target. Two schemes exist on purpose: `http` (the
+/// serving origin the pipeline fetches over sockets) and `file` (a local
+/// corpus tree, so tests and CI crawl without any network). The parser is
+/// deliberately small — no userinfo, no IPv6 literals, no fragments kept —
+/// because every URL the crawler touches is either an operator-supplied
+/// seed or a link discovered on a page it already vetted.
+struct Url {
+  std::string scheme;  // "http" or "file".
+  std::string host;    // Empty for file URLs.
+  int port = 80;       // Meaningful for http only.
+  std::string path;    // Normalized, always starts with '/'.
+  std::string query;   // Raw bytes after '?', empty when absent.
+
+  /// The politeness key: rate limiting, robots rules and the per-domain
+  /// frontier queues are all keyed by this. "host:port" for http;
+  /// the constant "file" for file URLs (one local disk, one budget).
+  std::string Domain() const;
+
+  /// Canonical string form — the dedup key. Parse(Serialize(u)) == u.
+  std::string Serialize() const;
+};
+
+/// Parses an absolute URL. InvalidArgument on anything but
+/// http://host[:port]/path[?query] or file:///path[?query]; fragments
+/// ("#...") are stripped. The path is normalized ("." / ".." collapsed,
+/// empty → "/").
+Result<Url> ParseUrl(std::string_view spec);
+
+/// Resolves an href found on `base`'s page: absolute URLs parse on their
+/// own; "/abs/path" and "relative/path" resolve against the base.
+/// Scheme-relative ("//host/x") inherits the base scheme.
+Result<Url> ResolveUrl(const Url& base, std::string_view href);
+
+/// Collapses "." and ".." segments and duplicate slashes; the result
+/// always starts with '/' and ".." never escapes the root.
+std::string NormalizePath(std::string_view path);
+
+/// The site key a URL maps to in the wrapper repository: the name of the
+/// directory containing the leaf, i.e. the last-but-one path segment
+/// ("/site_07/page_0003.html" → "site_07"). Matches the on-disk layout of
+/// both the serving repository and the sitegen origin corpus. Empty when
+/// the path has fewer than two segments.
+std::string SiteFromUrl(const Url& url);
+
+/// Appends every <a href="..."> / <a href='...'> target of `html`,
+/// resolved against `base`, to `out`. Unparseable or non-http/file hrefs
+/// are skipped. A byte scan, not a DOM parse: link discovery must not
+/// cost a tree build when the extraction path itself is streaming.
+void AppendLinks(std::string_view html, const Url& base,
+                 std::vector<Url>* out);
+
+/// Glob match with '*' (any run, including '/') and '?' (single byte) —
+/// the URL predicate language of --allow / --deny. Case-sensitive,
+/// anchored at both ends.
+bool MatchGlob(std::string_view pattern, std::string_view text);
+
+}  // namespace ntw::crawl
+
+#endif  // NTW_CRAWL_URL_H_

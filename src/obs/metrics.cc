@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "obs/json.h"
 
@@ -59,6 +60,24 @@ HistogramView SnapshotHistogram(const Histogram& histogram) {
     view.buckets[i] = histogram.bucket(i);
   }
   return view;
+}
+
+int64_t HistogramPercentile(const HistogramView& view, double q) {
+  if (view.count <= 0) return 0;
+  int64_t rank =
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(view.count)));
+  if (rank < 1) rank = 1;
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    cumulative += view.buckets[i];
+    if (cumulative < rank) continue;
+    if (i == 0) return std::min<int64_t>(view.min, 0);  // The ≤0 bucket.
+    double lower = static_cast<double>(Histogram::BucketLowerBound(i));
+    int64_t estimate =
+        static_cast<int64_t>(std::llround(lower * std::sqrt(2.0)));
+    return std::clamp(estimate, view.min, view.max);
+  }
+  return view.max;
 }
 
 int64_t ShardedCounter::value() const {

@@ -103,6 +103,16 @@ struct HistogramView {
 /// tolerates the same way it tolerates sampling skew).
 HistogramView SnapshotHistogram(const Histogram& histogram);
 
+/// Percentile estimate from the log-scale histogram: the *geometric
+/// midpoint* of the power-of-two bucket holding the q-quantile sample,
+/// clamped to the recorded [min, max]. A sample in [2^(i-1), 2^i) is
+/// estimated as 2^(i-1)·√2, so the estimate is within a factor of √2 of
+/// the true order statistic in either direction (DESIGN.md §11) —
+/// reporting the bucket's upper bound instead biases every percentile
+/// high and can make p50 exceed the exact mean, which is computed from
+/// the untruncated sum. Shared by ntw_loadgen and bench_crawl.
+int64_t HistogramPercentile(const HistogramView& view, double q);
+
 /// Per-shard counter for the serving reactors: each shard increments its
 /// own cache-line-padded cell, so N reactors counting requests never
 /// contend on one line. The merged value() is a lock-free sum at scrape

@@ -146,6 +146,15 @@ void ReinduceWorker::Process(ReinduceTask task) {
     if (status.ok()) {
       published = true;
       metrics.published->Add(1);
+      // Ledger the publish with its before/after evidence: what the
+      // incumbent scored on the retained pages vs what the repair scored.
+      WrapperRepository::RepairRecord entry;
+      entry.site = task.site;
+      entry.attribute = task.attribute;
+      entry.incumbent_score = repair->incumbent_score;
+      entry.repair_score = repair->score;
+      entry.labels = static_cast<int64_t>(repair->labels);
+      repository_->RecordRepair(std::move(entry));
     } else {
       metrics.failed->Add(1);
     }

@@ -208,6 +208,24 @@ HttpResponse ExtractService::Driftz() const {
     if (entry.drift != nullptr) entry.drift->WriteJson(json);
   }
   json.EndArray();
+  // The repair quality ledger: before/after scores of every self-heal
+  // publish, oldest first (bounded tail; durable across restarts).
+  json.Key("repairs");
+  json.BeginArray();
+  for (const WrapperRepository::RepairRecord& repair :
+       repository_->repair_ledger()) {
+    json.BeginObject();
+    json.KV("sequence", repair.sequence);
+    json.KV("site", repair.site);
+    json.KV("attribute", repair.attribute);
+    json.KV("incumbent_score", repair.incumbent_score);
+    json.KV("repair_score", repair.repair_score);
+    json.KV("labels", repair.labels);
+    json.KV("published_version",
+            static_cast<int64_t>(repair.published_version));
+    json.EndObject();
+  }
+  json.EndArray();
   json.EndObject();
   HttpResponse response;
   response.body = json.Take();

@@ -1,0 +1,74 @@
+#include "serve/static_files.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/strings.h"
+
+namespace ntw::serve {
+
+namespace {
+
+/// Root-confined path resolution: split, drop empties and ".", reject
+/// any ".." that would climb above the root rather than resolving it —
+/// a traversal attempt is a 404, not a normalization exercise.
+bool ResolveWithinRoot(const std::string& root, const std::string& path,
+                       std::string* resolved) {
+  std::vector<std::string> kept;
+  for (const std::string& segment : Split(path, '/')) {
+    if (segment.empty() || segment == ".") continue;
+    if (segment == "..") {
+      if (kept.empty()) return false;
+      kept.pop_back();
+      continue;
+    }
+    kept.push_back(segment);
+  }
+  *resolved = root;
+  for (const std::string& segment : kept) {
+    *resolved += '/';
+    *resolved += segment;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string StaticContentType(const std::string& path) {
+  if (EndsWith(path, ".html") || EndsWith(path, ".htm")) {
+    return "text/html";
+  }
+  if (EndsWith(path, ".txt")) return "text/plain";
+  if (EndsWith(path, ".json")) return "application/json";
+  if (EndsWith(path, ".ndjson")) return "application/x-ndjson";
+  return "application/octet-stream";
+}
+
+StaticFileHandler::StaticFileHandler(std::string root, std::string index_file)
+    : root_(std::move(root)), index_file_(std::move(index_file)) {
+  while (!root_.empty() && root_.back() == '/') root_.pop_back();
+}
+
+HttpResponse StaticFileHandler::Handle(const HttpRequest& request) const {
+  if (request.method != "GET" && request.method != "HEAD") {
+    return ErrorResponse(405, "use GET");
+  }
+  std::string path = request.path;
+  if (path == "/" || path.empty()) {
+    if (index_file_.empty()) return ErrorResponse(404, "no index configured");
+    path = "/" + index_file_;
+  }
+  std::string resolved;
+  if (!ResolveWithinRoot(root_, path, &resolved)) {
+    return ErrorResponse(404, "not found");
+  }
+  Result<std::string> body = ReadFile(resolved);
+  if (!body.ok()) return ErrorResponse(404, "not found");
+  HttpResponse response;
+  response.content_type = StaticContentType(resolved);
+  response.body = request.method == "HEAD" ? "" : std::move(body.value());
+  return response;
+}
+
+}  // namespace ntw::serve

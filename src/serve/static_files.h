@@ -1,0 +1,34 @@
+#ifndef NTW_SERVE_STATIC_FILES_H_
+#define NTW_SERVE_STATIC_FILES_H_
+
+#include <string>
+
+#include "serve/http.h"
+
+namespace ntw::serve {
+
+/// Serves a directory tree over the dependency-free HttpServer — the
+/// local crawl origin (tools/ntw_origin, the crawl smoke, CI): point it
+/// at a sitegen corpus and the crawler exercises the full http path with
+/// zero network dependencies. GET/HEAD only; the request path is
+/// normalized and confined to the root (".." can never escape); unknown
+/// paths get 404. Not a production file server and not trying to be one.
+class StaticFileHandler {
+ public:
+  explicit StaticFileHandler(std::string root, std::string index_file = "");
+
+  HttpResponse Handle(const HttpRequest& request) const;
+
+ private:
+  std::string root_;
+  /// Served for "/" when set (e.g. "index.html"); 404 otherwise.
+  std::string index_file_;
+};
+
+/// Content-Type by file suffix: .html, .txt, .json, .ndjson; everything
+/// else is application/octet-stream.
+std::string StaticContentType(const std::string& path);
+
+}  // namespace ntw::serve
+
+#endif  // NTW_SERVE_STATIC_FILES_H_

@@ -1,9 +1,12 @@
 #include "serve/wrapper_repository.h"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 
 #include "common/file_util.h"
+#include "common/strings.h"
 #include "common/obs_export.h"
 #include "core/wrapper_store.h"
 #include "obs/json.h"
@@ -298,6 +301,64 @@ bool WrapperRepository::PollForChanges() const {
   uint64_t fingerprint = DiskFingerprint();
   std::lock_guard<std::mutex> lock(mu_);
   return fingerprint != loaded_fingerprint_;
+}
+
+void WrapperRepository::EnsureLedgerLoadedLocked() const {
+  if (ledger_loaded_) return;
+  ledger_loaded_ = true;
+  Result<std::string> body = ReadFile(root_ + "/.repairs.tsv");
+  if (!body.ok()) return;  // No ledger yet — a fresh repository.
+  for (const std::string& line : Split(*body, '\n')) {
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() != 7) continue;  // Torn tail line: skip, keep rest.
+    RepairRecord record;
+    record.sequence = std::strtoll(fields[0].c_str(), nullptr, 10);
+    record.site = fields[1];
+    record.attribute = fields[2];
+    record.incumbent_score = std::strtod(fields[3].c_str(), nullptr);
+    record.repair_score = std::strtod(fields[4].c_str(), nullptr);
+    record.labels = std::strtoll(fields[5].c_str(), nullptr, 10);
+    record.published_version =
+        std::strtoull(fields[6].c_str(), nullptr, 10);
+    if (record.sequence > ledger_sequence_) {
+      ledger_sequence_ = record.sequence;
+    }
+    ledger_.push_back(std::move(record));
+    if (ledger_.size() > kLedgerCapacity) {
+      ledger_.erase(ledger_.begin());
+    }
+  }
+}
+
+void WrapperRepository::RecordRepair(RepairRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EnsureLedgerLoadedLocked();
+  record.sequence = ++ledger_sequence_;
+  record.published_version = snapshot_->version;
+  // Durable first (append-only; a torn tail line is skipped on reload),
+  // then the in-memory tail /driftz serves from.
+  std::string line = StrFormat(
+      "%lld\t%s\t%s\t%.17g\t%.17g\t%lld\t%llu\n",
+      static_cast<long long>(record.sequence), record.site.c_str(),
+      record.attribute.c_str(), record.incumbent_score, record.repair_score,
+      static_cast<long long>(record.labels),
+      static_cast<unsigned long long>(record.published_version));
+  std::FILE* file = std::fopen((root_ + "/.repairs.tsv").c_str(), "ab");
+  if (file != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fclose(file);
+  }
+  ledger_.push_back(std::move(record));
+  if (ledger_.size() > kLedgerCapacity) {
+    ledger_.erase(ledger_.begin());
+  }
+}
+
+std::vector<WrapperRepository::RepairRecord> WrapperRepository::repair_ledger()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EnsureLedgerLoadedLocked();
+  return ledger_;
 }
 
 }  // namespace ntw::serve

@@ -126,6 +126,32 @@ class WrapperRepository {
   Status PublishWrapper(const std::string& site, const std::string& attribute,
                         const core::WrapperPtr& wrapper);
 
+  /// One self-heal publish, scored: what the incumbent was worth and what
+  /// the repair scored on the same retained pages under the same ranker —
+  /// the before/after quality evidence for every wrapper the system
+  /// replaced on its own. Exposed by GET /driftz ("repairs").
+  struct RepairRecord {
+    int64_t sequence = 0;  // Monotonic per repository, 1-based.
+    std::string site;
+    std::string attribute;
+    double incumbent_score = 0.0;
+    double repair_score = 0.0;
+    /// Dictionary labels the re-induction learned from.
+    int64_t labels = 0;
+    /// Snapshot version the repair was published as.
+    uint64_t published_version = 0;
+  };
+
+  /// Appends one publish to the repair quality ledger: in memory (bounded
+  /// to the most recent kLedgerCapacity entries) and durably to
+  /// `<root>/.repairs.tsv` (append-only TSV, reloaded on construction so
+  /// the ledger survives restarts). `sequence` and `published_version`
+  /// are filled in by the repository.
+  void RecordRepair(RepairRecord record);
+
+  /// The in-memory ledger tail, oldest first.
+  std::vector<RepairRecord> repair_ledger() const;
+
   /// Wait-free read-side access for the request path.
   PinnedSnapshot Pin() const { return PinnedSnapshot(&epochs_, current_); }
 
@@ -147,7 +173,11 @@ class WrapperRepository {
   const std::string& root() const { return root_; }
 
  private:
+  static constexpr size_t kLedgerCapacity = 128;
+
   uint64_t DiskFingerprint() const;
+  /// Reads `<root>/.repairs.tsv` into ledger_ once (under mu_).
+  void EnsureLedgerLoadedLocked() const;
   void AttachDriftStatesLocked(Snapshot* next);
   /// Swaps `next` in as the published snapshot (under mu_) and hands the
   /// replaced one to the caller for retirement.
@@ -171,6 +201,12 @@ class WrapperRepository {
   DriftConfig drift_config_;
   std::map<std::pair<std::string, std::string>, std::shared_ptr<DriftState>>
       drift_states_;
+  /// Repair quality ledger (under mu_): most recent kLedgerCapacity
+  /// publishes, oldest first; ledger_sequence_ counts all of them ever.
+  /// Mutable: lazily loaded from disk on first (possibly const) access.
+  mutable std::vector<RepairRecord> ledger_;
+  mutable int64_t ledger_sequence_ = 0;
+  mutable bool ledger_loaded_ = false;
 };
 
 }  // namespace ntw::serve

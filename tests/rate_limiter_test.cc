@@ -1,0 +1,152 @@
+// Unit tests for the per-domain token bucket (src/crawl/rate_limiter.cc).
+// The load-bearing assertion is the politeness invariant: grants to one
+// domain over any interval T never exceed burst + rate·T — verified both
+// single-threaded on a scripted clock and under genuinely concurrent
+// workers hammering TryAcquire. Plus: backoff escalation and clearance,
+// Crawl-delay folding, and domain independence.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crawl/rate_limiter.h"
+#include "gtest/gtest.h"
+
+namespace ntw::crawl {
+namespace {
+
+RateLimiterOptions TestOptions(double rate, double burst) {
+  RateLimiterOptions options;
+  options.requests_per_second = rate;
+  options.burst = burst;
+  return options;
+}
+
+TEST(RateLimiterTest, FreshDomainGrantsBurstThenPaces) {
+  DomainRateLimiter limiter(TestOptions(2.0, 3.0));
+  // A fresh domain starts with a full bucket: `burst` immediate grants.
+  EXPECT_EQ(limiter.TryAcquire("d:80", 100.0), 0.0);
+  EXPECT_EQ(limiter.TryAcquire("d:80", 100.0), 0.0);
+  EXPECT_EQ(limiter.TryAcquire("d:80", 100.0), 0.0);
+  // Bucket empty: the wait quote is one token's refill time (0.5s @ 2/s).
+  double wait = limiter.TryAcquire("d:80", 100.0);
+  EXPECT_NEAR(wait, 0.5, 1e-9);
+  // After the quoted wait the token is there.
+  EXPECT_EQ(limiter.TryAcquire("d:80", 100.0 + wait), 0.0);
+}
+
+TEST(RateLimiterTest, GrantsNeverExceedBudgetOnScriptedClock) {
+  const double kRate = 5.0;
+  const double kBurst = 2.0;
+  DomainRateLimiter limiter(TestOptions(kRate, kBurst));
+  // Sweep a scripted clock in uneven steps, greedily acquiring at every
+  // instant; count grants over the whole window.
+  int granted = 0;
+  double now = 0.0;
+  const double kSteps[] = {0.0,  0.01, 0.02, 0.1, 0.13, 0.5,
+                           0.55, 1.0,  1.7,  2.0, 2.9,  4.0};
+  for (double step : kSteps) {
+    now = step;
+    while (limiter.TryAcquire("d:80", now) == 0.0) ++granted;
+  }
+  // Budget over [0, 4.0] with a full starting bucket.
+  EXPECT_LE(granted, static_cast<int>(kBurst + kRate * 4.0));
+  // And not vacuously stingy. (Exactly rate·T is unreachable here: the
+  // bucket clamps at burst, so refill accrued across a gap longer than
+  // burst/rate is forfeited — greedy sampling at these instants nets 13.)
+  EXPECT_GE(granted, 10);
+}
+
+TEST(RateLimiterTest, ConcurrentWorkersCannotBeatTheBucket) {
+  const double kRate = 50.0;
+  const double kBurst = 4.0;
+  const double kWindow = 0.8;  // Real seconds of hammering.
+  DomainRateLimiter limiter(TestOptions(kRate, kBurst));
+  std::atomic<int64_t> granted{0};
+  std::atomic<bool> stop{false};
+
+  auto now_seconds = [start = std::chrono::steady_clock::now()] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 8; ++i) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (limiter.TryAcquire("hot:80", now_seconds()) == 0.0) {
+          granted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  while (now_seconds() < kWindow) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (std::thread& worker : workers) worker.join();
+  double elapsed = now_seconds();  // ≥ kWindow; grants kept accruing
+                                   // until every worker observed stop.
+  // Zero rate-limit violations: the hard politeness cap held under
+  // 8 threads racing the bucket.
+  EXPECT_LE(granted.load(), static_cast<int64_t>(kBurst + kRate * elapsed));
+  EXPECT_GT(granted.load(), 0);
+}
+
+TEST(RateLimiterTest, BackoffEscalatesExponentiallyAndSuccessClears) {
+  RateLimiterOptions options = TestOptions(100.0, 1.0);
+  options.initial_backoff_seconds = 0.5;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_seconds = 4.0;
+  DomainRateLimiter limiter(options);
+
+  EXPECT_EQ(limiter.TryAcquire("d:80", 0.0), 0.0);
+  limiter.ReportRetryableFailure("d:80", 0.0);
+  EXPECT_NEAR(limiter.BackoffRemaining("d:80", 0.0), 0.5, 1e-9);
+  // Blocked while the penalty runs, even with tokens available.
+  EXPECT_GT(limiter.TryAcquire("d:80", 0.1), 0.0);
+  // Second failure doubles the penalty: 1.0s from t=0.5.
+  limiter.ReportRetryableFailure("d:80", 0.5);
+  EXPECT_NEAR(limiter.BackoffRemaining("d:80", 0.5), 1.0, 1e-9);
+  // Escalate to the ceiling.
+  limiter.ReportRetryableFailure("d:80", 2.0);  // 2.0s penalty
+  limiter.ReportRetryableFailure("d:80", 2.0);  // clamped at 4.0s
+  limiter.ReportRetryableFailure("d:80", 2.0);
+  EXPECT_NEAR(limiter.BackoffRemaining("d:80", 2.0), 4.0, 1e-9);
+  // A success collapses the penalty; the next failure starts over.
+  limiter.ReportSuccess("d:80");
+  EXPECT_EQ(limiter.BackoffRemaining("d:80", 2.0), 0.0);
+  EXPECT_EQ(limiter.TryAcquire("d:80", 10.0), 0.0);
+  limiter.ReportRetryableFailure("d:80", 10.0);
+  EXPECT_NEAR(limiter.BackoffRemaining("d:80", 10.0), 0.5, 1e-9);
+}
+
+TEST(RateLimiterTest, CrawlDelayLowersEffectiveRate) {
+  // Configured 10/s, but Crawl-delay: 2 → one request per 2 seconds.
+  DomainRateLimiter limiter(TestOptions(10.0, 1.0));
+  limiter.SetCrawlDelay("slow:80", 2.0);
+  EXPECT_EQ(limiter.TryAcquire("slow:80", 0.0), 0.0);
+  double wait = limiter.TryAcquire("slow:80", 0.0);
+  EXPECT_NEAR(wait, 2.0, 1e-9);
+  EXPECT_GT(limiter.TryAcquire("slow:80", 1.0), 0.0);
+  EXPECT_EQ(limiter.TryAcquire("slow:80", 2.0), 0.0);
+  // A delay looser than the configured rate is a no-op for pacing
+  // (min(configured, 1/delay) keeps the configured rate).
+  limiter.SetCrawlDelay("fast:80", 0.01);
+  EXPECT_EQ(limiter.TryAcquire("fast:80", 0.0), 0.0);
+  EXPECT_NEAR(limiter.TryAcquire("fast:80", 0.0), 0.1, 1e-9);
+}
+
+TEST(RateLimiterTest, DomainsAreIsolated) {
+  DomainRateLimiter limiter(TestOptions(1.0, 1.0));
+  EXPECT_EQ(limiter.TryAcquire("a:80", 0.0), 0.0);
+  limiter.ReportRetryableFailure("a:80", 0.0);
+  // Domain b is unaffected by a's empty bucket and backoff.
+  EXPECT_EQ(limiter.TryAcquire("b:80", 0.0), 0.0);
+  EXPECT_EQ(limiter.BackoffRemaining("b:80", 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ntw::crawl

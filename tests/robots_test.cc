@@ -1,0 +1,148 @@
+// Unit tests for the crawl politeness parser (src/crawl/robots.cc):
+// robots.txt directive parsing with mixed-case names, wildcard and
+// specific agent-group selection, pattern matching ('*' runs, '$'
+// anchors, longest-match-wins with allow on ties), the missing/404 →
+// allow-all default, Crawl-delay, and the TTL'd per-domain cache with
+// its anti-stampede pending mark.
+
+#include <memory>
+#include <string>
+
+#include "crawl/robots.h"
+#include "gtest/gtest.h"
+
+namespace ntw::crawl {
+namespace {
+
+TEST(RobotsPathMatchTest, PrefixWildcardAndAnchor) {
+  EXPECT_TRUE(RobotsPathMatch("/", "/anything"));
+  EXPECT_TRUE(RobotsPathMatch("/private", "/private/x"));
+  EXPECT_FALSE(RobotsPathMatch("/private", "/pub"));
+  EXPECT_TRUE(RobotsPathMatch("/*.html", "/a/b/page.html"));
+  EXPECT_TRUE(RobotsPathMatch("/*/tmp", "/a/tmp/file"));
+  EXPECT_FALSE(RobotsPathMatch("/*/tmp", "/tmp"));
+  // '$' anchors to the exact end of the path.
+  EXPECT_TRUE(RobotsPathMatch("/exact$", "/exact"));
+  EXPECT_FALSE(RobotsPathMatch("/exact$", "/exactly"));
+  EXPECT_TRUE(RobotsPathMatch("/*.pdf$", "/docs/a.pdf"));
+  EXPECT_FALSE(RobotsPathMatch("/*.pdf$", "/docs/a.pdf.html"));
+}
+
+TEST(ParseRobotsTest, MixedCaseDirectivesAndComments) {
+  RobotsRules rules = ParseRobots(
+      "# politeness file\n"
+      "USER-AGENT: *\n"
+      "DisAllow: /private   # no peeking\n"
+      "ALLOW: /private/ok\n"
+      "CRAWL-DELAY: 2.5\n",
+      "ntw_crawl/1");
+  EXPECT_FALSE(rules.Allows("/private/x"));
+  EXPECT_TRUE(rules.Allows("/private/ok/page"));  // Longer allow wins.
+  EXPECT_TRUE(rules.Allows("/public"));
+  EXPECT_DOUBLE_EQ(rules.crawl_delay_seconds, 2.5);
+}
+
+TEST(ParseRobotsTest, SpecificAgentGroupBeatsWildcard) {
+  const char kBody[] =
+      "User-agent: *\n"
+      "Disallow: /\n"
+      "\n"
+      "User-agent: ntw_crawl\n"
+      "Disallow: /private\n";
+  // The specific group applies to us: only /private is off-limits.
+  RobotsRules ours = ParseRobots(kBody, "ntw_crawl/1");
+  EXPECT_TRUE(ours.Allows("/page"));
+  EXPECT_FALSE(ours.Allows("/private/x"));
+  // Everyone else falls back to the wildcard group's Disallow: /.
+  RobotsRules theirs = ParseRobots(kBody, "otherbot");
+  EXPECT_FALSE(theirs.Allows("/page"));
+}
+
+TEST(ParseRobotsTest, ConsecutiveAgentLinesShareOneGroup) {
+  RobotsRules rules = ParseRobots(
+      "User-agent: somebot\n"
+      "User-agent: ntw_crawl\n"
+      "Disallow: /shared\n",
+      "ntw_crawl/1");
+  EXPECT_FALSE(rules.Allows("/shared/x"));
+  EXPECT_TRUE(rules.Allows("/open"));
+}
+
+TEST(ParseRobotsTest, EmptyDisallowAllowsEverything) {
+  RobotsRules rules = ParseRobots(
+      "User-agent: *\n"
+      "Disallow:\n",
+      "ntw_crawl/1");
+  EXPECT_TRUE(rules.rules.empty());
+  EXPECT_TRUE(rules.Allows("/anything"));
+}
+
+TEST(ParseRobotsTest, MissingOrGarbageBodyAllowsAll) {
+  // A 404'd robots.txt yields default-constructed rules; garbage parses
+  // to no rules. Both allow everything.
+  EXPECT_TRUE(RobotsRules().Allows("/any"));
+  RobotsRules garbage = ParseRobots("<html>404 not found</html>", "ntw");
+  EXPECT_TRUE(garbage.Allows("/any"));
+  RobotsRules empty = ParseRobots("", "ntw");
+  EXPECT_TRUE(empty.Allows("/any"));
+}
+
+TEST(ParseRobotsTest, LongestMatchWinsAllowOnTie) {
+  RobotsRules rules = ParseRobots(
+      "User-agent: *\n"
+      "Disallow: /a/\n"
+      "Allow: /a/b/\n",
+      "ntw");
+  EXPECT_FALSE(rules.Allows("/a/x"));
+  EXPECT_TRUE(rules.Allows("/a/b/x"));  // /a/b/ is the longer match.
+  // Equal-length allow and disallow: allow wins.
+  RobotsRules tie = ParseRobots(
+      "User-agent: *\n"
+      "Disallow: /tie\n"
+      "Allow: /tie\n",
+      "ntw");
+  EXPECT_TRUE(tie.Allows("/tie/x"));
+}
+
+TEST(RobotsCacheTest, FetchNeededThenHitThenTtlExpiry) {
+  RobotsCache cache(10.0);
+  std::shared_ptr<const RobotsRules> rules;
+  EXPECT_EQ(cache.Lookup("example.com:80", 100.0, &rules),
+            RobotsCache::State::kFetchNeeded);
+  // A second caller while the first is fetching must not stampede.
+  EXPECT_EQ(cache.Lookup("example.com:80", 100.0, &rules),
+            RobotsCache::State::kPending);
+
+  RobotsRules fetched;
+  fetched.rules.push_back({"/private", false});
+  cache.Put("example.com:80", fetched, 100.0);
+  EXPECT_EQ(cache.Lookup("example.com:80", 105.0, &rules),
+            RobotsCache::State::kHit);
+  ASSERT_NE(rules, nullptr);
+  EXPECT_FALSE(rules->Allows("/private/x"));
+
+  // Within TTL: still a hit. Past TTL: refetch, and the stale entry
+  // pends again for other callers.
+  EXPECT_EQ(cache.Lookup("example.com:80", 109.9, &rules),
+            RobotsCache::State::kHit);
+  EXPECT_EQ(cache.Lookup("example.com:80", 110.1, &rules),
+            RobotsCache::State::kFetchNeeded);
+  EXPECT_EQ(cache.Lookup("example.com:80", 110.2, &rules),
+            RobotsCache::State::kPending);
+}
+
+TEST(RobotsCacheTest, DomainsAreIndependent) {
+  RobotsCache cache(10.0);
+  std::shared_ptr<const RobotsRules> rules;
+  EXPECT_EQ(cache.Lookup("a:80", 0.0, &rules),
+            RobotsCache::State::kFetchNeeded);
+  EXPECT_EQ(cache.Lookup("b:80", 0.0, &rules),
+            RobotsCache::State::kFetchNeeded);
+  cache.Put("a:80", RobotsRules(), 0.0);
+  EXPECT_EQ(cache.Lookup("a:80", 1.0, &rules), RobotsCache::State::kHit);
+  EXPECT_EQ(cache.Lookup("b:80", 1.0, &rules),
+            RobotsCache::State::kPending);
+}
+
+}  // namespace
+}  // namespace ntw::crawl

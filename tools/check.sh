@@ -59,10 +59,23 @@ sh "$ROOT/tools/serve_smoke.sh" "$ROOT/build" --self-heal || {
   FAILED=1
 }
 
+echo "==> ntw_crawl smoke (file+http byte-identity)"
+sh "$ROOT/tools/crawl_smoke.sh" "$ROOT/build" || {
+  echo "check.sh: ntw_crawl smoke run FAILED" >&2
+  FAILED=1
+}
+
 echo "==> scan bench smoke"
 "$ROOT/build/bench/bench_tokenizer_scan" --smoke \
     --out "$ROOT/build/BENCH_scan.json" || {
   echo "check.sh: bench_tokenizer_scan smoke run FAILED" >&2
+  FAILED=1
+}
+
+echo "==> crawl bench smoke"
+"$ROOT/build/bench/bench_crawl" --smoke \
+    --out "$ROOT/build/BENCH_crawl.json" || {
+  echo "check.sh: bench_crawl smoke run FAILED" >&2
   FAILED=1
 }
 

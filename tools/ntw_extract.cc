@@ -17,6 +17,11 @@
 //   apply   (--wrapper-dir): select the (site, attribute) wrapper out of
 //           a serving repository — the exact same serve::WrapperRepository
 //           code path ntw_serve uses, so CLI and daemon cannot diverge.
+//           With --emit ndjson the output switches from TSV to one
+//           ntw-crawl-record line per page (--url-prefix P names the
+//           pages as P/<filename>) — byte-identical to what ntw_crawl
+//           emits for the same pages, the offline half of the crawl
+//           equivalence check.
 //
 // The (p, r) flags are the annotator model parameters of Eq. 4; in a real
 // deployment they come from a labeled sample (see datasets::LearnModels).
@@ -36,6 +41,7 @@
 #include "core/ntw.h"
 #include "core/wrapper_store.h"
 #include "core/xpath_inductor.h"
+#include "crawl/record.h"
 #include "datasets/corpus_io.h"
 #include "html/arena_dom.h"
 #include "serve/wrapper_repository.h"
@@ -53,7 +59,8 @@ constexpr char kUsage[] =
     "                   [--p P] [--r R] [--schema-prior N]"
     " [--save-wrapper FILE] [--quiet]\n"
     "                   [--metrics-json PATH] [--trace PATH]"
-    " [--no-fast-path] [--no-streaming]\n";
+    " [--no-fast-path] [--no-streaming]\n"
+    "                   [--emit tsv|ndjson] [--url-prefix P]\n";
 
 void PrintExtraction(const core::PageSet& pages,
                      const core::NodeSet& extraction) {
@@ -77,7 +84,7 @@ int Run(int argc, char** argv) {
       {"pages", "dict", "regex", "load-wrapper", "wrapper-dir", "site",
        "attribute", "inductor", "algorithm", "p", "r", "schema-prior",
        "save-wrapper", "quiet", "help", "metrics-json", "trace",
-       "no-fast-path", "no-streaming"});
+       "no-fast-path", "no-streaming", "emit", "url-prefix"});
   if (!unknown.empty() || flags.Has("help")) {
     for (const std::string& name : unknown) {
       std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
@@ -114,6 +121,35 @@ int Run(int argc, char** argv) {
                    "--wrapper-dir requires --site and --attribute\n%s",
                    kUsage);
       return 2;
+    }
+    std::string emit = ToLower(flags.Get("emit", "tsv"));
+    if (emit != "tsv" && emit != "ndjson") {
+      std::fprintf(stderr, "unknown --emit '%s'\n%s", emit.c_str(), kUsage);
+      return 2;
+    }
+    bool ndjson = emit == "ndjson";
+    // Page URLs of the NDJSON records: <url-prefix>/<filename>, with the
+    // filenames in the exact sorted order LoadPagesFromDirectory reads
+    // pages — the order a crawl of the same directory dispatches them.
+    std::string url_prefix = flags.Get("url-prefix");
+    while (!url_prefix.empty() && url_prefix.back() == '/') {
+      url_prefix.pop_back();
+    }
+    std::vector<std::string> page_urls;
+    if (ndjson) {
+      Result<std::vector<std::string>> files =
+          ListFiles(pages_dir, ".html");
+      if (!files.ok()) {
+        std::fprintf(stderr, "%s\n", files.status().ToString().c_str());
+        return 1;
+      }
+      for (const std::string& file : *files) {
+        size_t slash = file.find_last_of('/');
+        std::string name =
+            slash == std::string::npos ? file : file.substr(slash + 1);
+        page_urls.push_back(url_prefix.empty() ? name
+                                               : url_prefix + "/" + name);
+      }
     }
     serve::WrapperRepository repository(flags.Get("wrapper-dir"));
     Status loaded = repository.Load();
@@ -167,9 +203,16 @@ int Run(int argc, char** argv) {
           entry->compiled->Extract(buffer, &buffer.values);
           values = &buffer.values;
         }
-        for (std::string_view v : *values) {
-          value.assign(v);
-          std::printf("%d\t%s\n", static_cast<int>(i), value.c_str());
+        if (ndjson) {
+          std::string line;
+          crawl::AppendRecordLine(site, page_urls[i], attribute, *values,
+                                  crawl::RecordTiming{}, &line);
+          std::fwrite(line.data(), 1, line.size(), stdout);
+        } else {
+          for (std::string_view v : *values) {
+            value.assign(v);
+            std::printf("%d\t%s\n", static_cast<int>(i), value.c_str());
+          }
         }
       }
     } else {
@@ -178,7 +221,26 @@ int Run(int argc, char** argv) {
         obs::Span span("extract.apply");
         extraction = entry->wrapper->Extract(pages);
       }
-      PrintExtraction(pages, extraction);
+      if (ndjson) {
+        // One record line per page, values grouped by page in document
+        // order — the interpreted mirror of the compiled loop above.
+        std::vector<std::vector<std::string>> by_page(pages.size());
+        for (const core::NodeRef& ref : extraction) {
+          const html::Node* node = pages.Resolve(ref);
+          if (node == nullptr) continue;
+          by_page[static_cast<size_t>(ref.page)].push_back(node->text());
+        }
+        for (size_t i = 0; i < by_page.size(); ++i) {
+          std::vector<std::string_view> views(by_page[i].begin(),
+                                              by_page[i].end());
+          std::string line;
+          crawl::AppendRecordLine(site, page_urls[i], attribute, views,
+                                  crawl::RecordTiming{}, &line);
+          std::fwrite(line.data(), 1, line.size(), stdout);
+        }
+      } else {
+        PrintExtraction(pages, extraction);
+      }
     }
     Status written = obs_export.Write();
     if (!written.ok()) {

@@ -187,37 +187,6 @@ class Client {
   std::string buffer_;
 };
 
-// ---------------------------------------------------------------------
-// Histogram percentiles (geometric bucket midpoints).
-// ---------------------------------------------------------------------
-
-/// Percentile estimate from the log-scale histogram: the *geometric
-/// midpoint* of the power-of-two bucket holding the q-quantile sample,
-/// clamped to the recorded [min, max]. A sample in [2^(i-1), 2^i) is
-/// estimated as 2^(i-1)·√2, so the estimate is within a factor of √2 of
-/// the true order statistic in either direction (DESIGN.md §11) —
-/// reporting the bucket's upper bound instead biases every percentile
-/// high and can make p50 exceed the exact mean, which is computed from
-/// the untruncated sum.
-int64_t HistogramPercentile(const obs::HistogramView& view, double q) {
-  if (view.count <= 0) return 0;
-  int64_t rank =
-      static_cast<int64_t>(std::ceil(q * static_cast<double>(view.count)));
-  if (rank < 1) rank = 1;
-  int64_t cumulative = 0;
-  for (size_t i = 0; i < obs::Histogram::kBucketCount; ++i) {
-    cumulative += view.buckets[i];
-    if (cumulative < rank) continue;
-    if (i == 0) return std::min<int64_t>(view.min, 0);  // The ≤0 bucket.
-    double lower =
-        static_cast<double>(obs::Histogram::BucketLowerBound(i));
-    int64_t estimate =
-        static_cast<int64_t>(std::llround(lower * std::sqrt(2.0)));
-    return std::clamp(estimate, view.min, view.max);
-  }
-  return view.max;
-}
-
 struct PhaseResult {
   std::string name;
   std::string plan_kind;  // "lr" or "xpath" — which wrapper kind is driven.
@@ -327,9 +296,9 @@ PhaseResult RunPhase(const std::string& name, int port,
       latency.count > 0 ? static_cast<double>(latency.sum) /
                               static_cast<double>(latency.count)
                         : 0.0;
-  result.latency_p50_micros = HistogramPercentile(latency, 0.50);
-  result.latency_p95_micros = HistogramPercentile(latency, 0.95);
-  result.latency_p99_micros = HistogramPercentile(latency, 0.99);
+  result.latency_p50_micros = obs::HistogramPercentile(latency, 0.50);
+  result.latency_p95_micros = obs::HistogramPercentile(latency, 0.95);
+  result.latency_p99_micros = obs::HistogramPercentile(latency, 0.99);
   result.latency_max_micros = latency.max;
   result.arena_bytes_reused =
       obs::Registry::Global()

@@ -1,0 +1,179 @@
+// ntw_origin — generate a multi-site local crawl origin and (optionally)
+// serve it over HTTP.
+//
+// Usage:
+//   ntw_origin --out DIR [--sites N] [--pages N] [--seed S]
+//              [--wrapper-dir DIR] [--robots FILE]
+//   ntw_origin --serve DIR [--host H] [--port P] [--port-file PATH]
+//
+// Generate mode writes `<out>/<site>/page_NNNN.html` for N script-
+// generated dealer-locator sites, a root index.html linking every page
+// in sorted order (the single seed of a depth-1 crawl), and optionally a
+// robots.txt; with --wrapper-dir it also learns each site's wrappers
+// (XPATH + LR) and writes a serving repository — everything ntw_crawl
+// needs, produced deterministically from --seed with zero network.
+//
+// Serve mode exposes a directory over the dependency-free HttpServer
+// through the static-file handler — the local HTTP origin of the crawl
+// smoke and CI (429/5xx behavior is the crawler's own test harness's
+// job; this origin is deliberately plain).
+
+#include <csignal>
+#include <cstdio>
+
+#include "common/file_util.h"
+#include "common/flags.h"
+#include "serve/server.h"
+#include "serve/static_files.h"
+#include "sitegen/origin.h"
+
+namespace {
+
+using namespace ntw;
+
+constexpr char kUsage[] =
+    "usage: ntw_origin --out DIR [--sites N] [--pages N] [--seed S]\n"
+    "                  [--min-records N] [--max-records N]\n"
+    "                  [--wrapper-dir DIR] [--robots FILE] [--no-index]\n"
+    "       ntw_origin --serve DIR [--host H] [--port P] [--port-file "
+    "PATH]\n";
+
+serve::HttpServer* g_server = nullptr;
+
+void OnShutdownSignal(int) {
+  if (g_server != nullptr) g_server->RequestShutdown();
+}
+
+int Serve(const Flags& flags) {
+  serve::ServerOptions options;
+  options.host = flags.Get("host", "127.0.0.1");
+  Result<int64_t> port = flags.GetInt("port", 0);
+  if (!port.ok()) {
+    std::fprintf(stderr, "%s\n", port.status().ToString().c_str());
+    return 2;
+  }
+  options.port = static_cast<int>(*port);
+  options.tick_interval_ms = 0;  // Static tree: no reload poller.
+
+  serve::StaticFileHandler handler(flags.Get("serve"), "index.html");
+  serve::HttpServer server(options,
+                           [&handler](const serve::HttpRequest& request) {
+                             return handler.Handle(request);
+                           });
+  Status bound = server.Bind();
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.ToString().c_str());
+    return 1;
+  }
+  if (flags.Has("port-file")) {
+    Status written = WriteFile(flags.Get("port-file"),
+                               std::to_string(server.port()) + "\n");
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "ntw_origin: serving %s on http://%s:%d/\n",
+               flags.Get("serve").c_str(), options.host.c_str(),
+               server.port());
+  g_server = &server;
+  std::signal(SIGTERM, OnShutdownSignal);
+  std::signal(SIGINT, OnShutdownSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+  Status ran = server.Run();
+  g_server = nullptr;
+  if (!ran.ok()) {
+    std::fprintf(stderr, "%s\n", ran.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  Result<Flags> flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n%s", flags_or.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  const Flags& flags = *flags_or;
+  std::vector<std::string> unknown = flags.UnknownFlags(
+      {"out", "sites", "pages", "seed", "min-records", "max-records",
+       "wrapper-dir", "robots", "no-index", "serve", "host", "port",
+       "port-file", "help"});
+  if (!unknown.empty() || flags.Has("help")) {
+    for (const std::string& name : unknown) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    }
+    std::fprintf(stderr, "%s", kUsage);
+    return flags.Has("help") ? 0 : 2;
+  }
+
+  if (flags.Has("serve")) return Serve(flags);
+
+  std::string out = flags.Get("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out (or --serve) is required\n%s", kUsage);
+    return 2;
+  }
+  sitegen::OriginOptions options;
+  Result<int64_t> sites = flags.GetInt("sites", 8);
+  Result<int64_t> pages = flags.GetInt("pages", 6);
+  Result<int64_t> seed = flags.GetInt("seed", 17);
+  Result<int64_t> min_records = flags.GetInt("min-records", 2);
+  Result<int64_t> max_records = flags.GetInt("max-records", 8);
+  for (const auto* value : {&sites, &pages, &seed, &min_records,
+                            &max_records}) {
+    if (!value->ok()) {
+      std::fprintf(stderr, "%s\n", value->status().ToString().c_str());
+      return 2;
+    }
+  }
+  if (*sites < 1 || *pages < 1 || *min_records < 1 ||
+      *max_records < *min_records) {
+    std::fprintf(stderr, "invalid corpus shape\n%s", kUsage);
+    return 2;
+  }
+  options.sites = static_cast<size_t>(*sites);
+  options.pages_per_site = static_cast<size_t>(*pages);
+  options.seed = static_cast<uint64_t>(*seed);
+  options.min_records = static_cast<size_t>(*min_records);
+  options.max_records = static_cast<size_t>(*max_records);
+  options.write_root_index = !flags.Has("no-index");
+  if (flags.Has("robots")) {
+    Result<std::string> robots = ReadFile(flags.Get("robots"));
+    if (!robots.ok()) {
+      std::fprintf(stderr, "%s\n", robots.status().ToString().c_str());
+      return 1;
+    }
+    options.robots_txt = std::move(robots.value());
+  }
+
+  sitegen::OriginCorpus corpus = sitegen::MakeOriginCorpus(options);
+  Status wrote = sitegen::WriteOriginTree(corpus, out);
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+    return 1;
+  }
+  size_t total_pages = 0;
+  for (const sitegen::OriginSite& site : corpus.sites) {
+    total_pages += site.page_html.size();
+  }
+  std::fprintf(stderr, "ntw_origin: wrote %zu sites / %zu pages to %s\n",
+               corpus.sites.size(), total_pages, out.c_str());
+  if (flags.Has("wrapper-dir")) {
+    Status learned =
+        sitegen::WriteOriginWrapperRepository(corpus, flags.Get("wrapper-dir"));
+    if (!learned.ok()) {
+      std::fprintf(stderr, "%s\n", learned.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "ntw_origin: wrote wrapper repository to %s\n",
+                 flags.Get("wrapper-dir").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
