@@ -1,0 +1,298 @@
+// Repository scaling benchmark: mmap pack open vs eager directory load,
+// swept across synthetic repository sizes (1k → 100k+ sites). For each
+// size the bench generates a `<root>/site_NNNNNN/attr_NN.wrapper` tree
+// (records only — the axis is repository size, not page content), packs
+// it, and measures:
+//
+//   * pack Open(): wall time of WrapperRepository::Load() on the pack
+//     backend (header validation + mmap, nothing parsed) and the RSS it
+//     touches,
+//   * cold first-hit latency: Snapshot::Find() on sites no request has
+//     materialized yet (page-in + parse + compile of one entry),
+//   * eager directory Load(): the baseline every earlier PR paid at
+//     startup, and its RSS.
+//
+// Pack open is measured *before* the eager load within each point so its
+// RSS delta is not deflated by heap the big load released back to the
+// allocator. Non-smoke runs enforce the headline claim at 10k+ sites:
+// pack open must be >= 50x faster than the eager directory load, with the
+// pack's cold RSS staying far below the eager load's.
+//
+// `--out PATH` writes an ntw-repo-bench (v1) JSON document
+// (BENCH_repo.json in CI); `--smoke` shrinks the sweep to a CI-sized
+// sanity run and skips the speedup enforcement (tiny repositories are
+// dominated by fixed costs, not scaling).
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/build_info.h"
+#include "common/file_util.h"
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/wrapper_pack.h"
+#include "obs/json.h"
+#include "obs/proc.h"
+#include "serve/wrapper_repository.h"
+#include "sitegen/origin.h"
+
+namespace {
+
+using namespace ntw;
+
+constexpr char kUsage[] =
+    "usage: bench_repo [--out BENCH_repo.json] [--sizes 1000,10000,...]\n"
+    "                  [--attrs N] [--seed N] [--smoke]\n";
+
+constexpr char kSuffix[] = ".wrapper";
+
+struct SweepPoint {
+  int64_t sites = 0;
+  int64_t entries = 0;
+  double pack_build_seconds = 0.0;
+  int64_t pack_file_bytes = 0;
+  double pack_open_micros = 0.0;
+  int64_t pack_open_rss_bytes = 0;
+  double first_hit_micros_p50 = 0.0;
+  double first_hit_micros_max = 0.0;
+  int64_t cold_hit_rss_bytes = 0;
+  double dir_load_micros = 0.0;
+  int64_t dir_load_rss_bytes = 0;
+  double open_speedup = 0.0;
+};
+
+// Same walk as `ntw_pack build`, inlined so the bench times the build
+// without shelling out.
+Status BuildPack(const std::string& root, const std::string& out,
+                 size_t* entries) {
+  core::WrapperPackBuilder builder;
+  Result<std::vector<std::string>> site_dirs = ListSubdirectories(root);
+  if (!site_dirs.ok()) return site_dirs.status();
+  for (const std::string& site_dir : *site_dirs) {
+    std::string site = std::filesystem::path(site_dir).filename().string();
+    Result<std::vector<std::string>> files = ListFiles(site_dir, kSuffix);
+    if (!files.ok()) continue;
+    for (const std::string& file : *files) {
+      std::string attribute = std::filesystem::path(file).filename().string();
+      attribute.resize(attribute.size() - (sizeof(kSuffix) - 1));
+      Result<std::string> record = ReadFile(file);
+      if (!record.ok()) return record.status();
+      Status added = builder.Add(site, attribute, *record);
+      if (!added.ok()) return added;
+    }
+  }
+  *entries = builder.entry_count();
+  return builder.WriteFile(out);
+}
+
+int64_t RssDelta(int64_t before, int64_t after) {
+  return std::max<int64_t>(0, after - before);
+}
+
+int Run(int argc, char** argv) {
+  Result<Flags> flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n%s", flags_or.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  const Flags& flags = *flags_or;
+  std::vector<std::string> unknown =
+      flags.UnknownFlags({"out", "sizes", "attrs", "seed", "smoke", "help"});
+  if (!unknown.empty() || flags.Has("help")) {
+    for (const std::string& name : unknown) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    }
+    std::fprintf(stderr, "%s", kUsage);
+    return flags.Has("help") ? 0 : 2;
+  }
+  bool smoke = flags.Has("smoke");
+  Result<int64_t> attrs = flags.GetInt("attrs", 2);
+  Result<int64_t> seed = flags.GetInt("seed", 17);
+  for (const auto* value : {&attrs, &seed}) {
+    if (!value->ok()) {
+      std::fprintf(stderr, "%s\n%s", value->status().ToString().c_str(),
+                   kUsage);
+      return 2;
+    }
+  }
+  std::vector<int64_t> sizes;
+  for (const std::string& part :
+       Split(flags.Get("sizes", smoke ? "100,400" : "1000,10000,100000"),
+             ',')) {
+    if (part.empty()) continue;
+    sizes.push_back(std::max<int64_t>(1, std::atoll(part.c_str())));
+  }
+  if (sizes.empty()) sizes = {1000};
+  std::sort(sizes.begin(), sizes.end());
+
+  std::string work = (std::filesystem::temp_directory_path() /
+                      StrFormat("ntw_bench_repo_%d", static_cast<int>(getpid())))
+                         .string();
+  std::filesystem::remove_all(work);
+
+  std::vector<SweepPoint> points;
+  bool enforcement_failed = false;
+  for (int64_t size : sizes) {
+    SweepPoint point;
+    point.sites = size;
+    std::string repo_dir = work + "/repo";
+    std::string pack_path = work + "/wrappers.pack";
+    std::filesystem::remove_all(work);
+    std::filesystem::create_directories(work);
+
+    sitegen::SyntheticRepositoryOptions options;
+    options.sites = static_cast<size_t>(size);
+    options.attrs = static_cast<size_t>(*attrs);
+    options.seed = static_cast<uint64_t>(*seed);
+    Status wrote = sitegen::WriteSyntheticWrapperRepository(options, repo_dir);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "bench_repo: %s\n", wrote.ToString().c_str());
+      return 1;
+    }
+
+    size_t entries = 0;
+    Stopwatch build_timer;
+    Status packed = BuildPack(repo_dir, pack_path, &entries);
+    point.pack_build_seconds = build_timer.ElapsedSeconds();
+    if (!packed.ok()) {
+      std::fprintf(stderr, "bench_repo: %s\n", packed.ToString().c_str());
+      return 1;
+    }
+    point.entries = static_cast<int64_t>(entries);
+    point.pack_file_bytes =
+        static_cast<int64_t>(std::filesystem::file_size(pack_path));
+
+    // Pack open + cold first hits, before the eager load touches the heap.
+    {
+      int64_t rss_before = obs::CurrentRssBytes();
+      serve::WrapperRepository repository(
+          serve::WrapperRepository::Options{std::string(), pack_path});
+      Stopwatch open_timer;
+      Status loaded = repository.Load();
+      point.pack_open_micros = open_timer.ElapsedSeconds() * 1e6;
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "bench_repo: pack open: %s\n",
+                     loaded.ToString().c_str());
+        return 1;
+      }
+      point.pack_open_rss_bytes =
+          RssDelta(rss_before, obs::CurrentRssBytes());
+
+      auto pinned = repository.Pin();
+      if (pinned->pack == nullptr) {
+        std::fprintf(stderr, "bench_repo: pack backend did not engage\n");
+        return 1;
+      }
+      // First-hit latency on sites nothing has materialized yet, spread
+      // across the directory so the hits touch distinct pack pages.
+      size_t probes = std::min<int64_t>(size, 32);
+      std::vector<double> micros;
+      for (size_t i = 0; i < probes; ++i) {
+        size_t index = i * static_cast<size_t>(size) / probes;
+        std::string site = StrFormat("site_%06zu", index);
+        Stopwatch hit_timer;
+        const serve::WrapperRepository::Entry* entry =
+            pinned->Find(site, "attr_00");
+        micros.push_back(hit_timer.ElapsedSeconds() * 1e6);
+        if (entry == nullptr) {
+          std::fprintf(stderr, "bench_repo: cold hit missed %s\n",
+                       site.c_str());
+          return 1;
+        }
+      }
+      std::sort(micros.begin(), micros.end());
+      point.first_hit_micros_p50 = micros[micros.size() / 2];
+      point.first_hit_micros_max = micros.back();
+      point.cold_hit_rss_bytes = RssDelta(rss_before, obs::CurrentRssBytes());
+    }
+
+    // Eager directory load — the pre-pack startup cost.
+    {
+      int64_t rss_before = obs::CurrentRssBytes();
+      serve::WrapperRepository repository(repo_dir);
+      Stopwatch load_timer;
+      Status loaded = repository.Load();
+      point.dir_load_micros = load_timer.ElapsedSeconds() * 1e6;
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "bench_repo: dir load: %s\n",
+                     loaded.ToString().c_str());
+        return 1;
+      }
+      point.dir_load_rss_bytes = RssDelta(rss_before, obs::CurrentRssBytes());
+    }
+
+    point.open_speedup = point.pack_open_micros > 0.0
+                             ? point.dir_load_micros / point.pack_open_micros
+                             : 0.0;
+    std::fprintf(stderr,
+                 "bench_repo: sites=%lld open=%.0fus dir_load=%.0fus "
+                 "(%.0fx) first_hit_p50=%.1fus cold_rss=%lld dir_rss=%lld\n",
+                 static_cast<long long>(point.sites), point.pack_open_micros,
+                 point.dir_load_micros, point.open_speedup,
+                 point.first_hit_micros_p50,
+                 static_cast<long long>(point.cold_hit_rss_bytes),
+                 static_cast<long long>(point.dir_load_rss_bytes));
+
+    if (!smoke && size >= 10000 && point.open_speedup < 50.0) {
+      std::fprintf(stderr,
+                   "bench_repo: FAIL sites=%lld pack open only %.1fx faster "
+                   "than eager load (need >= 50x)\n",
+                   static_cast<long long>(point.sites), point.open_speedup);
+      enforcement_failed = true;
+    }
+    points.push_back(point);
+  }
+  std::filesystem::remove_all(work);
+
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.KV("schema", "ntw-repo-bench");
+  json.KV("schema_version", int64_t{1});
+  json.KV("smoke", smoke);
+  WriteMachineInfo(json);
+  json.KV("attrs", *attrs);
+  json.KV("seed", *seed);
+  json.Key("runs");
+  json.BeginArray();
+  for (const SweepPoint& point : points) {
+    json.BeginObject();
+    json.KV("sites", point.sites);
+    json.KV("entries", point.entries);
+    json.KV("pack_build_seconds", point.pack_build_seconds);
+    json.KV("pack_file_bytes", point.pack_file_bytes);
+    json.KV("pack_open_micros", point.pack_open_micros);
+    json.KV("pack_open_rss_bytes", point.pack_open_rss_bytes);
+    json.KV("first_hit_micros_p50", point.first_hit_micros_p50);
+    json.KV("first_hit_micros_max", point.first_hit_micros_max);
+    json.KV("cold_hit_rss_bytes", point.cold_hit_rss_bytes);
+    json.KV("dir_load_micros", point.dir_load_micros);
+    json.KV("dir_load_rss_bytes", point.dir_load_rss_bytes);
+    json.KV("open_speedup", point.open_speedup);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.KV("peak_rss_bytes", obs::PeakRssBytes());
+  json.EndObject();
+
+  std::string out = flags.Get("out", "BENCH_repo.json");
+  Status written = WriteFile(out, json.Take() + "\n");
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "bench_repo: wrote %s\n", out.c_str());
+  return enforcement_failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

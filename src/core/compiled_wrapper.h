@@ -161,6 +161,30 @@ class CompiledWrapper {
   static std::shared_ptr<const CompiledWrapper> Compile(
       const Wrapper& wrapper);
 
+  /// One XPath step in source form, for building a plan without going
+  /// through the parsed Wrapper (the wrapper-pack finalize path). The
+  /// fields mirror xpath::Step; Compile() and MakeXPath() produce
+  /// identical plans for the same steps.
+  struct XPathStepSpec {
+    bool descendant = false;
+    enum class Test { kTag, kAnyElement, kText };
+    Test test = Test::kTag;
+    std::string tag;            // Test::kTag only
+    int32_t child_number = -1;  // -1 = no filter
+    std::vector<std::pair<std::string, std::string>> attr_filters;
+  };
+
+  /// Direct constructors for the pack's fixed-layout plans — bitwise the
+  /// same plans Compile() builds from the equivalent Wrapper.
+  static std::shared_ptr<const CompiledWrapper> MakeLr(std::string left,
+                                                       std::string right);
+  static std::shared_ptr<const CompiledWrapper> MakeHlrt(std::string head,
+                                                         std::string tail,
+                                                         std::string left,
+                                                         std::string right);
+  static std::shared_ptr<const CompiledWrapper> MakeXPath(
+      const std::vector<XPathStepSpec>& steps);
+
   void Extract(FastPageBuffer& buffer,
                std::vector<std::string_view>* values) const;
 
@@ -169,12 +193,35 @@ class CompiledWrapper {
   void ExtractStreaming(std::string_view raw_page, StreamPageBuffer& buffer,
                         std::vector<std::string_view>* values) const;
 
+  /// Occurrence-driven variant of the streaming matchers for the fused
+  /// multi-attribute path: instead of running its own BMH scans, the plan
+  /// consumes precomputed ascending occurrence-begin lists (from one
+  /// shared Aho–Corasick pass — see fused_matcher.h). Byte-identical to
+  /// ExtractStreaming on the same stream/spans. `left_occ` is required
+  /// for LR plans with a non-empty left; `head_occ`/`tail_occ` for HLRT
+  /// plans with non-empty head/tail; unused lists may be null. XPath
+  /// plans yield no values.
+  void ExtractWithOccurrences(std::string_view stream,
+                              const std::vector<html::StreamSpan>& spans,
+                              const std::vector<size_t>* left_occ,
+                              const std::vector<size_t>* head_occ,
+                              const std::vector<size_t>* tail_occ,
+                              std::vector<std::string_view>* values) const;
+
   /// Capability flag: true when the plan is defined over the flattened
   /// character stream alone and never needs a DOM (LR/HLRT).
   bool dom_free() const { return kind_ != Kind::kXPath; }
 
   /// "xpath", "lr" or "hlrt" — for routing metrics and bench phase labels.
   const char* plan_kind() const;
+
+  bool is_lr() const { return kind_ == Kind::kLr; }
+  bool is_hlrt() const { return kind_ == Kind::kHlrt; }
+  // Delimiters (empty when absent or not applicable to the plan kind).
+  const std::string& left() const { return left_; }
+  const std::string& right() const { return right_; }
+  const std::string& head() const { return head_; }
+  const std::string& tail() const { return tail_; }
 
  private:
   enum class Kind { kXPath, kLr, kHlrt };

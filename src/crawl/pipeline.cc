@@ -196,6 +196,52 @@ void CrawlPipeline::ExtractPage(const serve::WrapperRepository::Entry& entry,
   stats_.values_extracted += static_cast<int64_t>(value_count);
 }
 
+void CrawlPipeline::ExtractSiteFused(
+    const core::FusedSiteExtractor& fused,
+    const std::vector<
+        std::pair<std::string, const serve::WrapperRepository::Entry*>>&
+        entries,
+    std::string_view site, const std::string& url, const std::string& body,
+    int64_t fetch_micros, std::string* chunk) {
+  CrawlMetrics& metrics = CrawlMetrics::Get();
+  auto start = std::chrono::steady_clock::now();
+  core::StreamBufferPool::Lease page = stream_buffers_.Acquire();
+  core::FusedScratchPool::Lease scratch = fused_scratch_.Acquire();
+  fused.ExtractAllStreaming(body, *page, *scratch);
+  // The scan cost is shared by every attribute it served; each record
+  // reports the whole scan (timing is off on byte-identity runs anyway).
+  int64_t scan_micros = MicrosSince(start);
+  int64_t records = 0;
+  int64_t value_total = 0;
+  for (const auto& [attribute, entry] : entries) {
+    size_t index = fused.FindAttribute(attribute);
+    if (index == std::string_view::npos) {
+      // Not automaton-covered (tree plan, or no compiled form): the
+      // regular per-attribute tiers, emitted in place so the line order
+      // matches the non-fused loop exactly.
+      ExtractPage(*entry, site, attribute, url, body, fetch_micros, chunk);
+      continue;
+    }
+    const std::vector<std::string_view>& values = scratch->values[index];
+    RecordTiming timing;
+    timing.enabled = options_.timing;
+    timing.fetch_micros = fetch_micros;
+    timing.extract_micros = scan_micros;
+    AppendRecordLine(site, url, attribute, values, timing, chunk);
+    if (options_.self_heal && entry->drift != nullptr) {
+      ObserveDriftSample(*entry, body, values.data(), values.size());
+    }
+    metrics.extract_latency->Record(scan_micros);
+    ++records;
+    value_total += static_cast<int64_t>(values.size());
+  }
+  metrics.records_emitted->Add(records);
+  metrics.values_extracted->Add(value_total);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.records_emitted += records;
+  stats_.values_extracted += value_total;
+}
+
 void CrawlPipeline::ObserveDriftSample(
     const serve::WrapperRepository::Entry& entry, const std::string& body,
     const std::string_view* values, size_t count) {
@@ -267,14 +313,26 @@ void CrawlPipeline::ProcessItem(FrontierItem* item, std::string* chunk) {
   std::string serialized = url.Serialize();
   if (!site.empty()) {
     serve::WrapperRepository::PinnedSnapshot snapshot = repository_->Pin();
-    auto it = snapshot->wrappers.lower_bound({site, std::string()});
-    for (; it != snapshot->wrappers.end() && it->first.first == site; ++it) {
-      const std::string& attribute = it->first.second;
-      if (!options_.attribute.empty() && attribute != options_.attribute) {
-        continue;
+    // MaterializeSite serves both backends: the directory map and lazily
+    // finalized pack entries, merged in ascending attribute order.
+    std::vector<std::pair<std::string, const serve::WrapperRepository::Entry*>>
+        entries = snapshot->MaterializeSite(site);
+    std::shared_ptr<const core::FusedSiteExtractor> fused;
+    if (options_.fast_path && options_.streaming && options_.fused &&
+        options_.attribute.empty() && entries.size() >= 2) {
+      fused = snapshot->FindFused(site);
+    }
+    if (fused != nullptr && !fused->attributes().empty()) {
+      ExtractSiteFused(*fused, entries, site, serialized, fetched.body,
+                       fetched.latency_micros, chunk);
+    } else {
+      for (const auto& [attribute, entry] : entries) {
+        if (!options_.attribute.empty() && attribute != options_.attribute) {
+          continue;
+        }
+        ExtractPage(*entry, site, attribute, serialized, fetched.body,
+                    fetched.latency_micros, chunk);
       }
-      ExtractPage(it->second, site, attribute, serialized, fetched.body,
-                  fetched.latency_micros, chunk);
     }
   }
   repository_->ReclaimRetired();

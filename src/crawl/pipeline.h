@@ -11,6 +11,7 @@
 
 #include "common/thread_pool.h"
 #include "core/compiled_wrapper.h"
+#include "core/fused_matcher.h"
 #include "crawl/fetcher.h"
 #include "crawl/frontier.h"
 #include "crawl/robots.h"
@@ -46,6 +47,12 @@ struct CrawlOptions {
   std::string fixed_site;
   bool fast_path = true;
   bool streaming = true;
+  /// Scan each page once with the site's fused multi-pattern automaton
+  /// when it has several dom_free wrappers (DESIGN.md §15), instead of
+  /// one BMH pass per attribute. Only consulted when fast_path and
+  /// streaming are on and no single `attribute` filter applies. Output
+  /// bytes are identical either way.
+  bool fused = true;
   /// Feed drift detectors and enqueue re-induction (needs a reinducer).
   bool self_heal = false;
 
@@ -134,6 +141,17 @@ class CrawlPipeline {
                    std::string_view site, std::string_view attribute,
                    const std::string& url, const std::string& body,
                    int64_t fetch_micros, std::string* chunk);
+  /// Fused multi-attribute extraction: one automaton scan of `body`
+  /// yields every dom_free attribute's values; attributes the automaton
+  /// does not cover fall back to ExtractPage. Lines are emitted in the
+  /// same ascending attribute order as the per-attribute loop.
+  void ExtractSiteFused(
+      const core::FusedSiteExtractor& fused,
+      const std::vector<
+          std::pair<std::string, const serve::WrapperRepository::Entry*>>&
+          entries,
+      std::string_view site, const std::string& url, const std::string& body,
+      int64_t fetch_micros, std::string* chunk);
   /// Feeds one extraction to the entry's drift detector; on a reinduce
   /// verdict hands the retained sample to the re-induction worker —
   /// the crawl-side mirror of ExtractService::ObserveDrift.
@@ -159,6 +177,7 @@ class CrawlPipeline {
   // all workers of this pipeline.
   mutable core::FastBufferPool buffers_;
   mutable core::StreamBufferPool stream_buffers_;
+  mutable core::FusedScratchPool fused_scratch_;
 };
 
 }  // namespace ntw::crawl

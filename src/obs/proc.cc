@@ -1,7 +1,12 @@
 #include "obs/proc.h"
 
+#include <cstdio>
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#endif
+#if defined(__unix__) && !defined(__APPLE__)
+#include <unistd.h>
 #endif
 
 namespace ntw::obs {
@@ -17,6 +22,23 @@ int64_t PeakRssBytes() {
   return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux.
 #else
   return 0;
+#endif
+}
+
+int64_t CurrentRssBytes() {
+#if defined(__unix__) && !defined(__APPLE__)
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  unsigned long long total = 0;
+  unsigned long long resident = 0;
+  int fields = std::fscanf(statm, "%llu %llu", &total, &resident);
+  std::fclose(statm);
+  if (fields != 2) return 0;
+  long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) page = 4096;
+  return static_cast<int64_t>(resident) * page;
+#else
+  return 0;  // macOS has no statm; the bench falls back to the peak.
 #endif
 }
 

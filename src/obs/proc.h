@@ -9,6 +9,12 @@ namespace ntw::obs {
 /// getrusage, scaled from the platform unit). Returns 0 when unavailable.
 int64_t PeakRssBytes();
 
+/// Current resident set size in bytes (/proc/self/statm on Linux).
+/// Unlike the peak, this goes back down when pages are released — what
+/// the repository bench needs to show cold pack opens stay small.
+/// Returns 0 when unavailable.
+int64_t CurrentRssBytes();
+
 }  // namespace ntw::obs
 
 #endif  // NTW_OBS_PROC_H_

@@ -28,6 +28,9 @@ struct ServiceMetrics {
   obs::ShardedCounter* streaming_pages;
   obs::ShardedCounter* streaming_verbatim_pages;
   obs::ShardedCounter* streaming_patched_pages;
+  /// attribute=* pages scanned once by a fused site automaton (each scan
+  /// replaces one BMH pass per dom_free attribute).
+  obs::ShardedCounter* fused_scans;
   obs::ShardedHistogram* extract_latency;
 
   static ServiceMetrics& Get() {
@@ -43,6 +46,7 @@ struct ServiceMetrics {
             "ntw.serve.streaming_verbatim_pages"),
         obs::Registry::Global().GetShardedCounter(
             "ntw.serve.streaming_patched_pages"),
+        obs::Registry::Global().GetShardedCounter("ntw.serve.fused_scans"),
         obs::Registry::Global().GetShardedHistogram(
             "ntw.serve.extract_latency_micros"),
     };
@@ -91,6 +95,16 @@ const WrapperRepository::Entry* LookupWrapper(
   return entry;
 }
 
+/// attribute=* (or attr=*) selects multi-attribute mode: every wrapper of
+/// the site from one request body, fused-scanned when possible.
+bool IsMultiAttribute(const HttpRequest& request, std::string* site) {
+  std::string attribute = request.QueryParam("attribute");
+  if (attribute.empty()) attribute = request.QueryParam("attr");
+  if (attribute != "*") return false;
+  *site = request.QueryParam("site");
+  return !site->empty();
+}
+
 int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - start)
@@ -107,6 +121,13 @@ int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
 void ExtractService::ExtractToJson(const WrapperRepository::Entry& entry,
                                    const std::string& page_html,
                                    obs::JsonWriter& json) const {
+  json.Key("values");
+  ExtractArray(entry, page_html, json);
+}
+
+void ExtractService::ExtractArray(const WrapperRepository::Entry& entry,
+                                  const std::string& page_html,
+                                  obs::JsonWriter& json) const {
   ServiceMetrics& metrics = ServiceMetrics::Get();
   int shard = options_.shard;
   auto start = std::chrono::steady_clock::now();
@@ -118,7 +139,6 @@ void ExtractService::ExtractToJson(const WrapperRepository::Entry& entry,
     core::StreamBufferPool::Lease lease = stream_buffers_.Acquire();
     entry.compiled->ExtractStreaming(page_html, *lease, &lease->values);
     metrics.extract_latency->Record(shard, MicrosSince(start));
-    json.Key("values");
     json.BeginArray();
     for (std::string_view value : lease->values) json.String(value);
     json.EndArray();
@@ -145,7 +165,6 @@ void ExtractService::ExtractToJson(const WrapperRepository::Entry& entry,
     html::ArenaParse(page_html, &lease->doc);
     entry.compiled->Extract(*lease, &lease->values);
     metrics.extract_latency->Record(shard, MicrosSince(start));
-    json.Key("values");
     json.BeginArray();
     for (std::string_view value : lease->values) json.String(value);
     json.EndArray();
@@ -162,7 +181,6 @@ void ExtractService::ExtractToJson(const WrapperRepository::Entry& entry,
   std::vector<std::string> values =
       ExtractValuesInterpreted(*entry.wrapper, page_html);
   metrics.extract_latency->Record(shard, MicrosSince(start));
-  json.Key("values");
   json.BeginArray();
   for (const std::string& value : values) json.String(value);
   json.EndArray();
@@ -172,6 +190,65 @@ void ExtractService::ExtractToJson(const WrapperRepository::Entry& entry,
   // vector for the detector is in character.
   std::vector<std::string_view> views(values.begin(), values.end());
   ObserveDrift(entry, page_html, views.data(), views.size());
+}
+
+void ExtractService::ExtractAllToJson(
+    const WrapperRepository::Snapshot& snapshot, const std::string& site,
+    const std::vector<std::pair<std::string, const WrapperRepository::Entry*>>&
+        entries,
+    const std::string& page_html, obs::JsonWriter& json) const {
+  ServiceMetrics& metrics = ServiceMetrics::Get();
+  int shard = options_.shard;
+  std::shared_ptr<const core::FusedSiteExtractor> fused;
+  if (options_.fast_path && options_.streaming && options_.fused) {
+    fused = snapshot.FindFused(site);
+  }
+  json.Key("attributes");
+  json.BeginObject();
+  if (fused != nullptr && !fused->attributes().empty()) {
+    // One automaton pass yields every dom_free attribute's occurrence
+    // lists; attributes the automaton does not cover (tree plans, or no
+    // compiled form) fall through to per-attribute extraction below.
+    auto start = std::chrono::steady_clock::now();
+    core::StreamBufferPool::Lease page = stream_buffers_.Acquire();
+    core::FusedScratchPool::Lease scratch = fused_scratch_.Acquire();
+    fused->ExtractAllStreaming(page_html, *page, *scratch);
+    metrics.extract_latency->Record(shard, MicrosSince(start));
+    metrics.fused_scans->Add(shard, 1);
+    metrics.streaming_pages->Add(shard, 1);
+    switch (page->page.tier()) {
+      case html::StreamPage::Tier::kVerbatim:
+        metrics.streaming_verbatim_pages->Add(shard, 1);
+        break;
+      case html::StreamPage::Tier::kPatched:
+        metrics.streaming_patched_pages->Add(shard, 1);
+        break;
+      case html::StreamPage::Tier::kFlattened:
+        break;
+    }
+    for (const auto& [name, entry] : entries) {
+      json.Key(name);
+      size_t index = fused->FindAttribute(name);
+      if (index == std::string_view::npos) {
+        ExtractArray(*entry, page_html, json);
+        continue;
+      }
+      const std::vector<std::string_view>& values = scratch->values[index];
+      json.BeginArray();
+      for (std::string_view value : values) json.String(value);
+      json.EndArray();
+      metrics.pages_extracted->Add(shard, 1);
+      metrics.values_extracted->Add(shard,
+                                    static_cast<int64_t>(values.size()));
+      ObserveDrift(*entry, page_html, values.data(), values.size());
+    }
+  } else {
+    for (const auto& [name, entry] : entries) {
+      json.Key(name);
+      ExtractArray(*entry, page_html, json);
+    }
+  }
+  json.EndObject();
 }
 
 void ExtractService::ObserveDrift(const WrapperRepository::Entry& entry,
@@ -206,6 +283,11 @@ HttpResponse ExtractService::Driftz() const {
   json.BeginArray();
   for (const auto& [key, entry] : snapshot->wrappers) {
     if (entry.drift != nullptr) entry.drift->WriteJson(json);
+  }
+  // Pack-backed pairs this snapshot has served (lazily materialized);
+  // never overlaps the overlay map — Find() checks the overlay first.
+  for (const auto& [key, entry] : snapshot->CachedEntries()) {
+    if (entry->drift != nullptr) entry->drift->WriteJson(json);
   }
   json.EndArray();
   // The repair quality ledger: before/after scores of every self-heal
@@ -274,6 +356,9 @@ HttpResponse ExtractService::Extract(const HttpRequest& request) const {
   WrapperRepository::PinnedSnapshot snapshot = repository_->Pin();
   std::string site;
   std::string attribute;
+  if (IsMultiAttribute(request, &site)) {
+    return ExtractMulti(*snapshot, site, request);
+  }
   HttpResponse error;
   const WrapperRepository::Entry* entry = LookupWrapper(
       *snapshot, request, options_.shard, &site, &attribute, &error);
@@ -293,10 +378,79 @@ HttpResponse ExtractService::Extract(const HttpRequest& request) const {
   return response;
 }
 
+HttpResponse ExtractService::ExtractMulti(
+    const WrapperRepository::Snapshot& snapshot, const std::string& site,
+    const HttpRequest& request) const {
+  std::vector<std::pair<std::string, const WrapperRepository::Entry*>>
+      entries = snapshot.MaterializeSite(site);
+  if (entries.empty()) {
+    ServiceMetrics::Get().wrapper_misses->Add(options_.shard, 1);
+    return ErrorResponse(404, "no wrappers for site '" + site + "'");
+  }
+  obs::JsonWriter json;
+  BeginSchemaDocument(json, "ntw-serve-extract", 1);
+  json.KV("site", site);
+  json.KV("attribute", "*");
+  json.KV("repository_version", static_cast<int64_t>(snapshot.version));
+  ExtractAllToJson(snapshot, site, entries, request.body, json);
+  json.EndObject();
+  HttpResponse response;
+  response.body = json.Take();
+  response.body.push_back('\n');
+  return response;
+}
+
+HttpResponse ExtractService::ExtractBatchMulti(
+    const WrapperRepository::Snapshot& snapshot, const std::string& site,
+    const HttpRequest& request) const {
+  std::vector<std::pair<std::string, const WrapperRepository::Entry*>>
+      entries = snapshot.MaterializeSite(site);
+  if (entries.empty()) {
+    ServiceMetrics::Get().wrapper_misses->Add(options_.shard, 1);
+    return ErrorResponse(404, "no wrappers for site '" + site + "'");
+  }
+  std::vector<std::string> lines = Split(request.body, '\n');
+  while (!lines.empty() && StripWhitespace(lines.back()).empty()) {
+    lines.pop_back();
+  }
+  ServiceMetrics::Get().batch_lines->Add(options_.shard,
+                                         static_cast<int64_t>(lines.size()));
+  // Same slot-per-line determinism as the single-attribute batch; each
+  // line scans the page once for all of the site's dom_free attributes.
+  std::vector<std::string> results(lines.size());
+  pool_->ParallelFor(lines.size(), [&](size_t i) {
+    obs::JsonWriter json;
+    json.BeginObject();
+    json.KV("index", static_cast<int64_t>(i));
+    Result<BatchLine> line = ParseBatchLine(lines[i]);
+    if (!line.ok()) {
+      json.KV("error", line.status().ToString());
+    } else {
+      if (line->has_id) json.KV("id", line->id);
+      ExtractAllToJson(snapshot, site, entries, line->html, json);
+    }
+    json.EndObject();
+    results[i] = json.Take();
+  });
+  HttpResponse response;
+  response.content_type = "application/x-ndjson";
+  size_t total = 0;
+  for (const std::string& line : results) total += line.size() + 1;
+  response.body.reserve(total);
+  for (const std::string& line : results) {
+    response.body += line;
+    response.body += '\n';
+  }
+  return response;
+}
+
 HttpResponse ExtractService::ExtractBatch(const HttpRequest& request) const {
   WrapperRepository::PinnedSnapshot snapshot = repository_->Pin();
   std::string site;
   std::string attribute;
+  if (IsMultiAttribute(request, &site)) {
+    return ExtractBatchMulti(*snapshot, site, request);
+  }
   HttpResponse error;
   const WrapperRepository::Entry* entry = LookupWrapper(
       *snapshot, request, options_.shard, &site, &attribute, &error);

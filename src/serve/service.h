@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.h"
 #include "core/compiled_wrapper.h"
+#include "core/fused_matcher.h"
 #include "obs/json.h"
 #include "serve/http.h"
 #include "serve/reinduce.h"
@@ -58,8 +59,14 @@ struct ExtractServiceOptions {
   /// Feed per-entry drift detectors after every extraction and enqueue
   /// re-induction repairs (DESIGN.md §13). Only effective when the
   /// service was constructed with a ReinduceWorker and the repository has
-  /// a drift config installed. (Declared last — see `streaming`.)
+  /// a drift config installed. (Declared after `streaming` — see there.)
   bool self_heal = true;
+  /// `attribute=*` requests: scan the page once with the site's fused
+  /// multi-pattern automaton (DESIGN.md §15) instead of once per
+  /// attribute. Only consulted when fast_path and streaming are on; the
+  /// daemon's --no-fused turns it off. Byte-identical either way.
+  /// (Declared last — see `streaming`.)
+  bool fused = true;
 };
 
 class ExtractService {
@@ -78,10 +85,30 @@ class ExtractService {
  private:
   HttpResponse Extract(const HttpRequest& request) const;
   HttpResponse ExtractBatch(const HttpRequest& request) const;
+  /// `attribute=*`: every attribute of the site from one request body.
+  HttpResponse ExtractMulti(const WrapperRepository::Snapshot& snapshot,
+                            const std::string& site,
+                            const HttpRequest& request) const;
+  HttpResponse ExtractBatchMulti(const WrapperRepository::Snapshot& snapshot,
+                                 const std::string& site,
+                                 const HttpRequest& request) const;
   HttpResponse Driftz() const;
   void ExtractToJson(const WrapperRepository::Entry& entry,
                      const std::string& page_html,
                      obs::JsonWriter& json) const;
+  /// Writes just the `[...]` value array for one entry (extraction +
+  /// metrics + drift feed); the caller has already written the key.
+  void ExtractArray(const WrapperRepository::Entry& entry,
+                    const std::string& page_html, obs::JsonWriter& json) const;
+  /// Writes the `"attributes":{"a":[...],...}` member for every attribute
+  /// of `site`, ascending. One fused automaton scan covers all dom_free
+  /// plans when enabled; the rest (and the fused-off path) extract
+  /// per-attribute through ExtractArray — byte-identical by contract.
+  void ExtractAllToJson(
+      const WrapperRepository::Snapshot& snapshot, const std::string& site,
+      const std::vector<std::pair<std::string, const WrapperRepository::Entry*>>&
+          entries,
+      const std::string& page_html, obs::JsonWriter& json) const;
   /// Scores one extraction against the entry's drift detector and hands
   /// a full retention ring to the re-induction worker. No-op (one null
   /// check) when self-healing is off.
@@ -99,6 +126,9 @@ class ExtractService {
   mutable core::FastBufferPool buffers_;
   // Lighter buffers (stream page + values) for the streaming no-DOM path.
   mutable core::StreamBufferPool stream_buffers_;
+  // Occurrence lists + per-attribute value slots for fused multi-attribute
+  // extraction (attribute=*).
+  mutable core::FusedScratchPool fused_scratch_;
 };
 
 }  // namespace ntw::serve

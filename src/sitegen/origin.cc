@@ -5,6 +5,7 @@
 #include "common/file_util.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "core/hlrt_inductor.h"
 #include "core/lr_inductor.h"
 #include "core/wrapper_store.h"
 #include "core/xpath_inductor.h"
@@ -146,6 +147,58 @@ Status WriteOriginWrapperRepository(const OriginCorpus& corpus,
                            core::SerializeWrapper(*induction.wrapper));
       NTW_RETURN_IF_ERROR(
           WriteFile(dir + "/" + learn.file, record + "\n"));
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteSyntheticWrapperRepository(
+    const SyntheticRepositoryOptions& options, const std::string& root) {
+  NTW_RETURN_IF_ERROR(MakeDirs(root));
+  for (size_t s = 0; s < options.sites; ++s) {
+    std::string key = StrFormat("site_%06zu", s);
+    std::string dir = root + "/" + key;
+    NTW_RETURN_IF_ERROR(MakeDirs(dir));
+    Rng rng(options.seed * 1000003 + s);
+    for (size_t a = 0; a < options.attrs; ++a) {
+      // Seed-varied delimiters: enough diversity that per-site automata
+      // differ, enough repetition that the pack's interning has work to do.
+      auto variant = static_cast<unsigned long long>(rng.NextBounded(512));
+      std::string record;
+      switch ((s + a) % 3) {
+        case 0: {
+          core::LrWrapper wrapper(
+              StrFormat("<span class=\"f%llu\">", variant), "</span>");
+          NTW_ASSIGN_OR_RETURN(record, core::SerializeWrapper(wrapper));
+          break;
+        }
+        case 1: {
+          core::HlrtWrapper wrapper(
+              StrFormat("<ul id=\"list%llu\">", variant), "</ul>",
+              StrFormat("<li class=\"v%llu\">", variant), "</li>");
+          NTW_ASSIGN_OR_RETURN(record, core::SerializeWrapper(wrapper));
+          break;
+        }
+        default: {
+          xpath::Expr expr;
+          xpath::Step div;
+          div.axis = xpath::Axis::kDescendant;
+          div.tag = "div";
+          div.attr_filters.emplace_back("class",
+                                        StrFormat("c%llu", variant));
+          xpath::Step li;
+          li.tag = "li";
+          li.child_number = static_cast<int>(1 + rng.NextBounded(4));
+          xpath::Step text;
+          text.test = xpath::NodeTest::kText;
+          expr.steps = {div, li, text};
+          core::XPathWrapper wrapper(std::move(expr));
+          NTW_ASSIGN_OR_RETURN(record, core::SerializeWrapper(wrapper));
+          break;
+        }
+      }
+      NTW_RETURN_IF_ERROR(WriteFile(
+          dir + StrFormat("/attr_%02zu.wrapper", a), record + "\n"));
     }
   }
   return Status::OK();

@@ -66,6 +66,21 @@ Status WriteOriginTree(const OriginCorpus& corpus, const std::string& root);
 Status WriteOriginWrapperRepository(const OriginCorpus& corpus,
                                     const std::string& root);
 
+/// Scale-mode repository generator (`ntw_origin --sites N --attrs M`):
+/// writes `<root>/site_NNNNNN/attr_NN.wrapper` for `sites` sites with
+/// `attrs` wrappers each — records only, no page trees — cycling plan
+/// kinds (LR, HLRT, XPATH) with seed-varied delimiters. Pure function of
+/// the options; feeds the repository bench and pack roundtrip tests,
+/// where the interesting axis is repository size, not page content.
+struct SyntheticRepositoryOptions {
+  size_t sites = 1000;
+  size_t attrs = 2;
+  uint64_t seed = 17;
+};
+
+Status WriteSyntheticWrapperRepository(
+    const SyntheticRepositoryOptions& options, const std::string& root);
+
 }  // namespace ntw::sitegen
 
 #endif  // NTW_SITEGEN_ORIGIN_H_

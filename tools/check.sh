@@ -72,6 +72,26 @@ echo "==> scan bench smoke"
   FAILED=1
 }
 
+echo "==> wrapper pack build/verify roundtrip"
+PACK_DIR="$ROOT/build/pack_roundtrip"
+rm -rf "$PACK_DIR"
+{ "$ROOT/build/tools/ntw_origin" --out "$PACK_DIR/repo" \
+      --sites 200 --attrs 3 --seed 7 &&
+  "$ROOT/build/tools/ntw_pack" build --root "$PACK_DIR/repo" \
+      --out "$PACK_DIR/wrappers.pack" &&
+  "$ROOT/build/tools/ntw_pack" verify "$PACK_DIR/wrappers.pack"; } || {
+  echo "check.sh: wrapper pack roundtrip FAILED" >&2
+  FAILED=1
+}
+rm -rf "$PACK_DIR"
+
+echo "==> repo bench smoke (pack open vs eager load)"
+"$ROOT/build/bench/bench_repo" --smoke \
+    --out "$ROOT/build/BENCH_repo.json" || {
+  echo "check.sh: bench_repo smoke run FAILED" >&2
+  FAILED=1
+}
+
 echo "==> crawl bench smoke"
 "$ROOT/build/bench/bench_crawl" --smoke \
     --out "$ROOT/build/BENCH_crawl.json" || {

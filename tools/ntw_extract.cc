@@ -6,7 +6,8 @@
 //               [--inductor xpath|lr|hlrt] [--algorithm topdown|bottomup]
 //               [--p 0.95] [--r 0.3] [--save-wrapper FILE]
 //   ntw_extract --pages DIR --load-wrapper FILE
-//   ntw_extract --pages DIR --wrapper-dir DIR --site S --attribute A
+//   ntw_extract --pages DIR [--wrapper-dir DIR] [--pack FILE]
+//               --site S --attribute A
 //
 // Modes:
 //   learn   (default): annotate the pages with the dictionary (one entry
@@ -53,7 +54,8 @@ using namespace ntw;
 constexpr char kUsage[] =
     "usage: ntw_extract --pages DIR (--dict FILE | --regex PATTERN |"
     " --load-wrapper FILE |\n"
-    "                   --wrapper-dir DIR --site S --attribute A)\n"
+    "                   [--wrapper-dir DIR] [--pack FILE] --site S"
+    " --attribute A)\n"
     "                   [--inductor xpath|lr|hlrt]"
     " [--algorithm topdown|bottomup]\n"
     "                   [--p P] [--r R] [--schema-prior N]"
@@ -81,8 +83,8 @@ int Run(int argc, char** argv) {
   }
   const Flags& flags = *flags_or;
   std::vector<std::string> unknown = flags.UnknownFlags(
-      {"pages", "dict", "regex", "load-wrapper", "wrapper-dir", "site",
-       "attribute", "inductor", "algorithm", "p", "r", "schema-prior",
+      {"pages", "dict", "regex", "load-wrapper", "wrapper-dir", "pack",
+       "site", "attribute", "inductor", "algorithm", "p", "r", "schema-prior",
        "save-wrapper", "quiet", "help", "metrics-json", "trace",
        "no-fast-path", "no-streaming", "emit", "url-prefix"});
   if (!unknown.empty() || flags.Has("help")) {
@@ -113,12 +115,12 @@ int Run(int argc, char** argv) {
   }
 
   // ----- apply mode (serving repository) -----------------------------
-  if (flags.Has("wrapper-dir")) {
+  if (flags.Has("wrapper-dir") || flags.Has("pack")) {
     std::string site = flags.Get("site");
     std::string attribute = flags.Get("attribute");
     if (site.empty() || attribute.empty()) {
       std::fprintf(stderr,
-                   "--wrapper-dir requires --site and --attribute\n%s",
+                   "--wrapper-dir/--pack requires --site and --attribute\n%s",
                    kUsage);
       return 2;
     }
@@ -151,7 +153,10 @@ int Run(int argc, char** argv) {
                                                : url_prefix + "/" + name);
       }
     }
-    serve::WrapperRepository repository(flags.Get("wrapper-dir"));
+    // Same repository code path as the daemon — --pack maps the wrapper
+    // pack, --wrapper-dir (alone or as overlay) parses record files.
+    serve::WrapperRepository repository(serve::WrapperRepository::Options{
+        flags.Get("wrapper-dir"), flags.Get("pack")});
     Status loaded = repository.Load();
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s\n", loaded.ToString().c_str());

@@ -35,8 +35,14 @@ constexpr char kUsage[] =
     "usage: ntw_origin --out DIR [--sites N] [--pages N] [--seed S]\n"
     "                  [--min-records N] [--max-records N]\n"
     "                  [--wrapper-dir DIR] [--robots FILE] [--no-index]\n"
+    "       ntw_origin --out DIR --sites N --attrs M [--seed S]\n"
     "       ntw_origin --serve DIR [--host H] [--port P] [--port-file "
-    "PATH]\n";
+    "PATH]\n"
+    "\n"
+    "With --attrs the tool runs in repository scale mode: it emits a\n"
+    "synthetic wrapper repository (site_NNNNNN/attr_NN.wrapper, cycling\n"
+    "LR/HLRT/XPATH records; no page trees) — input for ntw_pack and\n"
+    "bench_repo, where the axis is repository size, not page content.\n";
 
 serve::HttpServer* g_server = nullptr;
 
@@ -98,7 +104,7 @@ int Run(int argc, char** argv) {
   }
   const Flags& flags = *flags_or;
   std::vector<std::string> unknown = flags.UnknownFlags(
-      {"out", "sites", "pages", "seed", "min-records", "max-records",
+      {"out", "sites", "attrs", "pages", "seed", "min-records", "max-records",
        "wrapper-dir", "robots", "no-index", "serve", "host", "port",
        "port-file", "help"});
   if (!unknown.empty() || flags.Has("help")) {
@@ -116,6 +122,36 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "--out (or --serve) is required\n%s", kUsage);
     return 2;
   }
+  if (flags.Has("attrs")) {
+    sitegen::SyntheticRepositoryOptions synth;
+    Result<int64_t> sites = flags.GetInt("sites", 1000);
+    Result<int64_t> attrs = flags.GetInt("attrs", 2);
+    Result<int64_t> seed = flags.GetInt("seed", 17);
+    for (const auto* value : {&sites, &attrs, &seed}) {
+      if (!value->ok()) {
+        std::fprintf(stderr, "%s\n", value->status().ToString().c_str());
+        return 2;
+      }
+    }
+    if (*sites < 1 || *attrs < 1) {
+      std::fprintf(stderr, "invalid repository shape\n%s", kUsage);
+      return 2;
+    }
+    synth.sites = static_cast<size_t>(*sites);
+    synth.attrs = static_cast<size_t>(*attrs);
+    synth.seed = static_cast<uint64_t>(*seed);
+    Status wrote = sitegen::WriteSyntheticWrapperRepository(synth, out);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "ntw_origin: wrote synthetic repository (%zu sites x %zu "
+                 "attrs) to %s\n",
+                 synth.sites, synth.attrs, out.c_str());
+    return 0;
+  }
+
   sitegen::OriginOptions options;
   Result<int64_t> sites = flags.GetInt("sites", 8);
   Result<int64_t> pages = flags.GetInt("pages", 6);

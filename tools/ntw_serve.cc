@@ -3,13 +3,14 @@
 // paper's deployment mode (learn once per site, extract at web scale).
 //
 // Usage:
-//   ntw_serve --wrapper-dir DIR [--host 127.0.0.1] [--port 8377]
+//   ntw_serve --wrapper-dir DIR [--pack FILE] [--host 127.0.0.1]
+//             [--port 8377]
 //             [--port-file PATH] [--shards N] [--threads N]
 //             [--max-body-bytes N] [--max-inflight N]
 //             [--read-timeout-ms N] [--write-timeout-ms N]
 //             [--drain-grace-ms N] [--reload-poll-ms N]
 //             [--metrics-json PATH] [--trace PATH]
-//             [--no-fast-path] [--no-streaming] [--quiet]
+//             [--no-fast-path] [--no-streaming] [--no-fused] [--quiet]
 //             [--no-self-heal] [--drift-warmup N] [--drift-window N]
 //             [--drift-empty-streak N] [--drift-hysteresis N]
 //             [--drift-cooldown N] [--drift-retain K]
@@ -28,8 +29,17 @@
 // the --drift-*/--reinduce-* flags tune thresholds. GET /driftz dumps
 // detector state.
 //
+// --pack FILE opens a memory-mapped wrapper pack (DESIGN.md §15) instead
+// of eagerly parsing the directory: startup is O(mmap), cold sites page
+// in on first hit. --wrapper-dir then becomes the overlay directory that
+// self-heal publishes land in (and may be omitted for read-only serving).
+// A pack that fails to open logs a warning and serving falls back to the
+// directory backend.
+//
 // Endpoints (see DESIGN.md §8):
 //   POST /extract?site=S&attribute=A        body = one HTML page
+//     (attribute=* extracts every attribute of the site; with --pack the
+//      site's fused automaton scans the page once — --no-fused disables)
 //   POST /extract_batch?site=S&attribute=A  body = NDJSON {"id","html"}
 //   GET  /metrics                           obs registry dump
 //   GET  /healthz
@@ -61,14 +71,15 @@ namespace {
 using namespace ntw;
 
 constexpr char kUsage[] =
-    "usage: ntw_serve --wrapper-dir DIR [--host H] [--port P]"
+    "usage: ntw_serve --wrapper-dir DIR [--pack FILE] [--host H] [--port P]"
     " [--port-file PATH]\n"
     "                 [--shards N] [--threads N] [--max-body-bytes N]\n"
     "                 [--max-inflight N] [--read-timeout-ms N]\n"
     "                 [--write-timeout-ms N] [--drain-grace-ms N]\n"
     "                 [--reload-poll-ms N] [--metrics-json PATH]\n"
     "                 [--trace PATH] [--no-fast-path] [--no-streaming]\n"
-    "                 [--quiet] [--no-self-heal] [--drift-warmup N]\n"
+    "                 [--no-fused] [--quiet] [--no-self-heal]"
+    " [--drift-warmup N]\n"
     "                 [--drift-window N] [--drift-empty-streak N]\n"
     "                 [--drift-hysteresis N] [--drift-cooldown N]\n"
     "                 [--drift-retain K] [--reinduce-threads N]\n"
@@ -93,10 +104,11 @@ int Run(int argc, char** argv) {
   }
   const Flags& flags = *flags_or;
   std::vector<std::string> unknown = flags.UnknownFlags(
-      {"wrapper-dir", "host", "port", "port-file", "shards", "threads",
-       "max-body-bytes", "max-inflight", "read-timeout-ms",
+      {"wrapper-dir", "pack", "host", "port", "port-file", "shards",
+       "threads", "max-body-bytes", "max-inflight", "read-timeout-ms",
        "write-timeout-ms", "drain-grace-ms", "reload-poll-ms",
-       "metrics-json", "trace", "no-fast-path", "no-streaming", "quiet",
+       "metrics-json", "trace", "no-fast-path", "no-streaming", "no-fused",
+       "quiet",
        "no-self-heal", "drift-warmup", "drift-window", "drift-empty-streak",
        "drift-hysteresis", "drift-cooldown", "drift-retain",
        "reinduce-threads", "reinduce-queue", "help"});
@@ -111,8 +123,9 @@ int Run(int argc, char** argv) {
   ObsExporter obs_export = ObsExporter::FromFlags(flags);
 
   std::string wrapper_dir = flags.Get("wrapper-dir");
-  if (wrapper_dir.empty()) {
-    std::fprintf(stderr, "--wrapper-dir is required\n%s", kUsage);
+  std::string pack_path = flags.Get("pack");
+  if (wrapper_dir.empty() && pack_path.empty()) {
+    std::fprintf(stderr, "--wrapper-dir or --pack is required\n%s", kUsage);
     return 2;
   }
 
@@ -200,7 +213,8 @@ int Run(int argc, char** argv) {
     reinduce_options.max_queue = static_cast<size_t>(*reinduce_queue);
   }
 
-  serve::WrapperRepository repository(wrapper_dir);
+  serve::WrapperRepository repository(
+      serve::WrapperRepository::Options{wrapper_dir, pack_path});
   repository.SetDriftConfig(drift);
   Status loaded = repository.Load();
   if (!loaded.ok()) {
@@ -213,8 +227,18 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "ntw_serve: skipped wrapper: %s\n", error.c_str());
   }
   if (!quiet) {
-    std::fprintf(stderr, "ntw_serve: loaded %zu wrappers from %s\n",
-                 snapshot->wrappers.size(), wrapper_dir.c_str());
+    if (snapshot->pack != nullptr) {
+      std::fprintf(stderr,
+                   "ntw_serve: mapped pack %s (%zu sites, %llu entries) + "
+                   "%zu overlay wrappers\n",
+                   pack_path.c_str(), snapshot->pack->site_count(),
+                   static_cast<unsigned long long>(
+                       snapshot->pack->header().entry_count),
+                   snapshot->wrappers.size());
+    } else {
+      std::fprintf(stderr, "ntw_serve: loaded %zu wrappers from %s\n",
+                   snapshot->wrappers.size(), wrapper_dir.c_str());
+    }
   }
 
   // --no-fast-path keeps the interpreted Wrapper::Extract path alive for
@@ -223,6 +247,7 @@ int Run(int argc, char** argv) {
   // the streaming no-DOM path (DESIGN.md §12).
   bool fast_path = !flags.Has("no-fast-path");
   bool streaming = !flags.Has("no-streaming");
+  bool fused = !flags.Has("no-fused");
   // The re-induction worker: one shared queue behind every shard's
   // detector hand-offs. Constructed (and started) only when self-healing
   // is on, so --no-self-heal spawns no extra threads.
@@ -240,11 +265,12 @@ int Run(int argc, char** argv) {
   serve::HttpServer server(
       options,
       serve::HttpServer::HandlerFactory(
-          [&repository, &services, fast_path, streaming,
+          [&repository, &services, fast_path, streaming, fused,
            reinducer_ptr](int shard) {
             serve::ExtractService::Options service_options;
             service_options.fast_path = fast_path;
             service_options.streaming = streaming;
+            service_options.fused = fused;
             service_options.shard = shard;
             service_options.self_heal = reinducer_ptr != nullptr;
             services.push_back(std::make_unique<serve::ExtractService>(
