@@ -1,8 +1,10 @@
 // Repository scaling benchmark: mmap pack open vs eager directory load,
-// swept across synthetic repository sizes (1k → 100k+ sites). For each
-// size the bench generates a `<root>/site_NNNNNN/attr_NN.wrapper` tree
-// (records only — the axis is repository size, not page content), packs
-// it, and measures:
+// swept across synthetic repository sizes (1k → 1M sites). For each size
+// the bench streams the synthetic records straight into a
+// WrapperPackBuilder (ForEachSyntheticWrapperRecord — no directory
+// intermediate, which is what makes the 1M-site point feasible: two
+// million tiny files would dominate the run with filesystem overhead),
+// and measures:
 //
 //   * pack Open(): wall time of WrapperRepository::Load() on the pack
 //     backend (header validation + mmap, nothing parsed) and the RSS it
@@ -10,15 +12,18 @@
 //   * cold first-hit latency: Snapshot::Find() on sites no request has
 //     materialized yet (page-in + parse + compile of one entry),
 //   * eager directory Load(): the baseline every earlier PR paid at
-//     startup, and its RSS.
+//     startup, and its RSS. The directory tree is materialized (and this
+//     baseline measured) only up to 100k sites; beyond that the sweep is
+//     pack-only and the point records dir_baseline=false.
 //
 // Pack open is measured *before* the eager load within each point so its
 // RSS delta is not deflated by heap the big load released back to the
-// allocator. Non-smoke runs enforce the headline claim at 10k+ sites:
-// pack open must be >= 50x faster than the eager directory load, with the
-// pack's cold RSS staying far below the eager load's.
+// allocator. Non-smoke runs enforce the headline claim on 10k+ points
+// that have the baseline: pack open must be >= 50x faster than the eager
+// directory load, with the pack's cold RSS staying far below the eager
+// load's.
 //
-// `--out PATH` writes an ntw-repo-bench (v1) JSON document
+// `--out PATH` writes an ntw-repo-bench (v2) JSON document
 // (BENCH_repo.json in CI); `--smoke` shrinks the sweep to a CI-sized
 // sanity run and skips the speedup enforcement (tiny repositories are
 // dominated by fixed costs, not scaling).
@@ -52,7 +57,10 @@ constexpr char kUsage[] =
     "usage: bench_repo [--out BENCH_repo.json] [--sizes 1000,10000,...]\n"
     "                  [--attrs N] [--seed N] [--smoke]\n";
 
-constexpr char kSuffix[] = ".wrapper";
+// The directory baseline (and its tree materialization) stops here: past
+// 100k sites the eager load's cost is already established as linear, and
+// writing millions of wrapper files would dominate the sweep's runtime.
+constexpr int64_t kMaxDirBaselineSites = 100000;
 
 struct SweepPoint {
   int64_t sites = 0;
@@ -64,31 +72,24 @@ struct SweepPoint {
   double first_hit_micros_p50 = 0.0;
   double first_hit_micros_max = 0.0;
   int64_t cold_hit_rss_bytes = 0;
+  bool dir_baseline = false;
   double dir_load_micros = 0.0;
   int64_t dir_load_rss_bytes = 0;
   double open_speedup = 0.0;
 };
 
-// Same walk as `ntw_pack build`, inlined so the bench times the build
-// without shelling out.
-Status BuildPack(const std::string& root, const std::string& out,
-                 size_t* entries) {
+// Streams the synthetic records straight into the pack builder — the
+// in-memory equivalent of `ntw_origin` + `ntw_pack build`, producing
+// byte-identical entries (ForEachSyntheticWrapperRecord yields the exact
+// bytes the written tree would hold) without the directory intermediate.
+Status BuildPack(const sitegen::SyntheticRepositoryOptions& options,
+                 const std::string& out, size_t* entries) {
   core::WrapperPackBuilder builder;
-  Result<std::vector<std::string>> site_dirs = ListSubdirectories(root);
-  if (!site_dirs.ok()) return site_dirs.status();
-  for (const std::string& site_dir : *site_dirs) {
-    std::string site = std::filesystem::path(site_dir).filename().string();
-    Result<std::vector<std::string>> files = ListFiles(site_dir, kSuffix);
-    if (!files.ok()) continue;
-    for (const std::string& file : *files) {
-      std::string attribute = std::filesystem::path(file).filename().string();
-      attribute.resize(attribute.size() - (sizeof(kSuffix) - 1));
-      Result<std::string> record = ReadFile(file);
-      if (!record.ok()) return record.status();
-      Status added = builder.Add(site, attribute, *record);
-      if (!added.ok()) return added;
-    }
-  }
+  NTW_RETURN_IF_ERROR(sitegen::ForEachSyntheticWrapperRecord(
+      options, [&](const std::string& site, const std::string& attribute,
+                   const std::string& record) {
+        return builder.Add(site, attribute, record);
+      }));
   *entries = builder.entry_count();
   return builder.WriteFile(out);
 }
@@ -126,7 +127,8 @@ int Run(int argc, char** argv) {
   }
   std::vector<int64_t> sizes;
   for (const std::string& part :
-       Split(flags.Get("sizes", smoke ? "100,400" : "1000,10000,100000"),
+       Split(flags.Get("sizes",
+                       smoke ? "100,400" : "1000,10000,100000,1000000"),
              ',')) {
     if (part.empty()) continue;
     sizes.push_back(std::max<int64_t>(1, std::atoll(part.c_str())));
@@ -153,15 +155,11 @@ int Run(int argc, char** argv) {
     options.sites = static_cast<size_t>(size);
     options.attrs = static_cast<size_t>(*attrs);
     options.seed = static_cast<uint64_t>(*seed);
-    Status wrote = sitegen::WriteSyntheticWrapperRepository(options, repo_dir);
-    if (!wrote.ok()) {
-      std::fprintf(stderr, "bench_repo: %s\n", wrote.ToString().c_str());
-      return 1;
-    }
+    point.dir_baseline = size <= kMaxDirBaselineSites;
 
     size_t entries = 0;
     Stopwatch build_timer;
-    Status packed = BuildPack(repo_dir, pack_path, &entries);
+    Status packed = BuildPack(options, pack_path, &entries);
     point.pack_build_seconds = build_timer.ElapsedSeconds();
     if (!packed.ok()) {
       std::fprintf(stderr, "bench_repo: %s\n", packed.ToString().c_str());
@@ -215,8 +213,15 @@ int Run(int argc, char** argv) {
       point.cold_hit_rss_bytes = RssDelta(rss_before, obs::CurrentRssBytes());
     }
 
-    // Eager directory load — the pre-pack startup cost.
-    {
+    // Eager directory load — the pre-pack startup cost. The tree is only
+    // materialized for this baseline, so the biggest points skip both.
+    if (point.dir_baseline) {
+      Status wrote =
+          sitegen::WriteSyntheticWrapperRepository(options, repo_dir);
+      if (!wrote.ok()) {
+        std::fprintf(stderr, "bench_repo: %s\n", wrote.ToString().c_str());
+        return 1;
+      }
       int64_t rss_before = obs::CurrentRssBytes();
       serve::WrapperRepository repository(repo_dir);
       Stopwatch load_timer;
@@ -228,21 +233,32 @@ int Run(int argc, char** argv) {
         return 1;
       }
       point.dir_load_rss_bytes = RssDelta(rss_before, obs::CurrentRssBytes());
+      point.open_speedup = point.pack_open_micros > 0.0
+                               ? point.dir_load_micros / point.pack_open_micros
+                               : 0.0;
     }
 
-    point.open_speedup = point.pack_open_micros > 0.0
-                             ? point.dir_load_micros / point.pack_open_micros
-                             : 0.0;
-    std::fprintf(stderr,
-                 "bench_repo: sites=%lld open=%.0fus dir_load=%.0fus "
-                 "(%.0fx) first_hit_p50=%.1fus cold_rss=%lld dir_rss=%lld\n",
-                 static_cast<long long>(point.sites), point.pack_open_micros,
-                 point.dir_load_micros, point.open_speedup,
-                 point.first_hit_micros_p50,
-                 static_cast<long long>(point.cold_hit_rss_bytes),
-                 static_cast<long long>(point.dir_load_rss_bytes));
+    if (point.dir_baseline) {
+      std::fprintf(stderr,
+                   "bench_repo: sites=%lld open=%.0fus dir_load=%.0fus "
+                   "(%.0fx) first_hit_p50=%.1fus cold_rss=%lld dir_rss=%lld\n",
+                   static_cast<long long>(point.sites), point.pack_open_micros,
+                   point.dir_load_micros, point.open_speedup,
+                   point.first_hit_micros_p50,
+                   static_cast<long long>(point.cold_hit_rss_bytes),
+                   static_cast<long long>(point.dir_load_rss_bytes));
+    } else {
+      std::fprintf(stderr,
+                   "bench_repo: sites=%lld open=%.0fus (no dir baseline) "
+                   "first_hit_p50=%.1fus cold_rss=%lld pack=%lldB\n",
+                   static_cast<long long>(point.sites), point.pack_open_micros,
+                   point.first_hit_micros_p50,
+                   static_cast<long long>(point.cold_hit_rss_bytes),
+                   static_cast<long long>(point.pack_file_bytes));
+    }
 
-    if (!smoke && size >= 10000 && point.open_speedup < 50.0) {
+    if (!smoke && point.dir_baseline && size >= 10000 &&
+        point.open_speedup < 50.0) {
       std::fprintf(stderr,
                    "bench_repo: FAIL sites=%lld pack open only %.1fx faster "
                    "than eager load (need >= 50x)\n",
@@ -256,7 +272,7 @@ int Run(int argc, char** argv) {
   obs::JsonWriter json;
   json.BeginObject();
   json.KV("schema", "ntw-repo-bench");
-  json.KV("schema_version", int64_t{1});
+  json.KV("schema_version", int64_t{2});
   json.KV("smoke", smoke);
   WriteMachineInfo(json);
   json.KV("attrs", *attrs);
@@ -274,9 +290,12 @@ int Run(int argc, char** argv) {
     json.KV("first_hit_micros_p50", point.first_hit_micros_p50);
     json.KV("first_hit_micros_max", point.first_hit_micros_max);
     json.KV("cold_hit_rss_bytes", point.cold_hit_rss_bytes);
-    json.KV("dir_load_micros", point.dir_load_micros);
-    json.KV("dir_load_rss_bytes", point.dir_load_rss_bytes);
-    json.KV("open_speedup", point.open_speedup);
+    json.KV("dir_baseline", point.dir_baseline);
+    if (point.dir_baseline) {
+      json.KV("dir_load_micros", point.dir_load_micros);
+      json.KV("dir_load_rss_bytes", point.dir_load_rss_bytes);
+      json.KV("open_speedup", point.open_speedup);
+    }
     json.EndObject();
   }
   json.EndArray();

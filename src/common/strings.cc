@@ -5,14 +5,6 @@
 
 namespace ntw {
 
-char AsciiToLower(char c) {
-  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
-}
-
-char AsciiToUpper(char c) {
-  return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
-}
-
 std::string ToLower(std::string_view s) {
   std::string out(s);
   for (char& c : out) c = AsciiToLower(c);
@@ -24,19 +16,6 @@ std::string ToUpper(std::string_view s) {
   for (char& c : out) c = AsciiToUpper(c);
   return out;
 }
-
-bool IsAsciiSpace(char c) {
-  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
-         c == '\v';
-}
-
-bool IsAsciiDigit(char c) { return c >= '0' && c <= '9'; }
-
-bool IsAsciiAlpha(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
-}
-
-bool IsAsciiAlnum(char c) { return IsAsciiAlpha(c) || IsAsciiDigit(c); }
 
 std::string_view StripWhitespace(std::string_view s) {
   size_t begin = 0;

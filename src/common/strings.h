@@ -10,16 +10,29 @@
 namespace ntw {
 
 /// ASCII-only helpers; the generated corpora are ASCII so full Unicode
-/// casefolding is unnecessary.
-char AsciiToLower(char c);
-char AsciiToUpper(char c);
+/// casefolding is unnecessary. The per-character classifiers are inline:
+/// the tokenizer and the streaming extractors call them once per input
+/// byte, where an out-of-line call would dominate the loop body.
+inline constexpr char AsciiToLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+inline constexpr char AsciiToUpper(char c) {
+  return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+}
 std::string ToLower(std::string_view s);
 std::string ToUpper(std::string_view s);
 
-bool IsAsciiSpace(char c);
-bool IsAsciiDigit(char c);
-bool IsAsciiAlpha(char c);
-bool IsAsciiAlnum(char c);
+inline constexpr bool IsAsciiSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+inline constexpr bool IsAsciiDigit(char c) { return c >= '0' && c <= '9'; }
+inline constexpr bool IsAsciiAlpha(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+inline constexpr bool IsAsciiAlnum(char c) {
+  return IsAsciiAlpha(c) || IsAsciiDigit(c);
+}
 
 /// Removes leading and trailing ASCII whitespace.
 std::string_view StripWhitespace(std::string_view s);

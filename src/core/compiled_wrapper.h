@@ -60,21 +60,58 @@ class FastPageBuffer {
   uint32_t epoch_ = 0;
 };
 
+/// One open element's state in the fused streaming-XPath executor
+/// (CompiledWrapper::ExtractStreaming on streamable() plans): the
+/// per-step match bitsets plus the child counters the arena tree builder
+/// would keep on its frames. Pooled by depth inside StreamPageBuffer so
+/// the tag_counts vectors keep capacity across pages.
+struct StreamXPathFrame {
+  std::string_view tag;  // Interned — process-stable across the build.
+  int32_t tag_id = -1;
+  uint64_t match = 0;    // Bit j: this node matches the first j steps.
+  uint64_t anc = 0;      // Union of every ancestor's match bits.
+  int32_t children = 0;  // Child nodes appended so far (0-based index).
+  // CloseImpliedBy(tag, ·) can return true for some incoming tag —
+  // cached at push so the per-start-tag implied-close probe is one bool
+  // instead of the parse_rules string comparisons. (Scope boundaries are
+  // never implied-closable, so this also covers the IsScopeBoundary
+  // break in the builders' loops.)
+  bool may_imply_close = false;
+  // (tag_id, count) for element children seen so far — same_tag_child_
+  // number bookkeeping, linear scan as in ArenaTreeBuilder::Frame.
+  std::vector<std::pair<int32_t, int32_t>> tag_counts;
+};
+
 /// Reusable per-request buffer for the streaming (no-DOM) path: the
-/// flattened stream page and the value slot. Much lighter than
-/// FastPageBuffer — no arena, no node arrays, no XPath scratch.
+/// flattened stream page, the value slot, and the fused streaming-XPath
+/// executor's scratch. Much lighter than FastPageBuffer — no arena and
+/// no node arrays; the XPath scratch is a depth-pooled frame stack plus
+/// one capture string for matched text.
 class StreamPageBuffer {
  public:
   html::StreamPage page;
   /// Output slot for CompiledWrapper::ExtractStreaming — views into
-  /// `page` (which may alias the request body; see StreamPage).
+  /// `page` or into the XPath capture buffer (either of which may alias
+  /// the request body; see StreamPage).
   std::vector<std::string_view> values;
 
   /// Recycles for the next request (keeps capacity).
   void Clear() {
     page.Clear();
     values.clear();
+    xcapture_.clear();
+    xextents_.clear();
   }
+
+ private:
+  friend class CompiledWrapper;
+
+  std::vector<StreamXPathFrame> xframes_;  // Open-element stack, pooled.
+  html::Token xtoken_;                     // Tokenizer slot.
+  std::string xcapture_;                   // Matched text, collapsed.
+  // Result extents into xcapture_ in document order; npos marks an
+  // element match (its value is the empty string, as on the DOM path).
+  std::vector<std::pair<size_t, size_t>> xextents_;
 };
 
 /// A thread-safe free list of per-request buffers (FastPageBuffer for the
@@ -145,6 +182,15 @@ using StreamBufferPool = BufferPool<StreamPageBuffer>;
 /// additionally execute via ExtractStreaming(), which builds the stream
 /// with a StreamPage (no DOM at all) instead of flattening an arena DOM.
 ///
+/// XPath plans are not dom_free(), but almost all of them are
+/// streamable(): the step program can run as a bitset NFA directly
+/// against the tokenizer event stream — an explicit open-tag depth stack
+/// carrying per-step match frames, interned-id tag/attr comparison
+/// through the intern front cache, positional filters computed from the
+/// same per-frame counters the tree builder keeps — so matching requests
+/// never construct arena nodes and only matched text is ever copied.
+/// ExtractStreaming() takes that fused path for streamable() XPath plans.
+///
 /// Extract() returns, for the single page in `buffer.doc`, exactly the
 /// values the interpreted Wrapper::Extract + node->text() pipeline returns
 /// for the same input, in the same order — the byte-identity contract the
@@ -188,8 +234,11 @@ class CompiledWrapper {
   void Extract(FastPageBuffer& buffer,
                std::vector<std::string_view>* values) const;
 
-  /// Streaming no-DOM execution over the raw request bytes. Only valid
-  /// for dom_free() plans (LR/HLRT); XPath plans yield no values.
+  /// Streaming no-DOM execution over the raw request bytes: the stream
+  /// matchers for dom_free() plans (LR/HLRT), the fused tokenize→
+  /// plan-execute machine for streamable() XPath plans. An XPath plan
+  /// that is not streamable() yields no values — callers route those to
+  /// the DOM path.
   void ExtractStreaming(std::string_view raw_page, StreamPageBuffer& buffer,
                         std::vector<std::string_view>* values) const;
 
@@ -211,6 +260,14 @@ class CompiledWrapper {
   /// Capability flag: true when the plan is defined over the flattened
   /// character stream alone and never needs a DOM (LR/HLRT).
   bool dom_free() const { return kind_ != Kind::kXPath; }
+
+  /// Capability flag: true for XPath step programs the fused streaming
+  /// executor can run — any program of 1..63 steps (the per-node match
+  /// bitset spends one bit per step plus the accept bit). Child/
+  /// descendant axes, tag/any-element/text tests, positional filters and
+  /// attribute filters are all prefix-computable from the event stream;
+  /// nothing learned by the inductors falls outside this today.
+  bool streamable() const { return kind_ == Kind::kXPath && streamable_; }
 
   /// "xpath", "lr" or "hlrt" — for routing metrics and bench phase labels.
   const char* plan_kind() const;
@@ -235,11 +292,23 @@ class CompiledWrapper {
     bool any_element = false;
     int32_t child_number = -1;  // -1 = no filter (0 is a legal, unmatchable
                                 // value: child numbers are 1-based)
-    std::vector<std::pair<int32_t, std::string>> attr_filters;
+    struct AttrFilter {
+      int32_t name_id;    // Arena path: interned-id FindAttr lookup.
+      std::string name;   // Fused path: raw byte compare (the tokenizer
+                          // already lowercases), no per-attr interning.
+      std::string value;
+    };
+    std::vector<AttrFilter> attr_filters;
   };
 
   void ExtractXPath(FastPageBuffer& buffer,
                     std::vector<std::string_view>* values) const;
+  // The fused tokenize→plan-execute machine (streamable() plans only).
+  void ExtractXPathStreaming(std::string_view raw_page,
+                             StreamPageBuffer& buffer,
+                             std::vector<std::string_view>* values) const;
+  // Computes streamable_ and the per-axis step masks from steps_.
+  void FinalizeXPath();
   // The LR/HLRT matchers, shared by the DOM path (ArenaDocument spans)
   // and the streaming path (StreamPage spans): any span type with
   // .begin/.end works, so both paths run the identical matching logic.
@@ -254,6 +323,12 @@ class CompiledWrapper {
 
   Kind kind_ = Kind::kXPath;
   std::vector<StepOp> steps_;        // XPATH
+  bool streamable_ = false;          // XPATH: fused executor eligible.
+  uint64_t child_steps_ = 0;         // XPATH: bit j = step j is child axis.
+  uint64_t desc_steps_ = 0;          // XPATH: bit j = step j is descendant.
+  // Tags named by a tag[k] step: the fused executor maintains same-tag
+  // child counts only for these (no other step ever reads them).
+  std::vector<int32_t> positional_tag_ids_;
   std::string left_, right_;         // LR / HLRT
   StringSearcher left_searcher_;     // LR / HLRT (non-empty left only)
   StringSearcher head_searcher_;     // HLRT

@@ -12,23 +12,16 @@ namespace {
 
 constexpr size_t kNpos = std::string_view::npos;
 
-// The verbatim grammar only admits tag names that the tokenizer would
-// emit unchanged: lowercase start, lowercase/digit/-/_/: continuation.
-// Anything else (uppercase is the common case) gets rewritten by the
-// tokenizer, so the validator bails.
-bool IsVerbatimNameStart(char c) { return c >= 'a' && c <= 'z'; }
-bool IsVerbatimNameChar(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-' ||
-         c == '_' || c == ':';
+// Mirrors the tokenizer's tag-name grammar (tokenizer.cc): names start
+// with an ASCII letter — either case, the tokenizer folds — and continue
+// with alnum/-/_/:. Uppercase bytes are a LOCAL rewrite now: the scanner
+// folds them in place instead of bailing.
+bool IsTagNameStart(char c) { return IsAsciiAlpha(c); }
+bool IsTagNameChar(char c) {
+  return IsAsciiAlnum(c) || c == '-' || c == '_' || c == ':';
 }
 
-// Attribute-name bytes the tokenizer passes through unchanged. The
-// tokenizer stops a name at '=', '>', '/' or whitespace and lowercases
-// it, so uppercase bytes cannot round-trip.
-bool IsVerbatimAttrNameChar(char c) {
-  return c != '=' && c != '>' && c != '/' && !IsAsciiSpace(c) &&
-         !(c >= 'A' && c <= 'Z');
-}
+bool IsUpperAscii(char c) { return c >= 'A' && c <= 'Z'; }
 
 bool IsRawTextTag(std::string_view tag) {
   return tag == "script" || tag == "style" || tag == "textarea";
@@ -48,10 +41,9 @@ bool IsCollapseIdentity(std::string_view s) {
   return true;
 }
 
-// Appends CollapseWhitespace(text) to `out`, separator-joining the word
-// runs. Returns true when anything was appended (i.e. the text was not
-// whitespace-only — the skip_whitespace_text rule falls out for free).
-bool AppendCollapsed(std::string_view text, std::string* out) {
+}  // namespace
+
+bool AppendCollapsedText(std::string_view text, std::string* out) {
   size_t mark = out->size();
   size_t i = 0;
   while (i < text.size()) {
@@ -66,8 +58,6 @@ bool AppendCollapsed(std::string_view text, std::string* out) {
   }
   return out->size() > mark;
 }
-
-}  // namespace
 
 void StreamPage::Clear() {
   input_ = std::string_view();
@@ -183,7 +173,7 @@ bool StreamPage::BuildVerbatim(std::string_view in) {
         AppendDecodedEntities(in.substr(run_begin, run_end - run_begin),
                               &decoded_);
         normalized_.clear();
-        if (AppendCollapsed(decoded_, &normalized_)) {
+        if (AppendCollapsedText(decoded_, &normalized_)) {
           size_t begin = patch(run_begin, run_end, normalized_);
           spans_.push_back({begin, begin + normalized_.size()});
         } else {
@@ -198,78 +188,206 @@ bool StreamPage::BuildVerbatim(std::string_view in) {
     char next = in[pos + 1];
 
     if (next == '/') {
-      // End tag: must be exactly "</name>" and close the innermost open
-      // element — anything else makes the builder drop it or emit extra
-      // implied closes, both of which rewrite the stream.
+      // End tag: the tokenizer lexes the name (folding case) and then
+      // skips anything up to '>'. The builder closes the nearest matching
+      // open element — popping, i.e. splicing close tags for, everything
+      // above it — never crossing a table boundary; an unmatched end tag
+      // is dropped. All of that resolves against the open stack right
+      // here, so every shape is a LOCAL patch.
       size_t name_start = pos + 2;
       size_t p = name_start;
-      if (p >= n || !IsVerbatimNameStart(in[p])) return false;
+      if (p >= n || !IsTagNameStart(in[p])) return false;  // "</>" → text.
+      bool fold = IsUpperAscii(in[p]);
       ++p;
-      while (p < n && IsVerbatimNameChar(in[p])) ++p;
-      if (p >= n || in[p] != '>') return false;
+      while (p < n && IsTagNameChar(in[p])) {
+        fold = fold || IsUpperAscii(in[p]);
+        ++p;
+      }
       std::string_view name = in.substr(name_start, p - name_start);
-      if (open_.empty() || open_.back() != name) return false;
-      open_.pop_back();
-      pos = p + 1;
+      if (fold) {
+        lowered_.assign(name);
+        for (char& c : lowered_) c = AsciiToLower(c);
+        name = NameTable::Global().Intern(lowered_).name;
+      }
+      size_t gt = scan::FindByte(in, p, '>');
+      if (gt == kNpos) return false;  // EOF inside the end tag.
+      size_t match = kNpos;
+      for (size_t i = open_.size(); i > 0; --i) {
+        if (open_[i - 1] == name) {
+          match = i - 1;
+          break;
+        }
+        if (open_[i - 1] == "table" && name != "table") break;
+      }
+      if (match == kNpos) {
+        patch(pos, gt + 1, std::string_view());  // Dropped end tag.
+        pos = gt + 1;
+        continue;
+      }
+      if (match + 1 < open_.size()) {
+        // Mis-nested: splice closes for everything above the matching
+        // element, innermost first, ahead of this end tag.
+        closes_.clear();
+        for (size_t i = open_.size(); i > match + 1; --i) {
+          closes_.append("</");
+          closes_.append(open_[i - 1]);
+          closes_.push_back('>');
+        }
+        patch(pos, pos, closes_);
+      }
+      open_.resize(match);
+      if (fold || p != gt) {
+        // Canonical close: folded name, junk before '>' dropped.
+        closes_.assign("</");
+        closes_.append(name);
+        closes_.push_back('>');
+        patch(pos, gt + 1, closes_);
+      }
+      pos = gt + 1;
       continue;
     }
 
-    if (!IsVerbatimNameStart(next)) return false;  // <!… <?… <A… "< "…
+    if (!IsTagNameStart(next)) return false;  // <!… <?… "< "… all bail.
 
-    // Start tag.
+    // Start tag. The tokenizer folds the name's case, so an uppercase
+    // byte is a local patch (the interned lowered name gives the patch a
+    // process-stable view to keep on the open stack).
     size_t name_start = pos + 1;
     size_t p = name_start + 1;
-    while (p < n && IsVerbatimNameChar(in[p])) ++p;
+    bool fold = IsUpperAscii(next);
+    while (p < n && IsTagNameChar(in[p])) {
+      fold = fold || IsUpperAscii(in[p]);
+      ++p;
+    }
     std::string_view name = in.substr(name_start, p - name_start);
-
-    // An implied end tag would interpose a close tag the raw bytes lack.
-    if (!open_.empty() && !IsScopeBoundary(open_.back()) &&
-        CloseImpliedBy(open_.back(), name)) {
-      return false;
+    if (fold) {
+      lowered_.assign(name);
+      for (char& c : lowered_) c = AsciiToLower(c);
+      name = NameTable::Global().Intern(lowered_).name;
     }
 
-    // Attributes: each must be exactly ` name="value"` — single space,
-    // no uppercase in the name, '=' then a double-quoted decode-identical
-    // value, no duplicate names (the builder keeps first-position/
-    // last-value, reordering the bytes), '>' immediately after the last.
+    // Implied end tags, bounded by scope boundaries — the same loop as
+    // the builders, with each popped element's close tag spliced in
+    // before the '<' of this start tag.
+    if (!open_.empty() && !IsScopeBoundary(open_.back()) &&
+        CloseImpliedBy(open_.back(), name)) {
+      closes_.clear();
+      do {
+        closes_.append("</");
+        closes_.append(open_.back());
+        closes_.push_back('>');
+        open_.pop_back();
+      } while (!open_.empty() && !IsScopeBoundary(open_.back()) &&
+               CloseImpliedBy(open_.back(), name));
+      patch(pos, pos, closes_);
+    }
+    if (fold) patch(name_start, p, name);
+
+    // Attributes: the canonical form is ` name="value"` — single-space
+    // separators, lowercase names, '=' with no surrounding whitespace, a
+    // double-quoted decoded value. Everything the tokenizer's attribute
+    // grammar admits except two shapes patches into that form in place:
+    // duplicate names (first position, LAST value — bytes would move
+    // backwards) and the '/' self-closing machinery bail to the flatten.
     attr_names_.clear();
     for (;;) {
       if (p >= n) return false;  // Unterminated tag → closed at EOF.
+      size_t ws_begin = p;
+      while (p < n && IsAsciiSpace(in[p])) ++p;
+      if (p >= n) return false;
       if (in[p] == '>') {
+        // "<div >" → "<div>": in-tag whitespace before '>' vanishes.
+        if (p != ws_begin) patch(ws_begin, p, std::string_view());
         ++p;
         break;
       }
-      if (in[p] != ' ') return false;  // '/', tab, newline, … all bail.
-      ++p;
+      if (in[p] == '/') return false;  // Self-closing machinery.
+      // Separator: exactly one ' ' survives; anything else (tabs,
+      // newlines, runs, or no whitespace at all after a quoted value)
+      // patches to a single space.
+      if (p != ws_begin + 1 || in[ws_begin] != ' ') {
+        patch(ws_begin, p, " ");
+      }
+      // Name: runs to '=', '>', '/' or whitespace, case-folded — the
+      // same scan the tokenizer uses.
       size_t an_start = p;
-      while (p < n && IsVerbatimAttrNameChar(in[p])) ++p;
-      if (p == an_start || p >= n || in[p] != '=') return false;
+      p = scan::FindAttrNameEnd(in, p);
+      if (p == kNpos) p = n;
+      if (p == an_start) return false;  // Malformed byte at name position.
       std::string_view attr_name = in.substr(an_start, p - an_start);
+      bool name_fold = false;
+      for (char c : attr_name) name_fold = name_fold || IsUpperAscii(c);
+      if (name_fold) {
+        lowered_.assign(attr_name);
+        for (char& c : lowered_) c = AsciiToLower(c);
+        attr_name = NameTable::Global().Intern(lowered_).name;
+        patch(an_start, p, attr_name);
+      }
       for (std::string_view seen : attr_names_) {
-        if (seen == attr_name) return false;
+        if (seen == attr_name) return false;  // Duplicate: bytes move.
       }
       attr_names_.push_back(attr_name);
-      ++p;
-      if (p >= n || in[p] != '"') return false;
-      ++p;
-      size_t value_end = scan::FindByte(in, p, '"');
-      if (value_end == kNpos) return false;
-      std::string_view value_region = in.substr(0, value_end);
-      size_t amp = p;
-      bool decode = false;
-      while ((amp = scan::FindByte(value_region, amp, '&')) != kNpos) {
-        if (StartsReference(in, amp)) decode = true;
-        ++amp;
+      // Value: the tokenizer grammar is ws* ['=' ws* (quoted|unquoted)].
+      size_t after_name = p;
+      size_t q = p;
+      while (q < n && IsAsciiSpace(in[q])) ++q;
+      if (q >= n) return false;  // Tag closed at EOF.
+      if (in[q] != '=') {
+        // Valueless attribute → canonical `=""`; the whitespace just
+        // skipped re-scans as the next separator.
+        patch(after_name, after_name, "=\"\"");
+        continue;  // p == after_name.
       }
-      if (decode) {
-        // Attribute values are entity-decoded but never collapsed; the
-        // decoded bytes splice straight in (no span — attr values are
-        // not text nodes).
+      size_t eq = q;
+      if (eq != after_name) {
+        patch(after_name, eq, std::string_view());  // ws before '='.
+      }
+      size_t vstart = eq + 1;
+      while (vstart < n && IsAsciiSpace(in[vstart])) ++vstart;
+      size_t vbegin, vend, region_end;
+      bool quoted_double = false;
+      if (vstart < n && (in[vstart] == '"' || in[vstart] == '\'')) {
+        char quote = in[vstart];
+        vbegin = vstart + 1;
+        vend = scan::FindByte(in, vbegin, quote);
+        if (vend == kNpos) return false;  // Unterminated → EOF close.
+        region_end = vend + 1;
+        quoted_double = quote == '"';
+      } else {
+        // Unquoted (possibly empty) value runs to whitespace or '>'.
+        vbegin = vstart;
+        vend = scan::FindWsOrGt(in, vbegin);
+        if (vend == kNpos) vend = n;
+        region_end = vend;
+      }
+      // Already-canonical check: double-quoted, no whitespace after '=',
+      // and the bytes survive entity decoding unchanged. The byte ending
+      // the value (quote, whitespace or '>') is never alphanumeric, so
+      // reference parsing sees the same extent in the full input as in
+      // the token substring.
+      bool canonical = quoted_double && vstart == eq + 1;
+      if (canonical) {
+        std::string_view value_region = in.substr(0, vend);
+        size_t amp = vbegin;
+        while ((amp = scan::FindByte(value_region, amp, '&')) != kNpos) {
+          if (StartsReference(in, amp)) {
+            canonical = false;
+            break;
+          }
+          ++amp;
+        }
+      }
+      if (!canonical) {
+        // Re-quote: `='v'`, `=v`, `= "v"` and decodable values all
+        // become `="decoded"` in one splice (values are entity-decoded
+        // but never collapsed; no span — attr values are not text).
         decoded_.clear();
-        AppendDecodedEntities(in.substr(p, value_end - p), &decoded_);
-        patch(p, value_end, decoded_);
+        decoded_.push_back('"');
+        AppendDecodedEntities(in.substr(vbegin, vend - vbegin), &decoded_);
+        decoded_.push_back('"');
+        patch(eq + 1, region_end, decoded_);
       }
-      p = value_end + 1;
+      p = region_end;
     }
 
     if (IsVoidElementTag(name)) {
@@ -279,20 +397,23 @@ bool StreamPage::BuildVerbatim(std::string_view in) {
     open_.push_back(name);
 
     if (IsRawTextTag(name)) {
-      // Raw-text content runs to the matching "</name" (with a '>' or
-      // whitespace boundary, as the tokenizer requires); for verbatim we
-      // additionally require the close to be exactly "</name>". Content
-      // is NOT entity-decoded (so '&' is fine) but IS collapse-processed.
+      // Raw-text content runs to the matching "</name" with a '>' or
+      // whitespace boundary, exactly as the tokenizer scans it (the
+      // needle is the folded lowercase name and the search is case-
+      // sensitive, so a `</SCRIPT>` close is content and the element
+      // runs to EOF — a bail). The close tag itself is handled by the
+      // main loop's end-tag scanner, which canonicalizes any junk before
+      // its '>'. Content is NOT entity-decoded (so '&' is fine) but IS
+      // collapse-processed.
       needle_.assign("</");
       needle_.append(name);
       size_t end = p;
       for (;;) {
         end = in.find(needle_, end);
-        if (end == kNpos) return false;  // Unclosed → EOF close differs.
+        if (end == kNpos) return false;  // Unclosed → content to EOF.
         size_t after = end + needle_.size();
-        if (after >= n) return false;
-        if (in[after] == '>') break;
-        if (IsAsciiSpace(in[after])) return false;  // "</script >" etc.
+        if (after >= n) return false;  // "</script" at EOF.
+        if (in[after] == '>' || IsAsciiSpace(in[after])) break;
         ++end;  // "</scriptfoo" is content; keep scanning.
       }
       std::string_view content = in.substr(p, end - p);
@@ -304,7 +425,7 @@ bool StreamPage::BuildVerbatim(std::string_view in) {
           spans_.push_back({out_pos(p), out_pos(end)});
         } else {
           normalized_.clear();
-          if (AppendCollapsed(content, &normalized_)) {
+          if (AppendCollapsedText(content, &normalized_)) {
             size_t begin = patch(p, end, normalized_);
             spans_.push_back({begin, begin + normalized_.size()});
           } else {
@@ -317,9 +438,19 @@ bool StreamPage::BuildVerbatim(std::string_view in) {
     }
     pos = p;
   }
-  // Elements still open at EOF would get synthesized close tags in the
-  // stream — a structural rewrite, so bail.
-  if (!open_.empty()) return false;
+  // Elements still open at EOF get their close tags synthesized at the
+  // end of the stream, innermost first — exactly where the builders pop
+  // the remaining frames. A pure append, so it is LOCAL.
+  if (!open_.empty()) {
+    closes_.clear();
+    for (size_t i = open_.size(); i > 0; --i) {
+      closes_.append("</");
+      closes_.append(open_[i - 1]);
+      closes_.push_back('>');
+    }
+    patch(n, n, closes_);
+    open_.clear();
+  }
   if (copied) {
     stream_.append(in.data() + flush_mark, n - flush_mark);
     tier_ = Tier::kPatched;
@@ -349,7 +480,7 @@ void StreamPage::BuildFlattened(std::string_view in) {
         size_t begin = stream_.size();
         // Collapsed-empty text is the whitespace-only case the builders
         // skip; AppendCollapsed appends nothing then, so no span either.
-        if (AppendCollapsed(token_.data, &stream_)) {
+        if (AppendCollapsedText(token_.data, &stream_)) {
           spans_.push_back({begin, stream_.size()});
         }
         break;

@@ -16,6 +16,14 @@ struct StreamSpan {
   size_t end;
 };
 
+/// Appends CollapseWhitespace(text) to `out`, separator-joining the word
+/// runs. Returns true when anything was appended (i.e. the text was not
+/// whitespace-only — the skip_whitespace_text rule falls out for free).
+/// This is the exact text normalization the tree builders apply, shared
+/// here so the fused streaming-XPath executor captures matched text nodes
+/// with the same bytes the arena DOM would store.
+bool AppendCollapsedText(std::string_view text, std::string* out);
+
 /// A page reduced to the flattened character stream plus its text spans —
 /// the only inputs the LR/HLRT delimiter matchers consume — built without
 /// constructing any DOM. The produced stream is byte-identical to
@@ -37,21 +45,25 @@ struct StreamSpan {
 ///     is thereby lazy in the strongest sense — the scanner only *tests*
 ///     each '&' (html::StartsReference); bytes are never rewritten.
 ///
-///  2. Patched (copy-on-write): when the only divergences the scanner
-///     meets are LOCAL — a decodable character reference in a text run or
-///     attribute value, a whitespace-collapse fix, a whitespace-only text
-///     node to drop — it does not give up the single pass. At the first
-///     such divergence it copies the (proven-verbatim) prefix into the
-///     reuse buffer and continues, memcpying clean chunks and splicing in
-///     the decoded/collapsed replacement at each patch point. This is the
-///     lazy-decode tier real listing pages hit: script-generated HTML is
-///     structurally canonical but carries &amp;-style references in data
-///     values, so the stream build stays a SIMD scan plus a few small
-///     patches instead of a full tokenize.
+///  2. Patched (copy-on-write): when every divergence the scanner meets
+///     is LOCAL — its replacement bytes are computable at the point it is
+///     discovered, without reordering anything already emitted — it does
+///     not give up the single pass. At the first such divergence it
+///     copies the (proven-verbatim) prefix into the reuse buffer and
+///     continues, memcpying clean chunks and splicing in the replacement
+///     at each patch point. The local set covers the lazy-decode fixes (a
+///     decodable character reference in a text run or attribute value, a
+///     whitespace-collapse fix, a whitespace-only text node to drop) and
+///     the tag-soup rewrites real listing pages need: tag and attribute
+///     name case folding, attribute re-quoting (single-quoted, unquoted
+///     and valueless attributes, whitespace around '='), implied end tags
+///     and mis-nested/stray/EOF closes resolved against the open-element
+///     stack (synthesized closes splice in, dropped closes patch out).
 ///
-///  3. Flattened: any STRUCTURAL rewrite (tag-name case, attribute
-///     re-serialization, implied or mismatched end tags, comments,
-///     doctypes, stray '<', raw-text oddities, unclosed elements) bails
+///  3. Flattened: a STRUCTURAL rewrite the patch stream cannot express —
+///     bytes moving backwards (duplicate attributes keep the first
+///     position but the last value), the self-closing-slash machinery,
+///     comments, doctypes, stray '<', unclosed raw-text elements — bails
 ///     to the fused tokenize→flatten loop (the shared Tokenizer plus the
 ///     shared parse_rules.h recovery rules, an open-tag stack instead of
 ///     a tree) that appends the normalized stream into the reuse buffer.
@@ -107,6 +119,8 @@ class StreamPage {
   std::string needle_;                        // Raw-text end-tag scratch.
   std::string decoded_;                       // Patch entity-decode scratch.
   std::string normalized_;                    // Patch collapse scratch.
+  std::string lowered_;                       // Name case-fold scratch.
+  std::string closes_;                        // Synthesized end-tag scratch.
   Token token_;                               // Flatten token scratch.
   Tier tier_ = Tier::kFlattened;
 };

@@ -46,23 +46,25 @@ bool Tokenizer::Next(Token* token) {
     return true;
   }
 
-  // Comment?
-  if (input_.substr(pos_).size() >= 4 && input_.substr(pos_, 4) == "<!--") {
-    size_t end = input_.find("-->", pos_ + 4);
-    token->kind = TokenKind::kComment;
-    token->self_closing = false;
-    if (end == std::string_view::npos) {
-      token->data.assign(input_.substr(pos_ + 4));
-      pos_ = input_.size();
-    } else {
-      token->data.assign(input_.substr(pos_ + 4, end - pos_ - 4));
-      pos_ = end + 3;
-    }
-    return true;
-  }
-
-  // Doctype or other <! ...> declaration.
+  // '<!' introduces a comment or a doctype; one byte test keeps both
+  // probes off the ordinary-tag path.
   if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '!') {
+    // Comment?
+    if (input_.substr(pos_, 4) == "<!--") {
+      size_t end = input_.find("-->", pos_ + 4);
+      token->kind = TokenKind::kComment;
+      token->self_closing = false;
+      if (end == std::string_view::npos) {
+        token->data.assign(input_.substr(pos_ + 4));
+        pos_ = input_.size();
+      } else {
+        token->data.assign(input_.substr(pos_ + 4, end - pos_ - 4));
+        pos_ = end + 3;
+      }
+      return true;
+    }
+
+    // Doctype or other <! ...> declaration.
     size_t end = input_.find('>', pos_);
     token->kind = TokenKind::kDoctype;
     token->self_closing = false;

@@ -6,7 +6,15 @@
 namespace ntw::obs {
 
 void JsonWriter::Escape(std::string_view value, std::string* out) {
-  for (char c : value) {
+  // Bulk-append runs of clean bytes; the per-byte loop only classifies.
+  // Most strings escape nothing, so the common cost is one branch per
+  // byte plus a single append.
+  size_t start = 0;
+  for (size_t i = 0; i < value.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(value[i]);
+    if (c != '"' && c != '\\' && c >= 0x20) continue;
+    out->append(value.data() + start, i - start);
+    start = i + 1;
     switch (c) {
       case '"':
         *out += "\\\"";
@@ -23,16 +31,14 @@ void JsonWriter::Escape(std::string_view value, std::string* out) {
       case '\t':
         *out += "\\t";
         break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          *out += c;
-        }
+      default: {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        *out += buf;
+      }
     }
   }
+  out->append(value.data() + start, value.size() - start);
 }
 
 void JsonWriter::BeforeValue() {

@@ -220,7 +220,7 @@ std::string Registry::ToJson() const {
   JsonWriter json;
   json.BeginObject();
   json.KV("schema", "ntw-metrics");
-  json.KV("schema_version", int64_t{3});
+  json.KV("schema_version", int64_t{4});
   json.KV("shard_count", static_cast<int64_t>(shards));
 
   // Sharded instruments appear merged here under their plain names, so

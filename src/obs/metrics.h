@@ -204,7 +204,9 @@ class Registry {
   void ResetValues();
 
   /// Serializes all instruments, sorted by name:
-  ///   {"schema":"ntw-metrics","schema_version":3,"shard_count":N,
+  /// Schema history: v4 added the ntw.serve.streaming_xpath_pages /
+  /// streaming_flattened_pages / streaming_fallback_* counters.
+  ///   {"schema":"ntw-metrics","schema_version":4,"shard_count":N,
   ///    "counters":{...},"gauges":{...},
   ///    "histograms":{name:{count,sum,min,max,buckets:[[lower,count]..]}},
   ///    "shards":{"counters":{name:[v0..]},

@@ -73,7 +73,6 @@ HttpResponse ErrorResponse(int status, const std::string& message) {
 
 void SerializeResponseHead(const HttpResponse& response, bool keep_alive,
                            std::string* out) {
-  out->clear();
   *out += "HTTP/1.1 ";
   *out += std::to_string(response.status);
   *out += ' ';
@@ -277,19 +276,36 @@ RequestParser::Phase RequestParser::ParseHeaderBlock(std::string_view block) {
 
 RequestParser::Phase RequestParser::Consume(std::string* in) {
   if (phase_ == Phase::kError || phase_ == Phase::kComplete) return phase_;
-  if (!in->empty()) saw_bytes_ = true;
+  // The caller may have replaced or cleared the buffer (error paths);
+  // never let the consumed prefix point past it.
+  if (offset_ > in->size()) offset_ = in->size();
+  // Lazy compaction: drop the consumed prefix only when it is the whole
+  // buffer (free) or has grown large, so pipelined parsing is offset
+  // arithmetic instead of a per-request front-erase memmove.
+  if (offset_ > 0) {
+    if (offset_ == in->size()) {
+      in->clear();
+      offset_ = 0;
+    } else if (offset_ > (size_t{1} << 18)) {
+      in->erase(0, offset_);
+      offset_ = 0;
+    }
+  }
+  std::string_view pending(in->data() + offset_, in->size() - offset_);
+  if (!pending.empty()) saw_bytes_ = true;
   if (!headers_complete_) {
     // Find the blank line terminating the header block; accept CRLF or
     // bare LF framing (split lines tolerate a dangling '\r').
-    size_t end = in->find("\r\n\r\n");
+    size_t end = pending.find("\r\n\r\n");
     size_t skip = 4;
-    size_t lf = in->find("\n\n");
-    if (lf != std::string::npos && (end == std::string::npos || lf < end)) {
+    size_t lf = pending.find("\n\n");
+    if (lf != std::string_view::npos &&
+        (end == std::string_view::npos || lf < end)) {
       end = lf;
       skip = 2;
     }
-    if (end == std::string::npos) {
-      if (in->size() > limits_.max_header_bytes) {
+    if (end == std::string_view::npos) {
+      if (pending.size() > limits_.max_header_bytes) {
         return Fail(431, "header block exceeds " +
                              std::to_string(limits_.max_header_bytes) +
                              " bytes");
@@ -301,13 +317,14 @@ RequestParser::Phase RequestParser::Consume(std::string* in) {
                            std::to_string(limits_.max_header_bytes) +
                            " bytes");
     }
-    Phase parsed = ParseHeaderBlock(std::string_view(*in).substr(0, end));
-    in->erase(0, end + skip);
+    Phase parsed = ParseHeaderBlock(pending.substr(0, end));
+    offset_ += end + skip;
+    pending.remove_prefix(end + skip);
     if (parsed == Phase::kError) return phase_;
   }
-  if (in->size() < content_length_) return Phase::kNeedMore;
-  request_.body.assign(in->data(), content_length_);
-  in->erase(0, content_length_);
+  if (pending.size() < content_length_) return Phase::kNeedMore;
+  request_.body.assign(pending.data(), content_length_);
+  offset_ += content_length_;
   phase_ = Phase::kComplete;
   return phase_;
 }

@@ -57,10 +57,12 @@ HttpResponse ErrorResponse(int status, const std::string& message);
 /// Serializes status line + headers + body into raw wire bytes.
 std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
 
-/// Serializes just the status line + headers (through the final CRLF CRLF)
-/// into `*out`, clearing it first — the buffer's capacity is reused, which
-/// is how per-connection head buffers avoid an allocation per response.
-/// The body is written separately (gathered writev-style), never copied.
+/// Appends just the status line + headers (through the final CRLF CRLF)
+/// to `*out` without clearing it — the server batches pipelined responses
+/// by serializing each one onto the connection's wire buffer, and reuses
+/// that buffer's capacity across keep-alive responses. The body is either
+/// appended after the head (batched inline responses) or written
+/// separately (gathered writev-style) from its own buffer.
 void SerializeResponseHead(const HttpResponse& response, bool keep_alive,
                            std::string* out);
 
@@ -80,9 +82,12 @@ struct HttpLimits {
 };
 
 /// Incremental HTTP/1.1 request parser: feed the connection's receive
-/// buffer, get back the parse phase. Consumed bytes are erased from the
-/// buffer, so pipelined follow-up requests survive in place. On kError
-/// the connection should answer with `error_status()` and close.
+/// buffer, get back the parse phase. Consumed bytes are tracked by an
+/// internal offset into the buffer and compacted lazily, so a deeply
+/// pipelined connection never pays a front-erase memmove per request;
+/// follow-up requests survive in place. The same buffer must be passed
+/// to every Consume call on a parser (one parser per connection). On
+/// kError the connection should answer with `error_status()` and close.
 class RequestParser {
  public:
   explicit RequestParser(const HttpLimits& limits) : limits_(limits) {}
@@ -132,6 +137,9 @@ class RequestParser {
   bool expects_continue_ = false;
   bool saw_bytes_ = false;
   size_t content_length_ = 0;
+  // Consumed prefix of the caller's buffer. Survives Reset() — it is
+  // connection state, not request state.
+  size_t offset_ = 0;
   int error_status_ = 0;
   std::string error_message_;
   Phase phase_ = Phase::kNeedMore;

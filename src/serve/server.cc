@@ -368,21 +368,23 @@ void HttpServer::HandleReadable(Shard& shard, uint64_t id, Conn& conn,
 
 void HttpServer::TryAdvance(Shard& shard, uint64_t id, Conn& conn,
                             Clock::time_point now) {
-  RequestParser::Phase phase = conn.parser.Consume(&conn.in);
-  switch (phase) {
-    case RequestParser::Phase::kNeedMore:
-      if (conn.parser.headers_complete() && conn.parser.expects_continue() &&
-          !conn.sent_continue) {
-        // Interim response so clients (curl) do not stall before sending
-        // the body. Tiny and sent while the socket buffer is empty, so a
-        // best-effort direct send is fine.
-        conn.sent_continue = true;
-        const char kContinue[] = "HTTP/1.1 100 Continue\r\n\r\n";
-        [[maybe_unused]] ssize_t rc =
-            ::send(conn.fd, kContinue, sizeof(kContinue) - 1, MSG_NOSIGNAL);
+  // Inline mode batches a pipelined window: each complete request is
+  // handled on the spot and its serialized response appended to
+  // conn.out_head (the connection stays in kReading), so the loop keeps
+  // consuming buffered requests and FlushPending below puts the whole
+  // window on the wire with a single sendmsg. Parallel mode dispatches
+  // one request and parks the connection in kProcessing, which exits the
+  // loop exactly as before.
+  for (;;) {
+    RequestParser::Phase phase = conn.parser.Consume(&conn.in);
+    if (phase == RequestParser::Phase::kComplete) {
+      Dispatch(shard, id, conn, now);
+      if (conn.state == Conn::State::kReading && !conn.close_after_write) {
+        continue;  // Inline response batched; try the next buffered one.
       }
-      return;
-    case RequestParser::Phase::kError: {
+      break;
+    }
+    if (phase == RequestParser::Phase::kError) {
       ServerMetrics& metrics = ServerMetrics::Get();
       if (conn.parser.error_status() == 413) {
         metrics.rejected_too_large->Add(shard.id, 1);
@@ -391,15 +393,49 @@ void HttpServer::TryAdvance(Shard& shard, uint64_t id, Conn& conn,
       }
       conn.in.clear();
       conn.close_after_write = true;
-      StartWrite(shard, conn,
-                 ErrorResponse(conn.parser.error_status(),
-                               conn.parser.error_message()),
-                 /*keep_alive=*/false, now);
-      return;
+      // Appended after any responses already batched this round, so good
+      // pipelined requests ahead of the malformed one still get answers.
+      HttpResponse response = ErrorResponse(conn.parser.error_status(),
+                                            conn.parser.error_message());
+      SerializeResponseHead(response, /*keep_alive=*/false, &conn.out_head);
+      conn.out_head += response.body;
+      break;
     }
-    case RequestParser::Phase::kComplete:
-      Dispatch(shard, id, conn, now);
-      return;
+    // kNeedMore.
+    if (conn.parser.headers_complete() && conn.parser.expects_continue() &&
+        !conn.sent_continue && conn.out_head.empty()) {
+      // Interim response so clients (curl) do not stall before sending
+      // the body. Tiny and sent while the socket buffer is empty, so a
+      // best-effort direct send is fine. Deferred while responses are
+      // batched ahead of it (out_head non-empty) to preserve wire order;
+      // FinishWrite re-enters here once the batch has drained.
+      conn.sent_continue = true;
+      const char kContinue[] = "HTTP/1.1 100 Continue\r\n\r\n";
+      [[maybe_unused]] ssize_t rc =
+          ::send(conn.fd, kContinue, sizeof(kContinue) - 1, MSG_NOSIGNAL);
+    }
+    break;
+  }
+  FlushPending(shard, id, conn, now);
+}
+
+void HttpServer::FlushPending(Shard& shard, uint64_t id, Conn& conn,
+                              Clock::time_point now) {
+  if (conn.state != Conn::State::kReading || conn.out_head.empty()) return;
+  conn.out_offset = 0;
+  conn.state = Conn::State::kWriting;
+  conn.deadline = now + std::chrono::milliseconds(options_.write_timeout_ms);
+  // Optimistic flush, mirroring ApplyCompletions: the socket is almost
+  // always writable, so attempting the write now saves a full poll
+  // round-trip per batch. A full socket buffer falls back to POLLOUT
+  // exactly as before. The depth guard bounds the parse→handle→write
+  // recursion (FinishWrite advances into the next buffered request);
+  // past it, the POLLOUT path resumes the chain with a fresh budget.
+  // No access to `conn` after the call — a write error may have closed it.
+  constexpr int kMaxEagerWrites = 64;
+  if (conn.eager_writes < kMaxEagerWrites) {
+    ++conn.eager_writes;
+    HandleWritable(shard, id, conn, now);
   }
 }
 
@@ -420,11 +456,17 @@ void HttpServer::Dispatch(Shard& shard, uint64_t id, Conn& conn,
     // Inline path (the sharded daemon's normal mode): handle the request
     // where the parser built it, then Reset() — the request's buffers
     // keep their capacity for the next request on this connection
-    // instead of being moved out and freed.
+    // instead of being moved out and freed. The serialized response is
+    // appended to the connection's wire buffer and the state stays
+    // kReading: TryAdvance keeps batching while complete requests remain
+    // buffered and flushes the window with one syscall, so a pipelined
+    // window costs one sendmsg instead of one per response.
     HttpResponse response = SafeHandle(shard, conn.parser.request());
     conn.parser.Reset();
     CountStatus(shard.id, response.status);
-    StartWrite(shard, conn, std::move(response), keep_alive, now);
+    conn.out_head.reserve(conn.out_head.size() + response.body.size() + 160);
+    SerializeResponseHead(response, keep_alive, &conn.out_head);
+    conn.out_head += response.body;
     return;
   }
   if (shard.inflight >= ShardInflightCap()) {
@@ -463,6 +505,7 @@ void HttpServer::StartWrite(Shard& shard, Conn& conn, HttpResponse response,
   (void)shard;
   // The head lands in the connection's recycled buffer; the body is moved,
   // never copied.
+  conn.out_head.clear();
   SerializeResponseHead(response, keep_alive, &conn.out_head);
   conn.out_body = std::move(response.body);
   conn.out_offset = 0;
@@ -693,6 +736,8 @@ Status HttpServer::RunShard(Shard& shard) {
         auto it = shard.conns.find(poll_ids[i]);
         if (it == shard.conns.end() || it->second.fd != fd) continue;
         Conn& conn = it->second;
+        // Fresh poll event: the optimistic-flush chain restarts from zero.
+        conn.eager_writes = 0;
         if (conn.state == Conn::State::kReading &&
             (poll_fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
           HandleReadable(shard, poll_ids[i], conn, now);

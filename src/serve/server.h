@@ -141,15 +141,23 @@ class HttpServer {
     State state = State::kReading;
     RequestParser parser;
     std::string in;        // Received, not yet consumed.
-    // Pending response, written gather-style (sendmsg with two iovecs) so
-    // the body string is never copied into a combined wire buffer. The
-    // head buffer is recycled across keep-alive responses; the body is
-    // moved in from the handler.
+    // Pending wire bytes. The inline path batches whole responses
+    // (head + body, possibly several of them under pipelining) into
+    // out_head and leaves out_body empty, so a pipelined window drains
+    // with a single sendmsg. The worker-pool path keeps head and body in
+    // their own buffers and gather-writes them (sendmsg with two iovecs)
+    // so the body string is never copied. Both buffers are recycled
+    // across keep-alive responses.
     std::string out_head;
     std::string out_body;
     size_t out_offset = 0;  // Progress across head + body combined.
     bool close_after_write = false;
     bool sent_continue = false;
+    // Depth of the optimistic parse→handle→write chain since the last
+    // poll-loop event on this connection: each inline response is flushed
+    // eagerly (no poll round-trip), and this bounds the recursion a
+    // deeply pipelined connection would otherwise drive.
+    int eager_writes = 0;
     Clock::time_point deadline;
   };
 
@@ -197,6 +205,8 @@ class HttpServer {
   void TryAdvance(Shard& shard, uint64_t id, Conn& conn,
                   Clock::time_point now);
   void Dispatch(Shard& shard, uint64_t id, Conn& conn, Clock::time_point now);
+  void FlushPending(Shard& shard, uint64_t id, Conn& conn,
+                    Clock::time_point now);
   void HandleWritable(Shard& shard, uint64_t id, Conn& conn,
                       Clock::time_point now);
   void StartWrite(Shard& shard, Conn& conn, HttpResponse response,

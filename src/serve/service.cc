@@ -28,6 +28,17 @@ struct ServiceMetrics {
   obs::ShardedCounter* streaming_pages;
   obs::ShardedCounter* streaming_verbatim_pages;
   obs::ShardedCounter* streaming_patched_pages;
+  obs::ShardedCounter* streaming_flattened_pages;
+  /// Pages served by the fused streaming XPath executor (tokenizer event
+  /// stream, no arena DOM, no StreamPage build — so no tier counter).
+  obs::ShardedCounter* streaming_xpath_pages;
+  /// Pages that fell off the streaming path, by reason: the toggle was
+  /// off (--no-streaming or --no-fast-path), the entry has no compiled
+  /// plan, or the plan is an XPath program outside streamable()'s bit
+  /// budget. Their sum is exactly the non-streaming page count.
+  obs::ShardedCounter* streaming_fallback_disabled;
+  obs::ShardedCounter* streaming_fallback_no_plan;
+  obs::ShardedCounter* streaming_fallback_unstreamable_xpath;
   /// attribute=* pages scanned once by a fused site automaton (each scan
   /// replaces one BMH pass per dom_free attribute).
   obs::ShardedCounter* fused_scans;
@@ -46,6 +57,16 @@ struct ServiceMetrics {
             "ntw.serve.streaming_verbatim_pages"),
         obs::Registry::Global().GetShardedCounter(
             "ntw.serve.streaming_patched_pages"),
+        obs::Registry::Global().GetShardedCounter(
+            "ntw.serve.streaming_flattened_pages"),
+        obs::Registry::Global().GetShardedCounter(
+            "ntw.serve.streaming_xpath_pages"),
+        obs::Registry::Global().GetShardedCounter(
+            "ntw.serve.streaming_fallback_disabled"),
+        obs::Registry::Global().GetShardedCounter(
+            "ntw.serve.streaming_fallback_no_plan"),
+        obs::Registry::Global().GetShardedCounter(
+            "ntw.serve.streaming_fallback_unstreamable_xpath"),
         obs::Registry::Global().GetShardedCounter("ntw.serve.fused_scans"),
         obs::Registry::Global().GetShardedHistogram(
             "ntw.serve.extract_latency_micros"),
@@ -114,10 +135,11 @@ int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 /// Extracts from one page and writes the `"values":[...]` member.
-/// Streaming no-DOM path for dom_free() plans when enabled; arena fast
-/// path (arena DOM + compiled plan) otherwise when enabled and the entry
-/// carries a plan; interpreted as the final fallback. All paths produce
-/// identical JSON bytes — views and strings serialize the same.
+/// Streaming no-DOM path for dom_free() and streamable() XPath plans
+/// when enabled; arena fast path (arena DOM + compiled plan) otherwise
+/// when enabled and the entry carries a plan; interpreted as the final
+/// fallback. All paths produce identical JSON bytes — views and strings
+/// serialize the same.
 void ExtractService::ExtractToJson(const WrapperRepository::Entry& entry,
                                    const std::string& page_html,
                                    obs::JsonWriter& json) const {
@@ -132,10 +154,12 @@ void ExtractService::ExtractArray(const WrapperRepository::Entry& entry,
   int shard = options_.shard;
   auto start = std::chrono::steady_clock::now();
   if (options_.fast_path && options_.streaming && entry.compiled != nullptr &&
-      entry.compiled->dom_free()) {
-    // Streaming no-DOM path: BMH over the StreamPage-built stream, no
-    // arena parse. On the zero-copy tier the values alias `page_html`
-    // directly — which outlives the lease here.
+      (entry.compiled->dom_free() || entry.compiled->streamable())) {
+    // Streaming no-DOM path: BMH over the StreamPage-built stream for
+    // dom_free() plans, the fused tokenize→plan-execute machine for
+    // streamable() XPath programs — neither builds an arena DOM. On the
+    // zero-copy tier the values alias `page_html` directly — which
+    // outlives the lease here.
     core::StreamBufferPool::Lease lease = stream_buffers_.Acquire();
     entry.compiled->ExtractStreaming(page_html, *lease, &lease->values);
     metrics.extract_latency->Record(shard, MicrosSince(start));
@@ -148,17 +172,32 @@ void ExtractService::ExtractArray(const WrapperRepository::Entry& entry,
     ObserveDrift(entry, page_html, lease->values.data(),
                  lease->values.size());
     metrics.streaming_pages->Add(shard, 1);
-    switch (lease->page.tier()) {
-      case html::StreamPage::Tier::kVerbatim:
-        metrics.streaming_verbatim_pages->Add(shard, 1);
-        break;
-      case html::StreamPage::Tier::kPatched:
-        metrics.streaming_patched_pages->Add(shard, 1);
-        break;
-      case html::StreamPage::Tier::kFlattened:
-        break;
+    if (!entry.compiled->dom_free()) {
+      // Fused XPath never Builds the StreamPage, so the tier counters
+      // (which would read a stale tier) do not apply.
+      metrics.streaming_xpath_pages->Add(shard, 1);
+    } else {
+      switch (lease->page.tier()) {
+        case html::StreamPage::Tier::kVerbatim:
+          metrics.streaming_verbatim_pages->Add(shard, 1);
+          break;
+        case html::StreamPage::Tier::kPatched:
+          metrics.streaming_patched_pages->Add(shard, 1);
+          break;
+        case html::StreamPage::Tier::kFlattened:
+          metrics.streaming_flattened_pages->Add(shard, 1);
+          break;
+      }
     }
     return;
+  }
+  // Off the streaming path: attribute the fallback to its reason.
+  if (!options_.fast_path || !options_.streaming) {
+    metrics.streaming_fallback_disabled->Add(shard, 1);
+  } else if (entry.compiled == nullptr) {
+    metrics.streaming_fallback_no_plan->Add(shard, 1);
+  } else {
+    metrics.streaming_fallback_unstreamable_xpath->Add(shard, 1);
   }
   if (options_.fast_path && entry.compiled != nullptr) {
     core::FastBufferPool::Lease lease = buffers_.Acquire();
@@ -224,6 +263,7 @@ void ExtractService::ExtractAllToJson(
         metrics.streaming_patched_pages->Add(shard, 1);
         break;
       case html::StreamPage::Tier::kFlattened:
+        metrics.streaming_flattened_pages->Add(shard, 1);
         break;
     }
     for (const auto& [name, entry] : entries) {

@@ -37,8 +37,10 @@ namespace ntw::serve {
 /// of that, dom_free() plans (LR/HLRT — DESIGN.md §12) default to the
 /// streaming no-DOM path: the request body goes through StreamPage
 /// (zero-copy when the bytes are already canonical, fused
-/// tokenize→flatten otherwise) and never builds an arena DOM;
-/// `streaming = false` — the daemon's --no-streaming — drops them back
+/// tokenize→flatten otherwise) and never builds an arena DOM — and
+/// streamable() XPath plans run the fused tokenize→plan-execute machine
+/// straight off the tokenizer event stream, likewise DOM-free;
+/// `streaming = false` — the daemon's --no-streaming — drops both back
 /// to the arena fast path. All paths are byte-identical by contract,
 /// pinned by tests/fastpath_equivalence_test.cc,
 /// tests/streaming_equivalence_test.cc and the ntw_loadgen cross-check.
@@ -52,9 +54,10 @@ struct ExtractServiceOptions {
   bool fast_path = true;
   /// Metric stripe this instance records into (the owning reactor's id).
   int shard = 0;
-  /// Route dom_free() plans through the streaming no-DOM path. Only
-  /// consulted when fast_path is on. (Declared after `shard` so existing
-  /// `Options{true, n}` brace-initializers keep their meaning.)
+  /// Route dom_free() plans and streamable() XPath plans through the
+  /// streaming no-DOM paths. Only consulted when fast_path is on.
+  /// (Declared after `shard` so existing `Options{true, n}`
+  /// brace-initializers keep their meaning.)
   bool streaming = true;
   /// Feed per-entry drift detectors after every extraction and enqueue
   /// re-induction repairs (DESIGN.md §13). Only effective when the

@@ -152,13 +152,13 @@ Status WriteOriginWrapperRepository(const OriginCorpus& corpus,
   return Status::OK();
 }
 
-Status WriteSyntheticWrapperRepository(
-    const SyntheticRepositoryOptions& options, const std::string& root) {
-  NTW_RETURN_IF_ERROR(MakeDirs(root));
+Status ForEachSyntheticWrapperRecord(
+    const SyntheticRepositoryOptions& options,
+    const std::function<Status(const std::string& site,
+                               const std::string& attribute,
+                               const std::string& record)>& fn) {
   for (size_t s = 0; s < options.sites; ++s) {
     std::string key = StrFormat("site_%06zu", s);
-    std::string dir = root + "/" + key;
-    NTW_RETURN_IF_ERROR(MakeDirs(dir));
     Rng rng(options.seed * 1000003 + s);
     for (size_t a = 0; a < options.attrs; ++a) {
       // Seed-varied delimiters: enough diversity that per-site automata
@@ -197,11 +197,27 @@ Status WriteSyntheticWrapperRepository(
           break;
         }
       }
-      NTW_RETURN_IF_ERROR(WriteFile(
-          dir + StrFormat("/attr_%02zu.wrapper", a), record + "\n"));
+      NTW_RETURN_IF_ERROR(
+          fn(key, StrFormat("attr_%02zu", a), record + "\n"));
     }
   }
   return Status::OK();
+}
+
+Status WriteSyntheticWrapperRepository(
+    const SyntheticRepositoryOptions& options, const std::string& root) {
+  NTW_RETURN_IF_ERROR(MakeDirs(root));
+  std::string last_dir;
+  return ForEachSyntheticWrapperRecord(
+      options, [&](const std::string& site, const std::string& attribute,
+                   const std::string& record) -> Status {
+        std::string dir = root + "/" + site;
+        if (dir != last_dir) {  // Records arrive grouped by site.
+          NTW_RETURN_IF_ERROR(MakeDirs(dir));
+          last_dir = dir;
+        }
+        return WriteFile(dir + "/" + attribute + ".wrapper", record);
+      });
 }
 
 }  // namespace ntw::sitegen

@@ -2,6 +2,7 @@
 #define NTW_SITEGEN_ORIGIN_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,21 @@ struct SyntheticRepositoryOptions {
   uint64_t seed = 17;
 };
 
+/// Streams every record of the synthetic repository to `fn(site,
+/// attribute, record)` in (site, attribute) order without touching the
+/// filesystem — the record string includes the trailing newline that
+/// WriteSyntheticWrapperRepository stores on disk, so consumers that pack
+/// records directly (bench_repo) produce byte-identical entries to a
+/// pack built from the written tree. Stops at the first non-OK status
+/// from `fn` and returns it.
+Status ForEachSyntheticWrapperRecord(
+    const SyntheticRepositoryOptions& options,
+    const std::function<Status(const std::string& site,
+                               const std::string& attribute,
+                               const std::string& record)>& fn);
+
+/// Materializes the same records as a `<root>/site_NNNNNN/attr_NN.wrapper`
+/// tree (one ForEachSyntheticWrapperRecord pass + WriteFile per record).
 Status WriteSyntheticWrapperRepository(
     const SyntheticRepositoryOptions& options, const std::string& root);
 

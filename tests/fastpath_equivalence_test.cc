@@ -2,10 +2,11 @@
 // over the arena DOM returns exactly the values the interpreted
 // Wrapper::Extract + node->text() pipeline returns, for every wrapper
 // kind (XPATH, LR, HLRT) on every page of a generated corpus — with the
-// streaming no-DOM path joining the comparison for dom_free() plans —
-// and at the service layer, ExtractService in streaming, arena-DOM and
-// interpreted configurations produces byte-identical HTTP responses for
-// /extract and /extract_batch.
+// streaming path joining the comparison for dom_free() plans (the no-DOM
+// stream matchers) and streamable() XPath plans (the fused tokenize→
+// plan-execute machine) — and at the service layer, ExtractService in
+// streaming, arena-DOM and interpreted configurations produces
+// byte-identical HTTP responses for /extract and /extract_batch.
 
 #include <unistd.h>
 
@@ -104,12 +105,15 @@ class FastPathEquivalenceTest : public ::testing::Test {
         EXPECT_EQ(FastValues(*compiled, buffer, source), interpreted)
             << "site " << site.site.name << " page " << p << " wrapper "
             << induction.wrapper->ToString();
-        if (compiled->dom_free()) {
-          EXPECT_EQ(StreamingValues(*compiled, stream_buffer, source),
-                    interpreted)
-              << "streaming, site " << site.site.name << " page " << p
-              << " wrapper " << induction.wrapper->ToString();
-        }
+        // Every learned plan has a streaming form: LR/HLRT are
+        // dom_free(), and every induced XPath program is streamable()
+        // (≤63 steps); the fused executor must match byte for byte.
+        ASSERT_TRUE(compiled->dom_free() || compiled->streamable())
+            << induction.wrapper->ToString();
+        EXPECT_EQ(StreamingValues(*compiled, stream_buffer, source),
+                  interpreted)
+            << "streaming, site " << site.site.name << " page " << p
+            << " wrapper " << induction.wrapper->ToString();
       }
     }
   }

@@ -121,7 +121,7 @@ TEST(RegistryTest, ToJsonSchema) {
   registry.GetHistogram("lat")->Record(3);
   std::string json = registry.ToJson();
   EXPECT_NE(json.find("\"schema\":\"ntw-metrics\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":4"), std::string::npos);
   EXPECT_NE(json.find("\"shard_count\":1"), std::string::npos);
   // Counters are sorted by name.
   EXPECT_LT(json.find("\"a.count\":1"), json.find("\"b.count\":2"));

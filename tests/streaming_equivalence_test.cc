@@ -14,7 +14,17 @@
 //  3. The verbatim (zero-copy) tier engages exactly when it should: its
 //     accept is a claim that raw bytes == normalized stream, so every
 //     accepted page is also cross-checked against the arena flatten.
+//  4. The patched (copy-on-write) tier's tag-soup rewrites — tag/attr
+//     case folding, attribute re-quoting, implied end tags and stray/
+//     mis-nested/EOF closes resolved against the open stack — engage on
+//     a randomized tag-soup corpus with no fused-tokenize fallback, and
+//     every patched page is byte-identical to the heap-parser reference.
+//  5. CompiledWrapper::ExtractStreaming for streamable() XPath plans (the
+//     fused tokenize→plan-execute machine) returns byte-identical values
+//     to the arena DOM fast path AND the interpreter, across axis/test/
+//     predicate combinations and on the tag-soup corpus.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +32,7 @@
 #include "core/compiled_wrapper.h"
 #include "core/hlrt_inductor.h"
 #include "core/lr_inductor.h"
+#include "core/xpath_inductor.h"
 #include "datasets/dealers.h"
 #include "datasets/disc.h"
 #include "gtest/gtest.h"
@@ -29,6 +40,7 @@
 #include "html/parser.h"
 #include "html/serializer.h"
 #include "html/stream_page.h"
+#include "xpath/parser.h"
 
 namespace ntw {
 namespace {
@@ -156,9 +168,11 @@ TEST(StreamPageTest, VerbatimTierEngagesOnCanonicalPages) {
 
 TEST(StreamPageTest, PatchedTierFixesLocalRewritesInPlace) {
   // Each construct diverges from the normalized stream only LOCALLY — an
-  // entity decode, a collapse fix, a dropped whitespace-only text node —
-  // so the copy-on-write scanner must patch it rather than bail to the
-  // full tokenize, and the patched stream must match the arena flatten.
+  // entity decode, a collapse fix, a dropped whitespace-only text node,
+  // a case fold, an attribute re-quote, or a close tag resolved against
+  // the open stack — so the copy-on-write scanner must patch it rather
+  // than bail to the full tokenize, and the patched stream must match
+  // the arena flatten.
   const char* inputs[] = {
       "<p>A &amp; B</p>",           // Entity in text.
       "<p title=\"&amp;\">x</p>",   // Entity in attribute value.
@@ -168,6 +182,32 @@ TEST(StreamPageTest, PatchedTierFixesLocalRewritesInPlace) {
       "<p>a\tb</p>",                // Non-space whitespace.
       "<script> a </script>",       // Raw text with edge whitespace.
       "<div>x</div> <div>y</div>",  // Whitespace-only text node (dropped).
+      // Tag/attribute case folding.
+      "<P>x</P>",                   // Uppercase tag, both ends.
+      "<DiV cLaSs=\"a\">x</dIv>",   // Mixed case tag + attribute name.
+      "<SCRIPT>if (a < b) c();</script>",  // Folded raw-text element (the
+                                           // lowercase close is the scan
+                                           // needle, so it must stay).
+      // Attribute re-quoting.
+      "<a href='v'>x</a>",          // Single-quoted attribute.
+      "<a href='A &amp; B'>x</a>",  // Single-quoted with entity.
+      "<a href=bare>x</a>",         // Bare attribute.
+      "<a href>x</a>",              // Valueless attribute.
+      "<a href=>x</a>",             // Empty unquoted value.
+      "<a  spaced = \"v\" >x</a>",  // Whitespace around '=' and '>'.
+      "<a\nhref=\"v\"\tid='i'>x</a>",  // Tab/newline separators.
+      "<a href=\"1\"id=\"2\">x</a>",   // Missing separator space.
+      // Implied end tags against the open stack.
+      "<ul><li>a<li>b</ul>",        // Implied </li>.
+      "<p>one<p>two<div>three</div>",  // Implied </p> twice.
+      "<table><tr><td>a<td>b<tr><td>c</table>",  // Implied </td>/</tr>.
+      // Stray / mis-nested / EOF closes.
+      "</p><b>x</b>",               // Unmatched end tag (dropped).
+      "<div></span></div>",         // Stray close inside open element.
+      "<b><i>x</b>y",               // Mis-nested close + EOF close.
+      "<p>x",                       // Unclosed at EOF.
+      "<div><p>unclosed",           // Two unclosed at EOF.
+      "<ul><li>a</ul\t>",           // Junk before '>' in an end tag.
   };
   html::StreamPage page;
   for (const char* input : inputs) {
@@ -179,22 +219,24 @@ TEST(StreamPageTest, PatchedTierFixesLocalRewritesInPlace) {
 }
 
 TEST(StreamPageTest, FlattenTierHandlesStructuralRewrites) {
-  // Each construct forces a STRUCTURAL normalization — tag bytes move,
-  // reorder or get synthesized — so the scanner must bail to the fused
-  // flatten, whose stream must still match the arena flatten.
+  // Each construct forces a STRUCTURAL normalization the forward-only
+  // patch stream cannot express — bytes moving backwards (duplicate
+  // attributes keep the first position but the last value), the
+  // self-closing machinery, dropped comments/doctypes, stray '<' text,
+  // raw-text elements running to EOF — so the scanner must bail to the
+  // fused flatten, whose stream must still match the arena flatten.
   const char* inputs[] = {
-      "<P>x</P>",                  // Uppercase tag.
-      "<p CLASS=\"a\">x</p>",      // Uppercase attribute name.
-      "<ul><li>a<li>b</ul>",       // Implied end tag.
-      "<a href='v'>x</a>",         // Single-quoted attribute.
-      "<a href=bare>x</a>",        // Bare attribute.
-      "<a href>x</a>",             // Valueless attribute.
       "<a a=\"1\" a=\"2\">x</a>",  // Duplicate attribute.
+      "<a A=\"1\" a=\"2\">x</a>",  // Duplicate after case folding.
       "<br/>",                     // Self-closing slash.
-      "<p>x",                      // Unclosed at EOF.
+      "<div/>x",                   // Self-closing non-void.
       "<!doctype html><p>x</p>",   // Doctype.
       "<p><!--c-->x</p>",          // Comment.
-      "</p><b>x</b>",              // Unmatched end tag.
+      "<p>1 < 2</p>",              // Stray '<' becomes text.
+      "<script>unclosed",          // Raw text to EOF.
+      "<SCRIPT>var a;</SCRIPT>x",  // Folded raw text: the scan needle is
+                                   // lowercase, so the uppercase close is
+                                   // content and the element runs to EOF.
   };
   html::StreamPage page;
   for (const char* input : inputs) {
@@ -373,6 +415,242 @@ TEST(StreamingSweepTest, DiscDatasetStreamsMatchArena) {
   // Unlike dealers, this corpus has entity-free pages, so the zero-copy
   // tier must engage on a real generated site, not just handcrafted HTML.
   EXPECT_GT(verbatim_pages, 0u);
+}
+
+// -------------------------------------------------------------------
+// Fused streaming XPath: the bitset executor against the tokenizer
+// stream must match the interpreted evaluator and the arena step
+// machine on every axis/test/predicate combination.
+// -------------------------------------------------------------------
+
+/// Parses `expr_text`, compiles it, and asserts the interpreted, arena
+/// DOM and fused streaming executors all return `expected`. XPath plans
+/// are never dom_free() (they walk structure, not delimiters) but every
+/// parseable program here must be streamable().
+void ExpectXPathThreeWay(const std::string& expr_text,
+                         const std::string& source,
+                         const std::vector<std::string>& expected) {
+  Result<xpath::Expr> expr = xpath::ParseXPath(expr_text);
+  ASSERT_TRUE(expr.ok()) << expr_text;
+  core::XPathWrapper wrapper(std::move(*expr));
+  std::shared_ptr<const core::CompiledWrapper> compiled =
+      core::CompiledWrapper::Compile(wrapper);
+  ASSERT_NE(compiled, nullptr) << expr_text;
+  EXPECT_FALSE(compiled->dom_free()) << expr_text;
+  ASSERT_TRUE(compiled->streamable()) << expr_text;
+  core::FastPageBuffer dom_buffer;
+  core::StreamPageBuffer stream_buffer;
+  EXPECT_EQ(InterpretedValues(wrapper, source), expected)
+      << "interpreted, expr: " << expr_text;
+  EXPECT_EQ(DomFastValues(*compiled, dom_buffer, source), expected)
+      << "dom fast path, expr: " << expr_text;
+  EXPECT_EQ(StreamingValues(*compiled, stream_buffer, source), expected)
+      << "streaming path, expr: " << expr_text;
+}
+
+TEST(StreamingXPath, ChildVersusDescendantAxes) {
+  // Element matches extract the empty string on every path (values come
+  // from text() steps); what these pin down is the match COUNT and that
+  // the child axis needs the parent itself while the descendant axis
+  // accepts any ancestor.
+  std::string source =
+      "<html><body><div><span>a</span><p><span>b</span></p></div>"
+      "<span>c</span></body></html>";
+  ExpectXPathThreeWay("/html/body/div/span", source, {""});
+  ExpectXPathThreeWay("//div//span", source, {"", ""});
+  ExpectXPathThreeWay("//span", source, {"", "", ""});
+  ExpectXPathThreeWay("/html/body/div/span/text()[1]", source, {"a"});
+  ExpectXPathThreeWay("//div//span/text()[1]", source, {"a", "b"});
+  ExpectXPathThreeWay("//span/text()[1]", source, {"a", "b", "c"});
+}
+
+TEST(StreamingXPath, TagPositionUsesSameTagNumbering) {
+  // b[2] counts only <b> element siblings: the interleaved <i> and the
+  // text nodes do not shift it.
+  std::string source =
+      "<html><body><p>t<b>one</b><i>x</i><b>two</b><b>three</b></p>"
+      "</body></html>";
+  ExpectXPathThreeWay("//p/b[2]/text()[1]", source, {"two"});
+  ExpectXPathThreeWay("//p/b[3]/text()[1]", source, {"three"});
+  ExpectXPathThreeWay("//p/b[4]", source, {});
+}
+
+TEST(StreamingXPath, TextAndWildcardUseSiblingNumbering) {
+  // text()[k] and *[k] count positions among ALL children: in
+  // <p>a<b>x</b>c</p> the text "c" is the third child and <b> the
+  // second.
+  std::string source = "<html><body><p>a<b>x</b>c</p></body></html>";
+  ExpectXPathThreeWay("//p/text()[1]", source, {"a"});
+  ExpectXPathThreeWay("//p/text()[3]", source, {"c"});
+  ExpectXPathThreeWay("//p/text()[2]", source, {});
+  ExpectXPathThreeWay("//p/*[2]/text()[1]", source, {"x"});
+  ExpectXPathThreeWay("//p/*[1]", source, {});
+}
+
+TEST(StreamingXPath, AttributeFiltersKeepLastDuplicateValue) {
+  // A duplicated attribute name keeps the LAST value in every path: the
+  // tree builders overwrite in place, and the fused executor scans the
+  // token's attribute list backward.
+  std::string source =
+      "<html><body><div a=\"1\" a=\"2\"><b>x</b></div>"
+      "<div a=\"1\"><b>y</b></div></body></html>";
+  ExpectXPathThreeWay("//div[@a='2']/b/text()[1]", source, {"x"});
+  ExpectXPathThreeWay("//div[@a='1']/b/text()[1]", source, {"y"});
+  ExpectXPathThreeWay("//div[@a='3']", source, {});
+  // Attribute filters always fail text nodes (no attributes to match).
+  ExpectXPathThreeWay("//div/b/text()[@a='1']", source, {});
+}
+
+TEST(StreamingXPath, VoidAndSelfClosingSiblingsCountInPositions) {
+  // <br> and <br/> produce childless element nodes that still occupy
+  // sibling and same-tag slots.
+  std::string source =
+      "<html><body><div><br><span>x</span><br/><span>y</span></div>"
+      "</body></html>";
+  ExpectXPathThreeWay("//div/span[2]/text()[1]", source, {"y"});
+  ExpectXPathThreeWay("//div/*[4]/text()[1]", source, {"y"});
+  ExpectXPathThreeWay("//div/br[2]", source, {""});
+}
+
+TEST(StreamingXPath, TextCaptureCollapsesWhitespaceAndDecodesEntities) {
+  std::string source =
+      "<html><body><li>  a &amp;\n b  </li><li>&#32; </li></body></html>";
+  ExpectXPathThreeWay("//li/text()[1]", source, {"a & b"});
+  // The second <li>'s text decodes to pure whitespace and is skipped, so
+  // it has no text child at all.
+  ExpectXPathThreeWay("//li[2]/text()[1]", source, {});
+}
+
+TEST(StreamingXPath, TagSoupPageThroughFusedTokenizer) {
+  // The fused executor runs the tokenizer directly: case folding,
+  // single-quoted and bare attributes, and implied </li> closes must
+  // resolve identically to both tree builders.
+  std::string source =
+      "<HTML><BODY><UL id=list><LI><B class='n'>a</B>"
+      "<LI><B class='n'>b</B></UL></BODY></HTML>";
+  ExpectXPathThreeWay("//li/b/text()[1]", source, {"a", "b"});
+  ExpectXPathThreeWay("//ul[@id='list']/li[2]/b[@class='n']/text()[1]",
+                      source, {"b"});
+}
+
+TEST(StreamingXPath, MisnestedAndStrayEndTags) {
+  // </ul> closes the still-open <li>; the stray </table> is dropped
+  // without crossing anything.
+  std::string source =
+      "<html><body><ul><li>one</table><li>two</ul>"
+      "<p>after</p></body></html>";
+  ExpectXPathThreeWay("//li/text()[1]", source, {"one", "two"});
+  ExpectXPathThreeWay("/html/body/p/text()[1]", source, {"after"});
+}
+
+// -------------------------------------------------------------------
+// Randomized tag-soup corpus: pages built from the LOCAL rewrite
+// vocabulary (mixed-case names, re-quotable attributes, implied end
+// tags) must all take the PATCHED tier — no fused-tokenize fallback —
+// and stay byte-identical across every path.
+// -------------------------------------------------------------------
+
+uint64_t XorShift(uint64_t* s) {
+  *s ^= *s << 13;
+  *s ^= *s >> 7;
+  *s ^= *s << 17;
+  return *s;
+}
+
+/// Randomly uppercases letters of a canonical lowercase name.
+std::string RandomCase(uint64_t* s, std::string_view name) {
+  std::string out;
+  for (char c : name) {
+    bool up = c >= 'a' && c <= 'z' && (XorShift(s) & 1) != 0;
+    out.push_back(up ? static_cast<char>(c - 'a' + 'A') : c);
+  }
+  return out;
+}
+
+/// Appends one attribute in a randomly chosen soup spelling: double,
+/// single or unquoted value, optional whitespace around '=', random
+/// separator whitespace. `value` must be quote- and space-free so the
+/// bare form round-trips.
+void AppendSoupAttr(uint64_t* s, std::string_view name,
+                    std::string_view value, std::string* out) {
+  out->push_back(" \t\n"[XorShift(s) % 3]);
+  out->append(RandomCase(s, name));
+  switch (XorShift(s) % 4) {
+    case 0:
+      out->append("=\"").append(value).append("\"");
+      break;
+    case 1:
+      out->append("='").append(value).append("'");
+      break;
+    case 2:
+      out->append("=").append(value);
+      break;
+    default:
+      out->append(" = '").append(value).append("'");
+      break;
+  }
+}
+
+TEST(TagSoupCorpus, PatchedTierEngagesWithThreeWayIdentity) {
+  core::LrWrapper name_lr("<b class=\"name\">", "</b>");
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    uint64_t s = seed * 0x9e3779b97f4a7c15ull;
+    XorShift(&s);
+    size_t items = 3 + XorShift(&s) % 4;
+    std::vector<std::string> names;
+    std::vector<std::string> cells;
+
+    std::string page;
+    page += "<" + RandomCase(&s, "html") + "><" + RandomCase(&s, "body");
+    AppendSoupAttr(&s, "class", "top", &page);
+    page += "><" + RandomCase(&s, "p") + ">Intro text";
+    // No </p>: the following <ul> implies it. Each <li> is likewise
+    // implied closed by the next <li> or by </ul>.
+    page += "<" + RandomCase(&s, "ul");
+    AppendSoupAttr(&s, "id", "list", &page);
+    page += ">";
+    for (size_t i = 1; i <= items; ++i) {
+      names.push_back("Item " + std::to_string(i));
+      page += "<" + RandomCase(&s, "li");
+      if (XorShift(&s) & 1) {
+        // Valueless attribute: canonicalizes to data-sale="".
+        page.push_back(' ');
+        page += RandomCase(&s, "data-sale");
+      }
+      page += "><" + RandomCase(&s, "b");
+      AppendSoupAttr(&s, "class", "name", &page);
+      page += ">" + names.back() + "</" + RandomCase(&s, "b") + ">";
+      page += " $" + std::to_string(100 * i);
+    }
+    page += "</" + RandomCase(&s, "ul") + ">";
+    // Table rows and cells left open: </table> resolves the whole pile
+    // through the nearest-match walk.
+    page += "<" + RandomCase(&s, "table") + ">";
+    for (size_t r = 0; r < 2; ++r) {
+      page += "<" + RandomCase(&s, "tr") + ">";
+      for (size_t c = 0; c < 2; ++c) {
+        cells.push_back("c" + std::to_string(2 * r + c));
+        page += "<" + RandomCase(&s, "td") + ">" + cells.back();
+      }
+    }
+    page += "</" + RandomCase(&s, "table") + ">";
+    page += "</" + RandomCase(&s, "body") + "></" +
+            RandomCase(&s, "html") + ">";
+
+    // The implied-</li> splices alone guarantee at least one patch, so
+    // the tier must be exactly kPatched: these rewrites are all LOCAL.
+    html::StreamPage stream_page;
+    stream_page.Build(page);
+    EXPECT_EQ(stream_page.tier(), html::StreamPage::Tier::kPatched)
+        << "seed " << seed << " page: " << page;
+    ExpectStreamMatchesArena(page);
+
+    ExpectThreeWayEqual(name_lr, page, names);
+    ExpectXPathThreeWay("//li/b[@class='name']/text()[1]", page, names);
+    ExpectXPathThreeWay("//table/tr[2]/td/text()[1]", page,
+                        {cells[2], cells[3]});
+    ExpectXPathThreeWay("/html/body/p/text()[1]", page, {"Intro text"});
+  }
 }
 
 }  // namespace

@@ -195,6 +195,30 @@ TEST_F(WrapperPackTest, BuildIsDeterministicAndOrderInsensitive) {
   EXPECT_EQ(forward.Build(), forward.Build());
 }
 
+// bench_repo skips the directory intermediate and streams the synthetic
+// records straight into the builder; the pack it measures must be the
+// exact pack a written tree produces.
+TEST_F(WrapperPackTest, InMemoryRecordStreamMatchesWrittenTree) {
+  sitegen::SyntheticRepositoryOptions options;
+  options.sites = 7;
+  options.attrs = 3;
+  options.seed = 41;
+  std::string root = work_ + "/repo";
+  ASSERT_TRUE(sitegen::WriteSyntheticWrapperRepository(options, root).ok());
+  core::WrapperPackBuilder from_dir = BuildFromDir(root);
+
+  core::WrapperPackBuilder from_memory;
+  Status streamed = sitegen::ForEachSyntheticWrapperRecord(
+      options, [&](const std::string& site, const std::string& attribute,
+                   const std::string& record) {
+        return from_memory.Add(site, attribute, record);
+      });
+  ASSERT_TRUE(streamed.ok()) << streamed.ToString();
+
+  EXPECT_EQ(from_memory.entry_count(), from_dir.entry_count());
+  EXPECT_EQ(from_memory.Build(), from_dir.Build());
+}
+
 TEST_F(WrapperPackTest, OpenRejectsTruncation) {
   std::string path = PackFromRepo(WriteRepo(4, 2));
   auto bytes = ReadFile(path);

@@ -179,8 +179,9 @@ int Run(int argc, char** argv) {
                    entry->wrapper->ToString().c_str());
     }
     // Compiled fast path, same output bytes as the interpreted path
-    // below; dom_free plans stream straight over the raw page bytes
-    // (no DOM) unless --no-streaming, others arena-parse.
+    // below; dom_free plans stream straight over the raw page bytes and
+    // streamable XPath plans run fused off the tokenizer (no DOM either
+    // way) unless --no-streaming, others arena-parse.
     // --no-fast-path forces the interpreter.
     if (!flags.Has("no-fast-path") && entry->compiled != nullptr) {
       Result<std::vector<std::string>> sources =
@@ -190,7 +191,8 @@ int Run(int argc, char** argv) {
         return 1;
       }
       bool streaming =
-          !flags.Has("no-streaming") && entry->compiled->dom_free();
+          !flags.Has("no-streaming") &&
+          (entry->compiled->dom_free() || entry->compiled->streamable());
       core::FastPageBuffer buffer;
       core::StreamPageBuffer stream_buffer;
       std::string value;

@@ -4,22 +4,23 @@
 // Builds a pinned DEALERS subset (fixed seed), learns one XPATH and one
 // LR wrapper per site from ground truth, publishes the wrappers to a
 // temporary serving repository, starts a real HttpServer in-process on an
-// ephemeral port, and drives it over raw keep-alive sockets through five
+// ephemeral port, and drives it over raw keep-alive sockets through six
 // phases split by plan kind and execution path:
 //
 //   delimiter_streaming    LR plans, streaming no-DOM path (DESIGN.md §12)
 //   delimiter_dom          LR plans, arena-DOM fast path (--no-streaming)
 //   delimiter_interpreted  LR plans, interpreted Wrapper::Extract
+//   xpath_streaming        XPATH plans, fused tokenize→plan-execute path
 //   xpath_fast             XPATH plans, arena-DOM fast path
 //   xpath_interpreted      XPATH plans, interpreted Wrapper::Extract
 //
-// Emits a schema-versioned BENCH_serve.json (v3) with per-phase
+// Emits a schema-versioned BENCH_serve.json (v4) with per-phase
 // requests/second tagged by plan kind and path, latency percentiles from
 // the ntw.serve.extract_latency_micros histogram, a speedups object
-// (delimiter_streaming_vs_dom is the headline number the streaming path
-// is accountable to), peak RSS and machine metadata, so
-// serving-throughput regressions accumulate in-repo the same way
-// ntw_bench's learning benches do.
+// (delimiter_streaming_vs_dom and xpath_streaming_vs_fast are the
+// headline numbers the streaming paths are accountable to), peak RSS and
+// machine metadata, so serving-throughput regressions accumulate in-repo
+// the same way ntw_bench's learning benches do.
 //
 // Before any timing, every (site, attribute, page) request is executed
 // through the streaming, arena-DOM and interpreted service
@@ -41,8 +42,9 @@
 // away from fixed per-request socket overhead.
 //
 // --no-streaming builds the "streaming" services with the streaming path
-// off (every delimiter phase then runs the arena fast path) — CI uses it
-// to keep the non-streaming combination green end to end.
+// off (the delimiter_streaming and xpath_streaming phases then run the
+// arena fast path) — CI uses it to keep the non-streaming combination
+// green end to end.
 //
 // --pipeline N keeps N requests in flight per connection (HTTP/1.1
 // pipelining, which the server supports): syscall and scheduling overhead
@@ -114,7 +116,7 @@ constexpr char kUsage[] =
     "                   [--pipeline N] [--repetitions N] [--shards N]\n"
     "                   [--sweep 1,2,4,...] [--no-streaming] [--smoke]\n";
 
-constexpr int64_t kSchemaVersion = 3;
+constexpr int64_t kSchemaVersion = 4;
 
 // ---------------------------------------------------------------------
 // Minimal blocking HTTP/1.1 client (keep-alive, Content-Length framing).
@@ -156,35 +158,79 @@ class Client {
 
   /// Reads one full response (headers + Content-Length body); "" on error.
   std::string ReadResponse() {
+    size_t total = FillOneResponse();
+    if (total == 0) return "";
+    std::string response = buffer_.substr(offset_, total);
+    Consume(total);
+    return response;
+  }
+
+  /// Reads one full response and reports whether it is an HTTP 200.
+  /// Frames exactly like ReadResponse but never copies the response out
+  /// of the receive buffer — the timed driver loop's hot path, where a
+  /// per-response substr would tax every phase alike.
+  bool ReadResponseOk() {
+    size_t total = FillOneResponse();
+    if (total < 12) {
+      if (total > 0) Consume(total);
+      return false;
+    }
+    bool ok = buffer_.compare(offset_, 12, "HTTP/1.1 200") == 0;
+    Consume(total);
+    return ok;
+  }
+
+ private:
+  /// Ensures one complete response sits at buffer_[offset_...] and
+  /// returns its total size (headers + body); 0 on connection error.
+  size_t FillOneResponse() {
     while (true) {
-      size_t header_end = buffer_.find("\r\n\r\n");
+      size_t header_end = buffer_.find("\r\n\r\n", offset_);
       if (header_end != std::string::npos) {
-        size_t body_start = header_end + 4;
-        size_t total = body_start + ContentLengthOf(header_end);
-        if (buffer_.size() >= total) {
-          std::string response = buffer_.substr(0, total);
-          buffer_.erase(0, total);
-          return response;
-        }
+        size_t total =
+            header_end + 4 - offset_ + ContentLengthAt(offset_, header_end);
+        if (buffer_.size() - offset_ >= total) return total;
       }
       char chunk[16384];
       ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n <= 0) return "";
+      if (n <= 0) return 0;
       buffer_.append(chunk, static_cast<size_t>(n));
     }
   }
 
- private:
-  size_t ContentLengthOf(size_t header_end) const {
-    std::string headers = ToLower(buffer_.substr(0, header_end));
-    size_t pos = headers.find("content-length:");
-    if (pos == std::string::npos) return 0;
-    return static_cast<size_t>(
-        std::strtoull(headers.c_str() + pos + 15, nullptr, 10));
+  /// Advances past a framed response; compacts the buffer only once the
+  /// consumed prefix is large, so steady state neither copies nor moves.
+  void Consume(size_t total) {
+    offset_ += total;
+    if (offset_ >= buffer_.size()) {
+      buffer_.clear();
+      offset_ = 0;
+    } else if (offset_ > (size_t{1} << 18)) {
+      buffer_.erase(0, offset_);
+      offset_ = 0;
+    }
+  }
+
+  /// Case-insensitive Content-Length scan over the header block in
+  /// place — no lowercased copy.
+  size_t ContentLengthAt(size_t begin, size_t header_end) const {
+    constexpr std::string_view kName = "content-length:";
+    for (size_t pos = begin; pos + kName.size() <= header_end; ++pos) {
+      size_t i = 0;
+      while (i < kName.size() && AsciiToLower(buffer_[pos + i]) == kName[i]) {
+        ++i;
+      }
+      if (i == kName.size()) {
+        return static_cast<size_t>(
+            std::strtoull(buffer_.c_str() + pos + i, nullptr, 10));
+      }
+    }
+    return 0;
   }
 
   int fd_ = -1;
   std::string buffer_;
+  size_t offset_ = 0;  // Consumed prefix of buffer_.
 };
 
 struct PhaseResult {
@@ -268,9 +314,7 @@ PhaseResult RunPhase(const std::string& name, int port,
         // ...then read everything back.
         for (auto& [client, window] : inflight) {
           for (int64_t k = 0; k < window; ++k) {
-            std::string response = client->ReadResponse();
-            if (response.empty() ||
-                response.compare(0, 12, "HTTP/1.1 200") != 0) {
+            if (!client->ReadResponseOk()) {
               errors.fetch_add(1, std::memory_order_relaxed);
             }
           }
@@ -696,7 +740,7 @@ int Run(int argc, char** argv) {
                client_threads, static_cast<long long>(pipeline), repetitions,
                shards, port);
 
-  // Interleave all five phases across repetitions so slow drift in the
+  // Interleave all six phases across repetitions so slow drift in the
   // environment hits every phase alike; keep the best repetition of
   // each, the same noise-rejection convention as ntw_bench.
   struct PhaseSpec {
@@ -712,6 +756,8 @@ int Run(int argc, char** argv) {
       {"delimiter_dom", "lr", "dom", kDom, &lr_requests},
       {"delimiter_interpreted", "lr", "interpreted", kInterpreted,
        &lr_requests},
+      {"xpath_streaming", "xpath", streaming_enabled ? "streaming" : "dom",
+       kStreaming, &xpath_requests},
       {"xpath_fast", "xpath", "dom", kDom, &xpath_requests},
       {"xpath_interpreted", "xpath", "interpreted", kInterpreted,
        &xpath_requests},
@@ -772,12 +818,16 @@ int Run(int argc, char** argv) {
                                rps_of("delimiter_interpreted"));
   double xpath_vs_interp =
       ratio(rps_of("xpath_fast"), rps_of("xpath_interpreted"));
+  // The XPath headline: the fused tokenize→plan-execute machine vs the
+  // arena-DOM step machine on the same plans and pages.
+  double xpath_streaming_vs_fast =
+      ratio(rps_of("xpath_streaming"), rps_of("xpath_fast"));
   std::fprintf(stderr,
                "  speedups: delimiter streaming/dom %.2fx,"
                " streaming/interp %.2fx, dom/interp %.2fx;"
-               " xpath fast/interp %.2fx\n",
+               " xpath streaming/fast %.2fx, fast/interp %.2fx\n",
                streaming_vs_dom, streaming_vs_interp, dom_vs_interp,
-               xpath_vs_interp);
+               xpath_streaming_vs_fast, xpath_vs_interp);
 
   // ----- shard sweep: throughput-vs-shards curve + cross-shard bytes ----
   std::vector<SweepPoint> sweep;
@@ -928,6 +978,7 @@ int Run(int argc, char** argv) {
   json.KV("delimiter_streaming_vs_dom", streaming_vs_dom);
   json.KV("delimiter_streaming_vs_interpreted", streaming_vs_interp);
   json.KV("delimiter_dom_vs_interpreted", dom_vs_interp);
+  json.KV("xpath_streaming_vs_fast", xpath_streaming_vs_fast);
   json.KV("xpath_fast_vs_interpreted", xpath_vs_interp);
   json.EndObject();
   json.Key("equivalence");

@@ -112,7 +112,7 @@ int Inspect(const Flags& flags, const std::string& path) {
   }
   const core::PackHeader& header = (*pack)->header();
   obs::JsonWriter json;
-  BeginSchemaDocument(json, "ntw-pack-inspect", 1);
+  BeginSchemaDocument(json, "ntw-pack-inspect", 2);
   json.KV("path", path);
   json.KV("pack_version", static_cast<int64_t>(header.version));
   json.KV("file_size", static_cast<int64_t>(header.file_size));
@@ -121,6 +121,45 @@ int Inspect(const Flags& flags, const std::string& path) {
   json.KV("plans_bytes", static_cast<int64_t>(header.plans_len));
   json.KV("automata_bytes", static_cast<int64_t>(header.automata_len));
   json.KV("strtab_bytes", static_cast<int64_t>(header.strtab_len));
+  // Per-section byte breakdown: where a compression pass would pay. The
+  // directories are fixed-width records, so their sizes follow from the
+  // counts; "other" is whatever remains (alignment padding).
+  {
+    int64_t header_bytes = static_cast<int64_t>(sizeof(core::PackHeader));
+    int64_t site_dir_bytes = static_cast<int64_t>(header.site_count *
+                                                  sizeof(core::PackSiteRec));
+    int64_t entry_dir_bytes = static_cast<int64_t>(
+        header.entry_count * sizeof(core::PackEntryRec));
+    int64_t accounted = header_bytes + site_dir_bytes + entry_dir_bytes +
+                        static_cast<int64_t>(header.plans_len) +
+                        static_cast<int64_t>(header.automata_len) +
+                        static_cast<int64_t>(header.strtab_len);
+    int64_t other = static_cast<int64_t>(header.file_size) - accounted;
+    double scale =
+        header.file_size > 0 ? 100.0 / static_cast<double>(header.file_size)
+                             : 0.0;
+    json.Key("sections");
+    json.BeginObject();
+    struct Section {
+      const char* name;
+      int64_t bytes;
+    };
+    for (const Section& section :
+         {Section{"header", header_bytes},
+          Section{"site_directory", site_dir_bytes},
+          Section{"entry_directory", entry_dir_bytes},
+          Section{"plans", static_cast<int64_t>(header.plans_len)},
+          Section{"automata", static_cast<int64_t>(header.automata_len)},
+          Section{"string_table", static_cast<int64_t>(header.strtab_len)},
+          Section{"other", other}}) {
+      json.Key(section.name);
+      json.BeginObject();
+      json.KV("bytes", section.bytes);
+      json.KV("percent", static_cast<double>(section.bytes) * scale);
+      json.EndObject();
+    }
+    json.EndObject();
+  }
   if (flags.Has("site")) {
     std::string name = flags.Get("site");
     auto site = (*pack)->FindSite(name);

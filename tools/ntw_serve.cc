@@ -243,8 +243,9 @@ int Run(int argc, char** argv) {
 
   // --no-fast-path keeps the interpreted Wrapper::Extract path alive for
   // A/B benchmarking and as the byte-identity cross-check baseline;
-  // --no-streaming pins dom_free plans to the arena fast path instead of
-  // the streaming no-DOM path (DESIGN.md §12).
+  // --no-streaming pins dom_free plans and streamable XPath plans to the
+  // arena fast path instead of the streaming no-DOM paths (DESIGN.md
+  // §12).
   bool fast_path = !flags.Has("no-fast-path");
   bool streaming = !flags.Has("no-streaming");
   bool fused = !flags.Has("no-fused");
